@@ -1,0 +1,35 @@
+//! CRC-64 hashing microbenchmarks: the table-driven fast path vs the
+//! hardware-shaped bit-serial LFSR, across Draco-typical input sizes
+//! (selected argument bytes are at most 48 bytes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use draco::cuckoo::Crc64;
+
+fn bench_crc(c: &mut Criterion) {
+    let ecma = Crc64::ecma();
+    let not_ecma = Crc64::not_ecma();
+    let mut group = c.benchmark_group("crc64");
+    for &len in &[8usize, 16, 48] {
+        let data: Vec<u8> = (0..len as u8).collect();
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(BenchmarkId::new("table", len), |b| {
+            b.iter(|| black_box(ecma.checksum(black_box(&data))));
+        });
+        group.bench_function(BenchmarkId::new("bitwise_lfsr", len), |b| {
+            b.iter(|| black_box(ecma.checksum_bitwise(black_box(&data))));
+        });
+        group.bench_function(BenchmarkId::new("pair_h1_h2", len), |b| {
+            b.iter(|| {
+                let h1 = ecma.checksum(black_box(&data));
+                let h2 = not_ecma.checksum(black_box(&data));
+                black_box((h1, h2))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! VAT substrate microbenchmarks: 2-ary cuckoo lookup and insert.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use draco::cuckoo::{CrcPairHasher, CuckooTable};
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuckoo");
+    for &size in &[8usize, 64, 512] {
+        let mut table: CuckooTable<Vec<u8>, u64> =
+            CuckooTable::with_capacity(size * 2, CrcPairHasher::default());
+        let keys: Vec<Vec<u8>> = (0..size as u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            table.insert(k.clone(), i as u64);
+        }
+        group.bench_function(BenchmarkId::new("lookup_hit", size), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let k = &keys[i % keys.len()];
+                i += 1;
+                black_box(table.lookup(black_box(k)))
+            });
+        });
+        let miss = 0xffff_ffff_u64.to_le_bytes().to_vec();
+        group.bench_function(BenchmarkId::new("lookup_miss", size), |b| {
+            b.iter(|| black_box(table.lookup(black_box(&miss))));
+        });
+    }
+    group.bench_function("insert_with_pressure", |b| {
+        let mut table: CuckooTable<Vec<u8>, u64> =
+            CuckooTable::with_capacity(64, CrcPairHasher::default());
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(table.insert(i.to_le_bytes().to_vec(), i))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuckoo);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Wall-clock cost of a software-Draco check (the real-time companion to
+//! `repro fig11`): steady-state table hits vs the Seccomp fallback.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use draco::core::DracoChecker;
+use draco::profiles::ProfileKind;
+use draco::workloads::{catalog, timing, TraceGenerator};
+
+fn bench_draco_sw(c: &mut Criterion) {
+    let spec = catalog::by_name("nginx").expect("nginx");
+    let trace = TraceGenerator::new(&spec, 7).generate(8_192);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let reqs: Vec<_> = trace.requests().collect();
+
+    let mut group = c.benchmark_group("draco_sw_check");
+    group.bench_function("steady_state_stream", |b| {
+        let mut checker = DracoChecker::from_profile(&profile).expect("checker");
+        // Warm the tables first.
+        for req in &reqs {
+            checker.check(req);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            let req = &reqs[i & 8191];
+            i += 1;
+            black_box(checker.check(black_box(req)))
+        });
+    });
+    group.bench_function("spt_hit", |b| {
+        let noargs = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+        let mut checker = DracoChecker::from_profile(&noargs).expect("checker");
+        let req = reqs[0];
+        checker.check(&req);
+        b.iter(|| black_box(checker.check(black_box(&req))));
+    });
+    group.bench_function("vat_hit", |b| {
+        let mut checker = DracoChecker::from_profile(&profile).expect("checker");
+        let req = reqs
+            .iter()
+            .find(|r| {
+                // An argument-checked syscall (read).
+                r.id.as_u16() == 0
+            })
+            .copied()
+            .expect("trace contains read");
+        checker.check(&req);
+        b.iter(|| black_box(checker.check(black_box(&req))));
+    });
+    group.bench_function("cold_miss_filter_fallback", |b| {
+        let mut checker = DracoChecker::from_profile(&profile).expect("checker");
+        let req = reqs[0];
+        b.iter(|| {
+            checker.flush();
+            black_box(checker.check(black_box(&req)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_draco_sw);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §XII ablation in wall-clock: linear vs binary-tree filter layout as a
+//! function of the target syscall's position in the whitelist.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use draco::bpf::SeccompData;
+use draco::profiles::{compile_stacked, docker_default, FilterLayout};
+
+fn bench_layouts(c: &mut Criterion) {
+    let profile = docker_default();
+    let linear = compile_stacked(&profile, FilterLayout::Linear)
+        .expect("compiles")
+        .compiled();
+    let tree = compile_stacked(&profile, FilterLayout::BinaryTree)
+        .expect("compiles")
+        .compiled();
+
+    let mut group = c.benchmark_group("filter_layout");
+    // read(0): front of the chain; pidfd_open(434): the far end.
+    for (label, nr) in [("front_read", 0i32), ("back_pidfd_open", 434)] {
+        let data = SeccompData::for_syscall(nr, &[0; 6]);
+        group.bench_function(BenchmarkId::new("linear", label), |b| {
+            b.iter(|| black_box(linear.run(black_box(&data)).expect("runs")));
+        });
+        group.bench_function(BenchmarkId::new("tree", label), |b| {
+            b.iter(|| black_box(tree.run(black_box(&data)).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

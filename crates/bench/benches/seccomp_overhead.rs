@@ -1,0 +1,60 @@
+//! Wall-clock cost of one Seccomp check under the paper's profiles
+//! (the real-time companion to `repro fig2`): per-syscall filter
+//! execution for docker-default and the generated application profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use draco::bpf::SeccompData;
+use draco::profiles::{compile_stacked, docker_default, FilterLayout, ProfileKind};
+use draco::workloads::{catalog, timing, TraceGenerator};
+
+fn bench_profiles(c: &mut Criterion) {
+    let spec = catalog::by_name("nginx").expect("nginx");
+    let trace = TraceGenerator::new(&spec, 7).generate(4_096);
+    let data: Vec<SeccompData> = trace
+        .requests()
+        .map(|r| SeccompData::from_request(&r))
+        .collect();
+
+    let mut group = c.benchmark_group("seccomp_check");
+    let cases = [
+        ("docker-default", docker_default()),
+        (
+            "syscall-noargs",
+            timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs),
+        ),
+        (
+            "syscall-complete",
+            timing::profile_for_trace(&trace, ProfileKind::SyscallComplete),
+        ),
+        (
+            "syscall-complete-2x",
+            timing::profile_for_trace(&trace, ProfileKind::SyscallComplete2x),
+        ),
+    ];
+    for (label, profile) in cases {
+        let stack = compile_stacked(&profile, FilterLayout::Linear).expect("compiles");
+        let compiled = stack.compiled();
+        group.bench_function(BenchmarkId::new("compiled", label), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let d = &data[i & 4095];
+                i += 1;
+                black_box(compiled.run(black_box(d)).expect("runs"))
+            });
+        });
+        group.bench_function(BenchmarkId::new("interpreted", label), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let d = &data[i & 4095];
+                i += 1;
+                black_box(stack.run(black_box(d)).expect("runs"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

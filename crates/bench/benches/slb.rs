@@ -1,0 +1,44 @@
+//! Hardware-model microbenchmarks: the simulator's per-syscall cost on
+//! hit and miss paths, and whole-trace simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use draco::profiles::ProfileKind;
+use draco::sim::{DracoHwCore, SimConfig};
+use draco::workloads::{catalog, timing, SyscallTrace, TraceGenerator};
+
+fn bench_hw(c: &mut Criterion) {
+    let spec = catalog::by_name("httpd").expect("httpd");
+    let trace = TraceGenerator::new(&spec, 7).generate(20_000);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+
+    let mut group = c.benchmark_group("hw_sim");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("run_20k_syscalls_warm", |b| {
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core");
+        core.run(&trace); // warm
+        b.iter(|| black_box(core.run(black_box(&trace))));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("hw_sim_single");
+    let one = SyscallTrace::from_ops("one", vec![trace.ops()[0]]);
+    group.bench_function("steady_hit_path", |b| {
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core");
+        core.run(&trace);
+        b.iter(|| black_box(core.run(black_box(&one))));
+    });
+    group.bench_function("post_context_switch_path", |b| {
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core");
+        core.run(&trace);
+        b.iter(|| {
+            core.inject_context_switch();
+            black_box(core.run(black_box(&one)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

@@ -1,0 +1,884 @@
+//! One driver per paper figure/table (see `DESIGN.md` §4).
+
+use draco::profiles::{
+    docker_default, firecracker, gvisor_default, FilterLayout, ProfileKind,
+    ProfileSpec, ProfileStats,
+};
+use draco::sim::{energy, DracoHwCore, SimConfig};
+use draco::syscalls::SyscallTable;
+use draco::workloads::{
+    catalog, timing, LocalityReport, SyscallTrace, TraceGenerator, WorkloadClass, WorkloadSpec,
+};
+
+use crate::geomean;
+
+/// Short configuration label for table columns.
+fn short(kind: ProfileKind) -> &'static str {
+    match kind {
+        ProfileKind::SyscallNoargs => "noargs",
+        ProfileKind::SyscallComplete => "complete",
+        ProfileKind::SyscallComplete2x => "complete-2x",
+    }
+}
+
+/// Shared experiment parameters.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Trace length per workload.
+    pub ops: usize,
+    /// Warm-up prefix excluded from measurement.
+    pub warmup: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// Kernel cost model for the software figures.
+    pub model: timing::KernelCostModel,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            ops: crate::DEFAULT_OPS,
+            warmup: crate::DEFAULT_WARMUP,
+            seed: crate::DEFAULT_SEED,
+            model: timing::KernelCostModel::ubuntu_18_04(),
+        }
+    }
+}
+
+impl RunConfig {
+    fn trace(&self, spec: &WorkloadSpec) -> SyscallTrace {
+        TraceGenerator::new(spec, self.seed).generate(self.ops)
+    }
+}
+
+/// One workload's normalized execution times under several
+/// configurations.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Workload label.
+    pub workload: String,
+    /// Macro or micro.
+    pub class: WorkloadClass,
+    /// `(configuration label, time normalized to insecure)` pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Appends the macro/micro geomean rows the paper quotes in its abstract.
+pub fn append_averages(rows: &mut Vec<OverheadRow>) {
+    for (label, class) in [
+        ("average-macro", WorkloadClass::Macro),
+        ("average-micro", WorkloadClass::Micro),
+    ] {
+        let group: Vec<&OverheadRow> = rows.iter().filter(|r| r.class == class).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let labels: Vec<String> = group[0].values.iter().map(|(l, _)| l.clone()).collect();
+        let values = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let vals: Vec<f64> = group.iter().map(|r| r.values[i].1).collect();
+                (l.clone(), geomean(&vals))
+            })
+            .collect();
+        rows.push(OverheadRow {
+            workload: label.to_owned(),
+            class,
+            values,
+        });
+    }
+}
+
+fn seccomp_normalized(
+    trace: &SyscallTrace,
+    profile: &ProfileSpec,
+    cfg: &RunConfig,
+) -> f64 {
+    let measured = trace.skip(cfg.warmup);
+    let base = timing::run_insecure(&measured, &cfg.model);
+    timing::run_seccomp(&measured, profile, &cfg.model)
+        .expect("seccomp run")
+        .normalized_to(&base)
+}
+
+fn draco_sw_normalized(trace: &SyscallTrace, profile: &ProfileSpec, cfg: &RunConfig) -> f64 {
+    let measured = trace.skip(cfg.warmup);
+    let base = timing::run_insecure(&measured, &cfg.model);
+    timing::run_draco_sw_with_warmup(trace, profile, &cfg.model, cfg.warmup)
+        .expect("draco run")
+        .normalized_to(&base)
+}
+
+/// Fig. 2 — Seccomp overhead under the five §IV-A profiles.
+pub fn fig2(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let docker = docker_default();
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let noargs = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+        let complete = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let complete2x = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete2x);
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values: vec![
+                ("insecure".into(), 1.0),
+                ("docker-default".into(), seccomp_normalized(&trace, &docker, cfg)),
+                ("syscall-noargs".into(), seccomp_normalized(&trace, &noargs, cfg)),
+                (
+                    "syscall-complete".into(),
+                    seccomp_normalized(&trace, &complete, cfg),
+                ),
+                (
+                    "syscall-complete-2x".into(),
+                    seccomp_normalized(&trace, &complete2x, cfg),
+                ),
+            ],
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// Fig. 11 — software Draco vs Seccomp under the application-specific
+/// profiles.
+pub fn fig11(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let mut values = vec![];
+        for kind in [
+            ProfileKind::SyscallNoargs,
+            ProfileKind::SyscallComplete,
+            ProfileKind::SyscallComplete2x,
+        ] {
+            let profile = timing::profile_for_trace(&trace, kind);
+            values.push((
+                format!("{}(seccomp)", short(kind)),
+                seccomp_normalized(&trace, &profile, cfg),
+            ));
+            values.push((
+                format!("{}(draco-sw)", short(kind)),
+                draco_sw_normalized(&trace, &profile, cfg),
+            ));
+        }
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// Fig. 12 — hardware Draco normalized execution time.
+pub fn fig12(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let mut values = vec![("insecure".into(), 1.0)];
+        for kind in [
+            ProfileKind::SyscallNoargs,
+            ProfileKind::SyscallComplete,
+            ProfileKind::SyscallComplete2x,
+        ] {
+            let profile = timing::profile_for_trace(&trace, kind);
+            let mut core =
+                DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core builds");
+            let report = core.run_measured(&trace, cfg.warmup);
+            values.push((
+                format!("{}(draco-hw)", short(kind)),
+                report.normalized_overhead(),
+            ));
+        }
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// Fig. 16 (appendix) — Fig. 2 rerun under the CentOS 7.6 / Linux 3.10
+/// cost model, without the `-2x` profiles.
+pub fn fig16(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let old = RunConfig {
+        model: timing::KernelCostModel::centos_7_linux_3_10(),
+        ..cfg.clone()
+    };
+    let docker = docker_default();
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = old.trace(&spec);
+        let noargs = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+        let complete = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values: vec![
+                ("insecure".into(), 1.0),
+                (
+                    "docker-default".into(),
+                    seccomp_normalized(&trace, &docker, &old),
+                ),
+                (
+                    "syscall-noargs".into(),
+                    seccomp_normalized(&trace, &noargs, &old),
+                ),
+                (
+                    "syscall-complete".into(),
+                    seccomp_normalized(&trace, &complete, &old),
+                ),
+            ],
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// Fig. 17 (appendix) — Fig. 11 rerun under the old-kernel cost model,
+/// without the `-2x` profiles.
+pub fn fig17(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let old = RunConfig {
+        model: timing::KernelCostModel::centos_7_linux_3_10(),
+        ..cfg.clone()
+    };
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = old.trace(&spec);
+        let mut values = vec![];
+        for kind in [ProfileKind::SyscallNoargs, ProfileKind::SyscallComplete] {
+            let profile = timing::profile_for_trace(&trace, kind);
+            values.push((
+                format!("{}(seccomp)", short(kind)),
+                seccomp_normalized(&trace, &profile, &old),
+            ));
+            values.push((
+                format!("{}(draco-sw)", short(kind)),
+                draco_sw_normalized(&trace, &profile, &old),
+            ));
+        }
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// Fig. 3 — locality of the merged macro-benchmark stream.
+pub fn fig3(cfg: &RunConfig) -> LocalityReport {
+    let traces: Vec<SyscallTrace> = catalog::macro_benchmarks()
+        .iter()
+        .map(|w| TraceGenerator::new(w, cfg.seed).generate(cfg.ops))
+        .collect();
+    LocalityReport::analyze_merged(&traces)
+}
+
+/// One workload's hit rates (Fig. 13).
+#[derive(Clone, Debug)]
+pub struct Fig13Row {
+    /// Workload label.
+    pub workload: String,
+    /// STB hit rate.
+    pub stb: f64,
+    /// SLB access hit rate.
+    pub slb_access: f64,
+    /// SLB preload hit rate.
+    pub slb_preload: f64,
+}
+
+/// Fig. 13 — STB and SLB hit rates under `syscall-complete`.
+pub fn fig13(cfg: &RunConfig) -> Vec<Fig13Row> {
+    catalog::all()
+        .iter()
+        .map(|spec| {
+            let trace = cfg.trace(spec);
+            let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+            let mut core =
+                DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core builds");
+            let report = core.run_measured(&trace, cfg.warmup);
+            Fig13Row {
+                workload: spec.name.to_owned(),
+                stb: report.stb_hit_rate,
+                slb_access: report.slb_access_hit_rate,
+                slb_preload: report.slb_preload_hit_rate,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 14 — distribution of checkable argument counts: the Linux
+/// interface plus the per-workload call-weighted distributions.
+pub fn fig14(cfg: &RunConfig) -> Vec<(String, [f64; 7])> {
+    let mut rows = Vec::new();
+    let table = SyscallTable::shared();
+    let dist = table.arg_count_distribution();
+    let total: usize = dist.iter().sum();
+    let mut linux = [0.0; 7];
+    for (slot, count) in linux.iter_mut().zip(dist) {
+        *slot = count as f64 / total as f64;
+    }
+    rows.push(("linux".to_owned(), linux));
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let report = LocalityReport::analyze(&trace);
+        let mut fractions = [0.0; 7];
+        for (n, slot) in fractions.iter_mut().enumerate() {
+            *slot = report.arg_count_fraction(n);
+        }
+        rows.push((spec.name.to_owned(), fractions));
+    }
+    rows
+}
+
+/// One profile's security statistics (Fig. 15).
+#[derive(Clone, Debug)]
+pub struct Fig15Row {
+    /// Profile label.
+    pub name: String,
+    /// The statistics.
+    pub stats: ProfileStats,
+}
+
+/// Fig. 15 — security statistics: the Linux interface, the published
+/// profiles, and every workload's `syscall-complete` profile.
+pub fn fig15(cfg: &RunConfig) -> Vec<Fig15Row> {
+    let mut rows = vec![Fig15Row {
+        name: "linux".into(),
+        stats: ProfileStats {
+            allowed_syscalls: SyscallTable::shared().len(),
+            ..Default::default()
+        },
+    }];
+    for profile in [docker_default(), gvisor_default(), firecracker()] {
+        rows.push(Fig15Row {
+            name: profile.name().to_owned(),
+            stats: ProfileStats::for_profile(&profile),
+        });
+    }
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        rows.push(Fig15Row {
+            name: spec.name.to_owned(),
+            stats: ProfileStats::for_profile(&profile),
+        });
+    }
+    rows
+}
+
+/// One execution flow's observed behaviour (Table I).
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Flow label.
+    pub flow: &'static str,
+    /// STB access outcome.
+    pub stb: &'static str,
+    /// SLB preload outcome.
+    pub preload: &'static str,
+    /// SLB access outcome.
+    pub access: &'static str,
+    /// Table I's classification.
+    pub speed: &'static str,
+    /// Occurrences in the measured run.
+    pub count: u64,
+    /// Mean check cycles measured for this flow (`NaN` if absent).
+    pub mean_cycles: f64,
+}
+
+/// Table I — flow occupancy of one representative workload run.
+pub fn table1(cfg: &RunConfig) -> Vec<Table1Row> {
+    let spec = catalog::by_name("elasticsearch").expect("in catalog");
+    let trace = cfg.trace(&spec);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core builds");
+    let report = core.run_measured(&trace, cfg.warmup);
+    use draco::sim::Flow;
+    let meta: [(&str, &str, &str, &str, &str, Flow); 8] = [
+        ("spt-only", "-", "-", "-", "fast", Flow::SptOnly),
+        ("1", "hit", "hit", "hit", "fast", Flow::F1),
+        ("2", "hit", "hit", "miss", "slow", Flow::F2),
+        ("3", "hit", "miss", "hit", "fast", Flow::F3),
+        ("4", "hit", "miss", "miss", "slow", Flow::F4),
+        ("5", "miss", "n/a", "hit", "fast", Flow::F5),
+        ("6", "miss", "n/a", "miss", "slow", Flow::F6),
+        ("fallback", "-", "-", "miss", "slowest", Flow::Fallback),
+    ];
+    meta.into_iter()
+        .map(|(flow, stb, preload, access, speed, f)| Table1Row {
+            flow,
+            stb,
+            preload,
+            access,
+            speed,
+            count: report.flows.count(f),
+            mean_cycles: report.mean_cycles_for(f),
+        })
+        .collect()
+}
+
+/// Table II — the architectural configuration as `(parameter, value)`
+/// pairs.
+pub fn table2() -> Vec<(String, String)> {
+    let c = SimConfig::table_ii();
+    vec![
+        ("cores".into(), "10 OOO (per-core Draco structures)".into()),
+        ("frequency".into(), format!("{} GHz", c.freq_ghz)),
+        ("rob".into(), format!("{}-entry", c.rob_entries)),
+        (
+            "l1".into(),
+            format!("{} KB, {}-way, {} cycles", c.l1.size_bytes / 1024, c.l1.ways, c.l1.latency_cycles),
+        ),
+        (
+            "l2".into(),
+            format!("{} KB, {}-way, {} cycles", c.l2.size_bytes / 1024, c.l2.ways, c.l2.latency_cycles),
+        ),
+        (
+            "l3".into(),
+            format!("{} MB, {}-way, {} cycles", c.l3.size_bytes / (1024 * 1024), c.l3.ways, c.l3.latency_cycles),
+        ),
+        ("dram".into(), format!("{} cycles", c.dram_cycles)),
+        ("stb".into(), format!("{} entries, {}-way, {} cycles", c.stb_entries, c.stb_ways, c.draco_struct_cycles)),
+        (
+            "slb".into(),
+            format!(
+                "1-6 args: {:?} entries, 4-way, {} cycles",
+                c.slb.iter().map(|s| s.entries).collect::<Vec<_>>(),
+                c.draco_struct_cycles
+            ),
+        ),
+        ("temporary buffer".into(), format!("{} entries", c.temp_buffer_entries)),
+        ("spt".into(), format!("{} entries, direct-mapped", c.spt_entries)),
+        ("crc hash".into(), format!("{} cycles", c.crc_cycles)),
+    ]
+}
+
+/// Table III — the published area/time/energy constants.
+pub fn table3() -> Vec<energy::UnitCosts> {
+    energy::ALL_UNITS.to_vec()
+}
+
+/// Per-workload VAT footprint (§XI-C; paper geomean 6.98 KB).
+pub fn vat_footprints(cfg: &RunConfig) -> (Vec<(String, f64)>, f64) {
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut checker = draco::core::DracoChecker::from_profile(&profile).expect("checker");
+        for req in trace.requests() {
+            checker.check(&req);
+        }
+        rows.push((
+            spec.name.to_owned(),
+            checker.vat().footprint_bytes() as f64 / 1024.0,
+        ));
+    }
+    let gm = geomean(&rows.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    (rows, gm)
+}
+
+/// §XII ablation — linear vs binary-tree filter layout.
+pub fn ablate_tree(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let measured = trace.skip(cfg.warmup);
+        let base = timing::run_insecure(&measured, &cfg.model);
+        let mut values = Vec::new();
+        for kind in [ProfileKind::SyscallNoargs, ProfileKind::SyscallComplete] {
+            let profile = timing::profile_for_trace(&trace, kind);
+            for layout in [FilterLayout::Linear, FilterLayout::BinaryTree] {
+                let label = format!(
+                    "{}({})",
+                    short(kind),
+                    match layout {
+                        FilterLayout::Linear => "linear",
+                        FilterLayout::BinaryTree => "tree",
+                    }
+                );
+                let r = timing::run_seccomp_layout(&measured, &profile, &cfg.model, layout)
+                    .expect("runs");
+                values.push((label, r.normalized_to(&base)));
+            }
+        }
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// Filter-optimizer ablation (software-only alternative to Draco): the
+/// peephole pass vs raw codegen vs software Draco, under
+/// `syscall-complete`.
+pub fn ablate_opt(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let measured = trace.skip(cfg.warmup);
+        let base = timing::run_insecure(&measured, &cfg.model);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let raw = timing::run_seccomp_layout_opt(
+            &measured, &profile, &cfg.model, FilterLayout::Linear, false,
+        )
+        .expect("runs");
+        let opt = timing::run_seccomp_layout_opt(
+            &measured, &profile, &cfg.model, FilterLayout::Linear, true,
+        )
+        .expect("runs");
+        let draco = timing::run_draco_sw_with_warmup(&trace, &profile, &cfg.model, cfg.warmup)
+            .expect("runs");
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values: vec![
+                ("seccomp(raw)".into(), raw.normalized_to(&base)),
+                ("seccomp(optimized)".into(), opt.normalized_to(&base)),
+                ("draco-sw".into(), draco.normalized_to(&base)),
+            ],
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// SMT ablation: dedicated cores vs time-sharing (invalidate per swap)
+/// vs SMT co-run (partitioned structures, §VII-B). Returns
+/// `(pair, check_cycles_dedicated, check_cycles_timeshared,
+/// check_cycles_smt)`.
+pub fn ablate_smt(cfg: &RunConfig) -> Vec<(String, u64, u64, u64)> {
+    use draco::sim::{Job, Machine};
+    let mut rows = Vec::new();
+    for pair in [["pipe", "fifo"], ["httpd", "nginx"]] {
+        let jobs: Vec<Job> = pair
+            .iter()
+            .map(|name| {
+                let spec = catalog::by_name(name).expect("in catalog");
+                let trace = TraceGenerator::new(&spec, cfg.seed).generate(cfg.ops);
+                let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+                Job {
+                    name: (*name).to_owned(),
+                    profile,
+                    trace,
+                }
+            })
+            .collect();
+        let mut config = SimConfig::table_ii();
+        config.ctx_quantum_cycles = 0;
+        let machine = Machine::new(config, jobs);
+        let check = |r: &draco::sim::MachineReport| -> u64 {
+            r.jobs.iter().map(|(_, x)| x.check_cycles).sum()
+        };
+        let dedicated = check(&machine.run_dedicated(0).expect("runs"));
+        let timeshared = check(&machine.run_timeshared(200).expect("runs"));
+        let smt = check(&machine.run_smt(200).expect("runs"));
+        rows.push((pair.join("+"), dedicated, timeshared, smt));
+    }
+    rows
+}
+
+/// Rule-ordering ablation: number-ordered vs first-observed vs
+/// profile-guided (hottest-first) linear chains.
+pub fn ablate_order(cfg: &RunConfig) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    for spec in catalog::all() {
+        let trace = cfg.trace(&spec);
+        let measured = trace.skip(cfg.warmup);
+        let base = timing::run_insecure(&measured, &cfg.model);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        // Observation order (the toolkit default).
+        let observed = profile.clone();
+        // Hottest-first, guided by the trace's own locality.
+        let report = LocalityReport::analyze(&trace);
+        let guided = profile.with_priority_order(&report.hottest_first());
+        // Syscall-number order (a BTreeMap-style compiler).
+        let mut by_nr: Vec<_> = profile.rules().map(|(id, _)| id).collect();
+        by_nr.sort_unstable();
+        let numeric = profile.with_priority_order(&by_nr);
+        let mut values = Vec::new();
+        for (label, p) in [
+            ("by-number", &numeric),
+            ("first-observed", &observed),
+            ("hottest-first", &guided),
+        ] {
+            let r = timing::run_seccomp(&measured, p, &cfg.model).expect("runs");
+            values.push((label.to_owned(), r.normalized_to(&base)));
+        }
+        rows.push(OverheadRow {
+            workload: spec.name.to_owned(),
+            class: spec.class,
+            values,
+        });
+    }
+    append_averages(&mut rows);
+    rows
+}
+
+/// One SLB-sizing point: `(downscale factor, access hit rate, overhead)`.
+pub type SlbPoint = (usize, f64, f64);
+
+/// SLB-sizing ablation: scale every subtable and watch hit rates and
+/// overhead move.
+pub fn ablate_slb(cfg: &RunConfig) -> Vec<(String, Vec<SlbPoint>)> {
+    let mut rows = Vec::new();
+    for name in ["httpd", "elasticsearch", "redis"] {
+        let spec = catalog::by_name(name).expect("in catalog");
+        let trace = cfg.trace(&spec);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut points = Vec::new();
+        for scale in [4usize, 2, 1] {
+            let mut config = SimConfig::table_ii();
+            for s in &mut config.slb {
+                s.entries = (s.entries / scale).max(s.ways);
+            }
+            let mut core = DracoHwCore::new(config, &profile).expect("core builds");
+            let report = core.run_measured(&trace, cfg.warmup);
+            points.push((
+                scale,
+                report.slb_access_hit_rate,
+                report.normalized_overhead(),
+            ));
+        }
+        rows.push((name.to_owned(), points));
+    }
+    rows
+}
+
+/// Context-switch ablation (§VII-B): quantum sweep with the Accessed-bit
+/// SPT save/restore on and off. Returns
+/// `(workload, quantum_us, fallbacks_with, fallbacks_without,
+/// check_cycles_with, check_cycles_without)`.
+pub fn ablate_ctx(cfg: &RunConfig) -> Vec<(String, u64, u64, u64, u64, u64)> {
+    let mut rows = Vec::new();
+    for name in ["httpd", "unixbench-syscall"] {
+        let spec = catalog::by_name(name).expect("in catalog");
+        let trace = cfg.trace(&spec);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+        for quantum_us in [100u64, 500, 4000] {
+            let run = |save_restore: bool| {
+                let mut config = SimConfig::table_ii();
+                config.ctx_quantum_cycles = quantum_us * 2_000; // 2 GHz
+                config.spt_save_restore = save_restore;
+                let mut core = DracoHwCore::new(config, &profile).expect("core builds");
+                core.run_measured(&trace, cfg.warmup)
+            };
+            let with = run(true);
+            let without = run(false);
+            rows.push((
+                name.to_owned(),
+                quantum_us,
+                with.filter_runs,
+                without.filter_runs,
+                with.check_cycles,
+                without.check_cycles,
+            ));
+        }
+    }
+    rows
+}
+
+/// Microarchitecture ablation: the full §VI design vs preloading
+/// disabled (flows 5/6 only) vs the §V-D initial design (no SLB at all).
+/// Returns `(workload, check_cycles_full, check_cycles_no_preload,
+/// check_cycles_initial)`.
+pub fn ablate_preload(cfg: &RunConfig) -> Vec<(String, u64, u64, u64)> {
+    let mut rows = Vec::new();
+    for name in ["nginx", "mysql", "cassandra"] {
+        let spec = catalog::by_name(name).expect("in catalog");
+        let trace = cfg.trace(&spec);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let run = |preload: bool, slb: bool| {
+            let mut config = SimConfig::table_ii();
+            config.preload_enabled = preload;
+            config.slb_enabled = slb;
+            let mut core = DracoHwCore::new(config, &profile).expect("core builds");
+            core.run_measured(&trace, cfg.warmup)
+        };
+        let full = run(true, true);
+        let no_preload = run(false, true);
+        let initial = run(false, false);
+        rows.push((
+            name.to_owned(),
+            full.check_cycles,
+            no_preload.check_cycles,
+            initial.check_cycles,
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RunConfig {
+        RunConfig {
+            ops: 6_000,
+            warmup: 2_000,
+            seed: 1,
+            model: timing::KernelCostModel::ubuntu_18_04(),
+        }
+    }
+
+    #[test]
+    fn fig2_has_paper_shape() {
+        let rows = fig2(&small());
+        assert_eq!(rows.len(), 17, "15 workloads + 2 averages");
+        let avg = |label: &str, idx: usize| {
+            rows.iter()
+                .find(|r| r.workload == label)
+                .map(|r| r.values[idx].1)
+                .unwrap()
+        };
+        // Ordering within each class: insecure < noargs ≤ complete < 2x.
+        for class in ["average-macro", "average-micro"] {
+            let noargs = avg(class, 2);
+            let complete = avg(class, 3);
+            let twox = avg(class, 4);
+            assert!(noargs > 1.0, "{class} noargs {noargs}");
+            assert!(complete > noargs, "{class}");
+            assert!(twox > complete, "{class}");
+        }
+        // Micro overheads exceed macro.
+        assert!(avg("average-micro", 3) > avg("average-macro", 3));
+    }
+
+    #[test]
+    fn fig11_draco_beats_seccomp() {
+        let rows = fig11(&small());
+        let avg_micro = rows.iter().find(|r| r.workload == "average-micro").unwrap();
+        // values: [noargs(seccomp), noargs(draco), complete(seccomp),
+        // complete(draco), 2x(seccomp), 2x(draco)]
+        assert!(avg_micro.values[3].1 < avg_micro.values[2].1, "complete");
+        assert!(avg_micro.values[5].1 < avg_micro.values[4].1, "2x");
+        // Draco absorbs 2x: its overhead grows much less than Seccomp's.
+        let seccomp_growth = avg_micro.values[4].1 - avg_micro.values[2].1;
+        let draco_growth = avg_micro.values[5].1 - avg_micro.values[3].1;
+        assert!(draco_growth < seccomp_growth * 0.6);
+    }
+
+    #[test]
+    fn fig12_hw_is_within_one_percent() {
+        let rows = fig12(&small());
+        for row in &rows {
+            for (label, v) in &row.values {
+                assert!(*v < 1.02, "{}/{label}: {v}", row.workload);
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_rates_are_sane() {
+        let rows = fig13(&small());
+        assert_eq!(rows.len(), 15);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.stb), "{}", r.workload);
+            assert!(r.stb > 0.5, "{} stb {}", r.workload, r.stb);
+        }
+    }
+
+    #[test]
+    fn fig15_matches_paper_counts() {
+        let rows = fig15(&small());
+        assert_eq!(rows[0].stats.allowed_syscalls, 403);
+        assert_eq!(rows[1].stats.allowed_syscalls, 358);
+        assert_eq!(rows[2].stats.allowed_syscalls, 74);
+        assert_eq!(rows[3].stats.allowed_syscalls, 37);
+    }
+
+    #[test]
+    fn table1_counts_cover_flows() {
+        let rows = table1(&small());
+        assert_eq!(rows.len(), 8);
+        let total: u64 = rows.iter().map(|r| r.count).sum();
+        assert_eq!(total as usize, 6_000 - 2_000);
+    }
+
+    #[test]
+    fn microarch_ablation_full_design_wins() {
+        // §V-D initial design (no SLB) ≫ no-preload ≥ full §VI design.
+        // Needs enough steady state for the per-call difference to
+        // dominate the (design-independent) warm-up fallbacks.
+        let rows = ablate_preload(&RunConfig {
+            ops: 16_000,
+            warmup: 6_000,
+            seed: 1,
+            model: timing::KernelCostModel::ubuntu_18_04(),
+        });
+        for (name, full, no_preload, initial) in &rows {
+            assert!(full <= no_preload, "{name}: {full} vs {no_preload}");
+            assert!(no_preload <= initial, "{name}: {no_preload} vs {initial}");
+            // At this small test scale warm-up fallbacks (identical in
+            // all designs) dominate the absolute cycle counts; the full
+            // reference run (EXPERIMENTS.md) shows ~2x. Here we only
+            // require a clear margin.
+            assert!(
+                *initial as f64 > 1.15 * *full as f64,
+                "{name}: initial design {initial} vs full {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_helps_but_draco_still_wins() {
+        let rows = ablate_opt(&small());
+        let micro = rows.iter().find(|r| r.workload == "average-micro").unwrap();
+        let raw = micro.values[0].1;
+        let opt = micro.values[1].1;
+        let draco = micro.values[2].1;
+        assert!(opt < raw, "optimizer reduces filter cost");
+        assert!(draco < opt, "caching beats compiler optimization");
+    }
+
+    #[test]
+    fn smt_ablation_shows_both_sides_of_the_trade() {
+        let rows = ablate_smt(&small());
+        for (pair, dedicated, timeshared, smt) in &rows {
+            assert!(dedicated <= timeshared, "{pair}");
+            assert!(dedicated <= smt, "{pair}");
+        }
+        // Small working sets favor SMT partitions over invalidation.
+        let ipc = rows.iter().find(|r| r.0 == "pipe+fifo").unwrap();
+        assert!(ipc.3 < ipc.2, "partitions beat invalidation for IPC");
+    }
+
+    #[test]
+    fn order_ablation_hottest_first_wins() {
+        let rows = ablate_order(&small());
+        let micro = rows.iter().find(|r| r.workload == "average-micro").unwrap();
+        let by_number = micro.values[0].1;
+        let observed = micro.values[1].1;
+        let guided = micro.values[2].1;
+        assert!(guided <= observed + 1e-9, "guided {guided} vs observed {observed}");
+        assert!(guided < by_number, "guided {guided} vs numeric {by_number}");
+    }
+
+    #[test]
+    fn ctx_ablation_save_restore_pays_off_under_fast_switching() {
+        let rows = ablate_ctx(&small());
+        // At the smallest quantum, save/restore must cut fallbacks.
+        let fast = rows.iter().find(|r| r.1 == 100).unwrap();
+        assert!(fast.2 < fast.3, "with {} vs without {}", fast.2, fast.3);
+    }
+
+    #[test]
+    fn tree_ablation_helps_but_does_not_eliminate() {
+        let cfg = small();
+        let rows = ablate_tree(&cfg);
+        let micro = rows.iter().find(|r| r.workload == "average-micro").unwrap();
+        // noargs: tree < linear; both > 1.0 (§XII: "does not
+        // fundamentally address the overhead").
+        assert!(micro.values[1].1 < micro.values[0].1);
+        assert!(micro.values[1].1 > 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Experiment drivers behind the `repro` harness and the Criterion
+//! benches.
+//!
+//! Each function regenerates the data behind one figure or table of the
+//! paper's evaluation (the mapping lives in `DESIGN.md` §4). All drivers
+//! are deterministic in `(seed, ops)`; the `repro` binary prints their
+//! output, and `EXPERIMENTS.md` records a reference run against the
+//! paper's numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Default operations per workload trace (a fraction of the catalog's
+/// full default, chosen so `repro all` finishes in tens of seconds).
+pub const DEFAULT_OPS: usize = 30_000;
+
+/// Default warm-up prefix excluded from measurement (paper §X-C warms the
+/// architectural state before measuring).
+pub const DEFAULT_WARMUP: usize = 6_000;
+
+/// Default trace seed.
+pub const DEFAULT_SEED: u64 = 2020;
+
+/// Geometric mean of a non-empty slice.
+///
+/// The paper's "average" normalized execution times aggregate ratios, for
+/// which the geometric mean is the right operator.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of no values");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.14]) - 1.14).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+}

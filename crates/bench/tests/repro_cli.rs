@@ -1,0 +1,85 @@
+//! End-to-end tests of the `repro` harness binary.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const SMALL: &[&str] = &["--ops", "3000", "--warmup", "1000"];
+
+#[test]
+fn help_lists_every_experiment() {
+    let (code, out, _) = repro(&["--help"]);
+    assert_eq!(code, 0);
+    for exp in [
+        "fig2", "fig3", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "table1", "table2", "table3", "vat", "ablate-tree", "ablate-order", "ablate-slb",
+        "ablate-preload", "ablate-ctx", "ablate-smt", "ablate-opt",
+    ] {
+        assert!(out.contains(exp), "{exp} missing from help");
+    }
+}
+
+#[test]
+fn unknown_experiment_fails() {
+    let (code, _, err) = repro(&["fig99"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown experiment"));
+}
+
+#[test]
+fn fig2_table_shape() {
+    let (code, out, _) = repro(&[&["fig2"], SMALL].concat());
+    assert_eq!(code, 0);
+    assert!(out.contains("Fig. 2"));
+    assert!(out.contains("average-macro"));
+    assert!(out.contains("average-micro"));
+    // 15 workloads + header + separator + 2 averages.
+    assert!(out.lines().count() >= 19);
+}
+
+#[test]
+fn json_output_parses() {
+    let (code, out, _) = repro(&[&["fig13"], SMALL, &["--json"]].concat());
+    assert_eq!(code, 0);
+    let value: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+    let rows = value.as_array().expect("array");
+    assert_eq!(rows.len(), 15);
+    assert!(rows[0]["stb"].as_f64().is_some());
+}
+
+#[test]
+fn table2_and_table3_are_constant_time() {
+    let (code, out, _) = repro(&["table2"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("2 GHz"));
+    let (code, out, _) = repro(&["table3"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("CRC Hash"));
+    assert!(out.contains("964.00"));
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let a = repro(&[&["fig15"], SMALL].concat());
+    let b = repro(&[&["fig15"], SMALL].concat());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn warmup_must_be_below_ops() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig2", "--ops", "100", "--warmup", "100"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,188 @@
+//! Seccomp filter return actions.
+
+use core::fmt;
+
+/// What a seccomp filter tells the kernel to do with a system call
+/// (paper §II-B: "kill the process or thread, send a SIGSYS signal to the
+/// thread, return an error, or log the system call").
+///
+/// Encodings follow `include/uapi/linux/seccomp.h`; the low 16 bits carry
+/// action data (the errno, for [`SeccompAction::Errno`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SeccompAction {
+    /// Let the system call proceed (`SECCOMP_RET_ALLOW`).
+    Allow,
+    /// Log and allow (`SECCOMP_RET_LOG`).
+    Log,
+    /// Fail the call with this errno (`SECCOMP_RET_ERRNO`).
+    Errno(u16),
+    /// Deliver `SIGSYS` to the thread (`SECCOMP_RET_TRAP`).
+    Trap,
+    /// Notify an attached tracer (`SECCOMP_RET_TRACE`).
+    Trace(u16),
+    /// Kill the calling thread (`SECCOMP_RET_KILL_THREAD`).
+    KillThread,
+    /// Kill the whole process (`SECCOMP_RET_KILL_PROCESS`).
+    KillProcess,
+}
+
+impl SeccompAction {
+    const RET_KILL_PROCESS: u32 = 0x8000_0000;
+    const RET_KILL_THREAD: u32 = 0x0000_0000;
+    const RET_TRAP: u32 = 0x0003_0000;
+    const RET_ERRNO: u32 = 0x0005_0000;
+    const RET_TRACE: u32 = 0x7ff0_0000;
+    const RET_LOG: u32 = 0x7ffc_0000;
+    const RET_ALLOW: u32 = 0x7fff_0000;
+    const ACTION_MASK: u32 = 0xffff_0000;
+    const DATA_MASK: u32 = 0x0000_ffff;
+
+    /// Encodes to the 32-bit filter return value.
+    pub const fn encode(self) -> u32 {
+        match self {
+            SeccompAction::Allow => Self::RET_ALLOW,
+            SeccompAction::Log => Self::RET_LOG,
+            SeccompAction::Errno(e) => Self::RET_ERRNO | e as u32,
+            SeccompAction::Trap => Self::RET_TRAP,
+            SeccompAction::Trace(d) => Self::RET_TRACE | d as u32,
+            SeccompAction::KillThread => Self::RET_KILL_THREAD,
+            SeccompAction::KillProcess => Self::RET_KILL_PROCESS,
+        }
+    }
+
+    /// Decodes a 32-bit filter return value.
+    ///
+    /// Unknown action codes decode to [`SeccompAction::KillProcess`],
+    /// matching the kernel's fail-closed behaviour for unrecognized
+    /// actions.
+    pub const fn decode(value: u32) -> SeccompAction {
+        let data = (value & Self::DATA_MASK) as u16;
+        match value & Self::ACTION_MASK {
+            Self::RET_ALLOW => SeccompAction::Allow,
+            Self::RET_LOG => SeccompAction::Log,
+            Self::RET_ERRNO => SeccompAction::Errno(data),
+            Self::RET_TRAP => SeccompAction::Trap,
+            Self::RET_TRACE => SeccompAction::Trace(data),
+            Self::RET_KILL_THREAD => SeccompAction::KillThread,
+            _ => SeccompAction::KillProcess,
+        }
+    }
+
+    /// True if the system call is permitted to execute
+    /// (`Allow` or `Log`).
+    pub const fn permits(self) -> bool {
+        matches!(self, SeccompAction::Allow | SeccompAction::Log)
+    }
+
+    /// Kernel-defined precedence: when multiple filters run, the most
+    /// restrictive (lowest-precedence-value) action wins.
+    pub const fn precedence(self) -> u8 {
+        match self {
+            SeccompAction::KillProcess => 0,
+            SeccompAction::KillThread => 1,
+            SeccompAction::Trap => 2,
+            SeccompAction::Errno(_) => 3,
+            SeccompAction::Trace(_) => 4,
+            SeccompAction::Log => 5,
+            SeccompAction::Allow => 6,
+        }
+    }
+
+    /// Combines two filters' verdicts, keeping the most restrictive.
+    #[must_use]
+    pub const fn most_restrictive(self, other: SeccompAction) -> SeccompAction {
+        if self.precedence() <= other.precedence() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SeccompAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeccompAction::Allow => write!(f, "allow"),
+            SeccompAction::Log => write!(f, "log"),
+            SeccompAction::Errno(e) => write!(f, "errno({e})"),
+            SeccompAction::Trap => write!(f, "trap"),
+            SeccompAction::Trace(d) => write!(f, "trace({d})"),
+            SeccompAction::KillThread => write!(f, "kill-thread"),
+            SeccompAction::KillProcess => write!(f, "kill-process"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_match_linux_uapi() {
+        assert_eq!(SeccompAction::Allow.encode(), 0x7fff_0000);
+        assert_eq!(SeccompAction::KillProcess.encode(), 0x8000_0000);
+        assert_eq!(SeccompAction::KillThread.encode(), 0x0000_0000);
+        assert_eq!(SeccompAction::Trap.encode(), 0x0003_0000);
+        assert_eq!(SeccompAction::Errno(38).encode(), 0x0005_0026);
+        assert_eq!(SeccompAction::Log.encode(), 0x7ffc_0000);
+        assert_eq!(SeccompAction::Trace(7).encode(), 0x7ff0_0007);
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        for action in [
+            SeccompAction::Allow,
+            SeccompAction::Log,
+            SeccompAction::Errno(1),
+            SeccompAction::Errno(0),
+            SeccompAction::Trap,
+            SeccompAction::Trace(99),
+            SeccompAction::KillThread,
+            SeccompAction::KillProcess,
+        ] {
+            assert_eq!(SeccompAction::decode(action.encode()), action);
+        }
+    }
+
+    #[test]
+    fn unknown_actions_fail_closed() {
+        assert_eq!(SeccompAction::decode(0x1234_0000), SeccompAction::KillProcess);
+    }
+
+    #[test]
+    fn permits_only_allow_and_log() {
+        assert!(SeccompAction::Allow.permits());
+        assert!(SeccompAction::Log.permits());
+        for a in [
+            SeccompAction::Errno(1),
+            SeccompAction::Trap,
+            SeccompAction::Trace(0),
+            SeccompAction::KillThread,
+            SeccompAction::KillProcess,
+        ] {
+            assert!(!a.permits(), "{a}");
+        }
+    }
+
+    #[test]
+    fn precedence_orders_restrictiveness() {
+        assert_eq!(
+            SeccompAction::Allow.most_restrictive(SeccompAction::KillProcess),
+            SeccompAction::KillProcess
+        );
+        assert_eq!(
+            SeccompAction::Errno(5).most_restrictive(SeccompAction::Log),
+            SeccompAction::Errno(5)
+        );
+        assert_eq!(
+            SeccompAction::Allow.most_restrictive(SeccompAction::Allow),
+            SeccompAction::Allow
+        );
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(SeccompAction::KillProcess.to_string(), "kill-process");
+        assert_eq!(SeccompAction::Errno(38).to_string(), "errno(38)");
+    }
+}

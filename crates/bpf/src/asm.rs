@@ -1,0 +1,353 @@
+//! A small cBPF assembler with labels.
+//!
+//! Profile compilers (`draco-profiles`) emit long chains of compare-and-
+//! branch logic; hand-computing 8-bit relative offsets is error-prone, so
+//! this builder resolves symbolic labels to `jt`/`jf` displacements at
+//! [`ProgramBuilder::build`] time, inserting islands of unconditional
+//! jumps when a displacement exceeds the 255-instruction reach is *not*
+//! attempted — the builder reports [`BpfError::JumpTooFar`] instead, and
+//! the profile compilers structure their output (trees, chunked chains) to
+//! stay within reach, exactly like libseccomp does.
+
+use std::collections::HashMap;
+
+use crate::insn::{Insn, Src};
+use crate::{BpfError, Cond, Program, SeccompAction, SeccompData};
+
+/// A pending instruction: either final or awaiting label resolution.
+#[derive(Clone, Debug)]
+enum Pending {
+    Done(Insn),
+    CondJump {
+        cond: Cond,
+        src: Src,
+        on_true: String,
+        on_false: String,
+    },
+    Goto(String),
+}
+
+/// Builds cBPF programs with symbolic control flow.
+///
+/// # Example
+///
+/// ```
+/// use draco_bpf::{ProgramBuilder, SeccompAction};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.load_nr();
+/// b.jeq_imm(0, "allow", "next");
+/// b.label("next");
+/// b.jeq_imm(1, "allow", "deny");
+/// b.label("allow");
+/// b.ret_action(SeccompAction::Allow);
+/// b.label("deny");
+/// b.ret_action(SeccompAction::KillProcess);
+/// let prog = b.build()?;
+/// assert_eq!(prog.len(), 5);
+/// # Ok::<(), draco_bpf::BpfError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    pending: Vec<Pending>,
+    labels: HashMap<String, usize>,
+    error: Option<BpfError>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// Duplicate definitions are recorded as an error surfaced by
+    /// [`ProgramBuilder::build`].
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if self
+            .labels
+            .insert(name.clone(), self.pending.len())
+            .is_some()
+            && self.error.is_none()
+        {
+            self.error = Some(BpfError::DuplicateLabel(name));
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn insn(&mut self, insn: Insn) -> &mut Self {
+        self.pending.push(Pending::Done(insn));
+        self
+    }
+
+    /// Emits `A = seccomp_data.nr`.
+    pub fn load_nr(&mut self) -> &mut Self {
+        self.insn(Insn::LdAbs(SeccompData::OFF_NR))
+    }
+
+    /// Emits `A = seccomp_data.arch`.
+    pub fn load_arch(&mut self) -> &mut Self {
+        self.insn(Insn::LdAbs(SeccompData::OFF_ARCH))
+    }
+
+    /// Emits `A = low 32 bits of args[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    pub fn load_arg_lo(&mut self, i: usize) -> &mut Self {
+        assert!(i < 6);
+        self.insn(Insn::LdAbs(SeccompData::off_arg_lo(i)))
+    }
+
+    /// Emits `A = high 32 bits of args[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    pub fn load_arg_hi(&mut self, i: usize) -> &mut Self {
+        assert!(i < 6);
+        self.insn(Insn::LdAbs(SeccompData::off_arg_hi(i)))
+    }
+
+    /// Emits a conditional jump comparing `A` with an immediate.
+    pub fn jump_if(
+        &mut self,
+        cond: Cond,
+        k: u32,
+        on_true: impl Into<String>,
+        on_false: impl Into<String>,
+    ) -> &mut Self {
+        self.pending.push(Pending::CondJump {
+            cond,
+            src: Src::K(k),
+            on_true: on_true.into(),
+            on_false: on_false.into(),
+        });
+        self
+    }
+
+    /// Emits `if A == k goto on_true else goto on_false`.
+    pub fn jeq_imm(
+        &mut self,
+        k: u32,
+        on_true: impl Into<String>,
+        on_false: impl Into<String>,
+    ) -> &mut Self {
+        self.jump_if(Cond::Jeq, k, on_true, on_false)
+    }
+
+    /// Emits `if A >= k goto on_true else goto on_false`.
+    pub fn jge_imm(
+        &mut self,
+        k: u32,
+        on_true: impl Into<String>,
+        on_false: impl Into<String>,
+    ) -> &mut Self {
+        self.jump_if(Cond::Jge, k, on_true, on_false)
+    }
+
+    /// Emits `if A > k goto on_true else goto on_false`.
+    pub fn jgt_imm(
+        &mut self,
+        k: u32,
+        on_true: impl Into<String>,
+        on_false: impl Into<String>,
+    ) -> &mut Self {
+        self.jump_if(Cond::Jgt, k, on_true, on_false)
+    }
+
+    /// Emits an unconditional jump to a label.
+    pub fn goto(&mut self, target: impl Into<String>) -> &mut Self {
+        self.pending.push(Pending::Goto(target.into()));
+        self
+    }
+
+    /// Emits `return action`.
+    pub fn ret_action(&mut self, action: SeccompAction) -> &mut Self {
+        self.insn(Insn::RetK(action.encode()))
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns label errors ([`BpfError::UndefinedLabel`],
+    /// [`BpfError::DuplicateLabel`], [`BpfError::JumpTooFar`]) or any
+    /// validation failure from [`crate::validate`].
+    pub fn build(&self) -> Result<Program, BpfError> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        let resolve = |name: &str| -> Result<usize, BpfError> {
+            self.labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| BpfError::UndefinedLabel(name.to_owned()))
+        };
+        let mut insns = Vec::with_capacity(self.pending.len());
+        for (at, pending) in self.pending.iter().enumerate() {
+            let next = at + 1;
+            let insn = match pending {
+                Pending::Done(insn) => *insn,
+                Pending::Goto(target) => {
+                    let t = resolve(target)?;
+                    let distance = t.checked_sub(next).ok_or(BpfError::JumpOutOfBounds {
+                        at,
+                        target: t,
+                    })?;
+                    Insn::Ja(distance as u32)
+                }
+                Pending::CondJump {
+                    cond,
+                    src,
+                    on_true,
+                    on_false,
+                } => {
+                    let disp = |target: &str| -> Result<u8, BpfError> {
+                        let t = resolve(target)?;
+                        let d = t
+                            .checked_sub(next)
+                            .ok_or(BpfError::JumpOutOfBounds { at, target: t })?;
+                        u8::try_from(d)
+                            .map_err(|_| BpfError::JumpTooFar { at, distance: d })
+                    };
+                    Insn::Jmp {
+                        cond: *cond,
+                        src: *src,
+                        jt: disp(on_true)?,
+                        jf: disp(on_false)?,
+                    }
+                }
+            };
+            insns.push(insn);
+        }
+        Program::new(insns)
+    }
+}
+
+/// A label that means "fall through to the next instruction".
+///
+/// `jeq_imm(k, FALLTHROUGH, ...)` requires a label defined immediately
+/// after the jump; this helper just documents the common idiom of
+/// defining a fresh label right after emitting the branch.
+pub const FALLTHROUGH: &str = "__next";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interpreter, SeccompData};
+
+    fn run(b: &ProgramBuilder, nr: i32, args: [u64; 6]) -> SeccompAction {
+        let prog = b.build().expect("build");
+        Interpreter::new(&prog)
+            .run(&SeccompData::for_syscall(nr, &args))
+            .expect("run")
+            .action
+    }
+
+    #[test]
+    fn builds_two_syscall_whitelist() {
+        let mut b = ProgramBuilder::new();
+        b.load_nr();
+        b.jeq_imm(0, "allow", "n1");
+        b.label("n1");
+        b.jeq_imm(1, "allow", "deny");
+        b.label("allow");
+        b.ret_action(SeccompAction::Allow);
+        b.label("deny");
+        b.ret_action(SeccompAction::KillProcess);
+
+        assert_eq!(run(&b, 0, [0; 6]), SeccompAction::Allow);
+        assert_eq!(run(&b, 1, [0; 6]), SeccompAction::Allow);
+        assert_eq!(run(&b, 2, [0; 6]), SeccompAction::KillProcess);
+    }
+
+    #[test]
+    fn goto_resolves_forward() {
+        let mut b = ProgramBuilder::new();
+        b.goto("end");
+        b.ret_action(SeccompAction::KillProcess);
+        b.label("end");
+        b.ret_action(SeccompAction::Allow);
+        assert_eq!(run(&b, 0, [0; 6]), SeccompAction::Allow);
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut b = ProgramBuilder::new();
+        b.load_nr();
+        b.jeq_imm(0, "nowhere", "also-nowhere");
+        assert!(matches!(b.build(), Err(BpfError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.ret_action(SeccompAction::Allow);
+        b.label("x");
+        assert_eq!(b.build(), Err(BpfError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn backward_jump_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.label("top");
+        b.load_nr();
+        b.goto("top");
+        assert!(matches!(
+            b.build(),
+            Err(BpfError::JumpOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn too_far_conditional_jump_errors() {
+        let mut b = ProgramBuilder::new();
+        b.load_nr();
+        b.jeq_imm(0, "far", "far");
+        for _ in 0..300 {
+            b.insn(Insn::LdImm(0));
+        }
+        b.label("far");
+        b.ret_action(SeccompAction::Allow);
+        assert!(matches!(b.build(), Err(BpfError::JumpTooFar { .. })));
+    }
+
+    #[test]
+    fn arg_loads_address_correct_words() {
+        let mut b = ProgramBuilder::new();
+        b.load_arg_hi(2);
+        b.insn(Insn::RetA);
+        let prog = b.build().unwrap();
+        let out = Interpreter::new(&prog)
+            .run(&SeccompData::for_syscall(
+                0,
+                &[0, 0, 0xaabb_0000_1234_5678, 0, 0, 0],
+            ))
+            .unwrap();
+        assert_eq!(out.raw, 0xaabb_0000);
+    }
+
+    #[test]
+    fn builder_len_tracks_emissions() {
+        let mut b = ProgramBuilder::new();
+        assert!(b.is_empty());
+        b.load_nr().load_arch();
+        assert_eq!(b.len(), 2);
+    }
+}

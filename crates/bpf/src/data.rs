@@ -1,0 +1,193 @@
+//! The `seccomp_data` structure cBPF filters read from.
+
+use core::fmt;
+
+use draco_syscalls::{SyscallRequest, MAX_ARGS};
+
+/// The x86-64 audit architecture token (`AUDIT_ARCH_X86_64`).
+pub const AUDIT_ARCH_X86_64: u32 = 0xc000_003e;
+
+/// Size in bytes of `struct seccomp_data`.
+pub const SECCOMP_DATA_SIZE: u32 = 64;
+
+/// The kernel-provided snapshot a seccomp filter inspects.
+///
+/// Layout (all loads are little-endian 32-bit words at 4-byte offsets, as
+/// in Linux):
+///
+/// | offset | field |
+/// |-------:|-------|
+/// | 0      | `nr` (i32 system call number) |
+/// | 4      | `arch` (u32 audit architecture) |
+/// | 8      | `instruction_pointer` (u64) |
+/// | 16+8i  | `args[i]` (u64, i in 0..6) |
+///
+/// # Example
+///
+/// ```
+/// use draco_bpf::SeccompData;
+///
+/// let d = SeccompData::for_syscall(0, &[3, 0, 4096, 0, 0, 0]);
+/// assert_eq!(d.load_word(SeccompData::OFF_NR), Some(0));
+/// assert_eq!(d.load_word(SeccompData::off_arg_lo(0)), Some(3));
+/// assert_eq!(d.load_word(SeccompData::off_arg_lo(2)), Some(4096));
+/// assert_eq!(d.load_word(SeccompData::off_arg_hi(2)), Some(0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeccompData {
+    /// System call number.
+    pub nr: i32,
+    /// Audit architecture.
+    pub arch: u32,
+    /// Address of the `syscall` instruction.
+    pub instruction_pointer: u64,
+    /// The six raw argument registers.
+    pub args: [u64; MAX_ARGS],
+}
+
+impl SeccompData {
+    /// Builds the snapshot for an x86-64 system call.
+    pub fn for_syscall(nr: i32, args: &[u64; MAX_ARGS]) -> Self {
+        SeccompData {
+            nr,
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: 0,
+            args: *args,
+        }
+    }
+
+    /// Builds the snapshot from a decoded [`SyscallRequest`].
+    pub fn from_request(req: &SyscallRequest) -> Self {
+        SeccompData {
+            nr: i32::from(req.id.as_u16()),
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: req.pc,
+            args: req.args.as_array(),
+        }
+    }
+
+    /// Loads the 32-bit little-endian word at byte `offset`, as
+    /// `BPF_LD | BPF_W | BPF_ABS` does.
+    ///
+    /// Returns `None` for unaligned or out-of-bounds offsets — the same
+    /// accesses the kernel validator rejects at load time.
+    pub fn load_word(&self, offset: u32) -> Option<u32> {
+        if !offset.is_multiple_of(4) || offset + 4 > SECCOMP_DATA_SIZE {
+            return None;
+        }
+        Some(match offset {
+            0 => self.nr as u32,
+            4 => self.arch,
+            8 => (self.instruction_pointer & 0xffff_ffff) as u32,
+            12 => (self.instruction_pointer >> 32) as u32,
+            _ => {
+                let arg = ((offset - 16) / 8) as usize;
+                let half = (offset - 16) % 8;
+                if half == 0 {
+                    (self.args[arg] & 0xffff_ffff) as u32
+                } else {
+                    (self.args[arg] >> 32) as u32
+                }
+            }
+        })
+    }
+
+    /// Byte offset of `nr`.
+    pub const OFF_NR: u32 = 0;
+    /// Byte offset of `arch`.
+    pub const OFF_ARCH: u32 = 4;
+    /// Byte offset of the low half of `instruction_pointer`.
+    pub const OFF_IP_LO: u32 = 8;
+    /// Byte offset of the low 32 bits of argument `i`.
+    pub const fn off_arg_lo(i: usize) -> u32 {
+        16 + 8 * i as u32
+    }
+    /// Byte offset of the high 32 bits of argument `i`.
+    pub const fn off_arg_hi(i: usize) -> u32 {
+        20 + 8 * i as u32
+    }
+}
+
+impl fmt::Debug for SeccompData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SeccompData {{ nr: {}, arch: {:#x}, ip: {:#x}, args: {:x?} }}",
+            self.nr, self.arch, self.instruction_pointer, self.args
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_syscalls::{ArgSet, SyscallId};
+
+    #[test]
+    fn field_offsets_match_linux_layout() {
+        let d = SeccompData {
+            nr: 57,
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: 0x1122_3344_5566_7788,
+            args: [
+                0xaaaa_bbbb_cccc_dddd,
+                1,
+                2,
+                3,
+                4,
+                0x9999_0000_1111_2222,
+            ],
+        };
+        assert_eq!(d.load_word(0), Some(57));
+        assert_eq!(d.load_word(4), Some(AUDIT_ARCH_X86_64));
+        assert_eq!(d.load_word(8), Some(0x5566_7788));
+        assert_eq!(d.load_word(12), Some(0x1122_3344));
+        assert_eq!(d.load_word(16), Some(0xcccc_dddd));
+        assert_eq!(d.load_word(20), Some(0xaaaa_bbbb));
+        assert_eq!(d.load_word(SeccompData::off_arg_lo(5)), Some(0x1111_2222));
+        assert_eq!(d.load_word(SeccompData::off_arg_hi(5)), Some(0x9999_0000));
+    }
+
+    #[test]
+    fn unaligned_and_oob_loads_fail() {
+        let d = SeccompData::for_syscall(0, &[0; 6]);
+        assert_eq!(d.load_word(1), None);
+        assert_eq!(d.load_word(2), None);
+        assert_eq!(d.load_word(62), None);
+        assert_eq!(d.load_word(64), None);
+        assert_eq!(d.load_word(u32::MAX), None);
+        assert_eq!(d.load_word(60), Some(0), "last word is in bounds");
+    }
+
+    #[test]
+    fn from_request_copies_everything() {
+        let req = SyscallRequest::new(
+            0x40_0000,
+            SyscallId::new(202),
+            ArgSet::new([9, 8, 7, 6, 5, 4]),
+        );
+        let d = SeccompData::from_request(&req);
+        assert_eq!(d.nr, 202);
+        assert_eq!(d.instruction_pointer, 0x40_0000);
+        assert_eq!(d.args, [9, 8, 7, 6, 5, 4]);
+        assert_eq!(d.arch, AUDIT_ARCH_X86_64);
+    }
+
+    #[test]
+    fn negative_nr_roundtrips() {
+        let d = SeccompData {
+            nr: -1,
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: 0,
+            args: [0; 6],
+        };
+        assert_eq!(d.load_word(0), Some(u32::MAX));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let d = SeccompData::for_syscall(1, &[0; 6]);
+        let s = format!("{d:?}");
+        assert!(s.contains("nr: 1"));
+    }
+}

@@ -1,0 +1,152 @@
+//! A cBPF disassembler.
+//!
+//! Renders programs in the classic `bpf_dbg`/`libseccomp --disasm`
+//! style: one instruction per line with absolute jump targets, so
+//! generated filters can be inspected, diffed, and compared against
+//! real-kernel tooling output.
+
+use core::fmt::Write as _;
+
+use crate::insn::{Insn, Src};
+use crate::{AluOp, Cond, Program};
+
+/// Disassembles one instruction at `pc` (targets rendered absolute).
+pub fn disasm_insn(pc: usize, insn: Insn) -> String {
+    let next = pc + 1;
+    match insn {
+        Insn::LdAbs(k) => format!("ld  [{k}]"),
+        Insn::LdImm(k) => format!("ld  #{k:#x}"),
+        Insn::LdMem(k) => format!("ld  M[{k}]"),
+        Insn::LdLen => "ld  len".to_owned(),
+        Insn::LdxImm(k) => format!("ldx #{k:#x}"),
+        Insn::LdxMem(k) => format!("ldx M[{k}]"),
+        Insn::LdxLen => "ldx len".to_owned(),
+        Insn::St(k) => format!("st  M[{k}]"),
+        Insn::Stx(k) => format!("stx M[{k}]"),
+        Insn::Alu(op, src) => {
+            let mnemonic = match op {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::Mul => "mul",
+                AluOp::Div => "div",
+                AluOp::And => "and",
+                AluOp::Or => "or",
+                AluOp::Xor => "xor",
+                AluOp::Lsh => "lsh",
+                AluOp::Rsh => "rsh",
+            };
+            match src {
+                Src::K(k) => format!("{mnemonic} #{k:#x}"),
+                Src::X => format!("{mnemonic} x"),
+            }
+        }
+        Insn::Neg => "neg".to_owned(),
+        Insn::Ja(off) => format!("ja  {}", next + off as usize),
+        Insn::Jmp { cond, src, jt, jf } => {
+            let mnemonic = match cond {
+                Cond::Jeq => "jeq",
+                Cond::Jgt => "jgt",
+                Cond::Jge => "jge",
+                Cond::Jset => "jset",
+            };
+            let operand = match src {
+                Src::K(k) => format!("#{k:#x}"),
+                Src::X => "x".to_owned(),
+            };
+            format!(
+                "{mnemonic} {operand}, {}, {}",
+                next + jt as usize,
+                next + jf as usize
+            )
+        }
+        Insn::RetK(k) => format!("ret #{k:#x}"),
+        Insn::RetA => "ret a".to_owned(),
+        Insn::Tax => "tax".to_owned(),
+        Insn::Txa => "txa".to_owned(),
+    }
+}
+
+/// Disassembles a whole program, one numbered line per instruction.
+///
+/// # Example
+///
+/// ```
+/// use draco_bpf::{disasm, Insn, Program};
+///
+/// let prog = Program::new(vec![Insn::LdAbs(0), Insn::RetA])?;
+/// let text = disasm(&prog);
+/// assert_eq!(text, "  0: ld  [0]\n  1: ret a\n");
+/// # Ok::<(), draco_bpf::BpfError>(())
+/// ```
+pub fn disasm(program: &Program) -> String {
+    let mut out = String::new();
+    for (pc, insn) in program.insns().iter().enumerate() {
+        writeln!(out, "{pc:>3}: {}", disasm_insn(pc, *insn)).expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, SeccompAction};
+
+    #[test]
+    fn disassembles_every_opcode() {
+        let cases: Vec<(Insn, &str)> = vec![
+            (Insn::LdAbs(16), "ld  [16]"),
+            (Insn::LdImm(7), "ld  #0x7"),
+            (Insn::LdMem(3), "ld  M[3]"),
+            (Insn::LdLen, "ld  len"),
+            (Insn::LdxImm(9), "ldx #0x9"),
+            (Insn::LdxMem(1), "ldx M[1]"),
+            (Insn::LdxLen, "ldx len"),
+            (Insn::St(4), "st  M[4]"),
+            (Insn::Stx(5), "stx M[5]"),
+            (Insn::Alu(AluOp::Add, Src::K(3)), "add #0x3"),
+            (Insn::Alu(AluOp::Div, Src::X), "div x"),
+            (Insn::Neg, "neg"),
+            (Insn::RetA, "ret a"),
+            (Insn::Tax, "tax"),
+            (Insn::Txa, "txa"),
+        ];
+        for (insn, want) in cases {
+            assert_eq!(disasm_insn(0, insn), want);
+        }
+    }
+
+    #[test]
+    fn jump_targets_are_absolute() {
+        assert_eq!(disasm_insn(10, Insn::Ja(5)), "ja  16");
+        assert_eq!(
+            disasm_insn(
+                2,
+                Insn::Jmp {
+                    cond: Cond::Jeq,
+                    src: Src::K(59),
+                    jt: 4,
+                    jf: 0
+                }
+            ),
+            "jeq #0x3b, 7, 3"
+        );
+    }
+
+    #[test]
+    fn whole_program_listing() {
+        let mut b = ProgramBuilder::new();
+        b.load_nr();
+        b.jeq_imm(39, "allow", "deny");
+        b.label("allow");
+        b.ret_action(SeccompAction::Allow);
+        b.label("deny");
+        b.ret_action(SeccompAction::KillProcess);
+        let text = disasm(&b.build().unwrap());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "  0: ld  [0]");
+        assert_eq!(lines[1], "  1: jeq #0x27, 2, 3");
+        assert!(lines[2].contains("ret #0x7fff0000"));
+        assert!(lines[3].contains("ret #0x80000000"));
+    }
+}

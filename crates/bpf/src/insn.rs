@@ -1,0 +1,543 @@
+//! The classic-BPF instruction set (seccomp subset).
+//!
+//! Instructions are modeled as a typed enum rather than raw
+//! `sock_filter` words, but every variant corresponds 1:1 to a Linux
+//! encoding and [`Insn::encode`]/[`Insn::decode`] round-trip through the
+//! numeric form, so programs can be exchanged with real-kernel tooling.
+//! Packet-relative addressing (`BPF_IND`, `BPF_MSH`) is omitted: the
+//! seccomp verifier rejects it anyway.
+
+use core::fmt;
+
+/// Maximum program length accepted by the kernel (`BPF_MAXINSNS`).
+pub const BPF_MAXINSNS: usize = 4096;
+
+/// Scratch memory slots available to a cBPF program (`BPF_MEMWORDS`).
+pub const MEMWORDS: usize = 16;
+
+/// Operand source for ALU and conditional-jump instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// The immediate constant `k`.
+    K(u32),
+    /// The index register `X`.
+    X,
+}
+
+/// Arithmetic/logic operations (`BPF_ALU` class).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Lsh,
+    Rsh,
+}
+
+/// Conditional-jump comparisons (`BPF_JMP` class).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Jump if `A == operand`.
+    Jeq,
+    /// Jump if `A > operand` (unsigned).
+    Jgt,
+    /// Jump if `A >= operand` (unsigned).
+    Jge,
+    /// Jump if `A & operand != 0`.
+    Jset,
+}
+
+/// One classic-BPF instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// `A = seccomp_data[k..k+4]` (`BPF_LD | BPF_W | BPF_ABS`).
+    LdAbs(u32),
+    /// `A = k` (`BPF_LD | BPF_IMM`).
+    LdImm(u32),
+    /// `A = M[k]` (`BPF_LD | BPF_MEM`).
+    LdMem(u32),
+    /// `A = sizeof(seccomp_data)` (`BPF_LD | BPF_LEN`).
+    LdLen,
+    /// `X = k` (`BPF_LDX | BPF_IMM`).
+    LdxImm(u32),
+    /// `X = M[k]` (`BPF_LDX | BPF_MEM`).
+    LdxMem(u32),
+    /// `X = sizeof(seccomp_data)` (`BPF_LDX | BPF_LEN`).
+    LdxLen,
+    /// `M[k] = A` (`BPF_ST`).
+    St(u32),
+    /// `M[k] = X` (`BPF_STX`).
+    Stx(u32),
+    /// `A = A <op> src` (`BPF_ALU`).
+    Alu(AluOp, Src),
+    /// `A = -A` (`BPF_ALU | BPF_NEG`).
+    Neg,
+    /// Unconditional relative jump (`BPF_JMP | BPF_JA`).
+    Ja(u32),
+    /// Conditional jump: if the comparison holds, skip `jt` instructions,
+    /// else skip `jf` (`BPF_JMP | cond`).
+    Jmp {
+        /// The comparison to evaluate against the accumulator.
+        cond: Cond,
+        /// Right-hand operand.
+        src: Src,
+        /// Instructions to skip when the condition is true.
+        jt: u8,
+        /// Instructions to skip when the condition is false.
+        jf: u8,
+    },
+    /// Return the constant `k` (`BPF_RET | BPF_K`).
+    RetK(u32),
+    /// Return the accumulator (`BPF_RET | BPF_A`).
+    RetA,
+    /// `X = A` (`BPF_MISC | BPF_TAX`).
+    Tax,
+    /// `A = X` (`BPF_MISC | BPF_TXA`).
+    Txa,
+}
+
+impl Insn {
+    /// Encodes to the Linux `sock_filter` quadruple
+    /// `(code, jt, jf, k)`.
+    pub fn encode(self) -> (u16, u8, u8, u32) {
+        use consts::*;
+        match self {
+            Insn::LdAbs(k) => (LD | W | ABS, 0, 0, k),
+            Insn::LdImm(k) => (LD | IMM, 0, 0, k),
+            Insn::LdMem(k) => (LD | MEM, 0, 0, k),
+            Insn::LdLen => (LD | W | LEN, 0, 0, 0),
+            Insn::LdxImm(k) => (LDX | IMM, 0, 0, k),
+            Insn::LdxMem(k) => (LDX | MEM, 0, 0, k),
+            Insn::LdxLen => (LDX | W | LEN, 0, 0, 0),
+            Insn::St(k) => (ST, 0, 0, k),
+            Insn::Stx(k) => (STX, 0, 0, k),
+            Insn::Alu(op, src) => {
+                let op_bits = match op {
+                    AluOp::Add => ADD,
+                    AluOp::Sub => SUB,
+                    AluOp::Mul => MUL,
+                    AluOp::Div => DIV,
+                    AluOp::And => AND,
+                    AluOp::Or => OR,
+                    AluOp::Xor => XOR,
+                    AluOp::Lsh => LSH,
+                    AluOp::Rsh => RSH,
+                };
+                let (src_bit, k) = match src {
+                    Src::K(k) => (SRC_K, k),
+                    Src::X => (SRC_X, 0),
+                };
+                (ALU | op_bits | src_bit, 0, 0, k)
+            }
+            Insn::Neg => (ALU | NEG, 0, 0, 0),
+            Insn::Ja(k) => (JMP | JA, 0, 0, k),
+            Insn::Jmp { cond, src, jt, jf } => {
+                let cond_bits = match cond {
+                    Cond::Jeq => JEQ,
+                    Cond::Jgt => JGT,
+                    Cond::Jge => JGE,
+                    Cond::Jset => JSET,
+                };
+                let (src_bit, k) = match src {
+                    Src::K(k) => (SRC_K, k),
+                    Src::X => (SRC_X, 0),
+                };
+                (JMP | cond_bits | src_bit, jt, jf, k)
+            }
+            Insn::RetK(k) => (RET | RVAL_K, 0, 0, k),
+            Insn::RetA => (RET | RVAL_A, 0, 0, 0),
+            Insn::Tax => (MISC | TAX, 0, 0, 0),
+            Insn::Txa => (MISC | TXA, 0, 0, 0),
+        }
+    }
+
+    /// Decodes a Linux `sock_filter` quadruple.
+    ///
+    /// Returns `None` for encodings outside the seccomp subset.
+    pub fn decode(code: u16, jt: u8, jf: u8, k: u32) -> Option<Insn> {
+        use consts::*;
+        let class = code & 0x07;
+        Some(match class {
+            LD => match code & !LD {
+                x if x == W | ABS => Insn::LdAbs(k),
+                IMM => Insn::LdImm(k),
+                MEM => Insn::LdMem(k),
+                x if x == W | LEN => Insn::LdLen,
+                _ => return None,
+            },
+            LDX => match code & !LDX {
+                IMM => Insn::LdxImm(k),
+                MEM => Insn::LdxMem(k),
+                x if x == W | LEN => Insn::LdxLen,
+                _ => return None,
+            },
+            ST => Insn::St(k),
+            STX => Insn::Stx(k),
+            ALU => {
+                if code & !ALU & !SRC_X == NEG {
+                    return Some(Insn::Neg);
+                }
+                let src = if code & SRC_X != 0 { Src::X } else { Src::K(k) };
+                let op = match code & 0xf0 {
+                    ADD => AluOp::Add,
+                    SUB => AluOp::Sub,
+                    MUL => AluOp::Mul,
+                    DIV => AluOp::Div,
+                    AND => AluOp::And,
+                    OR => AluOp::Or,
+                    XOR => AluOp::Xor,
+                    LSH => AluOp::Lsh,
+                    RSH => AluOp::Rsh,
+                    _ => return None,
+                };
+                Insn::Alu(op, src)
+            }
+            JMP => {
+                if code & 0xf0 == JA {
+                    return Some(Insn::Ja(k));
+                }
+                let src = if code & SRC_X != 0 { Src::X } else { Src::K(k) };
+                let cond = match code & 0xf0 {
+                    JEQ => Cond::Jeq,
+                    JGT => Cond::Jgt,
+                    JGE => Cond::Jge,
+                    JSET => Cond::Jset,
+                    _ => return None,
+                };
+                Insn::Jmp { cond, src, jt, jf }
+            }
+            RET => match code & 0x18 {
+                RVAL_K => Insn::RetK(k),
+                RVAL_A => Insn::RetA,
+                _ => return None,
+            },
+            MISC => match code & 0xf8 {
+                TAX => Insn::Tax,
+                TXA => Insn::Txa,
+                _ => return None,
+            },
+            _ => return None,
+        })
+    }
+
+    /// True for `RET` instructions (program terminators).
+    pub const fn is_ret(self) -> bool {
+        matches!(self, Insn::RetK(_) | Insn::RetA)
+    }
+}
+
+/// Linux numeric encodings for cBPF fields.
+mod consts {
+    pub const LD: u16 = 0x00;
+    pub const LDX: u16 = 0x01;
+    pub const ST: u16 = 0x02;
+    pub const STX: u16 = 0x03;
+    pub const ALU: u16 = 0x04;
+    pub const JMP: u16 = 0x05;
+    pub const RET: u16 = 0x06;
+    pub const MISC: u16 = 0x07;
+
+    pub const W: u16 = 0x00;
+    pub const IMM: u16 = 0x00;
+    pub const ABS: u16 = 0x20;
+    pub const MEM: u16 = 0x60;
+    pub const LEN: u16 = 0x80;
+
+    pub const ADD: u16 = 0x00;
+    pub const SUB: u16 = 0x10;
+    pub const MUL: u16 = 0x20;
+    pub const DIV: u16 = 0x30;
+    pub const OR: u16 = 0x40;
+    pub const AND: u16 = 0x50;
+    pub const LSH: u16 = 0x60;
+    pub const RSH: u16 = 0x70;
+    pub const NEG: u16 = 0x80;
+    pub const XOR: u16 = 0xa0;
+
+    pub const JA: u16 = 0x00;
+    pub const JEQ: u16 = 0x10;
+    pub const JGT: u16 = 0x20;
+    pub const JGE: u16 = 0x30;
+    pub const JSET: u16 = 0x40;
+
+    pub const SRC_K: u16 = 0x00;
+    pub const SRC_X: u16 = 0x08;
+
+    pub const RVAL_K: u16 = 0x00;
+    pub const RVAL_A: u16 = 0x10;
+
+    pub const TAX: u16 = 0x00;
+    pub const TXA: u16 = 0x80;
+}
+
+/// A complete cBPF program (a boxed instruction sequence).
+///
+/// Construct via [`Program::new`] (validating) or through
+/// [`crate::ProgramBuilder`]. The instruction list is immutable once
+/// built — exactly like an installed seccomp filter, which cannot change
+/// during process runtime (paper §VII-B, data coherence).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Program {
+    insns: Box<[Insn]>,
+}
+
+impl Program {
+    /// Wraps and validates an instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure (see [`crate::validate`]).
+    pub fn new(insns: Vec<Insn>) -> Result<Self, crate::BpfError> {
+        crate::validate(&insns)?;
+        Ok(Program {
+            insns: insns.into_boxed_slice(),
+        })
+    }
+
+    /// The instructions.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Encodes to raw `sock_filter` quadruples, the wire format the
+    /// kernel's `seccomp(2)` consumes — round-trips through
+    /// [`Program::from_raw`].
+    pub fn to_raw(&self) -> Vec<(u16, u8, u8, u32)> {
+        self.insns.iter().map(|i| i.encode()).collect()
+    }
+
+    /// Decodes raw `sock_filter` quadruples and validates the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BpfError::UnsupportedOpcode`] for encodings
+    /// outside the seccomp subset, or any validation failure.
+    pub fn from_raw(raw: &[(u16, u8, u8, u32)]) -> Result<Self, crate::BpfError> {
+        let insns = raw
+            .iter()
+            .enumerate()
+            .map(|(at, &(code, jt, jf, k))| {
+                Insn::decode(code, jt, jf, k)
+                    .ok_or(crate::BpfError::UnsupportedOpcode { at, code })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Program::new(insns)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True if the program has no instructions (never, once validated).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Program({} insns)", self.insns.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(insn: Insn) {
+        let (code, jt, jf, k) = insn.encode();
+        assert_eq!(Insn::decode(code, jt, jf, k), Some(insn), "{insn:?}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        for insn in [
+            Insn::LdAbs(16),
+            Insn::LdImm(7),
+            Insn::LdMem(3),
+            Insn::LdLen,
+            Insn::LdxImm(9),
+            Insn::LdxMem(1),
+            Insn::LdxLen,
+            Insn::St(4),
+            Insn::Stx(5),
+            Insn::Neg,
+            Insn::Ja(10),
+            Insn::RetK(0x7fff_0000),
+            Insn::RetA,
+            Insn::Tax,
+            Insn::Txa,
+        ] {
+            roundtrip(insn);
+        }
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Lsh,
+            AluOp::Rsh,
+        ] {
+            roundtrip(Insn::Alu(op, Src::K(3)));
+            roundtrip(Insn::Alu(op, Src::X));
+        }
+        for cond in [Cond::Jeq, Cond::Jgt, Cond::Jge, Cond::Jset] {
+            roundtrip(Insn::Jmp {
+                cond,
+                src: Src::K(42),
+                jt: 1,
+                jf: 2,
+            });
+            roundtrip(Insn::Jmp {
+                cond,
+                src: Src::X,
+                jt: 0,
+                jf: 3,
+            });
+        }
+    }
+
+    #[test]
+    fn ld_abs_matches_linux_encoding() {
+        // BPF_LD | BPF_W | BPF_ABS == 0x20.
+        let (code, _, _, k) = Insn::LdAbs(0).encode();
+        assert_eq!(code, 0x20);
+        assert_eq!(k, 0);
+        // BPF_JMP | BPF_JEQ | BPF_K == 0x15.
+        let (code, jt, jf, k) = Insn::Jmp {
+            cond: Cond::Jeq,
+            src: Src::K(59),
+            jt: 4,
+            jf: 0,
+        }
+        .encode();
+        assert_eq!(code, 0x15);
+        assert_eq!((jt, jf, k), (4, 0, 59));
+        // BPF_RET | BPF_K == 0x06.
+        assert_eq!(Insn::RetK(0).encode().0, 0x06);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_codes() {
+        assert_eq!(Insn::decode(0xffff, 0, 0, 0), None);
+        // BPF_LD | BPF_B | BPF_IND (packet-relative): not in subset.
+        assert_eq!(Insn::decode(0x50, 0, 0, 0), None);
+    }
+
+    #[test]
+    fn is_ret_classification() {
+        assert!(Insn::RetK(0).is_ret());
+        assert!(Insn::RetA.is_ret());
+        assert!(!Insn::LdAbs(0).is_ret());
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let prog = Program::new(vec![
+            Insn::LdAbs(0),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(39),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(0x7fff_0000),
+            Insn::RetK(0x8000_0000),
+        ])
+        .unwrap();
+        let raw = prog.to_raw();
+        assert_eq!(raw[0], (0x20, 0, 0, 0));
+        assert_eq!(raw[1], (0x15, 0, 1, 39));
+        let back = Program::from_raw(&raw).unwrap();
+        assert_eq!(back.insns(), prog.insns());
+    }
+
+    #[test]
+    fn from_raw_rejects_foreign_opcodes() {
+        // BPF_LD | BPF_B | BPF_IND: packet-relative, not in the subset.
+        let err = Program::from_raw(&[(0x50, 0, 0, 0), (0x06, 0, 0, 0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::BpfError::UnsupportedOpcode { at: 0, code: 0x50 }
+        ));
+    }
+
+    #[test]
+    fn program_debug_shows_len() {
+        let p = Program::new(vec![Insn::RetK(0)]).unwrap();
+        assert_eq!(format!("{p:?}"), "Program(1 insns)");
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_any_insn() -> impl Strategy<Value = Insn> {
+        let alu = prop_oneof![
+            Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul),
+            Just(AluOp::Div), Just(AluOp::And), Just(AluOp::Or),
+            Just(AluOp::Xor), Just(AluOp::Lsh), Just(AluOp::Rsh),
+        ];
+        let cond = prop_oneof![
+            Just(Cond::Jeq), Just(Cond::Jgt), Just(Cond::Jge), Just(Cond::Jset)
+        ];
+        prop_oneof![
+            any::<u32>().prop_map(Insn::LdAbs),
+            any::<u32>().prop_map(Insn::LdImm),
+            any::<u32>().prop_map(Insn::LdMem),
+            Just(Insn::LdLen),
+            any::<u32>().prop_map(Insn::LdxImm),
+            any::<u32>().prop_map(Insn::LdxMem),
+            Just(Insn::LdxLen),
+            any::<u32>().prop_map(Insn::St),
+            any::<u32>().prop_map(Insn::Stx),
+            (alu.clone(), any::<u32>()).prop_map(|(op, k)| Insn::Alu(op, Src::K(k))),
+            alu.prop_map(|op| Insn::Alu(op, Src::X)),
+            Just(Insn::Neg),
+            any::<u32>().prop_map(Insn::Ja),
+            (cond.clone(), any::<u32>(), any::<u8>(), any::<u8>())
+                .prop_map(|(cond, k, jt, jf)| Insn::Jmp { cond, src: Src::K(k), jt, jf }),
+            (cond, any::<u8>(), any::<u8>())
+                .prop_map(|(cond, jt, jf)| Insn::Jmp { cond, src: Src::X, jt, jf }),
+            any::<u32>().prop_map(Insn::RetK),
+            Just(Insn::RetA),
+            Just(Insn::Tax),
+            Just(Insn::Txa),
+        ]
+    }
+
+    proptest! {
+        /// Every instruction round-trips through the Linux sock_filter
+        /// encoding, except that ALU/JMP X-source forms canonicalize
+        /// their unused `k` to 0 (as the kernel does).
+        #[test]
+        fn encode_decode_identity(insn in arb_any_insn()) {
+            let (code, jt, jf, k) = insn.encode();
+            let decoded = Insn::decode(code, jt, jf, k).expect("decodes");
+            prop_assert_eq!(decoded, insn);
+        }
+
+        /// Decoding is total over arbitrary words: it either rejects or
+        /// re-encodes to something that decodes to itself (stability).
+        #[test]
+        fn decode_is_stable(code in any::<u16>(), jt in any::<u8>(), jf in any::<u8>(), k in any::<u32>()) {
+            if let Some(insn) = Insn::decode(code, jt, jf, k) {
+                let (c2, t2, f2, k2) = insn.encode();
+                prop_assert_eq!(Insn::decode(c2, t2, f2, k2), Some(insn));
+            }
+        }
+    }
+}

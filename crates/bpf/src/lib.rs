@@ -1,0 +1,62 @@
+//! A classic-BPF (cBPF) seccomp filter engine.
+//!
+//! Linux Seccomp expresses system-call policies as classic BPF programs
+//! executed at every syscall entry against a [`SeccompData`] snapshot
+//! (paper §II-B). The cost Draco eliminates *is* the execution of these
+//! programs, so this crate reproduces the whole pipeline in userspace:
+//!
+//! * [`Insn`] / [`Program`] — the cBPF instruction set (the seccomp subset:
+//!   no packet-relative loads) with Linux's numeric encodings;
+//! * [`validate`] — the kernel's load-time checker: forward-only jumps,
+//!   in-bounds targets, aligned loads, every path ending in `RET`;
+//! * [`Interpreter`] — the reference executor, which also counts executed
+//!   instructions (the unit of checking cost in the evaluation);
+//! * [`CompiledFilter`] — a pre-decoded executor standing in for the
+//!   kernel's BPF JIT (2–3× faster than interpretation, paper §IV-A); the
+//!   substitution is documented in `DESIGN.md`;
+//! * [`ProgramBuilder`] — a small assembler with labels, used by
+//!   `draco-profiles` to compile whitelists the way libseccomp does.
+//!
+//! # Example
+//!
+//! ```
+//! use draco_bpf::{Interpreter, ProgramBuilder, SeccompAction, SeccompData};
+//!
+//! // Allow getpid (39), kill everything else.
+//! let mut b = ProgramBuilder::new();
+//! b.load_nr();
+//! b.jeq_imm(39, "allow", "deny");
+//! b.label("allow");
+//! b.ret_action(SeccompAction::Allow);
+//! b.label("deny");
+//! b.ret_action(SeccompAction::KillProcess);
+//! let prog = b.build()?;
+//!
+//! let data = SeccompData::for_syscall(39, &[0; 6]);
+//! let outcome = Interpreter::new(&prog).run(&data)?;
+//! assert_eq!(outcome.action, SeccompAction::Allow);
+//! # Ok::<(), draco_bpf::BpfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod action;
+mod asm;
+mod compiled;
+mod data;
+pub mod disasm;
+mod opt;
+mod insn;
+mod validator;
+mod vm;
+
+pub use action::SeccompAction;
+pub use asm::{ProgramBuilder, FALLTHROUGH};
+pub use compiled::CompiledFilter;
+pub use data::{SeccompData, AUDIT_ARCH_X86_64, SECCOMP_DATA_SIZE};
+pub use disasm::disasm;
+pub use insn::{AluOp, Cond, Insn, Program, Src, BPF_MAXINSNS};
+pub use opt::optimize;
+pub use validator::{validate, BpfError};
+pub use vm::{Interpreter, Outcome};

@@ -1,0 +1,339 @@
+//! A peephole optimizer for cBPF programs.
+//!
+//! Generated filters contain artifacts of label-based codegen:
+//! unconditional jumps to unconditional jumps (island hops), `ja 0`
+//! no-ops, and unreachable padding. This pass performs
+//!
+//! 1. **jump threading** — any jump landing on a `ja` is retargeted to
+//!    the chain's final destination (conditional displacements only when
+//!    the 8-bit reach allows);
+//! 2. **no-op elimination** — `ja 0` instructions fall away;
+//! 3. **dead-code elimination** — instructions unreachable from entry are
+//!    removed and every displacement recomputed.
+//!
+//! The pass is semantics-preserving (property-tested against the
+//! interpreter) and idempotent in practice; the result is re-validated.
+
+use crate::insn::Insn;
+use crate::{BpfError, Program};
+
+/// Optimizes a validated program.
+///
+/// # Errors
+///
+/// Never fails for programs produced by this crate's builders; the error
+/// type exists because the optimized instruction stream is re-validated.
+pub fn optimize(program: &Program) -> Result<Program, BpfError> {
+    let mut insns: Vec<Insn> = program.insns().to_vec();
+
+    // --- 1. Jump threading (targets are loop-free: offsets are forward).
+    let final_target = |insns: &[Insn], mut t: usize| -> usize {
+        // Follow ja chains; forward-only offsets guarantee termination.
+        while let Some(Insn::Ja(off)) = insns.get(t) {
+            t = t + 1 + *off as usize;
+        }
+        t
+    };
+    for at in 0..insns.len() {
+        match insns[at] {
+            Insn::Ja(off) => {
+                let t = final_target(&insns, at + 1 + off as usize);
+                insns[at] = Insn::Ja((t - at - 1) as u32);
+            }
+            Insn::Jmp { cond, src, jt, jf } => {
+                let thread = |off: u8| -> u8 {
+                    let t = final_target(&insns, at + 1 + off as usize);
+                    let d = t - at - 1;
+                    if d <= u8::MAX as usize {
+                        d as u8
+                    } else {
+                        off
+                    }
+                };
+                insns[at] = Insn::Jmp {
+                    cond,
+                    src,
+                    jt: thread(jt),
+                    jf: thread(jf),
+                };
+            }
+            _ => {}
+        }
+    }
+
+    // --- 2 & 3. Mark reachable instructions; `ja 0` counts as removable.
+    let mut reachable = vec![false; insns.len()];
+    let mut stack = vec![0usize];
+    while let Some(at) = stack.pop() {
+        if at >= insns.len() || reachable[at] {
+            continue;
+        }
+        reachable[at] = true;
+        match insns[at] {
+            Insn::Ja(off) => stack.push(at + 1 + off as usize),
+            Insn::Jmp { jt, jf, .. } => {
+                stack.push(at + 1 + jt as usize);
+                stack.push(at + 1 + jf as usize);
+            }
+            Insn::RetK(_) | Insn::RetA => {}
+            _ => stack.push(at + 1),
+        }
+    }
+    let removable: Vec<bool> = insns
+        .iter()
+        .zip(&reachable)
+        .map(|(insn, &r)| !r || matches!(insn, Insn::Ja(0)))
+        .collect();
+
+    // Old index → new index: prefix sums of retained instructions; a
+    // removed instruction maps to the next retained one, which is where
+    // its fallthrough lands.
+    let mut kept_before = vec![0usize; insns.len() + 1];
+    for at in 0..insns.len() {
+        kept_before[at + 1] = kept_before[at] + usize::from(!removable[at]);
+    }
+    let map = |old: usize| -> usize {
+        // Map to the first retained instruction at or after `old`.
+        let mut t = old;
+        while t < insns.len() && removable[t] {
+            // A removed `ja 0` falls through; a removed unreachable insn
+            // can only be "landed on" by fallthrough from another removed
+            // one, so skipping forward is sound.
+            t += 1;
+        }
+        kept_before[t]
+    };
+
+    let mut out = Vec::with_capacity(kept_before[insns.len()]);
+    for at in 0..insns.len() {
+        if removable[at] {
+            continue;
+        }
+        let here = map(at);
+        let insn = match insns[at] {
+            Insn::Ja(off) => {
+                let t = map(at + 1 + off as usize);
+                Insn::Ja((t - here - 1) as u32)
+            }
+            Insn::Jmp { cond, src, jt, jf } => Insn::Jmp {
+                cond,
+                src,
+                jt: (map(at + 1 + jt as usize) - here - 1) as u8,
+                jf: (map(at + 1 + jf as usize) - here - 1) as u8,
+            },
+            other => other,
+        };
+        out.push(insn);
+    }
+    Program::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        Cond, Insn, Interpreter, ProgramBuilder, SeccompAction, SeccompData, Src,
+    };
+
+    fn action_of(p: &Program, nr: i32) -> SeccompAction {
+        Interpreter::new(p)
+            .run(&SeccompData::for_syscall(nr, &[0; 6]))
+            .expect("runs")
+            .action
+    }
+
+    #[test]
+    fn threads_island_hops() {
+        // jeq → island(ja → ja → ret allow).
+        let prog = Program::new(vec![
+            Insn::LdAbs(0),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(1),
+                jt: 1,
+                jf: 0,
+            },
+            Insn::RetK(SeccompAction::KillProcess.encode()),
+            Insn::Ja(1), // island 1
+            Insn::RetK(0xdead),
+            Insn::Ja(0), // island 2: no-op hop
+            Insn::RetK(SeccompAction::Allow.encode()),
+        ])
+        .unwrap();
+        let opt = optimize(&prog).unwrap();
+        assert!(opt.len() < prog.len());
+        for nr in [0, 1, 2] {
+            assert_eq!(action_of(&prog, nr), action_of(&opt, nr), "nr {nr}");
+        }
+        // The dead 0xdead return and the `ja 0` are gone.
+        assert!(!opt.insns().contains(&Insn::RetK(0xdead)));
+        assert!(!opt.insns().contains(&Insn::Ja(0)));
+    }
+
+    #[test]
+    fn removes_unreachable_tail() {
+        let prog = Program::new(vec![
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::LdAbs(0),
+            Insn::RetK(0),
+        ])
+        .unwrap();
+        let opt = optimize(&prog).unwrap();
+        assert_eq!(opt.len(), 1);
+        assert_eq!(action_of(&opt, 5), SeccompAction::Allow);
+    }
+
+    #[test]
+    fn respects_conditional_reach() {
+        // A jeq whose threaded target would exceed 255 must keep its hop.
+        let mut insns = vec![
+            Insn::LdAbs(0),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(7),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::Ja(301), // hop to the far allow
+        ];
+        for _ in 0..300 {
+            insns.push(Insn::LdImm(0));
+        }
+        insns.push(Insn::RetK(SeccompAction::KillProcess.encode()));
+        insns.push(Insn::RetK(SeccompAction::Allow.encode()));
+        let prog = Program::new(insns).unwrap();
+        let opt = optimize(&prog).unwrap();
+        assert_eq!(action_of(&opt, 7), SeccompAction::Allow);
+        assert_eq!(action_of(&opt, 8), SeccompAction::KillProcess);
+    }
+
+    #[test]
+    fn shrinks_generated_whitelists() {
+        let mut b = ProgramBuilder::new();
+        b.load_nr();
+        for nr in 0..24u32 {
+            let next = format!("n{nr}");
+            b.jeq_imm(nr, "allow", next.clone());
+            b.label(next);
+        }
+        b.goto("deny");
+        b.label("allow");
+        b.ret_action(SeccompAction::Allow);
+        b.label("deny");
+        b.ret_action(SeccompAction::KillProcess);
+        let prog = b.build().unwrap();
+        let opt = optimize(&prog).unwrap();
+        assert!(opt.len() <= prog.len());
+        for nr in 0..30 {
+            assert_eq!(action_of(&prog, nr), action_of(&opt, nr));
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let prog = Program::new(vec![
+            Insn::LdAbs(0),
+            Insn::Ja(0),
+            Insn::RetA,
+        ])
+        .unwrap();
+        let once = optimize(&prog).unwrap();
+        let twice = optimize(&once).unwrap();
+        assert_eq!(once.insns(), twice.insns());
+        assert_eq!(once.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{AluOp, Cond, Insn, Interpreter, SeccompData, Src};
+    use proptest::prelude::*;
+
+    fn arb_insn() -> impl Strategy<Value = Insn> {
+        prop_oneof![
+            (0u32..16).prop_map(|w| Insn::LdAbs(w * 4)),
+            any::<u32>().prop_map(Insn::LdImm),
+            (0u32..16).prop_map(Insn::LdMem),
+            (0u32..16).prop_map(Insn::St),
+            (arb_alu(), 1u32..64).prop_map(|(op, k)| Insn::Alu(op, Src::K(k))),
+            Just(Insn::Tax),
+            Just(Insn::Txa),
+            (0u32..6).prop_map(Insn::Ja),
+            (arb_cond(), any::<u32>(), 0u8..6, 0u8..6).prop_map(|(cond, k, jt, jf)| {
+                Insn::Jmp {
+                    cond,
+                    src: Src::K(k),
+                    jt,
+                    jf,
+                }
+            }),
+            (0u32..2).prop_map(|k| Insn::RetK(k * 0x7fff_0000)),
+        ]
+    }
+
+    fn arb_alu() -> impl Strategy<Value = AluOp> {
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor)
+        ]
+    }
+
+    fn arb_cond() -> impl Strategy<Value = Cond> {
+        prop_oneof![
+            Just(Cond::Jeq),
+            Just(Cond::Jgt),
+            Just(Cond::Jge),
+            Just(Cond::Jset)
+        ]
+    }
+
+    fn arb_program() -> impl Strategy<Value = Program> {
+        proptest::collection::vec(arb_insn(), 1..24).prop_map(|mut body| {
+            let len = body.len();
+            for (i, insn) in body.iter_mut().enumerate() {
+                let room = len - i;
+                match insn {
+                    Insn::Ja(off) => *off %= room as u32,
+                    Insn::Jmp { jt, jf, .. } => {
+                        *jt %= room.min(255) as u8;
+                        *jf %= room.min(255) as u8;
+                    }
+                    _ => {}
+                }
+            }
+            body.push(Insn::RetA);
+            Program::new(body).expect("constructed valid")
+        })
+    }
+
+    proptest! {
+        /// Optimization never changes observable behaviour and never
+        /// grows the program.
+        #[test]
+        fn optimize_preserves_semantics(
+            prog in arb_program(),
+            nr in 0i32..64,
+            args in proptest::array::uniform6(0u64..8),
+        ) {
+            let opt = optimize(&prog).expect("optimizes");
+            prop_assert!(opt.len() <= prog.len());
+            let data = SeccompData::for_syscall(nr, &args);
+            let a = Interpreter::new(&prog).run(&data);
+            let b = Interpreter::new(&opt).run(&data);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.action, y.action);
+                    prop_assert_eq!(x.raw, y.raw);
+                    // Executed-instruction count may only shrink.
+                    prop_assert!(y.insns_executed <= x.insns_executed);
+                }
+                (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+                (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

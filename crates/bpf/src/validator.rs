@@ -1,0 +1,308 @@
+//! Load-time program validation, mirroring the kernel's checker.
+//!
+//! The kernel rejects malformed filters when they are installed
+//! (`seccomp(2)` returns `EINVAL`), not when they run. cBPF is loop-free by
+//! construction — all jump offsets are non-negative — so validation
+//! guarantees termination.
+
+use core::fmt;
+
+use crate::insn::{Insn, Src, BPF_MAXINSNS, MEMWORDS};
+use crate::SECCOMP_DATA_SIZE;
+
+/// Validation failures for cBPF programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BpfError {
+    /// The program has no instructions.
+    Empty,
+    /// The program exceeds `BPF_MAXINSNS`.
+    TooLong(usize),
+    /// A jump target lies beyond the end of the program.
+    JumpOutOfBounds {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The out-of-bounds target.
+        target: usize,
+    },
+    /// The final instruction can fall through past the end.
+    MissingReturn,
+    /// An absolute load is unaligned or outside `seccomp_data`.
+    BadLoadOffset {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The offending byte offset.
+        offset: u32,
+    },
+    /// A scratch-memory index is out of range.
+    BadMemIndex {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The offending slot index.
+        index: u32,
+    },
+    /// Division by a constant zero.
+    DivisionByZero {
+        /// Index of the offending instruction.
+        at: usize,
+    },
+    /// Shift by a constant of 32 or more.
+    BadShift {
+        /// Index of the offending instruction.
+        at: usize,
+    },
+    /// Division by `X` where `X` is zero, detected at run time.
+    RuntimeDivisionByZero,
+    /// An undefined label was referenced in the assembler.
+    UndefinedLabel(String),
+    /// A label was defined twice in the assembler.
+    DuplicateLabel(String),
+    /// A jump distance does not fit in the 8-bit `jt`/`jf` fields.
+    JumpTooFar {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The required displacement.
+        distance: usize,
+    },
+    /// A raw encoding outside the seccomp cBPF subset.
+    UnsupportedOpcode {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The raw opcode.
+        code: u16,
+    },
+}
+
+impl fmt::Display for BpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpfError::Empty => write!(f, "empty program"),
+            BpfError::TooLong(n) => {
+                write!(f, "program has {n} instructions, max {BPF_MAXINSNS}")
+            }
+            BpfError::JumpOutOfBounds { at, target } => {
+                write!(f, "instruction {at} jumps to {target}, past the end")
+            }
+            BpfError::MissingReturn => {
+                write!(f, "execution can fall through past the last instruction")
+            }
+            BpfError::BadLoadOffset { at, offset } => {
+                write!(f, "instruction {at} loads invalid offset {offset}")
+            }
+            BpfError::BadMemIndex { at, index } => {
+                write!(f, "instruction {at} uses scratch slot {index}, max 15")
+            }
+            BpfError::DivisionByZero { at } => {
+                write!(f, "instruction {at} divides by constant zero")
+            }
+            BpfError::BadShift { at } => {
+                write!(f, "instruction {at} shifts by 32 or more")
+            }
+            BpfError::RuntimeDivisionByZero => {
+                write!(f, "division by zero at run time")
+            }
+            BpfError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            BpfError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            BpfError::JumpTooFar { at, distance } => {
+                write!(
+                    f,
+                    "instruction {at} needs a jump of {distance}, max 255"
+                )
+            }
+            BpfError::UnsupportedOpcode { at, code } => {
+                write!(f, "instruction {at} has unsupported opcode {code:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BpfError {}
+
+/// Validates an instruction sequence the way the kernel does at filter
+/// install time.
+///
+/// Checks performed:
+///
+/// * non-empty, at most [`BPF_MAXINSNS`] instructions;
+/// * every jump target in bounds (cBPF offsets are forward-only, so
+///   termination follows);
+/// * no fall-through past the end: the last instruction must be a `RET`
+///   or an unconditional jump;
+/// * `LdAbs` offsets word-aligned and within `seccomp_data`;
+/// * scratch-memory indices below 16;
+/// * no division or shift by an illegal constant.
+///
+/// # Errors
+///
+/// Returns the first violation found, in program order.
+pub fn validate(insns: &[Insn]) -> Result<(), BpfError> {
+    if insns.is_empty() {
+        return Err(BpfError::Empty);
+    }
+    if insns.len() > BPF_MAXINSNS {
+        return Err(BpfError::TooLong(insns.len()));
+    }
+    for (at, insn) in insns.iter().enumerate() {
+        match *insn {
+            Insn::LdAbs(off)
+                if (off % 4 != 0 || off + 4 > SECCOMP_DATA_SIZE) => {
+                    return Err(BpfError::BadLoadOffset { at, offset: off });
+                }
+            Insn::LdMem(idx) | Insn::LdxMem(idx) | Insn::St(idx) | Insn::Stx(idx)
+                if idx as usize >= MEMWORDS => {
+                    return Err(BpfError::BadMemIndex { at, index: idx });
+                }
+            Insn::Alu(crate::AluOp::Div, Src::K(0)) => {
+                return Err(BpfError::DivisionByZero { at });
+            }
+            Insn::Alu(crate::AluOp::Lsh | crate::AluOp::Rsh, Src::K(k)) if k >= 32 => {
+                return Err(BpfError::BadShift { at });
+            }
+            Insn::Ja(off) => {
+                let target = at + 1 + off as usize;
+                if target >= insns.len() {
+                    return Err(BpfError::JumpOutOfBounds { at, target });
+                }
+            }
+            Insn::Jmp { jt, jf, .. } => {
+                for off in [jt, jf] {
+                    let target = at + 1 + off as usize;
+                    if target >= insns.len() {
+                        return Err(BpfError::JumpOutOfBounds { at, target });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // No fall-through: the last instruction must terminate or jump.
+    let last = insns[insns.len() - 1];
+    if !(last.is_ret() || matches!(last, Insn::Ja(_))) {
+        return Err(BpfError::MissingReturn);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond};
+
+    #[test]
+    fn accepts_minimal_program() {
+        assert_eq!(validate(&[Insn::RetK(0)]), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(validate(&[]), Err(BpfError::Empty));
+    }
+
+    #[test]
+    fn rejects_too_long() {
+        let prog = vec![Insn::RetK(0); BPF_MAXINSNS + 1];
+        assert!(matches!(validate(&prog), Err(BpfError::TooLong(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_jumps() {
+        let prog = vec![
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(1),
+                jt: 10,
+                jf: 0,
+            },
+            Insn::RetK(0),
+        ];
+        assert!(matches!(
+            validate(&prog),
+            Err(BpfError::JumpOutOfBounds { at: 0, .. })
+        ));
+        let prog = vec![Insn::Ja(5), Insn::RetK(0)];
+        assert!(matches!(
+            validate(&prog),
+            Err(BpfError::JumpOutOfBounds { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fall_through() {
+        let prog = vec![Insn::LdAbs(0)];
+        assert_eq!(validate(&prog), Err(BpfError::MissingReturn));
+    }
+
+    #[test]
+    fn rejects_bad_load_offsets() {
+        for off in [1u32, 2, 3, 61, 64, 100] {
+            let prog = vec![Insn::LdAbs(off), Insn::RetK(0)];
+            assert!(
+                matches!(validate(&prog), Err(BpfError::BadLoadOffset { .. })),
+                "offset {off}"
+            );
+        }
+        // 60 is the last valid word.
+        assert_eq!(validate(&[Insn::LdAbs(60), Insn::RetK(0)]), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bad_mem_indices() {
+        for insn in [
+            Insn::LdMem(16),
+            Insn::LdxMem(99),
+            Insn::St(16),
+            Insn::Stx(255),
+        ] {
+            assert!(matches!(
+                validate(&[insn, Insn::RetK(0)]),
+                Err(BpfError::BadMemIndex { .. })
+            ));
+        }
+        assert_eq!(
+            validate(&[Insn::St(15), Insn::LdMem(15), Insn::RetK(0)]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn rejects_constant_div_by_zero_and_wide_shifts() {
+        assert!(matches!(
+            validate(&[Insn::Alu(AluOp::Div, Src::K(0)), Insn::RetK(0)]),
+            Err(BpfError::DivisionByZero { at: 0 })
+        ));
+        assert!(matches!(
+            validate(&[Insn::Alu(AluOp::Lsh, Src::K(32)), Insn::RetK(0)]),
+            Err(BpfError::BadShift { at: 0 })
+        ));
+        assert_eq!(
+            validate(&[Insn::Alu(AluOp::Rsh, Src::K(31)), Insn::RetK(0)]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn accepts_terminal_unconditional_jump() {
+        // Last insn may be JA pointing backwards-in-text... cBPF offsets
+        // are forward-only, so a terminal JA must target an earlier RET —
+        // impossible. Terminal JA with offset 0 targets the next (absent)
+        // instruction and is out of bounds.
+        let prog = vec![Insn::Ja(0), Insn::RetK(0)];
+        assert_eq!(validate(&prog), Ok(()));
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_concise() {
+        let msgs = [
+            BpfError::Empty.to_string(),
+            BpfError::TooLong(5000).to_string(),
+            BpfError::MissingReturn.to_string(),
+            BpfError::RuntimeDivisionByZero.to_string(),
+            BpfError::UndefinedLabel("x".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

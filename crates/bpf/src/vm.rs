@@ -1,0 +1,386 @@
+//! The reference cBPF interpreter.
+
+use core::fmt;
+
+use crate::insn::{Insn, Src, MEMWORDS};
+use crate::{BpfError, Program, SeccompAction, SeccompData};
+
+/// The result of running a filter over one system call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// The decoded action.
+    pub action: SeccompAction,
+    /// The raw 32-bit return value.
+    pub raw: u32,
+    /// Number of instructions executed — the unit of checking cost in the
+    /// paper's evaluation ("the number of instructions needed to execute
+    /// the ... profile", §IV-B).
+    pub insns_executed: u64,
+}
+
+/// Executes a validated [`Program`] against [`SeccompData`] snapshots.
+///
+/// The interpreter models the kernel's non-JIT path. Because programs are
+/// validated at construction, execution cannot fault except for division
+/// by a runtime-zero `X`, which mirrors the kernel's defined behaviour of
+/// returning 0 from the filter (treated here as an error to surface bugs
+/// in generated filters).
+///
+/// # Example
+///
+/// ```
+/// use draco_bpf::{Insn, Interpreter, Program, SeccompData};
+///
+/// let prog = Program::new(vec![Insn::LdAbs(0), Insn::RetA])?;
+/// let out = Interpreter::new(&prog).run(&SeccompData::for_syscall(7, &[0; 6]))?;
+/// assert_eq!(out.raw, 7);
+/// assert_eq!(out.insns_executed, 2);
+/// # Ok::<(), draco_bpf::BpfError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for a program.
+    pub fn new(program: &'p Program) -> Self {
+        Interpreter { program }
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BpfError::RuntimeDivisionByZero`] if an `A / X` executes
+    /// with `X == 0`.
+    pub fn run(&self, data: &SeccompData) -> Result<Outcome, BpfError> {
+        let insns = self.program.insns();
+        let mut a: u32 = 0;
+        let mut x: u32 = 0;
+        let mut mem = [0u32; MEMWORDS];
+        let mut pc: usize = 0;
+        let mut executed: u64 = 0;
+
+        loop {
+            // Validation guarantees pc stays in bounds and terminates.
+            let insn = insns[pc];
+            executed += 1;
+            pc += 1;
+            match insn {
+                Insn::LdAbs(off) => {
+                    // Offsets are validated at load time.
+                    a = data.load_word(off).expect("validated load offset");
+                }
+                Insn::LdImm(k) => a = k,
+                Insn::LdMem(i) => a = mem[i as usize],
+                Insn::LdLen => a = crate::SECCOMP_DATA_SIZE,
+                Insn::LdxImm(k) => x = k,
+                Insn::LdxMem(i) => x = mem[i as usize],
+                Insn::LdxLen => x = crate::SECCOMP_DATA_SIZE,
+                Insn::St(i) => mem[i as usize] = a,
+                Insn::Stx(i) => mem[i as usize] = x,
+                Insn::Alu(op, src) => {
+                    let operand = match src {
+                        Src::K(k) => k,
+                        Src::X => x,
+                    };
+                    a = alu(op, a, operand, matches!(src, Src::X))?;
+                }
+                Insn::Neg => a = a.wrapping_neg(),
+                Insn::Ja(off) => pc += off as usize,
+                Insn::Jmp { cond, src, jt, jf } => {
+                    let operand = match src {
+                        Src::K(k) => k,
+                        Src::X => x,
+                    };
+                    let taken = match cond {
+                        crate::Cond::Jeq => a == operand,
+                        crate::Cond::Jgt => a > operand,
+                        crate::Cond::Jge => a >= operand,
+                        crate::Cond::Jset => a & operand != 0,
+                    };
+                    pc += if taken { jt as usize } else { jf as usize };
+                }
+                Insn::RetK(k) => return Ok(outcome(k, executed)),
+                Insn::RetA => return Ok(outcome(a, executed)),
+                Insn::Tax => x = a,
+                Insn::Txa => a = x,
+            }
+        }
+    }
+}
+
+fn alu(op: crate::AluOp, a: u32, operand: u32, from_x: bool) -> Result<u32, BpfError> {
+    use crate::AluOp::*;
+    Ok(match op {
+        Add => a.wrapping_add(operand),
+        Sub => a.wrapping_sub(operand),
+        Mul => a.wrapping_mul(operand),
+        Div => {
+            if operand == 0 {
+                debug_assert!(from_x, "constant zero divisor is rejected at load");
+                return Err(BpfError::RuntimeDivisionByZero);
+            }
+            a / operand
+        }
+        And => a & operand,
+        Or => a | operand,
+        Xor => a ^ operand,
+        Lsh => a.wrapping_shl(operand),
+        Rsh => a.wrapping_shr(operand),
+    })
+}
+
+fn outcome(raw: u32, executed: u64) -> Outcome {
+    Outcome {
+        action: SeccompAction::decode(raw),
+        raw,
+        insns_executed: executed,
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after {} insns", self.action, self.insns_executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond};
+
+    fn run(insns: Vec<Insn>, data: &SeccompData) -> Outcome {
+        let prog = Program::new(insns).expect("valid program");
+        Interpreter::new(&prog).run(data).expect("clean run")
+    }
+
+    fn data_nr(nr: i32) -> SeccompData {
+        SeccompData::for_syscall(nr, &[0; 6])
+    }
+
+    #[test]
+    fn returns_constant() {
+        let out = run(vec![Insn::RetK(SeccompAction::Allow.encode())], &data_nr(0));
+        assert_eq!(out.action, SeccompAction::Allow);
+        assert_eq!(out.insns_executed, 1);
+    }
+
+    #[test]
+    fn loads_and_compares_nr() {
+        // The canonical 4-instruction whitelist check.
+        let insns = vec![
+            Insn::LdAbs(SeccompData::OFF_NR),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(39),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::RetK(SeccompAction::KillProcess.encode()),
+        ];
+        let hit = run(insns.clone(), &data_nr(39));
+        assert_eq!(hit.action, SeccompAction::Allow);
+        assert_eq!(hit.insns_executed, 3);
+        let miss = run(insns, &data_nr(40));
+        assert_eq!(miss.action, SeccompAction::KillProcess);
+        assert_eq!(miss.insns_executed, 3);
+    }
+
+    #[test]
+    fn checks_argument_words() {
+        // Paper Fig. 1: personality(0xffffffff) or personality(0x20008).
+        let insns = vec![
+            Insn::LdAbs(SeccompData::OFF_NR),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(135),
+                jt: 0,
+                jf: 4,
+            },
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(0xffff_ffff),
+                jt: 1,
+                jf: 0,
+            },
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(0x0002_0008),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::RetK(SeccompAction::KillProcess.encode()),
+        ];
+        let ok1 = run(
+            insns.clone(),
+            &SeccompData::for_syscall(135, &[0xffff_ffff, 0, 0, 0, 0, 0]),
+        );
+        assert_eq!(ok1.action, SeccompAction::Allow);
+        let ok2 = run(
+            insns.clone(),
+            &SeccompData::for_syscall(135, &[0x20008, 0, 0, 0, 0, 0]),
+        );
+        assert_eq!(ok2.action, SeccompAction::Allow);
+        let bad = run(
+            insns.clone(),
+            &SeccompData::for_syscall(135, &[1, 0, 0, 0, 0, 0]),
+        );
+        assert_eq!(bad.action, SeccompAction::KillProcess);
+        let other = run(insns, &data_nr(1));
+        assert_eq!(other.action, SeccompAction::KillProcess);
+        assert_eq!(other.insns_executed, 3);
+    }
+
+    #[test]
+    fn alu_operations() {
+        let cases: Vec<(AluOp, u32, u32, u32)> = vec![
+            (AluOp::Add, 10, 3, 13),
+            (AluOp::Sub, 10, 3, 7),
+            (AluOp::Mul, 10, 3, 30),
+            (AluOp::Div, 10, 3, 3),
+            (AluOp::And, 0b1100, 0b1010, 0b1000),
+            (AluOp::Or, 0b1100, 0b1010, 0b1110),
+            (AluOp::Xor, 0b1100, 0b1010, 0b0110),
+            (AluOp::Lsh, 1, 4, 16),
+            (AluOp::Rsh, 16, 4, 1),
+        ];
+        for (op, a0, k, want) in cases {
+            let out = run(
+                vec![Insn::LdImm(a0), Insn::Alu(op, Src::K(k)), Insn::RetA],
+                &data_nr(0),
+            );
+            assert_eq!(out.raw, want, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn alu_from_x_and_moves() {
+        let out = run(
+            vec![
+                Insn::LdImm(21),
+                Insn::Tax,                       // X = 21
+                Insn::LdImm(2),                  // A = 2
+                Insn::Alu(AluOp::Mul, Src::X),   // A = 42
+                Insn::RetA,
+            ],
+            &data_nr(0),
+        );
+        assert_eq!(out.raw, 42);
+        let out = run(
+            vec![Insn::LdxImm(9), Insn::Txa, Insn::RetA],
+            &data_nr(0),
+        );
+        assert_eq!(out.raw, 9);
+    }
+
+    #[test]
+    fn scratch_memory_roundtrip() {
+        let out = run(
+            vec![
+                Insn::LdImm(123),
+                Insn::St(5),
+                Insn::LdImm(0),
+                Insn::LdMem(5),
+                Insn::RetA,
+            ],
+            &data_nr(0),
+        );
+        assert_eq!(out.raw, 123);
+        let out = run(
+            vec![
+                Insn::LdxImm(77),
+                Insn::Stx(0),
+                Insn::LdMem(0),
+                Insn::RetA,
+            ],
+            &data_nr(0),
+        );
+        assert_eq!(out.raw, 77);
+    }
+
+    #[test]
+    fn wrapping_arithmetic_and_neg() {
+        let out = run(
+            vec![
+                Insn::LdImm(u32::MAX),
+                Insn::Alu(AluOp::Add, Src::K(1)),
+                Insn::RetA,
+            ],
+            &data_nr(0),
+        );
+        assert_eq!(out.raw, 0);
+        let out = run(vec![Insn::LdImm(1), Insn::Neg, Insn::RetA], &data_nr(0));
+        assert_eq!(out.raw, u32::MAX);
+    }
+
+    #[test]
+    fn ja_skips_instructions() {
+        let out = run(
+            vec![
+                Insn::Ja(1),
+                Insn::RetK(1), // skipped
+                Insn::RetK(2),
+            ],
+            &data_nr(0),
+        );
+        assert_eq!(out.raw, 2);
+        assert_eq!(out.insns_executed, 2);
+    }
+
+    #[test]
+    fn runtime_division_by_zero_errors() {
+        let prog = Program::new(vec![
+            Insn::LdImm(10),
+            Insn::LdxImm(0),
+            Insn::Alu(AluOp::Div, Src::X),
+            Insn::RetA,
+        ])
+        .unwrap();
+        let err = Interpreter::new(&prog).run(&data_nr(0)).unwrap_err();
+        assert_eq!(err, BpfError::RuntimeDivisionByZero);
+    }
+
+    #[test]
+    fn ldlen_loads_struct_size() {
+        let out = run(vec![Insn::LdLen, Insn::RetA], &data_nr(0));
+        assert_eq!(out.raw, 64);
+        let out = run(vec![Insn::LdxLen, Insn::Txa, Insn::RetA], &data_nr(0));
+        assert_eq!(out.raw, 64);
+    }
+
+    #[test]
+    fn jset_tests_bits() {
+        let insns = vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(1)),
+            Insn::Jmp {
+                cond: Cond::Jset,
+                src: Src::K(0x4),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(1),
+            Insn::RetK(0),
+        ];
+        let set = run(
+            insns.clone(),
+            &SeccompData::for_syscall(0, &[0, 0x6, 0, 0, 0, 0]),
+        );
+        assert_eq!(set.raw, 1);
+        let clear = run(
+            insns,
+            &SeccompData::for_syscall(0, &[0, 0x3, 0, 0, 0, 0]),
+        );
+        assert_eq!(clear.raw, 0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        let out = run(vec![Insn::RetK(SeccompAction::Allow.encode())], &data_nr(0));
+        assert_eq!(out.to_string(), "allow after 1 insns");
+    }
+}

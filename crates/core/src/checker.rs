@@ -1,0 +1,488 @@
+//! The Draco check workflow (paper Fig. 4).
+
+use core::fmt;
+
+use draco_bpf::{SeccompAction, SeccompData};
+use draco_profiles::{
+    compile_stacked, ArgPolicy, CompiledStack, FilterLayout, FilterStack, ProfileSpec,
+    StackOutcome,
+};
+use draco_syscalls::{SyscallRequest, SyscallTable};
+
+use crate::{CheckerStats, DracoError, Spt, Vat};
+
+/// What Draco checks (paper §V-A vs §V-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckMode {
+    /// Check system call IDs only (SPT alone).
+    IdOnly,
+    /// Check IDs and argument set values (SPT + VAT).
+    IdAndArgs,
+}
+
+/// How the fallback Seccomp filter stack is executed.
+#[derive(Debug)]
+pub enum FilterEngine {
+    /// The reference interpreter (kernel with BPF JIT disabled).
+    Interpreted(FilterStack),
+    /// The pre-decoded executor (kernel with BPF JIT enabled).
+    Compiled(CompiledStack),
+}
+
+impl FilterEngine {
+    fn run(&self, data: &SeccompData) -> Result<StackOutcome, draco_bpf::BpfError> {
+        match self {
+            FilterEngine::Interpreted(stack) => stack.run(data),
+            FilterEngine::Compiled(stack) => stack.run(data),
+        }
+    }
+}
+
+/// Which path admitted (or rejected) a check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckPath {
+    /// SPT Valid bit sufficed (no argument checking required).
+    SptHit,
+    /// The VAT held the argument set.
+    VatHit,
+    /// The Seccomp filter ran (`insns` cBPF instructions executed).
+    FilterRun {
+        /// Instructions the fallback executed.
+        insns: u64,
+    },
+}
+
+impl CheckPath {
+    /// True if the check skipped the filter.
+    pub const fn is_cache_hit(self) -> bool {
+        matches!(self, CheckPath::SptHit | CheckPath::VatHit)
+    }
+}
+
+/// The verdict and provenance of one check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckResult {
+    /// The final action (cached hits are always `Allow`).
+    pub action: SeccompAction,
+    /// How the verdict was produced.
+    pub path: CheckPath,
+}
+
+/// Software Draco: SPT + VAT in front of a Seccomp filter.
+///
+/// The checker is sound because caching only ever stores *positive*
+/// verdicts of a stateless profile: a hit replays an earlier `Allow`; a
+/// miss runs the real filter. See the crate docs for the workflow diagram
+/// and `tests/equivalence.rs` for the machine-checked statement.
+#[derive(Debug)]
+pub struct DracoChecker {
+    spt: Spt,
+    vat: Vat,
+    profile: ProfileSpec,
+    filter: FilterEngine,
+    mode: CheckMode,
+    stats: CheckerStats,
+}
+
+impl DracoChecker {
+    /// Builds a checker for a profile, compiling the fallback filter in
+    /// the linear layout with the pre-decoded (JIT-model) executor, and
+    /// checking arguments iff the profile does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::FilterCompile`] if filter compilation fails.
+    pub fn from_profile(profile: &ProfileSpec) -> Result<Self, DracoError> {
+        let mode = if profile.checks_arguments() {
+            CheckMode::IdAndArgs
+        } else {
+            CheckMode::IdOnly
+        };
+        let stack =
+            compile_stacked(profile, FilterLayout::Linear).map_err(DracoError::FilterCompile)?;
+        Ok(Self::new(
+            profile.clone(),
+            FilterEngine::Compiled(stack.compiled()),
+            mode,
+        ))
+    }
+
+    /// Builds a checker with explicit filter engine and mode.
+    pub fn new(profile: ProfileSpec, filter: FilterEngine, mode: CheckMode) -> Self {
+        let capacity = SyscallTable::shared().capacity();
+        DracoChecker {
+            spt: Spt::new(capacity),
+            vat: Vat::new(),
+            profile,
+            filter,
+            mode,
+            stats: CheckerStats::default(),
+        }
+    }
+
+    /// Caps every VAT table at `cap` entries (builder-style): an OS
+    /// memory-pressure policy. Evicted argument sets simply revalidate
+    /// through the filter on their next use.
+    #[must_use]
+    pub fn with_vat_capacity_cap(mut self, cap: usize) -> Self {
+        self.vat = crate::Vat::new().with_capacity_cap(cap);
+        self
+    }
+
+    /// The checking mode.
+    pub const fn mode(&self) -> CheckMode {
+        self.mode
+    }
+
+    /// The profile being enforced.
+    pub fn profile(&self) -> &ProfileSpec {
+        &self.profile
+    }
+
+    /// Accumulated counters.
+    pub const fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// The SPT (read access for inspection and the simulator).
+    pub fn spt(&self) -> &Spt {
+        &self.spt
+    }
+
+    /// The VAT (read access for inspection and the simulator).
+    pub fn vat(&self) -> &Vat {
+        &self.vat
+    }
+
+    /// Pre-populates the SPT (and VAT structures) from the profile, as an
+    /// OS could do at filter-install time. With warm tables, the first
+    /// encounter of each ID-only syscall is already a hit.
+    pub fn preload_spt(&mut self) {
+        let rules: Vec<_> = self
+            .profile
+            .rules()
+            .map(|(id, rule)| (id, rule.clone()))
+            .collect();
+        for (id, rule) in rules {
+            match (&rule.args, self.mode) {
+                (ArgPolicy::Whitelist { mask, sets }, CheckMode::IdAndArgs) => {
+                    let idx = self.vat.ensure_table(id, sets.len());
+                    self.spt.set_valid(id, *mask, Some(idx));
+                }
+                _ => {
+                    self.spt
+                        .set_valid(id, draco_syscalls::ArgBitmask::EMPTY, None);
+                }
+            }
+        }
+    }
+
+    /// Checks one system call (paper Fig. 4).
+    pub fn check(&mut self, req: &SyscallRequest) -> CheckResult {
+        // 1. SPT lookup by SID.
+        if let Some(entry) = self.spt.get(req.id) {
+            match (self.mode, entry.vat_index) {
+                // ID-only checking, or this syscall needs no arg checks.
+                (CheckMode::IdOnly, _) | (CheckMode::IdAndArgs, None) => {
+                    self.stats.spt_hits += 1;
+                    return CheckResult {
+                        action: SeccompAction::Allow,
+                        path: CheckPath::SptHit,
+                    };
+                }
+                // 2. VAT probe.
+                (CheckMode::IdAndArgs, Some(idx)) => {
+                    if self.vat.lookup(idx, entry.bitmask, &req.args).is_some() {
+                        self.stats.vat_hits += 1;
+                        return CheckResult {
+                            action: SeccompAction::Allow,
+                            path: CheckPath::VatHit,
+                        };
+                    }
+                }
+            }
+        }
+        // 3. Fall back to the Seccomp filter.
+        self.run_filter_and_update(req)
+    }
+
+    fn run_filter_and_update(&mut self, req: &SyscallRequest) -> CheckResult {
+        let data = SeccompData::from_request(req);
+        let outcome = self
+            .filter
+            .run(&data)
+            .expect("profile-generated filters cannot fault");
+        self.stats.filter_runs += 1;
+        self.stats.filter_insns += outcome.insns_executed;
+        if outcome.action.permits() {
+            self.record_validation(req);
+        } else {
+            self.stats.denials += 1;
+        }
+        CheckResult {
+            action: outcome.action,
+            path: CheckPath::FilterRun {
+                insns: outcome.insns_executed,
+            },
+        }
+    }
+
+    /// Updates SPT/VAT after a successful filter run ("Update Table" in
+    /// paper Fig. 4).
+    fn record_validation(&mut self, req: &SyscallRequest) {
+        let rule = match self.profile.rule(req.id) {
+            Some(rule) => rule.clone(),
+            // The filter allowed a syscall the profile has no rule for
+            // (cannot happen with generated filters; defensive for custom
+            // engines): do not cache.
+            None => return,
+        };
+        match (&rule.args, self.mode) {
+            (ArgPolicy::Whitelist { mask, sets }, CheckMode::IdAndArgs) => {
+                let idx = self.vat.ensure_table(req.id, sets.len());
+                self.spt.set_valid(req.id, *mask, Some(idx));
+                self.vat.insert(idx, *mask, &req.args);
+                self.stats.vat_inserts += 1;
+            }
+            _ => {
+                self.spt
+                    .set_valid(req.id, draco_syscalls::ArgBitmask::EMPTY, None);
+            }
+        }
+    }
+
+    /// Clears all cached state (the paper's one-shot clear, §VII-B).
+    pub fn flush(&mut self) {
+        self.spt.invalidate_all();
+        self.vat.clear();
+    }
+
+    /// Attaches an additional filter, as `seccomp(2)` allows a running
+    /// process to do. The effective policy becomes the intersection
+    /// (kernel most-restrictive combining) and every cached validation is
+    /// flushed — a pair the old tables admitted may now be denied, so
+    /// §VII-B's "filters are not modified" soundness condition is
+    /// re-established by starting cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::FilterCompile`] if the combined filter fails
+    /// to compile.
+    pub fn install_additional(&mut self, extra: &ProfileSpec) -> Result<(), DracoError> {
+        let combined = self.profile.intersect(extra);
+        let stack = compile_stacked(&combined, FilterLayout::Linear)
+            .map_err(DracoError::FilterCompile)?;
+        self.filter = FilterEngine::Compiled(stack.compiled());
+        self.mode = if combined.checks_arguments() {
+            CheckMode::IdAndArgs
+        } else {
+            CheckMode::IdOnly
+        };
+        self.profile = combined;
+        self.flush();
+        Ok(())
+    }
+}
+
+impl fmt::Display for DracoChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DracoChecker[{}] {}",
+            self.profile.name(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_profiles::{docker_default, ProfileGenerator, ProfileKind};
+    use draco_syscalls::{ArgSet, SyscallId};
+
+    fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+        SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+    }
+
+    #[test]
+    fn id_only_profile_uses_spt() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(39, &[]));
+        let profile = gen.emit(ProfileKind::SyscallNoargs);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        assert_eq!(checker.mode(), CheckMode::IdOnly);
+
+        let r1 = checker.check(&req(39, &[]));
+        assert!(matches!(r1.path, CheckPath::FilterRun { .. }));
+        assert_eq!(r1.action, SeccompAction::Allow);
+        let r2 = checker.check(&req(39, &[]));
+        assert_eq!(r2.path, CheckPath::SptHit);
+        assert_eq!(checker.stats().spt_hits, 1);
+        assert_eq!(checker.stats().filter_runs, 1);
+    }
+
+    #[test]
+    fn arg_checking_profile_uses_vat() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0xaaaa, 64]));
+        gen.observe(&req(0, &[4, 0xbbbb, 128]));
+        let profile = gen.emit(ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        assert_eq!(checker.mode(), CheckMode::IdAndArgs);
+
+        // First encounters run the filter.
+        assert!(!checker.check(&req(0, &[3, 1, 64])).path.is_cache_hit());
+        assert!(!checker.check(&req(0, &[4, 2, 128])).path.is_cache_hit());
+        // Re-encounters hit the VAT (pointer arg may differ).
+        let r = checker.check(&req(0, &[3, 999, 64]));
+        assert_eq!(r.path, CheckPath::VatHit);
+        assert_eq!(r.action, SeccompAction::Allow);
+        assert_eq!(checker.stats().vat_hits, 1);
+        assert_eq!(checker.stats().vat_inserts, 2);
+    }
+
+    #[test]
+    fn denied_calls_never_cached() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0, 64]));
+        let profile = gen.emit(ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+
+        for _ in 0..3 {
+            let r = checker.check(&req(0, &[9, 0, 64]));
+            assert!(!r.action.permits());
+            assert!(matches!(r.path, CheckPath::FilterRun { .. }));
+        }
+        assert_eq!(checker.stats().denials, 3);
+        assert_eq!(checker.stats().vat_hits, 0);
+    }
+
+    #[test]
+    fn cache_verdicts_match_oracle_on_docker() {
+        let profile = docker_default();
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        let reqs = [
+            req(0, &[3, 0, 100]),
+            req(135, &[0xffff_ffff, 0, 0]),
+            req(135, &[0x1234, 0, 0]),
+            req(101, &[0, 0, 0]),
+            req(0, &[3, 0, 100]),
+            req(135, &[0xffff_ffff, 0, 0]),
+        ];
+        for r in &reqs {
+            let got = checker.check(r);
+            assert_eq!(got.action, profile.evaluate(r), "{r}");
+        }
+        assert!(checker.stats().cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn preload_makes_first_check_a_hit() {
+        let profile = docker_default();
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        checker.preload_spt();
+        // read has no arg checks in docker-default → SPT hit immediately.
+        let r = checker.check(&req(0, &[3, 0, 100]));
+        assert_eq!(r.path, CheckPath::SptHit);
+        // personality has arg checks → first value still needs the filter.
+        let r = checker.check(&req(135, &[0xffff_ffff, 0, 0]));
+        assert!(matches!(r.path, CheckPath::FilterRun { .. }));
+        let r = checker.check(&req(135, &[0xffff_ffff, 0, 0]));
+        assert_eq!(r.path, CheckPath::VatHit);
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(39, &[]));
+        let profile = gen.emit(ProfileKind::SyscallNoargs);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        checker.check(&req(39, &[]));
+        checker.flush();
+        let r = checker.check(&req(39, &[]));
+        assert!(matches!(r.path, CheckPath::FilterRun { .. }));
+    }
+
+    #[test]
+    fn interpreted_engine_costs_more_same_verdict() {
+        let profile = docker_default();
+        let stack = compile_stacked(&profile, FilterLayout::Linear).unwrap();
+        let compiled_stack = stack.compiled();
+        let mut interp = DracoChecker::new(
+            profile.clone(),
+            FilterEngine::Interpreted(stack),
+            CheckMode::IdAndArgs,
+        );
+        let mut compiled = DracoChecker::new(
+            profile,
+            FilterEngine::Compiled(compiled_stack),
+            CheckMode::IdAndArgs,
+        );
+        let r = req(231, &[0]);
+        let a = interp.check(&r);
+        let b = compiled.check(&r);
+        assert_eq!(a.action, b.action);
+        // Identical instruction counts (the engines are semantically
+        // identical; only wall-clock differs).
+        assert_eq!(a.path, b.path);
+    }
+
+    #[test]
+    fn install_additional_restricts_and_flushes() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0, 64]));
+        gen.observe(&req(1, &[4, 0, 64]));
+        let base = gen.emit(ProfileKind::SyscallNoargs);
+        let mut checker = DracoChecker::from_profile(&base).unwrap();
+        // Warm both syscalls.
+        assert!(checker.check(&req(0, &[3, 0, 64])).action.permits());
+        assert!(checker.check(&req(1, &[4, 0, 64])).action.permits());
+        assert!(checker.check(&req(1, &[4, 0, 64])).path.is_cache_hit());
+
+        // A second filter that only allows read.
+        let mut gen2 = ProfileGenerator::new("tighter");
+        gen2.observe(&req(0, &[3, 0, 64]));
+        let extra = gen2.emit(ProfileKind::SyscallNoargs);
+        checker.install_additional(&extra).unwrap();
+
+        // write is now denied — including the previously cached pair.
+        assert!(!checker.check(&req(1, &[4, 0, 64])).action.permits());
+        // read revalidates from cold, then caches again.
+        let r = checker.check(&req(0, &[3, 0, 64]));
+        assert!(r.action.permits());
+        assert!(!r.path.is_cache_hit(), "tables were flushed");
+        assert!(checker.check(&req(0, &[3, 0, 64])).path.is_cache_hit());
+        assert!(checker.profile().name().contains('+'));
+    }
+
+    #[test]
+    fn install_additional_matches_intersection_oracle() {
+        let base = docker_default();
+        let mut gen = ProfileGenerator::new("app");
+        for nr in [0u16, 1, 3, 135] {
+            gen.observe(&req(nr, &[0xffff_ffff, 0, 0]));
+        }
+        let extra = gen.emit(ProfileKind::SyscallComplete);
+        let oracle = base.intersect(&extra);
+        let mut checker = DracoChecker::from_profile(&base).unwrap();
+        checker.install_additional(&extra).unwrap();
+        for nr in [0u16, 1, 3, 57, 135, 200] {
+            for v in [0u64, 0xffff_ffff] {
+                let r = req(nr, &[v, 0, 0]);
+                assert_eq!(
+                    checker.check(&r).action.permits(),
+                    oracle.evaluate(&r).permits(),
+                    "{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let profile = docker_default();
+        let checker = DracoChecker::from_profile(&profile).unwrap();
+        assert!(checker.to_string().contains("docker-default"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-process Draco state.
+//!
+//! The OS owns one SPT/VAT pair per process (paper §V: "the SPT contains
+//! information for one process", and §VII-A: "The OS kernel is
+//! responsible for filling the VAT of each process"). `DracoProcess`
+//! bundles a checker with a process identity, enforces the
+//! profile-immutability rule (§VII-B: "system call filters are not
+//! modified during process runtime"), and provides fork semantics.
+
+use core::fmt;
+
+use draco_profiles::ProfileSpec;
+use draco_syscalls::SyscallRequest;
+
+use crate::{CheckResult, CheckerStats, DracoChecker, DracoError};
+
+/// A process identifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A process with an installed, immutable Draco-backed profile.
+///
+/// # Example
+///
+/// ```
+/// use draco_core::{DracoProcess, ProcessId};
+/// use draco_profiles::firecracker;
+///
+/// let mut p = DracoProcess::spawn(ProcessId(1), &firecracker())?;
+/// assert_eq!(p.pid(), ProcessId(1));
+/// # Ok::<(), draco_core::DracoError>(())
+/// ```
+#[derive(Debug)]
+pub struct DracoProcess {
+    pid: ProcessId,
+    checker: DracoChecker,
+    alive: bool,
+}
+
+impl DracoProcess {
+    /// Creates a process with the given profile installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    pub fn spawn(pid: ProcessId, profile: &ProfileSpec) -> Result<Self, DracoError> {
+        Ok(DracoProcess {
+            pid,
+            checker: DracoChecker::from_profile(profile)?,
+            alive: true,
+        })
+    }
+
+    /// The process ID.
+    pub const fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Whether the process is still running (a `KillProcess` verdict
+    /// terminates it).
+    pub const fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The installed profile (immutable for the process lifetime).
+    pub fn profile(&self) -> &ProfileSpec {
+        self.checker.profile()
+    }
+
+    /// The underlying checker.
+    pub fn checker(&self) -> &DracoChecker {
+        &self.checker
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> CheckerStats {
+        self.checker.stats()
+    }
+
+    /// Issues one system call through the checker.
+    ///
+    /// A `KillProcess`/`KillThread` verdict marks the process dead;
+    /// further calls keep returning the denial without reaching the
+    /// checker.
+    pub fn syscall(&mut self, req: &SyscallRequest) -> CheckResult {
+        if !self.alive {
+            return CheckResult {
+                action: draco_bpf::SeccompAction::KillProcess,
+                path: crate::CheckPath::FilterRun { insns: 0 },
+            };
+        }
+        let result = self.checker.check(req);
+        if matches!(
+            result.action,
+            draco_bpf::SeccompAction::KillProcess | draco_bpf::SeccompAction::KillThread
+        ) {
+            self.alive = false;
+        }
+        result
+    }
+
+    /// Forks the process: the child inherits the profile but starts with
+    /// cold tables (a fresh kernel would lazily rebuild them; starting
+    /// cold is the conservative model and exercises Draco's warm-up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if re-compiling the inherited profile fails
+    /// (it cannot, for profiles that compiled once).
+    pub fn fork(&self, child_pid: ProcessId) -> Result<DracoProcess, DracoError> {
+        DracoProcess::spawn(child_pid, self.checker.profile())
+    }
+}
+
+impl fmt::Display for DracoProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.pid, self.checker.profile().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_profiles::{gvisor_default, ProfileGenerator, ProfileKind};
+    use draco_syscalls::{ArgSet, SyscallId};
+
+    fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+        SyscallRequest::new(0, SyscallId::new(nr), ArgSet::from_slice(args))
+    }
+
+    #[test]
+    fn kill_verdict_terminates_process() {
+        let p = gvisor_default(); // default action: kill-process
+        let mut proc = DracoProcess::spawn(ProcessId(7), &p).unwrap();
+        assert!(proc.is_alive());
+        let r = proc.syscall(&req(101, &[0, 0])); // ptrace: not allowed
+        assert!(!r.action.permits());
+        assert!(!proc.is_alive());
+        // Subsequent calls short-circuit.
+        let r2 = proc.syscall(&req(0, &[1, 2, 3]));
+        assert!(!r2.action.permits());
+        assert_eq!(proc.stats().total(), 1, "dead process checks nothing");
+    }
+
+    #[test]
+    fn errno_verdict_keeps_process_alive() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[1, 0, 1]));
+        let mut profile = gen.emit(ProfileKind::SyscallNoargs);
+        // Rebuild with errno default (like docker-default).
+        let mut p = draco_profiles::ProfileSpec::new("t", draco_bpf::SeccompAction::Errno(1));
+        for (id, rule) in profile.rules() {
+            p.allow(id, rule.clone());
+        }
+        profile = p;
+        let mut proc = DracoProcess::spawn(ProcessId(1), &profile).unwrap();
+        let r = proc.syscall(&req(57, &[]));
+        assert_eq!(r.action, draco_bpf::SeccompAction::Errno(1));
+        assert!(proc.is_alive());
+    }
+
+    #[test]
+    fn fork_starts_cold_with_same_profile() {
+        let profile = gvisor_default();
+        let mut parent = DracoProcess::spawn(ProcessId(1), &profile).unwrap();
+        parent.syscall(&req(39, &[]));
+        parent.syscall(&req(39, &[]));
+        assert!(parent.stats().spt_hits > 0);
+        let mut child = parent.fork(ProcessId(2)).unwrap();
+        assert_eq!(child.pid(), ProcessId(2));
+        assert_eq!(child.profile().name(), profile.name());
+        // Child's first call is a cold miss.
+        let r = child.syscall(&req(39, &[]));
+        assert!(!r.path.is_cache_hit());
+    }
+
+    #[test]
+    fn display_shows_pid_and_profile() {
+        let proc = DracoProcess::spawn(ProcessId(42), &gvisor_default()).unwrap();
+        let s = proc.to_string();
+        assert!(s.contains("pid:42"));
+        assert!(s.contains("gvisor"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Two-layer checking for user-level kernels (paper §VIII).
+//!
+//! gVisor routes application system calls through a user-level guardian
+//! (the *Sentry*), which services most of them itself and issues its own,
+//! narrower set of *host* system calls under a host Seccomp filter. The
+//! paper notes Draco "can be applied to user-level container
+//! technologies such as Google's gVisor" — both layers are `(ID, args)`
+//! checks over stateless policies, so both get a Draco checker.
+
+use core::fmt;
+
+use draco_profiles::ProfileSpec;
+use draco_syscalls::{SyscallId, SyscallRequest};
+
+use crate::{CheckResult, CheckerStats, DracoChecker, DracoError};
+
+/// How the Sentry disposes of one application system call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SentryOutcome {
+    /// The application-facing policy rejected the call outright.
+    DeniedByPolicy,
+    /// The Sentry emulated the call without touching the host kernel.
+    Emulated,
+    /// The Sentry issued a host syscall, and the host filter allowed it.
+    ForwardedAllowed,
+    /// The Sentry issued a host syscall the host filter rejected — a
+    /// Sentry-compromise containment event.
+    ForwardedDenied,
+}
+
+impl SentryOutcome {
+    /// True if the application call ultimately succeeded.
+    pub const fn succeeded(self) -> bool {
+        matches!(self, SentryOutcome::Emulated | SentryOutcome::ForwardedAllowed)
+    }
+}
+
+/// The user-level guardian: an application-facing Draco checker in front
+/// of a host-facing one.
+///
+/// `forwards` maps application syscall IDs to the host syscall the Sentry
+/// issues to service them; unmapped allowed calls are emulated entirely
+/// in user space (the common case in gVisor).
+///
+/// # Example
+///
+/// ```
+/// use draco_core::{SentryOutcome, SentryPipeline};
+/// use draco_profiles::{docker_default, gvisor_default};
+/// use draco_syscalls::{ArgSet, SyscallId, SyscallRequest};
+///
+/// let mut sentry = SentryPipeline::new(
+///     &docker_default(),
+///     &gvisor_default(),
+///     &[(SyscallId::new(0), SyscallId::new(0))], // app read → host read
+/// )?;
+/// let read = SyscallRequest::new(0, SyscallId::new(0), ArgSet::from_slice(&[3, 0, 8]));
+/// assert_eq!(sentry.handle(&read), SentryOutcome::ForwardedAllowed);
+/// # Ok::<(), draco_core::DracoError>(())
+/// ```
+#[derive(Debug)]
+pub struct SentryPipeline {
+    app: DracoChecker,
+    host: DracoChecker,
+    forwards: Vec<(SyscallId, SyscallId)>,
+    emulated: u64,
+    forwarded: u64,
+    contained: u64,
+}
+
+impl SentryPipeline {
+    /// Builds the pipeline from the application policy, the host filter
+    /// (e.g. [`draco_profiles::gvisor_default`]), and the forwarding map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if either profile's filter fails to
+    /// compile.
+    pub fn new(
+        app_policy: &ProfileSpec,
+        host_policy: &ProfileSpec,
+        forwards: &[(SyscallId, SyscallId)],
+    ) -> Result<Self, DracoError> {
+        Ok(SentryPipeline {
+            app: DracoChecker::from_profile(app_policy)?,
+            host: DracoChecker::from_profile(host_policy)?,
+            forwards: forwards.to_vec(),
+            emulated: 0,
+            forwarded: 0,
+            contained: 0,
+        })
+    }
+
+    /// Handles one application system call through both layers.
+    pub fn handle(&mut self, req: &SyscallRequest) -> SentryOutcome {
+        let app_verdict: CheckResult = self.app.check(req);
+        if !app_verdict.action.permits() {
+            return SentryOutcome::DeniedByPolicy;
+        }
+        let Some(&(_, host_id)) = self.forwards.iter().find(|(a, _)| *a == req.id) else {
+            self.emulated += 1;
+            return SentryOutcome::Emulated;
+        };
+        // The Sentry re-issues the call against the host kernel from its
+        // own code; same arguments, the Sentry's call site.
+        let host_req = SyscallRequest::new(0xdead_0000 + u64::from(host_id), host_id, req.args);
+        if self.host.check(&host_req).action.permits() {
+            self.forwarded += 1;
+            SentryOutcome::ForwardedAllowed
+        } else {
+            self.contained += 1;
+            SentryOutcome::ForwardedDenied
+        }
+    }
+
+    /// Application-layer checker statistics.
+    pub fn app_stats(&self) -> CheckerStats {
+        self.app.stats()
+    }
+
+    /// Host-layer checker statistics.
+    pub fn host_stats(&self) -> CheckerStats {
+        self.host.stats()
+    }
+
+    /// `(emulated, forwarded, contained)` counters.
+    pub const fn dispositions(&self) -> (u64, u64, u64) {
+        (self.emulated, self.forwarded, self.contained)
+    }
+}
+
+impl fmt::Display for SentryPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sentry: {} emulated, {} forwarded, {} contained",
+            self.emulated, self.forwarded, self.contained
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_bpf::SeccompAction;
+    use draco_profiles::{
+        gvisor_default, ProfileSpec, RuleSource, SyscallRule,
+    };
+    use draco_syscalls::ArgSet;
+
+    fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+        SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+    }
+
+    fn app_policy(allowed: &[u16]) -> ProfileSpec {
+        let mut p = ProfileSpec::new("app", SeccompAction::Errno(1));
+        for &nr in allowed {
+            p.allow(SyscallId::new(nr), SyscallRule::any(RuleSource::Application));
+        }
+        p
+    }
+
+    #[test]
+    fn three_way_disposition() {
+        // App may read(0), getpid(39) and ptrace(101). The Sentry
+        // emulates getpid, forwards read to host read, and forwards
+        // ptrace — which the gVisor host filter contains.
+        let mut sentry = SentryPipeline::new(
+            &app_policy(&[0, 39, 101]),
+            &gvisor_default(),
+            &[
+                (SyscallId::new(0), SyscallId::new(0)),
+                (SyscallId::new(101), SyscallId::new(101)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(sentry.handle(&req(39, &[])), SentryOutcome::Emulated);
+        assert_eq!(
+            sentry.handle(&req(0, &[3, 0, 8])),
+            SentryOutcome::ForwardedAllowed
+        );
+        assert_eq!(
+            sentry.handle(&req(101, &[0, 1])),
+            SentryOutcome::ForwardedDenied,
+            "host filter contains the Sentry"
+        );
+        assert_eq!(
+            sentry.handle(&req(57, &[])),
+            SentryOutcome::DeniedByPolicy
+        );
+        assert_eq!(sentry.dispositions(), (1, 1, 1));
+        assert!(sentry.to_string().contains("1 contained"));
+    }
+
+    #[test]
+    fn both_layers_cache_independently() {
+        let mut sentry = SentryPipeline::new(
+            &app_policy(&[0]),
+            &gvisor_default(),
+            &[(SyscallId::new(0), SyscallId::new(0))],
+        )
+        .unwrap();
+        for _ in 0..5 {
+            assert!(sentry.handle(&req(0, &[3, 0, 8])).succeeded());
+        }
+        assert!(sentry.app_stats().cache_hit_rate() > 0.5);
+        assert!(sentry.host_stats().cache_hit_rate() > 0.5);
+        assert_eq!(sentry.app_stats().total(), 5);
+        assert_eq!(sentry.host_stats().total(), 5);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(SentryOutcome::Emulated.succeeded());
+        assert!(SentryOutcome::ForwardedAllowed.succeeded());
+        assert!(!SentryOutcome::DeniedByPolicy.succeeded());
+        assert!(!SentryOutcome::ForwardedDenied.succeeded());
+    }
+}

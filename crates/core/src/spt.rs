@@ -1,0 +1,204 @@
+//! The System Call Permissions Table (paper §V-A, Fig. 5).
+
+use core::fmt;
+
+use draco_syscalls::{ArgBitmask, SyscallId};
+
+/// One SPT entry: Valid bit, VAT base, Argument Bitmask.
+///
+/// In the paper's software implementation the *Base* field is a virtual
+/// address of the syscall's VAT structure; here it is the structure's
+/// index within the process [`crate::Vat`], which plays the same role
+/// (and lets the simulator assign virtual addresses independently).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SptEntry {
+    /// Whether this syscall ID has been validated at least once.
+    pub valid: bool,
+    /// Index of the syscall's VAT structure (the paper's Base field);
+    /// `None` when the syscall needs no argument checking.
+    pub vat_index: Option<u32>,
+    /// Which argument bytes participate in checking.
+    pub bitmask: ArgBitmask,
+    /// Accessed bit for the context-switch save/restore optimisation
+    /// (paper §VII-B).
+    pub accessed: bool,
+}
+
+/// The SPT: a direct-mapped table with one entry per system call.
+///
+/// # Example
+///
+/// ```
+/// use draco_core::Spt;
+/// use draco_syscalls::{ArgBitmask, SyscallId};
+///
+/// let mut spt = Spt::new(436);
+/// let id = SyscallId::new(0);
+/// assert!(spt.get(id).is_none());
+/// spt.set_valid(id, ArgBitmask::EMPTY, None);
+/// assert!(spt.get(id).is_some());
+/// ```
+#[derive(Clone)]
+pub struct Spt {
+    entries: Vec<SptEntry>,
+}
+
+impl Spt {
+    /// Creates an SPT with `capacity` entries, all invalid.
+    pub fn new(capacity: usize) -> Self {
+        Spt {
+            entries: vec![SptEntry::default(); capacity],
+        }
+    }
+
+    /// Entry count.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns the entry for `id` if it is valid (and marks it accessed).
+    pub fn get(&mut self, id: SyscallId) -> Option<SptEntry> {
+        let entry = self.entries.get_mut(id.index())?;
+        if entry.valid {
+            entry.accessed = true;
+            Some(*entry)
+        } else {
+            None
+        }
+    }
+
+    /// Read-only peek that does not touch the Accessed bit.
+    pub fn peek(&self, id: SyscallId) -> Option<&SptEntry> {
+        self.entries.get(id.index()).filter(|e| e.valid)
+    }
+
+    /// Marks `id` validated, recording its bitmask and VAT base.
+    ///
+    /// Out-of-range IDs are ignored (they can never be validated, so the
+    /// subsequent check falls back to the filter and is denied there).
+    pub fn set_valid(&mut self, id: SyscallId, bitmask: ArgBitmask, vat_index: Option<u32>) {
+        if let Some(entry) = self.entries.get_mut(id.index()) {
+            entry.valid = true;
+            entry.bitmask = bitmask;
+            entry.vat_index = vat_index;
+            entry.accessed = true;
+        }
+    }
+
+    /// Invalidates every entry (context switch to a different process).
+    pub fn invalidate_all(&mut self) {
+        for entry in &mut self.entries {
+            *entry = SptEntry::default();
+        }
+    }
+
+    /// Clears all Accessed bits (the paper's periodic clearing, §VII-B).
+    pub fn clear_accessed(&mut self) {
+        for entry in &mut self.entries {
+            entry.accessed = false;
+        }
+    }
+
+    /// Returns the valid entries whose Accessed bit is set, with their
+    /// IDs — what the OS saves on a context switch (paper §VII-B).
+    pub fn accessed_entries(&self) -> Vec<(SyscallId, SptEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid && e.accessed)
+            .map(|(i, e)| (SyscallId::new(i as u16), *e))
+            .collect()
+    }
+
+    /// Restores previously saved entries (incoming process of a context
+    /// switch).
+    pub fn restore(&mut self, saved: &[(SyscallId, SptEntry)]) {
+        for (id, entry) in saved {
+            if let Some(slot) = self.entries.get_mut(id.index()) {
+                *slot = *entry;
+            }
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+impl fmt::Debug for Spt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Spt")
+            .field("capacity", &self.entries.len())
+            .field("valid", &self.valid_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_until_set() {
+        let mut spt = Spt::new(16);
+        assert!(spt.get(SyscallId::new(3)).is_none());
+        assert!(spt.peek(SyscallId::new(3)).is_none());
+        spt.set_valid(SyscallId::new(3), ArgBitmask::EMPTY, Some(7));
+        let e = spt.get(SyscallId::new(3)).expect("valid");
+        assert_eq!(e.vat_index, Some(7));
+        assert!(e.accessed);
+        assert_eq!(spt.valid_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_inert() {
+        let mut spt = Spt::new(4);
+        spt.set_valid(SyscallId::new(100), ArgBitmask::EMPTY, None);
+        assert!(spt.get(SyscallId::new(100)).is_none());
+        assert_eq!(spt.valid_count(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut spt = Spt::new(8);
+        spt.set_valid(SyscallId::new(1), ArgBitmask::EMPTY, None);
+        spt.invalidate_all();
+        assert!(spt.get(SyscallId::new(1)).is_none());
+        assert_eq!(spt.valid_count(), 0);
+    }
+
+    #[test]
+    fn accessed_bit_workflow() {
+        let mut spt = Spt::new(8);
+        spt.set_valid(SyscallId::new(1), ArgBitmask::EMPTY, None);
+        spt.set_valid(SyscallId::new(2), ArgBitmask::EMPTY, None);
+        spt.clear_accessed();
+        assert!(spt.accessed_entries().is_empty());
+        // A hit re-marks the entry.
+        let _ = spt.get(SyscallId::new(2));
+        let saved = spt.accessed_entries();
+        assert_eq!(saved.len(), 1);
+        assert_eq!(saved[0].0, SyscallId::new(2));
+        // Restore into a fresh SPT.
+        let mut spt2 = Spt::new(8);
+        spt2.restore(&saved);
+        assert!(spt2.get(SyscallId::new(2)).is_some());
+        assert!(spt2.get(SyscallId::new(1)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_mark_accessed() {
+        let mut spt = Spt::new(8);
+        spt.set_valid(SyscallId::new(1), ArgBitmask::EMPTY, None);
+        spt.clear_accessed();
+        assert!(spt.peek(SyscallId::new(1)).is_some());
+        assert!(spt.accessed_entries().is_empty());
+    }
+
+    #[test]
+    fn debug_shows_occupancy() {
+        let spt = Spt::new(4);
+        assert!(format!("{spt:?}").contains("valid"));
+    }
+}

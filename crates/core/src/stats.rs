@@ -1,0 +1,82 @@
+//! Checker traffic counters.
+
+use core::fmt;
+
+/// Counters a [`crate::DracoChecker`] maintains across checks.
+///
+/// These back the evaluation's hit-rate analyses and the software cost
+/// model: `filter_insns` is the total number of cBPF instructions the
+/// fallback executed — the work Draco saves is exactly the filter
+/// instructions *not* in this counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Checks admitted by the SPT alone (ID-only or empty bitmask).
+    pub spt_hits: u64,
+    /// Checks admitted by a VAT probe.
+    pub vat_hits: u64,
+    /// Checks that fell back to the Seccomp filter.
+    pub filter_runs: u64,
+    /// Total cBPF instructions executed by fallback runs.
+    pub filter_insns: u64,
+    /// Checks whose final verdict was a denial.
+    pub denials: u64,
+    /// Argument-set insertions into the VAT.
+    pub vat_inserts: u64,
+}
+
+impl CheckerStats {
+    /// Total checks observed.
+    pub const fn total(&self) -> u64 {
+        self.spt_hits + self.vat_hits + self.filter_runs
+    }
+
+    /// Fraction of checks that skipped the filter entirely.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.spt_hits + self.vat_hits) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CheckerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} checks: {} spt, {} vat, {} filter ({} insns), {} denied",
+            self.total(),
+            self.spt_hits,
+            self.vat_hits,
+            self.filter_runs,
+            self.filter_insns,
+            self.denials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let stats = CheckerStats {
+            spt_hits: 6,
+            vat_hits: 2,
+            filter_runs: 2,
+            filter_insns: 100,
+            denials: 1,
+            vat_inserts: 1,
+        };
+        assert_eq!(stats.total(), 10);
+        assert!((stats.cache_hit_rate() - 0.8).abs() < 1e-12);
+        assert!(stats.to_string().contains("10 checks"));
+    }
+
+    #[test]
+    fn empty_stats_rate_is_zero() {
+        assert_eq!(CheckerStats::default().cache_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! The Validated Argument Table (paper §V-B, §VII-A).
+
+use core::fmt;
+
+use draco_cuckoo::{CrcPairHasher, CuckooTable, HashPair, Way};
+use draco_syscalls::{ArgBitmask, ArgSet, SyscallId};
+
+/// The key of a VAT entry: the masked-selected argument bytes of one
+/// validated invocation, in bitmask bit order (what the paper's Selector
+/// feeds to the CRC hash functions, Fig. 5).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VatKey(Vec<u8>);
+
+impl VatKey {
+    /// Builds the key for an argument set under a bitmask.
+    pub fn new(mask: ArgBitmask, args: &ArgSet) -> Self {
+        VatKey(mask.select_bytes(args).as_slice().to_vec())
+    }
+
+    /// The selected bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for VatKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Result of a successful VAT probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VatLookup {
+    /// Which hash function located the entry (the SLB/STB cache this).
+    pub way: Way,
+    /// The hash value that located the entry.
+    pub hash: u64,
+}
+
+/// One syscall's table within the VAT, plus the argument set each entry
+/// stores (the cuckoo value is the full masked [`ArgSet`], which the
+/// hardware fetches into the SLB).
+type SyscallVat = CuckooTable<VatKey, ArgSet>;
+
+/// The per-process Validated Argument Table.
+///
+/// One bounded two-way cuckoo table per syscall that checks arguments.
+/// Tables are created on demand and sized as *twice* the expected number
+/// of argument sets (paper §VII-A over-provisioning), with a configurable
+/// floor.
+///
+/// # Example
+///
+/// ```
+/// use draco_core::Vat;
+/// use draco_syscalls::{ArgBitmask, ArgSet, SyscallId};
+///
+/// let mut vat = Vat::new();
+/// let id = SyscallId::new(0);
+/// let mask = ArgBitmask::from_widths([4, 0, 8, 0, 0, 0]);
+/// let args = ArgSet::from_slice(&[3, 0xdead, 64]);
+/// let idx = vat.ensure_table(id, 4);
+/// assert!(vat.lookup(idx, mask, &args).is_none());
+/// vat.insert(idx, mask, &args);
+/// assert!(vat.lookup(idx, mask, &args).is_some());
+/// ```
+#[derive(Debug)]
+pub struct Vat {
+    tables: Vec<SyscallVat>,
+    owners: Vec<SyscallId>,
+    min_capacity: usize,
+    capacity_cap: Option<usize>,
+}
+
+impl Vat {
+    /// Default minimum per-syscall table capacity.
+    pub const DEFAULT_MIN_CAPACITY: usize = 8;
+
+    /// Creates an empty VAT.
+    pub fn new() -> Self {
+        Vat {
+            tables: Vec::new(),
+            owners: Vec::new(),
+            min_capacity: Self::DEFAULT_MIN_CAPACITY,
+            capacity_cap: None,
+        }
+    }
+
+    /// Sets the minimum per-syscall table capacity (builder-style).
+    #[must_use]
+    pub fn with_min_capacity(mut self, min: usize) -> Self {
+        self.min_capacity = min.max(2);
+        self
+    }
+
+    /// Caps every per-syscall table at `cap` entries (builder-style).
+    ///
+    /// The paper over-provisions tables to twice the expected argument
+    /// sets; an OS under memory pressure can bound them instead, trading
+    /// evictions (re-validations) for footprint.
+    #[must_use]
+    pub fn with_capacity_cap(mut self, cap: usize) -> Self {
+        self.capacity_cap = Some(cap.max(2));
+        self
+    }
+
+    /// Creates (or finds) the table for a syscall, sized for
+    /// `expected_sets` argument sets. Returns the table index — the SPT's
+    /// Base field.
+    pub fn ensure_table(&mut self, id: SyscallId, expected_sets: usize) -> u32 {
+        if let Some(pos) = self.owners.iter().position(|&o| o == id) {
+            return pos as u32;
+        }
+        // Over-provision 2x (paper §VII-A), subject to the memory cap.
+        let mut capacity = (expected_sets * 2).max(self.min_capacity);
+        if let Some(cap) = self.capacity_cap {
+            capacity = capacity.min(cap);
+        }
+        self.tables
+            .push(CuckooTable::with_capacity(capacity, CrcPairHasher::new()));
+        self.owners.push(id);
+        (self.tables.len() - 1) as u32
+    }
+
+    /// Number of per-syscall tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The syscall owning a table index.
+    pub fn owner(&self, index: u32) -> Option<SyscallId> {
+        self.owners.get(index as usize).copied()
+    }
+
+    /// The hash pair for an argument set (what hardware computes before
+    /// probing).
+    pub fn hash_pair(&self, index: u32, mask: ArgBitmask, args: &ArgSet) -> Option<HashPair> {
+        let table = self.tables.get(index as usize)?;
+        Some(table.hash_pair(&VatKey::new(mask, args)))
+    }
+
+    /// Probes the table for a validated argument set (two probes, like
+    /// the hardware).
+    pub fn lookup(&mut self, index: u32, mask: ArgBitmask, args: &ArgSet) -> Option<VatLookup> {
+        let table = self.tables.get_mut(index as usize)?;
+        let key = VatKey::new(mask, args);
+        table.lookup(&key).map(|hit| VatLookup {
+            way: hit.way,
+            hash: hit.hash,
+        })
+    }
+
+    /// Records a newly validated argument set. Returns the eviction, if
+    /// table pressure forced one.
+    pub fn insert(
+        &mut self,
+        index: u32,
+        mask: ArgBitmask,
+        args: &ArgSet,
+    ) -> Option<(VatKey, ArgSet)> {
+        let table = self
+            .tables
+            .get_mut(index as usize)
+            .expect("insert into nonexistent VAT table");
+        let key = VatKey::new(mask, args);
+        table.insert(key, mask.masked(args))
+    }
+
+    /// The stored argument set a preload fetches for `(index, hash, way)`,
+    /// mirroring the hardware's VAT read during SLB preload (paper §VI-B).
+    pub fn fetch_by_hash(&self, index: u32, hash: u64, way: Way) -> Option<ArgSet> {
+        let table = self.tables.get(index as usize)?;
+        table
+            .iter()
+            .find(|(k, _)| table.hash_pair(k).for_way(way) == hash)
+            .map(|(_, v)| *v)
+    }
+
+    /// Removes every entry from every table (fast clear, paper §VII-B).
+    pub fn clear(&mut self) {
+        for table in &mut self.tables {
+            table.clear();
+        }
+    }
+
+    /// Total resident argument sets across all tables.
+    pub fn resident_sets(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Total evictions across all tables (insertion-pressure signal).
+    pub fn total_evictions(&self) -> u64 {
+        self.tables.iter().map(|t| t.stats().evictions).sum()
+    }
+
+    /// Approximate memory footprint in bytes (paper §XI-C reports a
+    /// geometric mean of 6.98 KB per process).
+    ///
+    /// Each slot is costed as a packed VAT record: 48 bytes of argument
+    /// values plus an 8-byte hash/metadata word.
+    pub fn footprint_bytes(&self) -> usize {
+        const ENTRY_BYTES: usize = 48 + 8;
+        self.tables
+            .iter()
+            .map(|t| t.footprint_bytes(ENTRY_BYTES))
+            .sum()
+    }
+}
+
+impl Default for Vat {
+    fn default() -> Self {
+        Vat::new()
+    }
+}
+
+impl fmt::Display for Vat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VAT: {} tables, {} sets, {} bytes",
+            self.table_count(),
+            self.resident_sets(),
+            self.footprint_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask2() -> ArgBitmask {
+        ArgBitmask::from_widths([4, 4, 0, 0, 0, 0])
+    }
+
+    #[test]
+    fn ensure_table_is_idempotent() {
+        let mut vat = Vat::new();
+        let a = vat.ensure_table(SyscallId::new(0), 4);
+        let b = vat.ensure_table(SyscallId::new(0), 400);
+        assert_eq!(a, b);
+        assert_eq!(vat.table_count(), 1);
+        assert_eq!(vat.owner(a), Some(SyscallId::new(0)));
+        assert_eq!(vat.owner(99), None);
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut vat = Vat::new();
+        let idx = vat.ensure_table(SyscallId::new(1), 4);
+        let args = ArgSet::from_slice(&[5, 6]);
+        assert!(vat.lookup(idx, mask2(), &args).is_none());
+        vat.insert(idx, mask2(), &args);
+        let hit = vat.lookup(idx, mask2(), &args).expect("hit");
+        let pair = vat.hash_pair(idx, mask2(), &args).unwrap();
+        assert_eq!(hit.hash, pair.for_way(hit.way));
+    }
+
+    #[test]
+    fn unselected_bytes_do_not_affect_lookup() {
+        let mut vat = Vat::new();
+        let idx = vat.ensure_table(SyscallId::new(1), 4);
+        vat.insert(idx, mask2(), &ArgSet::from_slice(&[5, 6, 0xdead]));
+        assert!(
+            vat.lookup(idx, mask2(), &ArgSet::from_slice(&[5, 6, 0xbeef]))
+                .is_some(),
+            "third argument is unselected"
+        );
+        assert!(vat
+            .lookup(idx, mask2(), &ArgSet::from_slice(&[5, 7]))
+            .is_none());
+    }
+
+    #[test]
+    fn fetch_by_hash_finds_preload_target() {
+        let mut vat = Vat::new();
+        let idx = vat.ensure_table(SyscallId::new(2), 4);
+        let args = ArgSet::from_slice(&[9, 8]);
+        vat.insert(idx, mask2(), &args);
+        let hit = vat.lookup(idx, mask2(), &args).unwrap();
+        let fetched = vat.fetch_by_hash(idx, hit.hash, hit.way).expect("fetch");
+        assert_eq!(fetched, mask2().masked(&args));
+        assert!(vat.fetch_by_hash(idx, hit.hash ^ 1, hit.way).is_none());
+    }
+
+    #[test]
+    fn over_provisioning_doubles_capacity() {
+        let mut vat = Vat::new().with_min_capacity(2);
+        let idx = vat.ensure_table(SyscallId::new(3), 10);
+        // 10 expected sets → capacity 20: all 10 inserts fit.
+        for i in 0..10u64 {
+            assert!(vat.insert(idx, mask2(), &ArgSet::from_slice(&[i, i])).is_none());
+        }
+        assert_eq!(vat.resident_sets(), 10);
+        assert_eq!(vat.total_evictions(), 0);
+    }
+
+    #[test]
+    fn pressure_causes_bounded_eviction() {
+        let mut vat = Vat::new().with_min_capacity(4);
+        let idx = vat.ensure_table(SyscallId::new(3), 1); // capacity 4
+        let mut evictions = 0;
+        for i in 0..64u64 {
+            if vat.insert(idx, mask2(), &ArgSet::from_slice(&[i, i])).is_some() {
+                evictions += 1;
+            }
+        }
+        assert!(evictions > 0);
+        assert!(vat.resident_sets() <= 4);
+        assert_eq!(vat.total_evictions(), evictions);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut vat = Vat::new();
+        let idx = vat.ensure_table(SyscallId::new(0), 4);
+        vat.insert(idx, mask2(), &ArgSet::from_slice(&[1, 2]));
+        vat.clear();
+        assert_eq!(vat.resident_sets(), 0);
+        assert!(vat.lookup(idx, mask2(), &ArgSet::from_slice(&[1, 2])).is_none());
+    }
+
+    #[test]
+    fn footprint_is_positive_and_scales() {
+        let mut vat = Vat::new();
+        vat.ensure_table(SyscallId::new(0), 4);
+        let f1 = vat.footprint_bytes();
+        vat.ensure_table(SyscallId::new(1), 40);
+        let f2 = vat.footprint_bytes();
+        assert!(f1 > 0);
+        assert!(f2 > f1);
+        assert!(vat.to_string().contains("tables"));
+    }
+
+    #[test]
+    fn vat_key_is_selected_bytes() {
+        let mask = ArgBitmask::from_widths([2, 0, 0, 0, 0, 0]);
+        let key = VatKey::new(mask, &ArgSet::from_slice(&[0x1234]));
+        assert_eq!(key.as_bytes(), &[0x34, 0x12]);
+        assert_eq!(key.as_ref(), key.as_bytes());
+    }
+}

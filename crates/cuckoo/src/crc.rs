@@ -1,0 +1,232 @@
+//! CRC-64 hash functions.
+//!
+//! Draco hashes the selected argument bytes with two CRC functions: one
+//! using the ECMA-182 polynomial and one using its bitwise complement
+//! (paper §VII-A). The hardware implementation is a linear-feedback shift
+//! register (paper §XI-C, 964 ps at 22 nm); [`Crc64::checksum_bitwise`] is
+//! a faithful software rendering of that LFSR, and [`Crc64::checksum`] is
+//! the table-driven equivalent used on hot paths. The two agree bit-for-bit
+//! (property-tested).
+
+use core::fmt;
+
+/// A CRC-64 engine for a fixed generator polynomial.
+///
+/// The engine is MSB-first (non-reflected) with zero initial value and zero
+/// output XOR — the classic CRC-64/ECMA-182 configuration.
+///
+/// # Example
+///
+/// ```
+/// use draco_cuckoo::Crc64;
+///
+/// let crc = Crc64::ecma();
+/// // Published CRC-64/ECMA-182 check value for "123456789".
+/// assert_eq!(crc.checksum(b"123456789"), 0x6c40_df5f_0b49_7347);
+/// ```
+#[derive(Clone)]
+pub struct Crc64 {
+    poly: u64,
+    table: Box<[u64; 256]>,
+}
+
+impl Crc64 {
+    /// The ECMA-182 generator polynomial (paper's `H1`).
+    pub const ECMA: u64 = 0x42f0_e1eb_a9ea_3693;
+
+    /// The complemented ECMA-182 polynomial (paper's `H2`, "¬ECMA").
+    ///
+    /// The complement keeps the x^64 term implicit and inverts the
+    /// remaining coefficients, giving a second, independent hash function
+    /// with the same LFSR datapath.
+    pub const NOT_ECMA: u64 = !Self::ECMA;
+
+    /// Creates an engine for an arbitrary polynomial.
+    pub fn new(poly: u64) -> Self {
+        let mut table = Box::new([0u64; 256]);
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = (i as u64) << 56;
+            for _ in 0..8 {
+                crc = if crc & (1 << 63) != 0 {
+                    (crc << 1) ^ poly
+                } else {
+                    crc << 1
+                };
+            }
+            *slot = crc;
+        }
+        Crc64 { poly, table }
+    }
+
+    /// The ECMA-182 engine.
+    pub fn ecma() -> Self {
+        Crc64::new(Self::ECMA)
+    }
+
+    /// The complemented-polynomial engine.
+    pub fn not_ecma() -> Self {
+        Crc64::new(Self::NOT_ECMA)
+    }
+
+    /// The generator polynomial.
+    pub const fn poly(&self) -> u64 {
+        self.poly
+    }
+
+    /// Computes the CRC of `data` using the byte-indexed lookup table.
+    pub fn checksum(&self, data: &[u8]) -> u64 {
+        let mut crc = 0u64;
+        for &b in data {
+            let idx = ((crc >> 56) as u8 ^ b) as usize;
+            crc = (crc << 8) ^ self.table[idx];
+        }
+        crc
+    }
+
+    /// Computes the CRC bit-serially, mirroring the hardware LFSR.
+    ///
+    /// Slower than [`Crc64::checksum`]; used as the reference
+    /// implementation in tests and available for callers that want the
+    /// hardware-shaped path.
+    pub fn checksum_bitwise(&self, data: &[u8]) -> u64 {
+        let mut crc = 0u64;
+        for &byte in data {
+            crc ^= (byte as u64) << 56;
+            for _ in 0..8 {
+                crc = if crc & (1 << 63) != 0 {
+                    (crc << 1) ^ self.poly
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+}
+
+impl fmt::Debug for Crc64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Crc64(poly={:#018x})", self.poly)
+    }
+}
+
+/// The two hash values Draco computes per argument set (`H1`, `H2`).
+///
+/// The SLB and STB store the *one* hash that located the entry in the VAT
+/// (paper §VI-A), so the pair keeps its components addressable by
+/// [`Way`](crate::Way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HashPair {
+    /// The ECMA-polynomial hash (indexes way 0).
+    pub h1: u64,
+    /// The complement-polynomial hash (indexes way 1).
+    pub h2: u64,
+}
+
+impl HashPair {
+    /// Returns the hash for the given way.
+    pub const fn for_way(&self, way: crate::Way) -> u64 {
+        match way {
+            crate::Way::H1 => self.h1,
+            crate::Way::H2 => self.h2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecma_check_value() {
+        // CRC-64/ECMA-182: poly 0x42f0e1eba9ea3693, init 0, non-reflected,
+        // xorout 0, check("123456789") = 0x6c40df5f0b497347.
+        assert_eq!(Crc64::ecma().checksum(b"123456789"), 0x6c40_df5f_0b49_7347);
+    }
+
+    #[test]
+    fn bitwise_matches_table_on_check_string() {
+        for crc in [Crc64::ecma(), Crc64::not_ecma(), Crc64::new(0x1b)] {
+            assert_eq!(
+                crc.checksum(b"123456789"),
+                crc.checksum_bitwise(b"123456789"),
+                "poly {:#x}",
+                crc.poly()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_hashes_to_zero() {
+        assert_eq!(Crc64::ecma().checksum(&[]), 0);
+        assert_eq!(Crc64::not_ecma().checksum_bitwise(&[]), 0);
+    }
+
+    #[test]
+    fn polynomials_are_complements() {
+        assert_eq!(Crc64::ECMA ^ Crc64::NOT_ECMA, u64::MAX);
+    }
+
+    #[test]
+    fn different_polys_give_independent_hashes() {
+        let a = Crc64::ecma().checksum(b"futex(0x7f..., 128, 2)");
+        let b = Crc64::not_ecma().checksum(b"futex(0x7f..., 128, 2)");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_bit_input_difference_changes_hash() {
+        let crc = Crc64::ecma();
+        assert_ne!(crc.checksum(&[0, 0, 0, 1]), crc.checksum(&[0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn hash_pair_way_selection() {
+        let pair = HashPair { h1: 11, h2: 22 };
+        assert_eq!(pair.for_way(crate::Way::H1), 11);
+        assert_eq!(pair.for_way(crate::Way::H2), 22);
+    }
+
+    #[test]
+    fn debug_shows_polynomial() {
+        assert!(format!("{:?}", Crc64::ecma()).contains("0x42f0e1eba9ea3693"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn table_and_bitwise_agree(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let crc = Crc64::ecma();
+            prop_assert_eq!(crc.checksum(&data), crc.checksum_bitwise(&data));
+            let crc2 = Crc64::not_ecma();
+            prop_assert_eq!(crc2.checksum(&data), crc2.checksum_bitwise(&data));
+        }
+
+        #[test]
+        fn crc_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let a = Crc64::ecma().checksum(&data);
+            let b = Crc64::ecma().checksum(&data);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn crc_linearity(data in proptest::collection::vec(any::<u8>(), 1..64)) {
+            // CRC is linear over GF(2): crc(a) ^ crc(b) == crc(a ^ b) for
+            // equal-length messages (with init = xorout = 0).
+            let crc = Crc64::ecma();
+            let zeros = vec![0u8; data.len()];
+            let x: Vec<u8> = data.iter().map(|b| b ^ 0xa5).collect();
+            let a5: Vec<u8> = vec![0xa5; data.len()];
+            prop_assert_eq!(crc.checksum(&zeros), 0);
+            prop_assert_eq!(
+                crc.checksum(&data) ^ crc.checksum(&a5),
+                crc.checksum(&x)
+            );
+        }
+    }
+}

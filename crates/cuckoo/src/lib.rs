@@ -1,0 +1,35 @@
+//! Hashing and cuckoo-table substrate for Draco's Validated Argument Table.
+//!
+//! The paper stores validated argument sets in per-syscall hash tables with
+//! **2-ary cuckoo hashing** (§V-B) so a lookup is exactly two parallel
+//! probes, and computes the two hash functions as **CRC codes using the
+//! ECMA-182 polynomial and its complement** (§VII-A). This crate provides
+//! both pieces:
+//!
+//! * [`Crc64`] — a CRC-64 engine (bitwise LFSR reference and table-driven
+//!   fast path) with the [`Crc64::ECMA`] and [`Crc64::NOT_ECMA`]
+//!   polynomials used by Draco;
+//! * [`CuckooTable`] — a bounded two-way cuckoo hash table with relocation
+//!   on insert and explicit eviction when relocation exceeds a threshold
+//!   (paper §VII-A: "if the cuckoo hashing fails after a threshold number
+//!   of attempts, the OS makes room by evicting one entry").
+//!
+//! # Example
+//!
+//! ```
+//! use draco_cuckoo::{CrcPairHasher, CuckooTable};
+//!
+//! let mut vat = CuckooTable::with_capacity(8, CrcPairHasher::default());
+//! vat.insert(b"argset-1".to_vec(), ());
+//! assert!(vat.lookup(&b"argset-1".to_vec()).is_some());
+//! assert!(vat.lookup(&b"argset-2".to_vec()).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod crc;
+mod table;
+
+pub use crc::{Crc64, HashPair};
+pub use table::{CrcPairHasher, CuckooTable, Lookup, PairHasher, TableStats, Way};

@@ -1,0 +1,571 @@
+//! Bounded two-way cuckoo hash tables.
+//!
+//! A Draco VAT structure is one such table per allowed system call: two
+//! ways, each indexed by one hash function, so a lookup is exactly two
+//! probes that can proceed in parallel in hardware (paper §V-B). Insertion
+//! uses the classic cuckoo relocation loop; when relocation exceeds a
+//! threshold the table *evicts* a resident entry instead of growing —
+//! mirroring the OS behaviour of §VII-A and keeping VAT memory bounded.
+
+use core::fmt;
+
+use crate::{Crc64, HashPair};
+
+/// Which hash function / way located an entry.
+///
+/// The paper's SLB and STB record "the one hash value (of the two possible)
+/// that fetched this argument set from the VAT" — `Way` plus the hash value
+/// is exactly that record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Way {
+    /// The ECMA-polynomial hash, indexing way 0.
+    H1,
+    /// The complement-polynomial hash, indexing way 1.
+    H2,
+}
+
+impl Way {
+    /// The opposite way.
+    #[must_use]
+    pub const fn other(self) -> Way {
+        match self {
+            Way::H1 => Way::H2,
+            Way::H2 => Way::H1,
+        }
+    }
+
+    /// Way index (0 or 1).
+    pub const fn index(self) -> usize {
+        match self {
+            Way::H1 => 0,
+            Way::H2 => 1,
+        }
+    }
+}
+
+/// Computes the two hash values of a key.
+///
+/// Implementations must be deterministic: equal keys yield equal pairs.
+pub trait PairHasher<K: ?Sized> {
+    /// Returns `(h1, h2)` for the key.
+    fn hash_pair(&self, key: &K) -> HashPair;
+}
+
+/// The Draco hasher: CRC-64 with the ECMA polynomial for `H1` and its
+/// complement for `H2` (paper §VII-A).
+#[derive(Clone, Debug)]
+pub struct CrcPairHasher {
+    h1: Crc64,
+    h2: Crc64,
+}
+
+impl CrcPairHasher {
+    /// Creates the standard ECMA / ¬ECMA hasher pair.
+    pub fn new() -> Self {
+        CrcPairHasher {
+            h1: Crc64::ecma(),
+            h2: Crc64::not_ecma(),
+        }
+    }
+}
+
+impl Default for CrcPairHasher {
+    fn default() -> Self {
+        CrcPairHasher::new()
+    }
+}
+
+impl<K: AsRef<[u8]> + ?Sized> PairHasher<K> for CrcPairHasher {
+    fn hash_pair(&self, key: &K) -> HashPair {
+        let bytes = key.as_ref();
+        HashPair {
+            h1: self.h1.checksum(bytes),
+            h2: self.h2.checksum(bytes),
+        }
+    }
+}
+
+/// Result of a successful lookup: where the key lives and which hash found
+/// it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lookup {
+    /// The way holding the entry.
+    pub way: Way,
+    /// The slot index within that way.
+    pub slot: usize,
+    /// The hash value that indexed the slot (what the SLB/STB cache).
+    pub hash: u64,
+}
+
+/// Occupancy and traffic counters for a table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Entries currently resident.
+    pub occupied: usize,
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Insertions that found a free slot (directly or via relocation).
+    pub insertions: u64,
+    /// Insertions that replaced an existing key's value.
+    pub updates: u64,
+    /// Entries forcibly evicted because relocation exceeded the threshold.
+    pub evictions: u64,
+    /// Total relocation steps performed across all insertions.
+    pub relocations: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    pair: HashPair,
+}
+
+/// A bounded 2-ary cuckoo hash table.
+///
+/// Capacity is fixed at construction (the OS over-provisions VAT tables to
+/// twice the expected number of argument sets, paper §VII-A — that policy
+/// lives in `draco-core`; this type just honours whatever bound it is
+/// given). Inserting into a full neighbourhood relocates residents; after
+/// [`CuckooTable::max_relocations`] displacements the final homeless entry
+/// is dropped and counted as an eviction.
+///
+/// # Example
+///
+/// ```
+/// use draco_cuckoo::{CrcPairHasher, CuckooTable};
+///
+/// let mut t: CuckooTable<Vec<u8>, u32> =
+///     CuckooTable::with_capacity(16, CrcPairHasher::default());
+/// t.insert(vec![1, 2, 3], 7);
+/// let hit = t.lookup(&vec![1, 2, 3]).expect("present");
+/// assert_eq!(*t.value_at(hit).unwrap(), 7);
+/// ```
+#[derive(Clone)]
+pub struct CuckooTable<K, V, H = CrcPairHasher> {
+    ways: [Vec<Option<Entry<K, V>>>; 2],
+    slots_per_way: usize,
+    max_relocations: usize,
+    hasher: H,
+    stats: TableStats,
+}
+
+impl<K, V, H> CuckooTable<K, V, H>
+where
+    K: Eq + Clone,
+    H: PairHasher<K>,
+{
+    /// Default relocation budget before eviction.
+    pub const DEFAULT_MAX_RELOCATIONS: usize = 16;
+
+    /// Creates a table with room for `capacity` entries total (split across
+    /// the two ways; odd capacities round up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize, hasher: H) -> Self {
+        assert!(capacity > 0, "cuckoo table capacity must be nonzero");
+        let slots_per_way = capacity.div_ceil(2);
+        CuckooTable {
+            ways: [
+                (0..slots_per_way).map(|_| None).collect(),
+                (0..slots_per_way).map(|_| None).collect(),
+            ],
+            slots_per_way,
+            max_relocations: Self::DEFAULT_MAX_RELOCATIONS,
+            hasher,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Sets the relocation budget (builder-style).
+    #[must_use]
+    pub fn with_max_relocations(mut self, max: usize) -> Self {
+        self.max_relocations = max;
+        self
+    }
+
+    /// The relocation budget before an insertion evicts.
+    pub const fn max_relocations(&self) -> usize {
+        self.max_relocations
+    }
+
+    /// Total entry capacity.
+    pub const fn capacity(&self) -> usize {
+        self.slots_per_way * 2
+    }
+
+    /// Number of resident entries.
+    pub const fn len(&self) -> usize {
+        self.stats.occupied
+    }
+
+    /// True if no entries are resident.
+    pub const fn is_empty(&self) -> bool {
+        self.stats.occupied == 0
+    }
+
+    /// Traffic counters.
+    pub const fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// The hash pair the table computes for `key`.
+    pub fn hash_pair(&self, key: &K) -> HashPair {
+        self.hasher.hash_pair(key)
+    }
+
+    /// Derives a slot index from a 64-bit hash value.
+    ///
+    /// The CRC of short messages concentrates its entropy in the high-order
+    /// bits (trailing zero bytes leave the low bits untouched), so the
+    /// index mixes the whole word (Fibonacci folding) before reduction —
+    /// the hardware equivalent is simply tapping different LFSR bits.
+    fn slot_for(&self, hash: u64) -> usize {
+        let folded = hash.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((folded >> 32) % self.slots_per_way as u64) as usize
+    }
+
+    /// Looks up a key; on a hit returns where it lives and which hash
+    /// found it. Exactly two probes, like the hardware.
+    pub fn lookup(&mut self, key: &K) -> Option<Lookup> {
+        let pair = self.hasher.hash_pair(key);
+        let found = self.probe(key, pair);
+        match found {
+            Some(_) => self.stats.hits += 1,
+            None => self.stats.misses += 1,
+        }
+        found
+    }
+
+    /// Non-counting lookup (used by read-only paths and tests).
+    pub fn probe(&self, key: &K, pair: HashPair) -> Option<Lookup> {
+        for way in [Way::H1, Way::H2] {
+            let hash = pair.for_way(way);
+            let slot = self.slot_for(hash);
+            if let Some(entry) = &self.ways[way.index()][slot] {
+                if entry.key == *key {
+                    return Some(Lookup { way, slot, hash });
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns the value at a lookup position, if still resident.
+    pub fn value_at(&self, at: Lookup) -> Option<&V> {
+        self.ways[at.way.index()][at.slot].as_ref().map(|e| &e.value)
+    }
+
+    /// Returns the key at a lookup position, if still resident.
+    pub fn key_at(&self, at: Lookup) -> Option<&K> {
+        self.ways[at.way.index()][at.slot].as_ref().map(|e| &e.key)
+    }
+
+    /// Inserts a key/value pair.
+    ///
+    /// * If the key is resident its value is replaced (counted as an
+    ///   update).
+    /// * Otherwise the entry is placed via cuckoo relocation; if the
+    ///   relocation budget is exhausted the displaced entry is dropped and
+    ///   returned as `Some((key, value))` (counted as an eviction).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let pair = self.hasher.hash_pair(&key);
+        if let Some(found) = self.probe(&key, pair) {
+            self.ways[found.way.index()][found.slot]
+                .as_mut()
+                .expect("probe returned occupied slot")
+                .value = value;
+            self.stats.updates += 1;
+            return None;
+        }
+
+        let mut homeless = Entry { key, value, pair };
+        let mut way = Way::H1;
+        for step in 0..=self.max_relocations {
+            let slot = self.slot_for(homeless.pair.for_way(way));
+            let cell = &mut self.ways[way.index()][slot];
+            match cell.take() {
+                None => {
+                    *cell = Some(homeless);
+                    self.stats.insertions += 1;
+                    self.stats.occupied += 1;
+                    self.stats.relocations += step as u64;
+                    return None;
+                }
+                Some(displaced) => {
+                    *cell = Some(homeless);
+                    homeless = displaced;
+                    // The displaced entry tries its home in the other way.
+                    way = way.other();
+                }
+            }
+        }
+        // Relocation budget exhausted: the last homeless entry is evicted.
+        self.stats.insertions += 1;
+        self.stats.evictions += 1;
+        self.stats.relocations += self.max_relocations as u64;
+        Some((homeless.key, homeless.value))
+    }
+
+    /// Removes a key, returning its value if it was resident.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let pair = self.hasher.hash_pair(key);
+        let found = self.probe(key, pair)?;
+        let entry = self.ways[found.way.index()][found.slot].take()?;
+        self.stats.occupied -= 1;
+        Some(entry.value)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for way in &mut self.ways {
+            for slot in way.iter_mut() {
+                *slot = None;
+            }
+        }
+        self.stats.occupied = 0;
+    }
+
+    /// Iterates over resident `(key, value)` pairs in way/slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.ways
+            .iter()
+            .flat_map(|w| w.iter())
+            .filter_map(|e| e.as_ref().map(|e| (&e.key, &e.value)))
+    }
+
+    /// Approximate resident-set bytes for footprint accounting
+    /// (paper §XI-C reports VAT geomean footprints).
+    pub fn footprint_bytes(&self, entry_bytes: usize) -> usize {
+        self.capacity() * entry_bytes
+    }
+}
+
+impl<K, V, H> fmt::Debug for CuckooTable<K, V, H> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CuckooTable")
+            .field("capacity", &(self.slots_per_way * 2))
+            .field("occupied", &self.stats.occupied)
+            .field("evictions", &self.stats.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(cap: usize) -> CuckooTable<Vec<u8>, u64> {
+        CuckooTable::with_capacity(cap, CrcPairHasher::default())
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut t = table(8);
+        assert!(t.is_empty());
+        t.insert(key(1), 100);
+        let hit = t.lookup(&key(1)).expect("hit");
+        assert_eq!(t.value_at(hit), Some(&100));
+        assert_eq!(t.key_at(hit), Some(&key(1)));
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(&key(2)).is_none());
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn insert_same_key_updates_value() {
+        let mut t = table(8);
+        t.insert(key(1), 1);
+        t.insert(key(1), 2);
+        assert_eq!(t.len(), 1);
+        let hit = t.lookup(&key(1)).unwrap();
+        assert_eq!(t.value_at(hit), Some(&2));
+        assert_eq!(t.stats().updates, 1);
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let mut t = table(8);
+        t.insert(key(5), 55);
+        assert_eq!(t.remove(&key(5)), Some(55));
+        assert_eq!(t.remove(&key(5)), None);
+        assert!(t.lookup(&key(5)).is_none());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn lookup_is_two_probe() {
+        // A present key is always found via one of its two home slots.
+        let mut t = table(32);
+        for i in 0..16 {
+            t.insert(key(i), i);
+        }
+        for i in 0..16 {
+            if let Some(hit) = t.lookup(&key(i)) {
+                let pair = t.hash_pair(&key(i));
+                assert_eq!(hit.hash, pair.for_way(hit.way));
+                assert!(hit.slot < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn overfull_table_evicts_rather_than_grows() {
+        let mut t = table(4).with_max_relocations(8);
+        let mut evicted = 0;
+        for i in 0..32 {
+            if t.insert(key(i), i).is_some() {
+                evicted += 1;
+            }
+        }
+        assert!(t.len() <= t.capacity());
+        assert!(evicted > 0, "pressure must cause evictions");
+        assert_eq!(t.stats().evictions, evicted as u64);
+        // Residents are still findable.
+        let resident: Vec<u64> = t.iter().map(|(_, v)| *v).collect();
+        for v in resident {
+            assert!(t.lookup(&key(v)).is_some(), "resident {v} must hit");
+        }
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = table(8);
+        for i in 0..4 {
+            t.insert(key(i), i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        for i in 0..4 {
+            assert!(t.lookup(&key(i)).is_none());
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_even() {
+        let t = table(5);
+        assert_eq!(t.capacity(), 6);
+        assert_eq!(table(1).capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = table(0);
+    }
+
+    #[test]
+    fn footprint_scales_with_capacity() {
+        let t = table(64);
+        assert_eq!(t.footprint_bytes(56), 64 * 56);
+    }
+
+    #[test]
+    fn iter_visits_all_residents() {
+        let mut t = table(16);
+        for i in 0..8 {
+            t.insert(key(i), i * 10);
+        }
+        let mut vals: Vec<u64> = t.iter().map(|(_, v)| *v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn way_helpers() {
+        assert_eq!(Way::H1.other(), Way::H2);
+        assert_eq!(Way::H2.other(), Way::H1);
+        assert_eq!(Way::H1.index(), 0);
+        assert_eq!(Way::H2.index(), 1);
+    }
+
+    #[test]
+    fn debug_mentions_occupancy() {
+        let mut t = table(8);
+        t.insert(key(1), 1);
+        let s = format!("{t:?}");
+        assert!(s.contains("occupied"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        /// Keys never silently vanish: after any insert sequence, every key
+        /// that was inserted and neither evicted nor overwritten is found.
+        #[test]
+        fn no_silent_loss(keys in proptest::collection::vec(any::<u32>(), 1..200)) {
+            let mut t: CuckooTable<Vec<u8>, u32> =
+                CuckooTable::with_capacity(512, CrcPairHasher::default());
+            let mut model: HashMap<Vec<u8>, u32> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                let kb = k.to_le_bytes().to_vec();
+                let evicted = t.insert(kb.clone(), i as u32);
+                model.insert(kb, i as u32);
+                if let Some((ek, _)) = evicted {
+                    model.remove(&ek);
+                }
+            }
+            for (k, v) in &model {
+                let hit = t.lookup(k);
+                prop_assert!(hit.is_some(), "lost key {k:?}");
+                prop_assert_eq!(t.value_at(hit.unwrap()), Some(v));
+            }
+        }
+
+        /// Occupancy never exceeds capacity, whatever the pressure.
+        #[test]
+        fn bounded_occupancy(
+            keys in proptest::collection::vec(any::<u16>(), 1..500),
+            cap in 2usize..32,
+        ) {
+            let mut t: CuckooTable<Vec<u8>, ()> =
+                CuckooTable::with_capacity(cap, CrcPairHasher::default());
+            for k in keys {
+                t.insert(k.to_le_bytes().to_vec(), ());
+                prop_assert!(t.len() <= t.capacity());
+            }
+        }
+
+        /// A hit's hash always equals the pair component for its way.
+        #[test]
+        fn lookup_hash_consistency(keys in proptest::collection::vec(any::<u64>(), 1..64)) {
+            let mut t: CuckooTable<Vec<u8>, u64> =
+                CuckooTable::with_capacity(256, CrcPairHasher::default());
+            for &k in &keys {
+                t.insert(k.to_le_bytes().to_vec(), k);
+            }
+            for &k in &keys {
+                let kb = k.to_le_bytes().to_vec();
+                if let Some(hit) = t.lookup(&kb) {
+                    let pair = t.hash_pair(&kb);
+                    prop_assert_eq!(hit.hash, pair.for_way(hit.way));
+                }
+            }
+        }
+
+        /// Remove after insert always succeeds for resident keys.
+        #[test]
+        fn insert_remove_roundtrip(k in any::<u64>()) {
+            let mut t: CuckooTable<Vec<u8>, u64> =
+                CuckooTable::with_capacity(8, CrcPairHasher::default());
+            let kb = k.to_le_bytes().to_vec();
+            prop_assert!(t.insert(kb.clone(), k).is_none());
+            prop_assert_eq!(t.remove(&kb), Some(k));
+            prop_assert!(t.is_empty());
+        }
+    }
+}

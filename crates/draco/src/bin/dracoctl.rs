@@ -1,0 +1,296 @@
+//! `dracoctl` — inspect profiles, filters, traces, and checks from the
+//! command line.
+//!
+//! ```text
+//! dracoctl profile stats <docker|gvisor|firecracker|PATH.json>
+//! dracoctl profile json  <docker|gvisor|firecracker>
+//! dracoctl profile disasm <docker|gvisor|firecracker|PATH.json> [--tree]
+//! dracoctl check <docker|gvisor|firecracker|PATH.json> <syscall> [arg0 arg1 ...]
+//! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
+//! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
+//! dracoctl workloads                                        # list the catalog
+//! ```
+
+use std::io::Read as _;
+
+use draco::bpf::disasm;
+use draco::core::DracoChecker;
+use draco::profiles::{
+    compile_stacked, docker_default, firecracker, gvisor_default, profile_from_json,
+    profile_to_json, FilterLayout, ProfileSpec, ProfileStats,
+};
+use draco::syscalls::{ArgSet, SyscallRequest, SyscallTable};
+use draco::workloads::{catalog, LocalityReport, SyscallTrace, TraceGenerator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("profile") => profile_cmd(&args[1..]),
+        Some("check") => check_cmd(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
+        Some("workloads") => {
+            for spec in catalog::all() {
+                println!(
+                    "{:<20} {:<6} {:>2} syscalls in mix, ~{} ns/op",
+                    spec.name,
+                    spec.class.to_string(),
+                    spec.mix.len(),
+                    spec.compute_ns_per_op
+                );
+            }
+            0
+        }
+        _ => {
+            eprintln!(
+                "usage: dracoctl <profile|check|trace|workloads> ...\n\
+                 \x20 profile stats|json|disasm <docker|gvisor|firecracker|PATH.json>\n\
+                 \x20 check <profile> <syscall> [args...]\n\
+                 \x20 trace gen <workload> [--ops N] [--seed N]\n\
+                 \x20 trace analyze <PATH.json|->\n\
+                 \x20 workloads"
+            );
+            2
+        }
+    }
+}
+
+fn load_profile(name: &str) -> Result<ProfileSpec, String> {
+    match name {
+        "docker" | "docker-default" => Ok(docker_default()),
+        "gvisor" | "gvisor-default" => Ok(gvisor_default()),
+        "firecracker" => Ok(firecracker()),
+        path => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            // Native schema first, then the Docker/OCI seccomp.json format.
+            profile_from_json(&json).or_else(|native_err| {
+                let stem = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("imported");
+                draco::profiles::from_docker_json(&json, stem).map_err(|docker_err| {
+                    format!(
+                        "cannot parse `{path}`: not the native schema                          ({native_err}) nor Docker seccomp.json ({docker_err})"
+                    )
+                })
+            })
+        }
+    }
+}
+
+fn profile_cmd(args: &[String]) -> i32 {
+    let (Some(verb), Some(which)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: dracoctl profile <stats|json|disasm> <profile>");
+        return 2;
+    };
+    let profile = match load_profile(which) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    match verb.as_str() {
+        "stats" => {
+            let stats = ProfileStats::for_profile(&profile);
+            println!("{}: {}", profile.name(), stats);
+            println!(
+                "default action: {}; repeat: {}x",
+                profile.default_action(),
+                profile.repeat()
+            );
+            print!("surface by subsystem:");
+            for cat in draco::syscalls::Category::ALL {
+                let n = stats.category_count(cat);
+                if n > 0 {
+                    print!(" {cat}={n}");
+                }
+            }
+            println!();
+            let stack = compile_stacked(&profile, FilterLayout::Linear).expect("compiles");
+            println!(
+                "compiles to {} filter(s), {} cBPF instructions",
+                stack.len(),
+                stack.total_insns()
+            );
+            0
+        }
+        "json" => {
+            println!("{}", profile_to_json(&profile));
+            0
+        }
+        "disasm" => {
+            let layout = if args.iter().any(|a| a == "--tree") {
+                FilterLayout::BinaryTree
+            } else {
+                FilterLayout::Linear
+            };
+            let stack = compile_stacked(&profile, layout).expect("compiles");
+            for (i, program) in stack.programs().iter().enumerate() {
+                println!("; filter {} of {} ({} insns)", i + 1, stack.len(), program.len());
+                print!("{}", disasm(program));
+            }
+            0
+        }
+        other => {
+            eprintln!("unknown profile verb `{other}`");
+            2
+        }
+    }
+}
+
+fn check_cmd(args: &[String]) -> i32 {
+    let (Some(which), Some(syscall)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: dracoctl check <profile> <syscall> [args...]");
+        return 2;
+    };
+    let profile = match load_profile(which) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let table = SyscallTable::shared();
+    let desc = match table.by_name(syscall) {
+        Some(d) => d,
+        None => match syscall.parse::<u16>() {
+            Ok(nr) if table.get(draco::syscalls::SyscallId::new(nr)).is_some() => {
+                table.get(draco::syscalls::SyscallId::new(nr)).expect("checked")
+            }
+            _ => {
+                eprintln!("unknown syscall `{syscall}`");
+                return 1;
+            }
+        },
+    };
+    let values: Vec<u64> = args[2..]
+        .iter()
+        .map(|a| parse_u64(a))
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    if values.len() > 6 {
+        eprintln!("at most 6 arguments");
+        return 2;
+    }
+    let req = SyscallRequest::new(0, desc.id(), ArgSet::from_slice(&values));
+    let mut checker = DracoChecker::from_profile(&profile).expect("checker builds");
+    let first = checker.check(&req);
+    let second = checker.check(&req);
+    println!(
+        "{}({}) under {}: {}",
+        desc.name(),
+        values
+            .iter()
+            .map(|v| format!("{v:#x}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        profile.name(),
+        first.action
+    );
+    println!("  first check : {:?}", first.path);
+    println!("  second check: {:?}", second.path);
+    i32::from(!first.action.permits())
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("bad numeric argument `{s}`"))
+}
+
+fn trace_cmd(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: dracoctl trace gen <workload> [--ops N] [--seed N]");
+                return 2;
+            };
+            let Some(spec) = catalog::by_name(name) else {
+                eprintln!("unknown workload `{name}` (try `dracoctl workloads`)");
+                return 1;
+            };
+            let mut ops = spec.default_ops;
+            let mut seed = 0u64;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--ops" => {
+                        i += 1;
+                        ops = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(ops);
+                    }
+                    "--seed" => {
+                        i += 1;
+                        seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(seed);
+                    }
+                    other => {
+                        eprintln!("unknown flag `{other}`");
+                        return 2;
+                    }
+                }
+                i += 1;
+            }
+            let trace = TraceGenerator::new(&spec, seed).generate(ops);
+            println!("{}", trace.to_json());
+            0
+        }
+        Some("analyze") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: dracoctl trace analyze <PATH.json|->");
+                return 2;
+            };
+            let json = if path == "-" {
+                let mut buf = String::new();
+                std::io::stdin().read_to_string(&mut buf).expect("stdin");
+                buf
+            } else {
+                match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot read `{path}`: {e}");
+                        return 1;
+                    }
+                }
+            };
+            let trace = match SyscallTrace::from_json(&json) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot parse trace: {e}");
+                    return 1;
+                }
+            };
+            let report = LocalityReport::analyze(&trace);
+            println!(
+                "{}: {} calls, top-10 coverage {:.1}%",
+                trace.workload(),
+                report.total_calls(),
+                report.top_n_coverage(10) * 100.0
+            );
+            for row in report.rows().iter().take(10) {
+                println!(
+                    "  {:<16} {:>6.2}%  {} sets, hot reuse distance {:.0}",
+                    row.name,
+                    row.fraction * 100.0,
+                    row.breakdown.distinct_sets,
+                    row.hot_mean_reuse_distance
+                );
+            }
+            0
+        }
+        _ => {
+            eprintln!("usage: dracoctl trace <gen|analyze> ...");
+            2
+        }
+    }
+}

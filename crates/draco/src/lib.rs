@@ -1,0 +1,51 @@
+//! # Draco: cached system-call checking
+//!
+//! A complete, userspace reproduction of *"Draco: Architectural and
+//! Operating System Support for System Call Security"* (MICRO 2020):
+//! the software Draco checker (SPT + VAT), the hardware Draco
+//! microarchitecture (SLB, STB, temporary buffer) as a timing model, a
+//! full classic-BPF seccomp engine, the published profile catalog, the
+//! fifteen evaluation workloads, and the harness regenerating every
+//! figure and table of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under
+//! one name. Depend on it for everything, or on the individual
+//! `draco-*` crates for narrower needs.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`syscalls`] | `draco-syscalls` | x86-64 syscall table, `ArgSet`, 48-bit argument bitmask |
+//! | [`cuckoo`] | `draco-cuckoo` | CRC-64 (ECMA/¬ECMA) hashing, bounded 2-ary cuckoo tables |
+//! | [`bpf`] | `draco-bpf` | cBPF instruction set, validator, interpreter, JIT-model executor |
+//! | [`profiles`] | `draco-profiles` | docker-default / gVisor / Firecracker, trace→profile toolkit, filter compilation & stacking |
+//! | [`core`] | `draco-core` | **software Draco**: SPT, VAT, the Fig. 4 check workflow |
+//! | [`sim`] | `draco-sim` | **hardware Draco**: SLB/STB/SPT structures, Table-I flows, caches, energy |
+//! | [`workloads`] | `draco-workloads` | the 15 benchmarks, trace generation, locality analysis, timing model |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use draco::core::{CheckPath, DracoChecker};
+//! use draco::profiles::docker_default;
+//! use draco::syscalls::{ArgSet, SyscallId, SyscallRequest};
+//!
+//! // Install docker-default, then issue read(3, buf, 64) twice.
+//! let mut checker = DracoChecker::from_profile(&docker_default())?;
+//! let read = SyscallRequest::new(0x401000, SyscallId::new(0),
+//!                                ArgSet::from_slice(&[3, 0xdead_beef, 64]));
+//! assert!(checker.check(&read).action.permits()); // filter runs once…
+//! let again = checker.check(&read);
+//! assert!(again.path.is_cache_hit()); // …then Draco's tables take over.
+//! # Ok::<(), draco::core::DracoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use draco_bpf as bpf;
+pub use draco_core as core;
+pub use draco_cuckoo as cuckoo;
+pub use draco_profiles as profiles;
+pub use draco_sim as sim;
+pub use draco_syscalls as syscalls;
+pub use draco_workloads as workloads;

@@ -1,0 +1,370 @@
+//! Importing real Docker/OCI seccomp profiles.
+//!
+//! Container runtimes ship policies as `seccomp.json` (the Moby format:
+//! `defaultAction`, `syscalls: [{names, action, args}]`). This module
+//! converts the exact-match subset of that format — which is what real
+//! deployments use (paper §II-B: "most real-world profiles simply check
+//! system call IDs and argument values based on a whitelist of exact IDs
+//! and values") — into a [`ProfileSpec`].
+//!
+//! Supported: `SCMP_ACT_ALLOW` rules over a `SCMP_ACT_ERRNO` /
+//! `SCMP_ACT_KILL*` default, with `SCMP_CMP_EQ` argument conditions.
+//! Multiple entries for one syscall OR together; conditions within an
+//! entry AND together. Range/mask operators are rejected with a typed
+//! error rather than silently weakened.
+
+use serde::Deserialize;
+
+use draco_bpf::SeccompAction;
+use draco_syscalls::{ArgBitmask, ArgSet, SyscallTable, MAX_ARGS};
+
+use crate::spec::{ArgPolicy, ProfileSpec, RuleSource, SyscallRule};
+
+#[derive(Deserialize)]
+#[serde(rename_all = "camelCase")]
+struct Doc {
+    default_action: String,
+    #[serde(default)]
+    syscalls: Vec<Entry>,
+}
+
+#[derive(Deserialize)]
+struct Entry {
+    #[serde(default)]
+    names: Vec<String>,
+    #[serde(default)]
+    name: Option<String>,
+    action: String,
+    #[serde(default)]
+    args: Option<Vec<ArgCond>>,
+}
+
+#[derive(Deserialize)]
+struct ArgCond {
+    index: usize,
+    value: u64,
+    #[serde(default)]
+    op: String,
+}
+
+/// Errors importing a Docker-format profile.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DockerImportError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// An action string this importer does not support.
+    UnsupportedAction(String),
+    /// An argument comparison operator outside the exact-match subset.
+    UnsupportedOp(String),
+    /// A syscall name absent from the table (non-x86-64 syscalls in
+    /// multi-arch profiles are skipped, not errored; this fires only for
+    /// names that are argument-checked and unknown).
+    UnknownSyscall(String),
+    /// Entries for one syscall constrain different argument positions,
+    /// which the exact-value whitelist model cannot express.
+    MixedArgPositions(String),
+    /// An argument index outside 0..6.
+    BadArgIndex(usize),
+}
+
+impl std::fmt::Display for DockerImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DockerImportError::Json(e) => write!(f, "json error: {e}"),
+            DockerImportError::UnsupportedAction(a) => write!(f, "unsupported action `{a}`"),
+            DockerImportError::UnsupportedOp(o) => write!(f, "unsupported operator `{o}`"),
+            DockerImportError::UnknownSyscall(s) => write!(f, "unknown syscall `{s}`"),
+            DockerImportError::MixedArgPositions(s) => {
+                write!(f, "`{s}` entries constrain different argument positions")
+            }
+            DockerImportError::BadArgIndex(i) => write!(f, "argument index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DockerImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DockerImportError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for DockerImportError {
+    fn from(e: serde_json::Error) -> Self {
+        DockerImportError::Json(e)
+    }
+}
+
+fn parse_action(s: &str) -> Result<SeccompAction, DockerImportError> {
+    Ok(match s {
+        "SCMP_ACT_ALLOW" => SeccompAction::Allow,
+        "SCMP_ACT_LOG" => SeccompAction::Log,
+        "SCMP_ACT_ERRNO" => SeccompAction::Errno(1),
+        "SCMP_ACT_TRAP" => SeccompAction::Trap,
+        "SCMP_ACT_KILL" | "SCMP_ACT_KILL_THREAD" => SeccompAction::KillThread,
+        "SCMP_ACT_KILL_PROCESS" => SeccompAction::KillProcess,
+        other => return Err(DockerImportError::UnsupportedAction(other.to_owned())),
+    })
+}
+
+/// Imports a Docker/OCI `seccomp.json` document.
+///
+/// Unknown syscall *names* without argument conditions are skipped (the
+/// Moby profile lists syscalls of every architecture; only those present
+/// in this table become rules). The import marks rules from
+/// [`crate::RUNTIME_REQUIRED`] as runtime-sourced, like the built-in
+/// catalog.
+///
+/// # Errors
+///
+/// Returns [`DockerImportError`] for malformed JSON or constructs outside
+/// the exact-match subset.
+///
+/// # Example
+///
+/// ```
+/// let json = r#"{
+///   "defaultAction": "SCMP_ACT_ERRNO",
+///   "syscalls": [
+///     {"names": ["read", "write"], "action": "SCMP_ACT_ALLOW"},
+///     {"name": "personality", "action": "SCMP_ACT_ALLOW",
+///      "args": [{"index": 0, "value": 4294967295, "op": "SCMP_CMP_EQ"}]}
+///   ]
+/// }"#;
+/// let profile = draco_profiles::from_docker_json(json, "mini")?;
+/// assert_eq!(profile.allowed_syscall_count(), 3);
+/// # Ok::<(), draco_profiles::DockerImportError>(())
+/// ```
+pub fn from_docker_json(json: &str, name: &str) -> Result<ProfileSpec, DockerImportError> {
+    let doc: Doc = serde_json::from_str(json)?;
+    let default = parse_action(&doc.default_action)?;
+    let table = SyscallTable::shared();
+    let runtime: std::collections::HashSet<&str> =
+        crate::catalog::RUNTIME_REQUIRED.iter().copied().collect();
+    let mut profile = ProfileSpec::new(name, default);
+
+    // Collected conditions per syscall: (positions, value-sets).
+    struct Collected {
+        positions: Vec<usize>,
+        sets: Vec<ArgSet>,
+        any: bool,
+    }
+    let mut collected: std::collections::BTreeMap<u16, Collected> =
+        std::collections::BTreeMap::new();
+
+    for entry in &doc.syscalls {
+        let action = parse_action(&entry.action)?;
+        if !action.permits() {
+            // Deny-rules on top of a deny default are no-ops in the
+            // exact-match subset; skip.
+            continue;
+        }
+        let names: Vec<&str> = entry
+            .names
+            .iter()
+            .map(String::as_str)
+            .chain(entry.name.as_deref())
+            .collect();
+        for syscall in names {
+            let Some(desc) = table.by_name(syscall) else {
+                // Foreign-architecture name: skip unless it carries
+                // argument conditions (that would silently drop policy).
+                if entry.args.as_ref().is_some_and(|a| !a.is_empty()) {
+                    return Err(DockerImportError::UnknownSyscall(syscall.to_owned()));
+                }
+                continue;
+            };
+            let nr = desc.id().as_u16();
+            let conds = entry.args.as_deref().unwrap_or(&[]);
+            let slot = collected.entry(nr).or_insert_with(|| Collected {
+                positions: Vec::new(),
+                sets: Vec::new(),
+                any: false,
+            });
+            if conds.is_empty() {
+                slot.any = true;
+                continue;
+            }
+            let mut positions: Vec<usize> = Vec::new();
+            let mut set = ArgSet::empty();
+            for cond in conds {
+                if cond.index >= MAX_ARGS {
+                    return Err(DockerImportError::BadArgIndex(cond.index));
+                }
+                if !cond.op.is_empty() && cond.op != "SCMP_CMP_EQ" {
+                    return Err(DockerImportError::UnsupportedOp(cond.op.clone()));
+                }
+                positions.push(cond.index);
+                set = set.with(cond.index, cond.value);
+            }
+            positions.sort_unstable();
+            positions.dedup();
+            if slot.sets.is_empty() {
+                slot.positions = positions;
+            } else if slot.positions != positions {
+                return Err(DockerImportError::MixedArgPositions(syscall.to_owned()));
+            }
+            slot.sets.push(set);
+        }
+    }
+
+    for (nr, c) in collected {
+        let id = draco_syscalls::SyscallId::new(nr);
+        let desc = table.get(id).expect("collected from table");
+        let source = if runtime.contains(desc.name()) {
+            RuleSource::Runtime
+        } else {
+            RuleSource::Application
+        };
+        let args = if c.any || c.sets.is_empty() {
+            // An unconditional ALLOW entry dominates conditioned ones.
+            ArgPolicy::AnyArgs
+        } else {
+            let mut widths = [0u8; MAX_ARGS];
+            for &p in &c.positions {
+                let w = desc.args()[p].checked_width();
+                // Conditions on pointer args provide no protection; the
+                // table knows, so use the full register width instead of
+                // silently dropping the check.
+                widths[p] = if w > 0 { w } else { 8 };
+            }
+            ArgPolicy::whitelist(ArgBitmask::from_widths(widths), c.sets)
+        };
+        profile.allow(id, SyscallRule { args, source });
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_syscalls::SyscallId;
+
+    const MINI: &str = r#"{
+        "defaultAction": "SCMP_ACT_ERRNO",
+        "architectures": ["SCMP_ARCH_X86_64"],
+        "syscalls": [
+            {"names": ["read", "write", "close"], "action": "SCMP_ACT_ALLOW"},
+            {"names": ["arm_specific_call"], "action": "SCMP_ACT_ALLOW"},
+            {"name": "personality", "action": "SCMP_ACT_ALLOW",
+             "args": [{"index": 0, "value": 4294967295, "op": "SCMP_CMP_EQ"}]},
+            {"name": "personality", "action": "SCMP_ACT_ALLOW",
+             "args": [{"index": 0, "value": 131080, "op": "SCMP_CMP_EQ"}]}
+        ]
+    }"#;
+
+    #[test]
+    fn imports_the_exact_match_subset() {
+        let p = from_docker_json(MINI, "mini").expect("imports");
+        assert_eq!(p.name(), "mini");
+        assert_eq!(p.default_action(), SeccompAction::Errno(1));
+        // read/write/close + personality; the ARM name is skipped.
+        assert_eq!(p.allowed_syscall_count(), 4);
+        let personality = |v: u64| {
+            draco_syscalls::SyscallRequest::new(
+                0,
+                SyscallId::new(135),
+                draco_syscalls::ArgSet::from_slice(&[v]),
+            )
+        };
+        assert!(p.evaluate(&personality(0xffff_ffff)).permits());
+        assert!(p.evaluate(&personality(0x20008)).permits());
+        assert!(!p.evaluate(&personality(0x1)).permits());
+    }
+
+    #[test]
+    fn unconditional_entry_dominates_conditions() {
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_KILL_PROCESS",
+            "syscalls": [
+                {"name": "ioctl", "action": "SCMP_ACT_ALLOW",
+                 "args": [{"index": 1, "value": 21505, "op": "SCMP_CMP_EQ"}]},
+                {"name": "ioctl", "action": "SCMP_ACT_ALLOW"}
+            ]
+        }"#;
+        let p = from_docker_json(json, "t").unwrap();
+        let ioctl = draco_syscalls::SyscallRequest::new(
+            0,
+            SyscallId::new(16),
+            draco_syscalls::ArgSet::from_slice(&[1, 0x9999]),
+        );
+        assert!(p.evaluate(&ioctl).permits(), "unconditional wins");
+    }
+
+    #[test]
+    fn rejects_range_operators() {
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "syscalls": [{"name": "ioctl", "action": "SCMP_ACT_ALLOW",
+                "args": [{"index": 1, "value": 5, "op": "SCMP_CMP_LE"}]}]
+        }"#;
+        assert!(matches!(
+            from_docker_json(json, "t"),
+            Err(DockerImportError::UnsupportedOp(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_argchecked_syscall() {
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "syscalls": [{"name": "martian", "action": "SCMP_ACT_ALLOW",
+                "args": [{"index": 0, "value": 5, "op": "SCMP_CMP_EQ"}]}]
+        }"#;
+        assert!(matches!(
+            from_docker_json(json, "t"),
+            Err(DockerImportError::UnknownSyscall(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_mixed_positions() {
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "syscalls": [
+                {"name": "ioctl", "action": "SCMP_ACT_ALLOW",
+                 "args": [{"index": 1, "value": 1, "op": "SCMP_CMP_EQ"}]},
+                {"name": "ioctl", "action": "SCMP_ACT_ALLOW",
+                 "args": [{"index": 2, "value": 2, "op": "SCMP_CMP_EQ"}]}
+            ]
+        }"#;
+        assert!(matches!(
+            from_docker_json(json, "t"),
+            Err(DockerImportError::MixedArgPositions(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_index_and_action() {
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "syscalls": [{"name": "ioctl", "action": "SCMP_ACT_ALLOW",
+                "args": [{"index": 9, "value": 5, "op": "SCMP_CMP_EQ"}]}]
+        }"#;
+        assert!(matches!(
+            from_docker_json(json, "t"),
+            Err(DockerImportError::BadArgIndex(9))
+        ));
+        let json = r#"{"defaultAction": "SCMP_ACT_NOTIFY", "syscalls": []}"#;
+        assert!(matches!(
+            from_docker_json(json, "t"),
+            Err(DockerImportError::UnsupportedAction(_))
+        ));
+    }
+
+    #[test]
+    fn imported_profile_compiles_and_checks() {
+        let p = from_docker_json(MINI, "mini").unwrap();
+        let stack = crate::compile_stacked(&p, crate::FilterLayout::Linear).unwrap();
+        let data = draco_bpf::SeccompData::for_syscall(0, &[3, 0, 8, 0, 0, 0]);
+        assert!(stack.run(&data).unwrap().action.permits());
+        let denied = draco_bpf::SeccompData::for_syscall(57, &[0; 6]);
+        assert_eq!(
+            stack.run(&denied).unwrap().action,
+            SeccompAction::Errno(1)
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Trace-driven profile generation — the paper's §X-B toolkit.
+//!
+//! The paper builds its application-specific profiles by attaching
+//! `strace` to a running workload, collecting the system call trace, and
+//! emitting whitelists of the observed IDs (and, for the `-complete`
+//! profiles, the observed argument sets). [`ProfileGenerator`] is that
+//! toolkit: feed it [`SyscallRequest`]s, then emit any of the three
+//! profile kinds.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use draco_bpf::SeccompAction;
+use draco_syscalls::{ArgSet, SyscallId, SyscallRequest, SyscallTable};
+
+use crate::catalog::RUNTIME_REQUIRED;
+use crate::spec::{ArgPolicy, ProfileSpec, RuleSource, SyscallRule};
+
+/// Which application-specific profile to emit (paper §IV-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProfileKind {
+    /// `syscall-noargs`: whitelist exact IDs, no argument checks.
+    SyscallNoargs,
+    /// `syscall-complete`: whitelist exact IDs and exact argument values.
+    SyscallComplete,
+    /// `syscall-complete-2x`: `syscall-complete` run twice in a row,
+    /// modeling a near-future environment with more extensive checks.
+    SyscallComplete2x,
+}
+
+impl ProfileKind {
+    /// The paper's name for the profile kind.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ProfileKind::SyscallNoargs => "syscall-noargs",
+            ProfileKind::SyscallComplete => "syscall-complete",
+            ProfileKind::SyscallComplete2x => "syscall-complete-2x",
+        }
+    }
+}
+
+/// Records observed system calls and emits application-specific profiles.
+///
+/// # Example
+///
+/// ```
+/// use draco_profiles::{ProfileGenerator, ProfileKind};
+/// use draco_syscalls::{ArgSet, SyscallId, SyscallRequest};
+///
+/// let mut gen = ProfileGenerator::new("myapp");
+/// gen.observe(&SyscallRequest::new(0x1000, SyscallId::new(39), ArgSet::empty()));
+/// let profile = gen.emit(ProfileKind::SyscallComplete);
+/// assert_eq!(profile.allowed_syscall_count(), 1);
+/// assert_eq!(profile.name(), "myapp-syscall-complete");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProfileGenerator {
+    app: String,
+    /// Observed masked argument sets per syscall.
+    observed: BTreeMap<SyscallId, BTreeSet<ArgSet>>,
+    /// First-observation order (profiles list rules in trace order, like
+    /// the strace toolkit).
+    order: Vec<SyscallId>,
+    calls_recorded: u64,
+}
+
+impl ProfileGenerator {
+    /// Creates a generator for the named application.
+    pub fn new(app: impl Into<String>) -> Self {
+        ProfileGenerator {
+            app: app.into(),
+            observed: BTreeMap::new(),
+            order: Vec::new(),
+            calls_recorded: 0,
+        }
+    }
+
+    /// Records one observed system call.
+    ///
+    /// Arguments are masked through the syscall's table bitmask before
+    /// recording (pointer values are volatile and never checked).
+    pub fn observe(&mut self, req: &SyscallRequest) {
+        let table = SyscallTable::shared();
+        let masked = match table.get(req.id) {
+            Some(desc) => desc.bitmask().masked(&req.args),
+            // Unknown syscalls are recorded ID-only.
+            None => ArgSet::empty(),
+        };
+        let entry = self.observed.entry(req.id).or_insert_with(|| {
+            self.order.push(req.id);
+            BTreeSet::new()
+        });
+        entry.insert(masked);
+        self.calls_recorded += 1;
+    }
+
+    /// Records every call in a trace.
+    pub fn observe_all<'a>(&mut self, trace: impl IntoIterator<Item = &'a SyscallRequest>) {
+        for req in trace {
+            self.observe(req);
+        }
+    }
+
+    /// Number of calls recorded so far.
+    pub const fn calls_recorded(&self) -> u64 {
+        self.calls_recorded
+    }
+
+    /// Number of distinct system calls observed.
+    pub fn distinct_syscalls(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Emits the requested profile kind.
+    ///
+    /// System calls in [`RUNTIME_REQUIRED`] are tagged
+    /// [`RuleSource::Runtime`]; everything else is
+    /// [`RuleSource::Application`] (the Fig. 15a split).
+    pub fn emit(&self, kind: ProfileKind) -> ProfileSpec {
+        let table = SyscallTable::shared();
+        let runtime: std::collections::HashSet<&str> =
+            RUNTIME_REQUIRED.iter().copied().collect();
+        let mut profile = ProfileSpec::new(
+            format!("{}-{}", self.app, kind.label()),
+            SeccompAction::KillProcess,
+        );
+        for &id in &self.order {
+            let sets = &self.observed[&id];
+            let source = match table.get(id) {
+                Some(desc) if runtime.contains(desc.name()) => RuleSource::Runtime,
+                _ => RuleSource::Application,
+            };
+            let args = match kind {
+                ProfileKind::SyscallNoargs => ArgPolicy::AnyArgs,
+                ProfileKind::SyscallComplete | ProfileKind::SyscallComplete2x => {
+                    match table.get(id) {
+                        Some(desc) if !desc.bitmask().is_empty() => ArgPolicy::whitelist(
+                            desc.bitmask(),
+                            sets.iter().copied(),
+                        ),
+                        // Zero-checkable-arg calls degrade to ID-only.
+                        _ => ArgPolicy::AnyArgs,
+                    }
+                }
+            };
+            profile.allow(id, SyscallRule { args, source });
+        }
+        match kind {
+            ProfileKind::SyscallComplete2x => profile.with_repeat(2),
+            _ => profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+        SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+    }
+
+    #[test]
+    fn noargs_profile_allows_observed_ids_any_args() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0xdead, 100]));
+        gen.observe(&req(1, &[4, 0xbeef, 200]));
+        let p = gen.emit(ProfileKind::SyscallNoargs);
+        assert_eq!(p.allowed_syscall_count(), 2);
+        assert!(!p.checks_arguments());
+        // Unobserved args allowed, unobserved syscalls denied.
+        assert_eq!(p.evaluate(&req(0, &[9, 9, 9])), SeccompAction::Allow);
+        assert_eq!(p.evaluate(&req(2, &[])), SeccompAction::KillProcess);
+    }
+
+    #[test]
+    fn complete_profile_pins_argument_values() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0xdead, 100])); // read(3, buf, 100)
+        let p = gen.emit(ProfileKind::SyscallComplete);
+        assert!(p.checks_arguments());
+        // Same fd/count, different buffer pointer: allowed (pointer
+        // excluded by the bitmask).
+        assert_eq!(p.evaluate(&req(0, &[3, 0xbeef, 100])), SeccompAction::Allow);
+        // Different fd: denied.
+        assert_eq!(
+            p.evaluate(&req(0, &[4, 0xdead, 100])),
+            SeccompAction::KillProcess
+        );
+    }
+
+    #[test]
+    fn complete_2x_doubles_repeat() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(39, &[]));
+        let p = gen.emit(ProfileKind::SyscallComplete2x);
+        assert_eq!(p.repeat(), 2);
+        assert!(p.name().ends_with("-2x"));
+    }
+
+    #[test]
+    fn zero_arg_syscalls_degrade_to_id_only() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(39, &[])); // getpid
+        let p = gen.emit(ProfileKind::SyscallComplete);
+        assert_eq!(p.evaluate(&req(39, &[1, 2, 3])), SeccompAction::Allow);
+    }
+
+    #[test]
+    fn duplicate_observations_dedup() {
+        let mut gen = ProfileGenerator::new("app");
+        for _ in 0..100 {
+            gen.observe(&req(0, &[3, 0, 100]));
+        }
+        assert_eq!(gen.calls_recorded(), 100);
+        assert_eq!(gen.distinct_syscalls(), 1);
+        let p = gen.emit(ProfileKind::SyscallComplete);
+        let rule = p.rule(SyscallId::new(0)).unwrap();
+        match &rule.args {
+            ArgPolicy::Whitelist { sets, .. } => assert_eq!(sets.len(), 1),
+            ArgPolicy::AnyArgs => panic!("expected whitelist"),
+        }
+    }
+
+    #[test]
+    fn runtime_required_calls_tagged() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0, 1])); // read: runtime-required
+        gen.observe(&req(41, &[2, 1, 6])); // socket: app-specific
+        let p = gen.emit(ProfileKind::SyscallNoargs);
+        assert_eq!(
+            p.rule(SyscallId::new(0)).unwrap().source,
+            RuleSource::Runtime
+        );
+        assert_eq!(
+            p.rule(SyscallId::new(41)).unwrap().source,
+            RuleSource::Application
+        );
+    }
+
+    #[test]
+    fn unknown_syscalls_recorded_id_only() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(999, &[1, 2, 3]));
+        let p = gen.emit(ProfileKind::SyscallComplete);
+        assert_eq!(p.evaluate(&req(999, &[7, 8, 9])), SeccompAction::Allow);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ProfileKind::SyscallNoargs.label(), "syscall-noargs");
+        assert_eq!(ProfileKind::SyscallComplete.label(), "syscall-complete");
+        assert_eq!(
+            ProfileKind::SyscallComplete2x.label(),
+            "syscall-complete-2x"
+        );
+    }
+}

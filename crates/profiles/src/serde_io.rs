@@ -1,0 +1,278 @@
+//! Profile serialization (the on-disk artifact the §X-B toolkit emits).
+//!
+//! Docker profiles ship as JSON; this module round-trips [`ProfileSpec`]
+//! through a stable JSON schema so generated profiles can be saved,
+//! diffed, and reloaded by the benchmark harness.
+
+use serde::{Deserialize, Serialize};
+
+use draco_bpf::SeccompAction;
+use draco_syscalls::{ArgBitmask, ArgSet, SyscallId, MAX_ARGS};
+
+use crate::spec::{ArgPolicy, ProfileSpec, RuleSource, SyscallRule};
+
+/// Serialization schema version.
+const SCHEMA_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct ProfileDoc {
+    version: u32,
+    name: String,
+    default_action: String,
+    default_errno: Option<u16>,
+    repeat: u8,
+    rules: Vec<RuleDoc>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct RuleDoc {
+    nr: u16,
+    source: String,
+    /// Absent for any-args rules.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    mask: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    sets: Option<Vec<[u64; MAX_ARGS]>>,
+}
+
+fn action_name(action: SeccompAction) -> (String, Option<u16>) {
+    match action {
+        SeccompAction::Allow => ("allow".into(), None),
+        SeccompAction::Log => ("log".into(), None),
+        SeccompAction::Errno(e) => ("errno".into(), Some(e)),
+        SeccompAction::Trap => ("trap".into(), None),
+        SeccompAction::Trace(d) => ("trace".into(), Some(d)),
+        SeccompAction::KillThread => ("kill-thread".into(), None),
+        SeccompAction::KillProcess => ("kill-process".into(), None),
+    }
+}
+
+fn action_from(name: &str, data: Option<u16>) -> Result<SeccompAction, ProfileIoError> {
+    Ok(match name {
+        "allow" => SeccompAction::Allow,
+        "log" => SeccompAction::Log,
+        "errno" => SeccompAction::Errno(data.unwrap_or(1)),
+        "trap" => SeccompAction::Trap,
+        "trace" => SeccompAction::Trace(data.unwrap_or(0)),
+        "kill-thread" => SeccompAction::KillThread,
+        "kill-process" => SeccompAction::KillProcess,
+        other => return Err(ProfileIoError::UnknownAction(other.to_owned())),
+    })
+}
+
+/// Errors decoding a serialized profile.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProfileIoError {
+    /// Underlying JSON failure.
+    Json(serde_json::Error),
+    /// Unsupported schema version.
+    BadVersion(u32),
+    /// Unrecognized action name.
+    UnknownAction(String),
+    /// Unrecognized rule source.
+    UnknownSource(String),
+    /// Mask wider than 48 bits.
+    BadMask(u64),
+}
+
+impl std::fmt::Display for ProfileIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileIoError::Json(e) => write!(f, "json error: {e}"),
+            ProfileIoError::BadVersion(v) => write!(f, "unsupported schema version {v}"),
+            ProfileIoError::UnknownAction(a) => write!(f, "unknown action `{a}`"),
+            ProfileIoError::UnknownSource(s) => write!(f, "unknown rule source `{s}`"),
+            ProfileIoError::BadMask(m) => write!(f, "argument mask {m:#x} exceeds 48 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileIoError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for ProfileIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ProfileIoError::Json(e)
+    }
+}
+
+/// Serializes a profile to pretty JSON.
+///
+/// # Example
+///
+/// ```
+/// use draco_profiles::{firecracker, profile_from_json, profile_to_json};
+///
+/// let p = firecracker();
+/// let json = profile_to_json(&p);
+/// let back = profile_from_json(&json)?;
+/// assert_eq!(back, p);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn profile_to_json(profile: &ProfileSpec) -> String {
+    let (default_action, default_errno) = action_name(profile.default_action());
+    let rules = profile
+        .rules()
+        .map(|(id, rule)| {
+            let (mask, sets) = match &rule.args {
+                ArgPolicy::AnyArgs => (None, None),
+                ArgPolicy::Whitelist { mask, sets } => (
+                    Some(mask.raw()),
+                    Some(sets.iter().map(|s| s.as_array()).collect()),
+                ),
+            };
+            RuleDoc {
+                nr: id.as_u16(),
+                source: match rule.source {
+                    RuleSource::Runtime => "runtime".into(),
+                    RuleSource::Application => "application".into(),
+                },
+                mask,
+                sets,
+            }
+        })
+        .collect();
+    let doc = ProfileDoc {
+        version: SCHEMA_VERSION,
+        name: profile.name().to_owned(),
+        default_action,
+        default_errno,
+        repeat: profile.repeat(),
+        rules,
+    };
+    serde_json::to_string_pretty(&doc).expect("profile serialization is infallible")
+}
+
+/// Deserializes a profile from JSON.
+///
+/// # Errors
+///
+/// Returns [`ProfileIoError`] for malformed JSON, unknown schema versions,
+/// or invalid field values.
+pub fn profile_from_json(json: &str) -> Result<ProfileSpec, ProfileIoError> {
+    let doc: ProfileDoc = serde_json::from_str(json)?;
+    if doc.version != SCHEMA_VERSION {
+        return Err(ProfileIoError::BadVersion(doc.version));
+    }
+    let default = action_from(&doc.default_action, doc.default_errno)?;
+    let mut profile = ProfileSpec::new(doc.name, default);
+
+    for rule in doc.rules {
+        let source = match rule.source.as_str() {
+            "runtime" => RuleSource::Runtime,
+            "application" => RuleSource::Application,
+            other => return Err(ProfileIoError::UnknownSource(other.to_owned())),
+        };
+        let args = match (rule.mask, rule.sets) {
+            (Some(mask), Some(sets)) => {
+                if mask >= 1 << 48 {
+                    return Err(ProfileIoError::BadMask(mask));
+                }
+                ArgPolicy::whitelist(
+                    ArgBitmask::from_raw(mask),
+                    sets.into_iter().map(ArgSet::new),
+                )
+            }
+            _ => ArgPolicy::AnyArgs,
+        };
+        profile.allow(SyscallId::new(rule.nr), SyscallRule { args, source });
+    }
+    // The serialized name already carries any `-2x` suffix, so restore the
+    // repeat factor without the renaming `with_repeat` performs.
+    if doc.repeat > 1 {
+        profile.set_repeat_raw(doc.repeat);
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{docker_default, firecracker, gvisor_default};
+    use crate::generate::{ProfileGenerator, ProfileKind};
+    use draco_syscalls::SyscallRequest;
+
+    #[test]
+    fn catalog_profiles_roundtrip() {
+        for p in [docker_default(), gvisor_default(), firecracker()] {
+            let json = profile_to_json(&p);
+            let back = profile_from_json(&json).expect("decodes");
+            assert_eq!(back, p, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn generated_2x_profile_roundtrips() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&SyscallRequest::new(
+            0,
+            SyscallId::new(0),
+            ArgSet::from_slice(&[3, 0, 100]),
+        ));
+        let p = gen.emit(ProfileKind::SyscallComplete2x);
+        let back = profile_from_json(&profile_to_json(&p)).expect("decodes");
+        assert_eq!(back.repeat(), 2);
+        assert_eq!(back.name(), p.name());
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let p = firecracker();
+        let json = profile_to_json(&p).replace("\"version\": 1", "\"version\": 99");
+        assert!(matches!(
+            profile_from_json(&json),
+            Err(ProfileIoError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let json = r#"{"version":1,"name":"x","default_action":"explode",
+                       "default_errno":null,"repeat":1,"rules":[]}"#;
+        assert!(matches!(
+            profile_from_json(json),
+            Err(ProfileIoError::UnknownAction(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let json = r#"{"version":1,"name":"x","default_action":"allow",
+                       "default_errno":null,"repeat":1,
+                       "rules":[{"nr":0,"source":"martian"}]}"#;
+        assert!(matches!(
+            profile_from_json(json),
+            Err(ProfileIoError::UnknownSource(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_mask_rejected() {
+        let json = format!(
+            r#"{{"version":1,"name":"x","default_action":"allow",
+                "default_errno":null,"repeat":1,
+                "rules":[{{"nr":0,"source":"runtime","mask":{},"sets":[[0,0,0,0,0,0]]}}]}}"#,
+            1u64 << 48
+        );
+        assert!(matches!(
+            profile_from_json(&json),
+            Err(ProfileIoError::BadMask(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_a_json_error() {
+        assert!(matches!(
+            profile_from_json("{"),
+            Err(ProfileIoError::Json(_))
+        ));
+    }
+}

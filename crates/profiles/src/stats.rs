@@ -1,0 +1,162 @@
+//! Security statistics over profiles (paper Fig. 15).
+
+use core::fmt;
+
+use draco_syscalls::{category, Category, SyscallTable};
+
+use crate::spec::{ProfileSpec, RuleSource};
+
+/// Aggregate security statistics of one profile.
+///
+/// * Fig. 15a plots [`ProfileStats::allowed_syscalls`] split into
+///   application-specific and runtime-required fractions;
+/// * Fig. 15b plots [`ProfileStats::args_checked`] and
+///   [`ProfileStats::distinct_values_allowed`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Total system calls the profile allows.
+    pub allowed_syscalls: usize,
+    /// Allowed syscalls required by the container runtime itself.
+    pub runtime_required: usize,
+    /// Allowed syscalls specific to the application.
+    pub application_specific: usize,
+    /// Total argument positions checked across all rules.
+    pub args_checked: usize,
+    /// Total distinct argument values allowed across all rules.
+    pub distinct_values_allowed: usize,
+    /// Allowed syscalls per kernel subsystem, indexed by
+    /// [`Category::ALL`] order — the attack-surface breakdown.
+    pub category_counts: [usize; 9],
+}
+
+impl ProfileStats {
+    /// Computes the statistics for a profile.
+    pub fn for_profile(profile: &ProfileSpec) -> Self {
+        let mut stats = ProfileStats {
+            allowed_syscalls: profile.allowed_syscall_count(),
+            ..ProfileStats::default()
+        };
+        let table = SyscallTable::shared();
+        for (id, rule) in profile.rules() {
+            match rule.source {
+                RuleSource::Runtime => stats.runtime_required += 1,
+                RuleSource::Application => stats.application_specific += 1,
+            }
+            stats.args_checked += rule.args.checked_arg_positions();
+            stats.distinct_values_allowed += rule.args.distinct_values();
+            if let Some(desc) = table.get(id) {
+                let cat = category::categorize(desc);
+                let idx = Category::ALL
+                    .iter()
+                    .position(|c| *c == cat)
+                    .expect("category in ALL");
+                stats.category_counts[idx] += 1;
+            }
+        }
+        stats
+    }
+
+    /// Allowed syscalls in one category.
+    pub fn category_count(&self, cat: Category) -> usize {
+        let idx = Category::ALL
+            .iter()
+            .position(|c| *c == cat)
+            .expect("category in ALL");
+        self.category_counts[idx]
+    }
+
+    /// Fraction of allowed syscalls that the runtime (not the application)
+    /// requires — the paper observes "a fraction of about 20%".
+    pub fn runtime_fraction(&self) -> f64 {
+        if self.allowed_syscalls == 0 {
+            0.0
+        } else {
+            self.runtime_required as f64 / self.allowed_syscalls as f64
+        }
+    }
+}
+
+impl fmt::Display for ProfileStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} syscalls ({} runtime, {} app), {} args checked, {} values allowed",
+            self.allowed_syscalls,
+            self.runtime_required,
+            self.application_specific,
+            self.args_checked,
+            self.distinct_values_allowed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ArgPolicy, SyscallRule};
+    use draco_bpf::SeccompAction;
+    use draco_syscalls::{ArgBitmask, ArgSet, SyscallId};
+
+    #[test]
+    fn empty_profile_stats_are_zero() {
+        let p = ProfileSpec::new("empty", SeccompAction::KillProcess);
+        let s = ProfileStats::for_profile(&p);
+        assert_eq!(s, ProfileStats::default());
+        assert_eq!(s.runtime_fraction(), 0.0);
+    }
+
+    #[test]
+    fn source_split_and_value_counts() {
+        let mut p = ProfileSpec::new("t", SeccompAction::KillProcess);
+        p.allow(SyscallId::new(0), SyscallRule::any(RuleSource::Runtime));
+        p.allow(SyscallId::new(1), SyscallRule::any(RuleSource::Application));
+        let mask = ArgBitmask::from_widths([4, 0, 0, 0, 0, 0]);
+        p.allow(
+            SyscallId::new(2),
+            SyscallRule {
+                args: ArgPolicy::whitelist(
+                    mask,
+                    [ArgSet::from_slice(&[1]), ArgSet::from_slice(&[2])],
+                ),
+                source: RuleSource::Application,
+            },
+        );
+        let s = ProfileStats::for_profile(&p);
+        assert_eq!(s.allowed_syscalls, 3);
+        assert_eq!(s.runtime_required, 1);
+        assert_eq!(s.application_specific, 2);
+        assert_eq!(s.args_checked, 1);
+        assert_eq!(s.distinct_values_allowed, 2);
+        assert!((s.runtime_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn category_surface_breakdown() {
+        let docker = crate::docker_default();
+        let s = ProfileStats::for_profile(&docker);
+        // docker-default denies most of the module/tracing/mount surface
+        // (keeping a handful like personality, argument-checked, and
+        // chroot): the admin remainder is a fraction of the interface's.
+        let admin = s.category_count(Category::Admin);
+        let linux_admin = category::surface(SyscallTable::shared())
+            .iter()
+            .find(|(c, _)| *c == Category::Admin)
+            .unwrap()
+            .1;
+        assert!(admin * 3 < linux_admin, "admin {admin} vs linux {linux_admin}");
+        assert!(s.category_count(Category::File) > 60);
+        let strict = crate::firecracker();
+        let fs = ProfileStats::for_profile(&strict);
+        assert_eq!(fs.category_count(Category::Admin), 0, "firecracker");
+        let total: usize = fs.category_counts.iter().sum();
+        assert_eq!(total, fs.allowed_syscalls);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let p = ProfileSpec::new("t", SeccompAction::KillProcess);
+        let s = ProfileStats::for_profile(&p).to_string();
+        assert!(s.contains("syscalls"));
+        assert!(!s.contains('\n'));
+    }
+}

@@ -1,0 +1,263 @@
+//! Set-associative cache models and the three-level hierarchy.
+//!
+//! Only the Draco-relevant traffic flows through this model: VAT line
+//! fetches and the kernel's table updates. Application memory behaviour
+//! is already folded into the trace's compute time, which is how the
+//! paper's own normalized figures treat it.
+
+use core::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub latency_cycles: u64,
+}
+
+/// Where an access was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Hit in L1.
+    L1,
+    /// Hit in L2.
+    L2,
+    /// Hit in L3.
+    L3,
+    /// Missed everywhere; served by DRAM.
+    Memory,
+}
+
+/// One set-associative, write-back, LRU cache level.
+#[derive(Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    /// `tags[set]` is an LRU-ordered list (front = MRU) of line tags.
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent.
+    pub fn new(config: CacheConfig) -> Self {
+        let lines = config.size_bytes / config.line_bytes;
+        assert!(lines >= config.ways, "cache smaller than one set");
+        assert!(
+            lines.is_multiple_of(config.ways),
+            "lines must divide evenly into ways"
+        );
+        let sets = lines / config.ways;
+        Cache {
+            config,
+            sets,
+            tags: vec![Vec::with_capacity(config.ways); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        ((line % self.sets as u64) as usize, line / self.sets as u64)
+    }
+
+    /// Looks up (and on miss, fills) the line containing `addr`.
+    /// Returns true on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            self.hits += 1;
+            true
+        } else {
+            ways.insert(0, tag);
+            if ways.len() > self.config.ways {
+                ways.pop();
+            }
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates every line.
+    pub fn flush(&mut self) {
+        for set in &mut self.tags {
+            set.clear();
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub const fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The configured hit latency.
+    pub const fn latency(&self) -> u64 {
+        self.config.latency_cycles
+    }
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cache({}B/{}w, {} hits, {} misses)",
+            self.config.size_bytes, self.config.ways, self.hits, self.misses
+        )
+    }
+}
+
+/// The L1/L2/L3 + DRAM hierarchy a VAT access walks.
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    dram_cycles: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from per-level configs.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, l3: CacheConfig, dram_cycles: u64) -> Self {
+        CacheHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            l3: Cache::new(l3),
+            dram_cycles,
+        }
+    }
+
+    /// Accesses `addr`, filling lines inclusively on the way back.
+    /// Returns the serving level and total latency in cycles.
+    pub fn access(&mut self, addr: u64) -> (AccessOutcome, u64) {
+        if self.l1.access(addr) {
+            return (AccessOutcome::L1, self.l1.latency());
+        }
+        if self.l2.access(addr) {
+            return (AccessOutcome::L2, self.l1.latency() + self.l2.latency());
+        }
+        if self.l3.access(addr) {
+            return (
+                AccessOutcome::L3,
+                self.l1.latency() + self.l2.latency() + self.l3.latency(),
+            );
+        }
+        (
+            AccessOutcome::Memory,
+            self.l1.latency() + self.l2.latency() + self.l3.latency() + self.dram_cycles,
+        )
+    }
+
+    /// Invalidates all levels (used by failure-injection tests).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.l3.flush();
+    }
+
+    /// Per-level `(hits, misses)`.
+    pub fn stats(&self) -> [(u64, u64); 3] {
+        [self.l1.stats(), self.l2.stats(), self.l3.stats()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 2,
+        }
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(small());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1038), "same 64B line");
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(small()); // 8 sets, 2 ways
+        // Three lines mapping to the same set (stride = sets*line = 512B).
+        let a = 0x0;
+        let b = 0x200;
+        let d = 0x400;
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is MRU
+        c.access(d); // evicts b
+        assert!(c.access(a));
+        assert!(!c.access(b), "b was evicted");
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = Cache::new(small());
+        c.access(0x40);
+        c.flush();
+        assert!(!c.access(0x40));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one set")]
+    fn degenerate_geometry_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 64,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 1,
+        });
+    }
+
+    #[test]
+    fn hierarchy_latencies_accumulate() {
+        let cfg = crate::SimConfig::table_ii();
+        let mut h = CacheHierarchy::new(cfg.l1, cfg.l2, cfg.l3, cfg.dram_cycles);
+        let (lvl, lat) = h.access(0x9000);
+        assert_eq!(lvl, AccessOutcome::Memory);
+        assert_eq!(lat, 2 + 8 + 32 + 120);
+        let (lvl, lat) = h.access(0x9000);
+        assert_eq!(lvl, AccessOutcome::L1);
+        assert_eq!(lat, 2);
+    }
+
+    #[test]
+    fn hierarchy_fills_inclusively() {
+        let cfg = crate::SimConfig::table_ii();
+        let mut h = CacheHierarchy::new(cfg.l1, cfg.l2, cfg.l3, cfg.dram_cycles);
+        h.access(0xa000);
+        // Evict from L1 by touching many conflicting lines; L2 still has it.
+        for i in 0..1024u64 {
+            h.access(0x10_0000 + i * 64 * 64); // same L1 set stride-ish
+        }
+        let (lvl, _) = h.access(0xa000);
+        assert_ne!(lvl, AccessOutcome::Memory, "L2/L3 retain the line");
+    }
+
+    #[test]
+    fn debug_output() {
+        let c = Cache::new(small());
+        assert!(format!("{c:?}").contains("1024B"));
+    }
+}

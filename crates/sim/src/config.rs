@@ -1,0 +1,254 @@
+//! Simulation parameters (paper Table II).
+
+use crate::cache::CacheConfig;
+
+/// SLB subtable geometry for one argument count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlbConfig {
+    /// Total entries in the subtable.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+/// The full architectural configuration.
+///
+/// Defaults ([`SimConfig::table_ii`]) reproduce the paper's Table II:
+/// 2 GHz OOO cores with a 128-entry ROB, 32 KB/8-way L1 (2 cycles),
+/// 256 KB/8-way L2 (8 cycles), 8 MB/16-way shared L3 (32 cycles), and the
+/// per-core Draco structures (256-entry 2-way STB, per-argument-count
+/// SLB subtables, 8-entry temporary buffer, 384-entry SPT, all 2-cycle;
+/// 3-cycle CRC hash per §XI-C).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Core frequency in GHz (cycle ↔ ns conversion).
+    pub freq_ghz: f64,
+    /// Reorder buffer capacity (informational; syscalls serialize).
+    pub rob_entries: usize,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Shared L3.
+    pub l3: CacheConfig,
+    /// Main-memory latency in cycles (on an L3 miss).
+    pub dram_cycles: u64,
+    /// Data TLB entries.
+    pub tlb_entries: usize,
+    /// Page-walk penalty in cycles on a TLB miss.
+    pub page_walk_cycles: u64,
+    /// STB entries.
+    pub stb_entries: usize,
+    /// STB associativity.
+    pub stb_ways: usize,
+    /// SLB subtables indexed by argument count 1–6.
+    pub slb: [SlbConfig; 6],
+    /// Temporary buffer entries (speculation shield, §IX).
+    pub temp_buffer_entries: usize,
+    /// Hardware SPT entries (direct-mapped).
+    pub spt_entries: usize,
+    /// Access time of the Draco SRAM structures, cycles.
+    pub draco_struct_cycles: u64,
+    /// CRC hash latency, cycles (964 ps at 2 GHz → 3 cycles, §XI-C).
+    pub crc_cycles: u64,
+    /// Kernel entry/exit + software checking dispatch on a Draco miss
+    /// that falls back to Seccomp, cycles.
+    pub os_fallback_cycles: u64,
+    /// Cycles per cBPF instruction in the fallback filter.
+    pub bpf_insn_cycles: f64,
+    /// Base (unchecked) kernel syscall cost, cycles.
+    pub syscall_base_cycles: u64,
+    /// Context-switch quantum in cycles (0 disables context switches).
+    pub ctx_quantum_cycles: u64,
+    /// Whether the OS saves/restores Accessed SPT entries across context
+    /// switches (§VII-B) instead of starting cold.
+    pub spt_save_restore: bool,
+    /// Whether STB-driven SLB preloading is enabled (disabling it leaves
+    /// only flows 5/6 — an ablation).
+    pub preload_enabled: bool,
+    /// Whether the SLB exists at all. `false` models the paper's
+    /// *initial* hardware design (§V-D): a hardware SPT whose
+    /// argument checks always hash and probe the in-memory VAT at the
+    /// ROB head — the design §VI improves on.
+    pub slb_enabled: bool,
+    /// SMT contexts sharing a core: structures are partitioned per
+    /// context (§VII-B), shrinking each context's share.
+    pub smt_contexts: usize,
+}
+
+impl SimConfig {
+    /// The paper's Table II configuration.
+    pub fn table_ii() -> Self {
+        SimConfig {
+            freq_ghz: 2.0,
+            rob_entries: 128,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency_cycles: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency_cycles: 8,
+            },
+            l3: CacheConfig {
+                size_bytes: 8 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency_cycles: 32,
+            },
+            dram_cycles: 120,
+            tlb_entries: 64,
+            page_walk_cycles: 40,
+            stb_entries: 256,
+            stb_ways: 2,
+            slb: [
+                SlbConfig { entries: 32, ways: 4 }, // 1 arg
+                SlbConfig { entries: 64, ways: 4 }, // 2 args
+                SlbConfig { entries: 64, ways: 4 }, // 3 args
+                SlbConfig { entries: 32, ways: 4 }, // 4 args
+                SlbConfig { entries: 32, ways: 4 }, // 5 args
+                SlbConfig { entries: 16, ways: 4 }, // 6 args
+            ],
+            temp_buffer_entries: 8,
+            spt_entries: 384,
+            draco_struct_cycles: 2,
+            crc_cycles: 3,
+            os_fallback_cycles: 500,
+            bpf_insn_cycles: 2.5,
+            syscall_base_cycles: 320,
+            ctx_quantum_cycles: 8_000_000, // 4 ms at 2 GHz
+            spt_save_restore: true,
+            preload_enabled: true,
+            slb_enabled: true,
+            smt_contexts: 1,
+        }
+    }
+
+    /// A small-core (embedded / edge) variant: half-size caches and
+    /// Draco structures at 1 GHz — for sizing studies beyond the paper's
+    /// server configuration.
+    pub fn small_core() -> Self {
+        let mut c = SimConfig::table_ii();
+        c.freq_ghz = 1.0;
+        c.l1.size_bytes /= 2;
+        c.l2.size_bytes /= 2;
+        c.l3.size_bytes /= 4;
+        c.stb_entries /= 2;
+        for s in &mut c.slb {
+            s.entries = (s.entries / 2).max(s.ways);
+        }
+        c.spt_entries /= 2;
+        c
+    }
+
+    /// Converts nanoseconds of modeled application time to cycles.
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        (ns as f64 * self.freq_ghz).round() as u64
+    }
+
+    /// Converts cycles back to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_ghz
+    }
+
+    /// The SLB geometry for a given argument count (1–6), scaled down by
+    /// the SMT partition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` is 0 or greater than 6.
+    pub fn slb_for(&self, args: usize) -> SlbConfig {
+        assert!((1..=6).contains(&args), "SLB subtables cover 1-6 args");
+        let base = self.slb[args - 1];
+        SlbConfig {
+            entries: (base.entries / self.smt_contexts).max(base.ways),
+            ways: base.ways,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters.
+    pub fn validate(&self) {
+        assert!(self.freq_ghz > 0.0);
+        assert!(self.smt_contexts >= 1);
+        assert!(self.temp_buffer_entries >= 1);
+        assert!(self.spt_entries >= 1);
+        for (i, s) in self.slb.iter().enumerate() {
+            assert!(
+                s.entries % s.ways == 0,
+                "SLB[{}]: entries must be a multiple of ways",
+                i + 1
+            );
+        }
+        assert!(self.stb_entries.is_multiple_of(self.stb_ways));
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::table_ii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_paper() {
+        let c = SimConfig::table_ii();
+        c.validate();
+        assert_eq!(c.freq_ghz, 2.0);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l1.latency_cycles, 2);
+        assert_eq!(c.l2.latency_cycles, 8);
+        assert_eq!(c.l3.latency_cycles, 32);
+        assert_eq!(c.stb_entries, 256);
+        assert_eq!(c.slb[1].entries, 64); // 2-arg subtable
+        assert_eq!(c.slb[5].entries, 16); // 6-arg subtable
+        assert_eq!(c.temp_buffer_entries, 8);
+        assert_eq!(c.spt_entries, 384);
+        assert_eq!(c.crc_cycles, 3);
+    }
+
+    #[test]
+    fn ns_cycle_conversions() {
+        let c = SimConfig::table_ii();
+        assert_eq!(c.ns_to_cycles(100), 200);
+        assert_eq!(c.cycles_to_ns(200), 100.0);
+    }
+
+    #[test]
+    fn smt_partitions_shrink_slb() {
+        let mut c = SimConfig::table_ii();
+        c.smt_contexts = 2;
+        assert_eq!(c.slb_for(2).entries, 32);
+        // Never below one full set.
+        c.smt_contexts = 64;
+        assert_eq!(c.slb_for(6).entries, 4);
+    }
+
+    #[test]
+    fn small_core_is_valid_and_smaller() {
+        let small = SimConfig::small_core();
+        small.validate();
+        let big = SimConfig::table_ii();
+        assert!(small.l1.size_bytes < big.l1.size_bytes);
+        assert!(small.slb_for(2).entries < big.slb_for(2).entries);
+        assert_eq!(small.freq_ghz, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-6 args")]
+    fn slb_for_zero_args_panics() {
+        let _ = SimConfig::table_ii().slb_for(0);
+    }
+}

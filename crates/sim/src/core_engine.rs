@@ -1,0 +1,885 @@
+//! The per-core hardware Draco engine: paper Table I's execution flows.
+
+use core::fmt;
+
+use draco_core::Vat;
+use draco_profiles::{compile_stacked, ArgPolicy, CompiledStack, FilterLayout, ProfileSpec};
+use draco_syscalls::{ArgBitmask, ArgSet, SyscallId};
+use draco_workloads::SyscallTrace;
+
+use crate::cache::CacheHierarchy;
+use crate::config::SimConfig;
+use crate::slb::{Slb, SlbEntry};
+use crate::spt_hw::{HwSpt, HwSptEntry};
+use crate::stb::Stb;
+use crate::tempbuf::TemporaryBuffer;
+use crate::tlb::Tlb;
+
+/// Which path a system call took through the hardware (paper Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Flow {
+    /// SPT Valid bit sufficed (no argument checking for this syscall).
+    SptOnly,
+    /// STB hit, SLB preload hit, SLB access hit — fast.
+    F1,
+    /// STB hit, SLB preload hit, SLB access miss — slow.
+    F2,
+    /// STB hit, SLB preload miss, SLB access hit — fast.
+    F3,
+    /// STB hit, SLB preload miss, SLB access miss — slow.
+    F4,
+    /// STB miss, SLB access hit — fast.
+    F5,
+    /// STB miss, SLB access miss — slow.
+    F6,
+    /// The VAT had no entry: the OS ran the Seccomp filter.
+    Fallback,
+}
+
+impl Flow {
+    /// Table I's fast/slow classification.
+    pub const fn is_fast(self) -> bool {
+        matches!(self, Flow::SptOnly | Flow::F1 | Flow::F3 | Flow::F5)
+    }
+
+    /// Dense index for per-flow accounting arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            Flow::SptOnly => 0,
+            Flow::F1 => 1,
+            Flow::F2 => 2,
+            Flow::F3 => 3,
+            Flow::F4 => 4,
+            Flow::F5 => 5,
+            Flow::F6 => 6,
+            Flow::Fallback => 7,
+        }
+    }
+
+    /// All flows in Table I order.
+    pub const ALL: [Flow; 8] = [
+        Flow::SptOnly,
+        Flow::F1,
+        Flow::F2,
+        Flow::F3,
+        Flow::F4,
+        Flow::F5,
+        Flow::F6,
+        Flow::Fallback,
+    ];
+}
+
+/// Per-flow occurrence counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct FlowCounts {
+    pub spt_only: u64,
+    pub f1: u64,
+    pub f2: u64,
+    pub f3: u64,
+    pub f4: u64,
+    pub f5: u64,
+    pub f6: u64,
+    pub fallback: u64,
+}
+
+impl FlowCounts {
+    /// Occurrences of one flow.
+    pub const fn count(&self, flow: Flow) -> u64 {
+        match flow {
+            Flow::SptOnly => self.spt_only,
+            Flow::F1 => self.f1,
+            Flow::F2 => self.f2,
+            Flow::F3 => self.f3,
+            Flow::F4 => self.f4,
+            Flow::F5 => self.f5,
+            Flow::F6 => self.f6,
+            Flow::Fallback => self.fallback,
+        }
+    }
+
+    fn bump(&mut self, flow: Flow) {
+        match flow {
+            Flow::SptOnly => self.spt_only += 1,
+            Flow::F1 => self.f1 += 1,
+            Flow::F2 => self.f2 += 1,
+            Flow::F3 => self.f3 += 1,
+            Flow::F4 => self.f4 += 1,
+            Flow::F5 => self.f5 += 1,
+            Flow::F6 => self.f6 += 1,
+            Flow::Fallback => self.fallback += 1,
+        }
+    }
+
+    /// Total syscalls classified.
+    pub const fn total(&self) -> u64 {
+        self.spt_only
+            + self.f1
+            + self.f2
+            + self.f3
+            + self.f4
+            + self.f5
+            + self.f6
+            + self.fallback
+    }
+
+    /// Syscalls on fast flows.
+    pub const fn fast(&self) -> u64 {
+        self.spt_only + self.f1 + self.f3 + self.f5
+    }
+
+    /// Syscalls on slow flows (including fallbacks).
+    pub const fn slow(&self) -> u64 {
+        self.f2 + self.f4 + self.f6 + self.fallback
+    }
+}
+
+/// Hardware-structure access counters (for the energy model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct HwAccesses {
+    pub stb: u64,
+    pub spt: u64,
+    pub slb: u64,
+    pub crc: u64,
+}
+
+/// The result of running one trace through a hardware-Draco core.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HwRunReport {
+    /// Workload label.
+    pub workload: String,
+    /// Total cycles including checking.
+    pub total_cycles: u64,
+    /// Cycles the same trace takes with checking disabled.
+    pub baseline_cycles: u64,
+    /// The checking component alone.
+    pub check_cycles: u64,
+    /// Flow classification counts.
+    pub flows: FlowCounts,
+    /// STB hit rate (paper Fig. 13).
+    pub stb_hit_rate: f64,
+    /// SLB access hit rate (Fig. 13), over argument-checked syscalls.
+    pub slb_access_hit_rate: f64,
+    /// SLB preload hit rate (Fig. 13).
+    pub slb_preload_hit_rate: f64,
+    /// Software fallback runs (cold validations).
+    pub filter_runs: u64,
+    /// cBPF instructions executed by fallbacks.
+    pub filter_insns: u64,
+    /// Denied syscalls.
+    pub denials: u64,
+    /// Context switches taken.
+    pub ctx_switches: u64,
+    /// Hardware structure accesses (energy model input).
+    pub accesses: HwAccesses,
+    /// VAT resident-set footprint at the end of the run.
+    pub vat_footprint_bytes: usize,
+    /// Check cycles attributed to each flow (indexed by [`Flow::index`]).
+    pub flow_cycles: [u64; 8],
+    /// VAT-traffic cache statistics: `(hits, misses)` per level (L1, L2,
+    /// L3) since the last counter reset.
+    pub cache_levels: [(u64, u64); 3],
+}
+
+impl HwRunReport {
+    /// Execution time normalized to the unchecked baseline (the paper's
+    /// Fig. 12 axis; hardware Draco lands within ~1%).
+    pub fn normalized_overhead(&self) -> f64 {
+        self.total_cycles as f64 / self.baseline_cycles as f64
+    }
+
+    /// Mean check cycles of one flow over the run (`NaN` if it never
+    /// occurred) — the measured version of Table I's fast/slow column.
+    pub fn mean_cycles_for(&self, flow: Flow) -> f64 {
+        let n = self.flows.count(flow);
+        if n == 0 {
+            f64::NAN
+        } else {
+            self.flow_cycles[flow.index()] as f64 / n as f64
+        }
+    }
+}
+
+/// A single core with Draco hardware, running one process's profile.
+pub struct DracoHwCore {
+    config: SimConfig,
+    spt: HwSpt,
+    slb: Slb,
+    stb: Stb,
+    temp: TemporaryBuffer,
+    caches: CacheHierarchy,
+    tlb: Tlb,
+    vat: Vat,
+    profile: ProfileSpec,
+    filter: CompiledStack,
+    cycles_in_quantum: u64,
+    saved_spt: Vec<HwSptEntry>,
+    flows: FlowCounts,
+    flow_cycles: [u64; 8],
+    last_flow: Flow,
+    accesses: HwAccesses,
+    filter_runs: u64,
+    filter_insns: u64,
+    denials: u64,
+    ctx_switches: u64,
+}
+
+impl DracoHwCore {
+    /// Builds a core enforcing `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`draco_core::DracoError::FilterCompile`] if the fallback
+    /// filter cannot be compiled.
+    pub fn new(config: SimConfig, profile: &ProfileSpec) -> Result<Self, draco_core::DracoError> {
+        config.validate();
+        let stack = compile_stacked(profile, FilterLayout::Linear)
+            .map_err(draco_core::DracoError::FilterCompile)?;
+        let slb_cfgs = [1, 2, 3, 4, 5, 6].map(|n| config.slb_for(n));
+        Ok(DracoHwCore {
+            spt: HwSpt::new(config.spt_entries / config.smt_contexts.max(1)),
+            slb: Slb::new(slb_cfgs),
+            stb: Stb::new(
+                (config.stb_entries / config.smt_contexts).max(config.stb_ways),
+                config.stb_ways,
+            ),
+            temp: TemporaryBuffer::new(config.temp_buffer_entries),
+            caches: CacheHierarchy::new(config.l1, config.l2, config.l3, config.dram_cycles),
+            tlb: Tlb::new(config.tlb_entries),
+            vat: Vat::new(),
+            profile: profile.clone(),
+            filter: stack.compiled(),
+            cycles_in_quantum: 0,
+            saved_spt: Vec::new(),
+            flows: FlowCounts::default(),
+            flow_cycles: [0; 8],
+            last_flow: Flow::SptOnly,
+            accesses: HwAccesses::default(),
+            filter_runs: 0,
+            filter_insns: 0,
+            denials: 0,
+            ctx_switches: 0,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the first `warmup_ops` operations without measuring (the
+    /// paper warms the architectural state for 250M instructions before
+    /// measuring, §X-C), then runs the rest and reports on it.
+    pub fn run_measured(&mut self, trace: &SyscallTrace, warmup_ops: usize) -> HwRunReport {
+        let _ = self.run(&trace.take(warmup_ops));
+        self.reset_stats();
+        self.run(&trace.skip(warmup_ops))
+    }
+
+    /// Zeroes every statistics counter while keeping the tables warm.
+    pub fn reset_stats(&mut self) {
+        self.flows = FlowCounts::default();
+        self.flow_cycles = [0; 8];
+        self.accesses = HwAccesses::default();
+        self.filter_runs = 0;
+        self.filter_insns = 0;
+        self.denials = 0;
+        self.ctx_switches = 0;
+        self.slb.reset_counters();
+        self.stb.reset_counters();
+    }
+
+    /// Runs a trace to completion and reports.
+    pub fn run(&mut self, trace: &SyscallTrace) -> HwRunReport {
+        let mut total: u64 = 0;
+        let mut baseline: u64 = 0;
+        let mut check_total: u64 = 0;
+        for op in trace.ops() {
+            let work = self.config.ns_to_cycles(op.compute_ns) + self.config.syscall_base_cycles;
+            self.advance_quantum(work);
+            let check = self.process_syscall(op.pc, SyscallId::new(op.nr), ArgSet::new(op.args));
+            self.flow_cycles[self.last_flow.index()] += check;
+            self.advance_quantum(check);
+            total += work + check;
+            baseline += work;
+            check_total += check;
+        }
+        HwRunReport {
+            workload: trace.workload().to_owned(),
+            total_cycles: total,
+            baseline_cycles: baseline,
+            check_cycles: check_total,
+            flows: self.flows,
+            stb_hit_rate: self.stb.hit_rate(),
+            slb_access_hit_rate: {
+                let (h, m, _, _) = self.slb.counters();
+                if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 }
+            },
+            slb_preload_hit_rate: self.slb.preload_hit_rate(),
+            filter_runs: self.filter_runs,
+            filter_insns: self.filter_insns,
+            denials: self.denials,
+            ctx_switches: self.ctx_switches,
+            accesses: self.accesses,
+            vat_footprint_bytes: self.vat.footprint_bytes(),
+            flow_cycles: self.flow_cycles,
+            cache_levels: self.caches.stats(),
+        }
+    }
+
+    /// Models a pipeline squash between syscalls (failure injection):
+    /// speculatively staged entries vanish without touching the SLB.
+    pub fn inject_squash(&mut self) {
+        self.temp.squash();
+    }
+
+    /// Forces an immediate context switch (failure injection).
+    pub fn inject_context_switch(&mut self) {
+        self.context_switch();
+    }
+
+    /// Read access to the temporary buffer (tests).
+    pub fn temp_buffer(&self) -> &TemporaryBuffer {
+        &self.temp
+    }
+
+    fn note_flow(&mut self, flow: Flow) {
+        self.flows.bump(flow);
+        self.last_flow = flow;
+    }
+
+    fn advance_quantum(&mut self, cycles: u64) {
+        if self.config.ctx_quantum_cycles == 0 {
+            return;
+        }
+        self.cycles_in_quantum += cycles;
+        while self.cycles_in_quantum >= self.config.ctx_quantum_cycles {
+            self.cycles_in_quantum -= self.config.ctx_quantum_cycles;
+            self.context_switch();
+        }
+    }
+
+    /// A context switch to a different process and back (§VII-B): all
+    /// Draco structures invalidate; with save/restore enabled the OS
+    /// preserves the Accessed SPT entries.
+    fn context_switch(&mut self) {
+        self.ctx_switches += 1;
+        if self.config.spt_save_restore {
+            self.saved_spt = self.spt.accessed_entries();
+        } else {
+            self.saved_spt.clear();
+        }
+        self.spt.invalidate_all();
+        self.slb.invalidate_all();
+        self.stb.invalidate_all();
+        self.temp.squash();
+        self.tlb.flush();
+        if self.config.spt_save_restore {
+            let saved = std::mem::take(&mut self.saved_spt);
+            self.spt.restore(&saved);
+            self.spt.clear_accessed();
+        }
+    }
+
+    /// VAT entry virtual address for cache/TLB modeling.
+    fn vat_addr(&self, vat_index: u32, hash: u64, way: draco_cuckoo::Way) -> u64 {
+        let folded = hash.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        0x5000_0000
+            + u64::from(vat_index) * 0x8000
+            + way.index() as u64 * 0x4000
+            + (folded % 64) * 64
+    }
+
+    /// Charges a VAT memory access: TLB + cache walk.
+    fn vat_memory_access(&mut self, addr: u64) -> u64 {
+        let mut cycles = 0;
+        if !self.tlb.access(addr) {
+            cycles += self.config.page_walk_cycles;
+        }
+        let (_, lat) = self.caches.access(addr);
+        cycles + lat
+    }
+
+    /// The full Table-I machinery for one syscall; returns check cycles.
+    fn process_syscall(&mut self, pc: u64, sid: SyscallId, args: ArgSet) -> u64 {
+        // ---- ROB-insertion stage: STB lookup and SLB preload (§VI-B).
+        // This work happens while older instructions drain, so it is off
+        // the critical path; only its cache side effects matter.
+        let mut stb_hit = false;
+        let mut preload_hit = false;
+        if self.config.preload_enabled && self.config.slb_enabled {
+            self.accesses.stb += 1;
+            if let Some(se) = self.stb.lookup(pc) {
+                stb_hit = true;
+                self.accesses.spt += 1;
+                if let Some(spte) = self.spt.lookup(sid) {
+                    if let Some(vat_idx) = spte.vat_index {
+                        let argc = spte.bitmask.arg_count();
+                        if argc >= 1 {
+                            self.accesses.slb += 1;
+                            preload_hit = self.slb.preload_probe(argc, sid, se.hash);
+                            if !preload_hit {
+                                // Fetch the predicted VAT entry early.
+                                let addr = self.vat_addr(vat_idx, se.hash, se.way);
+                                let _hidden = self.vat_memory_access(addr);
+                                if let Some(fetched) =
+                                    self.vat.fetch_by_hash(vat_idx, se.hash, se.way)
+                                {
+                                    self.temp.stage(
+                                        argc,
+                                        SlbEntry {
+                                            sid,
+                                            hash: se.hash,
+                                            way: se.way,
+                                            args: fetched,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- ROB-head stage: the serializing check (§VI-A).
+        self.accesses.spt += 1;
+        let spte = match self.spt.lookup(sid) {
+            Some(e) => e,
+            None => {
+                // SPT miss: the OS must check in software.
+                return self.config.draco_struct_cycles + self.os_fallback(sid, args, stb_hit);
+            }
+        };
+        let Some(vat_idx) = spte.vat_index else {
+            // No argument checking for this syscall: the Valid bit
+            // suffices. The STB still learns the PC → SID mapping so the
+            // SPT lookup itself can be primed early.
+            self.note_flow(Flow::SptOnly);
+            self.stb.update(crate::stb::StbEntry {
+                pc,
+                sid,
+                hash: 0,
+                way: draco_cuckoo::Way::H1,
+            });
+            return self.config.draco_struct_cycles;
+        };
+        let argc = spte.bitmask.arg_count();
+        if argc == 0 {
+            self.note_flow(Flow::SptOnly);
+            self.stb.update(crate::stb::StbEntry {
+                pc,
+                sid,
+                hash: 0,
+                way: draco_cuckoo::Way::H1,
+            });
+            return self.config.draco_struct_cycles;
+        }
+        let masked = spte.bitmask.masked(&args);
+
+        if !self.config.slb_enabled {
+            // The initial hardware design (§V-D): no SLB — hash and probe
+            // the in-memory VAT at the ROB head on every checked call.
+            return self.vat_probe_at_head(sid, args, pc, spte, vat_idx);
+        }
+
+        // Commit any staged preload for this syscall into the SLB.
+        if let Some(staged) = self.temp.take_matching(argc, sid, &masked) {
+            self.slb.insert(argc, staged);
+        } else if let Some((_, stale)) = self.temp.take_any_for(sid) {
+            // A stale (wrong-argument-set) preload is discarded, but its
+            // fetch already warmed the caches.
+            let _ = stale;
+        }
+
+        self.accesses.slb += 1;
+        if let Some(hit) = self.slb.access(argc, sid, &masked) {
+            // Fast flows: the check costs one SLB access.
+            let flow = match (stb_hit, preload_hit) {
+                (true, true) => Flow::F1,
+                (true, false) => Flow::F3,
+                (false, _) => Flow::F5,
+            };
+            self.note_flow(flow);
+            self.stb.update(crate::stb::StbEntry {
+                pc,
+                sid,
+                hash: hit.hash,
+                way: hit.way,
+            });
+            return self.config.draco_struct_cycles;
+        }
+
+        // SLB access miss: hash and probe the VAT from the ROB head.
+        self.accesses.crc += 1;
+        let mut cycles = self.config.draco_struct_cycles + self.config.crc_cycles;
+        let pair = self
+            .vat
+            .hash_pair(vat_idx, spte.bitmask, &args)
+            .expect("SPT points at a live VAT table");
+        let a1 = self.vat_addr(vat_idx, pair.h1, draco_cuckoo::Way::H1);
+        let a2 = self.vat_addr(vat_idx, pair.h2, draco_cuckoo::Way::H2);
+        // The two probes proceed in parallel; latency is the slower one.
+        let l1 = self.vat_memory_access(a1);
+        let l2 = self.vat_memory_access(a2);
+        cycles += l1.max(l2);
+
+        if let Some(found) = self.vat.lookup(vat_idx, spte.bitmask, &args) {
+            // Slow flows 2/4/6: fill SLB and STB with the correct entry.
+            let flow = match (stb_hit, preload_hit) {
+                (true, true) => Flow::F2,
+                (true, false) => Flow::F4,
+                (false, _) => Flow::F6,
+            };
+            self.note_flow(flow);
+            self.slb.insert(
+                argc,
+                SlbEntry {
+                    sid,
+                    hash: found.hash,
+                    way: found.way,
+                    args: masked,
+                },
+            );
+            self.stb.update(crate::stb::StbEntry {
+                pc,
+                sid,
+                hash: found.hash,
+                way: found.way,
+            });
+            cycles + self.config.draco_struct_cycles
+        } else {
+            // Not in the VAT: software check (sets SWCheckNeeded,
+            // §VII-B).
+            cycles + self.os_fallback_with_stb(sid, args, pc, spte.bitmask, vat_idx)
+        }
+    }
+
+    /// The §V-D initial-design check: CRC hash plus two parallel VAT
+    /// memory probes at the ROB head, every time.
+    fn vat_probe_at_head(
+        &mut self,
+        sid: SyscallId,
+        args: ArgSet,
+        pc: u64,
+        spte: crate::spt_hw::HwSptEntry,
+        vat_idx: u32,
+    ) -> u64 {
+        self.accesses.crc += 1;
+        let mut cycles = self.config.draco_struct_cycles + self.config.crc_cycles;
+        let pair = self
+            .vat
+            .hash_pair(vat_idx, spte.bitmask, &args)
+            .expect("SPT points at a live VAT table");
+        let a1 = self.vat_addr(vat_idx, pair.h1, draco_cuckoo::Way::H1);
+        let a2 = self.vat_addr(vat_idx, pair.h2, draco_cuckoo::Way::H2);
+        let l1 = self.vat_memory_access(a1);
+        let l2 = self.vat_memory_access(a2);
+        cycles += l1.max(l2);
+        if self.vat.lookup(vat_idx, spte.bitmask, &args).is_some() {
+            self.note_flow(Flow::F6);
+            cycles
+        } else {
+            cycles + self.os_fallback_with_stb(sid, args, pc, spte.bitmask, vat_idx)
+        }
+    }
+
+    /// OS fallback when the SPT itself missed: run the filter; on success
+    /// install SPT (and VAT/SLB/STB for argument-checked syscalls).
+    fn os_fallback(&mut self, sid: SyscallId, args: ArgSet, _stb_hit: bool) -> u64 {
+        let req = draco_syscalls::SyscallRequest::new(0, sid, args);
+        let data = draco_bpf::SeccompData::from_request(&req);
+        let outcome = self.filter.run(&data).expect("generated filters are clean");
+        self.filter_runs += 1;
+        self.filter_insns += outcome.insns_executed;
+        self.note_flow(Flow::Fallback);
+        let cycles = self.config.os_fallback_cycles
+            + (outcome.insns_executed as f64 * self.config.bpf_insn_cycles) as u64;
+        if !outcome.action.permits() {
+            self.denials += 1;
+            return cycles;
+        }
+        // Install the OS-side state.
+        match self.profile.rule(sid).map(|r| &r.args) {
+            Some(ArgPolicy::Whitelist { mask, sets }) => {
+                let idx = self.vat.ensure_table(sid, sets.len());
+                self.vat.insert(idx, *mask, &args);
+                self.spt.install(HwSptEntry {
+                    valid: true,
+                    sid,
+                    vat_index: Some(idx),
+                    base_vaddr: 0x5000_0000 + u64::from(idx) * 0x8000,
+                    bitmask: *mask,
+                    accessed: true,
+                });
+            }
+            _ => {
+                self.spt.install(HwSptEntry {
+                    valid: true,
+                    sid,
+                    vat_index: None,
+                    base_vaddr: 0,
+                    bitmask: ArgBitmask::EMPTY,
+                    accessed: true,
+                });
+            }
+        }
+        cycles
+    }
+
+    /// OS fallback after a VAT miss on a known-argument-checked syscall:
+    /// run the filter; on success insert the argument set and refill the
+    /// hardware.
+    fn os_fallback_with_stb(
+        &mut self,
+        sid: SyscallId,
+        args: ArgSet,
+        pc: u64,
+        mask: ArgBitmask,
+        vat_idx: u32,
+    ) -> u64 {
+        let req = draco_syscalls::SyscallRequest::new(pc, sid, args);
+        let data = draco_bpf::SeccompData::from_request(&req);
+        let outcome = self.filter.run(&data).expect("generated filters are clean");
+        self.filter_runs += 1;
+        self.filter_insns += outcome.insns_executed;
+        self.note_flow(Flow::Fallback);
+        let cycles = self.config.os_fallback_cycles
+            + (outcome.insns_executed as f64 * self.config.bpf_insn_cycles) as u64;
+        if !outcome.action.permits() {
+            self.denials += 1;
+            return cycles;
+        }
+        self.vat.insert(vat_idx, mask, &args);
+        if let Some(found) = self.vat.lookup(vat_idx, mask, &args) {
+            let masked = mask.masked(&args);
+            let argc = mask.arg_count();
+            self.slb.insert(
+                argc,
+                SlbEntry {
+                    sid,
+                    hash: found.hash,
+                    way: found.way,
+                    args: masked,
+                },
+            );
+            self.stb.update(crate::stb::StbEntry {
+                pc,
+                sid,
+                hash: found.hash,
+                way: found.way,
+            });
+        }
+        cycles
+    }
+}
+
+impl fmt::Debug for DracoHwCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DracoHwCore")
+            .field("profile", &self.profile.name())
+            .field("flows", &self.flows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_bpf::SeccompAction;
+    use draco_profiles::ProfileKind;
+    use draco_workloads::{catalog, timing, TraceGenerator};
+
+    fn run_workload(name: &str, ops: usize, kind: ProfileKind) -> HwRunReport {
+        let spec = catalog::by_name(name).unwrap();
+        let trace = TraceGenerator::new(&spec, 5).generate(ops);
+        let profile = timing::profile_for_trace(&trace, kind);
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+        core.run(&trace)
+    }
+
+    #[test]
+    fn hardware_overhead_within_one_percent() {
+        // Paper Fig. 12: ~1% of insecure across profiles.
+        for kind in [
+            ProfileKind::SyscallNoargs,
+            ProfileKind::SyscallComplete,
+            ProfileKind::SyscallComplete2x,
+        ] {
+            let r = run_workload("nginx", 20_000, kind);
+            assert!(
+                r.normalized_overhead() < 1.01,
+                "{kind:?}: {}",
+                r.normalized_overhead()
+            );
+        }
+    }
+
+    #[test]
+    fn micro_benchmarks_also_within_one_percent() {
+        for name in ["unixbench-syscall", "pipe", "mq"] {
+            let r = run_workload(name, 20_000, ProfileKind::SyscallComplete);
+            assert!(r.normalized_overhead() < 1.01, "{name}");
+        }
+    }
+
+    #[test]
+    fn steady_state_is_dominated_by_fast_flows() {
+        // Paper Fig. 13 puts HTTPD's SLB access hit rate in the 75-93%
+        // band; fast flows (SPT-only + F1/F3/F5) dominate accordingly.
+        let r = run_workload("httpd", 30_000, ProfileKind::SyscallComplete);
+        let fast = r.flows.fast() as f64 / r.flows.total() as f64;
+        assert!(fast > 0.80, "fast fraction {fast}");
+        assert!(r.flows.f1 > 0, "flow 1 must occur");
+    }
+
+    #[test]
+    fn hit_rates_match_figure_13_shape() {
+        let r = run_workload("nginx", 30_000, ProfileKind::SyscallComplete);
+        assert!(r.stb_hit_rate > 0.93, "STB {}", r.stb_hit_rate);
+        assert!(r.slb_access_hit_rate > 0.75, "SLB access {}", r.slb_access_hit_rate);
+        // Elasticsearch (wide call-site and argument diversity) is worse.
+        let e = run_workload("elasticsearch", 30_000, ProfileKind::SyscallComplete);
+        assert!(
+            e.slb_access_hit_rate < r.slb_access_hit_rate,
+            "elasticsearch {} vs nginx {}",
+            e.slb_access_hit_rate,
+            r.slb_access_hit_rate
+        );
+    }
+
+    #[test]
+    fn noargs_profile_uses_spt_only_path() {
+        let r = run_workload("pipe", 5_000, ProfileKind::SyscallNoargs);
+        assert!(r.flows.spt_only > 0);
+        assert_eq!(r.flows.f1 + r.flows.f2 + r.flows.f3 + r.flows.f4, 0);
+    }
+
+    #[test]
+    fn all_six_flows_reachable() {
+        // Across a diverse workload the full Table I should appear.
+        let r = run_workload("elasticsearch", 40_000, ProfileKind::SyscallComplete);
+        assert!(r.flows.f1 > 0, "F1");
+        assert!(r.flows.f3 + r.flows.f2 > 0, "F2/F3");
+        assert!(r.flows.f5 > 0, "F5");
+        assert!(r.flows.f6 > 0, "F6");
+        assert!(r.flows.fallback > 0, "fallback");
+    }
+
+    #[test]
+    fn preload_disabled_removes_flows_1_to_4() {
+        let spec = catalog::httpd();
+        let trace = TraceGenerator::new(&spec, 5).generate(10_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut config = SimConfig::table_ii();
+        config.preload_enabled = false;
+        let mut core = DracoHwCore::new(config, &profile).unwrap();
+        let r = core.run(&trace);
+        assert_eq!(r.flows.f1 + r.flows.f2 + r.flows.f3 + r.flows.f4, 0);
+        assert!(r.flows.f5 > 0);
+    }
+
+    #[test]
+    fn context_switches_cause_cold_misses() {
+        let spec = catalog::ipc_pipe();
+        let trace = TraceGenerator::new(&spec, 5).generate(10_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut frequent = SimConfig::table_ii();
+        frequent.ctx_quantum_cycles = 200_000;
+        let mut rare = SimConfig::table_ii();
+        rare.ctx_quantum_cycles = 0;
+        let mut c1 = DracoHwCore::new(frequent, &profile).unwrap();
+        let mut c2 = DracoHwCore::new(rare, &profile).unwrap();
+        let r1 = c1.run(&trace);
+        let r2 = c2.run(&trace);
+        assert!(r1.ctx_switches > 0);
+        assert_eq!(r2.ctx_switches, 0);
+        assert!(r1.check_cycles > r2.check_cycles, "switching costs cycles");
+    }
+
+    #[test]
+    fn spt_save_restore_reduces_fallbacks() {
+        let spec = catalog::httpd();
+        let trace = TraceGenerator::new(&spec, 5).generate(20_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+        let mut with = SimConfig::table_ii();
+        with.ctx_quantum_cycles = 500_000;
+        with.spt_save_restore = true;
+        let mut without = with.clone();
+        without.spt_save_restore = false;
+        let ra = DracoHwCore::new(with, &profile).unwrap().run(&trace);
+        let rb = DracoHwCore::new(without, &profile).unwrap().run(&trace);
+        assert!(
+            ra.filter_runs < rb.filter_runs,
+            "save/restore {} vs cold {}",
+            ra.filter_runs,
+            rb.filter_runs
+        );
+    }
+
+    #[test]
+    fn denied_syscalls_always_fall_back() {
+        // A profile that knows nothing: every call is a fallback denial.
+        let profile = ProfileSpec::new("deny-all", SeccompAction::KillProcess);
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+        let trace = TraceGenerator::new(&catalog::ipc_pipe(), 1).generate(100);
+        let r = core.run(&trace);
+        assert_eq!(r.denials, 100);
+        assert_eq!(r.flows.fallback, 100);
+        assert_eq!(r.flows.fast(), 0);
+    }
+
+    #[test]
+    fn squash_clears_staged_preloads() {
+        let spec = catalog::ipc_pipe();
+        let trace = TraceGenerator::new(&spec, 5).generate(1_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+        core.run(&trace.take(500));
+        core.inject_squash();
+        assert!(core.temp_buffer().is_empty());
+        // The run continues correctly after the squash.
+        let r = core.run(&trace);
+        assert_eq!(r.denials, 0);
+    }
+
+    #[test]
+    fn smt_partitioning_shrinks_structures_and_hit_rates() {
+        let spec = catalog::elasticsearch();
+        let trace = TraceGenerator::new(&spec, 5).generate(20_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut smt = SimConfig::table_ii();
+        smt.smt_contexts = 4;
+        let r1 = DracoHwCore::new(SimConfig::table_ii(), &profile)
+            .unwrap()
+            .run(&trace);
+        let r4 = DracoHwCore::new(smt, &profile).unwrap().run(&trace);
+        assert!(
+            r4.slb_access_hit_rate <= r1.slb_access_hit_rate + 1e-9,
+            "partitioned SLB cannot hit more"
+        );
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let r = run_workload("mysql", 10_000, ProfileKind::SyscallComplete);
+        assert_eq!(r.flows.total(), 10_000);
+        assert_eq!(r.total_cycles, r.baseline_cycles + r.check_cycles);
+        assert!(r.vat_footprint_bytes > 0);
+        assert!(r.accesses.spt > 0);
+        assert!(r.accesses.slb > 0);
+    }
+
+    #[test]
+    fn vat_probes_mostly_hit_the_cache_hierarchy() {
+        // The VAT is a few KB (§VII-A: "good TLB translation locality, as
+        // well as natural caching"): most slow-flow probes land in L1.
+        let r = run_workload("httpd", 20_000, ProfileKind::SyscallComplete);
+        let (l1_hits, l1_misses) = r.cache_levels[0];
+        assert!(l1_hits + l1_misses > 0, "slow flows touched memory");
+        let rate = l1_hits as f64 / (l1_hits + l1_misses) as f64;
+        assert!(rate > 0.8, "L1 hit rate for VAT traffic: {rate}");
+    }
+}

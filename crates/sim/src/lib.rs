@@ -1,0 +1,68 @@
+//! Hardware Draco: a timing model of the paper's microarchitecture
+//! (§V-D, §VI, §VII).
+//!
+//! The paper evaluates hardware Draco with cycle-level full-system
+//! simulation (Simics + SST + DRAMSim2). This crate reproduces the
+//! *syscall path* of that model — the only part the figures depend on,
+//! since `syscall` is a serializing instruction whose checking latency
+//! adds directly to execution time:
+//!
+//! * [`CacheHierarchy`] / [`Tlb`] — L1/L2/L3/DRAM with the paper's
+//!   Table II parameters, used by VAT fetches;
+//! * [`HwSpt`] — the per-core 384-entry System Call Permissions Table;
+//! * [`Slb`] — the System Call Lookaside Buffer with per-argument-count
+//!   set-associative subtables (Table II sizes);
+//! * [`Stb`] — the 256-entry System Call Target Buffer, predicting the
+//!   SID and VAT hash from the `syscall` instruction's PC;
+//! * [`TemporaryBuffer`] — the 8-entry speculation shield (§IX):
+//!   preloaded VAT entries wait here and move into the SLB only when the
+//!   syscall commits; squashes clear it;
+//! * [`DracoHwCore`] — the engine combining them according to the six
+//!   execution flows of Table I, with context-switch invalidation and
+//!   the Accessed-bit SPT save/restore of §VII-B;
+//! * [`energy`] — the Table III area/time/energy constants and per-run
+//!   energy estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use draco_sim::{DracoHwCore, SimConfig};
+//! use draco_workloads::{catalog, TraceGenerator};
+//! use draco_profiles::ProfileKind;
+//!
+//! let spec = catalog::ipc_pipe();
+//! let trace = TraceGenerator::new(&spec, 1).generate(5_000);
+//! let profile = draco_workloads::timing::profile_for_trace(
+//!     &trace, ProfileKind::SyscallComplete);
+//! let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile)?;
+//! let report = core.run(&trace);
+//! // Hardware Draco is within ~1% of insecure (paper Fig. 12).
+//! assert!(report.normalized_overhead() < 1.01);
+//! # Ok::<(), draco_core::DracoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cache;
+mod config;
+mod core_engine;
+mod machine;
+#[cfg(test)]
+mod proptests;
+pub mod energy;
+mod slb;
+mod spt_hw;
+mod stb;
+mod tempbuf;
+mod tlb;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheHierarchy};
+pub use config::{SimConfig, SlbConfig};
+pub use core_engine::{DracoHwCore, Flow, FlowCounts, HwRunReport};
+pub use machine::{Job, Machine, MachineReport};
+pub use slb::{Slb, SlbEntry};
+pub use spt_hw::{HwSpt, HwSptEntry};
+pub use stb::{Stb, StbEntry};
+pub use tempbuf::TemporaryBuffer;
+pub use tlb::Tlb;

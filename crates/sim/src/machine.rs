@@ -1,0 +1,393 @@
+//! The multicore machine (paper Fig. 10): per-core Draco structures, a
+//! shared workload set, and the two deployment shapes that matter for
+//! the design:
+//!
+//! * **dedicated** — one process per core, the paper's measurement setup.
+//!   Draco structures are per-core and never invalidate, so no coherence
+//!   support is needed (§VII-B "Data Coherence").
+//! * **time-shared** — processes rotate over cores on a quantum; every
+//!   swap invalidates the outgoing process's SLB/STB/SPT (restoring the
+//!   Accessed SPT entries when enabled), exercising the §VII-B
+//!   context-switch machinery under real contention.
+
+use core::fmt;
+
+use draco_profiles::ProfileSpec;
+use draco_workloads::SyscallTrace;
+
+use crate::config::SimConfig;
+use crate::core_engine::{DracoHwCore, HwRunReport};
+
+/// One schedulable job: a process's profile plus its syscall trace.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Job label (usually the workload name).
+    pub name: String,
+    /// The installed profile.
+    pub profile: ProfileSpec,
+    /// The system call trace to execute.
+    pub trace: SyscallTrace,
+}
+
+/// Aggregate of a machine run.
+#[derive(Clone, Debug)]
+pub struct MachineReport {
+    /// Per-job reports, in job order.
+    pub jobs: Vec<(String, HwRunReport)>,
+}
+
+impl MachineReport {
+    /// Geometric mean of per-job normalized overheads.
+    pub fn mean_overhead(&self) -> f64 {
+        let logs: f64 = self
+            .jobs
+            .iter()
+            .map(|(_, r)| r.normalized_overhead().ln())
+            .sum();
+        (logs / self.jobs.len() as f64).exp()
+    }
+
+    /// Total context switches across all cores.
+    pub fn total_ctx_switches(&self) -> u64 {
+        self.jobs.iter().map(|(_, r)| r.ctx_switches).sum()
+    }
+
+    /// Total software-check fallbacks.
+    pub fn total_filter_runs(&self) -> u64 {
+        self.jobs.iter().map(|(_, r)| r.filter_runs).sum()
+    }
+}
+
+impl fmt::Display for MachineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs, mean overhead {:.4}x, {} ctx switches, {} fallbacks",
+            self.jobs.len(),
+            self.mean_overhead(),
+            self.total_ctx_switches(),
+            self.total_filter_runs()
+        )
+    }
+}
+
+/// A multicore machine running Draco-checked jobs.
+#[derive(Debug)]
+pub struct Machine {
+    config: SimConfig,
+    jobs: Vec<Job>,
+}
+
+impl Machine {
+    /// Builds a machine for a set of jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty.
+    pub fn new(config: SimConfig, jobs: Vec<Job>) -> Self {
+        assert!(!jobs.is_empty(), "a machine needs at least one job");
+        config.validate();
+        Machine { config, jobs }
+    }
+
+    /// Dedicated cores: each job runs alone on its own core (the paper's
+    /// setup). Self-induced quantum context switches still apply per the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a checker-construction error if a profile fails to
+    /// compile.
+    pub fn run_dedicated(
+        &self,
+        warmup_ops: usize,
+    ) -> Result<MachineReport, draco_core::DracoError> {
+        let mut reports = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let mut core = DracoHwCore::new(self.config.clone(), &job.profile)?;
+            let report = core.run_measured(&job.trace, warmup_ops);
+            reports.push((job.name.clone(), report));
+        }
+        Ok(MachineReport { jobs: reports })
+    }
+
+    /// Time-shared cores: jobs advance round-robin in `quantum_ops`
+    /// slices; each descheduling invalidates the job's hardware Draco
+    /// state (its core is given to another process in between).
+    ///
+    /// # Errors
+    ///
+    /// Returns a checker-construction error if a profile fails to
+    /// compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum_ops` is zero.
+    pub fn run_timeshared(
+        &self,
+        quantum_ops: usize,
+    ) -> Result<MachineReport, draco_core::DracoError> {
+        assert!(quantum_ops > 0, "quantum must be at least one op");
+        let mut cores = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            cores.push(DracoHwCore::new(self.config.clone(), &job.profile)?);
+        }
+        let mut cursors = vec![0usize; self.jobs.len()];
+        let mut partials: Vec<Vec<HwRunReport>> = vec![Vec::new(); self.jobs.len()];
+        loop {
+            let mut progressed = false;
+            for (i, job) in self.jobs.iter().enumerate() {
+                if cursors[i] >= job.trace.len() {
+                    continue;
+                }
+                progressed = true;
+                let slice = job.trace.skip(cursors[i]).take(quantum_ops);
+                cursors[i] += slice.len();
+                let report = cores[i].run(&slice);
+                partials[i].push(report);
+                // Descheduled: another process takes the core.
+                cores[i].inject_context_switch();
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let reports = self
+            .jobs
+            .iter()
+            .zip(partials)
+            .map(|(job, parts)| (job.name.clone(), merge_reports(&job.name, parts)))
+            .collect();
+        Ok(MachineReport { jobs: reports })
+    }
+}
+
+impl Machine {
+    /// SMT co-run: jobs share cores as hardware contexts with
+    /// *partitioned* Draco structures (§VII-B / §IX: "in the presence of
+    /// SMT, the SLB, STB, and SPT structures are partitioned on a
+    /// per-context basis"). Each context keeps its (smaller) share warm
+    /// across interleavings — no invalidation, unlike time-sharing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a checker-construction error if a profile fails to
+    /// compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum_ops` is zero.
+    pub fn run_smt(&self, quantum_ops: usize) -> Result<MachineReport, draco_core::DracoError> {
+        assert!(quantum_ops > 0, "quantum must be at least one op");
+        let mut config = self.config.clone();
+        config.smt_contexts = self.jobs.len().max(1);
+        let mut cores = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            cores.push(DracoHwCore::new(config.clone(), &job.profile)?);
+        }
+        let mut cursors = vec![0usize; self.jobs.len()];
+        let mut partials: Vec<Vec<HwRunReport>> = vec![Vec::new(); self.jobs.len()];
+        loop {
+            let mut progressed = false;
+            for (i, job) in self.jobs.iter().enumerate() {
+                if cursors[i] >= job.trace.len() {
+                    continue;
+                }
+                progressed = true;
+                let slice = job.trace.skip(cursors[i]).take(quantum_ops);
+                cursors[i] += slice.len();
+                partials[i].push(cores[i].run(&slice));
+                // No invalidation: the partition persists across the
+                // other context's slices.
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let reports = self
+            .jobs
+            .iter()
+            .zip(partials)
+            .map(|(job, parts)| (job.name.clone(), merge_reports(&job.name, parts)))
+            .collect();
+        Ok(MachineReport { jobs: reports })
+    }
+}
+
+/// Sums a job's per-quantum reports into one (rates re-derived from the
+/// final slice's cumulative counters, which the core carries across
+/// `run` calls).
+fn merge_reports(name: &str, parts: Vec<HwRunReport>) -> HwRunReport {
+    let last = parts.last().expect("at least one quantum").clone();
+    let mut total = HwRunReport {
+        workload: name.to_owned(),
+        total_cycles: 0,
+        baseline_cycles: 0,
+        check_cycles: 0,
+        // Flow counts, accesses and rates accumulate inside the core, so
+        // the last slice's view is already cumulative.
+        flows: last.flows,
+        stb_hit_rate: last.stb_hit_rate,
+        slb_access_hit_rate: last.slb_access_hit_rate,
+        slb_preload_hit_rate: last.slb_preload_hit_rate,
+        filter_runs: last.filter_runs,
+        filter_insns: last.filter_insns,
+        denials: last.denials,
+        ctx_switches: last.ctx_switches,
+        accesses: last.accesses,
+        vat_footprint_bytes: last.vat_footprint_bytes,
+        flow_cycles: last.flow_cycles,
+        cache_levels: last.cache_levels,
+    };
+    for p in &parts {
+        total.total_cycles += p.total_cycles;
+        total.baseline_cycles += p.baseline_cycles;
+        total.check_cycles += p.check_cycles;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_profiles::ProfileKind;
+    use draco_workloads::{catalog, timing, TraceGenerator};
+
+    fn jobs(n: usize, ops: usize) -> Vec<Job> {
+        catalog::all()
+            .into_iter()
+            .take(n)
+            .map(|spec| {
+                let trace = TraceGenerator::new(&spec, 3).generate(ops);
+                let profile =
+                    timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+                Job {
+                    name: spec.name.to_owned(),
+                    profile,
+                    trace,
+                }
+            })
+            .collect()
+    }
+
+    fn quiet_config() -> SimConfig {
+        let mut c = SimConfig::table_ii();
+        c.ctx_quantum_cycles = 0; // only explicit scheduling switches
+        c
+    }
+
+    #[test]
+    fn dedicated_run_matches_paper_overhead() {
+        let machine = Machine::new(quiet_config(), jobs(4, 8_000));
+        let report = machine.run_dedicated(2_000).expect("runs");
+        assert_eq!(report.jobs.len(), 4);
+        assert!(report.mean_overhead() < 1.01, "{}", report.mean_overhead());
+        assert_eq!(report.total_ctx_switches(), 0);
+    }
+
+    #[test]
+    fn timesharing_costs_more_than_dedicated() {
+        let machine = Machine::new(quiet_config(), jobs(3, 6_000));
+        let dedicated = machine.run_dedicated(0).expect("runs");
+        let shared = machine.run_timeshared(200).expect("runs");
+        assert!(shared.total_ctx_switches() > 0);
+        assert!(
+            shared.jobs.iter().map(|(_, r)| r.check_cycles).sum::<u64>()
+                > dedicated.jobs.iter().map(|(_, r)| r.check_cycles).sum::<u64>(),
+            "swaps cost refills"
+        );
+        // Decisions are identical either way.
+        assert_eq!(
+            shared.jobs.iter().map(|(_, r)| r.denials).sum::<u64>(),
+            dedicated.jobs.iter().map(|(_, r)| r.denials).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn coarser_quanta_amortize_invalidation() {
+        let machine = Machine::new(quiet_config(), jobs(2, 6_000));
+        let fine = machine.run_timeshared(50).expect("runs");
+        let coarse = machine.run_timeshared(2_000).expect("runs");
+        assert!(fine.total_ctx_switches() > coarse.total_ctx_switches());
+        let check = |r: &MachineReport| -> u64 {
+            r.jobs.iter().map(|(_, x)| x.check_cycles).sum()
+        };
+        assert!(check(&fine) > check(&coarse));
+    }
+
+    #[test]
+    fn timeshared_processes_complete_fully() {
+        let machine = Machine::new(quiet_config(), jobs(3, 1_000));
+        let report = machine.run_timeshared(333).expect("runs");
+        for (name, r) in &report.jobs {
+            assert_eq!(r.flows.total(), 1_000, "{name}");
+        }
+        assert!(report.to_string().contains("3 jobs"));
+    }
+
+    fn jobs_named(names: &[&str], ops: usize) -> Vec<Job> {
+        names
+            .iter()
+            .map(|name| {
+                let spec = catalog::by_name(name).expect("in catalog");
+                let trace = TraceGenerator::new(&spec, 3).generate(ops);
+                let profile =
+                    timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+                Job {
+                    name: (*name).to_owned(),
+                    profile,
+                    trace,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn smt_partitioning_beats_fine_timesharing_for_small_working_sets() {
+        // For jobs whose hot sets fit a half-size partition (the IPC
+        // benchmarks), keeping the partition warm beats invalidating
+        // full-size structures at every swap. (For tail-heavy jobs the
+        // trade can go the other way — partition conflicts are a real
+        // cost of SMT, which is why the paper partitions rather than
+        // shares.)
+        let machine = Machine::new(quiet_config(), jobs_named(&["pipe", "fifo"], 6_000));
+        let smt = machine.run_smt(50).expect("runs");
+        let shared = machine.run_timeshared(50).expect("runs");
+        let check = |r: &MachineReport| -> u64 {
+            r.jobs.iter().map(|(_, x)| x.check_cycles).sum()
+        };
+        assert!(
+            check(&smt) < check(&shared),
+            "smt {} vs timeshared {}",
+            check(&smt),
+            check(&shared)
+        );
+        assert_eq!(smt.total_ctx_switches(), 0, "partitions do not invalidate");
+        // And decisions are identical.
+        assert_eq!(
+            smt.jobs.iter().map(|(_, r)| r.denials).sum::<u64>(),
+            shared.jobs.iter().map(|(_, r)| r.denials).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn smt_partition_hit_rates_trail_dedicated() {
+        let machine = Machine::new(quiet_config(), jobs(2, 8_000));
+        let dedicated = machine.run_dedicated(0).expect("runs");
+        let smt = machine.run_smt(100).expect("runs");
+        for ((_, d), (_, s)) in dedicated.jobs.iter().zip(&smt.jobs) {
+            assert!(
+                s.slb_access_hit_rate <= d.slb_access_hit_rate + 0.02,
+                "partitioned SLB cannot out-hit the full one: {} vs {}",
+                s.slb_access_hit_rate,
+                d.slb_access_hit_rate
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_machine_rejected() {
+        let _ = Machine::new(SimConfig::table_ii(), vec![]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-structure property tests for the hardware model.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use draco_syscalls::{ArgSet, SyscallId};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::slb::{Slb, SlbEntry};
+use crate::stb::{Stb, StbEntry};
+use crate::tempbuf::TemporaryBuffer;
+use crate::tlb::Tlb;
+
+fn arb_entry() -> impl Strategy<Value = SlbEntry> {
+    (0u16..64, any::<u64>(), 0u64..16).prop_map(|(nr, hash, a0)| SlbEntry {
+        sid: SyscallId::new(nr),
+        hash,
+        way: if hash & 1 == 0 {
+            draco_cuckoo::Way::H1
+        } else {
+            draco_cuckoo::Way::H2
+        },
+        args: ArgSet::from_slice(&[a0]),
+    })
+}
+
+proptest! {
+    /// An SLB access hit always returns exactly the most recent entry
+    /// inserted for that `(sid, args)` pair.
+    #[test]
+    fn slb_returns_latest_insert(entries in proptest::collection::vec(arb_entry(), 1..64)) {
+        let mut slb = Slb::new(crate::SimConfig::table_ii().slb);
+        let mut latest = std::collections::HashMap::new();
+        for e in &entries {
+            slb.insert(1, *e);
+            latest.insert((e.sid, e.args), *e);
+        }
+        for ((sid, args), want) in &latest {
+            if let Some(hit) = slb.access(1, *sid, args) {
+                prop_assert_eq!(hit, *want);
+            }
+        }
+    }
+
+    /// Whatever the probe sequence, SLB occupancy never exceeds the sum
+    /// of subtable capacities, and invalidation always zeroes it.
+    #[test]
+    fn slb_occupancy_bounded(entries in proptest::collection::vec(arb_entry(), 0..256)) {
+        let config = crate::SimConfig::table_ii();
+        let cap: usize = (1..=6).map(|n| config.slb_for(n).entries).sum();
+        let mut slb = Slb::new(config.slb);
+        for (i, e) in entries.iter().enumerate() {
+            slb.insert(i % 6 + 1, *e);
+            prop_assert!(slb.occupancy() <= cap);
+        }
+        slb.invalidate_all();
+        prop_assert_eq!(slb.occupancy(), 0);
+    }
+
+    /// The STB never aliases: a hit's entry always carries the probed PC.
+    #[test]
+    fn stb_hits_match_pc(pcs in proptest::collection::vec(0u64..4096, 1..128)) {
+        let mut stb = Stb::new(64, 2);
+        for &pc in &pcs {
+            stb.update(StbEntry {
+                pc,
+                sid: SyscallId::new((pc % 400) as u16),
+                hash: pc.wrapping_mul(31),
+                way: draco_cuckoo::Way::H1,
+            });
+            if let Some(hit) = stb.lookup(pc) {
+                prop_assert_eq!(hit.pc, pc);
+                prop_assert_eq!(hit.hash, pc.wrapping_mul(31));
+            }
+        }
+    }
+
+    /// Cache: an address accessed twice in a row always hits the second
+    /// time, at L1 latency.
+    #[test]
+    fn cache_immediate_rereference_hits(addrs in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            line_bytes: 64,
+            latency_cycles: 2,
+        });
+        for &a in &addrs {
+            cache.access(u64::from(a));
+            prop_assert!(cache.access(u64::from(a)));
+        }
+    }
+
+    /// TLB: hit/miss counters always sum to the number of accesses.
+    #[test]
+    fn tlb_counters_conserve(addrs in proptest::collection::vec(any::<u32>(), 0..128)) {
+        let mut tlb = Tlb::new(8);
+        for &a in &addrs {
+            tlb.access(u64::from(a));
+        }
+        let (h, m) = tlb.stats();
+        prop_assert_eq!(h + m, addrs.len() as u64);
+    }
+
+    /// Temporary buffer: a staged entry is either retrievable exactly
+    /// once or has been displaced by capacity — never duplicated.
+    #[test]
+    fn tempbuf_no_duplication(entries in proptest::collection::vec(arb_entry(), 1..32)) {
+        let mut tb = TemporaryBuffer::new(8);
+        for e in &entries {
+            tb.stage(1, *e);
+        }
+        for e in &entries {
+            let first = tb.take_matching(1, e.sid, &e.args);
+            if first.is_some() {
+                // Taking again must not find the same staged entry
+                // unless it was staged multiple times.
+                let duplicates = entries
+                    .iter()
+                    .filter(|x| x.sid == e.sid && x.args == e.args)
+                    .count();
+                if duplicates == 1 {
+                    prop_assert!(tb.take_matching(1, e.sid, &e.args).is_none());
+                }
+            }
+        }
+        tb.squash();
+        prop_assert!(tb.is_empty());
+    }
+}

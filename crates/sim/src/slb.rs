@@ -1,0 +1,332 @@
+//! The System Call Lookaside Buffer (paper §VI-A, Fig. 6).
+
+use core::fmt;
+
+use draco_cuckoo::Way;
+use draco_syscalls::{ArgSet, SyscallId};
+
+use crate::config::SlbConfig;
+
+/// One SLB entry: `SID | Valid | Hash | Arg1..ArgN` (paper Fig. 6), plus
+/// the way the hash came from so STB refills stay exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlbEntry {
+    /// System call ID.
+    pub sid: SyscallId,
+    /// The VAT hash value that fetched this argument set.
+    pub hash: u64,
+    /// Which hash function produced [`SlbEntry::hash`].
+    pub way: Way,
+    /// The validated (masked) argument set.
+    pub args: ArgSet,
+}
+
+/// One set-associative subtable (all system calls with the same argument
+/// count share one — paper: "the SLB has a set-associative sub-structure
+/// for each group of system calls that take the same number of
+/// arguments").
+#[derive(Clone)]
+struct Subtable {
+    sets: usize,
+    ways: usize,
+    /// `entries[set]` is LRU-ordered, front = MRU.
+    entries: Vec<Vec<SlbEntry>>,
+}
+
+impl Subtable {
+    fn new(config: SlbConfig) -> Self {
+        let sets = (config.entries / config.ways).max(1);
+        Subtable {
+            sets,
+            ways: config.ways,
+            entries: vec![Vec::new(); sets],
+        }
+    }
+
+    fn set_for(&self, sid: SyscallId) -> usize {
+        sid.index() % self.sets
+    }
+
+    fn access(&mut self, sid: SyscallId, args: &ArgSet) -> Option<SlbEntry> {
+        let set = self.set_for(sid);
+        let ways = &mut self.entries[set];
+        if let Some(pos) = ways
+            .iter()
+            .position(|e| e.sid == sid && e.args == *args)
+        {
+            let e = ways.remove(pos);
+            ways.insert(0, e);
+            Some(ways[0])
+        } else {
+            None
+        }
+    }
+
+    fn preload_probe(&self, sid: SyscallId, hash: u64) -> bool {
+        let set = self.set_for(sid);
+        self.entries[set]
+            .iter()
+            .any(|e| e.sid == sid && e.hash == hash)
+    }
+
+    fn insert(&mut self, entry: SlbEntry) {
+        let set = self.set_for(entry.sid);
+        let ways = &mut self.entries[set];
+        if let Some(pos) = ways
+            .iter()
+            .position(|e| e.sid == entry.sid && e.args == entry.args)
+        {
+            ways.remove(pos);
+        }
+        ways.insert(0, entry);
+        if ways.len() > self.ways {
+            ways.pop();
+        }
+    }
+
+    fn clear(&mut self) {
+        for set in &mut self.entries {
+            set.clear();
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+}
+
+/// The full SLB: six subtables, selected by argument count.
+///
+/// Accesses come in two flavours, mirroring the hardware:
+///
+/// * [`Slb::access`] — the non-speculative ROB-head check: SID and
+///   argument values must match ("SLB Access" in Fig. 13); updates LRU.
+/// * [`Slb::preload_probe`] — the speculative early check: SID and
+///   *hash* match only ("SLB Preload"); does **not** touch LRU state,
+///   per the §IX side-channel hardening.
+#[derive(Clone)]
+pub struct Slb {
+    subtables: [Subtable; 6],
+    access_hits: u64,
+    access_misses: u64,
+    preload_hits: u64,
+    preload_misses: u64,
+}
+
+impl Slb {
+    /// Builds the SLB from the six per-argument-count geometries.
+    pub fn new(configs: [SlbConfig; 6]) -> Self {
+        Slb {
+            subtables: configs.map(Subtable::new),
+            access_hits: 0,
+            access_misses: 0,
+            preload_hits: 0,
+            preload_misses: 0,
+        }
+    }
+
+    fn subtable(&mut self, arg_count: usize) -> &mut Subtable {
+        debug_assert!((1..=6).contains(&arg_count));
+        &mut self.subtables[arg_count - 1]
+    }
+
+    /// The ROB-head access: hit iff an entry matches SID and argument
+    /// set.
+    pub fn access(&mut self, arg_count: usize, sid: SyscallId, args: &ArgSet) -> Option<SlbEntry> {
+        let hit = self.subtable(arg_count).access(sid, args);
+        match hit {
+            Some(_) => self.access_hits += 1,
+            None => self.access_misses += 1,
+        }
+        hit
+    }
+
+    /// The speculative preload probe: hit iff an entry matches SID and
+    /// hash. Leaves LRU state untouched (§IX).
+    pub fn preload_probe(&mut self, arg_count: usize, sid: SyscallId, hash: u64) -> bool {
+        debug_assert!((1..=6).contains(&arg_count));
+        let hit = self.subtables[arg_count - 1].preload_probe(sid, hash);
+        if hit {
+            self.preload_hits += 1;
+        } else {
+            self.preload_misses += 1;
+        }
+        hit
+    }
+
+    /// Fills an entry (VAT fetch completion or temporary-buffer commit).
+    pub fn insert(&mut self, arg_count: usize, entry: SlbEntry) {
+        self.subtable(arg_count).insert(entry);
+    }
+
+    /// Invalidates everything (context switch).
+    pub fn invalidate_all(&mut self) {
+        for t in &mut self.subtables {
+            t.clear();
+        }
+    }
+
+    /// Access hit rate over the run (Fig. 13 "SLB Access").
+    pub fn access_hit_rate(&self) -> f64 {
+        rate(self.access_hits, self.access_misses)
+    }
+
+    /// Preload hit rate over the run (Fig. 13 "SLB Preload").
+    pub fn preload_hit_rate(&self) -> f64 {
+        rate(self.preload_hits, self.preload_misses)
+    }
+
+    /// Raw counters: `(access_hits, access_misses, preload_hits,
+    /// preload_misses)`.
+    pub const fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.access_hits,
+            self.access_misses,
+            self.preload_hits,
+            self.preload_misses,
+        )
+    }
+
+    /// Zeroes the hit/miss counters (steady-state measurement start).
+    pub fn reset_counters(&mut self) {
+        self.access_hits = 0;
+        self.access_misses = 0;
+        self.preload_hits = 0;
+        self.preload_misses = 0;
+    }
+
+    /// Total resident entries.
+    pub fn occupancy(&self) -> usize {
+        self.subtables.iter().map(Subtable::occupancy).sum()
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+impl fmt::Debug for Slb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Slb({} resident, access {:.1}%, preload {:.1}%)",
+            self.occupancy(),
+            self.access_hit_rate() * 100.0,
+            self.preload_hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slb() -> Slb {
+        Slb::new(crate::SimConfig::table_ii().slb)
+    }
+
+    fn entry(nr: u16, hash: u64, a0: u64) -> SlbEntry {
+        SlbEntry {
+            sid: SyscallId::new(nr),
+            hash,
+            way: Way::H1,
+            args: ArgSet::from_slice(&[a0]),
+        }
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut s = slb();
+        let args = ArgSet::from_slice(&[7]);
+        assert!(s.access(1, SyscallId::new(3), &args).is_none());
+        s.insert(1, entry(3, 0xabc, 7));
+        let hit = s.access(1, SyscallId::new(3), &args).expect("hit");
+        assert_eq!(hit.hash, 0xabc);
+        assert_eq!(s.counters().0, 1);
+    }
+
+    #[test]
+    fn access_requires_matching_args() {
+        let mut s = slb();
+        s.insert(1, entry(3, 0xabc, 7));
+        assert!(s.access(1, SyscallId::new(3), &ArgSet::from_slice(&[8])).is_none());
+    }
+
+    #[test]
+    fn preload_matches_hash_not_args() {
+        let mut s = slb();
+        s.insert(2, entry(0, 0x1111, 3));
+        assert!(s.preload_probe(2, SyscallId::new(0), 0x1111));
+        assert!(!s.preload_probe(2, SyscallId::new(0), 0x2222));
+        assert!(!s.preload_probe(2, SyscallId::new(1), 0x1111));
+        assert_eq!(s.counters(), (0, 0, 1, 2));
+    }
+
+    #[test]
+    fn preload_does_not_touch_lru() {
+        // Fill a set to capacity, probe the LRU entry, then insert: the
+        // probed entry must still be evicted (probe left it LRU).
+        let cfg = [SlbConfig { entries: 4, ways: 4 }; 6];
+        let mut s = Slb::new(cfg);
+        // All SIDs map to set 0 (one set).
+        for i in 0..4u16 {
+            s.insert(1, entry(i, 0x100 + u64::from(i), u64::from(i)));
+        }
+        // Entry sid=0 is LRU now. A (speculative) preload probe on it...
+        assert!(s.preload_probe(1, SyscallId::new(0), 0x100));
+        // ...must not refresh it: the next insert still evicts sid=0.
+        s.insert(1, entry(9, 0x999, 9));
+        assert!(
+            s.access(1, SyscallId::new(0), &ArgSet::from_slice(&[0])).is_none(),
+            "probe must not protect the entry (side-channel hardening)"
+        );
+    }
+
+    #[test]
+    fn access_updates_lru() {
+        let cfg = [SlbConfig { entries: 4, ways: 4 }; 6];
+        let mut s = Slb::new(cfg);
+        for i in 0..4u16 {
+            s.insert(1, entry(i, u64::from(i), u64::from(i)));
+        }
+        // Touch sid=0 non-speculatively → sid=1 becomes LRU.
+        assert!(s.access(1, SyscallId::new(0), &ArgSet::from_slice(&[0])).is_some());
+        s.insert(1, entry(9, 9, 9));
+        assert!(s.access(1, SyscallId::new(0), &ArgSet::from_slice(&[0])).is_some());
+        assert!(s.access(1, SyscallId::new(1), &ArgSet::from_slice(&[1])).is_none());
+    }
+
+    #[test]
+    fn same_sid_multiple_argsets_coexist() {
+        let mut s = slb();
+        s.insert(2, entry(0, 1, 10));
+        s.insert(2, entry(0, 2, 20));
+        assert!(s.access(2, SyscallId::new(0), &ArgSet::from_slice(&[10])).is_some());
+        assert!(s.access(2, SyscallId::new(0), &ArgSet::from_slice(&[20])).is_some());
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut s = slb();
+        s.insert(1, entry(3, 1, 1));
+        s.invalidate_all();
+        assert_eq!(s.occupancy(), 0);
+        assert!(s.access(1, SyscallId::new(3), &ArgSet::from_slice(&[1])).is_none());
+    }
+
+    #[test]
+    fn hit_rates() {
+        let mut s = slb();
+        s.insert(1, entry(3, 1, 1));
+        let args = ArgSet::from_slice(&[1]);
+        s.access(1, SyscallId::new(3), &args);
+        s.access(1, SyscallId::new(4), &args);
+        assert!((s.access_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.preload_hit_rate(), 0.0);
+        assert!(format!("{s:?}").contains("access"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The per-core hardware System Call Permissions Table (384 entries,
+//! direct-mapped — paper Table II).
+
+use core::fmt;
+
+use draco_syscalls::{ArgBitmask, SyscallId};
+
+/// One hardware SPT entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HwSptEntry {
+    /// Occupied and validated.
+    pub valid: bool,
+    /// Full SID tag (the table is smaller than the syscall space).
+    pub sid: SyscallId,
+    /// VAT structure index (the Base field; `None` = no argument checks).
+    pub vat_index: Option<u32>,
+    /// VAT base virtual address (what the hardware adds hash offsets to).
+    pub base_vaddr: u64,
+    /// Argument Bitmask.
+    pub bitmask: ArgBitmask,
+    /// Accessed bit for context-switch save/restore (§VII-B).
+    pub accessed: bool,
+}
+
+/// The hardware SPT: direct-mapped by `sid % entries`, tagged with the
+/// full SID.
+#[derive(Clone)]
+pub struct HwSpt {
+    entries: Vec<HwSptEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl HwSpt {
+    /// Creates an SPT with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0);
+        HwSpt {
+            entries: vec![HwSptEntry::default(); entries],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index(&self, sid: SyscallId) -> usize {
+        sid.index() % self.entries.len()
+    }
+
+    /// Looks up a SID; marks the entry accessed on a hit.
+    pub fn lookup(&mut self, sid: SyscallId) -> Option<HwSptEntry> {
+        let idx = self.index(sid);
+        let entry = &mut self.entries[idx];
+        if entry.valid && entry.sid == sid {
+            entry.accessed = true;
+            self.hits += 1;
+            Some(*entry)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Installs an entry (the OS does this after a successful software
+    /// check). Direct-mapped: a conflicting SID overwrites.
+    pub fn install(&mut self, entry: HwSptEntry) {
+        let idx = self.index(entry.sid);
+        self.entries[idx] = HwSptEntry {
+            valid: true,
+            accessed: true,
+            ..entry
+        };
+    }
+
+    /// Invalidates everything (context switch to another process).
+    pub fn invalidate_all(&mut self) {
+        for e in &mut self.entries {
+            *e = HwSptEntry::default();
+        }
+    }
+
+    /// Clears all Accessed bits (periodic clearing, §VII-B).
+    pub fn clear_accessed(&mut self) {
+        for e in &mut self.entries {
+            e.accessed = false;
+        }
+    }
+
+    /// Valid entries with the Accessed bit set (what the OS saves on a
+    /// context switch).
+    pub fn accessed_entries(&self) -> Vec<HwSptEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.valid && e.accessed)
+            .copied()
+            .collect()
+    }
+
+    /// Restores saved entries.
+    pub fn restore(&mut self, saved: &[HwSptEntry]) {
+        for e in saved {
+            self.install(*e);
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub const fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of valid entries.
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+impl fmt::Debug for HwSpt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HwSpt({} entries, {} valid)",
+            self.entries.len(),
+            self.valid_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(nr: u16) -> HwSptEntry {
+        HwSptEntry {
+            valid: true,
+            sid: SyscallId::new(nr),
+            vat_index: Some(3),
+            base_vaddr: 0x5000_0000,
+            bitmask: ArgBitmask::EMPTY,
+            accessed: false,
+        }
+    }
+
+    #[test]
+    fn install_then_lookup() {
+        let mut spt = HwSpt::new(384);
+        assert!(spt.lookup(SyscallId::new(0)).is_none());
+        spt.install(entry(0));
+        let e = spt.lookup(SyscallId::new(0)).expect("hit");
+        assert_eq!(e.vat_index, Some(3));
+        assert!(e.accessed);
+        assert_eq!(spt.stats(), (1, 1));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_overwrite() {
+        let mut spt = HwSpt::new(384);
+        spt.install(entry(0));
+        spt.install(entry(384)); // same index, different tag
+        assert!(spt.lookup(SyscallId::new(0)).is_none(), "evicted by 384");
+        assert!(spt.lookup(SyscallId::new(384)).is_some());
+    }
+
+    #[test]
+    fn tag_prevents_aliased_hits() {
+        let mut spt = HwSpt::new(384);
+        spt.install(entry(10));
+        assert!(spt.lookup(SyscallId::new(10 + 384)).is_none());
+    }
+
+    #[test]
+    fn accessed_save_restore_roundtrip() {
+        let mut spt = HwSpt::new(64);
+        spt.install(entry(1));
+        spt.install(entry(2));
+        spt.clear_accessed();
+        let _ = spt.lookup(SyscallId::new(2));
+        let saved = spt.accessed_entries();
+        assert_eq!(saved.len(), 1);
+        assert_eq!(saved[0].sid, SyscallId::new(2));
+        let mut fresh = HwSpt::new(64);
+        fresh.restore(&saved);
+        assert!(fresh.lookup(SyscallId::new(2)).is_some());
+        assert!(fresh.lookup(SyscallId::new(1)).is_none());
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut spt = HwSpt::new(16);
+        spt.install(entry(5));
+        spt.invalidate_all();
+        assert!(spt.lookup(SyscallId::new(5)).is_none());
+        assert_eq!(spt.valid_count(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The System Call Target Buffer (paper §VI-B, Fig. 8).
+
+use core::fmt;
+
+use draco_cuckoo::Way;
+use draco_syscalls::SyscallId;
+
+/// One STB entry: `PC | Valid | SID | Hash` (paper Fig. 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StbEntry {
+    /// Address of the `syscall` instruction.
+    pub pc: u64,
+    /// The system call issued at this PC (unique per PC — paper: "there
+    /// is only one single type of system call in a given PC").
+    pub sid: SyscallId,
+    /// The predicted VAT hash (of the last validated argument set seen
+    /// at this PC).
+    pub hash: u64,
+    /// Which hash function produced it.
+    pub way: Way,
+}
+
+/// The STB: PC-indexed, set-associative, LRU.
+#[derive(Clone)]
+pub struct Stb {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Vec<StbEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Stb {
+    /// Creates an STB (`entries` total slots, `ways`-associative).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries >= ways && entries.is_multiple_of(ways));
+        Stb {
+            sets: entries / ways,
+            ways,
+            entries: vec![Vec::new(); entries / ways],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_for(&self, pc: u64) -> usize {
+        // Code addresses are strided and aligned; fold the whole PC so
+        // sets fill evenly (hardware would XOR tag bits similarly).
+        let folded = pc.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        (folded % self.sets as u64) as usize
+    }
+
+    /// Looks up a PC (at ROB insertion).
+    pub fn lookup(&mut self, pc: u64) -> Option<StbEntry> {
+        let set = self.set_for(pc);
+        let ways = &mut self.entries[set];
+        if let Some(pos) = ways.iter().position(|e| e.pc == pc) {
+            let e = ways.remove(pos);
+            ways.insert(0, e);
+            self.hits += 1;
+            Some(ways[0])
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Installs or updates the entry for a PC.
+    pub fn update(&mut self, entry: StbEntry) {
+        let set = self.set_for(entry.pc);
+        let ways = &mut self.entries[set];
+        if let Some(pos) = ways.iter().position(|e| e.pc == entry.pc) {
+            ways.remove(pos);
+        }
+        ways.insert(0, entry);
+        if ways.len() > self.ways {
+            ways.pop();
+        }
+    }
+
+    /// Invalidates everything (context switch).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.entries {
+            set.clear();
+        }
+    }
+
+    /// Hit rate over the run (Fig. 13 "STB").
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub const fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Zeroes the hit/miss counters (steady-state measurement start).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+impl fmt::Debug for Stb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Stb({} sets x {} ways, {:.1}% hit)",
+            self.sets,
+            self.ways,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pc: u64, nr: u16, hash: u64) -> StbEntry {
+        StbEntry {
+            pc,
+            sid: SyscallId::new(nr),
+            hash,
+            way: Way::H1,
+        }
+    }
+
+    #[test]
+    fn update_then_lookup() {
+        let mut stb = Stb::new(256, 2);
+        assert!(stb.lookup(0x400).is_none());
+        stb.update(entry(0x400, 0, 0xaa));
+        let e = stb.lookup(0x400).expect("hit");
+        assert_eq!(e.sid, SyscallId::new(0));
+        assert_eq!(e.hash, 0xaa);
+        assert_eq!(stb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn update_replaces_hash() {
+        let mut stb = Stb::new(256, 2);
+        stb.update(entry(0x400, 0, 0xaa));
+        stb.update(entry(0x400, 0, 0xbb));
+        assert_eq!(stb.lookup(0x400).unwrap().hash, 0xbb);
+    }
+
+    #[test]
+    fn set_conflicts_evict_lru() {
+        let mut stb = Stb::new(2, 2); // a single set: every PC conflicts
+        let a = 0x100;
+        let b = 0x104;
+        let c = 0x108;
+        stb.update(entry(a, 1, 1));
+        stb.update(entry(b, 2, 2));
+        stb.lookup(a); // a MRU
+        stb.update(entry(c, 3, 3)); // evicts b
+        assert!(stb.lookup(a).is_some());
+        assert!(stb.lookup(b).is_none());
+        assert!(stb.lookup(c).is_some());
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut stb = Stb::new(8, 2);
+        stb.update(entry(0x100, 1, 1));
+        stb.invalidate_all();
+        assert!(stb.lookup(0x100).is_none());
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut stb = Stb::new(8, 2);
+        stb.update(entry(0x10, 1, 1));
+        stb.lookup(0x10);
+        stb.lookup(0x20);
+        assert!((stb.hit_rate() - 0.5).abs() < 1e-9);
+        assert!(format!("{stb:?}").contains("hit"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_rejected() {
+        let _ = Stb::new(5, 2);
+    }
+}

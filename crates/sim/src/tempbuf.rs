@@ -1,0 +1,170 @@
+//! The speculation-safe temporary buffer (paper §IX).
+//!
+//! Preloaded VAT entries must leave no architectural trace until the
+//! `syscall` instruction is guaranteed to commit: "if an SLB preload
+//! request misses, the requested VAT entry is not immediately loaded into
+//! the SLB; instead, it is stored in a Temporary Buffer. When the
+//! non-speculative SLB access is performed, the entry is moved into the
+//! SLB. If, instead, the system call instruction is squashed, the
+//! temporary buffer is cleared."
+
+use core::fmt;
+
+use draco_syscalls::{ArgSet, SyscallId};
+
+use crate::slb::SlbEntry;
+
+/// The temporary buffer: a small FIFO of preloaded-but-uncommitted SLB
+/// entries.
+#[derive(Clone)]
+pub struct TemporaryBuffer {
+    capacity: usize,
+    entries: Vec<(usize, SlbEntry)>, // (arg_count, entry)
+}
+
+impl TemporaryBuffer {
+    /// Creates a buffer with `capacity` slots (8 in the paper's design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TemporaryBuffer {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Stages a preloaded entry. If full, the oldest staged entry is
+    /// dropped (it was speculative anyway).
+    pub fn stage(&mut self, arg_count: usize, entry: SlbEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((arg_count, entry));
+    }
+
+    /// At commit: removes and returns the staged entry matching the
+    /// syscall, if any. Matching is by SID and argument set (the
+    /// non-speculative access knows the real arguments).
+    pub fn take_matching(
+        &mut self,
+        arg_count: usize,
+        sid: SyscallId,
+        args: &ArgSet,
+    ) -> Option<SlbEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(ac, e)| *ac == arg_count && e.sid == sid && e.args == *args)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Removes and returns any staged entry for the SID (commit path for
+    /// mispredicted argument sets: the stale preload is discarded).
+    pub fn take_any_for(&mut self, sid: SyscallId) -> Option<(usize, SlbEntry)> {
+        let pos = self.entries.iter().position(|(_, e)| e.sid == sid)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Squash: clears every staged entry.
+    pub fn squash(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Staged entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Debug for TemporaryBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TemporaryBuffer({}/{})", self.entries.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_cuckoo::Way;
+
+    fn entry(nr: u16, a0: u64) -> SlbEntry {
+        SlbEntry {
+            sid: SyscallId::new(nr),
+            hash: u64::from(nr) ^ a0,
+            way: Way::H1,
+            args: ArgSet::from_slice(&[a0]),
+        }
+    }
+
+    #[test]
+    fn stage_and_take() {
+        let mut tb = TemporaryBuffer::new(8);
+        tb.stage(1, entry(0, 7));
+        assert_eq!(tb.len(), 1);
+        let taken = tb
+            .take_matching(1, SyscallId::new(0), &ArgSet::from_slice(&[7]))
+            .expect("staged");
+        assert_eq!(taken.args, ArgSet::from_slice(&[7]));
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn take_requires_full_match() {
+        let mut tb = TemporaryBuffer::new(8);
+        tb.stage(1, entry(0, 7));
+        assert!(tb
+            .take_matching(1, SyscallId::new(0), &ArgSet::from_slice(&[8]))
+            .is_none());
+        assert!(tb
+            .take_matching(2, SyscallId::new(0), &ArgSet::from_slice(&[7]))
+            .is_none());
+        assert_eq!(tb.len(), 1);
+        // But take_any_for the SID succeeds (stale-preload discard).
+        assert!(tb.take_any_for(SyscallId::new(0)).is_some());
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn squash_clears_everything() {
+        let mut tb = TemporaryBuffer::new(8);
+        tb.stage(1, entry(0, 1));
+        tb.stage(2, entry(1, 2));
+        tb.squash();
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut tb = TemporaryBuffer::new(2);
+        tb.stage(1, entry(0, 1));
+        tb.stage(1, entry(1, 2));
+        tb.stage(1, entry(2, 3));
+        assert_eq!(tb.len(), 2);
+        assert!(tb
+            .take_matching(1, SyscallId::new(0), &ArgSet::from_slice(&[1]))
+            .is_none());
+        assert!(tb
+            .take_matching(1, SyscallId::new(2), &ArgSet::from_slice(&[3]))
+            .is_some());
+        assert_eq!(tb.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = TemporaryBuffer::new(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! A small fully-associative TLB for VAT address translation.
+//!
+//! The paper notes that VAT accesses enjoy good TLB locality because a
+//! process's VAT is only a few kilobytes (§VII-A); this model lets the
+//! simulator charge page-walk latency honestly instead of assuming it.
+
+use core::fmt;
+
+const PAGE_SHIFT: u32 = 12; // 4 KB pages
+
+/// A fully-associative, LRU TLB.
+#[derive(Clone)]
+pub struct Tlb {
+    entries: usize,
+    /// LRU-ordered page numbers (front = MRU).
+    pages: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "TLB needs at least one entry");
+        Tlb {
+            entries,
+            pages: Vec::with_capacity(entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `vaddr`; returns true on a TLB hit.
+    pub fn access(&mut self, vaddr: u64) -> bool {
+        let page = vaddr >> PAGE_SHIFT;
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            let p = self.pages.remove(pos);
+            self.pages.insert(0, p);
+            self.hits += 1;
+            true
+        } else {
+            self.pages.insert(0, page);
+            if self.pages.len() > self.entries {
+                self.pages.pop();
+            }
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates all translations (context switch).
+    pub fn flush(&mut self) {
+        self.pages.clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub const fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl fmt::Debug for Tlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tlb({} entries, {} hits, {} misses)",
+            self.entries, self.hits, self.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff), "same 4K page");
+        assert!(!t.access(0x2000), "next page");
+        assert_eq!(t.stats(), (1, 2));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.access(0x1000);
+        t.access(0x2000);
+        t.access(0x1000); // MRU
+        t.access(0x3000); // evicts 0x2000
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut t = Tlb::new(4);
+        t.access(0x1000);
+        t.flush();
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

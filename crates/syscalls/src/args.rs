@@ -1,0 +1,446 @@
+//! System call argument sets and the 48-bit Argument Bitmask.
+
+use core::fmt;
+
+/// Maximum number of arguments a Linux system call takes.
+pub const MAX_ARGS: usize = 6;
+
+/// Bytes per argument register (x86-64 general-purpose registers).
+pub const ARG_BYTES: usize = 8;
+
+/// Total number of bitmask bits: one per argument byte (paper §V-B).
+const MASK_BITS: usize = MAX_ARGS * ARG_BYTES;
+
+/// Mask with the low 48 bits set.
+const MASK_ALL: u64 = (1u64 << MASK_BITS) - 1;
+
+/// The six 64-bit argument values of a system call invocation.
+///
+/// Unused trailing arguments are zero. Equality and hashing are bytewise
+/// over all six slots; Draco-level comparisons that must ignore pointer
+/// bytes go through [`ArgBitmask::masked`].
+///
+/// # Example
+///
+/// ```
+/// use draco_syscalls::ArgSet;
+///
+/// let args = ArgSet::new([1, 2, 3, 0, 0, 0]);
+/// assert_eq!(args.get(1), 2);
+/// assert_eq!(args.iter().sum::<u64>(), 6);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArgSet([u64; MAX_ARGS]);
+
+impl ArgSet {
+    /// Creates an argument set from raw register values
+    /// (`rdi, rsi, rdx, r10, r8, r9` in ABI order).
+    pub const fn new(values: [u64; MAX_ARGS]) -> Self {
+        ArgSet(values)
+    }
+
+    /// An argument set with all six slots zero (for zero-argument calls).
+    pub const fn empty() -> Self {
+        ArgSet([0; MAX_ARGS])
+    }
+
+    /// Creates an argument set from the first `values.len()` slots, zero
+    /// filling the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > 6`.
+    pub fn from_slice(values: &[u64]) -> Self {
+        assert!(values.len() <= MAX_ARGS, "at most 6 syscall arguments");
+        let mut slots = [0u64; MAX_ARGS];
+        slots[..values.len()].copy_from_slice(values);
+        ArgSet(slots)
+    }
+
+    /// Returns argument `i` (0-based register-order position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    pub const fn get(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Replaces argument `i`, returning the updated set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    #[must_use]
+    pub const fn with(mut self, i: usize, value: u64) -> Self {
+        self.0[i] = value;
+        self
+    }
+
+    /// Iterates over the six argument values in register order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Returns the underlying array.
+    pub const fn as_array(&self) -> [u64; MAX_ARGS] {
+        self.0
+    }
+}
+
+impl From<[u64; MAX_ARGS]> for ArgSet {
+    fn from(values: [u64; MAX_ARGS]) -> Self {
+        ArgSet::new(values)
+    }
+}
+
+impl From<ArgSet> for [u64; MAX_ARGS] {
+    fn from(args: ArgSet) -> Self {
+        args.0
+    }
+}
+
+impl fmt::Debug for ArgSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArgSet[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:#x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The Draco Argument Bitmask: one bit per argument byte, 48 bits total.
+///
+/// Bit `i * 8 + b` selects byte `b` of argument `i`. A system call that
+/// takes two one-byte arguments has bits 0 and 8 set (the paper's own
+/// example, §V-B). Bytes not selected — unused arguments, pointer
+/// arguments, or high-order bytes beyond an argument's width — take no part
+/// in hashing or comparison.
+///
+/// # Example
+///
+/// ```
+/// use draco_syscalls::{ArgBitmask, ArgSet};
+///
+/// // Two one-byte arguments → bits 0 and 8.
+/// let mask = ArgBitmask::from_widths([1, 1, 0, 0, 0, 0]);
+/// assert_eq!(mask.raw(), 0b1_0000_0001);
+/// let masked = mask.masked(&ArgSet::new([0x11ff, 0x22ee, 99, 0, 0, 0]));
+/// assert_eq!(masked.get(0), 0xff); // only the low byte survives
+/// assert_eq!(masked.get(1), 0xee);
+/// assert_eq!(masked.get(2), 0); // unselected argument
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ArgBitmask(u64);
+
+impl ArgBitmask {
+    /// A bitmask selecting no bytes (zero-argument system calls).
+    pub const EMPTY: ArgBitmask = ArgBitmask(0);
+
+    /// Creates a bitmask from a raw 48-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits above bit 47 are set.
+    pub const fn from_raw(raw: u64) -> Self {
+        assert!(raw <= MASK_ALL, "argument bitmask is 48 bits wide");
+        ArgBitmask(raw)
+    }
+
+    /// Creates a bitmask from per-argument byte widths.
+    ///
+    /// `widths[i]` is how many low-order bytes of argument `i` are
+    /// significant (0 = argument unused or pointer, up to 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width exceeds 8.
+    pub const fn from_widths(widths: [u8; MAX_ARGS]) -> Self {
+        let mut raw = 0u64;
+        let mut i = 0;
+        while i < MAX_ARGS {
+            let w = widths[i];
+            assert!(w as usize <= ARG_BYTES, "argument width is at most 8 bytes");
+            if w > 0 {
+                let bytes = if w as usize == ARG_BYTES {
+                    u64::MAX
+                } else {
+                    (1u64 << (w * 8)) - 1
+                };
+                // Per-byte bits: width w selects bytes 0..w of argument i.
+                let per_byte = if w as usize == ARG_BYTES {
+                    0xff
+                } else {
+                    (1u64 << w) - 1
+                };
+                let _ = bytes;
+                raw |= per_byte << (i * ARG_BYTES);
+            }
+            i += 1;
+        }
+        ArgBitmask(raw)
+    }
+
+    /// Returns the raw 48-bit mask.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True if no bytes are selected.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of selected bytes.
+    pub const fn selected_bytes(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Number of arguments with at least one selected byte.
+    ///
+    /// The hardware SPT derives the SLB subtable selector (`#Args`) from
+    /// the bitmask this way (paper Fig. 7).
+    pub const fn arg_count(self) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        while i < MAX_ARGS {
+            if (self.0 >> (i * ARG_BYTES)) & 0xff != 0 {
+                n += 1;
+            }
+            i += 1;
+        }
+        n
+    }
+
+    /// True if byte `byte` of argument `arg` is selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arg >= 6` or `byte >= 8`.
+    pub const fn selects(self, arg: usize, byte: usize) -> bool {
+        assert!(arg < MAX_ARGS && byte < ARG_BYTES);
+        (self.0 >> (arg * ARG_BYTES + byte)) & 1 == 1
+    }
+
+    /// Applies the mask to an argument set, zeroing every unselected byte.
+    ///
+    /// The result is the canonical value Draco hashes and compares: two
+    /// invocations are "the same argument set" iff their masked sets are
+    /// bytewise equal.
+    pub fn masked(self, args: &ArgSet) -> ArgSet {
+        let mut out = [0u64; MAX_ARGS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let byte_bits = (self.0 >> (i * ARG_BYTES)) & 0xff;
+            if byte_bits == 0 {
+                continue;
+            }
+            let mut m = 0u64;
+            for b in 0..ARG_BYTES {
+                if (byte_bits >> b) & 1 == 1 {
+                    m |= 0xffu64 << (b * 8);
+                }
+            }
+            *slot = args.get(i) & m;
+        }
+        ArgSet::new(out)
+    }
+
+    /// Extracts the selected bytes in ascending bit order, producing the
+    /// byte string fed to the VAT hash functions (paper Fig. 5 "Selector").
+    pub fn select_bytes(self, args: &ArgSet) -> MaskedBytes {
+        let mut bytes = [0u8; MASK_BITS];
+        let mut len = 0usize;
+        for arg in 0..MAX_ARGS {
+            let byte_bits = (self.0 >> (arg * ARG_BYTES)) & 0xff;
+            if byte_bits == 0 {
+                continue;
+            }
+            let value = args.get(arg).to_le_bytes();
+            for (b, &vb) in value.iter().enumerate() {
+                if (byte_bits >> b) & 1 == 1 {
+                    bytes[len] = vb;
+                    len += 1;
+                }
+            }
+        }
+        MaskedBytes { bytes, len }
+    }
+
+    /// Union of two bitmasks.
+    #[must_use]
+    pub const fn union(self, other: ArgBitmask) -> ArgBitmask {
+        ArgBitmask(self.0 | other.0)
+    }
+}
+
+impl fmt::Debug for ArgBitmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArgBitmask({:#014x})", self.0)
+    }
+}
+
+impl fmt::Binary for ArgBitmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for ArgBitmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// The selected argument bytes of one invocation, in mask bit order.
+///
+/// This is what the CRC hash functions consume. At most 48 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaskedBytes {
+    bytes: [u8; MASK_BITS],
+    len: usize,
+}
+
+impl MaskedBytes {
+    /// The selected bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len]
+    }
+
+    /// Number of selected bytes.
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-argument (or all-pointer) calls.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl AsRef<[u8]> for MaskedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for MaskedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MaskedBytes({:02x?})", self.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argset_accessors() {
+        let a = ArgSet::from_slice(&[7, 8]);
+        assert_eq!(a.get(0), 7);
+        assert_eq!(a.get(1), 8);
+        assert_eq!(a.get(5), 0);
+        let b = a.with(5, 42);
+        assert_eq!(b.get(5), 42);
+        assert_eq!(a.get(5), 0, "with() is by-value");
+        assert_eq!(b.as_array()[5], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 6")]
+    fn argset_from_slice_rejects_overlong() {
+        let _ = ArgSet::from_slice(&[0; 7]);
+    }
+
+    #[test]
+    fn paper_example_two_one_byte_args() {
+        // Paper §V-B: "for a system call that uses two arguments of one byte
+        // each, the Argument Bitmask has bits 0 and 8 set".
+        let mask = ArgBitmask::from_widths([1, 1, 0, 0, 0, 0]);
+        assert!(mask.selects(0, 0));
+        assert!(mask.selects(1, 0));
+        assert!(!mask.selects(0, 1));
+        assert_eq!(mask.raw(), (1 << 0) | (1 << 8));
+        assert_eq!(mask.selected_bytes(), 2);
+        assert_eq!(mask.arg_count(), 2);
+    }
+
+    #[test]
+    fn full_width_masks() {
+        let mask = ArgBitmask::from_widths([8, 8, 8, 8, 8, 8]);
+        assert_eq!(mask.raw(), (1u64 << 48) - 1);
+        assert_eq!(mask.arg_count(), 6);
+        assert_eq!(mask.selected_bytes(), 48);
+    }
+
+    #[test]
+    fn masked_zeroes_unselected_bytes() {
+        let mask = ArgBitmask::from_widths([4, 0, 8, 0, 0, 0]);
+        let args = ArgSet::new([0xaabb_ccdd_eeff_0011, 5, u64::MAX, 9, 9, 9]);
+        let m = mask.masked(&args);
+        assert_eq!(m.get(0), 0xeeff_0011);
+        assert_eq!(m.get(1), 0);
+        assert_eq!(m.get(2), u64::MAX);
+        assert_eq!(m.get(3), 0);
+    }
+
+    #[test]
+    fn select_bytes_orders_by_bit_index() {
+        let mask = ArgBitmask::from_widths([2, 1, 0, 0, 0, 0]);
+        let args = ArgSet::new([0x1122, 0x33, 0, 0, 0, 0]);
+        let bytes = mask.select_bytes(&args);
+        assert_eq!(bytes.as_slice(), &[0x22, 0x11, 0x33]);
+        assert_eq!(bytes.len(), 3);
+        assert!(!bytes.is_empty());
+    }
+
+    #[test]
+    fn select_bytes_empty_mask() {
+        let bytes = ArgBitmask::EMPTY.select_bytes(&ArgSet::new([1; 6]));
+        assert!(bytes.is_empty());
+        assert_eq!(bytes.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn masked_equality_defines_same_argument_set() {
+        // Same selected bytes, different pointer-ish garbage elsewhere.
+        let mask = ArgBitmask::from_widths([4, 0, 4, 0, 0, 0]);
+        let a = ArgSet::new([0x1111, 0xdead_beef, 0x2222, 0, 0, 0]);
+        let b = ArgSet::new([0x1111, 0xfeed_face, 0x2222, 7, 7, 7]);
+        assert_eq!(mask.masked(&a), mask.masked(&b));
+        assert_eq!(
+            mask.select_bytes(&a).as_slice(),
+            mask.select_bytes(&b).as_slice()
+        );
+    }
+
+    #[test]
+    fn union_combines_selections() {
+        let a = ArgBitmask::from_widths([1, 0, 0, 0, 0, 0]);
+        let b = ArgBitmask::from_widths([0, 1, 0, 0, 0, 0]);
+        assert_eq!(a.union(b), ArgBitmask::from_widths([1, 1, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn from_raw_rejects_high_bits() {
+        let _ = ArgBitmask::from_raw(1 << 48);
+    }
+
+    #[test]
+    fn arg_count_skips_gaps() {
+        // Args 0 and 2 selected, 1 skipped (e.g. pointer in the middle).
+        let mask = ArgBitmask::from_widths([4, 0, 4, 0, 0, 0]);
+        assert_eq!(mask.arg_count(), 2);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert!(!format!("{:?}", ArgSet::empty()).is_empty());
+        assert!(!format!("{:?}", ArgBitmask::EMPTY).is_empty());
+        assert!(format!("{:?}", ArgBitmask::from_widths([1; 6])).contains("0x"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Kernel-subsystem categories for system calls.
+//!
+//! Profile security analyses (paper Fig. 15 and the motivation of §III:
+//! "the system call interface is the major attack vector") become more
+//! legible when the allowed surface is broken down by kernel subsystem —
+//! a profile that allows 60 syscalls of which zero touch modules,
+//! tracing, or keyrings exposes a very different surface than one that
+//! allows 60 including `ptrace` and `init_module`.
+
+use core::fmt;
+
+use crate::{SyscallDesc, SyscallTable};
+
+/// The kernel subsystem a system call primarily exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// File and filesystem operations (open/read/stat/...).
+    File,
+    /// Memory management (mmap/brk/madvise/...).
+    Memory,
+    /// Networking (socket/sendto/...).
+    Network,
+    /// Process and thread lifecycle and control.
+    Process,
+    /// Signals.
+    Signal,
+    /// System V / POSIX IPC.
+    Ipc,
+    /// Clocks and timers.
+    Time,
+    /// Security-sensitive administration (modules, tracing, keys,
+    /// mounts, reboot, ...): the calls hardened profiles deny first.
+    Admin,
+    /// Everything else (misc info, scheduling hints, ...).
+    Other,
+}
+
+impl Category {
+    /// All categories, in display order.
+    pub const ALL: [Category; 9] = [
+        Category::File,
+        Category::Memory,
+        Category::Network,
+        Category::Process,
+        Category::Signal,
+        Category::Ipc,
+        Category::Time,
+        Category::Admin,
+        Category::Other,
+    ];
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Category::File => "file",
+            Category::Memory => "memory",
+            Category::Network => "network",
+            Category::Process => "process",
+            Category::Signal => "signal",
+            Category::Ipc => "ipc",
+            Category::Time => "time",
+            Category::Admin => "admin",
+            Category::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Classifies a system call by name.
+pub fn categorize(desc: &SyscallDesc) -> Category {
+    categorize_name(desc.name())
+}
+
+/// Classifies a system call name.
+pub fn categorize_name(name: &str) -> Category {
+    const ADMIN: &[&str] = &[
+        "ptrace", "init_module", "finit_module", "delete_module", "create_module",
+        "query_module", "get_kernel_syms", "kexec_load", "kexec_file_load", "bpf",
+        "perf_event_open", "add_key", "request_key", "keyctl", "mount", "umount2",
+        "move_mount", "open_tree", "fsopen", "fsconfig", "fsmount", "fspick",
+        "pivot_root", "chroot", "swapon", "swapoff", "reboot", "acct", "quotactl",
+        "nfsservctl", "_sysctl", "seccomp", "setns", "unshare", "lookup_dcookie",
+        "process_vm_readv", "process_vm_writev", "userfaultfd", "iopl", "ioperm",
+        "vhangup", "sethostname", "setdomainname", "syslog", "personality",
+        "modify_ldt", "uselib", "kcmp",
+    ];
+    const IPC_PREFIXES: &[&str] = &["shm", "sem", "msg", "mq_"];
+    const NET: &[&str] = &[
+        "socket", "connect", "accept", "accept4", "bind", "listen", "sendto",
+        "recvfrom", "sendmsg", "recvmsg", "sendmmsg", "recvmmsg", "shutdown",
+        "getsockname", "getpeername", "socketpair", "setsockopt", "getsockopt",
+        "sendfile",
+    ];
+    const MEM: &[&str] = &[
+        "mmap", "munmap", "mprotect", "brk", "mremap", "msync", "mincore",
+        "madvise", "mlock", "munlock", "mlockall", "munlockall", "mlock2",
+        "remap_file_pages", "mbind", "set_mempolicy", "get_mempolicy",
+        "migrate_pages", "move_pages", "membarrier", "pkey_mprotect",
+        "pkey_alloc", "pkey_free", "readahead",
+    ];
+    const TIME: &[&str] = &[
+        "nanosleep", "gettimeofday", "settimeofday", "time", "times", "alarm",
+        "getitimer", "setitimer", "timer_create", "timer_settime", "timer_gettime",
+        "timer_getoverrun", "timer_delete", "clock_settime", "clock_gettime",
+        "clock_getres", "clock_nanosleep", "clock_adjtime", "adjtimex",
+        "timerfd_create", "timerfd_settime", "timerfd_gettime", "utime", "utimes",
+        "utimensat", "futimesat",
+    ];
+    if ADMIN.contains(&name) {
+        return Category::Admin;
+    }
+    if IPC_PREFIXES.iter().any(|p| name.starts_with(p)) || name == "pipe" || name == "pipe2" {
+        return Category::Ipc;
+    }
+    if NET.contains(&name) {
+        return Category::Network;
+    }
+    if MEM.contains(&name) {
+        return Category::Memory;
+    }
+    if TIME.contains(&name) {
+        return Category::Time;
+    }
+    if name.contains("sig") || name == "kill" || name == "tkill" || name == "tgkill" || name == "pause" {
+        return Category::Signal;
+    }
+    const PROCESS: &[&str] = &[
+        "clone", "clone3", "fork", "vfork", "execve", "execveat", "exit",
+        "exit_group", "wait4", "waitid", "getpid", "getppid", "gettid", "getpgrp",
+        "setsid", "setpgid", "getpgid", "getsid", "setuid", "setgid", "getuid",
+        "getgid", "geteuid", "getegid", "setreuid", "setregid", "setresuid",
+        "getresuid", "setresgid", "getresgid", "setfsuid", "setfsgid", "getgroups",
+        "setgroups", "capget", "capset", "prctl", "arch_prctl", "set_tid_address",
+        "set_robust_list", "get_robust_list", "futex", "sched_yield",
+        "sched_setparam", "sched_getparam", "sched_setscheduler",
+        "sched_getscheduler", "sched_get_priority_max", "sched_get_priority_min",
+        "sched_rr_get_interval", "sched_setaffinity", "sched_getaffinity",
+        "sched_setattr", "sched_getattr", "setpriority", "getpriority",
+        "getrlimit", "setrlimit", "prlimit64", "getrusage", "pidfd_open",
+        "pidfd_send_signal", "rseq", "umask", "ioprio_set", "ioprio_get",
+    ];
+    if PROCESS.contains(&name) {
+        return Category::Process;
+    }
+    const FILE_HINTS: &[&str] = &[
+        "open", "read", "write", "close", "stat", "lseek", "dup", "link", "mkdir",
+        "rmdir", "rename", "chmod", "chown", "truncate", "sync", "getdents",
+        "getcwd", "chdir", "access", "fcntl", "flock", "fallocate", "splice",
+        "tee", "xattr", "inotify", "fanotify", "epoll", "poll", "select",
+        "eventfd", "signalfd", "io_", "creat", "mknod", "statfs", "ustat",
+        "sysfs", "umount", "mount", "name_to_handle", "open_by_handle",
+        "copy_file_range", "memfd", "getrandom", "fadvise", "fdatasync", "fsync",
+        "readlink", "symlink", "unlink", "statx", "vmsplice", "syncfs",
+    ];
+    if FILE_HINTS.iter().any(|h| name.contains(h)) {
+        return Category::File;
+    }
+    Category::Other
+}
+
+/// Counts the table's syscalls per category (the whole-interface surface).
+pub fn surface(table: &SyscallTable) -> [(Category, usize); 9] {
+    let mut counts = Category::ALL.map(|c| (c, 0usize));
+    for desc in table.iter() {
+        let cat = categorize(desc);
+        let slot = counts
+            .iter_mut()
+            .find(|(c, _)| *c == cat)
+            .expect("category in ALL");
+        slot.1 += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_representatives() {
+        let cases = [
+            ("read", Category::File),
+            ("openat", Category::File),
+            ("mmap", Category::Memory),
+            ("socket", Category::Network),
+            ("clone", Category::Process),
+            ("futex", Category::Process),
+            ("rt_sigaction", Category::Signal),
+            ("mq_open", Category::Ipc),
+            ("shmget", Category::Ipc),
+            ("clock_gettime", Category::Time),
+            ("ptrace", Category::Admin),
+            ("init_module", Category::Admin),
+            ("personality", Category::Admin),
+            ("uname", Category::Other),
+        ];
+        for (name, want) in cases {
+            assert_eq!(categorize_name(name), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn surface_covers_the_whole_table() {
+        let table = SyscallTable::shared();
+        let surface = surface(table);
+        let total: usize = surface.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, table.len());
+        let get = |c: Category| surface.iter().find(|(x, _)| *x == c).unwrap().1;
+        assert!(get(Category::File) > 60, "file-heavy interface");
+        assert!(get(Category::Admin) >= 40, "admin surface exists");
+        assert!(get(Category::Process) > 40);
+    }
+
+    #[test]
+    fn every_docker_denied_call_is_admin_or_memory() {
+        // Sanity: the dangerous set concentrates in admin-ish categories.
+        let admin_or_mem = ["acct", "bpf", "keyctl", "mount", "reboot", "ptrace"]
+            .iter()
+            .all(|n| {
+                matches!(
+                    categorize_name(n),
+                    Category::Admin | Category::Memory
+                )
+            });
+        assert!(admin_or_mem);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Category::Admin.to_string(), "admin");
+        assert_eq!(Category::ALL.len(), 9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the syscall model.
+
+use core::fmt;
+
+use crate::SyscallId;
+
+/// Errors produced when resolving system calls against a concrete table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SyscallError {
+    /// The system call number is outside the kernel interface.
+    UnknownId(SyscallId),
+    /// No system call with this name exists in the table.
+    UnknownName(String),
+}
+
+impl fmt::Display for SyscallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyscallError::UnknownId(id) => {
+                write!(f, "unknown system call number {}", id.as_u16())
+            }
+            SyscallError::UnknownName(name) => {
+                write!(f, "unknown system call name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyscallError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SyscallError::UnknownId(SyscallId::new(999)).to_string(),
+            "unknown system call number 999"
+        );
+        assert_eq!(
+            SyscallError::UnknownName("frobnicate".into()).to_string(),
+            "unknown system call name `frobnicate`"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync>() {}
+        assert_traits::<SyscallError>();
+    }
+}

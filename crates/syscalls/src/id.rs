@@ -1,0 +1,93 @@
+//! System call identifiers.
+
+use core::fmt;
+
+/// A Linux x86-64 system call number (the value a process places in `rax`
+/// before executing `syscall`).
+///
+/// `SyscallId` is a thin newtype over `u16`; the paper calls this the *SID*.
+/// It is deliberately small and `Copy` because every table in Draco (SPT,
+/// SLB, STB, VAT) is indexed or tagged by it.
+///
+/// # Example
+///
+/// ```
+/// use draco_syscalls::SyscallId;
+///
+/// let read = SyscallId::new(0);
+/// assert_eq!(read.as_u16(), 0);
+/// assert_eq!(format!("{read}"), "sid:0");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SyscallId(u16);
+
+impl SyscallId {
+    /// Creates an identifier from a raw system call number.
+    ///
+    /// No range validation is performed here; validation against a concrete
+    /// kernel interface happens in [`crate::table::SyscallTable::get`].
+    pub const fn new(raw: u16) -> Self {
+        SyscallId(raw)
+    }
+
+    /// Returns the raw system call number.
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the raw number widened to `usize`, convenient for indexing
+    /// SPT-style direct-mapped tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for SyscallId {
+    fn from(raw: u16) -> Self {
+        SyscallId::new(raw)
+    }
+}
+
+impl From<SyscallId> for u16 {
+    fn from(id: SyscallId) -> Self {
+        id.as_u16()
+    }
+}
+
+impl From<SyscallId> for u64 {
+    fn from(id: SyscallId) -> Self {
+        u64::from(id.as_u16())
+    }
+}
+
+impl fmt::Display for SyscallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sid:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_raw_value() {
+        let id = SyscallId::new(231);
+        assert_eq!(id.as_u16(), 231);
+        assert_eq!(id.index(), 231);
+        assert_eq!(u16::from(id), 231);
+        assert_eq!(u64::from(id), 231);
+        assert_eq!(SyscallId::from(231u16), id);
+    }
+
+    #[test]
+    fn orders_by_number() {
+        assert!(SyscallId::new(1) < SyscallId::new(2));
+        assert_eq!(SyscallId::default(), SyscallId::new(0));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(SyscallId::new(57).to_string(), "sid:57");
+    }
+}

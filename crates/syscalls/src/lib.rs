@@ -1,0 +1,55 @@
+//! x86-64 system call model for the Draco reproduction.
+//!
+//! This crate is the lowest substrate of the workspace: it defines what a
+//! system call *is* for every other crate — its identifier ([`SyscallId`]),
+//! its up-to-six 64-bit arguments ([`ArgSet`]), the per-byte argument
+//! selection mask used by Draco's hashing path ([`ArgBitmask`]), the x86-64
+//! register ABI ([`RegisterFile`], [`ArgRegisterMap`]), and a complete
+//! descriptor table of the Linux x86-64 system call interface
+//! ([`table::SyscallTable`]).
+//!
+//! The Draco paper (MICRO 2020) checks system calls by `(ID, argument set)`.
+//! Two properties of this crate mirror the paper directly:
+//!
+//! * the **Argument Bitmask** has one bit per argument byte (6 args × 8
+//!   bytes = 48 bits); a bit is set iff the system call uses that byte as an
+//!   argument (paper §V-B), and only the selected bytes participate in VAT
+//!   hashing and SLB comparison;
+//! * **pointer arguments are never checked** (paper §II-B, TOCTOU), so the
+//!   descriptor table marks each argument as a value of a given width or a
+//!   pointer, and pointers contribute no bitmask bits.
+//!
+//! # Example
+//!
+//! ```
+//! use draco_syscalls::{ArgSet, SyscallId, table::SyscallTable};
+//!
+//! let table = SyscallTable::linux_x86_64();
+//! let read = table.by_name("read").expect("read exists");
+//! assert_eq!(read.id(), SyscallId::new(0));
+//! // `read(fd, buf, count)`: fd and count are checkable values, buf is a
+//! // pointer and is excluded from the bitmask.
+//! let mask = read.bitmask();
+//! let args = ArgSet::new([3, 0xdead_beef, 4096, 0, 0, 0]);
+//! let masked = mask.masked(&args);
+//! assert_eq!(masked.get(0), 3); // fd survives
+//! assert_eq!(masked.get(1), 0); // pointer zeroed
+//! assert_eq!(masked.get(2), 4096); // count survives
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod args;
+pub mod category;
+mod error;
+mod id;
+mod regs;
+pub mod table;
+
+pub use args::{ArgBitmask, ArgSet, MaskedBytes, ARG_BYTES, MAX_ARGS};
+pub use category::{categorize, categorize_name, Category};
+pub use error::SyscallError;
+pub use id::SyscallId;
+pub use regs::{ArgRegisterMap, Register, RegisterFile, SyscallRequest};
+pub use table::{ArgKind, SyscallDesc, SyscallTable, SYSCALL_COUNT};

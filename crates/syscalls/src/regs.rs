@@ -1,0 +1,289 @@
+//! The x86-64 system call register ABI.
+//!
+//! On x86-64 Linux the system call ID travels in `rax` and the up-to-six
+//! arguments in `rdi, rsi, rdx, r10, r8, r9` (paper §II-A). Draco's
+//! hardware knows this mapping; for generality the paper (§VIII) proposes an
+//! *OS-programmable table* mapping argument positions to arbitrary
+//! registers — [`ArgRegisterMap`] models exactly that.
+
+use core::fmt;
+
+use crate::{ArgSet, SyscallId, MAX_ARGS};
+
+/// The general-purpose registers that participate in the syscall ABI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Register {
+    Rax,
+    Rdi,
+    Rsi,
+    Rdx,
+    R10,
+    R8,
+    R9,
+    Rcx,
+    Rbx,
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Register::Rax => "rax",
+            Register::Rdi => "rdi",
+            Register::Rsi => "rsi",
+            Register::Rdx => "rdx",
+            Register::R10 => "r10",
+            Register::R8 => "r8",
+            Register::R9 => "r9",
+            Register::Rcx => "rcx",
+            Register::Rbx => "rbx",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A snapshot of the registers visible to the syscall entry path.
+///
+/// # Example
+///
+/// ```
+/// use draco_syscalls::{ArgRegisterMap, Register, RegisterFile, SyscallId};
+///
+/// let mut regs = RegisterFile::new();
+/// regs.set(Register::Rax, 135); // personality
+/// regs.set(Register::Rdi, 0x20008);
+/// let req = regs.request(0x401000, &ArgRegisterMap::linux_x86_64());
+/// assert_eq!(req.id, SyscallId::new(135));
+/// assert_eq!(req.args.get(0), 0x20008);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegisterFile {
+    rax: u64,
+    rdi: u64,
+    rsi: u64,
+    rdx: u64,
+    r10: u64,
+    r8: u64,
+    r9: u64,
+    rcx: u64,
+    rbx: u64,
+}
+
+impl RegisterFile {
+    /// Creates a register file with every register zero.
+    pub fn new() -> Self {
+        RegisterFile::default()
+    }
+
+    /// Writes a register.
+    pub fn set(&mut self, reg: Register, value: u64) -> &mut Self {
+        *self.slot_mut(reg) = value;
+        self
+    }
+
+    /// Reads a register.
+    pub fn get(&self, reg: Register) -> u64 {
+        match reg {
+            Register::Rax => self.rax,
+            Register::Rdi => self.rdi,
+            Register::Rsi => self.rsi,
+            Register::Rdx => self.rdx,
+            Register::R10 => self.r10,
+            Register::R8 => self.r8,
+            Register::R9 => self.r9,
+            Register::Rcx => self.rcx,
+            Register::Rbx => self.rbx,
+        }
+    }
+
+    fn slot_mut(&mut self, reg: Register) -> &mut u64 {
+        match reg {
+            Register::Rax => &mut self.rax,
+            Register::Rdi => &mut self.rdi,
+            Register::Rsi => &mut self.rsi,
+            Register::Rdx => &mut self.rdx,
+            Register::R10 => &mut self.r10,
+            Register::R8 => &mut self.r8,
+            Register::R9 => &mut self.r9,
+            Register::Rcx => &mut self.rcx,
+            Register::Rbx => &mut self.rbx,
+        }
+    }
+
+    /// Materializes the pending system call request under a register map.
+    ///
+    /// `pc` is the address of the `syscall` instruction; the STB is indexed
+    /// by it (paper §VI-B).
+    pub fn request(&self, pc: u64, map: &ArgRegisterMap) -> SyscallRequest {
+        let mut args = [0u64; MAX_ARGS];
+        for (i, slot) in args.iter_mut().enumerate() {
+            *slot = self.get(map.arg_register(i));
+        }
+        SyscallRequest {
+            pc,
+            id: SyscallId::new((self.get(map.id_register()) & 0xffff) as u16),
+            args: ArgSet::new(args),
+        }
+    }
+}
+
+/// Maps syscall argument positions to general-purpose registers.
+///
+/// The default is the Linux x86-64 convention; alternative kernels can
+/// install a different mapping (paper §VIII "we can add an OS-programmable
+/// table that contains the mapping between system call argument number and
+/// general-purpose register").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArgRegisterMap {
+    id: Register,
+    args: [Register; MAX_ARGS],
+}
+
+impl ArgRegisterMap {
+    /// The Linux x86-64 convention: ID in `rax`, arguments in
+    /// `rdi, rsi, rdx, r10, r8, r9`.
+    pub const fn linux_x86_64() -> Self {
+        ArgRegisterMap {
+            id: Register::Rax,
+            args: [
+                Register::Rdi,
+                Register::Rsi,
+                Register::Rdx,
+                Register::R10,
+                Register::R8,
+                Register::R9,
+            ],
+        }
+    }
+
+    /// A custom mapping.
+    pub const fn custom(id: Register, args: [Register; MAX_ARGS]) -> Self {
+        ArgRegisterMap { id, args }
+    }
+
+    /// The register holding the system call ID.
+    pub const fn id_register(&self) -> Register {
+        self.id
+    }
+
+    /// The register holding argument `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    pub const fn arg_register(&self, i: usize) -> Register {
+        self.args[i]
+    }
+}
+
+impl Default for ArgRegisterMap {
+    fn default() -> Self {
+        ArgRegisterMap::linux_x86_64()
+    }
+}
+
+/// One decoded system call request: where it came from, what it asks for.
+///
+/// This is the unit every checker in the workspace consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SyscallRequest {
+    /// Address of the `syscall` instruction (STB index).
+    pub pc: u64,
+    /// System call ID (SPT/SLB index component).
+    pub id: SyscallId,
+    /// The six raw argument registers.
+    pub args: ArgSet,
+}
+
+impl SyscallRequest {
+    /// Convenience constructor.
+    pub fn new(pc: u64, id: SyscallId, args: ArgSet) -> Self {
+        SyscallRequest { pc, id, args }
+    }
+}
+
+impl fmt::Display for SyscallRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ pc={:#x}", self.id, self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_map_routes_abi_registers() {
+        let map = ArgRegisterMap::linux_x86_64();
+        assert_eq!(map.id_register(), Register::Rax);
+        assert_eq!(map.arg_register(0), Register::Rdi);
+        assert_eq!(map.arg_register(3), Register::R10);
+        assert_eq!(map.arg_register(5), Register::R9);
+        assert_eq!(ArgRegisterMap::default(), map);
+    }
+
+    #[test]
+    fn register_file_roundtrip() {
+        let mut regs = RegisterFile::new();
+        for (i, reg) in [
+            Register::Rax,
+            Register::Rdi,
+            Register::Rsi,
+            Register::Rdx,
+            Register::R10,
+            Register::R8,
+            Register::R9,
+            Register::Rcx,
+            Register::Rbx,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            regs.set(reg, i as u64 + 1);
+            assert_eq!(regs.get(reg), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn request_follows_paper_figure_1() {
+        // Paper Fig. 1: movl 0xffffffff,%rdi ; movl $135,%rax ; SYSCALL.
+        let mut regs = RegisterFile::new();
+        regs.set(Register::Rax, 135).set(Register::Rdi, 0xffff_ffff);
+        let req = regs.request(0x1000, &ArgRegisterMap::linux_x86_64());
+        assert_eq!(req.id, SyscallId::new(135));
+        assert_eq!(req.args.get(0), 0xffff_ffff);
+        assert_eq!(req.pc, 0x1000);
+        assert_eq!(req.to_string(), "sid:135 @ pc=0x1000");
+    }
+
+    #[test]
+    fn custom_map_swaps_argument_sources() {
+        let map = ArgRegisterMap::custom(
+            Register::Rbx,
+            [
+                Register::R9,
+                Register::R8,
+                Register::R10,
+                Register::Rdx,
+                Register::Rsi,
+                Register::Rdi,
+            ],
+        );
+        let mut regs = RegisterFile::new();
+        regs.set(Register::Rbx, 7)
+            .set(Register::R9, 100)
+            .set(Register::Rdi, 600);
+        let req = regs.request(0, &map);
+        assert_eq!(req.id, SyscallId::new(7));
+        assert_eq!(req.args.get(0), 100);
+        assert_eq!(req.args.get(5), 600);
+    }
+
+    #[test]
+    fn id_is_truncated_to_16_bits() {
+        let mut regs = RegisterFile::new();
+        regs.set(Register::Rax, 0xdead_0001);
+        let req = regs.request(0, &ArgRegisterMap::linux_x86_64());
+        assert_eq!(req.id, SyscallId::new(1));
+    }
+}

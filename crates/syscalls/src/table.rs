@@ -1,0 +1,828 @@
+//! The Linux x86-64 system call descriptor table.
+//!
+//! Every other crate resolves system calls against this table: argument
+//! counts drive SLB subtable selection, argument kinds drive the Argument
+//! Bitmask (pointers are never checked — paper §II-B), and the total count
+//! (403, matching the paper's Fig. 15a) anchors the security statistics.
+//!
+//! Entries 0–334 and 424–435 are the real Linux 5.3-era x86-64 interface.
+//! The paper counts 403 system calls for "linux" in Fig. 15a, which
+//! includes compat entries beyond the x86-64 native table; we model that
+//! remainder as explicit [`Origin::Compat`] placeholders (numbers 335–390)
+//! so the security-statistics figures keep the paper's shape. Substitution
+//! documented in `DESIGN.md` §2.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::{ArgBitmask, SyscallError, SyscallId, MAX_ARGS};
+
+/// Total number of system calls in the modeled Linux interface
+/// (paper Fig. 15a: "linux shows the total number of system calls in
+/// Linux, which is 403").
+pub const SYSCALL_COUNT: usize = 403;
+
+/// Highest system call number plus one (table capacity).
+pub const TABLE_CAPACITY: usize = 436;
+
+/// How one argument of a system call is classified for checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArgKind {
+    /// Slot not used by this system call.
+    None,
+    /// A checkable value of the given width in bytes (1, 2, 4, or 8).
+    Value(u8),
+    /// A userspace pointer: excluded from checking (TOCTOU, paper §II-B).
+    Pointer,
+}
+
+impl ArgKind {
+    /// Bytes this argument contributes to the Argument Bitmask.
+    pub const fn checked_width(self) -> u8 {
+        match self {
+            ArgKind::Value(w) => w,
+            ArgKind::None | ArgKind::Pointer => 0,
+        }
+    }
+
+    /// True if the slot is used at all (value or pointer).
+    pub const fn is_used(self) -> bool {
+        !matches!(self, ArgKind::None)
+    }
+}
+
+/// Where a table entry comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Native x86-64 system call.
+    Native,
+    /// Compat-surface placeholder (see module docs).
+    Compat,
+}
+
+/// A system call descriptor: identity, signature, and derived masks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyscallDesc {
+    id: SyscallId,
+    name: &'static str,
+    args: [ArgKind; MAX_ARGS],
+    origin: Origin,
+    bitmask: ArgBitmask,
+}
+
+impl SyscallDesc {
+    fn new(nr: u16, name: &'static str, kinds: &[ArgKind], origin: Origin) -> Self {
+        assert!(kinds.len() <= MAX_ARGS, "{name}: at most 6 arguments");
+        let mut args = [ArgKind::None; MAX_ARGS];
+        args[..kinds.len()].copy_from_slice(kinds);
+        let mut widths = [0u8; MAX_ARGS];
+        for (w, a) in widths.iter_mut().zip(args.iter()) {
+            *w = a.checked_width();
+        }
+        SyscallDesc {
+            id: SyscallId::new(nr),
+            name,
+            args,
+            origin,
+            bitmask: ArgBitmask::from_widths(widths),
+        }
+    }
+
+    /// The system call number.
+    pub const fn id(&self) -> SyscallId {
+        self.id
+    }
+
+    /// The kernel name (e.g. `"openat"`).
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Argument kinds in register order.
+    pub const fn args(&self) -> &[ArgKind; MAX_ARGS] {
+        &self.args
+    }
+
+    /// Number of declared arguments (used slots, pointers included).
+    pub fn arg_count(&self) -> usize {
+        self.args.iter().filter(|a| a.is_used()).count()
+    }
+
+    /// Number of *checkable* arguments (paper Fig. 14 counts these; like
+    /// Seccomp, Draco does not check pointers).
+    pub fn checked_arg_count(&self) -> usize {
+        self.bitmask.arg_count()
+    }
+
+    /// The Argument Bitmask stored in the SPT entry for this call.
+    pub const fn bitmask(&self) -> ArgBitmask {
+        self.bitmask
+    }
+
+    /// Whether this is a native x86-64 entry or a compat placeholder.
+    pub const fn origin(&self) -> Origin {
+        self.origin
+    }
+}
+
+impl fmt::Display for SyscallDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.id.as_u16())
+    }
+}
+
+/// The complete system call table of a kernel interface.
+///
+/// # Example
+///
+/// ```
+/// use draco_syscalls::{SyscallId, SyscallTable};
+///
+/// let table = SyscallTable::linux_x86_64();
+/// assert_eq!(table.len(), draco_syscalls::SYSCALL_COUNT);
+/// let futex = table.get(SyscallId::new(202)).expect("futex");
+/// assert_eq!(futex.name(), "futex");
+/// assert_eq!(futex.checked_arg_count(), 3); // op, val, val3 (pointers skipped)
+/// ```
+#[derive(Clone)]
+pub struct SyscallTable {
+    by_id: Vec<Option<SyscallDesc>>,
+    by_name: HashMap<&'static str, SyscallId>,
+}
+
+impl SyscallTable {
+    /// Builds a table from raw entries (the general constructor the
+    /// paper's §VIII generality rests on: "different OS kernels will
+    /// have different SPT contents due to different system calls and
+    /// different arguments").
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate numbers or numbers beyond `capacity`.
+    pub fn from_entries(entries: &[(u16, &'static str, &[ArgKind])], capacity: usize) -> Self {
+        let mut by_id: Vec<Option<SyscallDesc>> = vec![None; capacity];
+        let mut by_name = HashMap::with_capacity(entries.len());
+        for &(nr, name, kinds) in entries {
+            assert!((nr as usize) < capacity, "{name}: number {nr} beyond capacity");
+            assert!(by_id[nr as usize].is_none(), "duplicate number {nr}");
+            let desc = SyscallDesc::new(nr, name, kinds, Origin::Native);
+            by_name.insert(name, desc.id());
+            by_id[nr as usize] = Some(desc);
+        }
+        SyscallTable { by_id, by_name }
+    }
+
+    /// Builds the Linux x86-64 table (403 entries; see module docs).
+    pub fn linux_x86_64() -> Self {
+        let mut table = SyscallTable::from_entries(NATIVE_ENTRIES, TABLE_CAPACITY);
+        for nr in COMPAT_RANGE {
+            let name = compat_name(nr);
+            let desc = SyscallDesc::new(nr, name, &[], Origin::Compat);
+            table.by_name.insert(name, desc.id());
+            table.by_id[nr as usize] = Some(desc);
+        }
+        debug_assert_eq!(table.len(), SYSCALL_COUNT);
+        table
+    }
+
+    /// The KVM hypercall interface: the transitions a guest OS makes into
+    /// the hypervisor (`vmcall`). The paper's §VIII observes that the
+    /// Draco structures "can support security checks in virtualized
+    /// environments, such as when the guest OS invokes the hypervisor
+    /// through hypercalls" — same SPT/VAT/SLB machinery, different table.
+    pub fn kvm_hypercalls() -> Self {
+        use ArgKind::Value;
+        const V4: ArgKind = Value(4);
+        const V8: ArgKind = Value(8);
+        const ENTRIES: &[(u16, &str, &[ArgKind])] = &[
+            (1, "kvm_hc_vapic_poll_irq", &[]),
+            (5, "kvm_hc_kick_cpu", &[V4, V4]),
+            (9, "kvm_hc_clock_pairing", &[V8, V4]),
+            (10, "kvm_hc_send_ipi", &[V8, V8, V4, V4]),
+            (11, "kvm_hc_sched_yield", &[V4]),
+            (12, "kvm_hc_map_gpa_range", &[V8, V8, V8]),
+        ];
+        SyscallTable::from_entries(ENTRIES, 16)
+    }
+
+    /// A process-wide shared instance (the table is immutable).
+    pub fn shared() -> &'static SyscallTable {
+        static SHARED: OnceLock<SyscallTable> = OnceLock::new();
+        SHARED.get_or_init(SyscallTable::linux_x86_64)
+    }
+
+    /// Looks up a descriptor by number.
+    pub fn get(&self, id: SyscallId) -> Option<&SyscallDesc> {
+        self.by_id.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Looks up a descriptor by number, with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyscallError::UnknownId`] if the number is unassigned.
+    pub fn resolve(&self, id: SyscallId) -> Result<&SyscallDesc, SyscallError> {
+        self.get(id).ok_or(SyscallError::UnknownId(id))
+    }
+
+    /// Looks up a descriptor by kernel name.
+    pub fn by_name(&self, name: &str) -> Option<&SyscallDesc> {
+        self.by_name.get(name).and_then(|id| self.get(*id))
+    }
+
+    /// Looks up a descriptor by kernel name, with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyscallError::UnknownName`] if no entry has this name.
+    pub fn resolve_name(&self, name: &str) -> Result<&SyscallDesc, SyscallError> {
+        self.by_name(name)
+            .ok_or_else(|| SyscallError::UnknownName(name.to_owned()))
+    }
+
+    /// Number of defined system calls.
+    pub fn len(&self) -> usize {
+        self.by_id.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// True if the table has no entries (never the case for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Table capacity: one more than the highest assigned number. SPT-style
+    /// direct-mapped structures size themselves from this.
+    pub fn capacity(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Iterates over all defined descriptors in numeric order.
+    pub fn iter(&self) -> impl Iterator<Item = &SyscallDesc> {
+        self.by_id.iter().filter_map(Option::as_ref)
+    }
+
+    /// Distribution of *checked* argument counts over the whole interface
+    /// (the "linux" entry of paper Fig. 14): `dist[n]` = number of system
+    /// calls with `n` checkable arguments.
+    pub fn arg_count_distribution(&self) -> [usize; MAX_ARGS + 1] {
+        let mut dist = [0usize; MAX_ARGS + 1];
+        for desc in self.iter() {
+            dist[desc.checked_arg_count()] += 1;
+        }
+        dist
+    }
+}
+
+impl fmt::Debug for SyscallTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyscallTable")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl Default for SyscallTable {
+    fn default() -> Self {
+        SyscallTable::linux_x86_64()
+    }
+}
+
+/// Placeholder numbers 335–390 (see module docs).
+const COMPAT_RANGE: std::ops::RangeInclusive<u16> = 335..=390;
+
+fn compat_name(nr: u16) -> &'static str {
+    // Names must be &'static; generate once and leak — the table is a
+    // process-lifetime singleton in practice and this runs per table build.
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| {
+        COMPAT_RANGE
+            .map(|n| format!("compat_{n}"))
+            .collect::<Vec<_>>()
+    });
+    &names[(nr - *COMPAT_RANGE.start()) as usize]
+}
+
+use ArgKind::Pointer as P;
+/// Two-byte value argument.
+const V2: ArgKind = ArgKind::Value(2);
+/// Four-byte value argument (ints, fds, flags).
+const V4: ArgKind = ArgKind::Value(4);
+/// Eight-byte value argument (sizes, offsets, unsigned long).
+const V8: ArgKind = ArgKind::Value(8);
+
+/// The native x86-64 entries: `(number, name, argument kinds)`.
+///
+/// Signatures follow the Linux 5.3 x86-64 syscall table; widths are the
+/// natural C type widths (fd/int → 4, size_t/loff_t/unsigned long → 8,
+/// mode_t → 2 where it is the only small value, pointers marked `P`).
+#[rustfmt::skip]
+static NATIVE_ENTRIES: &[(u16, &str, &[ArgKind])] = &[
+    (0, "read", &[V4, P, V8]),
+    (1, "write", &[V4, P, V8]),
+    (2, "open", &[P, V4, V4]),
+    (3, "close", &[V4]),
+    (4, "stat", &[P, P]),
+    (5, "fstat", &[V4, P]),
+    (6, "lstat", &[P, P]),
+    (7, "poll", &[P, V4, V4]),
+    (8, "lseek", &[V4, V8, V4]),
+    (9, "mmap", &[P, V8, V4, V4, V4, V8]),
+    (10, "mprotect", &[P, V8, V4]),
+    (11, "munmap", &[P, V8]),
+    (12, "brk", &[P]),
+    (13, "rt_sigaction", &[V4, P, P, V8]),
+    (14, "rt_sigprocmask", &[V4, P, P, V8]),
+    (15, "rt_sigreturn", &[]),
+    (16, "ioctl", &[V4, V8, V8]),
+    (17, "pread64", &[V4, P, V8, V8]),
+    (18, "pwrite64", &[V4, P, V8, V8]),
+    (19, "readv", &[V4, P, V8]),
+    (20, "writev", &[V4, P, V8]),
+    (21, "access", &[P, V4]),
+    (22, "pipe", &[P]),
+    (23, "select", &[V4, P, P, P, P]),
+    (24, "sched_yield", &[]),
+    (25, "mremap", &[P, V8, V8, V4, P]),
+    (26, "msync", &[P, V8, V4]),
+    (27, "mincore", &[P, V8, P]),
+    (28, "madvise", &[P, V8, V4]),
+    (29, "shmget", &[V4, V8, V4]),
+    (30, "shmat", &[V4, P, V4]),
+    (31, "shmctl", &[V4, V4, P]),
+    (32, "dup", &[V4]),
+    (33, "dup2", &[V4, V4]),
+    (34, "pause", &[]),
+    (35, "nanosleep", &[P, P]),
+    (36, "getitimer", &[V4, P]),
+    (37, "alarm", &[V4]),
+    (38, "setitimer", &[V4, P, P]),
+    (39, "getpid", &[]),
+    (40, "sendfile", &[V4, V4, P, V8]),
+    (41, "socket", &[V4, V4, V4]),
+    (42, "connect", &[V4, P, V4]),
+    (43, "accept", &[V4, P, P]),
+    (44, "sendto", &[V4, P, V8, V4, P, V4]),
+    (45, "recvfrom", &[V4, P, V8, V4, P, P]),
+    (46, "sendmsg", &[V4, P, V4]),
+    (47, "recvmsg", &[V4, P, V4]),
+    (48, "shutdown", &[V4, V4]),
+    (49, "bind", &[V4, P, V4]),
+    (50, "listen", &[V4, V4]),
+    (51, "getsockname", &[V4, P, P]),
+    (52, "getpeername", &[V4, P, P]),
+    (53, "socketpair", &[V4, V4, V4, P]),
+    (54, "setsockopt", &[V4, V4, V4, P, V4]),
+    (55, "getsockopt", &[V4, V4, V4, P, P]),
+    (56, "clone", &[V8, P, P, P, V8]),
+    (57, "fork", &[]),
+    (58, "vfork", &[]),
+    (59, "execve", &[P, P, P]),
+    (60, "exit", &[V4]),
+    (61, "wait4", &[V4, P, V4, P]),
+    (62, "kill", &[V4, V4]),
+    (63, "uname", &[P]),
+    (64, "semget", &[V4, V4, V4]),
+    (65, "semop", &[V4, P, V8]),
+    (66, "semctl", &[V4, V4, V4, V8]),
+    (67, "shmdt", &[P]),
+    (68, "msgget", &[V4, V4]),
+    (69, "msgsnd", &[V4, P, V8, V4]),
+    (70, "msgrcv", &[V4, P, V8, V8, V4]),
+    (71, "msgctl", &[V4, V4, P]),
+    (72, "fcntl", &[V4, V4, V8]),
+    (73, "flock", &[V4, V4]),
+    (74, "fsync", &[V4]),
+    (75, "fdatasync", &[V4]),
+    (76, "truncate", &[P, V8]),
+    (77, "ftruncate", &[V4, V8]),
+    (78, "getdents", &[V4, P, V4]),
+    (79, "getcwd", &[P, V8]),
+    (80, "chdir", &[P]),
+    (81, "fchdir", &[V4]),
+    (82, "rename", &[P, P]),
+    (83, "mkdir", &[P, V2]),
+    (84, "rmdir", &[P]),
+    (85, "creat", &[P, V2]),
+    (86, "link", &[P, P]),
+    (87, "unlink", &[P]),
+    (88, "symlink", &[P, P]),
+    (89, "readlink", &[P, P, V8]),
+    (90, "chmod", &[P, V2]),
+    (91, "fchmod", &[V4, V2]),
+    (92, "chown", &[P, V4, V4]),
+    (93, "fchown", &[V4, V4, V4]),
+    (94, "lchown", &[P, V4, V4]),
+    (95, "umask", &[V4]),
+    (96, "gettimeofday", &[P, P]),
+    (97, "getrlimit", &[V4, P]),
+    (98, "getrusage", &[V4, P]),
+    (99, "sysinfo", &[P]),
+    (100, "times", &[P]),
+    (101, "ptrace", &[V8, V4, P, P]),
+    (102, "getuid", &[]),
+    (103, "syslog", &[V4, P, V4]),
+    (104, "getgid", &[]),
+    (105, "setuid", &[V4]),
+    (106, "setgid", &[V4]),
+    (107, "geteuid", &[]),
+    (108, "getegid", &[]),
+    (109, "setpgid", &[V4, V4]),
+    (110, "getppid", &[]),
+    (111, "getpgrp", &[]),
+    (112, "setsid", &[]),
+    (113, "setreuid", &[V4, V4]),
+    (114, "setregid", &[V4, V4]),
+    (115, "getgroups", &[V4, P]),
+    (116, "setgroups", &[V4, P]),
+    (117, "setresuid", &[V4, V4, V4]),
+    (118, "getresuid", &[P, P, P]),
+    (119, "setresgid", &[V4, V4, V4]),
+    (120, "getresgid", &[P, P, P]),
+    (121, "getpgid", &[V4]),
+    (122, "setfsuid", &[V4]),
+    (123, "setfsgid", &[V4]),
+    (124, "getsid", &[V4]),
+    (125, "capget", &[P, P]),
+    (126, "capset", &[P, P]),
+    (127, "rt_sigpending", &[P, V8]),
+    (128, "rt_sigtimedwait", &[P, P, P, V8]),
+    (129, "rt_sigqueueinfo", &[V4, V4, P]),
+    (130, "rt_sigsuspend", &[P, V8]),
+    (131, "sigaltstack", &[P, P]),
+    (132, "utime", &[P, P]),
+    (133, "mknod", &[P, V2, V8]),
+    (134, "uselib", &[P]),
+    (135, "personality", &[V4]),
+    (136, "ustat", &[V8, P]),
+    (137, "statfs", &[P, P]),
+    (138, "fstatfs", &[V4, P]),
+    (139, "sysfs", &[V4, V8, V8]),
+    (140, "getpriority", &[V4, V4]),
+    (141, "setpriority", &[V4, V4, V4]),
+    (142, "sched_setparam", &[V4, P]),
+    (143, "sched_getparam", &[V4, P]),
+    (144, "sched_setscheduler", &[V4, V4, P]),
+    (145, "sched_getscheduler", &[V4]),
+    (146, "sched_get_priority_max", &[V4]),
+    (147, "sched_get_priority_min", &[V4]),
+    (148, "sched_rr_get_interval", &[V4, P]),
+    (149, "mlock", &[P, V8]),
+    (150, "munlock", &[P, V8]),
+    (151, "mlockall", &[V4]),
+    (152, "munlockall", &[]),
+    (153, "vhangup", &[]),
+    (154, "modify_ldt", &[V4, P, V8]),
+    (155, "pivot_root", &[P, P]),
+    (156, "_sysctl", &[P]),
+    (157, "prctl", &[V4, V8, V8, V8, V8]),
+    (158, "arch_prctl", &[V4, V8]),
+    (159, "adjtimex", &[P]),
+    (160, "setrlimit", &[V4, P]),
+    (161, "chroot", &[P]),
+    (162, "sync", &[]),
+    (163, "acct", &[P]),
+    (164, "settimeofday", &[P, P]),
+    (165, "mount", &[P, P, P, V8, P]),
+    (166, "umount2", &[P, V4]),
+    (167, "swapon", &[P, V4]),
+    (168, "swapoff", &[P]),
+    (169, "reboot", &[V4, V4, V4, P]),
+    (170, "sethostname", &[P, V8]),
+    (171, "setdomainname", &[P, V8]),
+    (172, "iopl", &[V4]),
+    (173, "ioperm", &[V8, V8, V4]),
+    (174, "create_module", &[P, V8]),
+    (175, "init_module", &[P, V8, P]),
+    (176, "delete_module", &[P, V4]),
+    (177, "get_kernel_syms", &[P]),
+    (178, "query_module", &[P, V4, P, V8, P]),
+    (179, "quotactl", &[V4, P, V4, P]),
+    (180, "nfsservctl", &[V4, P, P]),
+    (181, "getpmsg", &[]),
+    (182, "putpmsg", &[]),
+    (183, "afs_syscall", &[]),
+    (184, "tuxcall", &[]),
+    (185, "security", &[]),
+    (186, "gettid", &[]),
+    (187, "readahead", &[V4, V8, V8]),
+    (188, "setxattr", &[P, P, P, V8, V4]),
+    (189, "lsetxattr", &[P, P, P, V8, V4]),
+    (190, "fsetxattr", &[V4, P, P, V8, V4]),
+    (191, "getxattr", &[P, P, P, V8]),
+    (192, "lgetxattr", &[P, P, P, V8]),
+    (193, "fgetxattr", &[V4, P, P, V8]),
+    (194, "listxattr", &[P, P, V8]),
+    (195, "llistxattr", &[P, P, V8]),
+    (196, "flistxattr", &[V4, P, V8]),
+    (197, "removexattr", &[P, P]),
+    (198, "lremovexattr", &[P, P]),
+    (199, "fremovexattr", &[V4, P]),
+    (200, "tkill", &[V4, V4]),
+    (201, "time", &[P]),
+    (202, "futex", &[P, V4, V4, P, P, V4]),
+    (203, "sched_setaffinity", &[V4, V8, P]),
+    (204, "sched_getaffinity", &[V4, V8, P]),
+    (205, "set_thread_area", &[P]),
+    (206, "io_setup", &[V4, P]),
+    (207, "io_destroy", &[V8]),
+    (208, "io_getevents", &[V8, V8, V8, P, P]),
+    (209, "io_submit", &[V8, V8, P]),
+    (210, "io_cancel", &[V8, P, P]),
+    (211, "get_thread_area", &[P]),
+    (212, "lookup_dcookie", &[V8, P, V8]),
+    (213, "epoll_create", &[V4]),
+    (214, "epoll_ctl_old", &[]),
+    (215, "epoll_wait_old", &[]),
+    (216, "remap_file_pages", &[P, V8, V8, V8, V4]),
+    (217, "getdents64", &[V4, P, V4]),
+    (218, "set_tid_address", &[P]),
+    (219, "restart_syscall", &[]),
+    (220, "semtimedop", &[V4, P, V8, P]),
+    (221, "fadvise64", &[V4, V8, V8, V4]),
+    (222, "timer_create", &[V4, P, P]),
+    (223, "timer_settime", &[V8, V4, P, P]),
+    (224, "timer_gettime", &[V8, P]),
+    (225, "timer_getoverrun", &[V8]),
+    (226, "timer_delete", &[V8]),
+    (227, "clock_settime", &[V4, P]),
+    (228, "clock_gettime", &[V4, P]),
+    (229, "clock_getres", &[V4, P]),
+    (230, "clock_nanosleep", &[V4, V4, P, P]),
+    (231, "exit_group", &[V4]),
+    (232, "epoll_wait", &[V4, P, V4, V4]),
+    (233, "epoll_ctl", &[V4, V4, V4, P]),
+    (234, "tgkill", &[V4, V4, V4]),
+    (235, "utimes", &[P, P]),
+    (236, "vserver", &[]),
+    (237, "mbind", &[P, V8, V4, P, V8, V4]),
+    (238, "set_mempolicy", &[V4, P, V8]),
+    (239, "get_mempolicy", &[P, P, V8, V8, V8]),
+    (240, "mq_open", &[P, V4, V2, P]),
+    (241, "mq_unlink", &[P]),
+    (242, "mq_timedsend", &[V4, P, V8, V4, P]),
+    (243, "mq_timedreceive", &[V4, P, V8, P, P]),
+    (244, "mq_notify", &[V4, P]),
+    (245, "mq_getsetattr", &[V4, P, P]),
+    (246, "kexec_load", &[V8, V8, P, V8]),
+    (247, "waitid", &[V4, V4, P, V4, P]),
+    (248, "add_key", &[P, P, P, V8, V4]),
+    (249, "request_key", &[P, P, P, V4]),
+    (250, "keyctl", &[V4, V8, V8, V8, V8]),
+    (251, "ioprio_set", &[V4, V4, V4]),
+    (252, "ioprio_get", &[V4, V4]),
+    (253, "inotify_init", &[]),
+    (254, "inotify_add_watch", &[V4, P, V4]),
+    (255, "inotify_rm_watch", &[V4, V4]),
+    (256, "migrate_pages", &[V4, V8, P, P]),
+    (257, "openat", &[V4, P, V4, V2]),
+    (258, "mkdirat", &[V4, P, V2]),
+    (259, "mknodat", &[V4, P, V2, V8]),
+    (260, "fchownat", &[V4, P, V4, V4, V4]),
+    (261, "futimesat", &[V4, P, P]),
+    (262, "newfstatat", &[V4, P, P, V4]),
+    (263, "unlinkat", &[V4, P, V4]),
+    (264, "renameat", &[V4, P, V4, P]),
+    (265, "linkat", &[V4, P, V4, P, V4]),
+    (266, "symlinkat", &[P, V4, P]),
+    (267, "readlinkat", &[V4, P, P, V8]),
+    (268, "fchmodat", &[V4, P, V2]),
+    (269, "faccessat", &[V4, P, V4]),
+    (270, "pselect6", &[V4, P, P, P, P, P]),
+    (271, "ppoll", &[P, V4, P, P, V8]),
+    (272, "unshare", &[V4]),
+    (273, "set_robust_list", &[P, V8]),
+    (274, "get_robust_list", &[V4, P, P]),
+    (275, "splice", &[V4, P, V4, P, V8, V4]),
+    (276, "tee", &[V4, V4, V8, V4]),
+    (277, "sync_file_range", &[V4, V8, V8, V4]),
+    (278, "vmsplice", &[V4, P, V8, V4]),
+    (279, "move_pages", &[V4, V8, P, P, P, V4]),
+    (280, "utimensat", &[V4, P, P, V4]),
+    (281, "epoll_pwait", &[V4, P, V4, V4, P, V8]),
+    (282, "signalfd", &[V4, P, V8]),
+    (283, "timerfd_create", &[V4, V4]),
+    (284, "eventfd", &[V4]),
+    (285, "fallocate", &[V4, V4, V8, V8]),
+    (286, "timerfd_settime", &[V4, V4, P, P]),
+    (287, "timerfd_gettime", &[V4, P]),
+    (288, "accept4", &[V4, P, P, V4]),
+    (289, "signalfd4", &[V4, P, V8, V4]),
+    (290, "eventfd2", &[V4, V4]),
+    (291, "epoll_create1", &[V4]),
+    (292, "dup3", &[V4, V4, V4]),
+    (293, "pipe2", &[P, V4]),
+    (294, "inotify_init1", &[V4]),
+    (295, "preadv", &[V4, P, V8, V8, V8]),
+    (296, "pwritev", &[V4, P, V8, V8, V8]),
+    (297, "rt_tgsigqueueinfo", &[V4, V4, V4, P]),
+    (298, "perf_event_open", &[P, V4, V4, V4, V8]),
+    (299, "recvmmsg", &[V4, P, V4, V4, P]),
+    (300, "fanotify_init", &[V4, V4]),
+    (301, "fanotify_mark", &[V4, V4, V8, V4, P]),
+    (302, "prlimit64", &[V4, V4, P, P]),
+    (303, "name_to_handle_at", &[V4, P, P, P, V4]),
+    (304, "open_by_handle_at", &[V4, P, V4]),
+    (305, "clock_adjtime", &[V4, P]),
+    (306, "syncfs", &[V4]),
+    (307, "sendmmsg", &[V4, P, V4, V4]),
+    (308, "setns", &[V4, V4]),
+    (309, "getcpu", &[P, P, P]),
+    (310, "process_vm_readv", &[V4, P, V8, P, V8, V8]),
+    (311, "process_vm_writev", &[V4, P, V8, P, V8, V8]),
+    (312, "kcmp", &[V4, V4, V4, V8, V8]),
+    (313, "finit_module", &[V4, P, V4]),
+    (314, "sched_setattr", &[V4, P, V4]),
+    (315, "sched_getattr", &[V4, P, V4, V4]),
+    (316, "renameat2", &[V4, P, V4, P, V4]),
+    (317, "seccomp", &[V4, V4, P]),
+    (318, "getrandom", &[P, V8, V4]),
+    (319, "memfd_create", &[P, V4]),
+    (320, "kexec_file_load", &[V4, V4, V8, P, V8]),
+    (321, "bpf", &[V4, P, V4]),
+    (322, "execveat", &[V4, P, P, P, V4]),
+    (323, "userfaultfd", &[V4]),
+    (324, "membarrier", &[V4, V4]),
+    (325, "mlock2", &[P, V8, V4]),
+    (326, "copy_file_range", &[V4, P, V4, P, V8, V4]),
+    (327, "preadv2", &[V4, P, V8, V8, V8, V4]),
+    (328, "pwritev2", &[V4, P, V8, V8, V8, V4]),
+    (329, "pkey_mprotect", &[P, V8, V4, V4]),
+    (330, "pkey_alloc", &[V4, V4]),
+    (331, "pkey_free", &[V4]),
+    (332, "statx", &[V4, P, V4, V4, P]),
+    (333, "io_pgetevents", &[V8, V8, V8, P, P, P]),
+    (334, "rseq", &[P, V4, V4, V4]),
+    (424, "pidfd_send_signal", &[V4, V4, P, V4]),
+    (425, "io_uring_setup", &[V4, P]),
+    (426, "io_uring_enter", &[V4, V4, V4, V4, P, V8]),
+    (427, "io_uring_register", &[V4, V4, P, V4]),
+    (428, "open_tree", &[V4, P, V4]),
+    (429, "move_mount", &[V4, P, V4, P, V4]),
+    (430, "fsopen", &[P, V4]),
+    (431, "fsconfig", &[V4, V4, P, P, V4]),
+    (432, "fsmount", &[V4, V4, V4]),
+    (433, "fspick", &[V4, P, V4]),
+    (434, "pidfd_open", &[V4, V4]),
+    (435, "clone3", &[P, V8]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_paper_count() {
+        let t = SyscallTable::linux_x86_64();
+        assert_eq!(t.len(), SYSCALL_COUNT);
+        assert_eq!(t.len(), 403);
+        assert!(!t.is_empty());
+        assert_eq!(t.capacity(), TABLE_CAPACITY);
+    }
+
+    #[test]
+    fn native_numbers_are_unique_and_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for &(nr, name, _) in NATIVE_ENTRIES {
+            assert!(seen.insert(nr), "duplicate syscall number {nr} ({name})");
+            assert!((nr as usize) < TABLE_CAPACITY);
+        }
+        assert_eq!(seen.len() + COMPAT_RANGE.count(), SYSCALL_COUNT);
+    }
+
+    #[test]
+    fn well_known_entries_resolve() {
+        let t = SyscallTable::shared();
+        for (name, nr, nargs) in [
+            ("read", 0, 3),
+            ("write", 1, 3),
+            ("close", 3, 1),
+            ("mmap", 9, 6),
+            ("clone", 56, 5),
+            ("personality", 135, 1),
+            ("futex", 202, 6),
+            ("exit_group", 231, 1),
+            ("openat", 257, 4),
+            ("accept4", 288, 4),
+            ("clone3", 435, 2),
+        ] {
+            let d = t.by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(d.id(), SyscallId::new(nr), "{name}");
+            assert_eq!(d.arg_count(), nargs, "{name} arg count");
+            assert_eq!(t.get(SyscallId::new(nr)).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn pointer_args_excluded_from_bitmask() {
+        let t = SyscallTable::shared();
+        let read = t.by_name("read").unwrap();
+        // read(fd, buf, count): 3 declared args, 2 checkable.
+        assert_eq!(read.arg_count(), 3);
+        assert_eq!(read.checked_arg_count(), 2);
+        assert!(read.bitmask().selects(0, 0));
+        assert!(!read.bitmask().selects(1, 0), "buf pointer unchecked");
+        assert!(read.bitmask().selects(2, 0));
+    }
+
+    #[test]
+    fn zero_arg_syscalls_have_empty_bitmask() {
+        let t = SyscallTable::shared();
+        for name in ["getpid", "sched_yield", "fork", "gettid"] {
+            let d = t.by_name(name).unwrap();
+            assert!(d.bitmask().is_empty(), "{name}");
+            assert_eq!(d.checked_arg_count(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_lookups_fail_typed() {
+        let t = SyscallTable::shared();
+        assert!(t.get(SyscallId::new(400)).is_none());
+        assert_eq!(
+            t.resolve(SyscallId::new(9999)),
+            Err(SyscallError::UnknownId(SyscallId::new(9999)))
+        );
+        assert!(matches!(
+            t.resolve_name("not_a_syscall"),
+            Err(SyscallError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn compat_entries_are_marked() {
+        let t = SyscallTable::shared();
+        let c = t.get(SyscallId::new(340)).expect("compat_340");
+        assert_eq!(c.origin(), Origin::Compat);
+        assert_eq!(c.name(), "compat_340");
+        assert_eq!(c.arg_count(), 0);
+        let native = t.by_name("openat").unwrap();
+        assert_eq!(native.origin(), Origin::Native);
+    }
+
+    #[test]
+    fn arg_count_distribution_sums_to_table_len() {
+        let t = SyscallTable::shared();
+        let dist = t.arg_count_distribution();
+        assert_eq!(dist.iter().sum::<usize>(), t.len());
+        // Most Linux syscalls check at least one argument.
+        assert!(dist[0] < t.len() / 2);
+        // 6-checkable-arg calls exist (e.g. sendto after pointer removal is
+        // 4; process_vm_readv has 5... mbind checks 4) but are rare.
+        assert!(dist[6] <= dist[1] + dist[2] + dist[3]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let t = SyscallTable::shared();
+        let d = t.by_name("read").unwrap();
+        assert_eq!(d.to_string(), "read(0)");
+        assert!(format!("{t:?}").contains("403"));
+    }
+
+    #[test]
+    fn shared_is_singleton() {
+        let a = SyscallTable::shared() as *const _;
+        let b = SyscallTable::shared() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_is_numeric_order() {
+        let t = SyscallTable::shared();
+        let ids: Vec<u16> = t.iter().map(|d| d.id().as_u16()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), SYSCALL_COUNT);
+    }
+
+    #[test]
+    fn default_equals_linux() {
+        assert_eq!(SyscallTable::default().len(), SYSCALL_COUNT);
+    }
+
+    #[test]
+    fn hypercall_table_is_a_separate_interface() {
+        let t = SyscallTable::kvm_hypercalls();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.capacity(), 16);
+        let ipi = t.by_name("kvm_hc_send_ipi").unwrap();
+        assert_eq!(ipi.id(), SyscallId::new(10));
+        assert_eq!(ipi.checked_arg_count(), 4);
+        assert!(t.get(SyscallId::new(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate number")]
+    fn from_entries_rejects_duplicates() {
+        let _ = SyscallTable::from_entries(&[(1, "a", &[]), (1, "b", &[])], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn from_entries_rejects_overflow() {
+        let _ = SyscallTable::from_entries(&[(9, "a", &[])], 4);
+    }
+}

@@ -1,0 +1,537 @@
+//! The fifteen paper workloads (paper §X-A).
+//!
+//! Eight macro benchmarks — HTTPD, NGINX, Elasticsearch, MySQL,
+//! Cassandra, Redis, and the OpenFaaS-style `grep` and `pwgen` functions —
+//! and seven micro benchmarks — sysbench-fio, HPCC (GUPS),
+//! UnixBench-syscall, and the fifo/pipe/domain/mq IPC benchmarks.
+//!
+//! Mix weights follow the family structure behind paper Fig. 3 (`read`
+//! dominates at ≈18% of all macro calls; `futex`, `recvfrom`, `close`,
+//! `epoll_wait`, `writev`… make up the rest of the top-20 ≈ 86%).
+//! Hot-set counts keep most syscalls at ≤3 frequent argument sets, with
+//! fd/path-indexed calls carrying a cold tail. Compute-per-op sets the
+//! syscall density: micro benchmarks are syscall-bound; HPCC is
+//! compute-bound and shows no measurable checking overhead, exactly as in
+//! the paper.
+
+use crate::model::{SyscallMix, WorkloadClass, WorkloadSpec};
+
+fn m(name: &'static str, weight: f64, hot: u8) -> SyscallMix {
+    SyscallMix::hot(name, weight, hot)
+}
+
+fn mt(name: &'static str, weight: f64, hot: u8, tail: u16, p: f64) -> SyscallMix {
+    SyscallMix::with_tail(name, weight, hot, tail, p)
+}
+
+fn macro_spec(
+    name: &'static str,
+    compute_ns_per_op: u64,
+    pc_sites: u8,
+    mix: Vec<SyscallMix>,
+) -> WorkloadSpec {
+    let spec = WorkloadSpec {
+        name,
+        class: WorkloadClass::Macro,
+        mix,
+        compute_ns_per_op,
+        pc_sites_per_syscall: pc_sites,
+        default_ops: 60_000,
+    };
+    spec.validate();
+    spec
+}
+
+fn micro_spec(
+    name: &'static str,
+    compute_ns_per_op: u64,
+    mix: Vec<SyscallMix>,
+) -> WorkloadSpec {
+    let spec = WorkloadSpec {
+        name,
+        class: WorkloadClass::Micro,
+        mix,
+        compute_ns_per_op,
+        pc_sites_per_syscall: 1,
+        default_ops: 40_000,
+    };
+    spec.validate();
+    spec
+}
+
+/// Builds the full fifteen-workload catalog in paper order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        httpd(),
+        nginx(),
+        elasticsearch(),
+        mysql(),
+        cassandra(),
+        redis(),
+        grep(),
+        pwgen(),
+        sysbench_fio(),
+        hpcc(),
+        unixbench_syscall(),
+        ipc_fifo(),
+        ipc_pipe(),
+        ipc_domain(),
+        ipc_mq(),
+    ]
+}
+
+/// Looks a workload up by its paper label.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The macro benchmarks, in paper order.
+pub fn macro_benchmarks() -> Vec<WorkloadSpec> {
+    all()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::Macro)
+        .collect()
+}
+
+/// The micro benchmarks, in paper order.
+pub fn micro_benchmarks() -> Vec<WorkloadSpec> {
+    all()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::Micro)
+        .collect()
+}
+
+/// Apache HTTPD serving `ab` with 30 concurrent requests.
+pub fn httpd() -> WorkloadSpec {
+    macro_spec(
+        "httpd",
+        1500,
+        2,
+        vec![
+            mt("read", 0.17, 3, 24, 0.07),
+            mt("close", 0.08, 2, 32, 0.1),
+            m("futex", 0.08, 2),
+            mt("recvfrom", 0.07, 2, 12, 0.06),
+            m("epoll_wait", 0.07, 2),
+            mt("accept4", 0.07, 1, 8, 0.04),
+            m("write", 0.06, 3),
+            mt("writev", 0.05, 2, 10, 0.05),
+            m("epoll_ctl", 0.05, 3),
+            mt("openat", 0.05, 2, 40, 0.12),
+            mt("fstat", 0.05, 2, 32, 0.1),
+            m("fcntl", 0.04, 2),
+            m("poll", 0.04, 2),
+            mt("stat", 0.04, 2, 36, 0.11),
+            mt("sendto", 0.03, 2, 8, 0.04),
+            mt("sendfile", 0.04, 2, 12, 0.08),
+            m("mmap", 0.02, 3),
+            m("munmap", 0.02, 2),
+            m("times", 0.02, 1),
+            m("shutdown", 0.02, 1),
+            m("getpid", 0.01, 1),
+            m("clone", 0.01, 2),
+        ],
+    )
+}
+
+/// NGINX serving `ab` with 30 concurrent requests.
+pub fn nginx() -> WorkloadSpec {
+    macro_spec(
+        "nginx",
+        1300,
+        2,
+        vec![
+            mt("read", 0.15, 3, 20, 0.06),
+            mt("recvfrom", 0.10, 2, 10, 0.05),
+            mt("writev", 0.10, 2, 12, 0.06),
+            m("epoll_wait", 0.10, 2),
+            mt("close", 0.08, 2, 28, 0.09),
+            m("epoll_ctl", 0.06, 3),
+            mt("accept4", 0.06, 1, 8, 0.04),
+            m("write", 0.05, 3),
+            mt("openat", 0.05, 2, 30, 0.1),
+            mt("fstat", 0.04, 2, 24, 0.08),
+            m("futex", 0.04, 2),
+            mt("sendfile", 0.04, 2, 10, 0.07),
+            m("setsockopt", 0.03, 3),
+            mt("stat", 0.03, 2, 24, 0.09),
+            m("gettimeofday", 0.03, 1),
+            m("shutdown", 0.02, 1),
+            m("mmap", 0.01, 2),
+            m("munmap", 0.01, 2),
+        ],
+    )
+}
+
+/// Elasticsearch driven by YCSB workloada, 10 clients.
+///
+/// Wide call-site diversity and a large argument-set tail — the paper's
+/// Fig. 13 shows Elasticsearch with the lowest STB/SLB hit rates.
+pub fn elasticsearch() -> WorkloadSpec {
+    macro_spec(
+        "elasticsearch",
+        2000,
+        6,
+        vec![
+            mt("futex", 0.20, 3, 60, 0.14),
+            mt("read", 0.14, 3, 48, 0.12),
+            m("epoll_wait", 0.08, 3),
+            mt("write", 0.07, 3, 32, 0.1),
+            mt("close", 0.05, 2, 40, 0.12),
+            mt("recvfrom", 0.05, 2, 24, 0.09),
+            mt("sendto", 0.05, 2, 24, 0.09),
+            mt("mmap", 0.05, 3, 36, 0.12),
+            mt("openat", 0.04, 2, 48, 0.14),
+            mt("fstat", 0.04, 2, 40, 0.12),
+            mt("stat", 0.04, 2, 44, 0.13),
+            m("epoll_ctl", 0.04, 3),
+            mt("pread64", 0.04, 2, 30, 0.11),
+            mt("pwrite64", 0.03, 2, 30, 0.11),
+            m("munmap", 0.03, 3),
+            mt("lseek", 0.03, 2, 20, 0.08),
+            m("sched_yield", 0.02, 1),
+            m("getrandom", 0.02, 2),
+            m("clone", 0.01, 2),
+            m("madvise", 0.02, 2),
+        ],
+    )
+}
+
+/// MySQL driven by sysbench OLTP, 10 clients.
+pub fn mysql() -> WorkloadSpec {
+    macro_spec(
+        "mysql",
+        1800,
+        3,
+        vec![
+            mt("read", 0.16, 3, 24, 0.08),
+            mt("write", 0.10, 3, 20, 0.07),
+            m("futex", 0.14, 3),
+            mt("recvfrom", 0.09, 2, 12, 0.05),
+            mt("sendto", 0.09, 2, 12, 0.05),
+            m("poll", 0.06, 2),
+            mt("pread64", 0.06, 2, 24, 0.1),
+            mt("pwrite64", 0.05, 2, 24, 0.1),
+            mt("lseek", 0.05, 2, 16, 0.07),
+            mt("fsync", 0.04, 1, 8, 0.06),
+            mt("close", 0.03, 2, 20, 0.08),
+            mt("openat", 0.03, 2, 24, 0.09),
+            mt("fstat", 0.03, 2, 20, 0.08),
+            m("times", 0.03, 1),
+            m("mmap", 0.02, 2),
+            m("munmap", 0.02, 2),
+        ],
+    )
+}
+
+/// Cassandra driven by YCSB workloadc, 30 clients.
+pub fn cassandra() -> WorkloadSpec {
+    macro_spec(
+        "cassandra",
+        2200,
+        4,
+        vec![
+            mt("futex", 0.22, 3, 40, 0.12),
+            mt("read", 0.13, 3, 32, 0.1),
+            m("epoll_wait", 0.09, 3),
+            mt("write", 0.07, 3, 24, 0.09),
+            mt("recvfrom", 0.06, 2, 16, 0.07),
+            mt("sendto", 0.06, 2, 16, 0.07),
+            mt("mmap", 0.05, 3, 24, 0.1),
+            m("epoll_ctl", 0.04, 3),
+            mt("close", 0.04, 2, 24, 0.09),
+            mt("openat", 0.03, 2, 32, 0.11),
+            mt("fstat", 0.03, 2, 24, 0.09),
+            mt("stat", 0.03, 2, 28, 0.1),
+            m("sched_yield", 0.03, 1),
+            mt("pread64", 0.03, 2, 20, 0.08),
+            m("munmap", 0.02, 3),
+            m("getrandom", 0.02, 2),
+            m("madvise", 0.02, 2),
+            m("gettimeofday", 0.02, 1),
+            m("clone", 0.01, 2),
+        ],
+    )
+}
+
+/// Redis driven by redis-benchmark, 30 concurrent requests.
+///
+/// Few distinct syscalls but many call sites (command dispatch), giving
+/// the low STB hit rate of paper Fig. 13.
+pub fn redis() -> WorkloadSpec {
+    macro_spec(
+        "redis",
+        900,
+        7,
+        vec![
+            mt("read", 0.24, 3, 16, 0.06),
+            mt("write", 0.22, 3, 16, 0.06),
+            m("epoll_wait", 0.20, 2),
+            m("epoll_ctl", 0.07, 3),
+            mt("close", 0.05, 2, 12, 0.06),
+            mt("accept4", 0.05, 1, 8, 0.04),
+            m("getpid", 0.04, 1),
+            mt("openat", 0.03, 2, 12, 0.07),
+            m("fcntl", 0.03, 2),
+            m("gettimeofday", 0.03, 1),
+            m("times", 0.02, 1),
+            m("mmap", 0.01, 2),
+            m("munmap", 0.01, 2),
+        ],
+    )
+}
+
+/// The OpenFaaS-style `grep` function: search a pattern over the Linux
+/// source tree.
+pub fn grep() -> WorkloadSpec {
+    macro_spec(
+        "grep",
+        1200,
+        1,
+        vec![
+            mt("read", 0.32, 2, 24, 0.08),
+            mt("openat", 0.16, 1, 64, 0.18),
+            mt("close", 0.15, 1, 48, 0.16),
+            mt("fstat", 0.12, 1, 40, 0.14),
+            m("write", 0.08, 2),
+            m("getdents", 0.06, 2),
+            m("mmap", 0.04, 2),
+            m("munmap", 0.04, 2),
+            m("brk", 0.03, 2),
+        ],
+    )
+}
+
+/// The OpenFaaS-style `pwgen` function: generate 10K secure passwords.
+pub fn pwgen() -> WorkloadSpec {
+    macro_spec(
+        "pwgen",
+        2500,
+        1,
+        vec![
+            m("getrandom", 0.45, 2),
+            m("write", 0.30, 2),
+            m("read", 0.10, 2),
+            m("brk", 0.06, 2),
+            m("mmap", 0.05, 2),
+            m("close", 0.04, 1),
+        ],
+    )
+}
+
+/// sysbench FIO: 128 files, 512 MB total.
+pub fn sysbench_fio() -> WorkloadSpec {
+    micro_spec(
+        "sysbench-fio",
+        600,
+        vec![
+            mt("read", 0.28, 2, 64, 0.2),
+            mt("write", 0.28, 2, 64, 0.2),
+            mt("lseek", 0.16, 2, 32, 0.16),
+            mt("fsync", 0.10, 1, 16, 0.12),
+            mt("openat", 0.06, 1, 64, 0.2),
+            mt("close", 0.06, 1, 64, 0.2),
+            m("fdatasync", 0.06, 1),
+        ],
+    )
+}
+
+/// HPCC GUPS: compute-bound, almost no system calls.
+pub fn hpcc() -> WorkloadSpec {
+    micro_spec(
+        "hpcc",
+        60_000,
+        vec![
+            m("brk", 0.25, 2),
+            m("mmap", 0.30, 3),
+            m("munmap", 0.20, 2),
+            m("read", 0.15, 2),
+            m("write", 0.10, 2),
+        ],
+    )
+}
+
+/// UnixBench syscall in mix mode: the tightest syscall loop.
+pub fn unixbench_syscall() -> WorkloadSpec {
+    micro_spec(
+        "unixbench-syscall",
+        250,
+        vec![
+            m("close", 0.25, 2),
+            m("dup", 0.25, 1),
+            m("getpid", 0.20, 1),
+            m("getuid", 0.15, 1),
+            m("umask", 0.15, 1),
+        ],
+    )
+}
+
+/// IPC Bench fifo: 1000-byte packets over a named pipe.
+pub fn ipc_fifo() -> WorkloadSpec {
+    micro_spec(
+        "fifo",
+        450,
+        vec![m("read", 0.49, 1), m("write", 0.49, 1), m("openat", 0.02, 1)],
+    )
+}
+
+/// IPC Bench pipe: 1000-byte packets over an anonymous pipe.
+pub fn ipc_pipe() -> WorkloadSpec {
+    micro_spec(
+        "pipe",
+        400,
+        vec![m("read", 0.50, 1), m("write", 0.50, 1)],
+    )
+}
+
+/// IPC Bench domain sockets: 1000-byte packets.
+pub fn ipc_domain() -> WorkloadSpec {
+    micro_spec(
+        "domain",
+        500,
+        vec![
+            m("sendto", 0.48, 1),
+            m("recvfrom", 0.48, 1),
+            m("socket", 0.02, 1),
+            m("close", 0.02, 1),
+        ],
+    )
+}
+
+/// IPC Bench POSIX message queues: 1000-byte packets.
+pub fn ipc_mq() -> WorkloadSpec {
+    micro_spec(
+        "mq",
+        550,
+        vec![
+            m("mq_timedsend", 0.48, 1),
+            m("mq_timedreceive", 0.48, 1),
+            m("mq_open", 0.02, 1),
+            m("close", 0.02, 1),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use draco_syscalls::SyscallTable;
+
+    #[test]
+    fn fifteen_workloads_in_paper_split() {
+        assert_eq!(all().len(), 15, "paper §X-A: fifteen workloads");
+        assert_eq!(macro_benchmarks().len(), 8);
+        assert_eq!(micro_benchmarks().len(), 7);
+    }
+
+    #[test]
+    fn all_specs_validate_and_resolve() {
+        let table = SyscallTable::shared();
+        for spec in all() {
+            spec.validate();
+            for mix in &spec.mix {
+                assert!(
+                    table.by_name(mix.name).is_some(),
+                    "{}: unknown syscall {}",
+                    spec.name,
+                    mix.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_finds_paper_labels() {
+        for name in [
+            "httpd",
+            "nginx",
+            "elasticsearch",
+            "mysql",
+            "cassandra",
+            "redis",
+            "grep",
+            "pwgen",
+            "sysbench-fio",
+            "hpcc",
+            "unixbench-syscall",
+            "fifo",
+            "pipe",
+            "domain",
+            "mq",
+        ] {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert!(by_name("fortnite").is_none());
+    }
+
+    #[test]
+    fn micro_benchmarks_are_syscall_denser_than_macro() {
+        let macro_mean: f64 = macro_benchmarks()
+            .iter()
+            .map(|w| w.compute_ns_per_op as f64)
+            .sum::<f64>()
+            / 8.0;
+        let micro_wo_hpcc: f64 = micro_benchmarks()
+            .iter()
+            .filter(|w| w.name != "hpcc")
+            .map(|w| w.compute_ns_per_op as f64)
+            .sum::<f64>()
+            / 6.0;
+        assert!(micro_wo_hpcc < macro_mean);
+    }
+
+    #[test]
+    fn hpcc_is_compute_bound() {
+        let h = hpcc();
+        for w in all() {
+            if w.name != "hpcc" {
+                assert!(h.compute_ns_per_op > 10 * w.compute_ns_per_op);
+            }
+        }
+    }
+
+    #[test]
+    fn read_dominates_macro_union() {
+        // Fig. 3: read is the most frequent call overall.
+        let mut by_call = std::collections::HashMap::<&str, f64>::new();
+        for w in macro_benchmarks() {
+            let total = w.total_weight();
+            for m in &w.mix {
+                *by_call.entry(m.name).or_default() += m.weight / total;
+            }
+        }
+        let read = by_call["read"];
+        for (name, w) in &by_call {
+            assert!(read >= *w, "{name} outweighs read");
+        }
+    }
+
+    #[test]
+    fn workloads_only_use_docker_allowed_syscalls() {
+        // Fig. 2's docker-default runs must not be killed mid-trace.
+        let profile = draco_profiles::docker_default();
+        let table = SyscallTable::shared();
+        for w in all() {
+            for m in &w.mix {
+                let id = table.by_name(m.name).unwrap().id();
+                assert!(
+                    profile.rule(id).is_some(),
+                    "{}: {} denied by docker-default",
+                    w.name,
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_sets_mostly_three_or_fewer() {
+        // Fig. 3: individual syscalls are "often called with three or
+        // fewer different argument sets".
+        for w in all() {
+            for m in &w.mix {
+                assert!(m.hot_sets <= 3, "{}:{}", w.name, m.name);
+            }
+        }
+    }
+}

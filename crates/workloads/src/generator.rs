@@ -1,0 +1,341 @@
+//! Deterministic trace generation from workload specifications.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use draco_profiles::{DOCKER_CLONE_FLAGS, DOCKER_PERSONALITY_VALUES};
+use draco_syscalls::{ArgKind, SyscallDesc, SyscallTable, MAX_ARGS};
+
+use crate::model::WorkloadSpec;
+use crate::trace::{SyscallTrace, TraceOp};
+
+/// Base code address for generated `syscall` sites.
+const PC_BASE: u64 = 0x40_0000;
+
+/// Generates reproducible system call traces for a workload.
+///
+/// The same `(spec, seed)` pair always yields the same trace, and the
+/// *argument values* of a given `(syscall, set index)` are a pure
+/// function of the workload — so a profile generated from one trace of a
+/// workload admits every other trace of the same workload (steady-state
+/// assumption of the paper's §X-B profiling methodology).
+///
+/// # Example
+///
+/// ```
+/// use draco_workloads::{catalog, TraceGenerator};
+///
+/// let spec = catalog::ipc_pipe();
+/// let trace = TraceGenerator::new(&spec, 7).generate(100);
+/// assert_eq!(trace.len(), 100);
+/// assert!(trace.requests().all(|r| r.id.as_u16() == 0 || r.id.as_u16() == 1));
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    seed: u64,
+    cumulative: Vec<f64>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for a workload with a seed.
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        spec.validate();
+        let total = spec.total_weight();
+        let mut acc = 0.0;
+        let cumulative = spec
+            .mix
+            .iter()
+            .map(|m| {
+                acc += m.weight / total;
+                acc
+            })
+            .collect();
+        TraceGenerator {
+            spec: spec.clone(),
+            seed,
+            cumulative,
+        }
+    }
+
+    /// The workload name.
+    pub fn workload(&self) -> &str {
+        self.spec.name
+    }
+
+    /// Generates a trace of `ops` operations.
+    pub fn generate(&self, ops: usize) -> SyscallTrace {
+        let table = SyscallTable::shared();
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ name_hash(self.spec.name));
+        let descs: Vec<&SyscallDesc> = self
+            .spec
+            .mix
+            .iter()
+            .map(|m| {
+                table
+                    .by_name(m.name)
+                    .unwrap_or_else(|| panic!("unknown syscall {} in {}", m.name, self.spec.name))
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let mix_idx = self.sample_mix(&mut rng);
+            let mix = &self.spec.mix[mix_idx];
+            let desc = descs[mix_idx];
+            let set_idx = self.sample_set(mix, &mut rng);
+            let args =
+                argument_values(self.spec.name, desc, set_idx, mix.hot_sets, &mut rng);
+            let site = rng.gen_range(0..self.spec.pc_sites_per_syscall as u64);
+            let pc = PC_BASE + u64::from(desc.id().as_u16()) * 0x100 + site * 8;
+            let mean = self.spec.compute_ns_per_op;
+            let compute_ns = mean / 2 + rng.gen_range(0..=mean);
+            out.push(TraceOp {
+                compute_ns,
+                pc,
+                nr: desc.id().as_u16(),
+                args: args.map(|a| a),
+            });
+        }
+        SyscallTrace::from_ops(self.spec.name, out)
+    }
+
+    /// Generates the default-length trace for this workload.
+    pub fn generate_default(&self) -> SyscallTrace {
+        self.generate(self.spec.default_ops)
+    }
+
+    fn sample_mix(&self, rng: &mut SmallRng) -> usize {
+        let x: f64 = rng.gen();
+        self.cumulative
+            .iter()
+            .position(|&c| x <= c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+
+    /// Samples an argument set index: hot sets follow a steep geometric
+    /// distribution (the first set dominates, per Fig. 3); the cold tail
+    /// is uniform.
+    fn sample_set(&self, mix: &crate::model::SyscallMix, rng: &mut SmallRng) -> u32 {
+        if mix.tail_sets > 0 && rng.gen::<f64>() < mix.tail_prob {
+            return u32::from(mix.hot_sets) + rng.gen_range(0..u32::from(mix.tail_sets));
+        }
+        let hot = u32::from(mix.hot_sets);
+        // Geometric with ratio 1/3: set 0 gets ~2/3 of the mass.
+        let mut idx = 0;
+        while idx + 1 < hot && rng.gen::<f64>() < 1.0 / 3.0 {
+            idx += 1;
+        }
+        idx
+    }
+}
+
+/// A stable, rng-independent hash for deriving argument values.
+fn stable_hash(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in parts {
+        h ^= p;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn name_hash(name: &str) -> u64 {
+    stable_hash(&[name.bytes().fold(0u64, |a, b| a.wrapping_mul(31) + u64::from(b))])
+}
+
+/// Produces the argument registers for `(workload, syscall, set index)`.
+///
+/// Checkable positions are a pure function of the triple (so profiles
+/// carry over between traces); pointer positions get fresh pseudo-random
+/// addresses every call, which exercises the Argument Bitmask's pointer
+/// exclusion end to end. *Hot* sets (below `hot_sets`) are shared across
+/// workloads — real applications reuse the same few fds, flag words and
+/// buffer sizes — while tail sets are salted per workload, matching the
+/// concentrated per-set shares of paper Fig. 3.
+fn argument_values(
+    workload: &str,
+    desc: &SyscallDesc,
+    set_idx: u32,
+    hot_sets: u8,
+    rng: &mut SmallRng,
+) -> [u64; MAX_ARGS] {
+    let mut args = [0u64; MAX_ARGS];
+    let sid = u64::from(desc.id().as_u16());
+    // Docker-default argument-checks these two: draw values from the
+    // allowed whitelists so docker-default runs stay alive.
+    if desc.name() == "clone" {
+        args[0] = DOCKER_CLONE_FLAGS[(set_idx as usize) % DOCKER_CLONE_FLAGS.len()];
+        for (i, slot) in args.iter_mut().enumerate().take(4).skip(1) {
+            *slot = pointer_value(rng, i);
+        }
+        args[4] = 0; // tls pinned by the profile
+        return args;
+    }
+    if desc.name() == "personality" {
+        args[0] =
+            DOCKER_PERSONALITY_VALUES[(set_idx as usize) % DOCKER_PERSONALITY_VALUES.len()];
+        return args;
+    }
+    for (pos, kind) in desc.args().iter().enumerate() {
+        match *kind {
+            ArgKind::None => {}
+            ArgKind::Pointer => args[pos] = pointer_value(rng, pos),
+            ArgKind::Value(width) => {
+                let salt = if set_idx < u32::from(hot_sets) {
+                    0
+                } else {
+                    name_hash(workload)
+                };
+                let raw = stable_hash(&[salt, sid, u64::from(set_idx), pos as u64]);
+                // Keep values plausibly small (fds, flags, sizes) while
+                // still distinct per set index.
+                let bound_bits = (u32::from(width) * 8).min(16);
+                args[pos] = raw % (1u64 << bound_bits);
+            }
+        }
+    }
+    args
+}
+
+fn pointer_value(rng: &mut SmallRng, pos: usize) -> u64 {
+    0x7f00_0000_0000 | (rng.gen::<u32>() as u64) << 4 | pos as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use draco_syscalls::SyscallId;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let spec = catalog::nginx();
+        let a = TraceGenerator::new(&spec, 1).generate(500);
+        let b = TraceGenerator::new(&spec, 1).generate(500);
+        let c = TraceGenerator::new(&spec, 2).generate(500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn checkable_values_stable_across_seeds() {
+        // Same (workload, syscall, set) must produce the same checkable
+        // values whatever the seed, or generated profiles would not
+        // transfer between runs.
+        let spec = catalog::httpd();
+        let a = TraceGenerator::new(&spec, 1).generate(2000);
+        let b = TraceGenerator::new(&spec, 99).generate(2000);
+        let table = SyscallTable::shared();
+        let collect = |t: &SyscallTrace| {
+            let mut sets = std::collections::HashSet::new();
+            for req in t.requests() {
+                let mask = table.get(req.id).unwrap().bitmask();
+                sets.insert((req.id, mask.masked(&req.args)));
+            }
+            sets
+        };
+        let sa = collect(&a);
+        let sb = collect(&b);
+        // Both runs draw from the same underlying per-workload pools.
+        let union = sa.union(&sb).count();
+        let inter = sa.intersection(&sb).count();
+        assert!(
+            inter * 3 >= union,
+            "argument pools should substantially overlap: {inter}/{union}"
+        );
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let spec = catalog::ipc_pipe(); // read .5 / write .5
+        let trace = TraceGenerator::new(&spec, 3).generate(10_000);
+        let reads = trace.requests().filter(|r| r.id == SyscallId::new(0)).count();
+        let frac = reads as f64 / 10_000.0;
+        assert!((0.45..=0.55).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn hot_sets_dominate() {
+        let spec = catalog::httpd();
+        let trace = TraceGenerator::new(&spec, 4).generate(20_000);
+        let table = SyscallTable::shared();
+        // For read (3 hot sets, tail_prob .18) the hot sets should carry
+        // most calls.
+        let read_mask = table.by_name("read").unwrap().bitmask();
+        let mut counts = std::collections::HashMap::new();
+        let mut total = 0u64;
+        for req in trace.requests().filter(|r| r.id == SyscallId::new(0)) {
+            *counts.entry(read_mask.masked(&req.args)).or_insert(0u64) += 1;
+            total += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top3: u64 = freqs.iter().take(3).sum();
+        assert!(
+            top3 as f64 / total as f64 > 0.7,
+            "top-3 sets carry {}/{total}",
+            top3
+        );
+    }
+
+    #[test]
+    fn pointer_args_vary_but_masked_values_repeat() {
+        let spec = catalog::ipc_pipe();
+        let trace = TraceGenerator::new(&spec, 5).generate(1000);
+        let table = SyscallTable::shared();
+        let mut raw = std::collections::HashSet::new();
+        let mut masked = std::collections::HashSet::new();
+        for req in trace.requests().filter(|r| r.id == SyscallId::new(0)) {
+            let mask = table.get(req.id).unwrap().bitmask();
+            raw.insert(req.args);
+            masked.insert(mask.masked(&req.args));
+        }
+        assert!(raw.len() > masked.len() * 10, "pointers must vary");
+        assert!(masked.len() <= 2, "one hot set for pipe reads");
+    }
+
+    #[test]
+    fn clone_and_personality_stay_docker_legal() {
+        let spec = catalog::elasticsearch();
+        let trace = TraceGenerator::new(&spec, 6).generate(30_000);
+        let profile = draco_profiles::docker_default();
+        for req in trace.requests() {
+            if req.id == SyscallId::new(56) || req.id == SyscallId::new(135) {
+                assert!(
+                    profile.evaluate(&req).permits(),
+                    "docker-default must allow generated {req}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pc_sites_bounded_by_spec() {
+        let spec = catalog::redis(); // 7 sites
+        let trace = TraceGenerator::new(&spec, 7).generate(20_000);
+        let mut pcs_per_sid = std::collections::HashMap::<u16, std::collections::HashSet<u64>>::new();
+        for op in trace.ops() {
+            pcs_per_sid.entry(op.nr).or_default().insert(op.pc);
+        }
+        for (nr, pcs) in pcs_per_sid {
+            assert!(pcs.len() <= 7, "nr {nr} has {} sites", pcs.len());
+        }
+    }
+
+    #[test]
+    fn generate_default_uses_spec_length() {
+        let spec = catalog::ipc_mq();
+        let trace = TraceGenerator::new(&spec, 0).generate_default();
+        assert_eq!(trace.len(), spec.default_ops);
+    }
+
+    #[test]
+    fn compute_time_is_near_mean() {
+        let spec = catalog::hpcc();
+        let trace = TraceGenerator::new(&spec, 8).generate(5_000);
+        let mean = trace.total_compute_ns() as f64 / 5_000.0;
+        let target = spec.compute_ns_per_op as f64;
+        assert!((target * 0.9..=target * 1.1).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic workloads, trace generation, and the timing model.
+//!
+//! The paper evaluates fifteen workloads in Docker containers — eight
+//! macro benchmarks (HTTPD, NGINX, Elasticsearch, MySQL, Cassandra,
+//! Redis, and the `grep`/`pwgen` functions) and seven micro benchmarks
+//! (sysbench-fio, HPCC/GUPS, UnixBench-syscall, and four IPC benchmarks).
+//! A userspace reproduction cannot run those applications under a real
+//! kernel's Seccomp, so each workload is modeled as a *generative system
+//! call process* whose statistics mirror the paper's measurements
+//! (substitution documented in `DESIGN.md` §2):
+//!
+//! * the syscall **mix** follows the per-workload families behind paper
+//!   Fig. 3 (read/futex/recvfrom/... for servers, read/write loops for
+//!   IPC, and so on);
+//! * each syscall draws from a small pool of **hot argument sets** plus a
+//!   long tail, reproducing the "three or fewer argument sets" locality
+//!   and the short reuse distances of Fig. 3;
+//! * each operation carries **application compute time**, which sets the
+//!   syscall density — micro benchmarks are syscall-dominated, macro
+//!   benchmarks are not, and HPCC hardly makes syscalls at all.
+//!
+//! [`timing`] converts a generated [`SyscallTrace`] plus a checking
+//! backend into modeled execution time under a calibrated
+//! [`timing::KernelCostModel`], which is how the harness regenerates the
+//! paper's Figs. 2, 11, 16 and 17.
+//!
+//! # Example
+//!
+//! ```
+//! use draco_workloads::{catalog, TraceGenerator};
+//!
+//! let spec = catalog::by_name("nginx").expect("nginx is in the catalog");
+//! let trace = TraceGenerator::new(&spec, 42).generate(1_000);
+//! assert_eq!(trace.len(), 1_000);
+//! // Traces are deterministic per (workload, seed).
+//! let again = TraceGenerator::new(&spec, 42).generate(1_000);
+//! assert_eq!(trace, again);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod catalog;
+mod generator;
+mod locality;
+mod model;
+pub mod timing;
+mod trace;
+
+pub use generator::TraceGenerator;
+pub use locality::{ArgSetBreakdown, LocalityReport, SyscallFrequency};
+pub use model::{SyscallMix, WorkloadClass, WorkloadSpec};
+pub use trace::{SyscallTrace, TraceOp};

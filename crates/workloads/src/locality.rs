@@ -1,0 +1,313 @@
+//! Trace locality analysis (paper §IV-C, Fig. 3; §XI-C, Fig. 14).
+
+use std::collections::HashMap;
+
+use draco_syscalls::{ArgSet, SyscallId, SyscallTable, MAX_ARGS};
+
+use crate::trace::SyscallTrace;
+
+/// Per-argument-set frequency breakdown of one system call, in the
+/// fractions paper Fig. 3 stacks: the share of the top argument sets plus
+/// an "other" bucket (and a `no_arg` share for zero-argument calls).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ArgSetBreakdown {
+    /// Share of calls with no checkable arguments.
+    pub no_arg: f64,
+    /// Shares of the five most frequent argument sets, descending.
+    pub top_sets: [f64; 5],
+    /// Share of all remaining argument sets.
+    pub other: f64,
+    /// Number of distinct argument sets observed.
+    pub distinct_sets: usize,
+}
+
+/// One system call's row in the locality report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyscallFrequency {
+    /// The system call.
+    pub id: SyscallId,
+    /// Kernel name.
+    pub name: String,
+    /// Calls observed.
+    pub count: u64,
+    /// Fraction of all calls in the trace.
+    pub fraction: f64,
+    /// Mean reuse distance: number of *other* system calls between two
+    /// occurrences of the same `(ID, argument set)`, over all sets.
+    pub mean_reuse_distance: f64,
+    /// Mean reuse distance restricted to the syscall's three hottest
+    /// argument sets — the quantity the paper annotates in Fig. 3 ("the
+    /// average distance is often only a few tens of system calls"); cold
+    /// tail sets recur rarely and would dominate the unrestricted mean.
+    pub hot_mean_reuse_distance: f64,
+    /// The stacked argument-set shares.
+    pub breakdown: ArgSetBreakdown,
+}
+
+/// Locality statistics of a trace (or of several merged traces).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocalityReport {
+    rows: Vec<SyscallFrequency>,
+    total_calls: u64,
+    /// `dist[n]` = fraction of calls whose syscall has `n` checkable
+    /// arguments (paper Fig. 14 per-workload distributions).
+    arg_count_fractions: [f64; MAX_ARGS + 1],
+}
+
+impl LocalityReport {
+    /// Analyzes one trace.
+    pub fn analyze(trace: &SyscallTrace) -> Self {
+        Self::analyze_merged(std::slice::from_ref(trace))
+    }
+
+    /// Analyzes several traces as one stream (the paper merges all macro
+    /// benchmarks for Fig. 3).
+    pub fn analyze_merged(traces: &[SyscallTrace]) -> Self {
+        let table = SyscallTable::shared();
+        let mut counts: HashMap<SyscallId, u64> = HashMap::new();
+        let mut set_counts: HashMap<SyscallId, HashMap<ArgSet, u64>> = HashMap::new();
+        let mut last_seen: HashMap<(SyscallId, ArgSet), u64> = HashMap::new();
+        let mut distance_sum: HashMap<SyscallId, (f64, u64)> = HashMap::new();
+        let mut set_distances: HashMap<(SyscallId, ArgSet), (f64, u64)> = HashMap::new();
+        let mut arg_count_calls = [0u64; MAX_ARGS + 1];
+        let mut position: u64 = 0;
+        let mut total: u64 = 0;
+
+        for trace in traces {
+            for req in trace.requests() {
+                let mask = table
+                    .get(req.id)
+                    .map(|d| d.bitmask())
+                    .unwrap_or(draco_syscalls::ArgBitmask::EMPTY);
+                let masked = mask.masked(&req.args);
+                *counts.entry(req.id).or_default() += 1;
+                *set_counts
+                    .entry(req.id)
+                    .or_default()
+                    .entry(masked)
+                    .or_default() += 1;
+                if let Some(prev) = last_seen.insert((req.id, masked), position) {
+                    let d = (position - prev - 1) as f64;
+                    let entry = distance_sum.entry(req.id).or_insert((0.0, 0));
+                    entry.0 += d;
+                    entry.1 += 1;
+                    let per_set = set_distances.entry((req.id, masked)).or_insert((0.0, 0));
+                    per_set.0 += d;
+                    per_set.1 += 1;
+                }
+                let nargs = table.get(req.id).map(|d| d.checked_arg_count()).unwrap_or(0);
+                arg_count_calls[nargs] += 1;
+                position += 1;
+                total += 1;
+            }
+        }
+
+        let mut rows: Vec<SyscallFrequency> = counts
+            .iter()
+            .map(|(&id, &count)| {
+                let name = table
+                    .get(id)
+                    .map(|d| d.name().to_owned())
+                    .unwrap_or_else(|| format!("sys_{}", id.as_u16()));
+                let (dsum, dcnt) = distance_sum.get(&id).copied().unwrap_or((0.0, 0));
+                let mean_reuse_distance = if dcnt > 0 { dsum / dcnt as f64 } else { f64::NAN };
+                let sets = &set_counts[&id];
+                // Hot-set distance: the three most frequent sets only.
+                let mut by_freq: Vec<(&ArgSet, &u64)> = sets.iter().collect();
+                by_freq.sort_unstable_by(|a, b| b.1.cmp(a.1));
+                let (mut hsum, mut hcnt) = (0.0, 0u64);
+                for (set, _) in by_freq.iter().take(3) {
+                    if let Some((s, c)) = set_distances.get(&(id, **set)) {
+                        hsum += s;
+                        hcnt += c;
+                    }
+                }
+                let hot_mean_reuse_distance =
+                    if hcnt > 0 { hsum / hcnt as f64 } else { f64::NAN };
+                let mut freqs: Vec<u64> = sets.values().copied().collect();
+                freqs.sort_unstable_by(|a, b| b.cmp(a));
+                let call_total = count as f64;
+                let desc_nargs = table.get(id).map(|d| d.checked_arg_count()).unwrap_or(0);
+                let mut breakdown = ArgSetBreakdown {
+                    distinct_sets: sets.len(),
+                    ..ArgSetBreakdown::default()
+                };
+                if desc_nargs == 0 {
+                    breakdown.no_arg = 1.0;
+                } else {
+                    for (i, f) in freqs.iter().take(5).enumerate() {
+                        breakdown.top_sets[i] = *f as f64 / call_total;
+                    }
+                    breakdown.other =
+                        freqs.iter().skip(5).sum::<u64>() as f64 / call_total;
+                }
+                SyscallFrequency {
+                    id,
+                    name,
+                    count,
+                    fraction: count as f64 / total as f64,
+                    mean_reuse_distance,
+                    hot_mean_reuse_distance,
+                    breakdown,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.id.cmp(&b.id)));
+
+        let mut arg_count_fractions = [0.0; MAX_ARGS + 1];
+        if total > 0 {
+            for (f, c) in arg_count_fractions.iter_mut().zip(arg_count_calls) {
+                *f = c as f64 / total as f64;
+            }
+        }
+        LocalityReport {
+            rows,
+            total_calls: total,
+            arg_count_fractions,
+        }
+    }
+
+    /// Rows sorted by descending frequency.
+    pub fn rows(&self) -> &[SyscallFrequency] {
+        &self.rows
+    }
+
+    /// Total calls analyzed.
+    pub const fn total_calls(&self) -> u64 {
+        self.total_calls
+    }
+
+    /// Fraction of all calls covered by the `n` most frequent syscalls
+    /// (Fig. 3: the top 20 cover ≈86%).
+    pub fn top_n_coverage(&self, n: usize) -> f64 {
+        self.rows.iter().take(n).map(|r| r.fraction).sum()
+    }
+
+    /// Fraction of calls whose syscall takes `n` checkable arguments
+    /// (Fig. 14).
+    pub fn arg_count_fraction(&self, n: usize) -> f64 {
+        self.arg_count_fractions.get(n).copied().unwrap_or(0.0)
+    }
+
+    /// The syscalls in descending frequency order — feed to
+    /// [`draco_profiles::ProfileSpec::with_priority_order`] for
+    /// profile-guided filter-chain ordering.
+    pub fn hottest_first(&self) -> Vec<SyscallId> {
+        self.rows.iter().map(|r| r.id).collect()
+    }
+
+    /// Mean number of checkable arguments per call.
+    pub fn mean_checked_args(&self) -> f64 {
+        self.arg_count_fractions
+            .iter()
+            .enumerate()
+            .map(|(n, f)| n as f64 * f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::generator::TraceGenerator;
+    use crate::trace::TraceOp;
+
+    fn op(nr: u16, arg0: u64) -> TraceOp {
+        TraceOp {
+            compute_ns: 0,
+            pc: 0x400,
+            nr,
+            args: [arg0, 0, 0, 0, 0, 0],
+        }
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let trace = SyscallTrace::from_ops(
+            "t",
+            vec![op(3, 1), op(3, 1), op(3, 2), op(39, 0)],
+        );
+        let r = LocalityReport::analyze(&trace);
+        assert_eq!(r.total_calls(), 4);
+        assert_eq!(r.rows()[0].name, "close");
+        assert_eq!(r.rows()[0].count, 3);
+        assert!((r.rows()[0].fraction - 0.75).abs() < 1e-9);
+        assert_eq!(r.rows()[1].name, "getpid");
+        assert!((r.top_n_coverage(1) - 0.75).abs() < 1e-9);
+        assert!((r.top_n_coverage(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reuse_distance_counts_intervening_calls() {
+        // close(1) at 0 and 2: one call between → distance 1.
+        let trace = SyscallTrace::from_ops("t", vec![op(3, 1), op(39, 0), op(3, 1)]);
+        let r = LocalityReport::analyze(&trace);
+        let close = r.rows().iter().find(|x| x.name == "close").unwrap();
+        assert!((close.mean_reuse_distance - 1.0).abs() < 1e-9);
+        // getpid occurs once → NaN (no reuse observed).
+        let getpid = r.rows().iter().find(|x| x.name == "getpid").unwrap();
+        assert!(getpid.mean_reuse_distance.is_nan());
+    }
+
+    #[test]
+    fn breakdown_separates_argument_sets() {
+        let trace = SyscallTrace::from_ops(
+            "t",
+            vec![op(3, 1), op(3, 1), op(3, 1), op(3, 2), op(3, 3), op(3, 4)],
+        );
+        let r = LocalityReport::analyze(&trace);
+        let close = &r.rows()[0];
+        assert_eq!(close.breakdown.distinct_sets, 4);
+        assert!((close.breakdown.top_sets[0] - 0.5).abs() < 1e-9);
+        assert_eq!(close.breakdown.no_arg, 0.0);
+    }
+
+    #[test]
+    fn zero_arg_calls_reported_as_no_arg() {
+        let trace = SyscallTrace::from_ops("t", vec![op(39, 0); 3]);
+        let r = LocalityReport::analyze(&trace);
+        assert_eq!(r.rows()[0].breakdown.no_arg, 1.0);
+        assert_eq!(r.arg_count_fraction(0), 1.0);
+        assert_eq!(r.mean_checked_args(), 0.0);
+    }
+
+    #[test]
+    fn macro_union_matches_paper_shape() {
+        // Fig. 3: top-20 cover ≈86%, reuse distances are tens of calls.
+        let traces: Vec<SyscallTrace> = catalog::macro_benchmarks()
+            .iter()
+            .map(|w| TraceGenerator::new(w, 11).generate(10_000))
+            .collect();
+        let r = LocalityReport::analyze_merged(&traces);
+        let cov = r.top_n_coverage(20);
+        assert!(cov > 0.80, "top-20 coverage {cov}");
+        let read = r.rows().iter().find(|x| x.name == "read").unwrap();
+        assert!(read.fraction > 0.10, "read fraction {}", read.fraction);
+        assert!(
+            read.hot_mean_reuse_distance < 100.0,
+            "read hot reuse distance {}",
+            read.hot_mean_reuse_distance
+        );
+    }
+
+    #[test]
+    fn merged_equals_concatenation_for_single_trace() {
+        let spec = catalog::ipc_pipe();
+        let t = TraceGenerator::new(&spec, 1).generate(100);
+        assert_eq!(
+            LocalityReport::analyze(&t),
+            LocalityReport::analyze_merged(std::slice::from_ref(&t))
+        );
+    }
+
+    #[test]
+    fn arg_count_fractions_sum_to_one() {
+        let spec = catalog::mysql();
+        let t = TraceGenerator::new(&spec, 2).generate(5_000);
+        let r = LocalityReport::analyze(&t);
+        let sum: f64 = (0..=6).map(|n| r.arg_count_fraction(n)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(r.mean_checked_args() > 0.5);
+    }
+}

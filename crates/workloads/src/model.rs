@@ -1,0 +1,210 @@
+//! Workload specifications: the generative model behind each benchmark.
+
+use core::fmt;
+
+/// Macro (long-running application) vs micro (syscall-dominated kernel
+/// exerciser) — the paper reports the two groups separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Application-level benchmark (request latency / execution time).
+    Macro,
+    /// Kernel-interface micro benchmark.
+    Micro,
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadClass::Macro => write!(f, "macro"),
+            WorkloadClass::Micro => write!(f, "micro"),
+        }
+    }
+}
+
+/// One system call's role in a workload's mix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyscallMix {
+    /// Kernel name of the system call.
+    pub name: &'static str,
+    /// Relative frequency (weights need not sum to 1).
+    pub weight: f64,
+    /// Number of *hot* argument sets (paper Fig. 3: most calls use three
+    /// or fewer).
+    pub hot_sets: u8,
+    /// Number of additional cold argument sets in the tail (varying file
+    /// descriptors, buffer sizes, …).
+    pub tail_sets: u16,
+    /// Probability that a call draws a tail set instead of a hot one.
+    pub tail_prob: f64,
+}
+
+impl SyscallMix {
+    /// A mix entry with only hot argument sets.
+    pub const fn hot(name: &'static str, weight: f64, hot_sets: u8) -> Self {
+        SyscallMix {
+            name,
+            weight,
+            hot_sets,
+            tail_sets: 0,
+            tail_prob: 0.0,
+        }
+    }
+
+    /// A mix entry with a cold tail.
+    pub const fn with_tail(
+        name: &'static str,
+        weight: f64,
+        hot_sets: u8,
+        tail_sets: u16,
+        tail_prob: f64,
+    ) -> Self {
+        SyscallMix {
+            name,
+            weight,
+            hot_sets,
+            tail_sets,
+            tail_prob,
+        }
+    }
+
+    /// Total distinct argument sets this entry can produce.
+    pub const fn total_sets(&self) -> usize {
+        self.hot_sets as usize + self.tail_sets as usize
+    }
+}
+
+/// A complete workload specification.
+///
+/// The defaults mirror the measurement setup: macro benchmarks interleave
+/// real application work between calls; micro benchmarks are tight
+/// syscall loops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name (paper's label, e.g. `"nginx"`).
+    pub name: &'static str,
+    /// Macro or micro.
+    pub class: WorkloadClass,
+    /// The syscall mix.
+    pub mix: Vec<SyscallMix>,
+    /// Mean application compute between system calls, nanoseconds.
+    pub compute_ns_per_op: u64,
+    /// Number of distinct `syscall` instruction sites per system call
+    /// (the STB tracks call sites; servers reach one syscall from a few
+    /// sites).
+    pub pc_sites_per_syscall: u8,
+    /// Default trace length used by the harness.
+    pub default_ops: usize,
+}
+
+impl WorkloadSpec {
+    /// Validates internal consistency (weights positive, probabilities in
+    /// range, mixes non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid specification; the catalog is code, so a bad
+    /// spec is a bug.
+    pub fn validate(&self) {
+        assert!(!self.mix.is_empty(), "{}: empty mix", self.name);
+        for m in &self.mix {
+            assert!(m.weight > 0.0, "{}: non-positive weight for {}", self.name, m.name);
+            assert!(
+                (0.0..=1.0).contains(&m.tail_prob),
+                "{}: bad tail_prob for {}",
+                self.name,
+                m.name
+            );
+            assert!(m.hot_sets >= 1, "{}: {} needs at least one hot set", self.name, m.name);
+            assert!(
+                m.tail_prob == 0.0 || m.tail_sets > 0,
+                "{}: {} has tail_prob but no tail sets",
+                self.name,
+                m.name
+            );
+        }
+        assert!(self.pc_sites_per_syscall >= 1);
+        assert!(self.default_ops > 0);
+    }
+
+    /// Total weight (normalization constant).
+    pub fn total_weight(&self) -> f64 {
+        self.mix.iter().map(|m| m.weight).sum()
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} syscalls in mix, {} ns/op)",
+            self.name,
+            self.class,
+            self.mix.len(),
+            self.compute_ns_per_op
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            class: WorkloadClass::Micro,
+            mix: vec![
+                SyscallMix::hot("getpid", 1.0, 1),
+                SyscallMix::with_tail("read", 2.0, 3, 10, 0.1),
+            ],
+            compute_ns_per_op: 100,
+            pc_sites_per_syscall: 1,
+            default_ops: 1000,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().validate();
+        assert_eq!(spec().total_weight(), 3.0);
+        assert!(spec().to_string().contains("test"));
+    }
+
+    #[test]
+    fn mix_helpers() {
+        let m = SyscallMix::hot("x", 1.0, 2);
+        assert_eq!(m.total_sets(), 2);
+        let m = SyscallMix::with_tail("x", 1.0, 2, 8, 0.2);
+        assert_eq!(m.total_sets(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mix")]
+    fn empty_mix_rejected() {
+        let mut s = spec();
+        s.mix.clear();
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive weight")]
+    fn zero_weight_rejected() {
+        let mut s = spec();
+        s.mix[0].weight = 0.0;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tail_prob but no tail sets")]
+    fn tail_prob_without_sets_rejected() {
+        let mut s = spec();
+        s.mix[0].tail_prob = 0.5;
+        s.validate();
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(WorkloadClass::Macro.to_string(), "macro");
+        assert_eq!(WorkloadClass::Micro.to_string(), "micro");
+    }
+}

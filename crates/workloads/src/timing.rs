@@ -1,0 +1,534 @@
+//! The calibrated timing model behind Figs. 2, 11, 16 and 17.
+//!
+//! The paper's software numbers are wall-clock measurements on an Intel
+//! Xeon E5-2660 v3 (Ubuntu 18.04 / Linux 5.3, BPF JIT on, mitigations
+//! off — §IV-A), with an appendix rerun on CentOS 7.6 / Linux 3.10 with
+//! KPTI enabled. A userspace reproduction models those machines as a
+//! [`KernelCostModel`]: per-operation application compute (from the
+//! trace) plus per-syscall kernel costs, with the *checking* component
+//! derived from actually executing this workspace's filters and checkers
+//! (instruction counts, cache paths). The model is deterministic, so the
+//! harness output is machine-independent; only the constants are
+//! calibrated, and only the *shape* of the results is claimed
+//! (`DESIGN.md` §5).
+//!
+//! # Example
+//!
+//! ```
+//! use draco_workloads::{catalog, timing, TraceGenerator};
+//!
+//! let spec = catalog::ipc_pipe();
+//! let trace = TraceGenerator::new(&spec, 1).generate(2_000);
+//! let model = timing::KernelCostModel::ubuntu_18_04();
+//! let insecure = timing::run_insecure(&trace, &model);
+//! let profile = timing::profile_for_trace(&trace, draco_profiles::ProfileKind::SyscallComplete);
+//! let seccomp = timing::run_seccomp(&trace, &profile, &model)?;
+//! assert!(seccomp.total_ns > insecure.total_ns);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use draco_bpf::SeccompAction;
+use draco_core::{CheckPath, DracoChecker};
+use draco_profiles::{
+    compile_stacked, FilterLayout, ProfileGenerator, ProfileKind, ProfileSpec,
+};
+use draco_syscalls::SyscallId;
+
+use crate::trace::SyscallTrace;
+
+/// Per-syscall kernel cost constants, in nanoseconds.
+///
+/// Checking costs are *computed* (filter instructions × per-instruction
+/// cost; Draco path constants per paths actually taken), not assumed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelCostModel {
+    /// Human-readable label ("ubuntu-18.04-linux-5.3", …).
+    pub label: &'static str,
+    /// Kernel entry/exit plus the system call's own work.
+    pub syscall_base_ns: f64,
+    /// Fixed cost of invoking the Seccomp machinery at all.
+    pub seccomp_dispatch_ns: f64,
+    /// Cost per executed cBPF instruction.
+    pub bpf_insn_ns: f64,
+    /// Software Draco: SPT-hit path (ID-only admission).
+    pub spt_hit_ns: f64,
+    /// Software Draco: VAT-hit path (mask, CRC hashes, two probes,
+    /// compare).
+    pub vat_hit_ns: f64,
+    /// Software Draco: extra table-update cost on a miss, on top of the
+    /// filter run.
+    pub vat_update_ns: f64,
+}
+
+impl KernelCostModel {
+    /// The paper's main configuration (§IV-A): Ubuntu 18.04, Linux 5.3,
+    /// BPF JIT enabled, `spec_store_bypass`/`spectre_v2`/`mds`/`pti`/
+    /// `l1tf` mitigations disabled.
+    pub const fn ubuntu_18_04() -> Self {
+        KernelCostModel {
+            label: "ubuntu-18.04-linux-5.3",
+            syscall_base_ns: 160.0,
+            seccomp_dispatch_ns: 30.0,
+            bpf_insn_ns: 1.6,
+            spt_hit_ns: 28.0,
+            vat_hit_ns: 110.0,
+            vat_update_ns: 140.0,
+        }
+    }
+
+    /// The appendix configuration: CentOS 7.6, Linux 3.10, KPTI and
+    /// Spectre mitigations enabled, Seccomp not using the JIT — a much
+    /// more expensive kernel path (paper Figs. 16–17).
+    pub const fn centos_7_linux_3_10() -> Self {
+        KernelCostModel {
+            label: "centos-7.6-linux-3.10",
+            syscall_base_ns: 520.0,
+            seccomp_dispatch_ns: 50.0,
+            bpf_insn_ns: 5.0,
+            spt_hit_ns: 32.0,
+            vat_hit_ns: 120.0,
+            vat_update_ns: 160.0,
+        }
+    }
+}
+
+impl Default for KernelCostModel {
+    fn default() -> Self {
+        KernelCostModel::ubuntu_18_04()
+    }
+}
+
+/// The modeled execution of one trace under one checking backend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Workload label.
+    pub workload: String,
+    /// Backend label (`insecure`, `seccomp`, `draco-sw`).
+    pub backend: String,
+    /// Total modeled time (compute + kernel + checking).
+    pub total_ns: f64,
+    /// The checking component alone.
+    pub check_ns: f64,
+    /// System calls executed.
+    pub syscalls: u64,
+    /// Total cBPF instructions executed by filters.
+    pub filter_insns: u64,
+    /// Checks admitted from Draco tables (0 for other backends).
+    pub cache_hits: u64,
+}
+
+impl RunReport {
+    /// This run's time normalized to a baseline run (the paper's
+    /// "Normalized to Insecure" axis).
+    pub fn normalized_to(&self, baseline: &RunReport) -> f64 {
+        self.total_ns / baseline.total_ns
+    }
+}
+
+/// Generates the application-specific profile for a trace, including the
+/// process-startup preamble (paper §X-B records whole-application
+/// traces, so startup syscalls are always whitelisted).
+pub fn profile_for_trace(trace: &SyscallTrace, kind: ProfileKind) -> ProfileSpec {
+    let mut gen = ProfileGenerator::new(trace.workload().to_owned());
+    for req in startup_preamble().requests() {
+        gen.observe(&req);
+    }
+    for req in trace.requests() {
+        gen.observe(&req);
+    }
+    gen.emit(kind)
+}
+
+/// The process-startup system call sequence every containerized
+/// application issues before reaching steady state (dynamic linking,
+/// runtime setup). Profiling tools observe it, so generated profiles
+/// whitelist it — this is why the paper's app-specific profiles allow
+/// 50–100 syscalls (Fig. 15a) even for small applications.
+pub fn startup_preamble() -> SyscallTrace {
+    use crate::trace::TraceOp;
+    let table = draco_syscalls::SyscallTable::shared();
+    let mut ops = Vec::new();
+    let mut push = |name: &str, sets: &[[u64; 6]]| {
+        let desc = table.by_name(name).unwrap_or_else(|| panic!("{name}"));
+        for (i, args) in sets.iter().enumerate() {
+            ops.push(TraceOp {
+                compute_ns: 50,
+                pc: 0x20_0000 + u64::from(desc.id().as_u16()) * 0x40 + i as u64 * 8,
+                nr: desc.id().as_u16(),
+                args: *args,
+            });
+        }
+    };
+    let z = [0u64; 6];
+    push("execve", &[z]);
+    push("brk", &[z, [0x1000, 0, 0, 0, 0, 0], [0x2000, 0, 0, 0, 0, 0]]);
+    push("arch_prctl", &[[0x1002, 0x7f00, 0, 0, 0, 0]]);
+    push("access", &[[0, 4, 0, 0, 0, 0]]);
+    push("openat", &[[0xffff_ff9c, 0, 0x80000, 0, 0, 0], [0xffff_ff9c, 0, 0, 0, 0, 0]]);
+    push("newfstatat", &[[3, 0, 0, 0, 0, 0]]);
+    push("fstat", &[[3, 0, 0, 0, 0, 0], [4, 0, 0, 0, 0, 0]]);
+    push("read", &[[3, 0, 832, 0, 0, 0], [3, 0, 4096, 0, 0, 0]]);
+    push("pread64", &[[3, 0, 64, 0x40, 0, 0]]);
+    push(
+        "mmap",
+        &[
+            [0, 0x2000, 3, 0x22, 0xffff_ffff_ffff_ffff, 0],
+            [0, 0x1000, 1, 2, 3, 0],
+            [0, 0x4000, 3, 0x812, 3, 0],
+        ],
+    );
+    push("mprotect", &[[0, 0x1000, 1, 0, 0, 0], [0, 0x1000, 0, 0, 0, 0]]);
+    push("munmap", &[[0, 0x2000, 0, 0, 0, 0]]);
+    push("close", &[[3, 0, 0, 0, 0, 0], [4, 0, 0, 0, 0, 0]]);
+    push("set_tid_address", &[z]);
+    push("set_robust_list", &[[0, 24, 0, 0, 0, 0]]);
+    push("rt_sigaction", &[[13, 0, 0, 8, 0, 0], [2, 0, 0, 8, 0, 0]]);
+    push("rt_sigprocmask", &[[0, 0, 0, 8, 0, 0], [2, 0, 0, 8, 0, 0]]);
+    push("prlimit64", &[[0, 3, 0, 0, 0, 0], [0, 7, 0, 0, 0, 0]]);
+    push("getrandom", &[[0, 8, 1, 0, 0, 0]]);
+    push("getuid", &[z]);
+    push("getgid", &[z]);
+    push("geteuid", &[z]);
+    push("getegid", &[z]);
+    push("getpid", &[z]);
+    push("gettid", &[z]);
+    push("uname", &[z]);
+    push("sysinfo", &[z]);
+    push("getcwd", &[[0, 4096, 0, 0, 0, 0]]);
+    push("statfs", &[z]);
+    push("sched_getaffinity", &[[0, 128, 0, 0, 0, 0]]);
+    push("ioctl", &[[1, 0x5401, 0, 0, 0, 0], [0, 0x5413, 0, 0, 0, 0]]);
+    push("lseek", &[[3, 0, 0, 0, 0, 0]]);
+    push("dup2", &[[3, 1, 0, 0, 0, 0]]);
+    push("fcntl", &[[3, 1, 0, 0, 0, 0], [3, 2, 1, 0, 0, 0]]);
+    push("getdents64", &[[3, 0, 32768, 0, 0, 0]]);
+    push("socket", &[[1, 1, 0, 0, 0, 0], [2, 1, 6, 0, 0, 0]]);
+    push("connect", &[[3, 0, 16, 0, 0, 0]]);
+    push("bind", &[[3, 0, 16, 0, 0, 0]]);
+    push("listen", &[[3, 128, 0, 0, 0, 0]]);
+    push("setsockopt", &[[3, 1, 2, 0, 4, 0]]);
+    push("getsockopt", &[[3, 1, 4, 0, 0, 0]]);
+    push("getsockname", &[[3, 0, 0, 0, 0, 0]]);
+    push("epoll_create1", &[[0x80000, 0, 0, 0, 0, 0]]);
+    push("epoll_ctl", &[[4, 1, 5, 0, 0, 0]]);
+    push("pipe2", &[[0, 0x80000, 0, 0, 0, 0]]);
+    push("eventfd2", &[[0, 0x80000, 0, 0, 0, 0]]);
+    push("sigaltstack", &[z]);
+    push("madvise", &[[0, 0x1000, 4, 0, 0, 0]]);
+    push("futex", &[[0, 129, 1, 0, 0, 0], [0, 1, 1, 0, 0, 0]]);
+    push(
+        "clone",
+        &[[draco_profiles::DOCKER_CLONE_FLAGS[0], 0, 0, 0, 0, 0]],
+    );
+    push("wait4", &[[0xffff_ffff, 0, 0, 0, 0, 0]]);
+    push("personality", &[[draco_profiles::DOCKER_PERSONALITY_VALUES[0], 0, 0, 0, 0, 0]]);
+    push("times", &[z]);
+    push("umask", &[[0o22, 0, 0, 0, 0, 0]]);
+    push("dup", &[[3, 0, 0, 0, 0, 0]]);
+    push("getppid", &[z]);
+    push("exit_group", &[z]);
+    SyscallTrace::from_ops("startup", ops)
+}
+
+/// Models the insecure baseline: no checking at all.
+pub fn run_insecure(trace: &SyscallTrace, model: &KernelCostModel) -> RunReport {
+    let mut total = 0.0;
+    for op in trace.ops() {
+        total += op.compute_ns as f64 + model.syscall_base_ns;
+    }
+    RunReport {
+        workload: trace.workload().to_owned(),
+        backend: "insecure".to_owned(),
+        total_ns: total,
+        check_ns: 0.0,
+        syscalls: trace.len() as u64,
+        filter_insns: 0,
+        cache_hits: 0,
+    }
+}
+
+/// Models conventional Seccomp: the filter runs at every syscall.
+///
+/// # Errors
+///
+/// Returns an error if the profile fails to compile (a compiler bug, not
+/// a profile property).
+pub fn run_seccomp(
+    trace: &SyscallTrace,
+    profile: &ProfileSpec,
+    model: &KernelCostModel,
+) -> Result<RunReport, draco_bpf::BpfError> {
+    run_seccomp_layout(trace, profile, model, FilterLayout::Linear)
+}
+
+/// [`run_seccomp`] with an explicit filter layout (the §XII binary-tree
+/// ablation).
+///
+/// # Errors
+///
+/// Returns an error if the profile fails to compile.
+pub fn run_seccomp_layout(
+    trace: &SyscallTrace,
+    profile: &ProfileSpec,
+    model: &KernelCostModel,
+    layout: FilterLayout,
+) -> Result<RunReport, draco_bpf::BpfError> {
+    run_seccomp_layout_opt(trace, profile, model, layout, false)
+}
+
+/// [`run_seccomp_layout`] with the peephole optimizer optionally applied
+/// to the generated filters (the `ablate-opt` experiment).
+///
+/// # Errors
+///
+/// Returns an error if the profile fails to compile.
+pub fn run_seccomp_layout_opt(
+    trace: &SyscallTrace,
+    profile: &ProfileSpec,
+    model: &KernelCostModel,
+    layout: FilterLayout,
+    optimize: bool,
+) -> Result<RunReport, draco_bpf::BpfError> {
+    let mut stack = compile_stacked(profile, layout)?;
+    if optimize {
+        stack = stack.optimize();
+    }
+    let mut total = 0.0;
+    let mut check = 0.0;
+    let mut insns_total = 0u64;
+    for op in trace.ops() {
+        let data = draco_bpf::SeccompData::from_request(&op.request());
+        let outcome = stack.run(&data)?;
+        let check_ns =
+            model.seccomp_dispatch_ns + outcome.insns_executed as f64 * model.bpf_insn_ns;
+        insns_total += outcome.insns_executed;
+        check += check_ns;
+        total += op.compute_ns as f64 + model.syscall_base_ns + check_ns;
+        debug_assert!(
+            outcome.action.permits(),
+            "steady-state workload syscalls must pass their own profile ({})",
+            op.request()
+        );
+    }
+    Ok(RunReport {
+        workload: trace.workload().to_owned(),
+        backend: format!("seccomp[{}]", profile.name()),
+        total_ns: total,
+        check_ns: check,
+        syscalls: trace.len() as u64,
+        filter_insns: insns_total,
+        cache_hits: 0,
+    })
+}
+
+/// Models software Draco in front of the same profile.
+///
+/// # Errors
+///
+/// Returns an error if the checker's fallback filter fails to compile.
+pub fn run_draco_sw(
+    trace: &SyscallTrace,
+    profile: &ProfileSpec,
+    model: &KernelCostModel,
+) -> Result<RunReport, draco_core::DracoError> {
+    run_draco_sw_with_warmup(trace, profile, model, 0)
+}
+
+/// [`run_draco_sw`] with an unmeasured warm-up prefix (the paper measures
+/// steady state, §X-C). The report covers only the post-warm-up suffix.
+///
+/// # Errors
+///
+/// Returns an error if the checker's fallback filter fails to compile.
+pub fn run_draco_sw_with_warmup(
+    trace: &SyscallTrace,
+    profile: &ProfileSpec,
+    model: &KernelCostModel,
+    warmup_ops: usize,
+) -> Result<RunReport, draco_core::DracoError> {
+    let mut checker = DracoChecker::from_profile(profile)?;
+    for op in trace.ops().iter().take(warmup_ops) {
+        checker.check(&op.request());
+    }
+    let trace = trace.skip(warmup_ops);
+    let trace = &trace;
+    let mut total = 0.0;
+    let mut check = 0.0;
+    let mut insns_total = 0u64;
+    let mut cache_hits = 0u64;
+    for op in trace.ops() {
+        let result = checker.check(&op.request());
+        let check_ns = match result.path {
+            CheckPath::SptHit => {
+                cache_hits += 1;
+                model.spt_hit_ns
+            }
+            CheckPath::VatHit => {
+                cache_hits += 1;
+                model.vat_hit_ns
+            }
+            CheckPath::FilterRun { insns } => {
+                insns_total += insns;
+                model.seccomp_dispatch_ns
+                    + insns as f64 * model.bpf_insn_ns
+                    + model.vat_update_ns
+            }
+        };
+        debug_assert!(
+            result.action.permits() || result.action == SeccompAction::Errno(1),
+            "unexpected denial for {}",
+            op.request()
+        );
+        check += check_ns;
+        total += op.compute_ns as f64 + model.syscall_base_ns + check_ns;
+    }
+    Ok(RunReport {
+        workload: trace.workload().to_owned(),
+        backend: format!("draco-sw[{}]", profile.name()),
+        total_ns: total,
+        check_ns: check,
+        syscalls: trace.len() as u64,
+        filter_insns: insns_total,
+        cache_hits,
+    })
+}
+
+/// Convenience: the syscalls a trace uses, for sizing assertions.
+pub fn distinct_syscalls(trace: &SyscallTrace) -> usize {
+    let mut ids = std::collections::HashSet::new();
+    for op in trace.ops() {
+        ids.insert(SyscallId::new(op.nr));
+    }
+    ids.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::generator::TraceGenerator;
+
+    fn trace(name: &str, ops: usize) -> SyscallTrace {
+        TraceGenerator::new(&catalog::by_name(name).unwrap(), 17).generate(ops)
+    }
+
+    #[test]
+    fn insecure_is_cheapest() {
+        let t = trace("pipe", 3_000);
+        let model = KernelCostModel::ubuntu_18_04();
+        let base = run_insecure(&t, &model);
+        let complete = profile_for_trace(&t, ProfileKind::SyscallComplete);
+        let seccomp = run_seccomp(&t, &complete, &model).unwrap();
+        let draco = run_draco_sw(&t, &complete, &model).unwrap();
+        assert!(base.total_ns < draco.total_ns);
+        assert!(draco.total_ns < seccomp.total_ns, "Fig. 11 ordering");
+        assert_eq!(base.normalized_to(&base), 1.0);
+    }
+
+    #[test]
+    fn micro_overhead_exceeds_macro_overhead() {
+        let model = KernelCostModel::ubuntu_18_04();
+        let micro = trace("unixbench-syscall", 5_000);
+        let macro_ = trace("cassandra", 5_000);
+        let overhead = |t: &SyscallTrace| {
+            let p = profile_for_trace(t, ProfileKind::SyscallComplete);
+            let s = run_seccomp(t, &p, &model).unwrap();
+            s.normalized_to(&run_insecure(t, &model))
+        };
+        let o_micro = overhead(&micro);
+        let o_macro = overhead(&macro_);
+        assert!(
+            o_micro > o_macro,
+            "micro {o_micro} vs macro {o_macro} (Fig. 2 shape)"
+        );
+        assert!(o_micro > 1.05);
+    }
+
+    #[test]
+    fn complete_2x_nearly_doubles_seccomp_overhead() {
+        let model = KernelCostModel::ubuntu_18_04();
+        let t = trace("fifo", 5_000);
+        let base = run_insecure(&t, &model);
+        let p1 = profile_for_trace(&t, ProfileKind::SyscallComplete);
+        let p2 = profile_for_trace(&t, ProfileKind::SyscallComplete2x);
+        let o1 = run_seccomp(&t, &p1, &model).unwrap().normalized_to(&base) - 1.0;
+        let o2 = run_seccomp(&t, &p2, &model).unwrap().normalized_to(&base) - 1.0;
+        let ratio = o2 / o1;
+        assert!((1.35..=2.3).contains(&ratio), "overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn draco_sw_absorbs_2x() {
+        // Paper: "the overhead of Draco's software implementation goes up
+        // only modestly" under -2x.
+        let model = KernelCostModel::ubuntu_18_04();
+        let t = trace("fifo", 5_000);
+        let base = run_insecure(&t, &model);
+        let p1 = profile_for_trace(&t, ProfileKind::SyscallComplete);
+        let p2 = profile_for_trace(&t, ProfileKind::SyscallComplete2x);
+        let o1 = run_draco_sw(&t, &p1, &model).unwrap().normalized_to(&base) - 1.0;
+        let o2 = run_draco_sw(&t, &p2, &model).unwrap().normalized_to(&base) - 1.0;
+        assert!(o2 < o1 * 1.3, "draco-sw 2x barely moves: {o1} → {o2}");
+    }
+
+    #[test]
+    fn draco_cache_hit_rate_is_high_in_steady_state() {
+        let model = KernelCostModel::ubuntu_18_04();
+        let t = trace("nginx", 20_000);
+        let p = profile_for_trace(&t, ProfileKind::SyscallComplete);
+        let r = run_draco_sw(&t, &p, &model).unwrap();
+        let hit_rate = r.cache_hits as f64 / r.syscalls as f64;
+        assert!(hit_rate > 0.90, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn hpcc_shows_negligible_overhead() {
+        let model = KernelCostModel::ubuntu_18_04();
+        let t = trace("hpcc", 3_000);
+        let base = run_insecure(&t, &model);
+        let p = profile_for_trace(&t, ProfileKind::SyscallComplete);
+        let o = run_seccomp(&t, &p, &model).unwrap().normalized_to(&base);
+        assert!(o < 1.02, "hpcc overhead {o}");
+    }
+
+    #[test]
+    fn old_kernel_raises_baseline_costs() {
+        let t = trace("pipe", 2_000);
+        let new = run_insecure(&t, &KernelCostModel::ubuntu_18_04());
+        let old = run_insecure(&t, &KernelCostModel::centos_7_linux_3_10());
+        assert!(old.total_ns > new.total_ns);
+    }
+
+    #[test]
+    fn tree_layout_reduces_check_time() {
+        let model = KernelCostModel::ubuntu_18_04();
+        let t = trace("unixbench-syscall", 4_000);
+        let p = profile_for_trace(&t, ProfileKind::SyscallNoargs);
+        let lin = run_seccomp_layout(&t, &p, &model, FilterLayout::Linear).unwrap();
+        let tree = run_seccomp_layout(&t, &p, &model, FilterLayout::BinaryTree).unwrap();
+        assert!(tree.check_ns < lin.check_ns, "§XII ablation");
+        assert!(tree.check_ns > 0.0, "but not free");
+    }
+
+    #[test]
+    fn startup_preamble_widens_profiles_to_paper_range() {
+        let t = trace("unixbench-syscall", 2_000);
+        let p = profile_for_trace(&t, ProfileKind::SyscallComplete);
+        let n = p.allowed_syscall_count();
+        assert!(
+            (50..=100).contains(&n),
+            "app-specific profiles allow 50–100 syscalls (Fig. 15a), got {n}"
+        );
+    }
+
+    #[test]
+    fn preamble_is_docker_legal() {
+        let profile = draco_profiles::docker_default();
+        for req in startup_preamble().requests() {
+            assert!(
+                profile.evaluate(&req).permits(),
+                "startup call {req} denied by docker-default"
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! System call traces: the exchange format between workloads, checkers,
+//! the simulator, and the profile toolkit.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use draco_syscalls::{ArgSet, SyscallId, SyscallRequest};
+
+/// One operation of a workload: some application compute followed by one
+/// system call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Modeled application work preceding the call, in nanoseconds.
+    pub compute_ns: u64,
+    /// Program counter of the `syscall` instruction (STB index).
+    pub pc: u64,
+    /// System call number.
+    pub nr: u16,
+    /// The six argument registers.
+    pub args: [u64; 6],
+}
+
+impl TraceOp {
+    /// The decoded request.
+    pub fn request(&self) -> SyscallRequest {
+        SyscallRequest::new(self.pc, SyscallId::new(self.nr), ArgSet::new(self.args))
+    }
+}
+
+/// A recorded system call trace.
+///
+/// # Example
+///
+/// ```
+/// use draco_workloads::{SyscallTrace, TraceOp};
+///
+/// let trace = SyscallTrace::from_ops(
+///     "demo",
+///     vec![TraceOp { compute_ns: 100, pc: 0x40, nr: 39, args: [0; 6] }],
+/// );
+/// let json = trace.to_json();
+/// let back = SyscallTrace::from_json(&json)?;
+/// assert_eq!(back, trace);
+/// # Ok::<(), serde_json::Error>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyscallTrace {
+    workload: String,
+    ops: Vec<TraceOp>,
+}
+
+impl SyscallTrace {
+    /// Wraps a list of operations.
+    pub fn from_ops(workload: impl Into<String>, ops: Vec<TraceOp>) -> Self {
+        SyscallTrace {
+            workload: workload.into(),
+            ops,
+        }
+    }
+
+    /// The workload that produced this trace.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of operations (= system calls).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates over decoded requests.
+    pub fn requests(&self) -> impl Iterator<Item = SyscallRequest> + '_ {
+        self.ops.iter().map(TraceOp::request)
+    }
+
+    /// Total modeled application compute in the trace.
+    pub fn total_compute_ns(&self) -> u64 {
+        self.ops.iter().map(|op| op.compute_ns).sum()
+    }
+
+    /// Serializes to JSON (the toolkit's on-disk trace format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization is infallible")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Truncates to the first `n` operations (warm-up splitting).
+    #[must_use]
+    pub fn take(&self, n: usize) -> SyscallTrace {
+        SyscallTrace {
+            workload: self.workload.clone(),
+            ops: self.ops.iter().take(n).copied().collect(),
+        }
+    }
+
+    /// Drops the first `n` operations (the measured remainder after a
+    /// warm-up prefix).
+    #[must_use]
+    pub fn skip(&self, n: usize) -> SyscallTrace {
+        SyscallTrace {
+            workload: self.workload.clone(),
+            ops: self.ops.iter().skip(n).copied().collect(),
+        }
+    }
+
+    /// Merges several threads' traces into the single stream the kernel
+    /// sees, ordering operations by cumulative compute time (a
+    /// deterministic model of concurrent threads sharing one process —
+    /// and one set of Draco tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty.
+    #[must_use]
+    pub fn interleave(threads: &[SyscallTrace]) -> SyscallTrace {
+        assert!(!threads.is_empty(), "interleave needs at least one trace");
+        let name = threads[0].workload.clone();
+        let mut cursors: Vec<(usize, u64)> = threads.iter().map(|_| (0usize, 0u64)).collect();
+        for (c, t) in cursors.iter_mut().zip(threads) {
+            if let Some(op) = t.ops.first() {
+                c.1 = op.compute_ns;
+            }
+        }
+        let total: usize = threads.iter().map(SyscallTrace::len).sum();
+        let mut ops = Vec::with_capacity(total);
+        loop {
+            // Pick the thread whose next op completes earliest.
+            let mut best: Option<usize> = None;
+            for (i, t) in threads.iter().enumerate() {
+                if cursors[i].0 >= t.len() {
+                    continue;
+                }
+                match best {
+                    None => best = Some(i),
+                    Some(b) if cursors[i].1 < cursors[b].1 => best = Some(i),
+                    _ => {}
+                }
+            }
+            let Some(i) = best else { break };
+            let op = threads[i].ops[cursors[i].0];
+            ops.push(op);
+            cursors[i].0 += 1;
+            if let Some(next) = threads[i].ops.get(cursors[i].0) {
+                cursors[i].1 += next.compute_ns;
+            }
+        }
+        SyscallTrace { workload: name, ops }
+    }
+}
+
+impl fmt::Debug for SyscallTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SyscallTrace({}, {} ops)", self.workload, self.ops.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SyscallTrace {
+        SyscallTrace::from_ops(
+            "t",
+            vec![
+                TraceOp {
+                    compute_ns: 10,
+                    pc: 0x400,
+                    nr: 0,
+                    args: [3, 0, 64, 0, 0, 0],
+                },
+                TraceOp {
+                    compute_ns: 20,
+                    pc: 0x408,
+                    nr: 1,
+                    args: [4, 0, 64, 0, 0, 0],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.workload(), "t");
+        assert_eq!(t.total_compute_ns(), 30);
+        assert_eq!(t.ops()[1].nr, 1);
+        let reqs: Vec<_> = t.requests().collect();
+        assert_eq!(reqs[0].id, SyscallId::new(0));
+        assert_eq!(reqs[0].args.get(0), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let back = SyscallTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(SyscallTrace::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn take_truncates() {
+        let t = sample().take(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.ops()[0].nr, 0);
+        assert_eq!(sample().take(10).len(), 2);
+    }
+
+    #[test]
+    fn skip_drops_prefix() {
+        let t = sample().skip(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.ops()[0].nr, 1);
+        assert_eq!(sample().skip(5).len(), 0);
+    }
+
+    #[test]
+    fn interleave_orders_by_cumulative_compute() {
+        let fast = SyscallTrace::from_ops(
+            "fast",
+            vec![
+                TraceOp { compute_ns: 10, pc: 1, nr: 0, args: [0; 6] },
+                TraceOp { compute_ns: 10, pc: 1, nr: 0, args: [1, 0, 0, 0, 0, 0] },
+            ],
+        );
+        let slow = SyscallTrace::from_ops(
+            "slow",
+            vec![TraceOp { compute_ns: 15, pc: 2, nr: 1, args: [0; 6] }],
+        );
+        let merged = SyscallTrace::interleave(&[fast, slow]);
+        // fast@10, slow@15, fast@20.
+        let nrs: Vec<u16> = merged.ops().iter().map(|o| o.nr).collect();
+        assert_eq!(nrs, vec![0, 1, 0]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.workload(), "fast");
+    }
+
+    #[test]
+    fn interleave_is_exhaustive_and_deterministic() {
+        let a = sample();
+        let b = sample();
+        let m1 = SyscallTrace::interleave(&[a.clone(), b.clone()]);
+        let m2 = SyscallTrace::interleave(&[a.clone(), b.clone()]);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.len(), a.len() + b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn interleave_rejects_empty_input() {
+        let _ = SyscallTrace::interleave(&[]);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", sample()), "SyscallTrace(t, 2 ops)");
+    }
+}

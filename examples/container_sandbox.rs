@@ -1,0 +1,77 @@
+//! Container sandboxing scenario: an NGINX-like server under four
+//! checking regimes, reproducing the shape of the paper's Figs. 2 and 11
+//! for one workload.
+//!
+//! ```text
+//! cargo run --release --example container_sandbox
+//! ```
+
+use draco::profiles::{docker_default, ProfileKind};
+use draco::sim::{DracoHwCore, SimConfig};
+use draco::workloads::{catalog, timing, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = catalog::by_name("nginx").expect("nginx in catalog");
+    let trace = TraceGenerator::new(&spec, 2026).generate(40_000);
+    let model = timing::KernelCostModel::ubuntu_18_04();
+    println!(
+        "workload: {} ({} syscalls, {} distinct)",
+        trace.workload(),
+        trace.len(),
+        timing::distinct_syscalls(&trace)
+    );
+
+    let insecure = timing::run_insecure(&trace, &model);
+    println!("\n{:<32} {:>10} {:>8}", "configuration", "time (ms)", "vs insec");
+    let row = |label: &str, total_ns: f64| {
+        println!(
+            "{:<32} {:>10.2} {:>7.3}x",
+            label,
+            total_ns / 1e6,
+            total_ns / insecure.total_ns
+        );
+    };
+    row("insecure (no checks)", insecure.total_ns);
+
+    // Conventional Seccomp under three profiles.
+    let docker = docker_default();
+    let seccomp_docker = timing::run_seccomp(&trace, &docker, &model)?;
+    row("seccomp docker-default", seccomp_docker.total_ns);
+
+    let noargs = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+    row(
+        "seccomp syscall-noargs",
+        timing::run_seccomp(&trace, &noargs, &model)?.total_ns,
+    );
+    let complete = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    row(
+        "seccomp syscall-complete",
+        timing::run_seccomp(&trace, &complete, &model)?.total_ns,
+    );
+
+    // Software Draco in front of the same profiles.
+    row(
+        "draco-sw syscall-complete",
+        timing::run_draco_sw(&trace, &complete, &model)?.total_ns,
+    );
+
+    // Hardware Draco: cycle model at 2 GHz, converted to the same scale.
+    let mut core = DracoHwCore::new(SimConfig::table_ii(), &complete)?;
+    let hw = core.run(&trace);
+    let cfg = SimConfig::table_ii();
+    let hw_ns = cfg.cycles_to_ns(hw.total_cycles);
+    let hw_base_ns = cfg.cycles_to_ns(hw.baseline_cycles);
+    println!(
+        "{:<32} {:>10.2} {:>7.3}x   (own baseline; paper Fig. 12: ~1.01x)",
+        "draco-hw syscall-complete",
+        hw_ns / 1e6,
+        hw_ns / hw_base_ns
+    );
+    println!(
+        "\nhardware hit rates: STB {:.1}%, SLB access {:.1}%, SLB preload {:.1}%",
+        hw.stb_hit_rate * 100.0,
+        hw.slb_access_hit_rate * 100.0,
+        hw.slb_preload_hit_rate * 100.0
+    );
+    Ok(())
+}

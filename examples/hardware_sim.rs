@@ -1,0 +1,85 @@
+//! Drive the hardware-Draco timing model directly: Table I flows,
+//! Fig. 13 hit rates, and the Table III energy estimate for one run.
+//!
+//! ```text
+//! cargo run --release --example hardware_sim [workload]
+//! ```
+
+use draco::profiles::ProfileKind;
+use draco::sim::{energy, DracoHwCore, SimConfig};
+use draco::workloads::{catalog, timing, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mysql".into());
+    let spec = catalog::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`; try one of {:?}",
+            catalog::all().iter().map(|w| w.name).collect::<Vec<_>>()));
+    let trace = TraceGenerator::new(&spec, 7).generate(50_000);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+
+    let config = SimConfig::table_ii();
+    let mut core = DracoHwCore::new(config.clone(), &profile)?;
+    let report = core.run(&trace);
+
+    println!("workload {name}: {} syscalls through hardware Draco", trace.len());
+    println!(
+        "\nexecution: {} cycles total, {} baseline, {} checking ({:+.3}%)",
+        report.total_cycles,
+        report.baseline_cycles,
+        report.check_cycles,
+        (report.normalized_overhead() - 1.0) * 100.0
+    );
+
+    println!("\nTable I execution flows:");
+    let f = &report.flows;
+    for (label, count, fast) in [
+        ("SPT-only (no arg checks)", f.spt_only, true),
+        ("1: STB hit, preload hit, access hit", f.f1, true),
+        ("2: STB hit, preload hit, access miss", f.f2, false),
+        ("3: STB hit, preload miss, access hit", f.f3, true),
+        ("4: STB hit, preload miss, access miss", f.f4, false),
+        ("5: STB miss, access hit", f.f5, true),
+        ("6: STB miss, access miss", f.f6, false),
+        ("fallback: VAT miss, Seccomp ran", f.fallback, false),
+    ] {
+        println!(
+            "  {:<40} {:>8}  ({})",
+            label,
+            count,
+            if fast { "fast" } else { "slow" }
+        );
+    }
+    println!(
+        "  fast/slow: {}/{} ({:.1}% fast)",
+        f.fast(),
+        f.slow(),
+        f.fast() as f64 / f.total() as f64 * 100.0
+    );
+
+    println!("\nFig. 13 hit rates:");
+    println!("  STB         {:.1}%", report.stb_hit_rate * 100.0);
+    println!("  SLB access  {:.1}%", report.slb_access_hit_rate * 100.0);
+    println!("  SLB preload {:.1}%", report.slb_preload_hit_rate * 100.0);
+
+    let seconds = config.cycles_to_ns(report.total_cycles) / 1e9;
+    let e = energy::estimate(&report.accesses, seconds);
+    println!("\nTable III energy model ({:.3} ms run):", seconds * 1e3);
+    println!(
+        "  draco area {:.4} mm^2, leakage {:.2} mW, run energy {}",
+        energy::total_area_mm2(),
+        energy::total_leakage_mw(),
+        e
+    );
+    println!("  VAT footprint: {} bytes", report.vat_footprint_bytes);
+    let [l1, l2, l3] = report.cache_levels;
+    println!(
+        "  VAT cache traffic: L1 {}/{} hits, L2 {}/{}, L3 {}/{}",
+        l1.0,
+        l1.0 + l1.1,
+        l2.0,
+        l2.0 + l2.1,
+        l3.0,
+        l3.0 + l3.1
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Multi-tenant scenario: several containers with different profiles on
+//! one Draco machine — dedicated cores (the paper's setup) vs aggressive
+//! time-sharing, plus the OS-level process view.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use draco::core::DracoOs;
+use draco::profiles::ProfileKind;
+use draco::sim::{Job, Machine, SimConfig};
+use draco::workloads::{catalog, timing, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tenants = ["nginx", "redis", "mysql", "grep"];
+    let jobs: Vec<Job> = tenants
+        .iter()
+        .map(|name| {
+            let spec = catalog::by_name(name).expect("workload exists");
+            let trace = TraceGenerator::new(&spec, 99).generate(12_000);
+            let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+            Job {
+                name: (*name).to_owned(),
+                profile,
+                trace,
+            }
+        })
+        .collect();
+
+    let mut config = SimConfig::table_ii();
+    config.ctx_quantum_cycles = 0; // switching is driven by the scheduler below
+    let machine = Machine::new(config, jobs.clone());
+
+    println!("== dedicated cores (paper setup) ==");
+    let dedicated = machine.run_dedicated(3_000)?;
+    for (name, r) in &dedicated.jobs {
+        println!(
+            "  {:<8} overhead {:+.3}%  (STB {:.1}%, SLB {:.1}%, {} fallbacks)",
+            name,
+            (r.normalized_overhead() - 1.0) * 100.0,
+            r.stb_hit_rate * 100.0,
+            r.slb_access_hit_rate * 100.0,
+            r.filter_runs
+        );
+    }
+    println!("  {dedicated}");
+
+    println!("\n== time-shared cores, 500-syscall quanta ==");
+    let shared = machine.run_timeshared(500)?;
+    for (name, r) in &shared.jobs {
+        println!(
+            "  {:<8} overhead {:+.3}%  ({} context switches, {} fallbacks)",
+            name,
+            (r.normalized_overhead() - 1.0) * 100.0,
+            r.ctx_switches,
+            r.filter_runs
+        );
+    }
+    println!("  {shared}");
+
+    // The software-OS view of the same fleet.
+    println!("\n== software Draco, OS process table ==");
+    let mut os = DracoOs::new();
+    let mut pids = Vec::new();
+    for job in &jobs {
+        pids.push((job.name.clone(), os.spawn(&job.profile)?));
+    }
+    for (job, (_, pid)) in jobs.iter().zip(&pids) {
+        for req in job.trace.requests().take(6_000) {
+            os.syscall(*pid, &req)?;
+        }
+    }
+    for (name, pid) in &pids {
+        let p = os.process(*pid).expect("live");
+        println!(
+            "  {:<8} {} — VAT {:.1} KB",
+            name,
+            p.stats(),
+            p.checker().vat().footprint_bytes() as f64 / 1024.0
+        );
+    }
+    println!("  {os}");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: install a profile, check system calls, watch Draco cache.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use draco::core::{CheckPath, DracoChecker};
+use draco::profiles::{docker_default, ProfileStats};
+use draco::syscalls::{ArgSet, SyscallId, SyscallRequest, SyscallTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The policy: Docker's default seccomp profile (358 syscalls,
+    //    argument checks on clone and personality).
+    let profile = docker_default();
+    println!("profile: {}", profile.name());
+    println!("  {}", ProfileStats::for_profile(&profile));
+
+    // 2. A software-Draco checker enforcing it.
+    let mut checker = DracoChecker::from_profile(&profile)?;
+    let table = SyscallTable::shared();
+
+    // 3. Issue some system calls.
+    let calls = [
+        ("read", 0u16, vec![3u64, 0x7fff_0000, 4096]),
+        ("read", 0, vec![3, 0x7fff_2000, 4096]), // same fd/count, new buf
+        ("personality", 135, vec![0xffff_ffff]),
+        ("personality", 135, vec![0xffff_ffff]),
+        ("personality", 135, vec![0x1234]), // not whitelisted
+        ("ptrace", 101, vec![0, 1234]),     // denied syscall
+    ];
+    for (name, nr, args) in calls {
+        let req = SyscallRequest::new(
+            0x40_1000 + u64::from(nr),
+            SyscallId::new(nr),
+            ArgSet::from_slice(&args),
+        );
+        let result = checker.check(&req);
+        let path = match result.path {
+            CheckPath::SptHit => "SPT hit  ",
+            CheckPath::VatHit => "VAT hit  ",
+            CheckPath::FilterRun { insns } => {
+                println!(
+                    "  {:<12} -> {:<13} [filter ran: {insns} cBPF insns]",
+                    name, result.action
+                );
+                continue;
+            }
+        };
+        println!("  {:<12} -> {:<13} [{path}]", name, result.action);
+        let _ = table; // looked up implicitly by the checker
+    }
+
+    // 4. The locality dividend.
+    let stats = checker.stats();
+    println!("\n{stats}");
+    println!(
+        "cache hit rate: {:.0}% — the filter work Draco skipped",
+        stats.cache_hit_rate() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `dracoctl` binary.
+
+use std::process::{Command, Stdio};
+
+fn dracoctl(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dracoctl"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("dracoctl runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (code, _, err) = dracoctl(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn profile_stats_for_builtins() {
+    for (name, syscalls) in [("docker", "358"), ("gvisor", "74"), ("firecracker", "37")] {
+        let (code, out, _) = dracoctl(&["profile", "stats", name]);
+        assert_eq!(code, 0, "{name}");
+        assert!(out.contains(syscalls), "{name}: {out}");
+        assert!(out.contains("surface by subsystem"));
+        assert!(out.contains("cBPF instructions"));
+    }
+}
+
+#[test]
+fn profile_json_roundtrips_through_a_file() {
+    let (code, json, _) = dracoctl(&["profile", "json", "firecracker"]);
+    assert_eq!(code, 0);
+    let path = std::env::temp_dir().join("dracoctl-cli-test.json");
+    std::fs::write(&path, &json).expect("write temp profile");
+    let (code, out, _) = dracoctl(&["profile", "stats", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(out.contains("37 syscalls"));
+}
+
+#[test]
+fn profile_disasm_emits_listing() {
+    let (code, out, _) = dracoctl(&["profile", "disasm", "firecracker"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("; filter 1 of 1"));
+    assert!(out.contains("ld  [4]"), "arch load first");
+    assert!(out.contains("ret"));
+    // Tree layout also works.
+    let (code, tree, _) = dracoctl(&["profile", "disasm", "firecracker", "--tree"]);
+    assert_eq!(code, 0);
+    assert!(tree.contains("jgt"), "binary search pivots present");
+}
+
+#[test]
+fn check_exit_code_reflects_verdict() {
+    let (code, out, _) = dracoctl(&["check", "docker", "personality", "0xffffffff"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("allow"));
+    assert!(out.contains("VatHit"), "second check hits the cache: {out}");
+    let (code, out, _) = dracoctl(&["check", "docker", "ptrace"]);
+    assert_eq!(code, 1, "denied verdicts exit nonzero");
+    assert!(out.contains("errno"));
+}
+
+#[test]
+fn check_unknown_syscall_errors() {
+    let (code, _, err) = dracoctl(&["check", "docker", "frobnicate"]);
+    assert_eq!(code, 1);
+    assert!(err.contains("unknown syscall"));
+}
+
+#[test]
+fn trace_gen_and_analyze_pipeline() {
+    let (code, json, _) = dracoctl(&["trace", "gen", "pipe", "--ops", "200", "--seed", "9"]);
+    assert_eq!(code, 0);
+    let path = std::env::temp_dir().join("dracoctl-cli-trace.json");
+    std::fs::write(&path, &json).expect("write temp trace");
+    let (code, out, _) = dracoctl(&["trace", "analyze", path.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(out.contains("pipe: 200 calls"));
+    assert!(out.contains("read"));
+}
+
+#[test]
+fn workloads_lists_the_catalog() {
+    let (code, out, _) = dracoctl(&["workloads"]);
+    assert_eq!(code, 0);
+    for name in ["httpd", "elasticsearch", "mq", "hpcc"] {
+        assert!(out.contains(name), "{name} missing");
+    }
+    assert_eq!(out.lines().count(), 15);
+}

@@ -1,0 +1,92 @@
+//! Reproducibility: every artifact in the pipeline — traces, profiles,
+//! filters, timing reports, hardware runs — is a deterministic function
+//! of (workload, seed, configuration), and serialized artifacts
+//! round-trip exactly. This is what makes the `repro` harness's output
+//! stable across machines.
+
+use draco::profiles::{
+    compile_stacked, profile_from_json, profile_to_json, FilterLayout, ProfileKind,
+};
+use draco::sim::{DracoHwCore, SimConfig};
+use draco::workloads::{catalog, timing, SyscallTrace, TraceGenerator};
+
+#[test]
+fn traces_are_pure_functions_of_spec_and_seed() {
+    for spec in catalog::all() {
+        let a = TraceGenerator::new(&spec, 123).generate(1_000);
+        let b = TraceGenerator::new(&spec, 123).generate(1_000);
+        assert_eq!(a, b, "{}", spec.name);
+        let c = TraceGenerator::new(&spec, 124).generate(1_000);
+        assert_ne!(a, c, "{}: different seed, different trace", spec.name);
+    }
+}
+
+#[test]
+fn trace_json_roundtrip_is_exact() {
+    let spec = catalog::by_name("cassandra").unwrap();
+    let trace = TraceGenerator::new(&spec, 55).generate(2_000);
+    let back = SyscallTrace::from_json(&trace.to_json()).expect("decodes");
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn profiles_and_filters_are_deterministic() {
+    let spec = catalog::by_name("mysql").unwrap();
+    let trace = TraceGenerator::new(&spec, 7).generate(5_000);
+    let p1 = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let p2 = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    assert_eq!(p1, p2);
+    let s1 = compile_stacked(&p1, FilterLayout::Linear).unwrap();
+    let s2 = compile_stacked(&p2, FilterLayout::Linear).unwrap();
+    assert_eq!(s1.len(), s2.len());
+    for (a, b) in s1.programs().iter().zip(s2.programs()) {
+        assert_eq!(a.insns(), b.insns());
+    }
+    // JSON round-trip preserves the profile exactly.
+    let back = profile_from_json(&profile_to_json(&p1)).unwrap();
+    assert_eq!(back, p1);
+}
+
+#[test]
+fn timing_reports_are_deterministic() {
+    let spec = catalog::by_name("redis").unwrap();
+    let trace = TraceGenerator::new(&spec, 31).generate(5_000);
+    let model = timing::KernelCostModel::ubuntu_18_04();
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let a = timing::run_seccomp(&trace, &profile, &model).unwrap();
+    let b = timing::run_seccomp(&trace, &profile, &model).unwrap();
+    assert_eq!(a, b);
+    let a = timing::run_draco_sw(&trace, &profile, &model).unwrap();
+    let b = timing::run_draco_sw(&trace, &profile, &model).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hardware_runs_are_deterministic() {
+    let spec = catalog::by_name("grep").unwrap();
+    let trace = TraceGenerator::new(&spec, 13).generate(5_000);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let r1 = DracoHwCore::new(SimConfig::table_ii(), &profile)
+        .unwrap()
+        .run(&trace);
+    let r2 = DracoHwCore::new(SimConfig::table_ii(), &profile)
+        .unwrap()
+        .run(&trace);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn profile_generation_is_trace_order_sensitive_but_stable() {
+    // The toolkit lists rules in first-observation order (like strace),
+    // so the same trace yields byte-identical filter chains.
+    let spec = catalog::by_name("domain").unwrap();
+    let trace = TraceGenerator::new(&spec, 2).generate(1_000);
+    let p = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+    let ids: Vec<u16> = p.rules().map(|(id, _)| id.as_u16()).collect();
+    let p2 = timing::profile_for_trace(&trace, ProfileKind::SyscallNoargs);
+    let ids2: Vec<u16> = p2.rules().map(|(id, _)| id.as_u16()).collect();
+    assert_eq!(ids, ids2);
+    // The startup preamble's execve (59) is observed before the
+    // workload's own syscalls, so it leads the chain.
+    assert_eq!(ids[0], 59);
+}

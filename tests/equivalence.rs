@@ -1,0 +1,159 @@
+//! The soundness statement, machine-checked: every checking engine in the
+//! workspace — direct profile evaluation, compiled filters (both layouts,
+//! both executors, stacked or not), software Draco, and hardware Draco —
+//! produces the same allow/deny decisions on arbitrary call streams.
+
+use draco::bpf::SeccompData;
+use draco::core::DracoChecker;
+use draco::profiles::{
+    compile, compile_stacked, FilterLayout, ProfileGenerator, ProfileKind, ProfileSpec,
+};
+use draco::syscalls::{ArgSet, SyscallId, SyscallRequest};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = SyscallRequest> {
+    (0u16..436, proptest::array::uniform6(0u64..12), 0u64..8).prop_map(|(nr, args, pc)| {
+        SyscallRequest::new(0x1000 + pc * 8, SyscallId::new(nr), ArgSet::new(args))
+    })
+}
+
+fn profile_from(observations: &[SyscallRequest], kind: ProfileKind) -> ProfileSpec {
+    let mut gen = ProfileGenerator::new("prop");
+    for req in observations {
+        gen.observe(req);
+    }
+    gen.emit(kind)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled filters (all four layout/stacking combinations) agree
+    /// with the profile oracle.
+    #[test]
+    fn filters_agree_with_oracle(
+        observed in proptest::collection::vec(arb_request(), 1..20),
+        queries in proptest::collection::vec(arb_request(), 1..30),
+        complete in any::<bool>(),
+    ) {
+        let kind = if complete { ProfileKind::SyscallComplete } else { ProfileKind::SyscallNoargs };
+        let profile = profile_from(&observed, kind);
+        for layout in [FilterLayout::Linear, FilterLayout::BinaryTree] {
+            let single = compile(&profile, layout).expect("compiles");
+            let stack = compile_stacked(&profile, layout).expect("stacks");
+            let compiled = stack.compiled();
+            for req in &queries {
+                let want = profile.evaluate(req);
+                let data = SeccompData::from_request(req);
+                let a = draco::bpf::Interpreter::new(&single).run(&data).unwrap().action;
+                let b = stack.run(&data).unwrap().action;
+                let c = compiled.run(&data).unwrap().action;
+                prop_assert_eq!(a, want);
+                prop_assert_eq!(b, want);
+                prop_assert_eq!(c, want);
+            }
+        }
+    }
+
+    /// Software Draco never changes a decision, whatever the order and
+    /// repetition of requests (cache warm-up included).
+    #[test]
+    fn draco_sw_agrees_with_oracle(
+        observed in proptest::collection::vec(arb_request(), 1..16),
+        stream in proptest::collection::vec(arb_request(), 1..60),
+    ) {
+        let profile = profile_from(&observed, ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).expect("checker");
+        // Issue the stream twice so the second pass exercises hits.
+        for req in stream.iter().chain(stream.iter()) {
+            prop_assert_eq!(checker.check(req).action, profile.evaluate(req), "{}", req);
+        }
+    }
+
+    /// Hardware Draco allows exactly what the profile allows.
+    #[test]
+    fn draco_hw_agrees_with_oracle(
+        observed in proptest::collection::vec(arb_request(), 1..12),
+        stream in proptest::collection::vec(arb_request(), 1..40),
+    ) {
+        use draco::sim::{DracoHwCore, SimConfig};
+        use draco::workloads::{SyscallTrace, TraceOp};
+
+        let profile = profile_from(&observed, ProfileKind::SyscallComplete);
+        let expected_denials: u64 = stream
+            .iter()
+            .chain(stream.iter())
+            .filter(|r| !profile.evaluate(r).permits())
+            .count() as u64;
+        let ops: Vec<TraceOp> = stream
+            .iter()
+            .chain(stream.iter())
+            .map(|r| TraceOp {
+                compute_ns: 100,
+                pc: r.pc,
+                nr: r.id.as_u16(),
+                args: r.args.as_array(),
+            })
+            .collect();
+        let trace = SyscallTrace::from_ops("prop", ops);
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core");
+        let report = core.run(&trace);
+        prop_assert_eq!(report.denials, expected_denials);
+    }
+
+    /// Cached admissions are replays: a syscall Draco admits from its
+    /// tables was admitted by the filter earlier in the same stream.
+    #[test]
+    fn cache_hits_only_replay_prior_allows(
+        observed in proptest::collection::vec(arb_request(), 1..12),
+        stream in proptest::collection::vec(arb_request(), 1..50),
+    ) {
+        let profile = profile_from(&observed, ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).expect("checker");
+        let mut allowed_before = std::collections::HashSet::new();
+        for req in &stream {
+            let result = checker.check(req);
+            if result.path.is_cache_hit() {
+                let table = draco::syscalls::SyscallTable::shared();
+                let key = (req.id, table.get(req.id).map(|d| d.bitmask().masked(&req.args)));
+                prop_assert!(
+                    allowed_before.contains(&key),
+                    "cache hit without prior allow: {}", req
+                );
+            }
+            if result.action.permits() {
+                let table = draco::syscalls::SyscallTable::shared();
+                let key = (req.id, table.get(req.id).map(|d| d.bitmask().masked(&req.args)));
+                allowed_before.insert(key);
+            }
+        }
+    }
+}
+
+#[test]
+fn twox_profiles_agree_with_oracle_too() {
+    let reqs: Vec<SyscallRequest> = (0..8)
+        .map(|i| {
+            SyscallRequest::new(
+                0x1000,
+                SyscallId::new(i),
+                ArgSet::from_slice(&[u64::from(i), 2, 3]),
+            )
+        })
+        .collect();
+    let profile = profile_from(&reqs, ProfileKind::SyscallComplete2x);
+    let stack = compile_stacked(&profile, FilterLayout::Linear).unwrap();
+    for req in &reqs {
+        let data = SeccompData::from_request(req);
+        assert_eq!(stack.run(&data).unwrap().action, profile.evaluate(req));
+    }
+    // And a denied variant.
+    let bad = SyscallRequest::new(0x1000, SyscallId::new(0), ArgSet::from_slice(&[99, 2, 3]));
+    assert_eq!(
+        stack
+            .run(&SeccompData::from_request(&bad))
+            .unwrap()
+            .action,
+        profile.evaluate(&bad)
+    );
+}

@@ -1,0 +1,200 @@
+//! Failure injection: table pressure, speculative squashes, context-switch
+//! storms, and mid-trace denials must never change decisions — only
+//! costs.
+
+use draco::core::{DracoChecker, DracoProcess, ProcessId};
+use draco::profiles::{ProfileGenerator, ProfileKind, ProfileSpec};
+use draco::sim::{DracoHwCore, SimConfig};
+use draco::syscalls::{ArgSet, SyscallId, SyscallRequest};
+use draco::workloads::{catalog, timing, SyscallTrace, TraceGenerator, TraceOp};
+
+/// A profile admitting `read` with `sets` distinct (fd, count) pairs.
+fn read_profile(sets: usize) -> ProfileSpec {
+    let mut gen = ProfileGenerator::new("inject");
+    for i in 0..sets {
+        gen.observe(&SyscallRequest::new(
+            0x1000,
+            SyscallId::new(0),
+            ArgSet::from_slice(&[i as u64, 0, 64]),
+        ));
+    }
+    gen.emit(ProfileKind::SyscallComplete)
+}
+
+#[test]
+fn vat_pressure_evictions_only_cost_revalidation() {
+    // Overwhelm one syscall's VAT table with far more argument sets than
+    // it holds: entries get evicted, but every re-encounter revalidates
+    // through the filter and is still allowed.
+    let sets = 512;
+    let profile = read_profile(sets);
+    // An OS under memory pressure caps the VAT far below the whitelist.
+    let mut checker = DracoChecker::from_profile(&profile)
+        .unwrap()
+        .with_vat_capacity_cap(32);
+    // Three sweeps over all sets.
+    for sweep in 0..3 {
+        for i in 0..sets {
+            let req = SyscallRequest::new(
+                0x1000,
+                SyscallId::new(0),
+                ArgSet::from_slice(&[i as u64, 0xdead, 64]),
+            );
+            let result = checker.check(&req);
+            assert!(result.action.permits(), "sweep {sweep}, set {i}");
+        }
+    }
+    let evictions = checker.vat().total_evictions();
+    assert!(evictions > 0, "pressure must evict");
+    // A cyclic sweep over 512 sets through a 32-entry table is pure
+    // capacity streaming — but a hot set re-touched immediately still
+    // hits, proving eviction didn't poison the cache.
+    let hot = SyscallRequest::new(
+        0x1000,
+        SyscallId::new(0),
+        ArgSet::from_slice(&[1, 0, 64]),
+    );
+    checker.check(&hot);
+    let before = checker.stats().vat_hits;
+    checker.check(&hot);
+    assert_eq!(checker.stats().vat_hits, before + 1);
+}
+
+#[test]
+fn squash_storm_never_corrupts_decisions() {
+    let spec = catalog::by_name("pipe").unwrap();
+    let trace = TraceGenerator::new(&spec, 3).generate(2_000);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let mut config = SimConfig::table_ii();
+    config.ctx_quantum_cycles = 0;
+    let mut core = DracoHwCore::new(config, &profile).unwrap();
+    // Interleave single-op runs with squashes.
+    let mut denials = 0;
+    for op in trace.ops() {
+        let r = core.run(&SyscallTrace::from_ops("one", vec![*op]));
+        denials = r.denials;
+        core.inject_squash();
+        assert!(core.temp_buffer().is_empty());
+    }
+    assert_eq!(denials, 0, "squashes must not flip verdicts");
+}
+
+#[test]
+fn context_switch_storm_preserves_decisions_and_costs_more() {
+    let spec = catalog::by_name("unixbench-syscall").unwrap();
+    let trace = TraceGenerator::new(&spec, 9).generate(10_000);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+
+    let mut calm_cfg = SimConfig::table_ii();
+    calm_cfg.ctx_quantum_cycles = 0;
+    let mut calm = DracoHwCore::new(calm_cfg, &profile).unwrap();
+    let calm_report = calm.run(&trace);
+
+    let mut stormy_cfg = SimConfig::table_ii();
+    stormy_cfg.ctx_quantum_cycles = 50_000; // absurdly frequent
+    let mut stormy = DracoHwCore::new(stormy_cfg, &profile).unwrap();
+    let stormy_report = stormy.run(&trace);
+
+    assert_eq!(calm_report.denials, 0);
+    assert_eq!(stormy_report.denials, 0);
+    assert!(stormy_report.ctx_switches > 100);
+    assert!(
+        stormy_report.check_cycles > calm_report.check_cycles,
+        "cold tables must cost cycles: {} vs {}",
+        stormy_report.check_cycles,
+        calm_report.check_cycles
+    );
+}
+
+#[test]
+fn denial_mid_trace_kills_the_process_exactly_once() {
+    let mut gen = ProfileGenerator::new("strict");
+    gen.observe(&SyscallRequest::new(
+        0,
+        SyscallId::new(39),
+        ArgSet::empty(),
+    ));
+    let profile = gen.emit(ProfileKind::SyscallComplete);
+    let mut proc = DracoProcess::spawn(ProcessId(1), &profile).unwrap();
+
+    // Allowed call works.
+    let ok = proc.syscall(&SyscallRequest::new(0, SyscallId::new(39), ArgSet::empty()));
+    assert!(ok.action.permits());
+    assert!(proc.is_alive());
+    // Forbidden call kills.
+    let bad = proc.syscall(&SyscallRequest::new(0, SyscallId::new(41), ArgSet::empty()));
+    assert!(!bad.action.permits());
+    assert!(!proc.is_alive());
+    // The checker never runs again for the dead process.
+    let total_before = proc.stats().total();
+    let _ = proc.syscall(&SyscallRequest::new(0, SyscallId::new(39), ArgSet::empty()));
+    assert_eq!(proc.stats().total(), total_before);
+}
+
+#[test]
+fn flush_mid_stream_only_costs_warmup() {
+    let spec = catalog::by_name("fifo").unwrap();
+    let trace = TraceGenerator::new(&spec, 4).generate(4_000);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let mut checker = DracoChecker::from_profile(&profile).unwrap();
+    let mut denied = 0;
+    for (i, req) in trace.requests().enumerate() {
+        if i % 500 == 499 {
+            checker.flush();
+        }
+        if !checker.check(&req).action.permits() {
+            denied += 1;
+        }
+    }
+    assert_eq!(denied, 0);
+    // Flushes forced extra filter runs beyond the distinct-set count.
+    let stats = checker.stats();
+    assert!(stats.filter_runs > 8, "flushes force revalidation");
+    assert!(stats.cache_hit_rate() > 0.5, "cache still effective");
+}
+
+#[test]
+fn tiny_slb_still_correct_just_slower() {
+    let spec = catalog::by_name("httpd").unwrap();
+    let trace = TraceGenerator::new(&spec, 8).generate(8_000);
+    let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+
+    let mut tiny_cfg = SimConfig::table_ii();
+    for s in &mut tiny_cfg.slb {
+        s.entries = 4;
+        s.ways = 4;
+    }
+    tiny_cfg.ctx_quantum_cycles = 0;
+    let mut tiny = DracoHwCore::new(tiny_cfg, &profile).unwrap();
+    let tiny_report = tiny.run(&trace);
+
+    let mut full_cfg = SimConfig::table_ii();
+    full_cfg.ctx_quantum_cycles = 0;
+    let mut full = DracoHwCore::new(full_cfg, &profile).unwrap();
+    let full_report = full.run(&trace);
+
+    assert_eq!(tiny_report.denials, 0);
+    assert!(tiny_report.slb_access_hit_rate < full_report.slb_access_hit_rate);
+    assert!(tiny_report.check_cycles > full_report.check_cycles);
+}
+
+#[test]
+fn trace_with_unknown_syscall_ids_is_denied_not_crashed() {
+    let profile = read_profile(2);
+    let mut checker = DracoChecker::from_profile(&profile).unwrap();
+    for nr in [391u16, 423, 999, u16::MAX] {
+        let req = SyscallRequest::new(0, SyscallId::new(nr), ArgSet::empty());
+        let r = checker.check(&req);
+        assert!(!r.action.permits(), "nr {nr}");
+    }
+    // Hardware path handles them too.
+    let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+    let ops = vec![TraceOp {
+        compute_ns: 10,
+        pc: 0x10,
+        nr: 999,
+        args: [0; 6],
+    }];
+    let r = core.run(&SyscallTrace::from_ops("weird", ops));
+    assert_eq!(r.denials, 1);
+}

@@ -1,0 +1,218 @@
+//! Directed reproduction of paper Table I: every execution flow of the
+//! hardware Draco engine, triggered deterministically.
+
+use draco::profiles::{ProfileGenerator, ProfileKind};
+use draco::sim::{DracoHwCore, FlowCounts, SimConfig};
+use draco::syscalls::{ArgSet, SyscallId, SyscallRequest};
+use draco::workloads::{SyscallTrace, TraceOp};
+
+/// read(fd, buf, count): argument-checked under a complete profile.
+const READ: u16 = 0;
+
+fn op(pc: u64, nr: u16, args: [u64; 6]) -> TraceOp {
+    TraceOp {
+        compute_ns: 10,
+        pc,
+        nr,
+        args,
+    }
+}
+
+fn read_args(fd: u64, count: u64) -> [u64; 6] {
+    [fd, 0x7f00_dead_beef, count, 0, 0, 0]
+}
+
+/// Builds a core whose profile admits read() with the given (fd, count)
+/// pairs, and with context switches disabled for determinism.
+fn core_with_read_sets(sets: &[(u64, u64)]) -> DracoHwCore {
+    let mut gen = ProfileGenerator::new("flows");
+    for &(fd, count) in sets {
+        gen.observe(&SyscallRequest::new(
+            0x1000,
+            SyscallId::new(READ),
+            ArgSet::new(read_args(fd, count)),
+        ));
+    }
+    let profile = gen.emit(ProfileKind::SyscallComplete);
+    let mut config = SimConfig::table_ii();
+    config.ctx_quantum_cycles = 0;
+    DracoHwCore::new(config, &profile).expect("core builds")
+}
+
+/// Runs one op and returns the flow-count delta.
+fn step(core: &mut DracoHwCore, one: TraceOp) -> FlowCounts {
+    let before = core.run(&SyscallTrace::from_ops("probe", vec![])).flows;
+    let after = core.run(&SyscallTrace::from_ops("step", vec![one])).flows;
+    FlowCounts {
+        spt_only: after.spt_only - before.spt_only,
+        f1: after.f1 - before.f1,
+        f2: after.f2 - before.f2,
+        f3: after.f3 - before.f3,
+        f4: after.f4 - before.f4,
+        f5: after.f5 - before.f5,
+        f6: after.f6 - before.f6,
+        fallback: after.fallback - before.fallback,
+    }
+}
+
+#[test]
+fn cold_start_is_fallback_then_f6_then_f1() {
+    let mut core = core_with_read_sets(&[(3, 64)]);
+    let pc = 0x40_0000;
+    // 1. Cold: SPT miss → OS check (fallback).
+    let d = step(&mut core, op(pc, READ, read_args(3, 64)));
+    assert_eq!(d.fallback, 1, "{d:?}");
+    // 2. SPT now valid, but STB and SLB are cold: STB miss + SLB access
+    //    miss + VAT hit = Flow 6.
+    let d = step(&mut core, op(pc, READ, read_args(3, 64)));
+    assert_eq!(d.f6, 1, "{d:?}");
+    // 3. Everything warm: Flow 1.
+    let d = step(&mut core, op(pc, READ, read_args(3, 64)));
+    assert_eq!(d.f1, 1, "{d:?}");
+}
+
+#[test]
+fn flow_5_new_call_site_same_arguments() {
+    let mut core = core_with_read_sets(&[(3, 64)]);
+    let pc1 = 0x40_0000;
+    let pc2 = 0x40_9000;
+    step(&mut core, op(pc1, READ, read_args(3, 64))); // fallback
+    step(&mut core, op(pc1, READ, read_args(3, 64))); // F6
+    // New PC, same argument set: STB miss, SLB access hit = Flow 5.
+    let d = step(&mut core, op(pc2, READ, read_args(3, 64)));
+    assert_eq!(d.f5, 1, "{d:?}");
+    // And the STB learned pc2: Flow 1 next.
+    let d = step(&mut core, op(pc2, READ, read_args(3, 64)));
+    assert_eq!(d.f1, 1, "{d:?}");
+}
+
+#[test]
+fn flow_2_stale_stb_hash_but_entry_evicted() {
+    // Five argument sets rotate through one 4-way SLB set: the oldest is
+    // evicted. The STB still predicts the *last* set's hash (preload
+    // hit), but the access wants the evicted set = Flow 2.
+    let sets: Vec<(u64, u64)> = (0..5).map(|i| (3 + i, 64)).collect();
+    let mut core = core_with_read_sets(&sets);
+    let pc = 0x40_0000;
+    for &(fd, count) in &sets {
+        step(&mut core, op(pc, READ, read_args(fd, count))); // fallback each
+        step(&mut core, op(pc, READ, read_args(fd, count))); // F2/F6 warm
+    }
+    // (3,64) was LRU-evicted from the SLB by the fifth set. The STB's
+    // hash is the last set's (7,64) — present in the SLB → preload hit;
+    // access for (3,64) misses → Flow 2.
+    let d = step(&mut core, op(pc, READ, read_args(3, 64)));
+    assert_eq!(d.f2, 1, "{d:?}");
+}
+
+#[test]
+fn flow_3_preload_fetches_the_right_entry_early() {
+    // Two call sites, each pinned to its own argument set. Evict both
+    // sets' SLB entries with four fresh sets, then revisit site 1: the
+    // STB predicts set A's hash, the SLB lacks it (preload miss), the
+    // early VAT fetch stages it, and the access hits = Flow 3.
+    let mut sets: Vec<(u64, u64)> = vec![(3, 64), (4, 128)];
+    sets.extend((0..4).map(|i| (10 + i, 256)));
+    let mut core = core_with_read_sets(&sets);
+    let pc_a = 0x40_0000;
+    let pc_b = 0x40_9000;
+    // Warm A at site a, B at site b.
+    for _ in 0..2 {
+        step(&mut core, op(pc_a, READ, read_args(3, 64)));
+        step(&mut core, op(pc_b, READ, read_args(4, 128)));
+    }
+    // Evict A and B from the SLB set with four other argument sets
+    // (validated via two visits each from other sites).
+    for (i, &(fd, count)) in sets[2..].iter().enumerate() {
+        let pc = 0x41_0000 + i as u64 * 0x100;
+        step(&mut core, op(pc, READ, read_args(fd, count)));
+        step(&mut core, op(pc, READ, read_args(fd, count)));
+        step(&mut core, op(pc, READ, read_args(fd, count)));
+    }
+    // Site a again: STB hit (hash A), preload miss, temp-buffer commit,
+    // access hit = Flow 3.
+    let d = step(&mut core, op(pc_a, READ, read_args(3, 64)));
+    assert_eq!(d.f3, 1, "{d:?}");
+}
+
+#[test]
+fn flow_4_stale_stb_and_evicted_target() {
+    // Site alternates between two argument sets; then both its last-used
+    // set and the requested set are evicted: STB hit, preload miss,
+    // access miss, VAT hit = Flow 4.
+    let mut sets: Vec<(u64, u64)> = vec![(3, 64), (4, 128)];
+    sets.extend((0..4).map(|i| (10 + i, 256)));
+    let mut core = core_with_read_sets(&sets);
+    let pc = 0x40_0000;
+    // Validate A then B at the same site (STB ends predicting B).
+    for &(fd, count) in &sets[..2] {
+        step(&mut core, op(pc, READ, read_args(fd, count)));
+        step(&mut core, op(pc, READ, read_args(fd, count)));
+    }
+    // Evict A and B from the SLB.
+    for (i, &(fd, count)) in sets[2..].iter().enumerate() {
+        let pc_i = 0x41_0000 + i as u64 * 0x100;
+        step(&mut core, op(pc_i, READ, read_args(fd, count)));
+        step(&mut core, op(pc_i, READ, read_args(fd, count)));
+        step(&mut core, op(pc_i, READ, read_args(fd, count)));
+    }
+    // Request A at the site whose STB predicts B: preload (B) misses and
+    // stages B; access (A) misses; VAT has A = Flow 4.
+    let d = step(&mut core, op(pc, READ, read_args(3, 64)));
+    assert_eq!(d.f4, 1, "{d:?}");
+}
+
+#[test]
+fn spt_only_flow_for_unchecked_syscalls() {
+    // getpid has no checkable arguments: after one fallback the SPT valid
+    // bit admits it forever.
+    let mut gen = ProfileGenerator::new("flows");
+    gen.observe(&SyscallRequest::new(
+        0x1000,
+        SyscallId::new(39),
+        ArgSet::empty(),
+    ));
+    let profile = gen.emit(ProfileKind::SyscallComplete);
+    let mut config = SimConfig::table_ii();
+    config.ctx_quantum_cycles = 0;
+    let mut core = DracoHwCore::new(config, &profile).unwrap();
+    let d = step(&mut core, op(0x100, 39, [0; 6]));
+    assert_eq!(d.fallback, 1);
+    for _ in 0..3 {
+        let d = step(&mut core, op(0x100, 39, [0; 6]));
+        assert_eq!(d.spt_only, 1, "{d:?}");
+    }
+}
+
+#[test]
+fn fast_flows_cost_less_than_slow_flows() {
+    // Timing side of Table I: measure per-step check cycles.
+    let mut core = core_with_read_sets(&[(3, 64)]);
+    let pc = 0x40_0000;
+    let cost = |core: &mut DracoHwCore, o: TraceOp| {
+        let before = core.run(&SyscallTrace::from_ops("probe", vec![])).check_cycles;
+        let after = core.run(&SyscallTrace::from_ops("step", vec![o])).check_cycles;
+        after - before
+    };
+    let fallback_cost = cost(&mut core, op(pc, READ, read_args(3, 64)));
+    let f6_cost = cost(&mut core, op(pc, READ, read_args(3, 64)));
+    let f1_cost = cost(&mut core, op(pc, READ, read_args(3, 64)));
+    assert!(f1_cost < f6_cost, "fast {f1_cost} < slow {f6_cost}");
+    assert!(f6_cost < fallback_cost, "slow {f6_cost} < OS {fallback_cost}");
+    assert_eq!(f1_cost, 2, "fast path is one SLB access");
+}
+
+#[test]
+fn context_switch_resets_to_flow_6_not_fallback() {
+    // With SPT save/restore, a context switch costs an SLB/STB refill
+    // (Flow 6) but not a software check.
+    let mut core = core_with_read_sets(&[(3, 64)]);
+    let pc = 0x40_0000;
+    step(&mut core, op(pc, READ, read_args(3, 64))); // fallback
+    step(&mut core, op(pc, READ, read_args(3, 64))); // F6
+    step(&mut core, op(pc, READ, read_args(3, 64))); // F1
+    core.inject_context_switch();
+    let d = step(&mut core, op(pc, READ, read_args(3, 64)));
+    assert_eq!(d.f6, 1, "{d:?}");
+    assert_eq!(d.fallback, 0, "SPT survived via save/restore");
+}

@@ -1,0 +1,149 @@
+//! §VIII generality, end to end: Draco over non-syscall transition
+//! interfaces (hypercalls), non-standard register conventions, and
+//! multithreaded processes sharing one set of tables.
+
+use draco::bpf::SeccompAction;
+use draco::core::DracoChecker;
+use draco::profiles::{ArgPolicy, ProfileSpec, RuleSource, SyscallRule};
+use draco::syscalls::{
+    ArgBitmask, ArgRegisterMap, ArgSet, Register, RegisterFile, SyscallId, SyscallTable,
+};
+use draco::workloads::{catalog, timing, SyscallTrace, TraceGenerator};
+
+#[test]
+fn hypercall_interface_checks_with_unmodified_machinery() {
+    let hypercalls = SyscallTable::kvm_hypercalls();
+    let kick = hypercalls.by_name("kvm_hc_kick_cpu").unwrap();
+    let mut policy = ProfileSpec::new("guest", SeccompAction::KillProcess);
+    policy.allow(
+        kick.id(),
+        SyscallRule {
+            args: ArgPolicy::whitelist(kick.bitmask(), [ArgSet::from_slice(&[0, 3])]),
+            source: RuleSource::Application,
+        },
+    );
+    let mut guard = DracoChecker::from_profile(&policy).unwrap();
+    let good = draco::syscalls::SyscallRequest::new(
+        0x8000,
+        kick.id(),
+        ArgSet::from_slice(&[0, 3]),
+    );
+    assert!(guard.check(&good).action.permits());
+    assert!(guard.check(&good).path.is_cache_hit());
+    let bad = draco::syscalls::SyscallRequest::new(
+        0x8000,
+        kick.id(),
+        ArgSet::from_slice(&[0, 4]),
+    );
+    assert!(!guard.check(&bad).action.permits());
+}
+
+#[test]
+fn custom_register_convention_feeds_the_same_checker() {
+    // An OS that passes the ID in rbx and arguments in reverse order
+    // (§VIII's OS-programmable mapping): the decoded request is
+    // convention-independent, so the checker needs no changes.
+    let map = ArgRegisterMap::custom(
+        Register::Rbx,
+        [
+            Register::R9,
+            Register::R8,
+            Register::R10,
+            Register::Rdx,
+            Register::Rsi,
+            Register::Rdi,
+        ],
+    );
+    let mut regs = RegisterFile::new();
+    regs.set(Register::Rbx, 0) // read
+        .set(Register::R9, 3) // fd in the "first" slot
+        .set(Register::R10, 4096); // count in the "third" slot
+    let req = regs.request(0x1234, &map);
+    assert_eq!(req.id, SyscallId::new(0));
+    assert_eq!(req.args.get(0), 3);
+    assert_eq!(req.args.get(2), 4096);
+
+    let mut gen = draco::profiles::ProfileGenerator::new("alt-abi");
+    gen.observe(&req);
+    let profile = gen.emit(draco::profiles::ProfileKind::SyscallComplete);
+    let mut checker = DracoChecker::from_profile(&profile).unwrap();
+    assert!(checker.check(&req).action.permits());
+    // Linux-convention registers holding the same logical call also pass:
+    // only the decoded request matters.
+    let mut linux_regs = RegisterFile::new();
+    linux_regs
+        .set(Register::Rax, 0)
+        .set(Register::Rdi, 3)
+        .set(Register::Rdx, 4096);
+    let linux_req = linux_regs.request(0x1234, &ArgRegisterMap::linux_x86_64());
+    assert_eq!(checker.check(&linux_req).action, SeccompAction::Allow);
+}
+
+#[test]
+fn threads_share_tables_and_locality() {
+    // Four threads of one nginx worker share a process — and its Draco
+    // tables. The interleaved stream keeps the cache hit rate of the
+    // single-threaded case because the hot argument sets are shared.
+    let spec = catalog::by_name("nginx").unwrap();
+    let threads: Vec<SyscallTrace> = (0..4)
+        .map(|t| TraceGenerator::new(&spec, 100 + t).generate(4_000))
+        .collect();
+    let merged = SyscallTrace::interleave(&threads);
+    assert_eq!(merged.len(), 16_000);
+    let profile = timing::profile_for_trace(&merged, draco::profiles::ProfileKind::SyscallComplete);
+    let mut checker = DracoChecker::from_profile(&profile).unwrap();
+    for req in merged.requests() {
+        assert!(checker.check(&req).action.permits(), "{req}");
+    }
+    assert!(
+        checker.stats().cache_hit_rate() > 0.9,
+        "hit rate {}",
+        checker.stats().cache_hit_rate()
+    );
+}
+
+#[test]
+fn hypercall_profile_compiles_to_filters_too() {
+    // The BPF backend is interface-agnostic as well: a hypercall policy
+    // compiles and the interpreter agrees with the oracle.
+    let hypercalls = SyscallTable::kvm_hypercalls();
+    let mut policy = ProfileSpec::new("guest", SeccompAction::KillProcess);
+    for desc in hypercalls.iter() {
+        if desc.checked_arg_count() == 0 {
+            policy.allow(desc.id(), SyscallRule::any(RuleSource::Runtime));
+        }
+    }
+    let yield_id = hypercalls.by_name("kvm_hc_sched_yield").unwrap().id();
+    policy.allow(
+        yield_id,
+        SyscallRule {
+            args: ArgPolicy::whitelist(
+                ArgBitmask::from_widths([4, 0, 0, 0, 0, 0]),
+                [ArgSet::from_slice(&[2])],
+            ),
+            source: RuleSource::Application,
+        },
+    );
+    let stack = draco::profiles::compile_stacked(
+        &policy,
+        draco::profiles::FilterLayout::Linear,
+    )
+    .unwrap();
+    for (nr, arg0, want) in [
+        (1u16, 0u64, true),   // vapic_poll_irq: any-args
+        (11, 2, true),        // sched_yield(2): whitelisted
+        (11, 3, false),       // sched_yield(3): not whitelisted
+        (12, 0, false),       // map_gpa_range: no rule
+    ] {
+        let req = draco::syscalls::SyscallRequest::new(
+            0,
+            SyscallId::new(nr),
+            ArgSet::from_slice(&[arg0]),
+        );
+        let out = stack
+            .run(&draco::bpf::SeccompData::from_request(&req))
+            .unwrap();
+        assert_eq!(out.action.permits(), want, "nr {nr} arg {arg0}");
+        assert_eq!(out.action.permits(), policy.evaluate(&req).permits());
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end pipeline tests: workload → trace → profile → checkers →
+//! timing, across the full catalog.
+
+use draco::core::DracoChecker;
+use draco::profiles::{ProfileKind, ProfileStats};
+use draco::sim::{DracoHwCore, SimConfig};
+use draco::workloads::{catalog, timing, TraceGenerator};
+
+#[test]
+fn every_workload_flows_through_the_whole_stack() {
+    // The paper warms the architectural state before measuring (§X-C);
+    // we do the same: the first quarter of each trace is warm-up.
+    let model = timing::KernelCostModel::ubuntu_18_04();
+    for spec in catalog::all() {
+        let trace = TraceGenerator::new(&spec, 42).generate(8_000);
+        let warmup = 2_000;
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+
+        // Software paths (measured on the post-warm-up suffix).
+        let measured = trace.skip(warmup);
+        let insecure = timing::run_insecure(&measured, &model);
+        let seccomp = timing::run_seccomp(&measured, &profile, &model).expect("seccomp runs");
+        let draco = timing::run_draco_sw_with_warmup(&trace, &profile, &model, warmup)
+            .expect("draco runs");
+        assert!(insecure.total_ns <= draco.total_ns, "{}", spec.name);
+        // Draco beats Seccomp wherever checking matters at all; for
+        // compute-bound hpcc both are within noise of the baseline.
+        assert!(
+            draco.total_ns <= seccomp.total_ns * 1.001,
+            "{}: draco {} vs seccomp {}",
+            spec.name,
+            draco.total_ns,
+            seccomp.total_ns
+        );
+
+        // Hardware path.
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).expect("core");
+        let hw = core.run_measured(&trace, warmup);
+        assert!(
+            hw.normalized_overhead() < 1.02,
+            "{}: hw overhead {}",
+            spec.name,
+            hw.normalized_overhead()
+        );
+        assert_eq!(hw.denials, 0, "{}: steady state denies nothing", spec.name);
+    }
+}
+
+#[test]
+fn generated_profiles_land_in_paper_size_band() {
+    // Fig. 15a: app-specific profiles allow 50–100 syscalls with ~20%
+    // runtime-required.
+    for spec in catalog::all() {
+        let trace = TraceGenerator::new(&spec, 1).generate(8_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let stats = ProfileStats::for_profile(&profile);
+        assert!(
+            (50..=100).contains(&stats.allowed_syscalls),
+            "{}: {} syscalls",
+            spec.name,
+            stats.allowed_syscalls
+        );
+        let fraction = stats.runtime_fraction();
+        assert!(
+            (0.10..=0.45).contains(&fraction),
+            "{}: runtime fraction {fraction}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn complete_profiles_hit_paper_value_ranges() {
+    // Fig. 15b: 23–142 arguments checked, 127–2458 values allowed.
+    let mut min_args = usize::MAX;
+    let mut max_args = 0;
+    let mut min_vals = usize::MAX;
+    let mut max_vals = 0;
+    for spec in catalog::all() {
+        let trace = TraceGenerator::new(&spec, 1).generate(spec.default_ops);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let stats = ProfileStats::for_profile(&profile);
+        min_args = min_args.min(stats.args_checked);
+        max_args = max_args.max(stats.args_checked);
+        min_vals = min_vals.min(stats.distinct_values_allowed);
+        max_vals = max_vals.max(stats.distinct_values_allowed);
+    }
+    // Shape: tens of argument positions, hundreds-to-thousands of values,
+    // with a wide spread across applications.
+    assert!(min_args >= 20 && max_args <= 200, "args {min_args}..{max_args}");
+    assert!(min_vals >= 100, "min values {min_vals}");
+    assert!(max_vals >= 800, "max values {max_vals}");
+    assert!(max_vals > 3 * min_vals, "spread {min_vals}..{max_vals}");
+}
+
+#[test]
+fn draco_sw_cache_rate_grows_with_trace_length() {
+    let spec = catalog::by_name("httpd").unwrap();
+    let model = timing::KernelCostModel::ubuntu_18_04();
+    let short = TraceGenerator::new(&spec, 9).generate(500);
+    let long = TraceGenerator::new(&spec, 9).generate(20_000);
+    let profile = timing::profile_for_trace(&long, ProfileKind::SyscallComplete);
+    let rs = timing::run_draco_sw(&short, &profile, &model).unwrap();
+    let rl = timing::run_draco_sw(&long, &profile, &model).unwrap();
+    let rate = |r: &timing::RunReport| r.cache_hits as f64 / r.syscalls as f64;
+    assert!(rate(&rl) > rate(&rs), "warm-up amortizes");
+    assert!(rate(&rl) > 0.9);
+}
+
+#[test]
+fn checker_agrees_with_profile_on_full_traces() {
+    for name in ["nginx", "unixbench-syscall", "domain"] {
+        let spec = catalog::by_name(name).unwrap();
+        let trace = TraceGenerator::new(&spec, 77).generate(5_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        for req in trace.requests() {
+            let got = checker.check(&req).action;
+            let want = profile.evaluate(&req);
+            assert_eq!(got, want, "{name}: {req}");
+        }
+    }
+}
+
+#[test]
+fn docker_default_keeps_all_workloads_alive() {
+    let docker = draco::profiles::docker_default();
+    for spec in catalog::all() {
+        let trace = TraceGenerator::new(&spec, 5).generate(3_000);
+        let mut checker = DracoChecker::from_profile(&docker).unwrap();
+        for req in trace.requests() {
+            assert!(
+                checker.check(&req).action.permits(),
+                "{}: {} denied by docker-default",
+                spec.name,
+                req
+            );
+        }
+    }
+}
+
+#[test]
+fn vat_footprint_is_kilobytes_scale() {
+    // §XI-C: geometric mean VAT size ≈ 6.98 KB per process.
+    let mut log_sum = 0.0;
+    let mut n = 0.0;
+    for spec in catalog::all() {
+        let trace = TraceGenerator::new(&spec, 3).generate(spec.default_ops);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        for req in trace.requests() {
+            checker.check(&req);
+        }
+        let kb = checker.vat().footprint_bytes() as f64 / 1024.0;
+        assert!(kb > 0.1 && kb < 512.0, "{}: {kb} KB", spec.name);
+        log_sum += kb.ln();
+        n += 1.0;
+    }
+    let geomean = (log_sum / n).exp();
+    assert!(
+        (1.0..=64.0).contains(&geomean),
+        "geomean VAT footprint {geomean} KB (paper: 6.98 KB)"
+    );
+}

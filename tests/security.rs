@@ -1,0 +1,204 @@
+//! Security-scenario tests tied to the paper's threat model (§III):
+//! syscall-interface attacks, the futex CVE mitigation the paper cites,
+//! TOCTOU pointer semantics, and cache-bypass attempts.
+
+use draco::bpf::SeccompAction;
+use draco::core::{DracoChecker, DracoProcess, ProcessId};
+use draco::profiles::{
+    docker_default, ArgPolicy, ProfileSpec, RuleSource, SyscallRule,
+};
+use draco::syscalls::{ArgBitmask, ArgSet, SyscallId, SyscallRequest, SyscallTable};
+
+fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+    SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+}
+
+/// Paper §III: "the mitigation of CVE-2014-3153 is to disallow
+/// FUTEX_REQUEUE as the value of the futex_op argument of the futex
+/// system call."
+#[test]
+fn cve_2014_3153_futex_requeue_blocked() {
+    const FUTEX_WAIT: u64 = 0;
+    const FUTEX_WAKE: u64 = 1;
+    const FUTEX_REQUEUE: u64 = 3;
+
+    let table = SyscallTable::shared();
+    let futex = table.by_name("futex").expect("futex");
+    // Whitelist futex ops except REQUEUE (op is argument position 1).
+    let mut mask_widths = [0u8; 6];
+    mask_widths[1] = 4;
+    let allowed_ops = [FUTEX_WAIT, FUTEX_WAKE, 4, 5, 9, 10];
+    let mut profile = ProfileSpec::new("futex-mitigation", SeccompAction::Errno(1));
+    profile.allow(
+        futex.id(),
+        SyscallRule {
+            args: ArgPolicy::whitelist(
+                ArgBitmask::from_widths(mask_widths),
+                allowed_ops.map(|op| ArgSet::empty().with(1, op)),
+            ),
+            source: RuleSource::Application,
+        },
+    );
+    let mut checker = DracoChecker::from_profile(&profile).unwrap();
+
+    // Benign futex usage works and caches.
+    let wait = req(202, &[0x7fff_0000, FUTEX_WAIT, 1]);
+    assert!(checker.check(&wait).action.permits());
+    assert!(checker.check(&wait).path.is_cache_hit());
+    // The exploit's op is rejected — every time, never cached.
+    let exploit = req(202, &[0x7fff_0000, FUTEX_REQUEUE, 1, 0x41414141]);
+    for _ in 0..3 {
+        let r = checker.check(&exploit);
+        assert!(!r.action.permits());
+        assert!(!r.path.is_cache_hit(), "denials are never cached");
+    }
+}
+
+/// Paper §II-B: pointer contents can change after the check (TOCTOU), so
+/// pointers are never part of the decision — the same policy outcome must
+/// hold for any pointer value, checked or cached.
+#[test]
+fn toctou_pointer_swap_does_not_change_decisions() {
+    let mut profile = ProfileSpec::new("t", SeccompAction::KillProcess);
+    let table = SyscallTable::shared();
+    let read = table.by_name("read").unwrap();
+    profile.allow(
+        read.id(),
+        SyscallRule {
+            args: ArgPolicy::whitelist(
+                read.bitmask(),
+                [ArgSet::from_slice(&[3, 0, 4096])],
+            ),
+            source: RuleSource::Application,
+        },
+    );
+    let mut checker = DracoChecker::from_profile(&profile).unwrap();
+    // Validate with one buffer pointer…
+    assert!(checker
+        .check(&req(0, &[3, 0xAAAA_0000, 4096]))
+        .action
+        .permits());
+    // …an "attacker" swaps the pointer: still allowed (cached — the
+    // pointer never participated), and crucially the *checked* values
+    // still gate.
+    let swapped = checker.check(&req(0, &[3, 0xBBBB_0000, 4096]));
+    assert!(swapped.action.permits());
+    assert!(swapped.path.is_cache_hit());
+    assert!(!checker
+        .check(&req(0, &[4, 0xAAAA_0000, 4096]))
+        .action
+        .permits());
+}
+
+/// A denied (ID, argset) can never be smuggled into the cache by first
+/// validating a near-miss: cache keys are the *masked* values, and masks
+/// come from the profile, not the attacker.
+#[test]
+fn near_miss_values_do_not_poison_the_cache() {
+    let mut profile = ProfileSpec::new("t", SeccompAction::KillProcess);
+    profile.allow(
+        SyscallId::new(16), // ioctl
+        SyscallRule {
+            args: ArgPolicy::whitelist(
+                ArgBitmask::from_widths([0, 8, 0, 0, 0, 0]),
+                [ArgSet::empty().with(1, 0x5401)],
+            ),
+            source: RuleSource::Application,
+        },
+    );
+    let mut checker = DracoChecker::from_profile(&profile).unwrap();
+    assert!(checker.check(&req(16, &[1, 0x5401])).action.permits());
+    // High-bit variants of the cmd must not alias into the cached entry.
+    for bad in [0x1_0000_5401u64, 0x5401_0000_0000, 0x5400, 0x5402] {
+        let r = checker.check(&req(16, &[1, bad]));
+        assert!(!r.action.permits(), "cmd {bad:#x}");
+    }
+}
+
+/// Syscall numbers outside the interface (including compat aliases and
+/// 16-bit truncation edge cases) never pass.
+#[test]
+fn interface_edges_fail_closed() {
+    let docker = docker_default();
+    let mut checker = DracoChecker::from_profile(&docker).unwrap();
+    for nr in [403u16, 423, 436, 1000, u16::MAX] {
+        assert!(
+            !checker.check(&req(nr, &[])).action.permits(),
+            "nr {nr} must be denied"
+        );
+    }
+}
+
+/// The paper's Fig. 1 scenario end to end: personality(0xffffffff) and
+/// personality(0x20008) pass docker-default; anything else is rejected
+/// both before and after the good values are cached.
+#[test]
+fn figure_1_personality_scenario() {
+    let mut proc = DracoProcess::spawn(ProcessId(1), &docker_default()).unwrap();
+    assert!(proc.syscall(&req(135, &[0xffff_ffff])).action.permits());
+    assert!(proc.syscall(&req(135, &[0x2_0008])).action.permits());
+    // Cached now — and the bad value still fails.
+    assert!(proc.syscall(&req(135, &[0xffff_ffff])).path.is_cache_hit());
+    assert_eq!(
+        proc.syscall(&req(135, &[0x1234])).action,
+        SeccompAction::Errno(1)
+    );
+    assert!(proc.is_alive(), "errno profile does not kill");
+}
+
+/// Stacking a tighter filter mid-run (seccomp semantics) immediately
+/// revokes previously cached admissions.
+#[test]
+fn tightening_policy_revokes_cached_state() {
+    let mut base = ProfileSpec::new("base", SeccompAction::KillProcess);
+    for nr in [0u16, 1, 39] {
+        base.allow(SyscallId::new(nr), SyscallRule::any(RuleSource::Application));
+    }
+    let mut checker = DracoChecker::from_profile(&base).unwrap();
+    assert!(checker.check(&req(1, &[4, 0, 8])).action.permits());
+    assert!(checker.check(&req(1, &[4, 0, 8])).path.is_cache_hit());
+
+    // Sandbox tightens: drop write.
+    let mut tighter = ProfileSpec::new("no-write", SeccompAction::KillProcess);
+    for nr in [0u16, 39] {
+        tighter.allow(SyscallId::new(nr), SyscallRule::any(RuleSource::Application));
+    }
+    checker.install_additional(&tighter).unwrap();
+    assert!(
+        !checker.check(&req(1, &[4, 0, 8])).action.permits(),
+        "cached write admission must not survive the new filter"
+    );
+    assert!(checker.check(&req(0, &[3, 0, 8])).action.permits());
+}
+
+/// Speculative preloads must not leak decisions: a squashed preload
+/// leaves no SLB state (the §IX temporary-buffer property, end to end).
+#[test]
+fn squashed_speculation_leaves_no_architectural_trace() {
+    use draco::sim::{DracoHwCore, SimConfig};
+    use draco::workloads::{SyscallTrace, TraceOp};
+
+    let mut gen = draco::profiles::ProfileGenerator::new("spec");
+    gen.observe(&req(0, &[3, 0, 64]));
+    let profile = gen.emit(draco::profiles::ProfileKind::SyscallComplete);
+    let mut config = SimConfig::table_ii();
+    config.ctx_quantum_cycles = 0;
+    let mut core = DracoHwCore::new(config, &profile).unwrap();
+    let op = TraceOp {
+        compute_ns: 10,
+        pc: 0x40_0000,
+        nr: 0,
+        args: [3, 0, 64, 0, 0, 0],
+    };
+    // Validate once (fallback), once more (F6 fills SLB/STB).
+    core.run(&SyscallTrace::from_ops("warm", vec![op, op]));
+    // Mid-flight squash storms do not corrupt the temporary buffer or
+    // the SLB: subsequent checks still succeed and stay fast.
+    for _ in 0..8 {
+        core.inject_squash();
+        assert!(core.temp_buffer().is_empty());
+    }
+    let r = core.run(&SyscallTrace::from_ops("after", vec![op]));
+    assert_eq!(r.denials, 0);
+    assert_eq!(r.flows.f1, 1, "still a fast hit after the squashes");
+}
