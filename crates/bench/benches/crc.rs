@@ -1,6 +1,7 @@
-//! CRC-64 hashing microbenchmarks: the table-driven fast path vs the
-//! hardware-shaped bit-serial LFSR, across Draco-typical input sizes
-//! (selected argument bytes are at most 48 bytes).
+//! CRC-64 hashing microbenchmarks: the hardware-shaped bit-serial LFSR
+//! vs the classic one-table (slice-by-1) loop vs the slice-by-8 hot
+//! path, across Draco-typical input sizes (selected argument bytes are
+//! at most 48 bytes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -14,11 +15,14 @@ fn bench_crc(c: &mut Criterion) {
     for &len in &[8usize, 16, 48] {
         let data: Vec<u8> = (0..len as u8).collect();
         group.throughput(Throughput::Bytes(len as u64));
-        group.bench_function(BenchmarkId::new("table", len), |b| {
-            b.iter(|| black_box(ecma.checksum(black_box(&data))));
-        });
         group.bench_function(BenchmarkId::new("bitwise_lfsr", len), |b| {
             b.iter(|| black_box(ecma.checksum_bitwise(black_box(&data))));
+        });
+        group.bench_function(BenchmarkId::new("slice_by_1", len), |b| {
+            b.iter(|| black_box(ecma.checksum_slice1(black_box(&data))));
+        });
+        group.bench_function(BenchmarkId::new("slice_by_8", len), |b| {
+            b.iter(|| black_box(ecma.checksum(black_box(&data))));
         });
         group.bench_function(BenchmarkId::new("pair_h1_h2", len), |b| {
             b.iter(|| {

@@ -18,6 +18,10 @@ fn main() {
         usage();
         return;
     }
+    if args[0] == "throughput" {
+        run_throughput_cmd(&args[1..]);
+        return;
+    }
     let mut cfg = RunConfig::default();
     let mut json = false;
     let mut i = 1;
@@ -67,6 +71,77 @@ fn main() {
     }
 }
 
+/// `repro throughput [--quick] [--ops N] [--warmup N] [--seed N]
+/// [--shards N] [--workload W] [--out PATH] [--json]` — the wall-clock
+/// harness. Always writes the JSON report (default:
+/// `BENCH_throughput.json` at the repo root); `--json` echoes it to
+/// stdout instead of the human table.
+fn run_throughput_cmd(args: &[String]) {
+    use draco_bench::throughput::{run_throughput, ThroughputConfig};
+
+    let mut cfg = ThroughputConfig::standard();
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                let quick = ThroughputConfig::quick();
+                cfg.ops_per_shard = quick.ops_per_shard;
+                cfg.warmup_ops = quick.warmup_ops;
+            }
+            "--ops" => cfg.ops_per_shard = parse(args, &mut i, "--ops"),
+            "--warmup" => cfg.warmup_ops = parse(args, &mut i, "--warmup"),
+            "--seed" => cfg.seed = parse(args, &mut i, "--seed"),
+            "--shards" => cfg.shards = parse(args, &mut i, "--shards"),
+            "--workload" => cfg.workload = parse(args, &mut i, "--workload"),
+            "--out" => out = Some(parse(args, &mut i, "--out")),
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(cfg.warmup_ops < cfg.ops_per_shard, "--warmup must be below --ops");
+    assert!(cfg.shards > 0, "--shards must be nonzero");
+
+    let report = run_throughput(&cfg);
+    let text = serde_json::to_string_pretty(&report).expect("report serializes")
+        + "\n";
+    let path = out.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json").to_owned()
+    });
+    std::fs::write(&path, &text)
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+
+    if json {
+        print!("{text}");
+        return;
+    }
+    println!(
+        "Throughput — wall-clock checks/second ({}, {} ops/shard, {} shards)",
+        report.workload, report.ops_per_shard, report.shards
+    );
+    println!(
+        "{:<18} {:>14} {:>14} {:>9} {:>9}",
+        "backend", "1-thread", "N-thread", "speedup", "hit-rate"
+    );
+    for b in &report.backends {
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>8.2}x {:>8.1}%",
+            b.backend,
+            b.single_thread_checks_per_sec,
+            b.multi_thread_checks_per_sec,
+            b.parallel_speedup,
+            b.cache_hit_rate * 100.0
+        );
+    }
+    println!("wrote {path}");
+}
+
 fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
     *i += 1;
     args.get(*i)
@@ -101,7 +176,10 @@ fn usage() {
          \x20 ablate-ctx    context-switch quantum + SPT save/restore\n\
          \x20 ablate-smt    dedicated vs time-shared vs SMT co-run\n\
          \x20 ablate-opt    peephole-optimized filters vs raw vs draco-sw\n\
-         \x20 all           everything above"
+         \x20 all           everything above\n\
+         \x20 throughput    wall-clock checks/sec per backend, 1 and N threads\n\
+         \x20               (writes BENCH_throughput.json; flags: --quick\n\
+         \x20               --shards N --workload W --out PATH)"
     );
 }
 

@@ -1,0 +1,220 @@
+//! The tracked wall-clock throughput harness behind `repro throughput`.
+//!
+//! Unlike the modeled-nanosecond experiments, this measures how many
+//! real checks per second each backend sustains on the host machine,
+//! single-threaded and across N parallel shards, and serializes the
+//! result as `BENCH_throughput.json` so throughput is tracked in-repo
+//! across changes to the hot path.
+
+use serde::{Deserialize, Serialize};
+
+use draco::profiles::ProfileKind;
+use draco::workloads::catalog;
+use draco::workloads::replay::{replay_parallel, ReplayBackend, ReplayConfig, ReplayReport};
+
+/// Schema tag written into every report (bump on breaking changes).
+pub const SCHEMA: &str = "draco-throughput/v1";
+
+/// Harness parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThroughputConfig {
+    /// Workload to replay (must exist in the catalog).
+    pub workload: String,
+    /// Measured checks per shard.
+    pub ops_per_shard: usize,
+    /// Unmeasured warm-up checks per shard.
+    pub warmup_ops: usize,
+    /// Base seed; shard `i` replays seed `base + i`.
+    pub seed: u64,
+    /// Shard (thread) count for the multi-thread run.
+    pub shards: usize,
+}
+
+impl ThroughputConfig {
+    /// Defaults sized for a stable measurement (a few seconds total).
+    pub fn standard() -> Self {
+        ThroughputConfig {
+            workload: "pipe".to_owned(),
+            ops_per_shard: 200_000,
+            warmup_ops: 20_000,
+            seed: 2020,
+            shards: default_shards(),
+        }
+    }
+
+    /// A sub-second configuration for smoke tests (`--quick`).
+    pub fn quick() -> Self {
+        ThroughputConfig {
+            ops_per_shard: 5_000,
+            warmup_ops: 1_000,
+            ..ThroughputConfig::standard()
+        }
+    }
+}
+
+/// Worker count for the multi-thread run: available parallelism, capped
+/// so the harness behaves on large machines.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+/// One backend's measured throughput.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BackendThroughput {
+    /// Backend label (`seccomp-interp`, `seccomp-compiled`, `draco-sw`).
+    pub backend: String,
+    /// Checks/second with one shard on one thread.
+    pub single_thread_checks_per_sec: f64,
+    /// Aggregate checks/second across all shards.
+    pub multi_thread_checks_per_sec: f64,
+    /// Multi-thread over single-thread throughput.
+    pub parallel_speedup: f64,
+    /// Fraction of measured checks the SPT/VAT absorbed (zero for the
+    /// Seccomp backends).
+    pub cache_hit_rate: f64,
+    /// Measured checks per shard in the multi-thread run — a pure
+    /// function of `(workload, seed, shard)`, so identical across
+    /// same-seed runs.
+    pub shard_checks: Vec<u64>,
+    /// Allowed verdicts per shard in the multi-thread run (also
+    /// deterministic).
+    pub shard_allowed: Vec<u64>,
+}
+
+/// The full report `repro throughput` prints and writes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Replayed workload.
+    pub workload: String,
+    /// Measured checks per shard.
+    pub ops_per_shard: u64,
+    /// Warm-up checks per shard.
+    pub warmup_ops: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Shard count of the multi-thread runs.
+    pub shards: u64,
+    /// Per-backend measurements, in [`ReplayBackend::ALL`] order.
+    pub backends: Vec<BackendThroughput>,
+}
+
+impl ThroughputReport {
+    /// The entry for a backend label, if present.
+    pub fn backend(&self, label: &str) -> Option<&BackendThroughput> {
+        self.backends.iter().find(|b| b.backend == label)
+    }
+}
+
+fn summarize(single: &ReplayReport, multi: &ReplayReport) -> BackendThroughput {
+    let st = single.checks_per_sec();
+    let mt = multi.checks_per_sec();
+    BackendThroughput {
+        backend: single.backend.label().to_owned(),
+        single_thread_checks_per_sec: st,
+        multi_thread_checks_per_sec: mt,
+        parallel_speedup: if st > 0.0 { mt / st } else { 0.0 },
+        cache_hit_rate: multi.cache_hit_rate(),
+        shard_checks: multi.shard_checks(),
+        shard_allowed: multi.shards.iter().map(|s| s.allowed).collect(),
+    }
+}
+
+/// Runs the harness: for each backend, one single-shard replay and one
+/// `cfg.shards`-shard replay over the same workload.
+///
+/// # Panics
+///
+/// Panics if the workload is not in the catalog or `cfg.shards == 0`.
+pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
+    let spec = catalog::by_name(&cfg.workload)
+        .unwrap_or_else(|| panic!("unknown workload `{}`", cfg.workload));
+    let kind = ProfileKind::SyscallComplete;
+    let base = ReplayConfig {
+        shards: 1,
+        ops_per_shard: cfg.ops_per_shard,
+        warmup_ops: cfg.warmup_ops,
+        base_seed: cfg.seed,
+    };
+    let multi_cfg = ReplayConfig {
+        shards: cfg.shards,
+        ..base
+    };
+    let backends = ReplayBackend::ALL
+        .iter()
+        .map(|&backend| {
+            let single = replay_parallel(&spec, kind, backend, &base);
+            let multi = replay_parallel(&spec, kind, backend, &multi_cfg);
+            summarize(&single, &multi)
+        })
+        .collect();
+    ThroughputReport {
+        schema: SCHEMA.to_owned(),
+        workload: cfg.workload.clone(),
+        ops_per_shard: cfg.ops_per_shard as u64,
+        warmup_ops: cfg.warmup_ops as u64,
+        seed: cfg.seed,
+        shards: cfg.shards as u64,
+        backends,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ThroughputConfig {
+        ThroughputConfig {
+            workload: "pipe".to_owned(),
+            ops_per_shard: 300,
+            warmup_ops: 50,
+            seed: 7,
+            shards: 2,
+        }
+    }
+
+    #[test]
+    fn report_shape() {
+        let report = run_throughput(&tiny());
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.backends.len(), 3);
+        for b in &report.backends {
+            assert_eq!(b.shard_checks, vec![300, 300]);
+            assert!(b.single_thread_checks_per_sec > 0.0);
+            assert!(b.multi_thread_checks_per_sec > 0.0);
+        }
+        let draco = report.backend("draco-sw").expect("draco-sw present");
+        assert!(draco.cache_hit_rate > 0.5);
+        assert_eq!(report.backend("seccomp-interp").unwrap().cache_hit_rate, 0.0);
+        assert!(report.backend("nope").is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_deterministic_fields() {
+        let report = run_throughput(&tiny());
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn same_seed_runs_share_deterministic_fields() {
+        let a = run_throughput(&tiny());
+        let b = run_throughput(&tiny());
+        for (x, y) in a.backends.iter().zip(&b.backends) {
+            assert_eq!(x.shard_checks, y.shard_checks);
+            assert_eq!(x.shard_allowed, y.shard_allowed);
+            assert_eq!(x.cache_hit_rate, y.cache_hit_rate);
+        }
+    }
+
+    #[test]
+    fn default_shards_bounded() {
+        let n = default_shards();
+        assert!((2..=8).contains(&n));
+    }
+}

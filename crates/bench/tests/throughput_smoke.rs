@@ -1,0 +1,77 @@
+//! End-to-end smoke tests of `repro throughput`.
+
+use std::process::Command;
+
+use draco_bench::throughput::ThroughputReport;
+
+fn run_quick(out: &std::path::Path, extra: &[&str]) -> ThroughputReport {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["throughput", "--quick", "--json", "--out"])
+        .arg(out)
+        .args(extra)
+        .output()
+        .expect("repro runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    serde_json::from_str(&stdout).expect("stdout is a schema-valid report")
+}
+
+#[test]
+fn quick_run_emits_schema_valid_json() {
+    let out = std::env::temp_dir().join("draco_throughput_smoke.json");
+    let report = run_quick(&out, &["--shards", "2", "--seed", "11"]);
+
+    assert_eq!(report.schema, draco_bench::throughput::SCHEMA);
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.seed, 11);
+    assert_eq!(report.backends.len(), 3);
+    for backend in &report.backends {
+        assert_eq!(backend.shard_checks.len(), 2);
+        assert!(backend.single_thread_checks_per_sec > 0.0);
+        assert!(backend.multi_thread_checks_per_sec > 0.0);
+    }
+    assert!(report.backend("draco-sw").unwrap().cache_hit_rate > 0.5);
+
+    // The file mirrors stdout and survives a serde round-trip.
+    let on_disk = std::fs::read_to_string(&out).expect("report written");
+    let parsed: ThroughputReport = serde_json::from_str(&on_disk).expect("file parses");
+    assert_eq!(parsed, report);
+    let reserialized = serde_json::to_string_pretty(&report).expect("serializes");
+    let round: ThroughputReport = serde_json::from_str(&reserialized).expect("round-trips");
+    assert_eq!(round, report);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn same_seed_runs_have_identical_shard_counts() {
+    let out_a = std::env::temp_dir().join("draco_throughput_det_a.json");
+    let out_b = std::env::temp_dir().join("draco_throughput_det_b.json");
+    let flags = ["--shards", "2", "--seed", "42"];
+    let a = run_quick(&out_a, &flags);
+    let b = run_quick(&out_b, &flags);
+
+    for (x, y) in a.backends.iter().zip(&b.backends) {
+        assert_eq!(x.backend, y.backend);
+        assert_eq!(x.shard_checks, y.shard_checks, "{}", x.backend);
+        assert_eq!(x.shard_allowed, y.shard_allowed, "{}", x.backend);
+        assert_eq!(x.cache_hit_rate, y.cache_hit_rate, "{}", x.backend);
+    }
+    let _ = std::fs::remove_file(&out_a);
+    let _ = std::fs::remove_file(&out_b);
+}
+
+#[test]
+fn warmup_at_least_ops_is_rejected() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["throughput", "--ops", "100", "--warmup", "100"])
+        .output()
+        .expect("repro runs");
+    assert!(!output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("--warmup must be below --ops")
+    );
+}

@@ -1,31 +1,68 @@
 //! The Validated Argument Table (paper §V-B, §VII-A).
 
+use core::borrow::Borrow;
 use core::fmt;
 
 use draco_cuckoo::{CrcPairHasher, CuckooTable, HashPair, Way};
-use draco_syscalls::{ArgBitmask, ArgSet, SyscallId};
+use draco_syscalls::{ArgBitmask, ArgSet, MaskedBytes, SyscallId};
 
 /// The key of a VAT entry: the masked-selected argument bytes of one
 /// validated invocation, in bitmask bit order (what the paper's Selector
 /// feeds to the CRC hash functions, Fig. 5).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct VatKey(Vec<u8>);
+///
+/// The bytes live in a fixed 48-byte inline buffer — the Argument
+/// Bitmask is 48 bits wide, so a key can never be longer — making the
+/// key `Copy` and keeping VAT probes free of heap allocation. Equality
+/// and hashing are over the selected bytes only; the table probes it
+/// through its `Borrow<[u8]>` form, so a lookup needs no owned key at
+/// all.
+#[derive(Clone, Copy, Debug)]
+pub struct VatKey(MaskedBytes);
 
 impl VatKey {
     /// Builds the key for an argument set under a bitmask.
     pub fn new(mask: ArgBitmask, args: &ArgSet) -> Self {
-        VatKey(mask.select_bytes(args).as_slice().to_vec())
+        VatKey(mask.select_bytes(args))
     }
 
     /// The selected bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        self.0.as_slice()
+    }
+}
+
+// Equality and hashing go through the byte slice (not the whole inline
+// buffer) so they agree with the key's `Borrow<[u8]>` form, as the
+// `Borrow` contract requires.
+impl PartialEq for VatKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for VatKey {}
+
+impl core::hash::Hash for VatKey {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
     }
 }
 
 impl AsRef<[u8]> for VatKey {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_bytes()
+    }
+}
+
+impl Borrow<[u8]> for VatKey {
+    fn borrow(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl From<MaskedBytes> for VatKey {
+    fn from(bytes: MaskedBytes) -> Self {
+        VatKey(bytes)
     }
 }
 
@@ -69,6 +106,10 @@ type SyscallVat = CuckooTable<VatKey, ArgSet>;
 pub struct Vat {
     tables: Vec<SyscallVat>,
     owners: Vec<SyscallId>,
+    /// Syscall-id → table-index map, indexed by raw syscall number:
+    /// `ensure_table` sits on the miss/update path of every argument
+    /// check, so resolving an existing table must not scan `owners`.
+    index_of: Vec<Option<u32>>,
     min_capacity: usize,
     capacity_cap: Option<usize>,
 }
@@ -82,6 +123,7 @@ impl Vat {
         Vat {
             tables: Vec::new(),
             owners: Vec::new(),
+            index_of: Vec::new(),
             min_capacity: Self::DEFAULT_MIN_CAPACITY,
             capacity_cap: None,
         }
@@ -109,8 +151,9 @@ impl Vat {
     /// `expected_sets` argument sets. Returns the table index — the SPT's
     /// Base field.
     pub fn ensure_table(&mut self, id: SyscallId, expected_sets: usize) -> u32 {
-        if let Some(pos) = self.owners.iter().position(|&o| o == id) {
-            return pos as u32;
+        let nr = id.as_u16() as usize;
+        if let Some(&Some(index)) = self.index_of.get(nr) {
+            return index;
         }
         // Over-provision 2x (paper §VII-A), subject to the memory cap.
         let mut capacity = (expected_sets * 2).max(self.min_capacity);
@@ -120,7 +163,12 @@ impl Vat {
         self.tables
             .push(CuckooTable::with_capacity(capacity, CrcPairHasher::new()));
         self.owners.push(id);
-        (self.tables.len() - 1) as u32
+        let index = (self.tables.len() - 1) as u32;
+        if self.index_of.len() <= nr {
+            self.index_of.resize(nr + 1, None);
+        }
+        self.index_of[nr] = Some(index);
+        index
     }
 
     /// Number of per-syscall tables.
@@ -137,15 +185,16 @@ impl Vat {
     /// probing).
     pub fn hash_pair(&self, index: u32, mask: ArgBitmask, args: &ArgSet) -> Option<HashPair> {
         let table = self.tables.get(index as usize)?;
-        Some(table.hash_pair(&VatKey::new(mask, args)))
+        Some(table.hash_pair(mask.select_bytes(args).as_slice()))
     }
 
     /// Probes the table for a validated argument set (two probes, like
-    /// the hardware).
+    /// the hardware). The selected bytes are borrowed straight off the
+    /// stack — a probe performs no heap allocation.
     pub fn lookup(&mut self, index: u32, mask: ArgBitmask, args: &ArgSet) -> Option<VatLookup> {
         let table = self.tables.get_mut(index as usize)?;
-        let key = VatKey::new(mask, args);
-        table.lookup(&key).map(|hit| VatLookup {
+        let key = mask.select_bytes(args);
+        table.lookup(key.as_slice()).map(|hit| VatLookup {
             way: hit.way,
             hash: hit.hash,
         })
@@ -173,7 +222,7 @@ impl Vat {
         let table = self.tables.get(index as usize)?;
         table
             .iter()
-            .find(|(k, _)| table.hash_pair(k).for_way(way) == hash)
+            .find(|(k, _)| table.hash_pair(k.as_bytes()).for_way(way) == hash)
             .map(|(_, v)| *v)
     }
 
@@ -331,6 +380,33 @@ mod tests {
         assert!(f1 > 0);
         assert!(f2 > f1);
         assert!(vat.to_string().contains("tables"));
+    }
+
+    #[test]
+    fn ensure_table_scales_to_hundreds_of_tables() {
+        // A full x86-64 profile can check arguments on ~400 syscalls;
+        // resolving an existing table must stay O(1), not scan owners.
+        let mut vat = Vat::new();
+        let first: Vec<u32> = (0..403u16)
+            .map(|nr| vat.ensure_table(SyscallId::new(nr), 2))
+            .collect();
+        assert_eq!(vat.table_count(), 403);
+        for (nr, &idx) in first.iter().enumerate() {
+            assert_eq!(vat.ensure_table(SyscallId::new(nr as u16), 2), idx);
+            assert_eq!(vat.owner(idx), Some(SyscallId::new(nr as u16)));
+        }
+        assert_eq!(vat.table_count(), 403, "re-resolution must not grow");
+    }
+
+    #[test]
+    fn vat_key_is_copy_and_borrows_as_bytes() {
+        let mask = ArgBitmask::from_widths([2, 0, 0, 0, 0, 0]);
+        let key = VatKey::new(mask, &ArgSet::from_slice(&[0x1234]));
+        let copy = key; // Copy, not move
+        assert_eq!(key, copy);
+        let slice: &[u8] = core::borrow::Borrow::borrow(&key);
+        assert_eq!(slice, key.as_bytes());
+        assert_eq!(VatKey::from(mask.select_bytes(&ArgSet::from_slice(&[0x1234]))), key);
     }
 
     #[test]

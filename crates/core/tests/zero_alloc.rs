@@ -1,0 +1,89 @@
+//! Machine-checked hot-path performance contract: a check that hits the
+//! SPT or the VAT performs **zero heap allocations**.
+//!
+//! The library forbids `unsafe`, so the counting allocator lives here in
+//! the test binary. This file intentionally holds a single test: the
+//! allocation counter is process-global, and a lone test keeps the
+//! measured window free of harness activity.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use draco_core::{CheckPath, DracoChecker};
+use draco_profiles::{ProfileGenerator, ProfileKind};
+use draco_syscalls::{ArgSet, SyscallId, SyscallRequest};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+    SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+}
+
+#[test]
+fn cached_checks_do_not_allocate() {
+    // An argument-checking profile: read/write with two hot argument
+    // sets each, plus getpid for the SPT-only path.
+    let mut gen = ProfileGenerator::new("zero-alloc");
+    gen.observe(&req(0, &[3, 0xaaaa, 64]));
+    gen.observe(&req(0, &[4, 0xbbbb, 128]));
+    gen.observe(&req(1, &[3, 0xcccc, 64]));
+    gen.observe(&req(39, &[]));
+    let profile = gen.emit(ProfileKind::SyscallComplete);
+    let mut checker = DracoChecker::from_profile(&profile).expect("compiles");
+
+    // Warm every path we are about to measure (first encounters run the
+    // filter and may insert into the VAT — allocation is fine there).
+    let vat_reqs = [
+        req(0, &[3, 1, 64]),
+        req(0, &[4, 2, 128]),
+        req(1, &[3, 3, 64]),
+    ];
+    let spt_req = req(39, &[]);
+    for r in &vat_reqs {
+        checker.check(r);
+    }
+    checker.check(&spt_req);
+    for r in &vat_reqs {
+        assert_eq!(checker.check(r).path, CheckPath::VatHit, "warmed: {r}");
+    }
+    assert_eq!(checker.check(&spt_req).path, CheckPath::SptHit);
+
+    // Measured window: every check below is a cache hit and must not
+    // touch the heap.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..1_000 {
+        for r in &vat_reqs {
+            let result = checker.check(r);
+            assert_eq!(result.path, CheckPath::VatHit);
+        }
+        let result = checker.check(&spt_req);
+        assert_eq!(result.path, CheckPath::SptHit);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "VAT/SPT-hit checks must perform zero heap allocations"
+    );
+}

@@ -7,6 +7,7 @@
 //! threshold the table *evicts* a resident entry instead of growing —
 //! mirroring the OS behaviour of §VII-A and keeping VAT memory bounded.
 
+use core::borrow::Borrow;
 use core::fmt;
 
 use crate::{Crc64, HashPair};
@@ -53,18 +54,21 @@ pub trait PairHasher<K: ?Sized> {
 
 /// The Draco hasher: CRC-64 with the ECMA polynomial for `H1` and its
 /// complement for `H2` (paper §VII-A).
-#[derive(Clone, Debug)]
+///
+/// Borrows the process-wide CRC engines, so constructing one per VAT
+/// table is two pointer copies — the slice-by-8 tables are built once.
+#[derive(Clone, Copy, Debug)]
 pub struct CrcPairHasher {
-    h1: Crc64,
-    h2: Crc64,
+    h1: &'static Crc64,
+    h2: &'static Crc64,
 }
 
 impl CrcPairHasher {
     /// Creates the standard ECMA / ¬ECMA hasher pair.
     pub fn new() -> Self {
         CrcPairHasher {
-            h1: Crc64::ecma(),
-            h2: Crc64::not_ecma(),
+            h1: Crc64::ecma_shared(),
+            h2: Crc64::not_ecma_shared(),
         }
     }
 }
@@ -214,7 +218,17 @@ where
     }
 
     /// The hash pair the table computes for `key`.
-    pub fn hash_pair(&self, key: &K) -> HashPair {
+    ///
+    /// Accepts any borrowed form of the key type (e.g. `&[u8]` for
+    /// byte-string keys), so callers need not materialize an owned `K`
+    /// just to hash. The `Borrow` contract guarantees the borrowed form
+    /// hashes and compares like the owned key.
+    pub fn hash_pair<Q>(&self, key: &Q) -> HashPair
+    where
+        K: Borrow<Q>,
+        Q: ?Sized,
+        H: PairHasher<Q>,
+    {
         self.hasher.hash_pair(key)
     }
 
@@ -231,7 +245,16 @@ where
 
     /// Looks up a key; on a hit returns where it lives and which hash
     /// found it. Exactly two probes, like the hardware.
-    pub fn lookup(&mut self, key: &K) -> Option<Lookup> {
+    ///
+    /// Like [`CuckooTable::hash_pair`], accepts any borrowed form of the
+    /// key — probing with `&[u8]` against owned byte-string keys
+    /// allocates nothing.
+    pub fn lookup<Q>(&mut self, key: &Q) -> Option<Lookup>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+        H: PairHasher<Q>,
+    {
         let pair = self.hasher.hash_pair(key);
         let found = self.probe(key, pair);
         match found {
@@ -242,12 +265,16 @@ where
     }
 
     /// Non-counting lookup (used by read-only paths and tests).
-    pub fn probe(&self, key: &K, pair: HashPair) -> Option<Lookup> {
+    pub fn probe<Q>(&self, key: &Q, pair: HashPair) -> Option<Lookup>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
         for way in [Way::H1, Way::H2] {
             let hash = pair.for_way(way);
             let slot = self.slot_for(hash);
             if let Some(entry) = &self.ways[way.index()][slot] {
-                if entry.key == *key {
+                if entry.key.borrow() == key {
                     return Some(Lookup { way, slot, hash });
                 }
             }
@@ -312,7 +339,12 @@ where
     }
 
     /// Removes a key, returning its value if it was resident.
-    pub fn remove(&mut self, key: &K) -> Option<V> {
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+        H: PairHasher<Q>,
+    {
         let pair = self.hasher.hash_pair(key);
         let found = self.probe(key, pair)?;
         let entry = self.ways[found.way.index()][found.slot].take()?;
@@ -435,6 +467,18 @@ mod tests {
         for v in resident {
             assert!(t.lookup(&key(v)).is_some(), "resident {v} must hit");
         }
+    }
+
+    #[test]
+    fn borrowed_slice_probe_matches_owned() {
+        let mut t = table(8);
+        t.insert(key(9), 99);
+        let owned = t.lookup(&key(9)).expect("owned hit");
+        let borrowed = t.lookup(key(9).as_slice()).expect("borrowed hit");
+        assert_eq!(owned, borrowed);
+        assert_eq!(t.hash_pair(&key(9)), t.hash_pair(key(9).as_slice()));
+        assert!(t.lookup(b"missing".as_slice()).is_none());
+        assert_eq!(t.remove(key(9).as_slice()), Some(99));
     }
 
     #[test]

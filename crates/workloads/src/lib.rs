@@ -44,6 +44,7 @@ pub mod catalog;
 mod generator;
 mod locality;
 mod model;
+pub mod replay;
 pub mod timing;
 mod trace;
 

@@ -1,0 +1,393 @@
+//! Wall-clock parallel trace replay.
+//!
+//! The [`timing`](crate::timing) module *models* kernel time from cost
+//! constants; this module *measures* it: it drives real checker code
+//! (`FilterStack`, `CompiledStack`, [`DracoProcess`]) over generated
+//! traces and reports wall-clock checks/second. Replay is sharded: each
+//! shard owns one [`DracoProcess`] (or one filter stack) and a trace
+//! generated from a deterministic per-shard seed, so N shards model N
+//! independent processes checked concurrently — there is no shared
+//! mutable state between shards, exactly as per-process Draco tables
+//! have none in the paper's OS design (§VII-A).
+//!
+//! Everything except the clock is deterministic: per-shard check,
+//! allow, and cache-hit counts depend only on `(workload, seed, shard)`
+//! and are bit-identical across runs, which is what the throughput
+//! harness's smoke tests pin down.
+
+use std::time::Instant;
+
+use draco_bpf::SeccompData;
+use draco_core::{DracoProcess, ProcessId};
+use draco_profiles::{compile_stacked, FilterLayout, ProfileKind, ProfileSpec};
+use draco_syscalls::SyscallRequest;
+
+use crate::model::WorkloadSpec;
+use crate::timing::profile_for_trace;
+use crate::TraceGenerator;
+
+/// Which check implementation a replay drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplayBackend {
+    /// Seccomp with the cBPF reference interpreter (JIT off).
+    SeccompInterp,
+    /// Seccomp with the pre-decoded executor (JIT-model, the kernel
+    /// default).
+    SeccompCompiled,
+    /// Software Draco: SPT + VAT caches in front of the filter.
+    DracoSw,
+}
+
+impl ReplayBackend {
+    /// All backends, in report order.
+    pub const ALL: [ReplayBackend; 3] = [
+        ReplayBackend::SeccompInterp,
+        ReplayBackend::SeccompCompiled,
+        ReplayBackend::DracoSw,
+    ];
+
+    /// Stable label used in reports and JSON.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ReplayBackend::SeccompInterp => "seccomp-interp",
+            ReplayBackend::SeccompCompiled => "seccomp-compiled",
+            ReplayBackend::DracoSw => "draco-sw",
+        }
+    }
+}
+
+/// Sharding and trace-length parameters of one replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Number of worker shards (threads). Must be nonzero.
+    pub shards: usize,
+    /// Measured operations per shard.
+    pub ops_per_shard: usize,
+    /// Unmeasured warm-up operations per shard (steady-state
+    /// measurement, paper §X-C).
+    pub warmup_ops: usize,
+    /// Base RNG seed; shard `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl ReplayConfig {
+    /// Seed for one shard.
+    pub const fn shard_seed(&self, shard: usize) -> u64 {
+        self.base_seed.wrapping_add(shard as u64)
+    }
+}
+
+/// Deterministic counters plus the measured time of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// The seed the shard's trace was generated from.
+    pub seed: u64,
+    /// Measured checks performed (= `ops_per_shard`).
+    pub checks: u64,
+    /// Checks whose verdict permitted the call.
+    pub allowed: u64,
+    /// Checks admitted by SPT or VAT without running the filter
+    /// (always zero for the Seccomp backends).
+    pub cache_hits: u64,
+    /// Wall-clock nanoseconds spent in the measured loop.
+    pub elapsed_ns: u64,
+}
+
+/// The outcome of one (possibly parallel) replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayReport {
+    /// The backend that was driven.
+    pub backend: ReplayBackend,
+    /// Workload name.
+    pub workload: String,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Wall-clock nanoseconds for the whole parallel region (thread
+    /// spawn to last join), excluding trace generation and filter
+    /// compilation.
+    pub wall_ns: u64,
+}
+
+impl ReplayReport {
+    /// Total measured checks across shards.
+    pub fn total_checks(&self) -> u64 {
+        self.shards.iter().map(|s| s.checks).sum()
+    }
+
+    /// Aggregate throughput: total checks over the parallel region's
+    /// wall-clock time.
+    pub fn checks_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.total_checks() as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Fraction of measured checks that skipped the filter.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let checks = self.total_checks();
+        if checks == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self.shards.iter().map(|s| s.cache_hits).sum();
+        hits as f64 / checks as f64
+    }
+
+    /// Per-shard check counts (the determinism fingerprint).
+    pub fn shard_checks(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.checks).collect()
+    }
+}
+
+/// One shard's fully prepared input: requests decoded and profile built
+/// before any clock starts.
+struct ShardPlan {
+    shard: usize,
+    seed: u64,
+    warmup: Vec<SyscallRequest>,
+    measured: Vec<SyscallRequest>,
+    profile: ProfileSpec,
+}
+
+fn plan_shards(spec: &WorkloadSpec, kind: ProfileKind, cfg: &ReplayConfig) -> Vec<ShardPlan> {
+    (0..cfg.shards)
+        .map(|shard| {
+            let seed = cfg.shard_seed(shard);
+            let trace =
+                TraceGenerator::new(spec, seed).generate(cfg.warmup_ops + cfg.ops_per_shard);
+            let profile = profile_for_trace(&trace, kind);
+            let mut reqs = trace.requests();
+            let warmup: Vec<SyscallRequest> = reqs.by_ref().take(cfg.warmup_ops).collect();
+            let measured: Vec<SyscallRequest> = reqs.collect();
+            ShardPlan {
+                shard,
+                seed,
+                warmup,
+                measured,
+                profile,
+            }
+        })
+        .collect()
+}
+
+/// Drives one shard through a closure that performs a single check and
+/// reports `(permitted, cache_hit)`.
+fn drive<F>(plan: &ShardPlan, mut check: F) -> ShardReport
+where
+    F: FnMut(&SyscallRequest) -> (bool, bool),
+{
+    for req in &plan.warmup {
+        let _ = check(req);
+    }
+    let mut allowed = 0u64;
+    let mut cache_hits = 0u64;
+    let start = Instant::now();
+    for req in &plan.measured {
+        let (permitted, hit) = check(req);
+        allowed += u64::from(permitted);
+        cache_hits += u64::from(hit);
+    }
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    ShardReport {
+        shard: plan.shard,
+        seed: plan.seed,
+        checks: plan.measured.len() as u64,
+        allowed,
+        cache_hits,
+        elapsed_ns,
+    }
+}
+
+fn run_shard(plan: &ShardPlan, backend: ReplayBackend) -> ShardReport {
+    match backend {
+        ReplayBackend::SeccompInterp => {
+            let stack = compile_stacked(&plan.profile, FilterLayout::Linear)
+                .expect("generated profiles always compile");
+            drive(plan, |req| {
+                let outcome = stack
+                    .run(&SeccompData::from_request(req))
+                    .expect("generated filters cannot fault");
+                (outcome.action.permits(), false)
+            })
+        }
+        ReplayBackend::SeccompCompiled => {
+            let stack = compile_stacked(&plan.profile, FilterLayout::Linear)
+                .expect("generated profiles always compile")
+                .compiled();
+            drive(plan, |req| {
+                let outcome = stack
+                    .run(&SeccompData::from_request(req))
+                    .expect("generated filters cannot fault");
+                (outcome.action.permits(), false)
+            })
+        }
+        ReplayBackend::DracoSw => {
+            let mut process = DracoProcess::spawn(ProcessId(plan.shard as u32), &plan.profile)
+                .expect("generated profiles always compile");
+            drive(plan, move |req| {
+                let result = process.syscall(req);
+                (result.action.permits(), result.path.is_cache_hit())
+            })
+        }
+    }
+}
+
+/// Replays a workload against a backend across `cfg.shards` worker
+/// threads, one isolated checker per shard.
+///
+/// Trace generation, profile generation, and filter compilation happen
+/// before any thread is spawned; `wall_ns` covers only the parallel
+/// check region. With `shards == 1` this measures single-thread
+/// throughput of the same code path.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards == 0` or a worker thread panics.
+pub fn replay_parallel(
+    spec: &WorkloadSpec,
+    kind: ProfileKind,
+    backend: ReplayBackend,
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    assert!(cfg.shards > 0, "replay needs at least one shard");
+    let plans = plan_shards(spec, kind, cfg);
+    let start = Instant::now();
+    let mut shards: Vec<ShardReport> = Vec::with_capacity(plans.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| scope.spawn(move || run_shard(plan, backend)))
+            .collect();
+        for handle in handles {
+            shards.push(handle.join().expect("replay shard panicked"));
+        }
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    ReplayReport {
+        backend,
+        workload: spec.name.to_owned(),
+        shards,
+        wall_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn small_cfg(shards: usize) -> ReplayConfig {
+        ReplayConfig {
+            shards,
+            ops_per_shard: 400,
+            warmup_ops: 100,
+            base_seed: 2020,
+        }
+    }
+
+    fn strip_timing(report: &ReplayReport) -> Vec<(usize, u64, u64, u64, u64)> {
+        report
+            .shards
+            .iter()
+            .map(|s| (s.shard, s.seed, s.checks, s.allowed, s.cache_hits))
+            .collect()
+    }
+
+    #[test]
+    fn shard_counts_and_seeds() {
+        let spec = catalog::ipc_pipe();
+        let report = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &small_cfg(3),
+        );
+        assert_eq!(report.shards.len(), 3);
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.shard, i);
+            assert_eq!(shard.seed, 2020 + i as u64);
+            assert_eq!(shard.checks, 400);
+        }
+        assert_eq!(report.total_checks(), 1200);
+        assert_eq!(report.shard_checks(), vec![400, 400, 400]);
+        assert!(report.checks_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn same_seed_runs_are_deterministic() {
+        let spec = catalog::ipc_pipe();
+        for backend in ReplayBackend::ALL {
+            let a = replay_parallel(&spec, ProfileKind::SyscallComplete, backend, &small_cfg(2));
+            let b = replay_parallel(&spec, ProfileKind::SyscallComplete, backend, &small_cfg(2));
+            assert_eq!(strip_timing(&a), strip_timing(&b), "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn draco_hits_cache_seccomp_does_not() {
+        let spec = catalog::unixbench_syscall();
+        let draco = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &small_cfg(1),
+        );
+        assert!(
+            draco.cache_hit_rate() > 0.8,
+            "warm VAT should absorb most checks, got {}",
+            draco.cache_hit_rate()
+        );
+        let seccomp = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::SeccompInterp,
+            &small_cfg(1),
+        );
+        assert_eq!(seccomp.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn backends_agree_on_verdicts() {
+        // Same workload, same seed: each backend enforces the same
+        // profile, so per-shard allow counts must be identical.
+        let spec = catalog::ipc_pipe();
+        let cfg = small_cfg(2);
+        let allowed: Vec<Vec<u64>> = ReplayBackend::ALL
+            .iter()
+            .map(|&backend| {
+                replay_parallel(&spec, ProfileKind::SyscallComplete, backend, &cfg)
+                    .shards
+                    .iter()
+                    .map(|s| s.allowed)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(allowed[0], allowed[1]);
+        assert_eq!(allowed[1], allowed[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = replay_parallel(
+            &catalog::ipc_pipe(),
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &ReplayConfig {
+                shards: 0,
+                ops_per_shard: 1,
+                warmup_ops: 0,
+                base_seed: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ReplayBackend::SeccompInterp.label(), "seccomp-interp");
+        assert_eq!(ReplayBackend::SeccompCompiled.label(), "seccomp-compiled");
+        assert_eq!(ReplayBackend::DracoSw.label(), "draco-sw");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `Throughput`, `Bencher::iter`) backed by a simple wall-clock measurement
+//! loop: short warmup, then timed batches until a minimum measurement window
+//! is filled, reporting mean ns/iter. No statistics, plots, or persistence —
+//! just honest relative numbers so `cargo bench` works without the network.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 16;
+const MIN_MEASURE: Duration = Duration::from_millis(20);
+const BATCH: u64 = 64;
+const MAX_ITERS: u64 = 2_000_000;
+
+/// Top-level bench context handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchLabel>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into().0, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchLabel>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into().0, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, e.g. `table/48`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Internal label newtype so `bench_function` accepts both `&str` and
+/// `BenchmarkId`.
+pub struct BenchLabel(String);
+
+impl From<&str> for BenchLabel {
+    fn from(s: &str) -> Self {
+        BenchLabel(s.to_string())
+    }
+}
+
+impl From<String> for BenchLabel {
+    fn from(s: String) -> Self {
+        BenchLabel(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchLabel {
+    fn from(id: BenchmarkId) -> Self {
+        BenchLabel(id.label)
+    }
+}
+
+/// Declared throughput of a benchmark (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MIN_MEASURE && iters < MAX_ITERS {
+            for _ in 0..BATCH {
+                black_box(routine());
+            }
+            iters += BATCH;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: Option<&str>, label: &str, mut f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns_per_iter = if b.iters == 0 {
+        f64::NAN
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    println!("{full:<48} time: {ns_per_iter:>12.2} ns/iter  ({} iters)", b.iters);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // `--test`, filters); this minimal harness accepts and ignores
+            // them. Under `cargo test` (no `--bench`), skip measurement so
+            // bench targets compile-check quickly.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

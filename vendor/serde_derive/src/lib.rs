@@ -1,0 +1,310 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Upstream serde_derive pulls in `syn`/`quote`, which are unavailable in
+//! this offline build, so this stub parses the token stream by hand. It
+//! supports exactly what the workspace needs: **plain named-field structs**
+//! (no generics, enums, or tuple structs) and the attribute subset
+//! `#[serde(rename_all = "camelCase")]`, `#[serde(default)]`, and
+//! `#[serde(skip_serializing_if = "Option::is_none")]`. Anything else
+//! panics at compile time with a clear message rather than silently
+//! misbehaving.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct FieldDef {
+    name: String,
+    key: String,
+    is_option: bool,
+    has_default: bool,
+    skip_if_none: bool,
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<FieldDef>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut body = String::new();
+    for f in &def.fields {
+        let push = format!(
+            "__fields.push((\"{key}\".to_string(), ::serde::Serialize::to_content(&self.{name})));",
+            key = f.key,
+            name = f.name
+        );
+        if f.skip_if_none {
+            body.push_str(&format!(
+                "if !::std::option::Option::is_none(&self.{name}) {{ {push} }}\n",
+                name = f.name
+            ));
+        } else {
+            body.push_str(&push);
+            body.push('\n');
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {body}\
+                 ::serde::Content::Map(__fields)\n\
+             }}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut inits = String::new();
+    for f in &def.fields {
+        let missing = if f.has_default || f.is_option {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{key}\"))",
+                key = f.key
+            )
+        };
+        inits.push_str(&format!(
+            "{name}: match __map.iter().find(|(__k, _)| __k == \"{key}\") {{\n\
+                 ::std::option::Option::Some((_, __v)) => ::serde::Deserialize::from_content(__v)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+            key = f.key
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __map = match __content {{\n\
+                     ::serde::Content::Map(__m) => __m,\n\
+                     __other => return ::std::result::Result::Err(\n\
+                         ::serde::DeError::invalid_type(\"object\", __other)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}
+
+/// Attributes found in one `#[serde(...)]` (or other) attribute group.
+#[derive(Default)]
+struct AttrFlags {
+    rename_all_camel: bool,
+    has_default: bool,
+    skip_if_none: bool,
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+    let mut container = AttrFlags::default();
+
+    // Container: attributes, visibility, `struct Name`.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let group = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    other => panic!("serde_derive: malformed attribute: {other:?}"),
+                };
+                inspect_attr(&group, &mut container);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => break n.to_string(),
+                    other => panic!("serde_derive: expected struct name, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                panic!("serde_derive: only structs are supported, found `{id}`")
+            }
+            other => panic!("serde_derive: unexpected token {other:?}"),
+        }
+    };
+
+    let fields_group = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde_derive: only named-field structs are supported (struct {name}, found {other:?})"
+        ),
+    };
+
+    StructDef {
+        fields: parse_fields(fields_group.stream(), container.rename_all_camel),
+        name,
+    }
+}
+
+fn parse_fields(stream: TokenStream, rename_all_camel: bool) -> Vec<FieldDef> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Field attributes (doc comments included).
+        let mut flags = AttrFlags::default();
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            inspect_attr(&g, &mut flags)
+                        }
+                        other => panic!("serde_derive: malformed field attribute: {other:?}"),
+                    }
+                }
+                Some(_) => break,
+                None => return fields,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Type: consume until a comma at angle-bracket depth zero. Only the
+        // head identifier matters (to spot `Option<...>` fields).
+        let mut angle_depth = 0i32;
+        let mut head: Option<String> = None;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(tt) => {
+                    if head.is_none() {
+                        if let TokenTree::Ident(id) = tt {
+                            head = Some(id.to_string());
+                        }
+                    }
+                    iter.next();
+                }
+                None => break,
+            }
+        }
+        let key = if rename_all_camel { camel_case(&name) } else { name.clone() };
+        fields.push(FieldDef {
+            is_option: head.as_deref() == Some("Option"),
+            has_default: flags.has_default,
+            skip_if_none: flags.skip_if_none,
+            name,
+            key,
+        });
+    }
+}
+
+/// Inspects one bracketed attribute body. Non-`serde` attributes (doc
+/// comments, other derives) are ignored; unsupported `serde` options panic.
+fn inspect_attr(group: &proc_macro::Group, flags: &mut AttrFlags) {
+    let mut iter = group.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let args = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("serde_derive: malformed #[serde] attribute: {other:?}"),
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(id) = &tt else {
+            continue; // separators: `,` `=`
+        };
+        match id.to_string().as_str() {
+            "default" => flags.has_default = true,
+            "rename_all" => {
+                let value = expect_str_value(&mut args, "rename_all");
+                if value != "camelCase" {
+                    panic!("serde_derive: unsupported rename_all value {value:?}");
+                }
+                flags.rename_all_camel = true;
+            }
+            "skip_serializing_if" => {
+                let value = expect_str_value(&mut args, "skip_serializing_if");
+                if value != "Option::is_none" {
+                    panic!("serde_derive: unsupported skip_serializing_if {value:?}");
+                }
+                flags.skip_if_none = true;
+            }
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn expect_str_value(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+        other => panic!("serde_derive: expected `=` after {what}, got {other:?}"),
+    }
+    match iter.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            s.trim_matches('"').to_string()
+        }
+        other => panic!("serde_derive: expected string value for {what}, got {other:?}"),
+    }
+}
+
+fn camel_case(snake: &str) -> String {
+    let mut out = String::with_capacity(snake.len());
+    let mut upper_next = false;
+    for ch in snake.chars() {
+        if ch == '_' {
+            upper_next = true;
+        } else if upper_next {
+            out.extend(ch.to_uppercase());
+            upper_next = false;
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}

@@ -1,0 +1,661 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Bridges JSON text to the vendored `serde` stub's [`serde::Content`] tree:
+//! a hand-written recursive-descent parser on one side and a
+//! compact/pretty printer on the other, plus the [`Value`] convenience type
+//! and a `json!` macro covering the object/expression forms the workspace
+//! uses. Object key order is preserved (insertion order), so output is
+//! deterministic run to run.
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+/// Parse/serialize error. Mirrors `serde_json::Error` closely enough for the
+/// workspace's error-wrapping enums (`Display` + `std::error::Error`).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Exact numeric repr so `u64::MAX` and friends survive a round trip.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::PosInt(v) => *v as f64,
+            Number::NegInt(v) => *v as f64,
+            Number::Float(v) => *v,
+        }
+    }
+}
+
+/// Owned JSON document, mirroring `serde_json::Value`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered, like serde_json with `preserve_order`.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            Value::Number(Number::Float(f)) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => i64::try_from(*v).ok(),
+            Value::Number(Number::NegInt(v)) => Some(*v),
+            Value::Number(Number::Float(f)) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write_content(&self.to_content(), None))
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::PosInt(v)) => Content::U64(*v),
+            Value::Number(Number::NegInt(v)) => Content::I64(*v),
+            Value::Number(Number::Float(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(entries) => Content::Map(
+                entries.iter().map(|(k, v)| (k.clone(), v.to_content())).collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::U64(v) => Value::Number(Number::PosInt(*v)),
+            Content::I64(v) if *v >= 0 => Value::Number(Number::PosInt(*v as u64)),
+            Content::I64(v) => Value::Number(Number::NegInt(*v)),
+            Content::F64(v) => Value::Number(Number::Float(*v)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(
+                items.iter().map(Value::from_content).collect::<Result<_, _>>()?,
+            ),
+            Content::Map(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| Value::from_content(v).map(|v| (k.clone(), v)))
+                    .collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+}
+
+/// Converts any serializable value into a [`Value`] (infallible here; the
+/// content tree is already self-describing). Used by the `json!` macro.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    Value::from_content(&value.to_content()).expect("content -> value is total")
+}
+
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let content = Parser::new(input).parse_document()?;
+    Ok(T::from_content(&content)?)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_content(&value.to_content(), None))
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_content(&value.to_content(), Some(0)))
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $(__entries.push(($key.to_string(), $crate::to_value(&$value)));)*
+        $crate::Value::Object(__entries)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serializes a content tree. `indent = None` is compact; `Some(depth)`
+/// pretty-prints with two-space indentation (serde_json's default style).
+fn write_content(content: &Content, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_into(&mut out, content, indent);
+    out
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_into(out: &mut String, content: &Content, indent: Option<usize>) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    Some(depth) => {
+                        newline_indent(out, depth + 1);
+                        write_into(out, item, Some(depth + 1));
+                    }
+                    None => write_into(out, item, None),
+                }
+            }
+            if let Some(depth) = indent {
+                newline_indent(out, depth);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    Some(depth) => {
+                        newline_indent(out, depth + 1);
+                        write_escaped(out, key);
+                        out.push_str(": ");
+                        write_into(out, value, Some(depth + 1));
+                    }
+                    None => {
+                        write_escaped(out, key);
+                        out.push(':');
+                        write_into(out, value, None);
+                    }
+                }
+            }
+            if let Some(depth) = indent {
+                newline_indent(out, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            // Match serde_json: floats always carry a decimal point.
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&v.to_string());
+        }
+    } else {
+        // serde_json emits null for non-finite floats.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn parse_document(&mut self) -> Result<Content, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len()
+                        && self.bytes[end] & 0xc0 == 0x80
+                    {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return Err(self.err("invalid utf-8")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| self.err("invalid number"))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .ok()
+                .and_then(|v| i64::try_from(v).ok().map(|v| Content::I64(-v)))
+                .or_else(|| text.parse::<f64>().ok().map(Content::F64))
+                .ok_or_else(|| self.err("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .or_else(|_| text.parse::<f64>().map(Content::F64))
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\\n\""] {
+            let v: Value = from_str(text).expect(text);
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).expect("reparse");
+            assert_eq!(v, v2, "{text}");
+        }
+    }
+
+    #[test]
+    fn object_order_preserved() {
+        let v: Value = from_str(r#"{"b": 1, "a": [2, 3], "c": {"x": null}}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"b":1,"a":[2,3],"c":{"x":null}}"#);
+        assert_eq!(v["a"][1].as_u64(), Some(3));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let v = json!({"k": 1, "list": [true]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"k\": 1,\n  \"list\": [\n    true\n  ]\n}");
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        let rows = vec![1u64, 2, 3];
+        let v = json!({
+            "name": "x",
+            "rows": rows.iter().map(|r| json!({"v": r})).collect::<Vec<_>>(),
+            "opt": if rows.len() > 2 { Some(9u64) } else { None },
+        });
+        assert_eq!(v["rows"].as_array().unwrap().len(), 3);
+        assert_eq!(v["rows"][2]["v"].as_u64(), Some(3));
+        assert_eq!(v["opt"].as_u64(), Some(9));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(2.5).as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+}
