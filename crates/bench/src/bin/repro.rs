@@ -72,23 +72,29 @@ fn main() {
 }
 
 /// `repro throughput [--quick] [--ops N] [--warmup N] [--seed N]
-/// [--shards N] [--workload W] [--out PATH] [--json]` — the wall-clock
-/// harness. Always writes the JSON report (default:
-/// `BENCH_throughput.json` at the repo root); `--json` echoes it to
-/// stdout instead of the human table.
+/// [--shards N] [--workload W] [--out PATH] [--json] [--stats]` — the
+/// wall-clock harness. Always writes the JSON report. Standard runs
+/// default to the tracked `BENCH_throughput.json` at the repo root;
+/// `--quick` runs default to the untracked
+/// `target/BENCH_throughput.quick.json` so a smoke run never dirties
+/// the tracked baseline. `--json` echoes the report to stdout instead
+/// of the human table; `--stats` appends the merged metrics snapshot.
 fn run_throughput_cmd(args: &[String]) {
     use draco_bench::throughput::{run_throughput, ThroughputConfig};
 
     let mut cfg = ThroughputConfig::standard();
     let mut json = false;
+    let mut stats = false;
+    let mut quick = false;
     let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
-                let quick = ThroughputConfig::quick();
-                cfg.ops_per_shard = quick.ops_per_shard;
-                cfg.warmup_ops = quick.warmup_ops;
+                quick = true;
+                let preset = ThroughputConfig::quick();
+                cfg.ops_per_shard = preset.ops_per_shard;
+                cfg.warmup_ops = preset.warmup_ops;
             }
             "--ops" => cfg.ops_per_shard = parse(args, &mut i, "--ops"),
             "--warmup" => cfg.warmup_ops = parse(args, &mut i, "--warmup"),
@@ -97,6 +103,7 @@ fn run_throughput_cmd(args: &[String]) {
             "--workload" => cfg.workload = parse(args, &mut i, "--workload"),
             "--out" => out = Some(parse(args, &mut i, "--out")),
             "--json" => json = true,
+            "--stats" => stats = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 usage();
@@ -111,9 +118,20 @@ fn run_throughput_cmd(args: &[String]) {
     let report = run_throughput(&cfg);
     let text = serde_json::to_string_pretty(&report).expect("report serializes")
         + "\n";
+    // Quick runs are smoke tests: keep them away from the tracked
+    // baseline unless the caller explicitly routes them with --out.
     let path = out.unwrap_or_else(|| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json").to_owned()
+        if quick {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_throughput.quick.json")
+                .to_owned()
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json").to_owned()
+        }
     });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    }
     std::fs::write(&path, &text)
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 
@@ -138,6 +156,10 @@ fn run_throughput_cmd(args: &[String]) {
             b.parallel_speedup,
             b.cache_hit_rate * 100.0
         );
+    }
+    if stats {
+        println!();
+        println!("{}", report.metrics);
     }
     println!("wrote {path}");
 }
@@ -178,8 +200,9 @@ fn usage() {
          \x20 ablate-opt    peephole-optimized filters vs raw vs draco-sw\n\
          \x20 all           everything above\n\
          \x20 throughput    wall-clock checks/sec per backend, 1 and N threads\n\
-         \x20               (writes BENCH_throughput.json; flags: --quick\n\
-         \x20               --shards N --workload W --out PATH)"
+         \x20               (writes BENCH_throughput.json; --quick writes the\n\
+         \x20               untracked target/BENCH_throughput.quick.json; flags:\n\
+         \x20               --shards N --workload W --out PATH --stats)"
     );
 }
 

@@ -8,12 +8,14 @@
 
 use serde::{Deserialize, Serialize};
 
+use draco::obs::MetricsRegistry;
 use draco::profiles::ProfileKind;
 use draco::workloads::catalog;
 use draco::workloads::replay::{replay_parallel, ReplayBackend, ReplayConfig, ReplayReport};
 
 /// Schema tag written into every report (bump on breaking changes).
-pub const SCHEMA: &str = "draco-throughput/v1";
+/// v2 adds the `metrics` observability section.
+pub const SCHEMA: &str = "draco-throughput/v2";
 
 /// Harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -101,6 +103,12 @@ pub struct ThroughputReport {
     pub shards: u64,
     /// Per-backend measurements, in [`ReplayBackend::ALL`] order.
     pub backends: Vec<BackendThroughput>,
+    /// Merged observability registry of every backend's multi-thread
+    /// replay: the `replay` section covers all backends' measured
+    /// checks; the `checker`/`cuckoo`/`vat` sections come from the
+    /// Draco shards (the Seccomp backends have no tables to feed).
+    /// Deterministic for a given `(workload, seed, shards)`.
+    pub metrics: MetricsRegistry,
 }
 
 impl ThroughputReport {
@@ -110,15 +118,32 @@ impl ThroughputReport {
     }
 }
 
+/// Clamps a rate to a finite value. On degenerate runs (zero measured
+/// ops, or a measured loop faster than the clock tick) a division can
+/// produce `inf`/`NaN`, which the JSON writer emits as `null` — breaking
+/// every consumer that parses the rate as a number. Zero is the honest
+/// stand-in: the run measured nothing.
+fn finite_or_zero(rate: f64) -> f64 {
+    if rate.is_finite() {
+        rate
+    } else {
+        0.0
+    }
+}
+
 fn summarize(single: &ReplayReport, multi: &ReplayReport) -> BackendThroughput {
-    let st = single.checks_per_sec();
-    let mt = multi.checks_per_sec();
+    let st = finite_or_zero(single.checks_per_sec());
+    let mt = finite_or_zero(multi.checks_per_sec());
     BackendThroughput {
         backend: single.backend.label().to_owned(),
         single_thread_checks_per_sec: st,
         multi_thread_checks_per_sec: mt,
-        parallel_speedup: if st > 0.0 { mt / st } else { 0.0 },
-        cache_hit_rate: multi.cache_hit_rate(),
+        parallel_speedup: if st > 0.0 {
+            finite_or_zero(mt / st)
+        } else {
+            0.0
+        },
+        cache_hit_rate: finite_or_zero(multi.cache_hit_rate()),
         shard_checks: multi.shard_checks(),
         shard_allowed: multi.shards.iter().map(|s| s.allowed).collect(),
     }
@@ -144,11 +169,13 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         shards: cfg.shards,
         ..base
     };
+    let mut metrics = MetricsRegistry::default();
     let backends = ReplayBackend::ALL
         .iter()
         .map(|&backend| {
             let single = replay_parallel(&spec, kind, backend, &base);
             let multi = replay_parallel(&spec, kind, backend, &multi_cfg);
+            metrics.merge(&multi.metrics);
             summarize(&single, &multi)
         })
         .collect();
@@ -160,6 +187,7 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         seed: cfg.seed,
         shards: cfg.shards as u64,
         backends,
+        metrics,
     }
 }
 
@@ -210,6 +238,67 @@ mod tests {
             assert_eq!(x.shard_allowed, y.shard_allowed);
             assert_eq!(x.cache_hit_rate, y.cache_hit_rate);
         }
+        assert_eq!(a.metrics, b.metrics, "registry holds no wall-clock data");
+    }
+
+    #[test]
+    fn metrics_section_is_populated() {
+        let report = run_throughput(&tiny());
+        let m = &report.metrics;
+        // replay covers all three backends' multi-thread runs.
+        assert_eq!(m.replay.checks, 3 * 2 * 300);
+        assert_eq!(m.replay.shards, 3 * 2);
+        // checker/cuckoo come from the Draco shards.
+        assert!(m.checker.total() > 0);
+        assert!(m.checker.vat_hits > 0);
+        assert!(m.cuckoo.probe_length.count() > 0, "histogram populated");
+        assert!(m.cuckoo.reuse_distance.count() > 0, "histogram populated");
+        assert!(m.vat.tables > 0);
+        // And survive the JSON surface intact.
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"reuse_distance\""));
+    }
+
+    #[test]
+    fn degenerate_runs_produce_finite_rates_and_valid_json() {
+        use draco::workloads::replay::{ReplayBackend, ReplayReport};
+        // A report whose measured loop registered no time and no checks:
+        // every rate must clamp to a finite value, not inf/NaN.
+        let empty = ReplayReport {
+            backend: ReplayBackend::DracoSw,
+            workload: "tiny".to_owned(),
+            shards: Vec::new(),
+            wall_ns: 0,
+            metrics: MetricsRegistry::default(),
+        };
+        let summary = summarize(&empty, &empty);
+        assert_eq!(summary.single_thread_checks_per_sec, 0.0);
+        assert_eq!(summary.multi_thread_checks_per_sec, 0.0);
+        assert_eq!(summary.parallel_speedup, 0.0);
+        assert_eq!(summary.cache_hit_rate, 0.0);
+        let report = ThroughputReport {
+            schema: SCHEMA.to_owned(),
+            workload: "tiny".to_owned(),
+            ops_per_shard: 0,
+            warmup_ops: 0,
+            seed: 0,
+            shards: 0,
+            backends: vec![summary],
+            metrics: MetricsRegistry::default(),
+        };
+        let json = serde_json::to_string(&report).expect("serializes");
+        assert!(!json.contains("null"), "no non-finite rate leaked: {json}");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn finite_or_zero_clamps_only_non_finite() {
+        assert_eq!(finite_or_zero(12.5), 12.5);
+        assert_eq!(finite_or_zero(f64::INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NEG_INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NAN), 0.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use core::fmt;
 
 use draco_bpf::{SeccompAction, SeccompData};
+use draco_obs::{CheckerMetrics, EventRing, FlowClass, FlowEvent, Histogram, MetricsRegistry};
 use draco_profiles::{
     compile_stacked, ArgPolicy, CompiledStack, FilterLayout, FilterStack, ProfileSpec,
     StackOutcome,
@@ -82,6 +83,17 @@ pub struct DracoChecker {
     filter: FilterEngine,
     mode: CheckMode,
     stats: CheckerStats,
+    /// cBPF instructions per fallback run.
+    insns_per_filter_run: Histogram,
+    /// Filter instructions a cached hit avoided (the running mean of
+    /// fallback cost, recorded at hit time).
+    saved_insns_per_hit: Histogram,
+    /// Optional bounded trace of recent flow classifications. `None`
+    /// (the default) costs one branch per check; enabling pre-allocates
+    /// the whole ring, so recording stays allocation-free.
+    flow_trace: Option<EventRing>,
+    /// Monotonic check counter (sequences trace events).
+    check_seq: u64,
 }
 
 impl DracoChecker {
@@ -117,6 +129,10 @@ impl DracoChecker {
             filter,
             mode,
             stats: CheckerStats::default(),
+            insns_per_filter_run: Histogram::default(),
+            saved_insns_per_hit: Histogram::default(),
+            flow_trace: None,
+            check_seq: 0,
         }
     }
 
@@ -142,6 +158,67 @@ impl DracoChecker {
     /// Accumulated counters.
     pub const fn stats(&self) -> CheckerStats {
         self.stats
+    }
+
+    /// This checker's observability snapshot: the `checker` section from
+    /// its own counters and histograms, the `cuckoo` and `vat` sections
+    /// aggregated from its VAT tables. (The `sim`/`replay` sections stay
+    /// zeroed — they belong to other layers.)
+    pub fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry {
+            checker: CheckerMetrics {
+                spt_hits: self.stats.spt_hits,
+                vat_hits: self.stats.vat_hits,
+                filter_runs: self.stats.filter_runs,
+                filter_insns: self.stats.filter_insns,
+                denials: self.stats.denials,
+                vat_inserts: self.stats.vat_inserts,
+                insns_per_filter_run: self.insns_per_filter_run,
+                saved_insns_per_hit: self.saved_insns_per_hit,
+            },
+            cuckoo: self.vat.cuckoo_metrics(),
+            vat: self.vat.metrics(),
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Enables the bounded flow-classification trace, keeping the most
+    /// recent `capacity` events. The ring is fully allocated here, so
+    /// recording on the check hot path never touches the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_flow_trace(&mut self, capacity: usize) {
+        self.flow_trace = Some(EventRing::with_capacity(capacity));
+    }
+
+    /// Disables (and drops) the flow trace.
+    pub fn disable_flow_trace(&mut self) {
+        self.flow_trace = None;
+    }
+
+    /// The flow trace, if enabled.
+    pub fn flow_trace(&self) -> Option<&EventRing> {
+        self.flow_trace.as_ref()
+    }
+
+    /// Mean fallback cost observed so far, in cBPF instructions — what a
+    /// cached hit is credited with saving. Integer division keeps the
+    /// hot path float-free; 0 until the first filter run.
+    fn mean_filter_cost(&self) -> u64 {
+        self.stats.filter_insns / self.stats.filter_runs.max(1)
+    }
+
+    /// Records a flow classification into the trace ring (if enabled).
+    fn trace_flow(&mut self, req: &SyscallRequest, class: FlowClass) {
+        if let Some(ring) = self.flow_trace.as_mut() {
+            ring.record(FlowEvent {
+                seq: self.check_seq,
+                syscall: req.id.as_u16(),
+                class,
+            });
+        }
     }
 
     /// The SPT (read access for inspection and the simulator).
@@ -179,12 +256,15 @@ impl DracoChecker {
 
     /// Checks one system call (paper Fig. 4).
     pub fn check(&mut self, req: &SyscallRequest) -> CheckResult {
+        self.check_seq = self.check_seq.saturating_add(1);
         // 1. SPT lookup by SID.
         if let Some(entry) = self.spt.get(req.id) {
             match (self.mode, entry.vat_index) {
                 // ID-only checking, or this syscall needs no arg checks.
                 (CheckMode::IdOnly, _) | (CheckMode::IdAndArgs, None) => {
                     self.stats.spt_hits += 1;
+                    self.saved_insns_per_hit.record(self.mean_filter_cost());
+                    self.trace_flow(req, FlowClass::SptHit);
                     return CheckResult {
                         action: SeccompAction::Allow,
                         path: CheckPath::SptHit,
@@ -194,6 +274,8 @@ impl DracoChecker {
                 (CheckMode::IdAndArgs, Some(idx)) => {
                     if self.vat.lookup(idx, entry.bitmask, &req.args).is_some() {
                         self.stats.vat_hits += 1;
+                        self.saved_insns_per_hit.record(self.mean_filter_cost());
+                        self.trace_flow(req, FlowClass::VatHit);
                         return CheckResult {
                             action: SeccompAction::Allow,
                             path: CheckPath::VatHit,
@@ -214,10 +296,13 @@ impl DracoChecker {
             .expect("profile-generated filters cannot fault");
         self.stats.filter_runs += 1;
         self.stats.filter_insns += outcome.insns_executed;
+        self.insns_per_filter_run.record(outcome.insns_executed);
         if outcome.action.permits() {
             self.record_validation(req);
+            self.trace_flow(req, FlowClass::FilterAllow);
         } else {
             self.stats.denials += 1;
+            self.trace_flow(req, FlowClass::FilterDeny);
         }
         CheckResult {
             action: outcome.action,
@@ -477,6 +562,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn metrics_reflect_check_traffic() {
+        let profile = docker_default();
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        checker.preload_spt();
+        checker.check(&req(0, &[3, 0, 100])); // spt hit
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // filter + insert
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // vat hit
+        let m = checker.metrics();
+        assert_eq!(m.checker.spt_hits, checker.stats().spt_hits);
+        assert_eq!(m.checker.vat_hits, 1);
+        assert_eq!(m.checker.filter_runs, 1);
+        assert_eq!(
+            m.checker.insns_per_filter_run.count(),
+            1,
+            "one sample per fallback"
+        );
+        assert_eq!(
+            m.checker.saved_insns_per_hit.count(),
+            2,
+            "one sample per cached hit"
+        );
+        assert_eq!(m.cuckoo.hits, 1, "VAT table traffic aggregated");
+        assert!(m.vat.tables >= 1);
+        assert_eq!(m.sim, draco_obs::SimMetrics::default(), "not our section");
+        assert_eq!(m.replay.checks, 0, "not our section");
+    }
+
+    #[test]
+    fn flow_trace_records_recent_classifications() {
+        let profile = docker_default();
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        assert!(checker.flow_trace().is_none(), "off by default");
+        checker.enable_flow_trace(4);
+        checker.preload_spt();
+        checker.check(&req(0, &[3, 0, 100])); // spt hit
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // filter allow
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // vat hit
+        checker.check(&req(999, &[0, 0, 0])); // deny
+        let ring = checker.flow_trace().expect("enabled");
+        let classes: Vec<FlowClass> = ring.iter_recent().map(|e| e.class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                FlowClass::SptHit,
+                FlowClass::FilterAllow,
+                FlowClass::VatHit,
+                FlowClass::FilterDeny
+            ]
+        );
+        let syscalls: Vec<u16> = ring.iter_recent().map(|e| e.syscall).collect();
+        assert_eq!(syscalls, vec![0, 135, 135, 999]);
+        checker.disable_flow_trace();
+        assert!(checker.flow_trace().is_none());
+    }
+
+    #[test]
+    fn saved_insns_tracks_mean_fallback_cost() {
+        let profile = docker_default();
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        checker.preload_spt();
+        // Before any filter run the credited saving is 0.
+        checker.check(&req(0, &[3, 0, 100]));
+        assert_eq!(checker.metrics().checker.saved_insns_per_hit.sum, 0);
+        // After a fallback, hits are credited with its mean cost.
+        let r = checker.check(&req(135, &[0xffff_ffff, 0, 0]));
+        let insns = match r.path {
+            CheckPath::FilterRun { insns } => insns,
+            other => panic!("expected filter run, got {other:?}"),
+        };
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // vat hit
+        let m = checker.metrics();
+        assert_eq!(m.checker.saved_insns_per_hit.count(), 2);
+        assert_eq!(m.checker.saved_insns_per_hit.sum, insns);
     }
 
     #[test]

@@ -25,9 +25,12 @@ pub struct CheckerStats {
 }
 
 impl CheckerStats {
-    /// Total checks observed.
+    /// Total checks observed. Saturating: long-lived checkers whose
+    /// counters approach `u64::MAX` must not panic computing a summary.
     pub const fn total(&self) -> u64 {
-        self.spt_hits + self.vat_hits + self.filter_runs
+        self.spt_hits
+            .saturating_add(self.vat_hits)
+            .saturating_add(self.filter_runs)
     }
 
     /// Fraction of checks that skipped the filter entirely.
@@ -36,8 +39,18 @@ impl CheckerStats {
         if total == 0 {
             0.0
         } else {
-            (self.spt_hits + self.vat_hits) as f64 / total as f64
+            self.spt_hits.saturating_add(self.vat_hits) as f64 / total as f64
         }
+    }
+
+    /// Accumulates another set of counters (saturating field-wise).
+    pub fn accumulate(&mut self, other: &CheckerStats) {
+        self.spt_hits = self.spt_hits.saturating_add(other.spt_hits);
+        self.vat_hits = self.vat_hits.saturating_add(other.vat_hits);
+        self.filter_runs = self.filter_runs.saturating_add(other.filter_runs);
+        self.filter_insns = self.filter_insns.saturating_add(other.filter_insns);
+        self.denials = self.denials.saturating_add(other.denials);
+        self.vat_inserts = self.vat_inserts.saturating_add(other.vat_inserts);
     }
 }
 
@@ -45,13 +58,14 @@ impl fmt::Display for CheckerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} checks: {} spt, {} vat, {} filter ({} insns), {} denied",
+            "{} checks: {} spt, {} vat, {} filter ({} insns), {} denied, {} vat-inserts",
             self.total(),
             self.spt_hits,
             self.vat_hits,
             self.filter_runs,
             self.filter_insns,
-            self.denials
+            self.denials,
+            self.vat_inserts
         )
     }
 }
@@ -78,5 +92,49 @@ mod tests {
     #[test]
     fn empty_stats_rate_is_zero() {
         assert_eq!(CheckerStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_reports_every_counter() {
+        let stats = CheckerStats {
+            spt_hits: 1,
+            vat_hits: 2,
+            filter_runs: 3,
+            filter_insns: 40,
+            denials: 5,
+            vat_inserts: 6,
+        };
+        let s = stats.to_string();
+        assert!(s.contains("6 vat-inserts"), "{s}");
+        assert!(s.contains("5 denied"), "{s}");
+    }
+
+    #[test]
+    fn total_saturates_instead_of_overflowing() {
+        let stats = CheckerStats {
+            spt_hits: u64::MAX,
+            vat_hits: u64::MAX,
+            filter_runs: 1,
+            ..CheckerStats::default()
+        };
+        assert_eq!(stats.total(), u64::MAX);
+        assert!(stats.cache_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn accumulate_saturates_field_wise() {
+        let mut a = CheckerStats {
+            spt_hits: u64::MAX - 1,
+            vat_inserts: 3,
+            ..CheckerStats::default()
+        };
+        let b = CheckerStats {
+            spt_hits: 10,
+            vat_inserts: 4,
+            ..CheckerStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.spt_hits, u64::MAX);
+        assert_eq!(a.vat_inserts, 7);
     }
 }

@@ -4,6 +4,7 @@ use core::borrow::Borrow;
 use core::fmt;
 
 use draco_cuckoo::{CrcPairHasher, CuckooTable, HashPair, Way};
+use draco_obs::{CuckooMetrics, VatMetrics};
 use draco_syscalls::{ArgBitmask, ArgSet, MaskedBytes, SyscallId};
 
 /// The key of a VAT entry: the masked-selected argument bytes of one
@@ -243,6 +244,25 @@ impl Vat {
         self.tables.iter().map(|t| t.stats().evictions).sum()
     }
 
+    /// Aggregated cuckoo-table observability across every per-syscall
+    /// table (saturating section merge — order-independent).
+    pub fn cuckoo_metrics(&self) -> CuckooMetrics {
+        let mut merged = CuckooMetrics::default();
+        for table in &self.tables {
+            merged.merge(&table.metrics());
+        }
+        merged
+    }
+
+    /// Occupancy gauges for the registry's `vat` section.
+    pub fn metrics(&self) -> VatMetrics {
+        VatMetrics {
+            tables: self.table_count() as u64,
+            resident_sets: self.resident_sets() as u64,
+            footprint_bytes: self.footprint_bytes() as u64,
+        }
+    }
+
     /// Approximate memory footprint in bytes (paper §XI-C reports a
     /// geometric mean of 6.98 KB per process).
     ///
@@ -396,6 +416,27 @@ mod tests {
             assert_eq!(vat.owner(idx), Some(SyscallId::new(nr as u16)));
         }
         assert_eq!(vat.table_count(), 403, "re-resolution must not grow");
+    }
+
+    #[test]
+    fn metrics_aggregate_across_tables() {
+        let mut vat = Vat::new();
+        let a = vat.ensure_table(SyscallId::new(0), 4);
+        let b = vat.ensure_table(SyscallId::new(1), 4);
+        vat.insert(a, mask2(), &ArgSet::from_slice(&[1, 2]));
+        vat.insert(b, mask2(), &ArgSet::from_slice(&[3, 4]));
+        vat.lookup(a, mask2(), &ArgSet::from_slice(&[1, 2])); // hit
+        vat.lookup(b, mask2(), &ArgSet::from_slice(&[9, 9])); // miss
+        let cm = vat.cuckoo_metrics();
+        assert_eq!(cm.hits, 1);
+        assert_eq!(cm.misses, 1);
+        assert_eq!(cm.insertions, 2);
+        assert_eq!(cm.probe_length.count(), 2);
+        assert_eq!(cm.reuse_distance.count(), 1);
+        let vm = vat.metrics();
+        assert_eq!(vm.tables, 2);
+        assert_eq!(vm.resident_sets, 2);
+        assert_eq!(vm.footprint_bytes, vat.footprint_bytes() as u64);
     }
 
     #[test]

@@ -52,6 +52,11 @@ fn cached_checks_do_not_allocate() {
     let profile = gen.emit(ProfileKind::SyscallComplete);
     let mut checker = DracoChecker::from_profile(&profile).expect("compiles");
 
+    // Observability must not weaken the contract: the metrics
+    // histograms are inline arrays, and the flow-trace ring is fully
+    // allocated at enable time — so we measure with the trace ON.
+    checker.enable_flow_trace(64);
+
     // Warm every path we are about to measure (first encounters run the
     // filter and may insert into the VAT — allocation is fine there).
     let vat_reqs = [
@@ -84,6 +89,15 @@ fn cached_checks_do_not_allocate() {
     assert_eq!(
         after - before,
         0,
-        "VAT/SPT-hit checks must perform zero heap allocations"
+        "VAT/SPT-hit checks must perform zero heap allocations (metrics and flow trace enabled)"
     );
+
+    // The metered window really was observed: histograms and the ring
+    // saw every cached check.
+    let metrics = checker.metrics();
+    assert!(metrics.checker.saved_insns_per_hit.count() >= 4_000);
+    assert!(metrics.cuckoo.reuse_distance.count() >= 3_000);
+    let ring = checker.flow_trace().expect("trace stayed enabled");
+    assert_eq!(ring.len(), 64, "ring full after 4000 recorded events");
+    assert!(ring.total_recorded() >= 4_000);
 }

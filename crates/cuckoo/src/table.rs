@@ -10,6 +10,8 @@
 use core::borrow::Borrow;
 use core::fmt;
 
+use draco_obs::{CuckooMetrics, Histogram};
+
 use crate::{Crc64, HashPair};
 
 /// Which hash function / way located an entry.
@@ -125,6 +127,9 @@ struct Entry<K, V> {
     key: K,
     value: V,
     pair: HashPair,
+    /// Lookup tick of the last hit (or the insertion), for reuse-distance
+    /// measurement.
+    last_tick: u64,
 }
 
 /// A bounded 2-ary cuckoo hash table.
@@ -154,6 +159,11 @@ pub struct CuckooTable<K, V, H = CrcPairHasher> {
     max_relocations: usize,
     hasher: H,
     stats: TableStats,
+    /// Counted lookups so far — the clock for reuse distances.
+    tick: u64,
+    probe_length: Histogram,
+    relocation_steps: Histogram,
+    reuse_distance: Histogram,
 }
 
 impl<K, V, H> CuckooTable<K, V, H>
@@ -182,6 +192,10 @@ where
             max_relocations: Self::DEFAULT_MAX_RELOCATIONS,
             hasher,
             stats: TableStats::default(),
+            tick: 0,
+            probe_length: Histogram::default(),
+            relocation_steps: Histogram::default(),
+            reuse_distance: Histogram::default(),
         }
     }
 
@@ -215,6 +229,23 @@ where
     /// Traffic counters.
     pub const fn stats(&self) -> TableStats {
         self.stats
+    }
+
+    /// This table's observability section: the raw counters plus the
+    /// probe-length, relocation-step, and reuse-distance histograms.
+    /// Callers holding many tables (the VAT) merge the sections.
+    pub fn metrics(&self) -> CuckooMetrics {
+        CuckooMetrics {
+            hits: self.stats.hits,
+            misses: self.stats.misses,
+            insertions: self.stats.insertions,
+            updates: self.stats.updates,
+            evictions: self.stats.evictions,
+            relocations: self.stats.relocations,
+            probe_length: self.probe_length,
+            relocation_steps: self.relocation_steps,
+            reuse_distance: self.reuse_distance,
+        }
     }
 
     /// The hash pair the table computes for `key`.
@@ -256,10 +287,23 @@ where
         H: PairHasher<Q>,
     {
         let pair = self.hasher.hash_pair(key);
+        self.tick = self.tick.saturating_add(1);
         let found = self.probe(key, pair);
         match found {
-            Some(_) => self.stats.hits += 1,
-            None => self.stats.misses += 1,
+            Some(hit) => {
+                self.stats.hits += 1;
+                self.probe_length.record(1 + hit.way.index() as u64);
+                if let Some(entry) = self.ways[hit.way.index()][hit.slot].as_mut() {
+                    self.reuse_distance
+                        .record(self.tick.saturating_sub(entry.last_tick));
+                    entry.last_tick = self.tick;
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                // A miss always cost both probes.
+                self.probe_length.record(2);
+            }
         }
         found
     }
@@ -310,7 +354,12 @@ where
             return None;
         }
 
-        let mut homeless = Entry { key, value, pair };
+        let mut homeless = Entry {
+            key,
+            value,
+            pair,
+            last_tick: self.tick,
+        };
         let mut way = Way::H1;
         for step in 0..=self.max_relocations {
             let slot = self.slot_for(homeless.pair.for_way(way));
@@ -321,6 +370,7 @@ where
                     self.stats.insertions += 1;
                     self.stats.occupied += 1;
                     self.stats.relocations += step as u64;
+                    self.relocation_steps.record(step as u64);
                     return None;
                 }
                 Some(displaced) => {
@@ -335,6 +385,7 @@ where
         self.stats.insertions += 1;
         self.stats.evictions += 1;
         self.stats.relocations += self.max_relocations as u64;
+        self.relocation_steps.record(self.max_relocations as u64);
         Some((homeless.key, homeless.value))
     }
 
@@ -530,6 +581,44 @@ mod tests {
         assert_eq!(Way::H2.other(), Way::H1);
         assert_eq!(Way::H1.index(), 0);
         assert_eq!(Way::H2.index(), 1);
+    }
+
+    #[test]
+    fn metrics_mirror_stats_and_fill_histograms() {
+        let mut t = table(8);
+        t.insert(key(1), 1);
+        t.insert(key(2), 2);
+        t.lookup(&key(1)); // hit
+        t.lookup(&key(1)); // hit again: reuse distance 1
+        t.lookup(&key(9)); // miss
+        let m = t.metrics();
+        assert_eq!(m.hits, t.stats().hits);
+        assert_eq!(m.misses, t.stats().misses);
+        assert_eq!(m.insertions, 2);
+        assert_eq!(m.probe_length.count(), 3, "one sample per counted lookup");
+        assert_eq!(
+            m.relocation_steps.count(),
+            2,
+            "one sample per placing insertion"
+        );
+        assert_eq!(m.reuse_distance.count(), 2, "one sample per hit");
+        // The second hit of key 1 came one lookup after the first.
+        assert!(m.reuse_distance.counts[1] >= 1, "{:?}", m.reuse_distance);
+    }
+
+    #[test]
+    fn reuse_distance_counts_intervening_lookups() {
+        let mut t = table(8);
+        t.insert(key(1), 1);
+        t.lookup(&key(1)); // first hit: distance measured from insertion
+        for i in 10..14 {
+            t.lookup(&key(i)); // 4 intervening misses
+        }
+        t.lookup(&key(1)); // distance 5 (4 misses + this lookup)
+        let m = t.metrics();
+        assert_eq!(m.reuse_distance.count(), 2);
+        let b = draco_obs::Histogram::bucket_of(5);
+        assert!(m.reuse_distance.counts[b] >= 1, "{:?}", m.reuse_distance);
     }
 
     #[test]

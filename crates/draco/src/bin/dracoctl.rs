@@ -8,6 +8,7 @@
 //! dracoctl check <docker|gvisor|firecracker|PATH.json> <syscall> [arg0 arg1 ...]
 //! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
+//! dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--json]
 //! dracoctl workloads                                        # list the catalog
 //! ```
 
@@ -17,9 +18,10 @@ use draco::bpf::disasm;
 use draco::core::DracoChecker;
 use draco::profiles::{
     compile_stacked, docker_default, firecracker, gvisor_default, profile_from_json,
-    profile_to_json, FilterLayout, ProfileSpec, ProfileStats,
+    profile_to_json, FilterLayout, ProfileKind, ProfileSpec, ProfileStats,
 };
-use draco::syscalls::{ArgSet, SyscallRequest, SyscallTable};
+use draco::syscalls::{ArgSet, SyscallId, SyscallRequest, SyscallTable};
+use draco::workloads::timing::profile_for_trace;
 use draco::workloads::{catalog, LocalityReport, SyscallTrace, TraceGenerator};
 
 fn main() {
@@ -33,6 +35,7 @@ fn run(args: &[String]) -> i32 {
         Some("profile") => profile_cmd(&args[1..]),
         Some("check") => check_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
         Some("workloads") => {
             for spec in catalog::all() {
                 println!(
@@ -47,11 +50,12 @@ fn run(args: &[String]) -> i32 {
         }
         _ => {
             eprintln!(
-                "usage: dracoctl <profile|check|trace|workloads> ...\n\
+                "usage: dracoctl <profile|check|trace|stats|workloads> ...\n\
                  \x20 profile stats|json|disasm <docker|gvisor|firecracker|PATH.json>\n\
                  \x20 check <profile> <syscall> [args...]\n\
                  \x20 trace gen <workload> [--ops N] [--seed N]\n\
                  \x20 trace analyze <PATH.json|->\n\
+                 \x20 stats <workload> [--ops N] [--seed N] [--trace N] [--json]\n\
                  \x20 workloads"
             );
             2
@@ -208,6 +212,80 @@ fn parse_u64(s: &str) -> Result<u64, String> {
         s.parse()
     };
     parsed.map_err(|_| format!("bad numeric argument `{s}`"))
+}
+
+/// Replays a generated workload trace through the software checker and
+/// prints the merged observability snapshot — the CLI face of the
+/// `draco-obs` registry. `--trace N` keeps the last `N` flow
+/// classifications in a ring and prints them; `--json` emits the raw
+/// [`draco::obs::MetricsRegistry`] instead of the human snapshot.
+fn stats_cmd(args: &[String]) -> i32 {
+    let Some(name) = args.first() else {
+        eprintln!("usage: dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--json]");
+        return 2;
+    };
+    let Some(spec) = catalog::by_name(name) else {
+        eprintln!("unknown workload `{name}` (try `dracoctl workloads`)");
+        return 1;
+    };
+    let mut ops = spec.default_ops;
+    let mut seed = 0u64;
+    let mut ring_cap = 0usize;
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                i += 1;
+                ops = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(ops);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(seed);
+            }
+            "--trace" => {
+                i += 1;
+                ring_cap = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(ring_cap);
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let trace = TraceGenerator::new(&spec, seed).generate(ops);
+    let profile = profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let mut checker = DracoChecker::from_profile(&profile).expect("checker builds");
+    if ring_cap > 0 {
+        checker.enable_flow_trace(ring_cap);
+    }
+    for req in trace.requests() {
+        checker.check(&req);
+    }
+    let metrics = checker.metrics();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&metrics).expect("registry serializes"));
+        return 0;
+    }
+    println!("{name}: {ops} checks replayed (seed {seed}, syscall-complete profile)");
+    println!("{metrics}");
+    if let Some(ring) = checker.flow_trace() {
+        let table = SyscallTable::shared();
+        println!(
+            "recent flows ({} kept of {} recorded):",
+            ring.len(),
+            ring.total_recorded()
+        );
+        for ev in ring.iter_recent() {
+            let name = table
+                .get(SyscallId::new(ev.syscall))
+                .map_or("?", |d| d.name());
+            println!("  #{:<10} {:<18} {}", ev.seq, name, ev.class);
+        }
+    }
+    0
 }
 
 fn trace_cmd(args: &[String]) -> i32 {

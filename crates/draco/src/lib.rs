@@ -15,6 +15,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`syscalls`] | `draco-syscalls` | x86-64 syscall table, `ArgSet`, 48-bit argument bitmask |
+//! | [`obs`] | `draco-obs` | zero-allocation observability: counters, histograms, flow-event ring, `MetricsRegistry` |
 //! | [`cuckoo`] | `draco-cuckoo` | CRC-64 (ECMA/¬ECMA) hashing, bounded 2-ary cuckoo tables |
 //! | [`bpf`] | `draco-bpf` | cBPF instruction set, validator, interpreter, JIT-model executor |
 //! | [`profiles`] | `draco-profiles` | docker-default / gVisor / Firecracker, trace→profile toolkit, filter compilation & stacking |
@@ -45,6 +46,7 @@
 pub use draco_bpf as bpf;
 pub use draco_core as core;
 pub use draco_cuckoo as cuckoo;
+pub use draco_obs as obs;
 pub use draco_profiles as profiles;
 pub use draco_sim as sim;
 pub use draco_syscalls as syscalls;

@@ -1,0 +1,228 @@
+//! Fixed-bucket power-of-two histograms.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram of `u64` samples with power-of-two bucket
+/// boundaries.
+///
+/// Bucket 0 counts exact zeros; bucket `i` (for `1 <= i < 15`) counts
+/// values in `[2^(i-1), 2^i)`; the last bucket absorbs everything at or
+/// above `2^14`. The bucket array is inline (no heap), recording is two
+/// integer adds, and merging is an element-wise saturating sum — so
+/// histograms are safe on the check hot path and merge associatively
+/// across replay shards.
+///
+/// # Example
+///
+/// ```
+/// use draco_obs::Histogram;
+///
+/// let mut h = Histogram::default();
+/// h.record(0);
+/// h.record(3);
+/// h.record(3);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum, 6);
+/// assert_eq!(h.counts[0], 1); // the zero
+/// assert_eq!(h.counts[2], 2); // 3 lands in [2, 4)
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Per-bucket sample counts (see the type docs for boundaries).
+    pub counts: [u64; Histogram::BUCKETS],
+    /// Saturating sum of every recorded sample.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Number of buckets.
+    pub const BUCKETS: usize = 16;
+
+    /// The bucket a value lands in.
+    pub const fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            let b = 64 - value.leading_zeros() as usize;
+            if b < Self::BUCKETS {
+                b
+            } else {
+                Self::BUCKETS - 1
+            }
+        }
+    }
+
+    /// The inclusive lower bound of a bucket.
+    pub const fn bucket_low(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
+    /// The inclusive upper bound of a bucket, or `None` for the overflow
+    /// bucket.
+    pub const fn bucket_high(bucket: usize) -> Option<u64> {
+        if bucket == 0 {
+            Some(0)
+        } else if bucket + 1 < Self::BUCKETS {
+            Some((1u64 << bucket) - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Records one sample. Zero-allocation; overflow saturates.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Element-wise saturating merge (associative and commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Compact one-line rendering of the non-empty buckets:
+    /// `[0]=3 [2,3]=17 [>=16384]=1 (n=21, mean=2.4)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let low = Self::bucket_low(i);
+            match Self::bucket_high(i) {
+                Some(high) if high == low => write!(f, "[{low}]={c} ")?,
+                Some(high) => write!(f, "[{low},{high}]={c} ")?,
+                None => write!(f, "[>={low}]={c} ")?,
+            }
+        }
+        write!(f, "(n={}, mean={:.2})", self.count(), self.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(16_383), 14);
+        assert_eq!(Histogram::bucket_of(16_384), 15);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 15);
+        // Bounds agree with bucket_of at the edges.
+        for b in 0..Histogram::BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_low(b)), b);
+            if let Some(high) = Histogram::bucket_high(b) {
+                assert_eq!(Histogram::bucket_of(high), b);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        for v in [0u64, 1, 1, 5, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum, 100_007);
+        assert!(!h.is_empty());
+        assert_eq!(h.counts[15], 1, "overflow bucket");
+        assert!((h.mean() - 20_001.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_pooled() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut pooled = Histogram::default();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+            pooled.record(v);
+        }
+        for v in [0u64, 9, 70_000] {
+            b.record(v);
+            pooled.record(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, pooled);
+    }
+
+    #[test]
+    fn saturating_never_panics() {
+        let mut h = Histogram {
+            counts: [u64::MAX; Histogram::BUCKETS],
+            sum: u64::MAX,
+        };
+        h.record(u64::MAX);
+        let copy = h;
+        h.merge(&copy);
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn display_labels_buckets() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(2);
+        h.record(1 << 20);
+        let s = h.to_string();
+        assert!(s.contains("[0]=1"), "{s}");
+        assert!(s.contains("[2,3]=1"), "{s}");
+        assert!(s.contains("[>=16384]=1"), "{s}");
+        assert!(s.contains("n=3"), "{s}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Histogram::default();
+        h.record(7);
+        h.record(42);
+        let json = serde_json::to_string(&h).expect("serializes");
+        let back: Histogram = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, h);
+    }
+}

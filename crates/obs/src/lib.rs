@@ -1,0 +1,41 @@
+//! Unified Draco observability (`draco-obs`).
+//!
+//! The paper's whole evaluation (Figs. 11–13, Table I) is built on
+//! per-layer hit-rate and locality statistics. This crate is the one
+//! place those numbers live: every layer — the `draco-core` checker and
+//! VAT, the `draco-cuckoo` tables, the `draco-sim` SLB/STB/temporary
+//! buffer, and the sharded replay engine in `draco-workloads` — feeds a
+//! [`MetricsRegistry`] section, and every surface that reports results
+//! (`repro throughput`, `dracoctl stats`) reads one back.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero allocation on the hot path.** Counters are plain `u64`
+//!    fields and histograms are fixed-size inline arrays
+//!    ([`Histogram`]); recording is a bounded number of integer adds.
+//!    The counting-allocator test in `draco-core` proves SPT/VAT-hit
+//!    checks stay allocation-free with metrics enabled.
+//! 2. **Deterministic and mergeable.** Every field is a sum, so
+//!    [`MetricsRegistry::merge`] is associative and commutative:
+//!    per-shard registries merged in any interleaving produce identical
+//!    totals, and same-seed runs produce identical registries. Nothing
+//!    wall-clock-dependent is stored here — timing lives in the replay
+//!    reports.
+//! 3. **Capacity-bounded debugging.** The [`EventRing`] records the most
+//!    recent flow classifications ([`FlowEvent`]) for debugging fidelity
+//!    regressions. It is off by default and pre-allocates at enable
+//!    time, so recording never touches the heap either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod hist;
+mod registry;
+mod ring;
+
+pub use hist::Histogram;
+pub use registry::{
+    CheckerMetrics, CuckooMetrics, MetricsRegistry, ReplayMetrics, SimMetrics, VatMetrics,
+    FLOW_LABELS,
+};
+pub use ring::{EventRing, FlowClass, FlowEvent};

@@ -1,0 +1,481 @@
+//! The per-layer metric sections and the registry that merges them.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Histogram;
+
+/// Labels of the Table-I flow-mix slots, in
+/// [`SimMetrics::flow_mix`] index order (matching
+/// `draco_sim::Flow::index`).
+pub const FLOW_LABELS: [&str; 8] = [
+    "spt-only",
+    "f1",
+    "f2",
+    "f3",
+    "f4",
+    "f5",
+    "f6",
+    "fallback",
+];
+
+/// Checker-layer counters (software Draco, paper Fig. 4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckerMetrics {
+    /// Checks admitted by the SPT alone.
+    pub spt_hits: u64,
+    /// Checks admitted by a VAT probe.
+    pub vat_hits: u64,
+    /// Checks that fell back to the Seccomp filter.
+    pub filter_runs: u64,
+    /// Total cBPF instructions executed by fallback runs.
+    pub filter_insns: u64,
+    /// Checks whose final verdict was a denial.
+    pub denials: u64,
+    /// Argument-set insertions into the VAT.
+    pub vat_inserts: u64,
+    /// cBPF instructions per fallback run.
+    pub insns_per_filter_run: Histogram,
+    /// Filter instructions *saved* per cached check: at each SPT/VAT
+    /// hit, the mean fallback cost observed so far is recorded — the
+    /// work Draco's tables absorbed instead of the filter.
+    pub saved_insns_per_hit: Histogram,
+}
+
+impl CheckerMetrics {
+    /// Total checks observed (saturating).
+    pub fn total(&self) -> u64 {
+        self.spt_hits
+            .saturating_add(self.vat_hits)
+            .saturating_add(self.filter_runs)
+    }
+
+    /// Fraction of checks that skipped the filter entirely.
+    pub fn cache_hit_rate(&self) -> f64 {
+        ratio(self.spt_hits.saturating_add(self.vat_hits), self.total())
+    }
+
+    /// Merges another checker section into this one.
+    pub fn merge(&mut self, other: &CheckerMetrics) {
+        self.spt_hits = self.spt_hits.saturating_add(other.spt_hits);
+        self.vat_hits = self.vat_hits.saturating_add(other.vat_hits);
+        self.filter_runs = self.filter_runs.saturating_add(other.filter_runs);
+        self.filter_insns = self.filter_insns.saturating_add(other.filter_insns);
+        self.denials = self.denials.saturating_add(other.denials);
+        self.vat_inserts = self.vat_inserts.saturating_add(other.vat_inserts);
+        self.insns_per_filter_run.merge(&other.insns_per_filter_run);
+        self.saved_insns_per_hit.merge(&other.saved_insns_per_hit);
+    }
+}
+
+/// Cuckoo-table counters, aggregated across every VAT table
+/// (paper §V-B, §VII-A).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuckooMetrics {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Insertions that found a slot (directly or via relocation).
+    pub insertions: u64,
+    /// Insertions that replaced an existing key's value.
+    pub updates: u64,
+    /// Entries forcibly evicted under relocation pressure.
+    pub evictions: u64,
+    /// Total relocation steps across all insertions.
+    pub relocations: u64,
+    /// Probes per lookup (1 = first-way hit, 2 = second way or miss).
+    pub probe_length: Histogram,
+    /// Relocation steps per insertion.
+    pub relocation_steps: Histogram,
+    /// Lookups between successive hits of the same resident entry
+    /// (the measured version of Fig. 3's reuse distance).
+    pub reuse_distance: Histogram,
+}
+
+impl CuckooMetrics {
+    /// Lookup hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.hits, self.hits.saturating_add(self.misses))
+    }
+
+    /// Merges another cuckoo section into this one.
+    pub fn merge(&mut self, other: &CuckooMetrics) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.insertions = self.insertions.saturating_add(other.insertions);
+        self.updates = self.updates.saturating_add(other.updates);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.relocations = self.relocations.saturating_add(other.relocations);
+        self.probe_length.merge(&other.probe_length);
+        self.relocation_steps.merge(&other.relocation_steps);
+        self.reuse_distance.merge(&other.reuse_distance);
+    }
+}
+
+/// VAT occupancy gauges (paper §XI-C footprints).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VatMetrics {
+    /// Per-syscall tables allocated.
+    pub tables: u64,
+    /// Argument sets currently resident across all tables.
+    pub resident_sets: u64,
+    /// Approximate resident footprint in bytes.
+    pub footprint_bytes: u64,
+}
+
+impl VatMetrics {
+    /// Merges another VAT section (shards own disjoint VATs, so gauges
+    /// add).
+    pub fn merge(&mut self, other: &VatMetrics) {
+        self.tables = self.tables.saturating_add(other.tables);
+        self.resident_sets = self.resident_sets.saturating_add(other.resident_sets);
+        self.footprint_bytes = self.footprint_bytes.saturating_add(other.footprint_bytes);
+    }
+}
+
+/// Hardware-simulator counters: STB, SLB, temporary buffer, and the
+/// Table-I flow mix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// STB lookup hits (Fig. 13 "STB").
+    pub stb_hits: u64,
+    /// STB lookup misses.
+    pub stb_misses: u64,
+    /// Non-speculative SLB access hits (Fig. 13 "SLB access").
+    pub slb_access_hits: u64,
+    /// Non-speculative SLB access misses.
+    pub slb_access_misses: u64,
+    /// Speculative SLB preload-probe hits (Fig. 13 "SLB preload").
+    pub slb_preload_hits: u64,
+    /// Speculative SLB preload-probe misses.
+    pub slb_preload_misses: u64,
+    /// Entries staged into the temporary buffer (§IX).
+    pub tempbuf_staged: u64,
+    /// Staged entries committed into the SLB.
+    pub tempbuf_commits: u64,
+    /// Squashes that cleared the temporary buffer.
+    pub tempbuf_squashes: u64,
+    /// Table-I flow occupancy, indexed like `Flow::index`
+    /// (labels in [`FLOW_LABELS`]).
+    pub flow_mix: [u64; 8],
+}
+
+impl SimMetrics {
+    /// STB hit rate.
+    pub fn stb_hit_rate(&self) -> f64 {
+        ratio(self.stb_hits, self.stb_hits.saturating_add(self.stb_misses))
+    }
+
+    /// SLB access hit rate.
+    pub fn slb_access_hit_rate(&self) -> f64 {
+        ratio(
+            self.slb_access_hits,
+            self.slb_access_hits.saturating_add(self.slb_access_misses),
+        )
+    }
+
+    /// SLB preload hit rate.
+    pub fn slb_preload_hit_rate(&self) -> f64 {
+        ratio(
+            self.slb_preload_hits,
+            self.slb_preload_hits.saturating_add(self.slb_preload_misses),
+        )
+    }
+
+    /// Total syscalls classified into a flow.
+    pub fn flow_total(&self) -> u64 {
+        self.flow_mix
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
+    }
+
+    /// Merges another sim section into this one.
+    pub fn merge(&mut self, other: &SimMetrics) {
+        self.stb_hits = self.stb_hits.saturating_add(other.stb_hits);
+        self.stb_misses = self.stb_misses.saturating_add(other.stb_misses);
+        self.slb_access_hits = self.slb_access_hits.saturating_add(other.slb_access_hits);
+        self.slb_access_misses = self.slb_access_misses.saturating_add(other.slb_access_misses);
+        self.slb_preload_hits = self.slb_preload_hits.saturating_add(other.slb_preload_hits);
+        self.slb_preload_misses = self
+            .slb_preload_misses
+            .saturating_add(other.slb_preload_misses);
+        self.tempbuf_staged = self.tempbuf_staged.saturating_add(other.tempbuf_staged);
+        self.tempbuf_commits = self.tempbuf_commits.saturating_add(other.tempbuf_commits);
+        self.tempbuf_squashes = self.tempbuf_squashes.saturating_add(other.tempbuf_squashes);
+        for (a, b) in self.flow_mix.iter_mut().zip(other.flow_mix.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+/// Replay-engine counters (one shard, or the merge of many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayMetrics {
+    /// Shards merged into this section.
+    pub shards: u64,
+    /// Measured checks performed.
+    pub checks: u64,
+    /// Checks whose verdict permitted the call.
+    pub allowed: u64,
+    /// Checks admitted by SPT or VAT without running the filter.
+    pub cache_hits: u64,
+}
+
+impl ReplayMetrics {
+    /// Merges another replay section into this one.
+    pub fn merge(&mut self, other: &ReplayMetrics) {
+        self.shards = self.shards.saturating_add(other.shards);
+        self.checks = self.checks.saturating_add(other.checks);
+        self.allowed = self.allowed.saturating_add(other.allowed);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+    }
+}
+
+/// The unified per-run metric registry every layer feeds.
+///
+/// Each section is owned by one layer: `checker` by the software
+/// checker, `cuckoo`/`vat` by the VAT's cuckoo tables, `sim` by the
+/// hardware model, `replay` by the sharded replay engine. Unused
+/// sections stay zeroed. All fields are saturating sums, so
+/// [`MetricsRegistry::merge`] is associative and commutative — per-shard
+/// registries merge to identical totals in any interleaving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Software checker section.
+    pub checker: CheckerMetrics,
+    /// Cuckoo/VAT-table section (aggregated across tables).
+    pub cuckoo: CuckooMetrics,
+    /// VAT occupancy gauges.
+    pub vat: VatMetrics,
+    /// Hardware-simulator section.
+    pub sim: SimMetrics,
+    /// Replay-engine section.
+    pub replay: ReplayMetrics,
+}
+
+impl MetricsRegistry {
+    /// Merges another registry into this one, section by section.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.checker.merge(&other.checker);
+        self.cuckoo.merge(&other.cuckoo);
+        self.vat.merge(&other.vat);
+        self.sim.merge(&other.sim);
+        self.replay.merge(&other.replay);
+    }
+
+    /// Merges a sequence of registries into one (fold over
+    /// [`MetricsRegistry::merge`]).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a MetricsRegistry>) -> MetricsRegistry {
+        let mut out = MetricsRegistry::default();
+        for part in parts {
+            out.merge(part);
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    /// The human-readable snapshot `dracoctl stats` prints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.checker;
+        writeln!(
+            f,
+            "checker : {} checks ({:.1}% cached): {} spt, {} vat, {} filter ({} insns), {} denied, {} vat-inserts",
+            c.total(),
+            c.cache_hit_rate() * 100.0,
+            c.spt_hits,
+            c.vat_hits,
+            c.filter_runs,
+            c.filter_insns,
+            c.denials,
+            c.vat_inserts
+        )?;
+        if !c.insns_per_filter_run.is_empty() {
+            writeln!(f, "  insns/filter-run : {}", c.insns_per_filter_run)?;
+        }
+        if !c.saved_insns_per_hit.is_empty() {
+            writeln!(f, "  saved-insns/hit  : {}", c.saved_insns_per_hit)?;
+        }
+        let k = &self.cuckoo;
+        writeln!(
+            f,
+            "cuckoo  : {} hits / {} misses ({:.1}%), {} inserts, {} updates, {} evictions, {} relocations",
+            k.hits,
+            k.misses,
+            k.hit_rate() * 100.0,
+            k.insertions,
+            k.updates,
+            k.evictions,
+            k.relocations
+        )?;
+        if !k.probe_length.is_empty() {
+            writeln!(f, "  probe-length     : {}", k.probe_length)?;
+        }
+        if !k.relocation_steps.is_empty() {
+            writeln!(f, "  relocation-steps : {}", k.relocation_steps)?;
+        }
+        if !k.reuse_distance.is_empty() {
+            writeln!(f, "  reuse-distance   : {}", k.reuse_distance)?;
+        }
+        let v = &self.vat;
+        writeln!(
+            f,
+            "vat     : {} tables, {} resident sets, {} bytes",
+            v.tables, v.resident_sets, v.footprint_bytes
+        )?;
+        let s = &self.sim;
+        if s.flow_total() > 0 || s.stb_hits + s.stb_misses > 0 {
+            writeln!(
+                f,
+                "sim     : stb {:.1}%, slb access {:.1}%, slb preload {:.1}%, tempbuf {} staged / {} committed / {} squashes",
+                s.stb_hit_rate() * 100.0,
+                s.slb_access_hit_rate() * 100.0,
+                s.slb_preload_hit_rate() * 100.0,
+                s.tempbuf_staged,
+                s.tempbuf_commits,
+                s.tempbuf_squashes
+            )?;
+            write!(f, "  flow-mix         :")?;
+            for (label, count) in FLOW_LABELS.iter().zip(s.flow_mix.iter()) {
+                if *count > 0 {
+                    write!(f, " {label}={count}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        let r = &self.replay;
+        if r.checks > 0 {
+            writeln!(
+                f,
+                "replay  : {} shards, {} checks, {} allowed, {} cache hits",
+                r.shards, r.checks, r.allowed, r.cache_hits
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> MetricsRegistry {
+        let mut r = MetricsRegistry::default();
+        r.checker.spt_hits = seed;
+        r.checker.vat_hits = seed * 2;
+        r.checker.filter_runs = seed + 1;
+        r.checker.insns_per_filter_run.record(seed + 3);
+        r.checker.saved_insns_per_hit.record(seed);
+        r.cuckoo.hits = seed * 3;
+        r.cuckoo.misses = 1;
+        r.cuckoo.probe_length.record(1);
+        r.cuckoo.probe_length.record(2);
+        r.cuckoo.reuse_distance.record(seed * 10);
+        r.vat.tables = 2;
+        r.vat.resident_sets = seed;
+        r.sim.stb_hits = seed;
+        r.sim.flow_mix[1] = seed;
+        r.replay.shards = 1;
+        r.replay.checks = seed * 100;
+        r
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts = [sample(1), sample(5), sample(9)];
+        // Left fold.
+        let mut left = parts[0];
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // Right fold.
+        let mut bc = parts[1];
+        bc.merge(&parts[2]);
+        let mut right = parts[0];
+        right.merge(&bc);
+        assert_eq!(left, right, "associativity");
+        // Reversed order.
+        let mut rev = parts[2];
+        rev.merge(&parts[1]);
+        rev.merge(&parts[0]);
+        assert_eq!(left, rev, "commutativity");
+        // The helper agrees.
+        assert_eq!(MetricsRegistry::merged(parts.iter()), left);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let r = sample(7);
+        let mut merged = r;
+        merged.merge(&MetricsRegistry::default());
+        assert_eq!(merged, r);
+        let mut other = MetricsRegistry::default();
+        other.merge(&r);
+        assert_eq!(other, r);
+    }
+
+    #[test]
+    fn rates_guard_empty_sections() {
+        let r = MetricsRegistry::default();
+        assert_eq!(r.checker.cache_hit_rate(), 0.0);
+        assert_eq!(r.cuckoo.hit_rate(), 0.0);
+        assert_eq!(r.sim.stb_hit_rate(), 0.0);
+        assert_eq!(r.sim.slb_access_hit_rate(), 0.0);
+        assert_eq!(r.sim.slb_preload_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn saturating_totals_cannot_overflow() {
+        let c = CheckerMetrics {
+            spt_hits: u64::MAX,
+            vat_hits: u64::MAX,
+            filter_runs: u64::MAX,
+            ..CheckerMetrics::default()
+        };
+        assert_eq!(c.total(), u64::MAX);
+        let mut a = c;
+        a.merge(&c);
+        assert_eq!(a.spt_hits, u64::MAX);
+    }
+
+    #[test]
+    fn display_mentions_every_fed_section() {
+        let r = sample(4);
+        let text = r.to_string();
+        assert!(text.contains("checker"), "{text}");
+        assert!(text.contains("cuckoo"), "{text}");
+        assert!(text.contains("vat"), "{text}");
+        assert!(text.contains("sim"), "{text}");
+        assert!(text.contains("replay"), "{text}");
+        assert!(text.contains("flow-mix"), "{text}");
+        assert!(text.contains("f1=4"), "{text}");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_everything() {
+        let r = sample(3);
+        let json = serde_json::to_string_pretty(&r).expect("serializes");
+        let back: MetricsRegistry = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, r);
+        // The JSON exposes the documented section names.
+        for key in ["checker", "cuckoo", "vat", "sim", "replay"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn flow_labels_cover_all_slots() {
+        assert_eq!(FLOW_LABELS.len(), 8);
+        assert_eq!(FLOW_LABELS[0], "spt-only");
+        assert_eq!(FLOW_LABELS[7], "fallback");
+    }
+}

@@ -1,0 +1,194 @@
+//! The capacity-bounded flow-event trace.
+
+use core::fmt;
+
+/// How one check was classified (the software analogue of the paper's
+/// Table-I execution flows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowClass {
+    /// SPT Valid bit sufficed.
+    SptHit,
+    /// The VAT held the argument set.
+    VatHit,
+    /// The fallback filter ran and permitted the call.
+    FilterAllow,
+    /// The fallback filter ran and denied the call.
+    FilterDeny,
+}
+
+impl FlowClass {
+    /// Stable label used in trace output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FlowClass::SptHit => "spt-hit",
+            FlowClass::VatHit => "vat-hit",
+            FlowClass::FilterAllow => "filter-allow",
+            FlowClass::FilterDeny => "filter-deny",
+        }
+    }
+}
+
+impl fmt::Display for FlowClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded flow classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Monotonic check sequence number (0-based within the recorder).
+    pub seq: u64,
+    /// Raw syscall number of the checked call.
+    pub syscall: u16,
+    /// The classification.
+    pub class: FlowClass,
+}
+
+/// A capacity-bounded ring buffer of recent [`FlowEvent`]s.
+///
+/// All storage is allocated once at construction; [`EventRing::record`]
+/// writes in place and never allocates, so the ring can stay enabled on
+/// the check hot path without violating the zero-allocation contract.
+/// When full, the oldest event is overwritten.
+///
+/// # Example
+///
+/// ```
+/// use draco_obs::{EventRing, FlowClass, FlowEvent};
+///
+/// let mut ring = EventRing::with_capacity(2);
+/// for seq in 0..3 {
+///     ring.record(FlowEvent { seq, syscall: 0, class: FlowClass::VatHit });
+/// }
+/// let seqs: Vec<u64> = ring.iter_recent().map(|e| e.seq).collect();
+/// assert_eq!(seqs, vec![1, 2]); // oldest event overwritten
+/// assert_eq!(ring.total_recorded(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    events: Vec<FlowEvent>,
+    capacity: usize,
+    /// Index of the next write (wraps at `capacity`).
+    next: usize,
+    total: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be nonzero");
+        EventRing {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an event, overwriting the oldest when full. Never
+    /// allocates: the buffer was sized at construction.
+    pub fn record(&mut self, event: FlowEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.next] = event;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Events currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub const fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over the held events, oldest first.
+    pub fn iter_recent(&self) -> impl Iterator<Item = &FlowEvent> {
+        let split = if self.events.len() < self.capacity {
+            0
+        } else {
+            self.next
+        };
+        self.events[split..].iter().chain(self.events[..split].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> FlowEvent {
+        FlowEvent {
+            seq,
+            syscall: (seq % 7) as u16,
+            class: if seq.is_multiple_of(2) {
+                FlowClass::SptHit
+            } else {
+                FlowClass::FilterDeny
+            },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut ring = EventRing::with_capacity(4);
+        assert!(ring.is_empty());
+        for seq in 0..3 {
+            ring.record(ev(seq));
+        }
+        assert_eq!(ring.len(), 3);
+        let seqs: Vec<u64> = ring.iter_recent().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        for seq in 3..11 {
+            ring.record(ev(seq));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 11);
+        let seqs: Vec<u64> = ring.iter_recent().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest first after wrap");
+    }
+
+    #[test]
+    fn capacity_is_respected_exactly() {
+        let mut ring = EventRing::with_capacity(1);
+        ring.record(ev(0));
+        ring.record(ev(1));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.iter_recent().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::with_capacity(0);
+    }
+
+    #[test]
+    fn flow_class_labels() {
+        assert_eq!(FlowClass::SptHit.to_string(), "spt-hit");
+        assert_eq!(FlowClass::VatHit.to_string(), "vat-hit");
+        assert_eq!(FlowClass::FilterAllow.to_string(), "filter-allow");
+        assert_eq!(FlowClass::FilterDeny.to_string(), "filter-deny");
+    }
+}

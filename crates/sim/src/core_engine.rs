@@ -3,6 +3,7 @@
 use core::fmt;
 
 use draco_core::Vat;
+use draco_obs::{MetricsRegistry, SimMetrics};
 use draco_profiles::{compile_stacked, ArgPolicy, CompiledStack, FilterLayout, ProfileSpec};
 use draco_syscalls::{ArgBitmask, ArgSet, SyscallId};
 use draco_workloads::SyscallTrace;
@@ -343,6 +344,38 @@ impl DracoHwCore {
     /// Read access to the temporary buffer (tests).
     pub fn temp_buffer(&self) -> &TemporaryBuffer {
         &self.temp
+    }
+
+    /// This core's observability snapshot: the `sim` section from the
+    /// STB/SLB/temporary-buffer counters and the Table-I flow mix, plus
+    /// the `cuckoo`/`vat` sections aggregated from the core's VAT.
+    /// (`checker`/`replay` stay zeroed — other layers own them; the
+    /// core's own fallback-filter stats are in [`HwRunReport`].)
+    pub fn metrics(&self) -> MetricsRegistry {
+        let (access_hits, access_misses, preload_hits, preload_misses) = self.slb.counters();
+        let (stb_hits, stb_misses) = self.stb.stats();
+        let (staged, commits, squashes) = self.temp.counters();
+        let mut flow_mix = [0u64; 8];
+        for flow in Flow::ALL {
+            flow_mix[flow.index()] = self.flows.count(flow);
+        }
+        MetricsRegistry {
+            sim: SimMetrics {
+                stb_hits,
+                stb_misses,
+                slb_access_hits: access_hits,
+                slb_access_misses: access_misses,
+                slb_preload_hits: preload_hits,
+                slb_preload_misses: preload_misses,
+                tempbuf_staged: staged,
+                tempbuf_commits: commits,
+                tempbuf_squashes: squashes,
+                flow_mix,
+            },
+            cuckoo: self.vat.cuckoo_metrics(),
+            vat: self.vat.metrics(),
+            ..MetricsRegistry::default()
+        }
     }
 
     fn note_flow(&mut self, flow: Flow) {
@@ -870,6 +903,35 @@ mod tests {
         assert!(r.vat_footprint_bytes > 0);
         assert!(r.accesses.spt > 0);
         assert!(r.accesses.slb > 0);
+    }
+
+    #[test]
+    fn metrics_agree_with_the_run_report() {
+        let spec = catalog::httpd();
+        let trace = TraceGenerator::new(&spec, 5).generate(10_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+        let r = core.run(&trace);
+        let m = core.metrics();
+        // Flow mix matches FlowCounts in Table-I order.
+        for flow in Flow::ALL {
+            assert_eq!(m.sim.flow_mix[flow.index()], r.flows.count(flow));
+        }
+        assert_eq!(m.sim.flow_total(), r.flows.total());
+        // Hit rates derived from the registry match the report's.
+        assert!((m.sim.stb_hit_rate() - r.stb_hit_rate).abs() < 1e-12);
+        assert!((m.sim.slb_access_hit_rate() - r.slb_access_hit_rate).abs() < 1e-12);
+        assert!((m.sim.slb_preload_hit_rate() - r.slb_preload_hit_rate).abs() < 1e-12);
+        // The temporary buffer saw traffic on this workload.
+        assert!(m.sim.tempbuf_staged > 0);
+        assert!(m.sim.tempbuf_commits <= m.sim.tempbuf_staged);
+        // VAT sections are aggregated from the core's tables.
+        assert!(m.vat.tables > 0);
+        assert_eq!(m.vat.footprint_bytes as usize, r.vat_footprint_bytes);
+        assert!(m.cuckoo.hits > 0, "slow flows probed the VAT");
+        // Sections owned by other layers stay zeroed.
+        assert_eq!(m.checker, draco_obs::CheckerMetrics::default());
+        assert_eq!(m.replay.checks, 0);
     }
 
     #[test]

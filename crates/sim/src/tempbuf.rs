@@ -20,6 +20,9 @@ use crate::slb::SlbEntry;
 pub struct TemporaryBuffer {
     capacity: usize,
     entries: Vec<(usize, SlbEntry)>, // (arg_count, entry)
+    staged: u64,
+    commits: u64,
+    squashes: u64,
 }
 
 impl TemporaryBuffer {
@@ -33,6 +36,9 @@ impl TemporaryBuffer {
         TemporaryBuffer {
             capacity,
             entries: Vec::with_capacity(capacity),
+            staged: 0,
+            commits: 0,
+            squashes: 0,
         }
     }
 
@@ -43,6 +49,7 @@ impl TemporaryBuffer {
             self.entries.remove(0);
         }
         self.entries.push((arg_count, entry));
+        self.staged = self.staged.saturating_add(1);
     }
 
     /// At commit: removes and returns the staged entry matching the
@@ -58,6 +65,7 @@ impl TemporaryBuffer {
             .entries
             .iter()
             .position(|(ac, e)| *ac == arg_count && e.sid == sid && e.args == *args)?;
+        self.commits = self.commits.saturating_add(1);
         Some(self.entries.remove(pos).1)
     }
 
@@ -71,6 +79,14 @@ impl TemporaryBuffer {
     /// Squash: clears every staged entry.
     pub fn squash(&mut self) {
         self.entries.clear();
+        self.squashes = self.squashes.saturating_add(1);
+    }
+
+    /// `(staged, commits, squashes)` lifetime counters: entries ever
+    /// staged, staged entries promoted into the SLB at commit, and
+    /// squash events.
+    pub const fn counters(&self) -> (u64, u64, u64) {
+        (self.staged, self.commits, self.squashes)
     }
 
     /// Staged entry count.
@@ -166,5 +182,17 @@ mod tests {
     #[should_panic]
     fn zero_capacity_rejected() {
         let _ = TemporaryBuffer::new(0);
+    }
+
+    #[test]
+    fn counters_track_lifetime_traffic() {
+        let mut tb = TemporaryBuffer::new(4);
+        tb.stage(1, entry(0, 1));
+        tb.stage(1, entry(1, 2));
+        tb.take_matching(1, SyscallId::new(0), &ArgSet::from_slice(&[1]));
+        tb.squash();
+        tb.stage(1, entry(2, 3));
+        tb.squash();
+        assert_eq!(tb.counters(), (3, 1, 2));
     }
 }

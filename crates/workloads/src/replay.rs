@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use draco_bpf::SeccompData;
 use draco_core::{DracoProcess, ProcessId};
+use draco_obs::{MetricsRegistry, ReplayMetrics};
 use draco_profiles::{compile_stacked, FilterLayout, ProfileKind, ProfileSpec};
 use draco_syscalls::SyscallRequest;
 
@@ -108,6 +109,10 @@ pub struct ReplayReport {
     /// spawn to last join), excluding trace generation and filter
     /// compilation.
     pub wall_ns: u64,
+    /// Per-shard observability registries merged into one (saturating,
+    /// order-independent). Contains no wall-clock data, so same-seed
+    /// runs produce bit-identical registries.
+    pub metrics: MetricsRegistry,
 }
 
 impl ReplayReport {
@@ -200,36 +205,59 @@ where
     }
 }
 
-fn run_shard(plan: &ShardPlan, backend: ReplayBackend) -> ShardReport {
+/// The per-shard registry: the shard's own `replay` section, plus (for
+/// the Draco backend) the checker/cuckoo/VAT sections of its process.
+fn shard_registry(report: &ShardReport, checker: Option<&MetricsRegistry>) -> MetricsRegistry {
+    let mut registry = checker.copied().unwrap_or_default();
+    registry.replay = ReplayMetrics {
+        shards: 1,
+        checks: report.checks,
+        allowed: report.allowed,
+        cache_hits: report.cache_hits,
+    };
+    registry
+}
+
+fn run_shard(plan: &ShardPlan, backend: ReplayBackend) -> (ShardReport, MetricsRegistry) {
     match backend {
         ReplayBackend::SeccompInterp => {
             let stack = compile_stacked(&plan.profile, FilterLayout::Linear)
                 .expect("generated profiles always compile");
-            drive(plan, |req| {
+            let report = drive(plan, |req| {
                 let outcome = stack
                     .run(&SeccompData::from_request(req))
                     .expect("generated filters cannot fault");
                 (outcome.action.permits(), false)
-            })
+            });
+            let registry = shard_registry(&report, None);
+            (report, registry)
         }
         ReplayBackend::SeccompCompiled => {
             let stack = compile_stacked(&plan.profile, FilterLayout::Linear)
                 .expect("generated profiles always compile")
                 .compiled();
-            drive(plan, |req| {
+            let report = drive(plan, |req| {
                 let outcome = stack
                     .run(&SeccompData::from_request(req))
                     .expect("generated filters cannot fault");
                 (outcome.action.permits(), false)
-            })
+            });
+            let registry = shard_registry(&report, None);
+            (report, registry)
         }
         ReplayBackend::DracoSw => {
-            let mut process = DracoProcess::spawn(ProcessId(plan.shard as u32), &plan.profile)
+            // Shard indices are bounded by the thread count, so this
+            // conversion cannot fail in practice — but a silent `as`
+            // truncation would alias ProcessIds; fail loudly instead.
+            let pid = u32::try_from(plan.shard).expect("shard index exceeds ProcessId range");
+            let mut process = DracoProcess::spawn(ProcessId(pid), &plan.profile)
                 .expect("generated profiles always compile");
-            drive(plan, move |req| {
+            let report = drive(plan, |req| {
                 let result = process.syscall(req);
                 (result.action.permits(), result.path.is_cache_hit())
-            })
+            });
+            let registry = shard_registry(&report, Some(&process.checker().metrics()));
+            (report, registry)
         }
     }
 }
@@ -255,13 +283,16 @@ pub fn replay_parallel(
     let plans = plan_shards(spec, kind, cfg);
     let start = Instant::now();
     let mut shards: Vec<ShardReport> = Vec::with_capacity(plans.len());
+    let mut metrics = MetricsRegistry::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .iter()
             .map(|plan| scope.spawn(move || run_shard(plan, backend)))
             .collect();
         for handle in handles {
-            shards.push(handle.join().expect("replay shard panicked"));
+            let (report, registry) = handle.join().expect("replay shard panicked");
+            shards.push(report);
+            metrics.merge(&registry);
         }
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
@@ -270,6 +301,7 @@ pub fn replay_parallel(
         workload: spec.name.to_owned(),
         shards,
         wall_ns,
+        metrics,
     }
 }
 
@@ -366,6 +398,87 @@ mod tests {
             .collect();
         assert_eq!(allowed[0], allowed[1]);
         assert_eq!(allowed[1], allowed[2]);
+    }
+
+    #[test]
+    fn metrics_section_matches_shard_counters() {
+        let spec = catalog::ipc_pipe();
+        let report = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &small_cfg(3),
+        );
+        let m = &report.metrics;
+        assert_eq!(m.replay.shards, 3);
+        assert_eq!(m.replay.checks, report.total_checks());
+        assert_eq!(
+            m.replay.allowed,
+            report.shards.iter().map(|s| s.allowed).sum::<u64>()
+        );
+        assert_eq!(
+            m.replay.cache_hits,
+            report.shards.iter().map(|s| s.cache_hits).sum::<u64>()
+        );
+        // The Draco backend also feeds checker/cuckoo/VAT sections.
+        assert!(m.checker.total() > 0);
+        assert!(m.checker.insns_per_filter_run.count() > 0);
+        assert!(m.cuckoo.probe_length.count() > 0);
+        assert!(m.vat.tables > 0);
+        // Seccomp backends feed only the replay section.
+        let seccomp = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::SeccompCompiled,
+            &small_cfg(2),
+        );
+        assert_eq!(seccomp.metrics.checker.total(), 0);
+        assert_eq!(seccomp.metrics.replay.checks, seccomp.total_checks());
+    }
+
+    #[test]
+    fn merged_metrics_are_deterministic_and_order_independent() {
+        // The registry holds no wall-clock data, so the merged registry
+        // of a parallel run must equal the merge of the equivalent
+        // single-shard runs — in any merge order, on any run.
+        let spec = catalog::ipc_pipe();
+        let cfg = small_cfg(3);
+        let parallel = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+        );
+        let rerun = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+        );
+        assert_eq!(
+            parallel.metrics, rerun.metrics,
+            "same seed, same merged registry"
+        );
+        // Single-shard registries for the same seeds. shard index 0 with
+        // the shifted base seed reproduces each parallel shard's trace.
+        let singles: Vec<MetricsRegistry> = (0..cfg.shards)
+            .map(|i| {
+                let one = ReplayConfig {
+                    shards: 1,
+                    base_seed: cfg.shard_seed(i),
+                    ..cfg
+                };
+                replay_parallel(&spec, ProfileKind::SyscallComplete, ReplayBackend::DracoSw, &one)
+                    .metrics
+            })
+            .collect();
+        let forward = MetricsRegistry::merged(singles.iter());
+        let reverse = MetricsRegistry::merged(singles.iter().rev());
+        assert_eq!(forward, reverse, "merge must be order-independent");
+        assert_eq!(forward.checker, parallel.metrics.checker);
+        assert_eq!(forward.cuckoo, parallel.metrics.cuckoo);
+        assert_eq!(forward.vat, parallel.metrics.vat);
+        assert_eq!(forward.replay, parallel.metrics.replay);
     }
 
     #[test]
