@@ -22,6 +22,10 @@ fn main() {
         run_throughput_cmd(&args[1..]);
         return;
     }
+    if args[0] == "compare" {
+        run_compare_cmd(&args[1..]);
+        return;
+    }
     let mut cfg = RunConfig::default();
     let mut json = false;
     let mut i = 1;
@@ -71,22 +75,35 @@ fn main() {
     }
 }
 
+/// Default path of the tracked throughput history (JSONL, repo root).
+const HISTORY_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+
 /// `repro throughput [--quick] [--ops N] [--warmup N] [--seed N]
-/// [--shards N] [--workload W] [--out PATH] [--json] [--stats]` — the
-/// wall-clock harness. Always writes the JSON report. Standard runs
-/// default to the tracked `BENCH_throughput.json` at the repo root;
-/// `--quick` runs default to the untracked
-/// `target/BENCH_throughput.quick.json` so a smoke run never dirties
-/// the tracked baseline. `--json` echoes the report to stdout instead
-/// of the human table; `--stats` appends the merged metrics snapshot.
+/// [--shards N] [--workload W] [--out PATH] [--trace PATH]
+/// [--folded PATH] [--sample N] [--json] [--stats]` — the wall-clock
+/// harness. Always writes the JSON report. Standard runs default to the
+/// tracked `BENCH_throughput.json` at the repo root and append a summary
+/// line to `BENCH_history.jsonl` for the `repro compare` gate; `--quick`
+/// runs default to the untracked `target/BENCH_throughput.quick.json`
+/// and leave the history alone. `--trace`/`--folded` run the Draco
+/// multi-thread replay under a sampled span tracer and export the spans
+/// as Chrome trace JSON / folded flamegraph stacks. `--json` echoes the
+/// report to stdout instead of the human table; `--stats` appends
+/// latency quantiles and the merged metrics snapshot.
 fn run_throughput_cmd(args: &[String]) {
-    use draco_bench::throughput::{run_throughput, ThroughputConfig};
+    use draco::obs::{chrome_trace_json, folded_stacks};
+    use draco::workloads::replay::TraceConfig;
+    use draco_bench::history::{append_history, HistoryEntry};
+    use draco_bench::throughput::{run_throughput, run_throughput_traced, ThroughputConfig};
 
     let mut cfg = ThroughputConfig::standard();
     let mut json = false;
     let mut stats = false;
     let mut quick = false;
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut folded_out: Option<String> = None;
+    let mut trace_cfg = TraceConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -102,6 +119,9 @@ fn run_throughput_cmd(args: &[String]) {
             "--shards" => cfg.shards = parse(args, &mut i, "--shards"),
             "--workload" => cfg.workload = parse(args, &mut i, "--workload"),
             "--out" => out = Some(parse(args, &mut i, "--out")),
+            "--trace" => trace_out = Some(parse(args, &mut i, "--trace")),
+            "--folded" => folded_out = Some(parse(args, &mut i, "--folded")),
+            "--sample" => trace_cfg.sample_interval = parse(args, &mut i, "--sample"),
             "--json" => json = true,
             "--stats" => stats = true,
             other => {
@@ -114,12 +134,19 @@ fn run_throughput_cmd(args: &[String]) {
     }
     assert!(cfg.warmup_ops < cfg.ops_per_shard, "--warmup must be below --ops");
     assert!(cfg.shards > 0, "--shards must be nonzero");
+    assert!(trace_cfg.sample_interval > 0, "--sample must be nonzero");
 
-    let report = run_throughput(&cfg);
+    let tracing = trace_out.is_some() || folded_out.is_some();
+    let (report, spans) = if tracing {
+        run_throughput_traced(&cfg, &trace_cfg)
+    } else {
+        (run_throughput(&cfg), Vec::new())
+    };
     let text = serde_json::to_string_pretty(&report).expect("report serializes")
         + "\n";
     // Quick runs are smoke tests: keep them away from the tracked
     // baseline unless the caller explicitly routes them with --out.
+    let tracked = !quick && out.is_none();
     let path = out.unwrap_or_else(|| {
         if quick {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_throughput.quick.json")
@@ -134,6 +161,23 @@ fn run_throughput_cmd(args: &[String]) {
     }
     std::fs::write(&path, &text)
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let mut wrote = vec![path.clone()];
+    if let Some(trace_path) = &trace_out {
+        std::fs::write(trace_path, chrome_trace_json(&spans))
+            .unwrap_or_else(|e| panic!("cannot write {trace_path}: {e}"));
+        wrote.push(trace_path.clone());
+    }
+    if let Some(folded_path) = &folded_out {
+        std::fs::write(folded_path, folded_stacks(&spans))
+            .unwrap_or_else(|e| panic!("cannot write {folded_path}: {e}"));
+        wrote.push(folded_path.clone());
+    }
+    if tracked {
+        let history = std::path::Path::new(HISTORY_PATH);
+        append_history(history, &HistoryEntry::from_report(&report))
+            .unwrap_or_else(|e| panic!("cannot append {}: {e}", history.display()));
+        wrote.push(HISTORY_PATH.to_owned());
+    }
 
     if json {
         print!("{text}");
@@ -157,11 +201,71 @@ fn run_throughput_cmd(args: &[String]) {
             b.cache_hit_rate * 100.0
         );
     }
+    if tracing {
+        println!("traced {} spans from the draco-sw multi-thread run", spans.len());
+    }
     if stats {
+        println!();
+        println!("sampled check latency, multi-thread (ns):");
+        for b in &report.backends {
+            println!("  {:<18} {}", b.backend, b.check_latency_ns.quantile_summary());
+        }
         println!();
         println!("{}", report.metrics);
     }
-    println!("wrote {path}");
+    for p in &wrote {
+        println!("wrote {p}");
+    }
+}
+
+/// `repro compare [--report PATH] [--history PATH] [--threshold-pct P]
+/// [--warn-only]` — the throughput regression gate. Compares the
+/// report's draco-sw single-thread rate against the best comparable
+/// entry in the history; exits 1 on a regression beyond the threshold
+/// unless `--warn-only` (the CI mode — shared runners are too noisy for
+/// a hard gate).
+fn run_compare_cmd(args: &[String]) {
+    use draco_bench::history::{compare, load_history, DEFAULT_THRESHOLD_PCT};
+    use draco_bench::throughput::ThroughputReport;
+
+    let mut report_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json").to_owned();
+    let mut history_path = HISTORY_PATH.to_owned();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut warn_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report" => report_path = parse(args, &mut i, "--report"),
+            "--history" => history_path = parse(args, &mut i, "--history"),
+            "--threshold-pct" => threshold_pct = parse(args, &mut i, "--threshold-pct"),
+            "--warn-only" => warn_only = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(threshold_pct >= 0.0, "--threshold-pct must be non-negative");
+
+    let text = std::fs::read_to_string(&report_path)
+        .unwrap_or_else(|e| panic!("cannot read {report_path}: {e}"));
+    let report: ThroughputReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{report_path} is not a throughput report: {e}"));
+    let history = load_history(std::path::Path::new(&history_path))
+        .unwrap_or_else(|e| panic!("cannot read {history_path}: {e}"));
+    let outcome = compare(&history, &report, threshold_pct);
+    println!("{outcome}");
+    if outcome.regressed {
+        if warn_only {
+            println!("regression beyond threshold (warn-only mode, not failing)");
+        } else {
+            eprintln!("FAIL: throughput regressed beyond {threshold_pct}%");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> T {
@@ -200,9 +304,14 @@ fn usage() {
          \x20 ablate-opt    peephole-optimized filters vs raw vs draco-sw\n\
          \x20 all           everything above\n\
          \x20 throughput    wall-clock checks/sec per backend, 1 and N threads\n\
-         \x20               (writes BENCH_throughput.json; --quick writes the\n\
-         \x20               untracked target/BENCH_throughput.quick.json; flags:\n\
-         \x20               --shards N --workload W --out PATH --stats)"
+         \x20               (writes BENCH_throughput.json and appends to\n\
+         \x20               BENCH_history.jsonl; --quick writes the untracked\n\
+         \x20               target/BENCH_throughput.quick.json; flags: --shards N\n\
+         \x20               --workload W --out PATH --trace PATH --folded PATH\n\
+         \x20               --sample N --stats)\n\
+         \x20 compare       regression gate: report vs BENCH_history.jsonl\n\
+         \x20               (flags: --report PATH --history PATH\n\
+         \x20               --threshold-pct P --warn-only; exits 1 on regression)"
     );
 }
 

@@ -1,0 +1,320 @@
+//! Throughput history and the regression gate behind `repro compare`.
+//!
+//! Every tracked `repro throughput` run appends one summary line to
+//! `BENCH_history.jsonl` (JSON Lines: one self-contained entry per
+//! line, so the file grows append-only and merges trivially). The
+//! `repro compare` gate then checks the current report's software-Draco
+//! single-thread rate — the number PR work on the hot path moves —
+//! against the best comparable entry in the history and fails when it
+//! regresses past a threshold. CI runs the gate with `--warn-only`
+//! (shared runners are noisy); locally it is a hard gate.
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::throughput::ThroughputReport;
+
+/// Schema tag carried by every history line (bump on breaking changes).
+pub const HISTORY_SCHEMA: &str = "draco-history/v1";
+
+/// Default regression threshold: fail when the current rate drops more
+/// than this fraction below the best comparable baseline.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// One appended summary of a tracked throughput run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Schema tag ([`HISTORY_SCHEMA`]).
+    pub schema: String,
+    /// Replayed workload.
+    pub workload: String,
+    /// Shard count of the multi-thread runs.
+    pub shards: u64,
+    /// Measured checks per shard.
+    pub ops_per_shard: u64,
+    /// Software Draco, one shard on one thread (the gated rate).
+    pub draco_sw_single_checks_per_sec: f64,
+    /// Software Draco, aggregate across shards.
+    pub draco_sw_multi_checks_per_sec: f64,
+    /// Seccomp interpreter baseline, single-thread.
+    pub seccomp_interp_single_checks_per_sec: f64,
+    /// Seccomp pre-decoded baseline, single-thread.
+    pub seccomp_compiled_single_checks_per_sec: f64,
+}
+
+impl HistoryEntry {
+    /// Summarizes a throughput report into one history line.
+    ///
+    /// Missing backends record a zero rate (a zero baseline never gates,
+    /// so a malformed report cannot fail the comparison by accident).
+    pub fn from_report(report: &ThroughputReport) -> Self {
+        let single = |label: &str| {
+            report
+                .backend(label)
+                .map(|b| b.single_thread_checks_per_sec)
+                .unwrap_or(0.0)
+        };
+        HistoryEntry {
+            schema: HISTORY_SCHEMA.to_owned(),
+            workload: report.workload.clone(),
+            shards: report.shards,
+            ops_per_shard: report.ops_per_shard,
+            draco_sw_single_checks_per_sec: single("draco-sw"),
+            draco_sw_multi_checks_per_sec: report
+                .backend("draco-sw")
+                .map(|b| b.multi_thread_checks_per_sec)
+                .unwrap_or(0.0),
+            seccomp_interp_single_checks_per_sec: single("seccomp-interp"),
+            seccomp_compiled_single_checks_per_sec: single("seccomp-compiled"),
+        }
+    }
+
+    /// Whether `other` measured the same experiment (same workload and
+    /// per-shard op count — rates from different run lengths are not
+    /// comparable).
+    pub fn comparable_to(&self, other: &HistoryEntry) -> bool {
+        self.workload == other.workload && self.ops_per_shard == other.ops_per_shard
+    }
+}
+
+/// The verdict of one history comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompareOutcome {
+    /// The gated rate from the current report (draco-sw single-thread).
+    pub current_checks_per_sec: f64,
+    /// The best comparable baseline rate, if the history has one.
+    pub baseline_checks_per_sec: Option<f64>,
+    /// `(baseline - current) / baseline * 100`; negative when the
+    /// current run is faster. `None` without a baseline.
+    pub regression_pct: Option<f64>,
+    /// The threshold the gate applied.
+    pub threshold_pct: f64,
+    /// Comparable history entries considered.
+    pub baselines_considered: usize,
+    /// True when the current rate fell more than `threshold_pct` below
+    /// the baseline. Always false without a baseline.
+    pub regressed: bool,
+}
+
+impl fmt::Display for CompareOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.baseline_checks_per_sec, self.regression_pct) {
+            (Some(base), Some(pct)) => write!(
+                f,
+                "draco-sw single-thread: {:.0} checks/s vs best baseline {:.0} ({}{:.1}% {}, threshold {:.1}%, {} baseline{})",
+                self.current_checks_per_sec,
+                base,
+                if pct >= 0.0 { "-" } else { "+" },
+                pct.abs(),
+                if pct >= 0.0 { "slower" } else { "faster" },
+                self.threshold_pct,
+                self.baselines_considered,
+                if self.baselines_considered == 1 { "" } else { "s" },
+            ),
+            _ => write!(
+                f,
+                "draco-sw single-thread: {:.0} checks/s (no comparable baseline in history)",
+                self.current_checks_per_sec
+            ),
+        }
+    }
+}
+
+/// Compares a report's draco-sw single-thread rate against the best
+/// comparable entry in `history`.
+///
+/// The *best* (not latest) baseline gates: a slow run appended to the
+/// history must not lower the bar for the runs after it. Entries for a
+/// different workload or op count, and zero-rate entries, are skipped.
+pub fn compare(
+    history: &[HistoryEntry],
+    report: &ThroughputReport,
+    threshold_pct: f64,
+) -> CompareOutcome {
+    let current = HistoryEntry::from_report(report);
+    let comparable: Vec<&HistoryEntry> = history
+        .iter()
+        .filter(|e| e.comparable_to(&current) && e.draco_sw_single_checks_per_sec > 0.0)
+        .collect();
+    let baseline = comparable
+        .iter()
+        .map(|e| e.draco_sw_single_checks_per_sec)
+        .fold(None, |best: Option<f64>, rate| {
+            Some(best.map_or(rate, |b| b.max(rate)))
+        });
+    let regression_pct =
+        baseline.map(|base| (base - current.draco_sw_single_checks_per_sec) / base * 100.0);
+    CompareOutcome {
+        current_checks_per_sec: current.draco_sw_single_checks_per_sec,
+        baseline_checks_per_sec: baseline,
+        regression_pct,
+        threshold_pct,
+        baselines_considered: comparable.len(),
+        regressed: regression_pct.is_some_and(|pct| pct > threshold_pct),
+    }
+}
+
+/// Appends one entry to a JSONL history file (created if missing).
+///
+/// # Errors
+///
+/// Returns any I/O error from opening or writing the file.
+pub fn append_history(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    let line = serde_json::to_string(entry).expect("history entries always serialize");
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{line}")
+}
+
+/// Loads every parseable entry from a JSONL history file. A missing
+/// file is an empty history; malformed or foreign-schema lines are
+/// skipped (an old or hand-edited history must not wedge the gate).
+///
+/// # Errors
+///
+/// Returns any I/O error other than the file not existing.
+pub fn load_history(path: &Path) -> std::io::Result<Vec<HistoryEntry>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(err),
+    };
+    Ok(text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| serde_json::from_str::<HistoryEntry>(line).ok())
+        .filter(|entry| entry.schema == HISTORY_SCHEMA)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::{run_throughput, ThroughputConfig};
+
+    fn tiny_report() -> ThroughputReport {
+        run_throughput(&ThroughputConfig {
+            workload: "pipe".to_owned(),
+            ops_per_shard: 200,
+            warmup_ops: 20,
+            seed: 11,
+            shards: 2,
+        })
+    }
+
+    fn entry_with_rate(report: &ThroughputReport, rate: f64) -> HistoryEntry {
+        HistoryEntry {
+            draco_sw_single_checks_per_sec: rate,
+            ..HistoryEntry::from_report(report)
+        }
+    }
+
+    #[test]
+    fn entry_summarizes_report() {
+        let report = tiny_report();
+        let entry = HistoryEntry::from_report(&report);
+        assert_eq!(entry.schema, HISTORY_SCHEMA);
+        assert_eq!(entry.workload, "pipe");
+        assert_eq!(entry.ops_per_shard, 200);
+        assert!(entry.draco_sw_single_checks_per_sec > 0.0);
+        assert!(entry.seccomp_interp_single_checks_per_sec > 0.0);
+    }
+
+    #[test]
+    fn empty_history_never_regresses() {
+        let report = tiny_report();
+        let outcome = compare(&[], &report, DEFAULT_THRESHOLD_PCT);
+        assert!(!outcome.regressed);
+        assert_eq!(outcome.baseline_checks_per_sec, None);
+        assert_eq!(outcome.baselines_considered, 0);
+        assert!(outcome.to_string().contains("no comparable baseline"));
+    }
+
+    #[test]
+    fn synthetic_regression_trips_the_gate() {
+        let report = tiny_report();
+        let current = HistoryEntry::from_report(&report).draco_sw_single_checks_per_sec;
+        // A baseline 2x faster than the current run: a 50% regression.
+        let fast = entry_with_rate(&report, current * 2.0);
+        let outcome = compare(&[fast], &report, 10.0);
+        assert!(outcome.regressed, "{outcome}");
+        assert!((outcome.regression_pct.unwrap() - 50.0).abs() < 1e-9);
+        assert!(outcome.to_string().contains("slower"));
+    }
+
+    #[test]
+    fn comparable_baseline_within_threshold_passes() {
+        let report = tiny_report();
+        let current = HistoryEntry::from_report(&report).draco_sw_single_checks_per_sec;
+        // Baseline 5% above current: inside the 10% default threshold.
+        let close = entry_with_rate(&report, current * 1.05);
+        let outcome = compare(&[close], &report, DEFAULT_THRESHOLD_PCT);
+        assert!(!outcome.regressed, "{outcome}");
+        // A faster current run reads as negative regression.
+        let slow = entry_with_rate(&report, current * 0.5);
+        let outcome = compare(&[slow], &report, DEFAULT_THRESHOLD_PCT);
+        assert!(!outcome.regressed);
+        assert!(outcome.regression_pct.unwrap() < 0.0);
+        assert!(outcome.to_string().contains("faster"));
+    }
+
+    #[test]
+    fn best_baseline_gates_not_latest() {
+        let report = tiny_report();
+        let current = HistoryEntry::from_report(&report).draco_sw_single_checks_per_sec;
+        // The latest entry is slow, but an earlier fast entry still gates.
+        let history = vec![
+            entry_with_rate(&report, current * 3.0),
+            entry_with_rate(&report, current * 0.1),
+        ];
+        let outcome = compare(&history, &report, 10.0);
+        assert!(outcome.regressed);
+        assert_eq!(outcome.baselines_considered, 2);
+        assert!((outcome.baseline_checks_per_sec.unwrap() - current * 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incomparable_entries_are_skipped() {
+        let report = tiny_report();
+        let current = HistoryEntry::from_report(&report).draco_sw_single_checks_per_sec;
+        let mut other_workload = entry_with_rate(&report, current * 100.0);
+        other_workload.workload = "nginx".to_owned();
+        let mut other_ops = entry_with_rate(&report, current * 100.0);
+        other_ops.ops_per_shard = 999_999;
+        let zero_rate = entry_with_rate(&report, 0.0);
+        let outcome = compare(
+            &[other_workload, other_ops, zero_rate],
+            &report,
+            DEFAULT_THRESHOLD_PCT,
+        );
+        assert!(!outcome.regressed);
+        assert_eq!(outcome.baselines_considered, 0);
+        assert_eq!(outcome.baseline_checks_per_sec, None);
+    }
+
+    #[test]
+    fn jsonl_round_trip_and_append() {
+        let report = tiny_report();
+        let entry = HistoryEntry::from_report(&report);
+        let dir = std::env::temp_dir().join("draco-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("history-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load_history(&path).unwrap(), Vec::new(), "missing = empty");
+        append_history(&path, &entry).unwrap();
+        append_history(&path, &entry).unwrap();
+        // Garbage and foreign-schema lines are tolerated.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "not json at all").unwrap();
+            writeln!(f, "{{\"schema\":\"other/v9\"}}").unwrap();
+        }
+        let loaded = load_history(&path).unwrap();
+        assert_eq!(loaded, vec![entry.clone(), entry]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

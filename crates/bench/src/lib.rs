@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod history;
 pub mod throughput;
 
 /// Default operations per workload trace (a fraction of the catalog's

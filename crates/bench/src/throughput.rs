@@ -8,14 +8,18 @@
 
 use serde::{Deserialize, Serialize};
 
-use draco::obs::MetricsRegistry;
+use draco::obs::{Histogram, MetricsRegistry, Span};
 use draco::profiles::ProfileKind;
 use draco::workloads::catalog;
-use draco::workloads::replay::{replay_parallel, ReplayBackend, ReplayConfig, ReplayReport};
+use draco::workloads::replay::{
+    replay_parallel, replay_parallel_traced, ReplayBackend, ReplayConfig, ReplayReport,
+    TraceConfig,
+};
 
 /// Schema tag written into every report (bump on breaking changes).
-/// v2 adds the `metrics` observability section.
-pub const SCHEMA: &str = "draco-throughput/v2";
+/// v2 added the `metrics` observability section; v3 adds per-backend
+/// sampled check-latency histograms (`check_latency_ns`).
+pub const SCHEMA: &str = "draco-throughput/v3";
 
 /// Harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,6 +88,12 @@ pub struct BackendThroughput {
     /// Allowed verdicts per shard in the multi-thread run (also
     /// deterministic).
     pub shard_allowed: Vec<u64>,
+    /// Sampled per-check wall-clock latency of the multi-thread run,
+    /// pooled across shards (nanoseconds; every
+    /// [`draco::workloads::replay::LATENCY_SAMPLE_INTERVAL`]th check).
+    /// Defaults to empty when parsing pre-v3 reports.
+    #[serde(default)]
+    pub check_latency_ns: Histogram,
 }
 
 /// The full report `repro throughput` prints and writes.
@@ -146,6 +156,7 @@ fn summarize(single: &ReplayReport, multi: &ReplayReport) -> BackendThroughput {
         cache_hit_rate: finite_or_zero(multi.cache_hit_rate()),
         shard_checks: multi.shard_checks(),
         shard_allowed: multi.shards.iter().map(|s| s.allowed).collect(),
+        check_latency_ns: multi.latency_hist(),
     }
 }
 
@@ -156,6 +167,28 @@ fn summarize(single: &ReplayReport, multi: &ReplayReport) -> BackendThroughput {
 ///
 /// Panics if the workload is not in the catalog or `cfg.shards == 0`.
 pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
+    run_throughput_inner(cfg, None).0
+}
+
+/// Like [`run_throughput`], but the multi-thread Draco run carries a
+/// sampled span tracer; the merged spans come back alongside the report
+/// for export via [`draco::obs::chrome_trace_json`] /
+/// [`draco::obs::folded_stacks`].
+///
+/// # Panics
+///
+/// Panics if the workload is not in the catalog or `cfg.shards == 0`.
+pub fn run_throughput_traced(
+    cfg: &ThroughputConfig,
+    trace: &TraceConfig,
+) -> (ThroughputReport, Vec<Span>) {
+    run_throughput_inner(cfg, Some(trace))
+}
+
+fn run_throughput_inner(
+    cfg: &ThroughputConfig,
+    trace: Option<&TraceConfig>,
+) -> (ThroughputReport, Vec<Span>) {
     let spec = catalog::by_name(&cfg.workload)
         .unwrap_or_else(|| panic!("unknown workload `{}`", cfg.workload));
     let kind = ProfileKind::SyscallComplete;
@@ -170,16 +203,27 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         ..base
     };
     let mut metrics = MetricsRegistry::default();
+    let mut spans = Vec::new();
     let backends = ReplayBackend::ALL
         .iter()
         .map(|&backend| {
             let single = replay_parallel(&spec, kind, backend, &base);
-            let multi = replay_parallel(&spec, kind, backend, &multi_cfg);
+            // Only the Draco backend has staged pipeline spans; tracing
+            // the Seccomp runs would yield nothing, so don't pay for it.
+            let multi = match trace {
+                Some(tc) if backend == ReplayBackend::DracoSw => {
+                    let (multi, traced) =
+                        replay_parallel_traced(&spec, kind, backend, &multi_cfg, tc);
+                    spans = traced;
+                    multi
+                }
+                _ => replay_parallel(&spec, kind, backend, &multi_cfg),
+            };
             metrics.merge(&multi.metrics);
             summarize(&single, &multi)
         })
         .collect();
-    ThroughputReport {
+    let report = ThroughputReport {
         schema: SCHEMA.to_owned(),
         workload: cfg.workload.clone(),
         ops_per_shard: cfg.ops_per_shard as u64,
@@ -188,7 +232,8 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         shards: cfg.shards as u64,
         backends,
         metrics,
-    }
+    };
+    (report, spans)
 }
 
 #[cfg(test)]
@@ -219,6 +264,43 @@ mod tests {
         assert!(draco.cache_hit_rate > 0.5);
         assert_eq!(report.backend("seccomp-interp").unwrap().cache_hit_rate, 0.0);
         assert!(report.backend("nope").is_none());
+        // v3: every backend carries a sampled latency histogram
+        // (ceil(300/256) = 2 samples per shard here).
+        for b in &report.backends {
+            assert_eq!(b.check_latency_ns.count(), 4, "{}", b.backend);
+        }
+    }
+
+    #[test]
+    fn traced_run_yields_spans_and_same_shape() {
+        let trace = TraceConfig {
+            capacity_per_shard: 1 << 12,
+            sample_interval: 1,
+        };
+        let (report, spans) = run_throughput_traced(&tiny(), &trace);
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.backends.len(), 3);
+        assert!(!spans.is_empty(), "draco-sw multi run produced spans");
+        // Spans come from the multi-thread run: both shards appear.
+        let shards: std::collections::BTreeSet<u32> =
+            spans.iter().map(|s| s.shard).collect();
+        assert_eq!(shards.len(), 2, "{shards:?}");
+        // At least the acceptance-criteria floor of distinct stages.
+        let stages: std::collections::BTreeSet<&str> =
+            spans.iter().map(|s| s.stage.label()).collect();
+        assert!(stages.len() >= 4, "{stages:?}");
+    }
+
+    #[test]
+    fn pre_v3_reports_without_latency_still_parse() {
+        let report = run_throughput(&tiny());
+        let mut json = serde_json::to_string(&report).expect("serializes");
+        // Simulate a v2 report: no check_latency_ns field at all.
+        json = json.replace("\"check_latency_ns\"", "\"unknown_field\"");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        for b in &back.backends {
+            assert!(b.check_latency_ns.is_empty(), "defaulted");
+        }
     }
 
     #[test]

@@ -3,7 +3,10 @@
 use core::fmt;
 
 use draco_bpf::{SeccompAction, SeccompData};
-use draco_obs::{CheckerMetrics, EventRing, FlowClass, FlowEvent, Histogram, MetricsRegistry};
+use draco_obs::{
+    CheckerMetrics, EventRing, FlowClass, FlowEvent, Histogram, MetricsRegistry, SpanTracer,
+    Stage, TraceScope,
+};
 use draco_profiles::{
     compile_stacked, ArgPolicy, CompiledStack, FilterLayout, FilterStack, ProfileSpec,
     StackOutcome,
@@ -92,6 +95,11 @@ pub struct DracoChecker {
     /// (the default) costs one branch per check; enabling pre-allocates
     /// the whole ring, so recording stays allocation-free.
     flow_trace: Option<EventRing>,
+    /// Optional sampled stage-span tracer. Boxed so the hot path moves a
+    /// pointer, not the tracer's buffers; `None` (the default) costs one
+    /// branch per check, and even when installed an *unsampled* check
+    /// never reads the clock.
+    span_trace: Option<Box<SpanTracer>>,
     /// Monotonic check counter (sequences trace events).
     check_seq: u64,
 }
@@ -132,6 +140,7 @@ impl DracoChecker {
             insns_per_filter_run: Histogram::default(),
             saved_insns_per_hit: Histogram::default(),
             flow_trace: None,
+            span_trace: None,
             check_seq: 0,
         }
     }
@@ -203,6 +212,31 @@ impl DracoChecker {
         self.flow_trace.as_ref()
     }
 
+    /// Installs a sampled stage-span tracer (typically one built with a
+    /// shared epoch and shard id for cross-shard merging). The tracer's
+    /// buffers were pre-allocated at construction, so sampled checks
+    /// record without touching the heap.
+    pub fn install_span_tracer(&mut self, tracer: SpanTracer) {
+        self.span_trace = Some(Box::new(tracer));
+    }
+
+    /// Enables span tracing with a fresh tracer holding up to `capacity`
+    /// spans and sampling every `sample_interval`-th check (rounded up
+    /// to a power of two). See [`SpanTracer::new`].
+    pub fn enable_span_trace(&mut self, capacity: usize, sample_interval: u64) {
+        self.install_span_tracer(SpanTracer::new(capacity, sample_interval));
+    }
+
+    /// Removes and returns the span tracer (e.g. to export its spans).
+    pub fn take_span_tracer(&mut self) -> Option<SpanTracer> {
+        self.span_trace.take().map(|boxed| *boxed)
+    }
+
+    /// The span tracer, if installed.
+    pub fn span_tracer(&self) -> Option<&SpanTracer> {
+        self.span_trace.as_deref()
+    }
+
     /// Mean fallback cost observed so far, in cBPF instructions — what a
     /// cached hit is credited with saving. Integer division keeps the
     /// hot path float-free; 0 until the first filter run.
@@ -257,25 +291,49 @@ impl DracoChecker {
     /// Checks one system call (paper Fig. 4).
     pub fn check(&mut self, req: &SyscallRequest) -> CheckResult {
         self.check_seq = self.check_seq.saturating_add(1);
+        // The tracer leaves `self` while the check borrows both — with no
+        // tracer installed this moves a `None` box, with one installed an
+        // unsampled check costs the sampling branch inside `begin`.
+        let mut tracer = self.span_trace.take();
+        let mut scope = TraceScope::begin(tracer.as_deref_mut(), self.check_seq, req.id.as_u16());
+        let result = self.check_staged(req, &mut scope);
+        self.span_trace = tracer;
+        result
+    }
+
+    fn check_staged(&mut self, req: &SyscallRequest, scope: &mut TraceScope<'_>) -> CheckResult {
         // 1. SPT lookup by SID.
-        if let Some(entry) = self.spt.get(req.id) {
+        let t = scope.stage_begin();
+        let entry = self.spt.get(req.id);
+        scope.stage_end(Stage::SptLookup, t);
+        if let Some(entry) = entry {
             match (self.mode, entry.vat_index) {
                 // ID-only checking, or this syscall needs no arg checks.
                 (CheckMode::IdOnly, _) | (CheckMode::IdAndArgs, None) => {
                     self.stats.spt_hits += 1;
                     self.saved_insns_per_hit.record(self.mean_filter_cost());
                     self.trace_flow(req, FlowClass::SptHit);
+                    scope.finish(FlowClass::SptHit);
                     return CheckResult {
                         action: SeccompAction::Allow,
                         path: CheckPath::SptHit,
                     };
                 }
-                // 2. VAT probe.
+                // 2. VAT probe. The sampled path decomposes the lookup
+                // into its hash/per-way stages; both paths produce
+                // identical results and counters.
                 (CheckMode::IdAndArgs, Some(idx)) => {
-                    if self.vat.lookup(idx, entry.bitmask, &req.args).is_some() {
+                    let hit = if scope.is_active() {
+                        self.vat
+                            .lookup_traced(idx, entry.bitmask, &req.args, scope)
+                    } else {
+                        self.vat.lookup(idx, entry.bitmask, &req.args)
+                    };
+                    if hit.is_some() {
                         self.stats.vat_hits += 1;
                         self.saved_insns_per_hit.record(self.mean_filter_cost());
                         self.trace_flow(req, FlowClass::VatHit);
+                        scope.finish(FlowClass::VatHit);
                         return CheckResult {
                             action: SeccompAction::Allow,
                             path: CheckPath::VatHit,
@@ -285,24 +343,34 @@ impl DracoChecker {
             }
         }
         // 3. Fall back to the Seccomp filter.
-        self.run_filter_and_update(req)
+        self.run_filter_and_update(req, scope)
     }
 
-    fn run_filter_and_update(&mut self, req: &SyscallRequest) -> CheckResult {
+    fn run_filter_and_update(
+        &mut self,
+        req: &SyscallRequest,
+        scope: &mut TraceScope<'_>,
+    ) -> CheckResult {
         let data = SeccompData::from_request(req);
+        let t = scope.stage_begin();
         let outcome = self
             .filter
             .run(&data)
             .expect("profile-generated filters cannot fault");
+        scope.stage_end(Stage::FilterExec, t);
         self.stats.filter_runs += 1;
         self.stats.filter_insns += outcome.insns_executed;
         self.insns_per_filter_run.record(outcome.insns_executed);
         if outcome.action.permits() {
+            let t = scope.stage_begin();
             self.record_validation(req);
+            scope.stage_end(Stage::VatInsert, t);
             self.trace_flow(req, FlowClass::FilterAllow);
+            scope.finish(FlowClass::FilterAllow);
         } else {
             self.stats.denials += 1;
             self.trace_flow(req, FlowClass::FilterDeny);
+            scope.finish(FlowClass::FilterDeny);
         }
         CheckResult {
             action: outcome.action,
@@ -618,6 +686,68 @@ mod tests {
         assert_eq!(syscalls, vec![0, 135, 135, 999]);
         checker.disable_flow_trace();
         assert!(checker.flow_trace().is_none());
+    }
+
+    #[test]
+    fn span_trace_records_staged_check_pipeline() {
+        let profile = docker_default();
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        assert!(checker.span_tracer().is_none(), "off by default");
+        checker.enable_span_trace(1024, 1); // sample every check
+        checker.preload_spt();
+        checker.check(&req(0, &[3, 0, 100])); // spt hit
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // filter + insert
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // vat hit
+        checker.check(&req(999, &[0, 0, 0])); // deny
+
+        let tracer = checker.span_tracer().expect("installed");
+        assert_eq!(tracer.sampled_checks(), 4);
+        let spans = tracer.spans();
+        let stages: Vec<Stage> = spans.iter().map(|s| s.stage).collect();
+        // Every check starts at the SPT.
+        assert_eq!(spans.iter().filter(|s| s.stage == Stage::SptLookup).count(), 4);
+        // The miss ran the filter and refilled the VAT...
+        assert!(stages.contains(&Stage::FilterExec));
+        assert!(stages.contains(&Stage::VatInsert));
+        // ...and the re-encounter hashed and probed.
+        assert!(stages.contains(&Stage::CrcHash));
+        assert!(stages.contains(&Stage::VatProbeWay1));
+        // Spans carry the flow class of their whole check.
+        assert!(spans
+            .iter()
+            .any(|s| s.stage == Stage::SptLookup && s.class == FlowClass::SptHit));
+        assert!(spans
+            .iter()
+            .any(|s| s.stage == Stage::FilterExec && s.class == FlowClass::FilterDeny));
+        assert!(spans
+            .iter()
+            .any(|s| s.stage == Stage::CrcHash && s.class == FlowClass::VatHit));
+
+        // Taking the tracer detaches it; checks keep working untraced.
+        let taken = checker.take_span_tracer().expect("taken");
+        assert!(!taken.spans().is_empty());
+        assert!(checker.span_tracer().is_none());
+        assert!(checker.check(&req(0, &[3, 0, 100])).path.is_cache_hit());
+    }
+
+    #[test]
+    fn traced_and_untraced_checks_agree_on_results_and_metrics() {
+        let profile = docker_default();
+        let mut plain = DracoChecker::from_profile(&profile).unwrap();
+        let mut traced = DracoChecker::from_profile(&profile).unwrap();
+        traced.enable_span_trace(4096, 1);
+        let reqs = [
+            req(0, &[3, 0, 100]),
+            req(135, &[0xffff_ffff, 0, 0]),
+            req(135, &[0xffff_ffff, 0, 0]),
+            req(135, &[0x1234, 0, 0]),
+            req(999, &[0, 0, 0]),
+            req(0, &[3, 0, 100]),
+        ];
+        for r in &reqs {
+            assert_eq!(traced.check(r), plain.check(r), "{r}");
+        }
+        assert_eq!(traced.metrics(), plain.metrics(), "identical registries");
     }
 
     #[test]

@@ -78,6 +78,12 @@ impl DracoProcess {
         &self.checker
     }
 
+    /// Mutable access to the checker, for configuring observability
+    /// (flow ring, span tracer) on an owned process.
+    pub fn checker_mut(&mut self) -> &mut DracoChecker {
+        &mut self.checker
+    }
+
     /// Accumulated counters.
     pub fn stats(&self) -> CheckerStats {
         self.checker.stats()

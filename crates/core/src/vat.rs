@@ -4,7 +4,7 @@ use core::borrow::Borrow;
 use core::fmt;
 
 use draco_cuckoo::{CrcPairHasher, CuckooTable, HashPair, Way};
-use draco_obs::{CuckooMetrics, VatMetrics};
+use draco_obs::{CuckooMetrics, Stage, TraceScope, VatMetrics};
 use draco_syscalls::{ArgBitmask, ArgSet, MaskedBytes, SyscallId};
 
 /// The key of a VAT entry: the masked-selected argument bytes of one
@@ -196,6 +196,41 @@ impl Vat {
         let table = self.tables.get_mut(index as usize)?;
         let key = mask.select_bytes(args);
         table.lookup(key.as_slice()).map(|hit| VatLookup {
+            way: hit.way,
+            hash: hit.hash,
+        })
+    }
+
+    /// [`Vat::lookup`] decomposed into its timed stages for a sampled
+    /// check: CRC hashing, then each cuckoo way probed separately, each
+    /// under its own span. Counters update exactly as in `lookup`
+    /// (`count_lookup` replays the counted-lookup bookkeeping), so traced
+    /// and untraced runs produce identical registries.
+    pub fn lookup_traced(
+        &mut self,
+        index: u32,
+        mask: ArgBitmask,
+        args: &ArgSet,
+        scope: &mut TraceScope<'_>,
+    ) -> Option<VatLookup> {
+        let table = self.tables.get_mut(index as usize)?;
+        let key = mask.select_bytes(args);
+        let key = key.as_slice();
+
+        let t = scope.stage_begin();
+        let pair = table.hash_pair(key);
+        scope.stage_end(Stage::CrcHash, t);
+
+        let t = scope.stage_begin();
+        let mut found = table.probe_way(key, pair, Way::H1);
+        scope.stage_end(Stage::VatProbeWay1, t);
+        if found.is_none() {
+            let t = scope.stage_begin();
+            found = table.probe_way(key, pair, Way::H2);
+            scope.stage_end(Stage::VatProbeWay2, t);
+        }
+        table.count_lookup(found);
+        found.map(|hit| VatLookup {
             way: hit.way,
             hash: hit.hash,
         })
@@ -437,6 +472,40 @@ mod tests {
         assert_eq!(vm.tables, 2);
         assert_eq!(vm.resident_sets, 2);
         assert_eq!(vm.footprint_bytes, vat.footprint_bytes() as u64);
+    }
+
+    #[test]
+    fn traced_lookup_matches_untraced() {
+        let mut plain = Vat::new();
+        let mut traced = Vat::new();
+        let (pi, ti) = (
+            plain.ensure_table(SyscallId::new(1), 4),
+            traced.ensure_table(SyscallId::new(1), 4),
+        );
+        for i in 0..4u64 {
+            plain.insert(pi, mask2(), &ArgSet::from_slice(&[i, i]));
+            traced.insert(ti, mask2(), &ArgSet::from_slice(&[i, i]));
+        }
+        // An inactive scope (the common case) and an active one must both
+        // preserve results and counters.
+        let mut tracer = draco_obs::SpanTracer::new(64, 1);
+        for i in 0..8u64 {
+            let args = ArgSet::from_slice(&[i, i]);
+            let expected = plain.lookup(pi, mask2(), &args);
+            let mut scope = draco_obs::TraceScope::begin(Some(&mut tracer), i + 1, 1);
+            let got = traced.lookup_traced(ti, mask2(), &args, &mut scope);
+            scope.finish(draco_obs::FlowClass::VatHit);
+            assert_eq!(got, expected, "args {i}");
+        }
+        assert_eq!(traced.cuckoo_metrics(), plain.cuckoo_metrics());
+        // Hits record crc + way spans; misses additionally probe way 2.
+        assert!(tracer.spans().iter().any(|s| s.stage == Stage::CrcHash));
+        assert!(tracer.spans().iter().any(|s| s.stage == Stage::VatProbeWay2));
+        // Bad index leaves no spans and returns None.
+        let mut scope = draco_obs::TraceScope::inactive();
+        assert!(traced
+            .lookup_traced(999, mask2(), &ArgSet::from_slice(&[1, 1]), &mut scope)
+            .is_none());
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! SPT or the VAT performs **zero heap allocations**.
 //!
 //! The library forbids `unsafe`, so the counting allocator lives here in
-//! the test binary. This file intentionally holds a single test: the
-//! allocation counter is process-global, and a lone test keeps the
-//! measured window free of harness activity.
+//! the test binary. This file intentionally holds a single test, and the
+//! counter only runs while the measuring thread arms it, so harness
+//! threads can never be mistaken for check-path allocations.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use draco_core::{CheckPath, DracoChecker};
@@ -17,9 +18,24 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// The check path runs entirely on the test thread; allocator traffic
+// from harness threads must not be attributed to it, so counting is
+// gated on a thread-local flag. `Cell<bool>` has no destructor and the
+// const initializer needs no lazy allocation, so reading it inside the
+// allocator cannot recurse.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_enabled() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_enabled() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -28,7 +44,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_enabled() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -77,6 +95,7 @@ fn cached_checks_do_not_allocate() {
     // Measured window: every check below is a cache hit and must not
     // touch the heap.
     let before = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     for _ in 0..1_000 {
         for r in &vat_reqs {
             let result = checker.check(r);
@@ -85,6 +104,7 @@ fn cached_checks_do_not_allocate() {
         let result = checker.check(&spt_req);
         assert_eq!(result.path, CheckPath::SptHit);
     }
+    COUNTING.with(|c| c.set(false));
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         after - before,
@@ -100,4 +120,27 @@ fn cached_checks_do_not_allocate() {
     let ring = checker.flow_trace().expect("trace stayed enabled");
     assert_eq!(ring.len(), 64, "ring full after 4000 recorded events");
     assert!(ring.total_recorded() >= 4_000);
+
+    // Second window: the span tracer's buffers are pre-allocated at
+    // install time, so even *sampled* checks (interval 4 here) stay
+    // allocation-free; unsampled ones are just a branch.
+    checker.enable_span_trace(4096, 4);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..1_000 {
+        for r in &vat_reqs {
+            assert_eq!(checker.check(r).path, CheckPath::VatHit);
+        }
+        assert_eq!(checker.check(&spt_req).path, CheckPath::SptHit);
+    }
+    COUNTING.with(|c| c.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "sampled span tracing must not allocate on the check path"
+    );
+    let tracer = checker.span_tracer().expect("tracer installed");
+    assert!(tracer.sampled_checks() >= 900, "~1 in 4 of 4000 checks");
+    assert!(!tracer.spans().is_empty());
 }

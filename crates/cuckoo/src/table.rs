@@ -287,8 +287,18 @@ where
         H: PairHasher<Q>,
     {
         let pair = self.hasher.hash_pair(key);
-        self.tick = self.tick.saturating_add(1);
         let found = self.probe(key, pair);
+        self.count_lookup(found);
+        found
+    }
+
+    /// Applies the counter updates of one counted lookup whose probing
+    /// was performed externally — the staged/traced path hashes and
+    /// probes per way itself (to time each stage) and then calls this,
+    /// so traced and untraced lookups produce identical statistics.
+    /// `found` must be the result of probing *this* table for the key.
+    pub fn count_lookup(&mut self, found: Option<Lookup>) {
+        self.tick = self.tick.saturating_add(1);
         match found {
             Some(hit) => {
                 self.stats.hits += 1;
@@ -305,7 +315,6 @@ where
                 self.probe_length.record(2);
             }
         }
-        found
     }
 
     /// Non-counting lookup (used by read-only paths and tests).
@@ -314,16 +323,24 @@ where
         K: Borrow<Q>,
         Q: Eq + ?Sized,
     {
-        for way in [Way::H1, Way::H2] {
-            let hash = pair.for_way(way);
-            let slot = self.slot_for(hash);
-            if let Some(entry) = &self.ways[way.index()][slot] {
-                if entry.key.borrow() == key {
-                    return Some(Lookup { way, slot, hash });
-                }
-            }
+        self.probe_way(key, pair, Way::H1)
+            .or_else(|| self.probe_way(key, pair, Way::H2))
+    }
+
+    /// Probes a single way (non-counting). [`CuckooTable::probe`] is
+    /// exactly `probe_way(H1).or_else(probe_way(H2))`; the traced check
+    /// path uses the ways separately to time each probe on its own.
+    pub fn probe_way<Q>(&self, key: &Q, pair: HashPair, way: Way) -> Option<Lookup>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        let hash = pair.for_way(way);
+        let slot = self.slot_for(hash);
+        match &self.ways[way.index()][slot] {
+            Some(entry) if entry.key.borrow() == key => Some(Lookup { way, slot, hash }),
+            _ => None,
         }
-        None
     }
 
     /// Returns the value at a lookup position, if still resident.
@@ -619,6 +636,30 @@ mod tests {
         assert_eq!(m.reuse_distance.count(), 2);
         let b = draco_obs::Histogram::bucket_of(5);
         assert!(m.reuse_distance.counts[b] >= 1, "{:?}", m.reuse_distance);
+    }
+
+    #[test]
+    fn staged_per_way_lookup_matches_counted_lookup() {
+        // Two identical tables: one driven via lookup(), the other via
+        // the staged hash_pair + probe_way + count_lookup decomposition
+        // the traced path uses. Results and metrics must be identical.
+        let mut plain = table(16);
+        let mut staged = table(16);
+        for i in 0..6 {
+            plain.insert(key(i), i);
+            staged.insert(key(i), i);
+        }
+        for i in 0..10 {
+            let expected = plain.lookup(&key(i));
+            let pair = staged.hash_pair(&key(i));
+            let found = staged
+                .probe_way(&key(i), pair, Way::H1)
+                .or_else(|| staged.probe_way(&key(i), pair, Way::H2));
+            staged.count_lookup(found);
+            assert_eq!(found, expected, "key {i}");
+        }
+        assert_eq!(staged.stats(), plain.stats());
+        assert_eq!(staged.metrics(), plain.metrics());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! dracoctl check <docker|gvisor|firecracker|PATH.json> <syscall> [arg0 arg1 ...]
 //! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
+//! dracoctl trace <workload> [--format chrome|folded] [--hw] # stage spans
 //! dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--json]
 //! dracoctl workloads                                        # list the catalog
 //! ```
@@ -55,6 +56,8 @@ fn run(args: &[String]) -> i32 {
                  \x20 check <profile> <syscall> [args...]\n\
                  \x20 trace gen <workload> [--ops N] [--seed N]\n\
                  \x20 trace analyze <PATH.json|->\n\
+                 \x20 trace <workload> [--format chrome|folded] [--ops N] [--seed N]\n\
+                 \x20       [--sample N] [--hw] [--out PATH]\n\
                  \x20 stats <workload> [--ops N] [--seed N] [--trace N] [--json]\n\
                  \x20 workloads"
             );
@@ -271,6 +274,19 @@ fn stats_cmd(args: &[String]) -> i32 {
     }
     println!("{name}: {ops} checks replayed (seed {seed}, syscall-complete profile)");
     println!("{metrics}");
+    println!("quantile upper bounds:");
+    println!(
+        "  probe-length     : {}",
+        metrics.cuckoo.probe_length.quantile_summary()
+    );
+    println!(
+        "  reuse-distance   : {}",
+        metrics.cuckoo.reuse_distance.quantile_summary()
+    );
+    println!(
+        "  insns/filter-run : {}",
+        metrics.checker.insns_per_filter_run.quantile_summary()
+    );
     if let Some(ring) = checker.flow_trace() {
         let table = SyscallTable::shared();
         println!(
@@ -366,9 +382,106 @@ fn trace_cmd(args: &[String]) -> i32 {
             }
             0
         }
-        _ => {
-            eprintln!("usage: dracoctl trace <gen|analyze> ...");
+        Some(name) => span_trace_cmd(name, &args[1..]),
+        None => {
+            eprintln!("usage: dracoctl trace <gen|analyze|WORKLOAD> ...");
             2
         }
     }
+}
+
+/// `dracoctl trace <workload> [--format chrome|folded] [--ops N]
+/// [--seed N] [--sample N] [--hw] [--out PATH]` — replays a generated
+/// workload under the sampled span tracer and exports the stage spans.
+/// Default: the software checker's flow stages (SPT lookup, CRC hash,
+/// per-way VAT probes, fallback filter, VAT insert); `--hw` runs the
+/// hardware simulator instead, adding the STB/SLB/temporary-buffer
+/// stages. `chrome` emits Chrome trace / Perfetto JSON; `folded` emits
+/// flamegraph-collapsed `class;stage count` lines.
+fn span_trace_cmd(name: &str, args: &[String]) -> i32 {
+    use draco::obs::{chrome_trace_json, folded_stacks, SpanTracer};
+
+    let Some(spec) = catalog::by_name(name) else {
+        eprintln!("unknown workload `{name}` (try `dracoctl workloads`)");
+        return 1;
+    };
+    let mut ops = spec.default_ops;
+    let mut seed = 0u64;
+    let mut sample = SpanTracer::DEFAULT_SAMPLE_INTERVAL;
+    let mut format = "chrome".to_owned();
+    let mut hw = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                i += 1;
+                ops = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(ops);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(seed);
+            }
+            "--sample" => {
+                i += 1;
+                sample = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(sample);
+            }
+            "--format" => {
+                i += 1;
+                format = args.get(i).cloned().unwrap_or(format);
+            }
+            "--hw" => hw = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if format != "chrome" && format != "folded" {
+        eprintln!("--format must be `chrome` or `folded`, got `{format}`");
+        return 2;
+    }
+
+    let trace = TraceGenerator::new(&spec, seed).generate(ops);
+    let profile = profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    let spans = if hw {
+        let mut core = draco::sim::DracoHwCore::new(draco::sim::SimConfig::table_ii(), &profile)
+            .expect("checker builds");
+        core.enable_span_trace(SpanTracer::DEFAULT_CAPACITY, sample);
+        let _ = core.run(&trace);
+        core.take_span_tracer()
+            .map(SpanTracer::into_spans)
+            .unwrap_or_default()
+    } else {
+        let mut checker = DracoChecker::from_profile(&profile).expect("checker builds");
+        checker.enable_span_trace(SpanTracer::DEFAULT_CAPACITY, sample);
+        for req in trace.requests() {
+            checker.check(&req);
+        }
+        checker
+            .take_span_tracer()
+            .map(SpanTracer::into_spans)
+            .unwrap_or_default()
+    };
+    let text = if format == "chrome" {
+        chrome_trace_json(&spans)
+    } else {
+        folded_stacks(&spans)
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write `{path}`: {e}");
+                return 1;
+            }
+            eprintln!("wrote {} spans to {path}", spans.len());
+        }
+        None => print!("{text}"),
+    }
+    0
 }

@@ -111,6 +111,68 @@ impl Histogram {
         }
         self.sum = self.sum.saturating_add(other.sum);
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` clamped to
+    /// `[0, 1]`): the inclusive upper edge of the bucket containing the
+    /// `ceil(q*n)`-th smallest sample. Returns `None` when empty and
+    /// `Some(u64::MAX)` when the quantile falls in the unbounded
+    /// overflow bucket. The true quantile is never above the returned
+    /// bound (pow2 buckets, so it is at most 2x below it).
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            cum = cum.saturating_add(c);
+            if cum >= rank {
+                return Some(Self::bucket_high(bucket).unwrap_or(u64::MAX));
+            }
+        }
+        // Unreachable: cum reaches n >= rank by the last bucket.
+        Some(u64::MAX)
+    }
+
+    /// Median upper bound (see [`Histogram::quantile_upper_bound`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile_upper_bound(0.99)
+    }
+
+    /// Human-readable `p50<=A p95<=B p99<=C` summary ("empty" when no
+    /// samples; `>=16384` when a quantile lands in the overflow bucket).
+    pub fn quantile_summary(&self) -> String {
+        use core::fmt::Write as _;
+        if self.is_empty() {
+            return "empty".to_string();
+        }
+        let mut out = String::new();
+        for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            match self.quantile_upper_bound(q) {
+                Some(u64::MAX) => {
+                    let overflow_low = Self::bucket_low(Self::BUCKETS - 1);
+                    write!(out, "{label}>={overflow_low}").expect("write to String");
+                }
+                Some(bound) => write!(out, "{label}<={bound}").expect("write to String"),
+                None => unreachable!("non-empty histogram has quantiles"),
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -214,6 +276,75 @@ mod tests {
         assert!(s.contains("[2,3]=1"), "{s}");
         assert!(s.contains("[>=16384]=1"), "{s}");
         assert!(s.contains("n=3"), "{s}");
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.quantile_summary(), "empty");
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        // 100 samples: 50 zeros, 45 threes (bucket [2,3]), 4 hundreds
+        // (bucket [64,127]), 1 huge (overflow).
+        let mut h = Histogram::default();
+        for _ in 0..50 {
+            h.record(0);
+        }
+        for _ in 0..45 {
+            h.record(3);
+        }
+        for _ in 0..4 {
+            h.record(100);
+        }
+        h.record(1 << 40);
+        assert_eq!(h.count(), 100);
+        // rank(p50) = 50 -> still inside the zeros.
+        assert_eq!(h.p50(), Some(0));
+        // rank(p95) = 95 -> the threes' bucket, upper edge 3.
+        assert_eq!(h.p95(), Some(3));
+        // rank(p99) = 99 -> the hundreds' bucket [64, 127].
+        assert_eq!(h.p99(), Some(127));
+        // rank(p100) = 100 -> overflow bucket, unbounded above.
+        assert_eq!(h.quantile_upper_bound(1.0), Some(u64::MAX));
+        assert_eq!(h.quantile_summary(), "p50<=0 p95<=3 p99<=127");
+    }
+
+    #[test]
+    fn quantile_of_single_sample_brackets_it() {
+        let mut h = Histogram::default();
+        h.record(37); // bucket [32, 63]
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let bound = h.quantile_upper_bound(q).unwrap();
+            assert!((37..=63).contains(&bound), "q={q} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_q_and_handles_overflow_only() {
+        let mut h = Histogram::default();
+        h.record(1 << 20);
+        assert_eq!(h.quantile_upper_bound(-3.0), Some(u64::MAX));
+        assert_eq!(h.quantile_upper_bound(7.0), Some(u64::MAX));
+        assert_eq!(h.quantile_summary(), "p50>=16384 p95>=16384 p99>=16384");
+    }
+
+    #[test]
+    fn quantiles_match_exact_on_dense_data() {
+        // Samples 1..=1000: the true p50 is 500; the pow2 upper bound
+        // must bracket it within its bucket [512, 1023].
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50().unwrap();
+        assert_eq!(p50, 511, "rank 500 lands in [256,511]");
+        let p99 = h.p99().unwrap();
+        assert_eq!(p99, 1023, "rank 990 lands in [512,1023]");
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!    recent flow classifications ([`FlowEvent`]) for debugging fidelity
 //!    regressions. It is off by default and pre-allocates at enable
 //!    time, so recording never touches the heap either.
+//! 4. **Sampled timing lives apart.** Stage-level wall-clock spans come
+//!    from the deterministically sampled [`SpanTracer`] ([`trace`]
+//!    module): unsampled checks cost one branch, sampled checks record
+//!    into pre-allocated buffers, and exports (Chrome trace / folded
+//!    flamegraph stacks) happen strictly off the hot path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -32,10 +37,14 @@
 mod hist;
 mod registry;
 mod ring;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use registry::{
     CheckerMetrics, CuckooMetrics, MetricsRegistry, ReplayMetrics, SimMetrics, VatMetrics,
     FLOW_LABELS,
 };
-pub use ring::{EventRing, FlowClass, FlowEvent};
+pub use ring::{merge_recent_events, EventRing, FlowClass, FlowEvent};
+pub use trace::{
+    chrome_trace_json, folded_stacks, merge_spans, Span, SpanTracer, Stage, StageStart, TraceScope,
+};

@@ -133,6 +133,22 @@ impl EventRing {
     }
 }
 
+/// Merges the recent views of several shard-tagged rings into one
+/// chronology ordered by sequence number (ties broken by shard id) —
+/// the cross-shard analogue of [`EventRing::iter_recent`]. The result
+/// is bounded by the sum of the rings' capacities and, filtered to any
+/// one shard, preserves that shard's recording order.
+pub fn merge_recent_events<'a>(
+    rings: impl IntoIterator<Item = (u32, &'a EventRing)>,
+) -> Vec<(u32, FlowEvent)> {
+    let mut merged: Vec<(u32, FlowEvent)> = rings
+        .into_iter()
+        .flat_map(|(shard, ring)| ring.iter_recent().map(move |ev| (shard, *ev)))
+        .collect();
+    merged.sort_by_key(|(shard, ev)| (ev.seq, *shard));
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +206,63 @@ mod tests {
         assert_eq!(FlowClass::VatHit.to_string(), "vat-hit");
         assert_eq!(FlowClass::FilterAllow.to_string(), "filter-allow");
         assert_eq!(FlowClass::FilterDeny.to_string(), "filter-deny");
+    }
+
+    #[test]
+    fn merge_recent_orders_by_seq_then_shard() {
+        let mut a = EventRing::with_capacity(3);
+        let mut b = EventRing::with_capacity(3);
+        for seq in [0u64, 2, 4] {
+            a.record(ev(seq));
+        }
+        for seq in [1u64, 2, 3] {
+            b.record(ev(seq));
+        }
+        let merged = merge_recent_events([(0, &a), (1, &b)]);
+        let keys: Vec<(u64, u32)> = merged.iter().map(|(s, e)| (e.seq, *s)).collect();
+        assert_eq!(keys, vec![(0, 0), (1, 1), (2, 0), (2, 1), (3, 1), (4, 0)]);
+    }
+
+    proptest::proptest! {
+        /// The merged recent-events view is capacity-bounded and, per
+        /// shard, seq-monotonic — exactly the most recent
+        /// `min(capacity, recorded)` events each shard recorded.
+        #[test]
+        fn merged_view_is_bounded_and_per_shard_monotonic(
+            capacities in proptest::collection::vec(1usize..8, 1..5),
+            counts in proptest::collection::vec(0u64..40, 1..5),
+        ) {
+            let shards = capacities.len().min(counts.len());
+            let mut rings = Vec::new();
+            for shard in 0..shards {
+                let mut ring = EventRing::with_capacity(capacities[shard]);
+                for seq in 0..counts[shard] {
+                    ring.record(ev(seq));
+                }
+                rings.push(ring);
+            }
+            let merged = merge_recent_events(
+                rings.iter().enumerate().map(|(i, r)| (i as u32, r)),
+            );
+
+            let cap_total: usize = capacities[..shards].iter().sum();
+            proptest::prop_assert!(merged.len() <= cap_total, "capacity-bounded");
+
+            for shard in 0..shards {
+                let seqs: Vec<u64> = merged
+                    .iter()
+                    .filter(|(s, _)| *s == shard as u32)
+                    .map(|(_, e)| e.seq)
+                    .collect();
+                // Strictly increasing within the shard...
+                for pair in seqs.windows(2) {
+                    proptest::prop_assert!(pair[0] < pair[1], "seq-monotonic per shard");
+                }
+                // ...and exactly the most recent window the ring held.
+                let held = counts[shard].min(capacities[shard] as u64);
+                let expect: Vec<u64> = (counts[shard] - held..counts[shard]).collect();
+                proptest::prop_assert_eq!(seqs, expect);
+            }
+        }
     }
 }

@@ -1,0 +1,603 @@
+//! Sampled per-check span tracing with Chrome-trace and flamegraph
+//! export.
+//!
+//! The metrics registry answers *how often* each flow fires; this module
+//! answers *where the time goes inside one check* — the software
+//! analogue of the paper's Table I stage breakdown. A [`SpanTracer`]
+//! deterministically samples whole checks (every `sample_interval`-th
+//! check by sequence number, so same-seed runs sample the same checks)
+//! and records one [`Span`] per pipeline stage the check traversed: SPT
+//! lookup, CRC hashing, per-way VAT probes, fallback filter execution,
+//! VAT insert — and, for the hardware simulator, STB prediction, SLB
+//! access/preload, and temporary-buffer operations.
+//!
+//! Design constraints mirror the rest of `draco-obs`:
+//!
+//! * **Nothing on the unsampled path.** When a check is not sampled (or
+//!   no tracer is installed) the per-stage hooks are a branch on `None`
+//!   — no `Instant::now()`, no writes.
+//! * **Zero allocation while recording.** The span buffer and the
+//!   per-check pending buffer are fully allocated at construction; a
+//!   full buffer drops new spans (counted in
+//!   [`SpanTracer::dropped_spans`]) instead of growing.
+//! * **Mergeable.** Per-shard tracers share an epoch
+//!   ([`SpanTracer::with_epoch`]) so their spans live on one timeline;
+//!   [`merge_spans`] combines shard buffers like `MetricsRegistry`
+//!   merges sections.
+
+use std::time::Instant;
+
+use crate::FlowClass;
+
+/// One pipeline stage of a Draco check (software or simulated
+/// hardware).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// SPT lookup by syscall ID.
+    SptLookup,
+    /// CRC-64 hashing of the selected argument bytes.
+    CrcHash,
+    /// First-way (ECMA hash) VAT/cuckoo probe.
+    VatProbeWay1,
+    /// Second-way (complement hash) VAT/cuckoo probe.
+    VatProbeWay2,
+    /// Fallback Seccomp filter execution.
+    FilterExec,
+    /// Argument-set insertion into the VAT after a permitted fallback.
+    VatInsert,
+    /// Hardware: STB lookup at ROB insertion (§VI-B prediction).
+    StbPredict,
+    /// Hardware: speculative SLB preload probe and VAT prefetch.
+    SlbPreload,
+    /// Hardware: non-speculative SLB access at the ROB head.
+    SlbAccess,
+    /// Hardware: temporary-buffer stage/commit traffic.
+    TempBufOp,
+}
+
+impl Stage {
+    /// Every stage, software first, in pipeline order.
+    pub const ALL: [Stage; 10] = [
+        Stage::SptLookup,
+        Stage::CrcHash,
+        Stage::VatProbeWay1,
+        Stage::VatProbeWay2,
+        Stage::FilterExec,
+        Stage::VatInsert,
+        Stage::StbPredict,
+        Stage::SlbPreload,
+        Stage::SlbAccess,
+        Stage::TempBufOp,
+    ];
+
+    /// Stable label used as the Chrome-trace event name.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Stage::SptLookup => "spt-lookup",
+            Stage::CrcHash => "crc-hash",
+            Stage::VatProbeWay1 => "vat-probe-way1",
+            Stage::VatProbeWay2 => "vat-probe-way2",
+            Stage::FilterExec => "filter-exec",
+            Stage::VatInsert => "vat-insert",
+            Stage::StbPredict => "stb-predict",
+            Stage::SlbPreload => "slb-preload",
+            Stage::SlbAccess => "slb-access",
+            Stage::TempBufOp => "tempbuf-op",
+        }
+    }
+
+    /// The `stage[;substage]` frames used in folded flamegraph output
+    /// (per-way probes fold under a shared `vat-probe` frame).
+    pub const fn folded_frames(self) -> (&'static str, Option<&'static str>) {
+        match self {
+            Stage::VatProbeWay1 => ("vat-probe", Some("way-1")),
+            Stage::VatProbeWay2 => ("vat-probe", Some("way-2")),
+            other => (other.label(), None),
+        }
+    }
+}
+
+impl core::fmt::Display for Stage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded stage interval of one sampled check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Start time in nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Check sequence number the span belongs to.
+    pub seq: u64,
+    /// Raw syscall number of the checked call.
+    pub syscall: u16,
+    /// Flow classification of the whole check (the Chrome-trace
+    /// category).
+    pub class: FlowClass,
+    /// Shard (thread) that recorded the span — the Chrome-trace tid.
+    pub shard: u32,
+}
+
+/// An opaque stage-start token. Inactive scopes hand out empty tokens,
+/// so ending a stage on an unsampled check is a no-op branch.
+#[derive(Debug)]
+#[must_use = "pass the token back to stage_end"]
+pub struct StageStart(Option<Instant>);
+
+/// A deterministically sampled, pre-allocated span recorder for one
+/// shard.
+///
+/// # Example
+///
+/// ```
+/// use draco_obs::{FlowClass, SpanTracer, Stage, TraceScope};
+///
+/// let mut tracer = SpanTracer::new(128, 1); // sample every check
+/// let mut scope = TraceScope::begin(Some(&mut tracer), 1, 0);
+/// let t = scope.stage_begin();
+/// // ... the work being timed ...
+/// scope.stage_end(Stage::SptLookup, t);
+/// scope.finish(FlowClass::SptHit);
+/// assert_eq!(tracer.spans().len(), 1);
+/// assert_eq!(tracer.spans()[0].stage, Stage::SptLookup);
+/// ```
+#[derive(Debug)]
+pub struct SpanTracer {
+    epoch: Instant,
+    /// Sample when `seq & mask == 0` (interval rounded up to a power of
+    /// two).
+    sample_mask: u64,
+    shard: u32,
+    spans: Vec<Span>,
+    /// The current sampled check's spans, committed with the flow class
+    /// at check end.
+    pending: Vec<Span>,
+    cur_seq: u64,
+    cur_syscall: u16,
+    sampled_checks: u64,
+    dropped: u64,
+}
+
+/// Upper bound on stages a single check can traverse (sized generously
+/// above the deepest real pipeline).
+const MAX_STAGES_PER_CHECK: usize = 16;
+
+impl SpanTracer {
+    /// Default span-buffer capacity.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+    /// Default sampling interval (1 in 64 checks).
+    pub const DEFAULT_SAMPLE_INTERVAL: u64 = 64;
+
+    /// Creates a tracer holding at most `capacity` spans, sampling every
+    /// `sample_interval`-th check (rounded up to a power of two; 0 and 1
+    /// both mean "every check"). All buffers are allocated here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, sample_interval: u64) -> Self {
+        assert!(capacity > 0, "span tracer capacity must be nonzero");
+        SpanTracer {
+            epoch: Instant::now(),
+            sample_mask: sample_interval.max(1).next_power_of_two() - 1,
+            shard: 0,
+            spans: Vec::with_capacity(capacity),
+            pending: Vec::with_capacity(MAX_STAGES_PER_CHECK),
+            cur_seq: 0,
+            cur_syscall: 0,
+            sampled_checks: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Shares a time base with other shards' tracers (builder-style).
+    /// Spans record nanoseconds since this instant.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: Instant) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Tags every recorded span with a shard id (builder-style) — the
+    /// Chrome-trace tid.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// The tracer's time base.
+    pub const fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The effective (power-of-two) sampling interval.
+    pub const fn sample_interval(&self) -> u64 {
+        self.sample_mask + 1
+    }
+
+    /// Checks sampled so far.
+    pub const fn sampled_checks(&self) -> u64 {
+        self.sampled_checks
+    }
+
+    /// Spans discarded because the buffer was full.
+    pub const fn dropped_spans(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Consumes the tracer, returning its spans.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+
+    /// Starts a check; returns whether it is sampled. Unsampled checks
+    /// cost exactly this branch. Any spans pending from an unfinished
+    /// check are discarded.
+    ///
+    /// Sampling is phase-aligned so that check 1 — a caller's first,
+    /// always-cold check, the only one guaranteed to exercise the
+    /// fallback stages — is sampled, then every Nth after it.
+    pub fn begin_check(&mut self, seq: u64, syscall: u16) -> bool {
+        if seq.wrapping_sub(1) & self.sample_mask != 0 {
+            return false;
+        }
+        self.pending.clear();
+        self.cur_seq = seq;
+        self.cur_syscall = syscall;
+        self.sampled_checks += 1;
+        true
+    }
+
+    /// Records one stage of the current sampled check. `start` must come
+    /// from an `Instant::now()` taken at stage entry.
+    fn record_stage(&mut self, stage: Stage, start: Instant) {
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let start_ns = start.duration_since(self.epoch).as_nanos() as u64;
+        if self.pending.len() < MAX_STAGES_PER_CHECK {
+            self.pending.push(Span {
+                stage,
+                start_ns,
+                dur_ns,
+                seq: self.cur_seq,
+                syscall: self.cur_syscall,
+                // Placeholder; rewritten at commit time.
+                class: FlowClass::SptHit,
+                shard: self.shard,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Commits the current check's pending spans under its final flow
+    /// classification. Spans that no longer fit are dropped (counted),
+    /// never reallocated.
+    fn end_check(&mut self, class: FlowClass) {
+        for mut span in self.pending.drain(..) {
+            span.class = class;
+            if self.spans.len() < self.spans.capacity() {
+                self.spans.push(span);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
+/// The per-check tracing scope instrumented code holds: `Some` tracer
+/// while the current check is sampled, `None` otherwise — so every hook
+/// is a single branch on the unsampled path.
+#[derive(Debug)]
+pub struct TraceScope<'a> {
+    tracer: Option<&'a mut SpanTracer>,
+}
+
+impl<'a> TraceScope<'a> {
+    /// A scope that records nothing (no tracer installed).
+    pub const fn inactive() -> TraceScope<'static> {
+        TraceScope { tracer: None }
+    }
+
+    /// Opens the scope for one check: consults the tracer's sampling
+    /// decision and stays inactive (all hooks no-ops) when the check is
+    /// not sampled.
+    pub fn begin(tracer: Option<&'a mut SpanTracer>, seq: u64, syscall: u16) -> TraceScope<'a> {
+        match tracer {
+            Some(t) => {
+                if t.begin_check(seq, syscall) {
+                    TraceScope { tracer: Some(t) }
+                } else {
+                    TraceScope { tracer: None }
+                }
+            }
+            None => TraceScope { tracer: None },
+        }
+    }
+
+    /// True while the current check is being sampled.
+    pub const fn is_active(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Marks a stage start. Reads the clock only when active.
+    pub fn stage_begin(&self) -> StageStart {
+        StageStart(if self.tracer.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        })
+    }
+
+    /// Records the stage interval begun by `start`.
+    pub fn stage_end(&mut self, stage: Stage, start: StageStart) {
+        if let (Some(tracer), Some(instant)) = (self.tracer.as_deref_mut(), start.0) {
+            tracer.record_stage(stage, instant);
+        }
+    }
+
+    /// Commits the check's spans under its flow classification and
+    /// deactivates the scope. Safe to call once per check at any return
+    /// point; later calls are no-ops.
+    pub fn finish(&mut self, class: FlowClass) {
+        if let Some(tracer) = self.tracer.take() {
+            tracer.end_check(class);
+        }
+    }
+}
+
+/// Merges per-shard span buffers into one timeline, ordered by start
+/// time (ties broken by shard then sequence) — the span analogue of
+/// `MetricsRegistry::merged`.
+pub fn merge_spans(shards: impl IntoIterator<Item = Vec<Span>>) -> Vec<Span> {
+    let mut merged: Vec<Span> = shards.into_iter().flatten().collect();
+    merged.sort_by_key(|s| (s.start_ns, s.shard, s.seq));
+    merged
+}
+
+/// Renders spans as Chrome trace-event JSON (loads in `chrome://tracing`
+/// and Perfetto): complete (`ph: "X"`) events named by stage, categorized
+/// by flow class, one tid per shard, timestamps in microseconds.
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::with_capacity(spans.len() * 140 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"args\":{{\"seq\":{},\"syscall\":{}}}}}",
+            s.stage.label(),
+            s.class.label(),
+            s.shard,
+            s.start_ns / 1000,
+            s.start_ns % 1000,
+            s.dur_ns / 1000,
+            s.dur_ns % 1000,
+            s.seq,
+            s.syscall
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders spans as folded flamegraph stacks (`flamegraph.pl` /
+/// `inferno` input): one `class;stage[;substage] nanoseconds` line per
+/// distinct stack, aggregated and sorted for determinism.
+pub fn folded_stacks(spans: &[Span]) -> String {
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<(&'static str, &'static str, Option<&'static str>), u64> =
+        BTreeMap::new();
+    for s in spans {
+        let (frame, sub) = s.stage.folded_frames();
+        let slot = agg.entry((s.class.label(), frame, sub)).or_default();
+        *slot = slot.saturating_add(s.dur_ns);
+    }
+    let mut out = String::new();
+    for ((class, frame, sub), total) in agg {
+        match sub {
+            Some(sub) => out.push_str(&format!("{class};{frame};{sub} {total}\n")),
+            None => out.push_str(&format!("{class};{frame} {total}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives one fake check through the scope.
+    fn one_check(tracer: &mut SpanTracer, seq: u64, stages: &[Stage], class: FlowClass) -> bool {
+        let mut scope = TraceScope::begin(Some(tracer), seq, 42);
+        let active = scope.is_active();
+        for &stage in stages {
+            let t = scope.stage_begin();
+            scope.stage_end(stage, t);
+        }
+        scope.finish(class);
+        active
+    }
+
+    #[test]
+    fn sampling_is_deterministic_by_seq() {
+        let mut tracer = SpanTracer::new(1024, 4);
+        assert_eq!(tracer.sample_interval(), 4);
+        let mut sampled = Vec::new();
+        for seq in 1..=16 {
+            if one_check(&mut tracer, seq, &[Stage::SptLookup], FlowClass::SptHit) {
+                sampled.push(seq);
+            }
+        }
+        // Phase-aligned on the caller's first check (seq 1).
+        assert_eq!(sampled, vec![1, 5, 9, 13]);
+        assert_eq!(tracer.sampled_checks(), 4);
+        assert_eq!(tracer.spans().len(), 4);
+    }
+
+    #[test]
+    fn interval_rounds_up_to_power_of_two() {
+        assert_eq!(SpanTracer::new(8, 0).sample_interval(), 1);
+        assert_eq!(SpanTracer::new(8, 1).sample_interval(), 1);
+        assert_eq!(SpanTracer::new(8, 3).sample_interval(), 4);
+        assert_eq!(SpanTracer::new(8, 64).sample_interval(), 64);
+        assert_eq!(SpanTracer::new(8, 100).sample_interval(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = SpanTracer::new(0, 1);
+    }
+
+    #[test]
+    fn spans_carry_class_and_shard() {
+        let mut tracer = SpanTracer::new(64, 1).with_shard(7);
+        one_check(
+            &mut tracer,
+            1,
+            &[Stage::SptLookup, Stage::CrcHash, Stage::VatProbeWay1],
+            FlowClass::VatHit,
+        );
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 3);
+        for s in spans {
+            assert_eq!(s.class, FlowClass::VatHit);
+            assert_eq!(s.shard, 7);
+            assert_eq!(s.seq, 1);
+            assert_eq!(s.syscall, 42);
+        }
+        assert_eq!(spans[1].stage, Stage::CrcHash);
+    }
+
+    #[test]
+    fn full_buffer_drops_instead_of_growing() {
+        let mut tracer = SpanTracer::new(2, 1);
+        for seq in 1..=4 {
+            one_check(&mut tracer, seq, &[Stage::SptLookup], FlowClass::SptHit);
+        }
+        assert_eq!(tracer.spans().len(), 2);
+        assert_eq!(tracer.dropped_spans(), 2);
+        assert_eq!(tracer.spans.capacity(), 2, "no reallocation");
+    }
+
+    #[test]
+    fn inactive_scope_records_nothing() {
+        let mut scope = TraceScope::inactive();
+        let t = scope.stage_begin();
+        scope.stage_end(Stage::FilterExec, t);
+        scope.finish(FlowClass::FilterDeny);
+        assert!(!scope.is_active());
+        // And a None tracer behaves identically.
+        let mut scope = TraceScope::begin(None, 0, 0);
+        assert!(!scope.is_active());
+        scope.finish(FlowClass::FilterAllow);
+    }
+
+    #[test]
+    fn merge_orders_across_shards() {
+        let epoch = Instant::now();
+        let mut a = SpanTracer::new(16, 1).with_epoch(epoch).with_shard(0);
+        let mut b = SpanTracer::new(16, 1).with_epoch(epoch).with_shard(1);
+        one_check(&mut a, 1, &[Stage::SptLookup], FlowClass::SptHit);
+        one_check(&mut b, 1, &[Stage::SptLookup], FlowClass::SptHit);
+        one_check(&mut a, 2, &[Stage::CrcHash], FlowClass::VatHit);
+        let merged = merge_spans([a.into_spans(), b.into_spans()]);
+        assert_eq!(merged.len(), 3);
+        for pair in merged.windows(2) {
+            assert!(pair[0].start_ns <= pair[1].start_ns, "sorted by start");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_fields() {
+        let mut tracer = SpanTracer::new(64, 1).with_shard(3);
+        one_check(
+            &mut tracer,
+            1,
+            &[Stage::SptLookup, Stage::FilterExec],
+            FlowClass::FilterAllow,
+        );
+        let json = chrome_trace_json(tracer.spans());
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = value["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["name"].as_str(), Some("spt-lookup"));
+        assert_eq!(events[1]["name"].as_str(), Some("filter-exec"));
+        assert_eq!(events[0]["cat"].as_str(), Some("filter-allow"));
+        assert_eq!(events[0]["ph"].as_str(), Some("X"));
+        assert_eq!(events[0]["tid"].as_u64(), Some(3));
+        assert!(events[0]["ts"].as_f64().is_some());
+        assert_eq!(events[0]["args"]["syscall"].as_u64(), Some(42));
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_empty_but_valid() {
+        let json = chrome_trace_json(&[]);
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(value["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_per_class_and_stage() {
+        let mut tracer = SpanTracer::new(64, 1);
+        one_check(
+            &mut tracer,
+            1,
+            &[Stage::CrcHash, Stage::VatProbeWay1, Stage::VatProbeWay2],
+            FlowClass::VatHit,
+        );
+        one_check(&mut tracer, 2, &[Stage::CrcHash], FlowClass::VatHit);
+        let folded = folded_stacks(tracer.spans());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 3, "{folded}");
+        assert!(lines.iter().any(|l| l.starts_with("vat-hit;crc-hash ")));
+        assert!(lines.iter().any(|l| l.starts_with("vat-hit;vat-probe;way-1 ")));
+        assert!(lines.iter().any(|l| l.starts_with("vat-hit;vat-probe;way-2 ")));
+        for line in lines {
+            let (_, count) = line.rsplit_once(' ').expect("count field");
+            count.parse::<u64>().expect("numeric count");
+        }
+    }
+
+    #[test]
+    fn stage_labels_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for stage in Stage::ALL {
+            assert!(seen.insert(stage.label()), "duplicate {stage}");
+        }
+        assert_eq!(Stage::SptLookup.to_string(), "spt-lookup");
+        assert_eq!(Stage::VatProbeWay2.folded_frames(), ("vat-probe", Some("way-2")));
+        assert_eq!(Stage::TempBufOp.folded_frames(), ("tempbuf-op", None));
+    }
+
+    #[test]
+    fn unfinished_check_is_discarded_by_next_begin() {
+        let mut tracer = SpanTracer::new(64, 1);
+        {
+            let mut scope = TraceScope::begin(Some(&mut tracer), 1, 0);
+            let t = scope.stage_begin();
+            scope.stage_end(Stage::SptLookup, t);
+            // No finish: the check was abandoned (e.g. a panic path).
+        }
+        one_check(&mut tracer, 2, &[Stage::CrcHash], FlowClass::VatHit);
+        assert_eq!(tracer.spans().len(), 1, "abandoned spans dropped");
+        assert_eq!(tracer.spans()[0].stage, Stage::CrcHash);
+    }
+}

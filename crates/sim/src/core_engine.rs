@@ -3,7 +3,7 @@
 use core::fmt;
 
 use draco_core::Vat;
-use draco_obs::{MetricsRegistry, SimMetrics};
+use draco_obs::{FlowClass, MetricsRegistry, SimMetrics, SpanTracer, Stage, TraceScope};
 use draco_profiles::{compile_stacked, ArgPolicy, CompiledStack, FilterLayout, ProfileSpec};
 use draco_syscalls::{ArgBitmask, ArgSet, SyscallId};
 use draco_workloads::SyscallTrace;
@@ -224,6 +224,13 @@ pub struct DracoHwCore {
     filter_insns: u64,
     denials: u64,
     ctx_switches: u64,
+    /// Optional sampled stage-span tracer over the *simulator's own*
+    /// execution of the hardware flow stages (STB predict, SLB
+    /// preload/access, temp-buffer ops, CRC + VAT probes). Boxed and
+    /// off by default, like the software checker's.
+    span_trace: Option<Box<SpanTracer>>,
+    /// Monotonic syscall counter (sequences sampled spans).
+    check_seq: u64,
 }
 
 impl DracoHwCore {
@@ -261,8 +268,30 @@ impl DracoHwCore {
             filter_insns: 0,
             denials: 0,
             ctx_switches: 0,
+            span_trace: None,
+            check_seq: 0,
             config,
         })
+    }
+
+    /// Installs a sampled span tracer over the hardware flow stages.
+    pub fn install_span_tracer(&mut self, tracer: SpanTracer) {
+        self.span_trace = Some(Box::new(tracer));
+    }
+
+    /// Enables span tracing with a fresh tracer (see [`SpanTracer::new`]).
+    pub fn enable_span_trace(&mut self, capacity: usize, sample_interval: u64) {
+        self.install_span_tracer(SpanTracer::new(capacity, sample_interval));
+    }
+
+    /// Removes and returns the span tracer (e.g. to export its spans).
+    pub fn take_span_tracer(&mut self) -> Option<SpanTracer> {
+        self.span_trace.take().map(|boxed| *boxed)
+    }
+
+    /// The span tracer, if installed.
+    pub fn span_tracer(&self) -> Option<&SpanTracer> {
+        self.span_trace.as_deref()
     }
 
     /// The configuration.
@@ -297,16 +326,35 @@ impl DracoHwCore {
         let mut total: u64 = 0;
         let mut baseline: u64 = 0;
         let mut check_total: u64 = 0;
+        // As in the software checker, the tracer steps aside while a
+        // check borrows both it and `self`.
+        let mut tracer = self.span_trace.take();
         for op in trace.ops() {
             let work = self.config.ns_to_cycles(op.compute_ns) + self.config.syscall_base_cycles;
             self.advance_quantum(work);
-            let check = self.process_syscall(op.pc, SyscallId::new(op.nr), ArgSet::new(op.args));
+            self.check_seq = self.check_seq.saturating_add(1);
+            let mut scope = TraceScope::begin(tracer.as_deref_mut(), self.check_seq, op.nr);
+            let denials_before = self.denials;
+            let check = self.process_syscall(
+                op.pc,
+                SyscallId::new(op.nr),
+                ArgSet::new(op.args),
+                &mut scope,
+            );
+            // Every path through process_syscall classifies the flow.
+            scope.finish(match self.last_flow {
+                Flow::SptOnly => FlowClass::SptHit,
+                Flow::Fallback if self.denials > denials_before => FlowClass::FilterDeny,
+                Flow::Fallback => FlowClass::FilterAllow,
+                _ => FlowClass::VatHit,
+            });
             self.flow_cycles[self.last_flow.index()] += check;
             self.advance_quantum(check);
             total += work + check;
             baseline += work;
             check_total += check;
         }
+        self.span_trace = tracer;
         HwRunReport {
             workload: trace.workload().to_owned(),
             total_cycles: total,
@@ -436,7 +484,13 @@ impl DracoHwCore {
     }
 
     /// The full Table-I machinery for one syscall; returns check cycles.
-    fn process_syscall(&mut self, pc: u64, sid: SyscallId, args: ArgSet) -> u64 {
+    fn process_syscall(
+        &mut self,
+        pc: u64,
+        sid: SyscallId,
+        args: ArgSet,
+        scope: &mut TraceScope<'_>,
+    ) -> u64 {
         // ---- ROB-insertion stage: STB lookup and SLB preload (§VI-B).
         // This work happens while older instructions drain, so it is off
         // the critical path; only its cache side effects matter.
@@ -444,7 +498,10 @@ impl DracoHwCore {
         let mut preload_hit = false;
         if self.config.preload_enabled && self.config.slb_enabled {
             self.accesses.stb += 1;
-            if let Some(se) = self.stb.lookup(pc) {
+            let t = scope.stage_begin();
+            let predicted = self.stb.lookup(pc);
+            scope.stage_end(Stage::StbPredict, t);
+            if let Some(se) = predicted {
                 stb_hit = true;
                 self.accesses.spt += 1;
                 if let Some(spte) = self.spt.lookup(sid) {
@@ -452,6 +509,7 @@ impl DracoHwCore {
                         let argc = spte.bitmask.arg_count();
                         if argc >= 1 {
                             self.accesses.slb += 1;
+                            let t = scope.stage_begin();
                             preload_hit = self.slb.preload_probe(argc, sid, se.hash);
                             if !preload_hit {
                                 // Fetch the predicted VAT entry early.
@@ -471,6 +529,7 @@ impl DracoHwCore {
                                     );
                                 }
                             }
+                            scope.stage_end(Stage::SlbPreload, t);
                         }
                     }
                 }
@@ -479,11 +538,15 @@ impl DracoHwCore {
 
         // ---- ROB-head stage: the serializing check (§VI-A).
         self.accesses.spt += 1;
-        let spte = match self.spt.lookup(sid) {
+        let t = scope.stage_begin();
+        let head_spte = self.spt.lookup(sid);
+        scope.stage_end(Stage::SptLookup, t);
+        let spte = match head_spte {
             Some(e) => e,
             None => {
                 // SPT miss: the OS must check in software.
-                return self.config.draco_struct_cycles + self.os_fallback(sid, args, stb_hit);
+                return self.config.draco_struct_cycles
+                    + self.os_fallback(sid, args, stb_hit, scope);
             }
         };
         let Some(vat_idx) = spte.vat_index else {
@@ -515,10 +578,11 @@ impl DracoHwCore {
         if !self.config.slb_enabled {
             // The initial hardware design (§V-D): no SLB — hash and probe
             // the in-memory VAT at the ROB head on every checked call.
-            return self.vat_probe_at_head(sid, args, pc, spte, vat_idx);
+            return self.vat_probe_at_head(sid, args, pc, spte, vat_idx, scope);
         }
 
         // Commit any staged preload for this syscall into the SLB.
+        let t = scope.stage_begin();
         if let Some(staged) = self.temp.take_matching(argc, sid, &masked) {
             self.slb.insert(argc, staged);
         } else if let Some((_, stale)) = self.temp.take_any_for(sid) {
@@ -526,9 +590,13 @@ impl DracoHwCore {
             // fetch already warmed the caches.
             let _ = stale;
         }
+        scope.stage_end(Stage::TempBufOp, t);
 
         self.accesses.slb += 1;
-        if let Some(hit) = self.slb.access(argc, sid, &masked) {
+        let t = scope.stage_begin();
+        let slb_hit = self.slb.access(argc, sid, &masked);
+        scope.stage_end(Stage::SlbAccess, t);
+        if let Some(hit) = slb_hit {
             // Fast flows: the check costs one SLB access.
             let flow = match (stb_hit, preload_hit) {
                 (true, true) => Flow::F1,
@@ -559,7 +627,12 @@ impl DracoHwCore {
         let l2 = self.vat_memory_access(a2);
         cycles += l1.max(l2);
 
-        if let Some(found) = self.vat.lookup(vat_idx, spte.bitmask, &args) {
+        let found = if scope.is_active() {
+            self.vat.lookup_traced(vat_idx, spte.bitmask, &args, scope)
+        } else {
+            self.vat.lookup(vat_idx, spte.bitmask, &args)
+        };
+        if let Some(found) = found {
             // Slow flows 2/4/6: fill SLB and STB with the correct entry.
             let flow = match (stb_hit, preload_hit) {
                 (true, true) => Flow::F2,
@@ -586,7 +659,7 @@ impl DracoHwCore {
         } else {
             // Not in the VAT: software check (sets SWCheckNeeded,
             // §VII-B).
-            cycles + self.os_fallback_with_stb(sid, args, pc, spte.bitmask, vat_idx)
+            cycles + self.os_fallback_with_stb(sid, args, pc, spte.bitmask, vat_idx, scope)
         }
     }
 
@@ -599,6 +672,7 @@ impl DracoHwCore {
         pc: u64,
         spte: crate::spt_hw::HwSptEntry,
         vat_idx: u32,
+        scope: &mut TraceScope<'_>,
     ) -> u64 {
         self.accesses.crc += 1;
         let mut cycles = self.config.draco_struct_cycles + self.config.crc_cycles;
@@ -611,20 +685,33 @@ impl DracoHwCore {
         let l1 = self.vat_memory_access(a1);
         let l2 = self.vat_memory_access(a2);
         cycles += l1.max(l2);
-        if self.vat.lookup(vat_idx, spte.bitmask, &args).is_some() {
+        let found = if scope.is_active() {
+            self.vat.lookup_traced(vat_idx, spte.bitmask, &args, scope)
+        } else {
+            self.vat.lookup(vat_idx, spte.bitmask, &args)
+        };
+        if found.is_some() {
             self.note_flow(Flow::F6);
             cycles
         } else {
-            cycles + self.os_fallback_with_stb(sid, args, pc, spte.bitmask, vat_idx)
+            cycles + self.os_fallback_with_stb(sid, args, pc, spte.bitmask, vat_idx, scope)
         }
     }
 
     /// OS fallback when the SPT itself missed: run the filter; on success
     /// install SPT (and VAT/SLB/STB for argument-checked syscalls).
-    fn os_fallback(&mut self, sid: SyscallId, args: ArgSet, _stb_hit: bool) -> u64 {
+    fn os_fallback(
+        &mut self,
+        sid: SyscallId,
+        args: ArgSet,
+        _stb_hit: bool,
+        scope: &mut TraceScope<'_>,
+    ) -> u64 {
         let req = draco_syscalls::SyscallRequest::new(0, sid, args);
         let data = draco_bpf::SeccompData::from_request(&req);
+        let t = scope.stage_begin();
         let outcome = self.filter.run(&data).expect("generated filters are clean");
+        scope.stage_end(Stage::FilterExec, t);
         self.filter_runs += 1;
         self.filter_insns += outcome.insns_executed;
         self.note_flow(Flow::Fallback);
@@ -635,6 +722,7 @@ impl DracoHwCore {
             return cycles;
         }
         // Install the OS-side state.
+        let t = scope.stage_begin();
         match self.profile.rule(sid).map(|r| &r.args) {
             Some(ArgPolicy::Whitelist { mask, sets }) => {
                 let idx = self.vat.ensure_table(sid, sets.len());
@@ -659,6 +747,7 @@ impl DracoHwCore {
                 });
             }
         }
+        scope.stage_end(Stage::VatInsert, t);
         cycles
     }
 
@@ -672,10 +761,13 @@ impl DracoHwCore {
         pc: u64,
         mask: ArgBitmask,
         vat_idx: u32,
+        scope: &mut TraceScope<'_>,
     ) -> u64 {
         let req = draco_syscalls::SyscallRequest::new(pc, sid, args);
         let data = draco_bpf::SeccompData::from_request(&req);
+        let t = scope.stage_begin();
         let outcome = self.filter.run(&data).expect("generated filters are clean");
+        scope.stage_end(Stage::FilterExec, t);
         self.filter_runs += 1;
         self.filter_insns += outcome.insns_executed;
         self.note_flow(Flow::Fallback);
@@ -685,7 +777,9 @@ impl DracoHwCore {
             self.denials += 1;
             return cycles;
         }
+        let t = scope.stage_begin();
         self.vat.insert(vat_idx, mask, &args);
+        scope.stage_end(Stage::VatInsert, t);
         if let Some(found) = self.vat.lookup(vat_idx, mask, &args) {
             let masked = mask.masked(&args);
             let argc = mask.arg_count();
@@ -932,6 +1026,53 @@ mod tests {
         // Sections owned by other layers stay zeroed.
         assert_eq!(m.checker, draco_obs::CheckerMetrics::default());
         assert_eq!(m.replay.checks, 0);
+    }
+
+    #[test]
+    fn span_trace_records_hardware_flow_stages() {
+        let spec = catalog::elasticsearch();
+        let trace = TraceGenerator::new(&spec, 5).generate(20_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut core = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+        core.enable_span_trace(1 << 16, 1); // sample every check
+        let report = core.run(&trace);
+        let tracer = core.take_span_tracer().expect("tracer installed");
+        assert_eq!(tracer.sampled_checks(), report.flows.total());
+        let spans = tracer.spans();
+        let has = |s: Stage| spans.iter().any(|sp| sp.stage == s);
+        // Hardware-specific stages.
+        assert!(has(Stage::StbPredict), "STB predictions traced");
+        assert!(has(Stage::SlbAccess), "SLB accesses traced");
+        assert!(has(Stage::SlbPreload), "SLB preloads traced");
+        assert!(has(Stage::TempBufOp), "temp-buffer commits traced");
+        assert!(has(Stage::SptLookup), "ROB-head SPT lookups traced");
+        // Slow flows reach the software layers: CRC + per-way probes,
+        // and fallbacks run the filter and insert into the VAT.
+        assert!(has(Stage::CrcHash), "VAT hashing traced on slow flows");
+        assert!(has(Stage::VatProbeWay1), "way-1 probes traced");
+        assert!(has(Stage::FilterExec), "fallback filter runs traced");
+        assert!(has(Stage::VatInsert), "VAT inserts traced");
+        // Every span carries a flow class consistent with the run.
+        assert!(spans
+            .iter()
+            .any(|sp| sp.class == draco_obs::FlowClass::VatHit));
+        assert!(spans
+            .iter()
+            .any(|sp| sp.class == draco_obs::FlowClass::SptHit));
+    }
+
+    #[test]
+    fn traced_and_untraced_sim_runs_agree() {
+        let spec = catalog::httpd();
+        let trace = TraceGenerator::new(&spec, 5).generate(10_000);
+        let profile = timing::profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut plain = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+        let mut traced = DracoHwCore::new(SimConfig::table_ii(), &profile).unwrap();
+        traced.enable_span_trace(1 << 14, 1);
+        let rp = plain.run(&trace);
+        let rt = traced.run(&trace);
+        assert_eq!(rp, rt, "tracing must not perturb the simulation");
+        assert_eq!(plain.metrics(), traced.metrics());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use draco_bpf::SeccompData;
 use draco_core::{DracoProcess, ProcessId};
-use draco_obs::{MetricsRegistry, ReplayMetrics};
+use draco_obs::{merge_spans, Histogram, MetricsRegistry, ReplayMetrics, Span, SpanTracer};
 use draco_profiles::{compile_stacked, FilterLayout, ProfileKind, ProfileSpec};
 use draco_syscalls::SyscallRequest;
 
@@ -78,6 +78,31 @@ impl ReplayConfig {
     }
 }
 
+/// Every Nth measured check gets a wall-clock latency sample recorded
+/// into [`ShardReport::latency_ns`]. Sampling keeps the two extra
+/// `Instant::now` calls off almost every iteration of the hot loop.
+pub const LATENCY_SAMPLE_INTERVAL: usize = 256;
+
+/// Span-tracer parameters for a traced replay
+/// (see [`replay_parallel_traced`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Span-buffer capacity per shard (spans beyond it are dropped and
+    /// counted, never reallocated).
+    pub capacity_per_shard: usize,
+    /// Record stage spans for every Nth check (1 = every check).
+    pub sample_interval: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity_per_shard: SpanTracer::DEFAULT_CAPACITY,
+            sample_interval: SpanTracer::DEFAULT_SAMPLE_INTERVAL,
+        }
+    }
+}
+
 /// Deterministic counters plus the measured time of one shard.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardReport {
@@ -94,6 +119,9 @@ pub struct ShardReport {
     pub cache_hits: u64,
     /// Wall-clock nanoseconds spent in the measured loop.
     pub elapsed_ns: u64,
+    /// Sampled per-check wall-clock latency (every
+    /// [`LATENCY_SAMPLE_INTERVAL`]th measured check), in nanoseconds.
+    pub latency_ns: Histogram,
 }
 
 /// The outcome of one (possibly parallel) replay.
@@ -144,6 +172,15 @@ impl ReplayReport {
     pub fn shard_checks(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.checks).collect()
     }
+
+    /// Sampled per-check latency pooled across shards (nanoseconds).
+    pub fn latency_hist(&self) -> Histogram {
+        let mut pooled = Histogram::default();
+        for shard in &self.shards {
+            pooled.merge(&shard.latency_ns);
+        }
+        pooled
+    }
 }
 
 /// One shard's fully prepared input: requests decoded and profile built
@@ -188,9 +225,15 @@ where
     }
     let mut allowed = 0u64;
     let mut cache_hits = 0u64;
+    let mut latency_ns = Histogram::default();
     let start = Instant::now();
-    for req in &plan.measured {
+    for (i, req) in plan.measured.iter().enumerate() {
+        let sampled = i % LATENCY_SAMPLE_INTERVAL == 0;
+        let sample_start = sampled.then(Instant::now);
         let (permitted, hit) = check(req);
+        if let Some(t) = sample_start {
+            latency_ns.record(t.elapsed().as_nanos() as u64);
+        }
         allowed += u64::from(permitted);
         cache_hits += u64::from(hit);
     }
@@ -202,6 +245,7 @@ where
         allowed,
         cache_hits,
         elapsed_ns,
+        latency_ns,
     }
 }
 
@@ -218,7 +262,11 @@ fn shard_registry(report: &ShardReport, checker: Option<&MetricsRegistry>) -> Me
     registry
 }
 
-fn run_shard(plan: &ShardPlan, backend: ReplayBackend) -> (ShardReport, MetricsRegistry) {
+fn run_shard(
+    plan: &ShardPlan,
+    backend: ReplayBackend,
+    tracer: Option<SpanTracer>,
+) -> (ShardReport, MetricsRegistry, Vec<Span>) {
     match backend {
         ReplayBackend::SeccompInterp => {
             let stack = compile_stacked(&plan.profile, FilterLayout::Linear)
@@ -230,7 +278,8 @@ fn run_shard(plan: &ShardPlan, backend: ReplayBackend) -> (ShardReport, MetricsR
                 (outcome.action.permits(), false)
             });
             let registry = shard_registry(&report, None);
-            (report, registry)
+            // The Seccomp backends have no staged pipeline to trace.
+            (report, registry, Vec::new())
         }
         ReplayBackend::SeccompCompiled => {
             let stack = compile_stacked(&plan.profile, FilterLayout::Linear)
@@ -243,7 +292,7 @@ fn run_shard(plan: &ShardPlan, backend: ReplayBackend) -> (ShardReport, MetricsR
                 (outcome.action.permits(), false)
             });
             let registry = shard_registry(&report, None);
-            (report, registry)
+            (report, registry, Vec::new())
         }
         ReplayBackend::DracoSw => {
             // Shard indices are bounded by the thread count, so this
@@ -252,12 +301,20 @@ fn run_shard(plan: &ShardPlan, backend: ReplayBackend) -> (ShardReport, MetricsR
             let pid = u32::try_from(plan.shard).expect("shard index exceeds ProcessId range");
             let mut process = DracoProcess::spawn(ProcessId(pid), &plan.profile)
                 .expect("generated profiles always compile");
+            if let Some(tracer) = tracer {
+                process.checker_mut().install_span_tracer(tracer);
+            }
             let report = drive(plan, |req| {
                 let result = process.syscall(req);
                 (result.action.permits(), result.path.is_cache_hit())
             });
             let registry = shard_registry(&report, Some(&process.checker().metrics()));
-            (report, registry)
+            let spans = process
+                .checker_mut()
+                .take_span_tracer()
+                .map(SpanTracer::into_spans)
+                .unwrap_or_default();
+            (report, registry, spans)
         }
     }
 }
@@ -279,30 +336,73 @@ pub fn replay_parallel(
     backend: ReplayBackend,
     cfg: &ReplayConfig,
 ) -> ReplayReport {
+    replay_inner(spec, kind, backend, cfg, None).0
+}
+
+/// Like [`replay_parallel`], but with a sampled span tracer installed in
+/// every shard's checker (Draco backend only — the Seccomp backends have
+/// no staged pipeline and yield no spans).
+///
+/// All shards share one epoch instant, so the merged spans form a single
+/// coherent timeline with the shard index as the Chrome-trace `tid`.
+/// Spans are merged across shards in `(start, shard, seq)` order, ready
+/// for [`draco_obs::chrome_trace_json`] or [`draco_obs::folded_stacks`].
+///
+/// # Panics
+///
+/// Panics if `cfg.shards == 0` or a worker thread panics.
+pub fn replay_parallel_traced(
+    spec: &WorkloadSpec,
+    kind: ProfileKind,
+    backend: ReplayBackend,
+    cfg: &ReplayConfig,
+    trace: &TraceConfig,
+) -> (ReplayReport, Vec<Span>) {
+    replay_inner(spec, kind, backend, cfg, Some(trace))
+}
+
+fn replay_inner(
+    spec: &WorkloadSpec,
+    kind: ProfileKind,
+    backend: ReplayBackend,
+    cfg: &ReplayConfig,
+    trace: Option<&TraceConfig>,
+) -> (ReplayReport, Vec<Span>) {
     assert!(cfg.shards > 0, "replay needs at least one shard");
     let plans = plan_shards(spec, kind, cfg);
+    let epoch = Instant::now();
     let start = Instant::now();
     let mut shards: Vec<ShardReport> = Vec::with_capacity(plans.len());
     let mut metrics = MetricsRegistry::default();
+    let mut shard_spans: Vec<Vec<Span>> = Vec::with_capacity(plans.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .iter()
-            .map(|plan| scope.spawn(move || run_shard(plan, backend)))
+            .map(|plan| {
+                let tracer = trace.map(|tc| {
+                    SpanTracer::new(tc.capacity_per_shard, tc.sample_interval)
+                        .with_epoch(epoch)
+                        .with_shard(plan.shard as u32)
+                });
+                scope.spawn(move || run_shard(plan, backend, tracer))
+            })
             .collect();
         for handle in handles {
-            let (report, registry) = handle.join().expect("replay shard panicked");
+            let (report, registry, spans) = handle.join().expect("replay shard panicked");
             shards.push(report);
             metrics.merge(&registry);
+            shard_spans.push(spans);
         }
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
-    ReplayReport {
+    let report = ReplayReport {
         backend,
         workload: spec.name.to_owned(),
         shards,
         wall_ns,
         metrics,
-    }
+    };
+    (report, merge_spans(shard_spans))
 }
 
 #[cfg(test)]
@@ -495,6 +595,74 @@ mod tests {
                 base_seed: 0,
             },
         );
+    }
+
+    #[test]
+    fn traced_replay_yields_spans_without_perturbing_counters() {
+        let spec = catalog::ipc_pipe();
+        let cfg = small_cfg(3);
+        let trace = TraceConfig {
+            capacity_per_shard: 1 << 14,
+            sample_interval: 1,
+        };
+        let plain = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+        );
+        let (traced, spans) = replay_parallel_traced(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+            &trace,
+        );
+        assert_eq!(strip_timing(&plain), strip_timing(&traced));
+        assert_eq!(plain.metrics, traced.metrics, "tracing is metric-neutral");
+        assert!(!spans.is_empty());
+        // Every shard contributed, and the merge is start-ordered.
+        let shards: std::collections::BTreeSet<u32> =
+            spans.iter().map(|s| s.shard).collect();
+        assert_eq!(shards.len(), 3, "spans from all shards: {shards:?}");
+        assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn seccomp_backends_trace_no_spans() {
+        let spec = catalog::ipc_pipe();
+        let (_, spans) = replay_parallel_traced(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::SeccompCompiled,
+            &small_cfg(1),
+            &TraceConfig::default(),
+        );
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn latency_histogram_sees_sampled_checks() {
+        let spec = catalog::ipc_pipe();
+        let cfg = ReplayConfig {
+            shards: 2,
+            ops_per_shard: 1_000,
+            warmup_ops: 50,
+            base_seed: 7,
+        };
+        let report = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+        );
+        let pooled = report.latency_hist();
+        // ceil(1000 / 256) = 4 samples per shard.
+        assert_eq!(pooled.count(), 8);
+        for shard in &report.shards {
+            assert_eq!(shard.latency_ns.count(), 4);
+        }
+        assert!(pooled.p50().is_some());
     }
 
     #[test]

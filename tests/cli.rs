@@ -88,6 +88,83 @@ fn trace_gen_and_analyze_pipeline() {
 }
 
 #[test]
+fn stats_json_round_trips_through_the_registry_schema() {
+    let (code, out, _) = dracoctl(&["stats", "pipe", "--ops", "500", "--json"]);
+    assert_eq!(code, 0);
+    // The emitted JSON is a complete, parseable MetricsRegistry.
+    let registry: draco::obs::MetricsRegistry =
+        serde_json::from_str(&out).expect("stats --json is a MetricsRegistry");
+    assert_eq!(registry.checker.total(), 500);
+    assert!(registry.checker.vat_hits > 0);
+    assert!(registry.cuckoo.probe_length.count() > 0);
+    // And it survives a second round trip bit-identically.
+    let again = serde_json::to_string(&registry).expect("serializes");
+    let back: draco::obs::MetricsRegistry = serde_json::from_str(&again).expect("parses");
+    assert_eq!(back, registry);
+}
+
+#[test]
+fn stats_prints_quantile_upper_bounds() {
+    let (code, out, _) = dracoctl(&["stats", "pipe", "--ops", "500"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("quantile upper bounds"), "{out}");
+    assert!(out.contains("probe-length     : p50<="), "{out}");
+    assert!(out.contains("insns/filter-run : p50<="), "{out}");
+}
+
+#[test]
+fn trace_span_chrome_format_is_valid_and_staged() {
+    let (code, out, _) = dracoctl(&[
+        "trace", "pipe", "--ops", "500", "--sample", "1", "--format", "chrome",
+    ]);
+    assert_eq!(code, 0);
+    let doc: serde_json::Value = serde_json::from_str(&out).expect("chrome trace is JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut stages = std::collections::BTreeSet::new();
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some());
+        stages.insert(ev.get("name").and_then(|v| v.as_str()).expect("name").to_owned());
+    }
+    assert!(stages.len() >= 4, "distinct stages: {stages:?}");
+    assert!(stages.contains("spt-lookup"), "{stages:?}");
+    assert!(stages.contains("filter-exec"), "{stages:?}");
+}
+
+#[test]
+fn trace_span_folded_format_collapses_stacks() {
+    let (code, out, _) = dracoctl(&[
+        "trace", "pipe", "--ops", "500", "--sample", "1", "--format", "folded",
+    ]);
+    assert_eq!(code, 0);
+    assert!(!out.is_empty());
+    for line in out.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(stack.contains(';'), "class;stage frames: {line}");
+        count.parse::<u64>().expect("numeric count");
+    }
+    assert!(out.contains("vat-hit;"), "{out}");
+    // Hardware spans surface the sim-only stages.
+    let (code, hw, _) = dracoctl(&[
+        "trace", "pipe", "--ops", "500", "--sample", "1", "--format", "folded", "--hw",
+    ]);
+    assert_eq!(code, 0);
+    assert!(hw.contains("stb-predict"), "{hw}");
+    assert!(hw.contains("slb-access"), "{hw}");
+}
+
+#[test]
+fn trace_span_rejects_bad_format() {
+    let (code, _, err) = dracoctl(&["trace", "pipe", "--format", "xml"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("chrome"), "{err}");
+}
+
+#[test]
 fn workloads_lists_the_catalog() {
     let (code, out, _) = dracoctl(&["workloads"]);
     assert_eq!(code, 0);
