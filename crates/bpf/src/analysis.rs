@@ -1,0 +1,1696 @@
+//! Abstract interpretation over validated cBPF programs (paper §V-B).
+//!
+//! The paper observes that the kernel can *derive* which `seccomp_data`
+//! bytes a filter actually inspects instead of trusting a userspace side
+//! channel. This module is that derivation: a sound static analysis that,
+//! per system call number, classifies the filter's decision as
+//! [`Verdict::AlwaysAllow`], [`Verdict::AlwaysDeny`] (any constant
+//! non-allow action), or [`Verdict::ArgDependent`], and computes the
+//! exact set of argument bytes that can influence the decision as a
+//! [`draco_syscalls::ArgBitmask`] — the SPT mask Draco's checker hashes.
+//!
+//! # The abstract domain
+//!
+//! Each of the accumulator, index register, and sixteen scratch slots is
+//! tracked as an [`AbsVal`]: the reduced product of
+//!
+//! * an unsigned **interval** `[lo, hi]`,
+//! * **known bits** `(kmask, kval)` — bits proven equal on every path
+//!   (the kernel BPF verifier's tnum, restricted to 32 bits), and
+//! * a per-byte-lane **taint** set: for each of the value's four bytes,
+//!   which `seccomp_data` bytes can influence it. Byte granularity is
+//!   what lets `A &= k` discharge taint for the bytes `k` zeroes — the
+//!   exact shape profile compilers emit for masked argument compares.
+//!
+//! Loads of `seccomp_data` words are tracked symbolically (the value
+//! remembers its field offset), which resolves the syscall-number and
+//! architecture words to constants when the analysis pins them, and
+//! powers the out-of-range-comparison lint when it does not.
+//!
+//! cBPF jumps are forward-only, so the control-flow graph is a DAG and
+//! one program-order pass with joins at merge points reaches the fixed
+//! point — no iteration. Conditional edges are *refined* (`Jeq` pins the
+//! accumulator, `Jgt`/`Jge` narrow the interval, a false `Jset` proves
+//! bits zero) and an edge whose refinement is contradictory is dead.
+//!
+//! # Soundness of the derived mask
+//!
+//! The mask is an over-approximation of influence: flipping any argument
+//! byte *outside* it can never change the filter's decision. The
+//! argument is non-interference: the decision taint unions, over every
+//! reachable return, the *control* taint (the operand taints of every
+//! unresolved branch on the path — resolved branches go the same way for
+//! all inputs) with the returned value's taint for `RetA`. Two inputs
+//! differing only in an untainted byte therefore follow the same path to
+//! the same return value. `tests` property-check exactly this statement
+//! against the concrete VM.
+
+use crate::insn::{Insn, Src, MEMWORDS};
+use crate::{AluOp, Cond, Program, SeccompAction, SECCOMP_DATA_SIZE};
+use draco_syscalls::ArgBitmask;
+
+/// Bitset over the 64 bytes of `struct seccomp_data`.
+type ByteSet = u64;
+
+/// All 48 argument-byte bits of an [`ArgBitmask`].
+const FULL_ARG_MASK: u64 = (1u64 << 48) - 1;
+
+/// Byte offsets of `instruction_pointer` within `seccomp_data`.
+const IP_BYTES: ByteSet = 0xff00;
+
+/// Byte offset where the argument area starts.
+const ARG_BYTE_BASE: u32 = 16;
+
+/// What to hold fixed during a pass.
+///
+/// Verdict passes pin `nr` (the syscall being classified) and `arch`
+/// (native x86-64 calls, the only kind the checker sees); the lint pass
+/// pins nothing so that e.g. the architecture guard every compiled
+/// filter opens with is not reported as a dead branch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Pin the `nr` word (offset 0) to this value.
+    pub nr: Option<u32>,
+    /// Pin the `arch` word (offset 4) to this value.
+    pub arch: Option<u32>,
+}
+
+/// The per-syscall decision classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Every reachable return is `Allow`: the decision is proven
+    /// argument-independent and a checker may skip argument hashing.
+    AlwaysAllow,
+    /// Every reachable return is the same non-`Allow` action.
+    AlwaysDeny(SeccompAction),
+    /// The decision can depend on argument bytes (or could not be proven
+    /// constant); the mask says which bytes.
+    ArgDependent,
+}
+
+/// The full analysis result for one syscall number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyscallVerdict {
+    /// The decision classification.
+    pub verdict: Verdict,
+    /// Argument bytes that can influence the decision. Always
+    /// [`ArgBitmask::EMPTY`] for the constant verdicts.
+    pub mask: ArgBitmask,
+    /// The decision can depend on the instruction pointer — a hazard for
+    /// any cache keyed on `(nr, args)` alone.
+    pub ip_dependent: bool,
+    /// A runtime fault (division by a possibly-zero `X`) is reachable;
+    /// the verdict degrades to [`Verdict::ArgDependent`] with a full
+    /// mask because a fault is not a cacheable decision.
+    pub may_fault: bool,
+}
+
+/// Lint severity. [`Severity::Error`] findings are soundness hazards and
+/// fail `dracoctl analyze`; warnings are inefficiencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Wasted work or suspicious-but-harmless code.
+    Warning,
+    /// A correctness or cacheability hazard.
+    Error,
+}
+
+/// What a lint finding is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintKind {
+    /// Reachable by jump-graph topology but on no feasible path — dead
+    /// code `optimize`'s plain reachability cannot remove.
+    UnreachableCode,
+    /// A conditional that always goes the same way given prior
+    /// comparisons; `taken` reports which way.
+    DeadBranch {
+        /// True if the branch is always taken, false if never.
+        taken: bool,
+    },
+    /// An equality comparison of the syscall-number word against a value
+    /// no syscall in the table has.
+    OutOfRangeSyscallCmp {
+        /// The compared constant.
+        value: u32,
+        /// The table capacity it exceeds.
+        capacity: u32,
+    },
+    /// A `seccomp_data` load whose result is overwritten before any use
+    /// on every path — the filter reads bytes it then ignores.
+    DeadLoad {
+        /// The loaded byte offset.
+        offset: u32,
+    },
+    /// The filter's decision can depend on the instruction pointer,
+    /// which `(nr, args)`-keyed caches like Draco's VAT do not see.
+    IpDependentDecision,
+    /// A division by a possibly-zero `X` is reachable.
+    PossibleDivFault,
+}
+
+impl LintKind {
+    /// The severity class of this finding.
+    pub const fn severity(self) -> Severity {
+        match self {
+            LintKind::UnreachableCode
+            | LintKind::DeadBranch { .. }
+            | LintKind::OutOfRangeSyscallCmp { .. }
+            | LintKind::DeadLoad { .. } => Severity::Warning,
+            LintKind::IpDependentDecision | LintKind::PossibleDivFault => Severity::Error,
+        }
+    }
+}
+
+/// One lint finding, anchored to an instruction index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lint {
+    /// Index of the instruction the finding is about.
+    pub at: usize,
+    /// What was found.
+    pub kind: LintKind,
+}
+
+impl core::fmt::Display for Lint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let sev = match self.kind.severity() {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        match self.kind {
+            LintKind::UnreachableCode => {
+                write!(f, "{sev}: insn {} is on no feasible path", self.at)
+            }
+            LintKind::DeadBranch { taken } => write!(
+                f,
+                "{sev}: insn {} is always {}",
+                self.at,
+                if taken { "taken" } else { "fall-through" }
+            ),
+            LintKind::OutOfRangeSyscallCmp { value, capacity } => write!(
+                f,
+                "{sev}: insn {} compares nr against {value}, outside the table (capacity {capacity})",
+                self.at
+            ),
+            LintKind::DeadLoad { offset } => write!(
+                f,
+                "{sev}: insn {} loads offset {offset} but the value is never used",
+                self.at
+            ),
+            LintKind::IpDependentDecision => write!(
+                f,
+                "{sev}: insn {} makes the decision depend on the instruction pointer",
+                self.at
+            ),
+            LintKind::PossibleDivFault => write!(
+                f,
+                "{sev}: insn {} may divide by a zero X at run time",
+                self.at
+            ),
+        }
+    }
+}
+
+/// A conditional branch the analysis proved one-sided for *every* input
+/// (produced by the unpinned pass, so the fact is input-independent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedBranch {
+    /// Instruction index of the conditional.
+    pub at: usize,
+    /// True if the branch is always taken (rewrite to `Ja(jt)`), false
+    /// if never (rewrite to `Ja(jf)`).
+    pub taken: bool,
+}
+
+// ---------------------------------------------------------------------
+// The abstract value.
+// ---------------------------------------------------------------------
+
+/// Per-byte-lane taint: which `seccomp_data` bytes each byte of a 32-bit
+/// value can depend on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Taint([ByteSet; 4]);
+
+impl Taint {
+    const NONE: Taint = Taint([0; 4]);
+
+    fn all(self) -> ByteSet {
+        self.0[0] | self.0[1] | self.0[2] | self.0[3]
+    }
+
+    fn union(self, other: Taint) -> Taint {
+        Taint([
+            self.0[0] | other.0[0],
+            self.0[1] | other.0[1],
+            self.0[2] | other.0[2],
+            self.0[3] | other.0[3],
+        ])
+    }
+
+    /// Carry propagation: result lane `i` depends on lanes `0..=i`
+    /// (add/sub/mul-by-constant move information strictly upward).
+    fn prefix(self) -> Taint {
+        let mut acc = 0;
+        let mut out = [0; 4];
+        for (lane, slot) in out.iter_mut().enumerate() {
+            acc |= self.0[lane];
+            *slot = acc;
+        }
+        Taint(out)
+    }
+
+    /// Right-shift propagation: result lane `i` depends on lanes `i..4`.
+    fn suffix(self) -> Taint {
+        let mut acc = 0;
+        let mut out = [0; 4];
+        for i in (0..4).rev() {
+            acc |= self.0[i];
+            out[i] = acc;
+        }
+        Taint(out)
+    }
+
+    /// Every lane depends on everything (division, variable shifts).
+    fn spread(self) -> Taint {
+        Taint([self.all(); 4])
+    }
+}
+
+/// The reduced interval × known-bits × taint abstract value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct AbsVal {
+    lo: u32,
+    hi: u32,
+    /// Bits whose value is the same for every input reaching this point.
+    kmask: u32,
+    /// Their values (`kval & !kmask == 0`).
+    kval: u32,
+    taint: Taint,
+    /// `Some(off)`: the value is exactly the `seccomp_data` word at
+    /// `off` (used by the syscall-number lint).
+    field: Option<u32>,
+}
+
+impl AbsVal {
+    const fn constant(v: u32) -> AbsVal {
+        AbsVal {
+            lo: v,
+            hi: v,
+            kmask: u32::MAX,
+            kval: v,
+            taint: Taint::NONE,
+            field: None,
+        }
+    }
+
+    fn top() -> AbsVal {
+        AbsVal {
+            lo: 0,
+            hi: u32::MAX,
+            kmask: 0,
+            kval: 0,
+            taint: Taint::NONE,
+            field: None,
+        }
+    }
+
+    /// An unknown `seccomp_data` word: each result byte is tainted by
+    /// the corresponding input byte.
+    fn load(off: u32) -> AbsVal {
+        let mut t = [0; 4];
+        for (lane, slot) in t.iter_mut().enumerate() {
+            *slot = 1u64 << (off as usize + lane);
+        }
+        AbsVal {
+            taint: Taint(t),
+            field: Some(off),
+            ..AbsVal::top()
+        }
+    }
+
+    const fn is_const(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Bits that can possibly be 1.
+    const fn possible_ones(&self) -> u32 {
+        self.kval | !self.kmask
+    }
+
+    /// Re-establishes the reduced-product invariants; returns `false`
+    /// if the value is contradictory (no concrete value satisfies it),
+    /// which marks the incoming edge dead.
+    fn canonicalize(&mut self) -> bool {
+        // Interval bounds implied by the known bits.
+        self.lo = self.lo.max(self.kval);
+        self.hi = self.hi.min(self.kval | !self.kmask);
+        if self.lo > self.hi {
+            return false;
+        }
+        // Known bits implied by the interval: the common high-bit prefix.
+        let diff = self.lo ^ self.hi;
+        let prefix = if diff == 0 {
+            u32::MAX
+        } else {
+            // All bits above the highest differing bit agree.
+            !(u32::MAX >> diff.leading_zeros())
+        };
+        let add = prefix & !self.kmask;
+        self.kmask |= add;
+        self.kval |= self.lo & add;
+        // A byte whose value is fully known cannot be influenced by any
+        // input byte (on the paths reaching here); drop its taint.
+        for lane in 0..4 {
+            if (self.kmask >> (8 * lane)) & 0xff == 0xff {
+                self.taint.0[lane] = 0;
+            }
+        }
+        if self.is_const() {
+            self.kmask = u32::MAX;
+            self.kval = self.lo;
+        }
+        true
+    }
+
+    /// Least upper bound at a merge point.
+    fn join(&mut self, other: &AbsVal) {
+        let agree = self.kmask & other.kmask & !(self.kval ^ other.kval);
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        self.kmask = agree;
+        self.kval &= agree;
+        self.taint = self.taint.union(other.taint);
+        if self.field != other.field {
+            self.field = None;
+        }
+        let ok = self.canonicalize();
+        debug_assert!(ok, "join of feasible values is feasible");
+    }
+}
+
+/// Bit length of `v` (position of the highest set bit, plus one).
+fn bit_len(v: u32) -> u32 {
+    32 - v.leading_zeros()
+}
+
+/// Abstract transfer for `a <op> rhs` (both operands abstract; constant
+/// operands arrive as singleton values).
+fn alu_transfer(op: AluOp, a: &AbsVal, rhs: &AbsVal) -> AbsVal {
+    // Constant folding falls out of the per-op cases below, but the
+    // fully-known fast path keeps taint exactly empty.
+    if a.is_const() && rhs.is_const() && !matches!(op, AluOp::Div if rhs.lo == 0) {
+        let v = match op {
+            AluOp::Add => a.lo.wrapping_add(rhs.lo),
+            AluOp::Sub => a.lo.wrapping_sub(rhs.lo),
+            AluOp::Mul => a.lo.wrapping_mul(rhs.lo),
+            AluOp::Div => a.lo / rhs.lo,
+            AluOp::And => a.lo & rhs.lo,
+            AluOp::Or => a.lo | rhs.lo,
+            AluOp::Xor => a.lo ^ rhs.lo,
+            AluOp::Lsh => a.lo.wrapping_shl(rhs.lo),
+            AluOp::Rsh => a.lo.wrapping_shr(rhs.lo),
+        };
+        return AbsVal::constant(v);
+    }
+    let mut out = AbsVal::top();
+    out.taint = a.taint.union(rhs.taint);
+    match op {
+        AluOp::Add => {
+            if let (Some(lo), Some(hi)) = (a.lo.checked_add(rhs.lo), a.hi.checked_add(rhs.hi)) {
+                out.lo = lo;
+                out.hi = hi;
+            }
+            out.taint = a.taint.union(rhs.taint).prefix();
+        }
+        AluOp::Sub => {
+            if a.lo >= rhs.hi {
+                out.lo = a.lo - rhs.hi;
+                out.hi = a.hi - rhs.lo;
+            }
+            out.taint = a.taint.union(rhs.taint).prefix();
+        }
+        AluOp::Mul => {
+            if let Some(hi) = a.hi.checked_mul(rhs.hi) {
+                out.lo = a.lo.wrapping_mul(rhs.lo);
+                out.hi = hi;
+            }
+            out.taint = if rhs.is_const() {
+                a.taint.prefix()
+            } else {
+                a.taint.union(rhs.taint).spread()
+            };
+        }
+        AluOp::Div => {
+            // rhs == 0 faults at run time; the caller handles that. For
+            // the value domain, divide by the smallest possible nonzero
+            // divisor for the high bound.
+            let div_lo = rhs.lo.max(1);
+            out.lo = a.lo / rhs.hi.max(1);
+            out.hi = a.hi / div_lo;
+            out.taint = a.taint.union(rhs.taint).spread();
+        }
+        AluOp::And => {
+            out.kmask = (a.kmask & rhs.kmask)
+                | (a.kmask & !a.kval)
+                | (rhs.kmask & !rhs.kval);
+            out.kval = a.kval & rhs.kval;
+            out.hi = a.hi.min(rhs.hi);
+        }
+        AluOp::Or => {
+            out.kmask =
+                (a.kmask & rhs.kmask) | (a.kmask & a.kval) | (rhs.kmask & rhs.kval);
+            out.kval = (a.kval | rhs.kval) & out.kmask;
+            out.lo = a.lo.max(rhs.lo);
+            let bits = bit_len(a.hi).max(bit_len(rhs.hi));
+            out.hi = if bits >= 32 { u32::MAX } else { (1 << bits) - 1 };
+        }
+        AluOp::Xor => {
+            out.kmask = a.kmask & rhs.kmask;
+            out.kval = (a.kval ^ rhs.kval) & out.kmask;
+            let bits = bit_len(a.hi).max(bit_len(rhs.hi));
+            out.hi = if bits >= 32 { u32::MAX } else { (1 << bits) - 1 };
+        }
+        AluOp::Lsh => {
+            if rhs.is_const() {
+                // Constant shifts < 32 are enforced by the validator.
+                let k = rhs.lo;
+                out.kmask = (a.kmask << k) | ((1u32 << k) - 1);
+                out.kval = a.kval << k;
+                if a.hi <= u32::MAX >> k {
+                    out.lo = a.lo << k;
+                    out.hi = a.hi << k;
+                }
+                out.taint = if k.is_multiple_of(8) {
+                    let s = (k / 8) as usize;
+                    let mut t = [0; 4];
+                    t[s..4].copy_from_slice(&a.taint.0[..4 - s]);
+                    Taint(t)
+                } else {
+                    a.taint.prefix()
+                };
+            } else {
+                // The VM masks variable shifts mod 32 (`wrapping_shl`).
+                out.taint = a.taint.union(rhs.taint).spread();
+            }
+        }
+        AluOp::Rsh => {
+            if rhs.is_const() {
+                let k = rhs.lo;
+                out.kmask = (a.kmask >> k) | !(u32::MAX >> k);
+                out.kval = a.kval >> k;
+                out.lo = a.lo >> k;
+                out.hi = a.hi >> k;
+                out.taint = if k.is_multiple_of(8) {
+                    let s = (k / 8) as usize;
+                    let mut t = [0; 4];
+                    t[..4 - s].copy_from_slice(&a.taint.0[s..4]);
+                    Taint(t)
+                } else {
+                    a.taint.suffix()
+                };
+            } else {
+                out.taint = a.taint.union(rhs.taint).spread();
+            }
+        }
+    }
+    let ok = out.canonicalize();
+    debug_assert!(ok, "ALU transfer of feasible inputs is feasible");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Branch evaluation and refinement.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Maybe,
+}
+
+fn eval_cond(cond: Cond, a: &AbsVal, rhs: &AbsVal) -> Tri {
+    match cond {
+        Cond::Jeq => {
+            if a.is_const() && rhs.is_const() && a.lo == rhs.lo {
+                Tri::True
+            } else if a.hi < rhs.lo
+                || a.lo > rhs.hi
+                || (a.kmask & rhs.kmask) & (a.kval ^ rhs.kval) != 0
+            {
+                Tri::False
+            } else {
+                Tri::Maybe
+            }
+        }
+        Cond::Jgt => {
+            if a.lo > rhs.hi {
+                Tri::True
+            } else if a.hi <= rhs.lo {
+                Tri::False
+            } else {
+                Tri::Maybe
+            }
+        }
+        Cond::Jge => {
+            if a.lo >= rhs.hi {
+                Tri::True
+            } else if a.hi < rhs.lo {
+                Tri::False
+            } else {
+                Tri::Maybe
+            }
+        }
+        Cond::Jset => {
+            if a.kval & rhs.kval != 0 {
+                Tri::True
+            } else if a.possible_ones() & rhs.possible_ones() == 0 {
+                Tri::False
+            } else {
+                Tri::Maybe
+            }
+        }
+    }
+}
+
+/// Refines `a` along one edge of a conditional against a *constant* `k`.
+/// Returns `None` if the refinement is contradictory (the edge is dead
+/// even though plain evaluation could not decide the branch).
+fn refine(cond: Cond, a: &AbsVal, k: u32, taken: bool) -> Option<AbsVal> {
+    let mut v = *a;
+    match (cond, taken) {
+        (Cond::Jeq, true) => {
+            // On this path A is exactly k; its bytes are no longer
+            // input-dependent (path dependence is control taint).
+            v = AbsVal::constant(k);
+        }
+        (Cond::Jeq, false) => {
+            if k == v.lo && k < u32::MAX {
+                v.lo = k + 1;
+            }
+            if k == v.hi && k > 0 {
+                v.hi = k - 1;
+            }
+        }
+        (Cond::Jgt, true) => v.lo = v.lo.max(k.checked_add(1)?),
+        (Cond::Jgt, false) => v.hi = v.hi.min(k),
+        (Cond::Jge, true) => v.lo = v.lo.max(k),
+        (Cond::Jge, false) => v.hi = v.hi.min(k.checked_sub(1)?),
+        (Cond::Jset, true) => {}
+        (Cond::Jset, false) => {
+            // A & k == 0: every bit of k is known zero in A.
+            if v.kmask & k & v.kval != 0 {
+                return None;
+            }
+            v.kmask |= k;
+            v.kval &= !k;
+        }
+    }
+    v.canonicalize().then_some(v)
+}
+
+// ---------------------------------------------------------------------
+// The machine state and the DAG pass.
+// ---------------------------------------------------------------------
+
+/// Scratch memory, lazily materialized: `None` means all sixteen slots
+/// still hold their VM-initialized constant zero. Compiled whitelists
+/// never touch scratch, so their states stay two registers wide.
+#[derive(Clone, Debug)]
+struct Mem(Option<Box<[AbsVal; MEMWORDS]>>);
+
+impl Mem {
+    fn get(&self, i: usize) -> AbsVal {
+        match &self.0 {
+            Some(slots) => slots[i],
+            None => AbsVal::constant(0),
+        }
+    }
+
+    fn set(&mut self, i: usize, v: AbsVal) {
+        self.0
+            .get_or_insert_with(|| Box::new([AbsVal::constant(0); MEMWORDS]))[i] = v;
+    }
+
+    fn join(&mut self, other: &Mem) {
+        match (&mut self.0, &other.0) {
+            (None, None) => {}
+            _ => {
+                let slots = self
+                    .0
+                    .get_or_insert_with(|| Box::new([AbsVal::constant(0); MEMWORDS]));
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    slot.join(&other.get(i));
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct State {
+    a: AbsVal,
+    x: AbsVal,
+    mem: Mem,
+    /// Input bytes that influenced which path reached this point.
+    ctrl: ByteSet,
+}
+
+impl State {
+    fn entry() -> State {
+        State {
+            a: AbsVal::constant(0),
+            x: AbsVal::constant(0),
+            mem: Mem(None),
+            ctrl: 0,
+        }
+    }
+
+    fn join(&mut self, other: &State) {
+        self.a.join(&other.a);
+        self.x.join(&other.x);
+        self.mem.join(&other.mem);
+        self.ctrl |= other.ctrl;
+    }
+}
+
+/// Everything one abstract pass learns about a program.
+#[derive(Clone, Debug)]
+struct PassFacts {
+    /// Abstractly reachable instructions.
+    reached: Vec<bool>,
+    /// Per conditional: was the taken / fall-through edge ever live?
+    jt_live: Vec<bool>,
+    jf_live: Vec<bool>,
+    /// Distinct constant return actions observed.
+    actions: Vec<SeccompAction>,
+    /// A `RetA` with a non-constant accumulator was reachable.
+    unknown_ret: bool,
+    /// Union over reachable returns of control + returned-value taint.
+    decision_taint: ByteSet,
+    /// Instructions where a division by a possibly-zero `X` is reachable.
+    div_faults: Vec<usize>,
+    /// `Jeq` comparisons of the `nr` word against a constant (for the
+    /// out-of-range lint): `(insn index, constant)`.
+    nr_eq_cmps: Vec<(usize, u32)>,
+}
+
+/// Runs the one-pass DAG analysis under `cfg`.
+fn run_pass(program: &Program, cfg: &AnalysisConfig) -> PassFacts {
+    let insns = program.insns();
+    let n = insns.len();
+    let mut states: Vec<Option<State>> = vec![None; n];
+    states[0] = Some(State::entry());
+    let mut facts = PassFacts {
+        reached: vec![false; n],
+        jt_live: vec![false; n],
+        jf_live: vec![false; n],
+        actions: Vec::new(),
+        unknown_ret: false,
+        decision_taint: 0,
+        div_faults: Vec::new(),
+        nr_eq_cmps: Vec::new(),
+    };
+
+    for at in 0..n {
+        // Take (don't clone) this instruction's state; successors are
+        // strictly later, so it is never needed again.
+        let Some(mut st) = states[at].take() else {
+            continue;
+        };
+        facts.reached[at] = true;
+        let seed = |states: &mut Vec<Option<State>>, target: usize, st: State| {
+            match &mut states[target] {
+                Some(existing) => existing.join(&st),
+                slot @ None => *slot = Some(st),
+            }
+        };
+        match insns[at] {
+            Insn::LdAbs(off) => {
+                st.a = match off {
+                    0 if cfg.nr.is_some() => AbsVal {
+                        field: Some(0),
+                        ..AbsVal::constant(cfg.nr.unwrap())
+                    },
+                    4 if cfg.arch.is_some() => AbsVal {
+                        field: Some(4),
+                        ..AbsVal::constant(cfg.arch.unwrap())
+                    },
+                    _ => AbsVal::load(off),
+                };
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdImm(k) => {
+                st.a = AbsVal::constant(k);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdMem(i) => {
+                st.a = st.mem.get(i as usize);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdLen => {
+                st.a = AbsVal::constant(SECCOMP_DATA_SIZE);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdxImm(k) => {
+                st.x = AbsVal::constant(k);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdxMem(i) => {
+                st.x = st.mem.get(i as usize);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdxLen => {
+                st.x = AbsVal::constant(SECCOMP_DATA_SIZE);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::St(i) => {
+                st.mem.set(i as usize, st.a);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Stx(i) => {
+                st.mem.set(i as usize, st.x);
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Alu(op, src) => {
+                let rhs = match src {
+                    Src::K(k) => AbsVal::constant(k),
+                    Src::X => st.x,
+                };
+                if matches!(op, AluOp::Div) && rhs.lo == 0 {
+                    // rhs is X here: a constant-zero divisor is rejected
+                    // at validation. The fault path contributes no
+                    // state; the non-fault path knows X != 0.
+                    facts.div_faults.push(at);
+                }
+                st.a = alu_transfer(op, &st.a, &rhs);
+                if matches!(op, AluOp::Div | AluOp::Mul) || matches!(src, Src::X) {
+                    st.a.field = None;
+                } else {
+                    // Ld field symbolism survives only the identity ops.
+                    let identity = matches!(
+                        (op, src),
+                        (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor, Src::K(0))
+                            | (AluOp::Lsh | AluOp::Rsh, Src::K(0))
+                    );
+                    if !identity {
+                        st.a.field = None;
+                    }
+                }
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Neg => {
+                st.a = if st.a.is_const() {
+                    AbsVal::constant(st.a.lo.wrapping_neg())
+                } else {
+                    AbsVal {
+                        taint: st.a.taint.prefix(),
+                        ..AbsVal::top()
+                    }
+                };
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Ja(off) => {
+                seed(&mut states, at + 1 + off as usize, st);
+            }
+            Insn::Jmp { cond, src, jt, jf } => {
+                let rhs = match src {
+                    Src::K(k) => AbsVal::constant(k),
+                    Src::X => st.x,
+                };
+                if cond == Cond::Jeq && st.a.field == Some(0) && rhs.is_const() {
+                    facts.nr_eq_cmps.push((at, rhs.lo));
+                }
+                let verdict = eval_cond(cond, &st.a, &rhs);
+                let cond_taint = st.a.taint.all() | rhs.taint.all();
+                let t_target = at + 1 + jt as usize;
+                let f_target = at + 1 + jf as usize;
+                for (taken, target, live) in [
+                    (true, t_target, &mut facts.jt_live[at]),
+                    (false, f_target, &mut facts.jf_live[at]),
+                ] {
+                    let ruled_out = match verdict {
+                        Tri::True => !taken,
+                        Tri::False => taken,
+                        Tri::Maybe => false,
+                    };
+                    if ruled_out {
+                        continue;
+                    }
+                    let mut edge = st.clone();
+                    if verdict == Tri::Maybe {
+                        // The branch direction leaks the operands.
+                        edge.ctrl |= cond_taint;
+                    }
+                    if rhs.is_const() {
+                        match refine(cond, &st.a, rhs.lo, taken) {
+                            Some(refined) => edge.a = refined,
+                            None => continue, // contradictory: edge dead
+                        }
+                    }
+                    *live = true;
+                    seed(&mut states, target, edge);
+                }
+            }
+            Insn::RetK(k) => {
+                let action = SeccompAction::decode(k);
+                if !facts.actions.contains(&action) {
+                    facts.actions.push(action);
+                }
+                facts.decision_taint |= st.ctrl;
+            }
+            Insn::RetA => {
+                if st.a.is_const() {
+                    let action = SeccompAction::decode(st.a.lo);
+                    if !facts.actions.contains(&action) {
+                        facts.actions.push(action);
+                    }
+                } else {
+                    facts.unknown_ret = true;
+                }
+                facts.decision_taint |= st.ctrl | st.a.taint.all();
+            }
+            Insn::Tax => {
+                st.x = st.a;
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Txa => {
+                st.a = st.x;
+                seed(&mut states, at + 1, st);
+            }
+        }
+    }
+    facts
+}
+
+impl PassFacts {
+    /// Argument bytes of the decision taint, as an SPT mask.
+    fn arg_mask(&self) -> ArgBitmask {
+        ArgBitmask::from_raw((self.decision_taint >> ARG_BYTE_BASE) & FULL_ARG_MASK)
+    }
+
+    fn ip_dependent(&self) -> bool {
+        self.decision_taint & IP_BYTES != 0
+    }
+
+    fn classify(&self) -> SyscallVerdict {
+        let may_fault = !self.div_faults.is_empty();
+        if may_fault {
+            // A reachable fault is not a cacheable decision: degrade to
+            // the fully conservative answer.
+            return SyscallVerdict {
+                verdict: Verdict::ArgDependent,
+                mask: ArgBitmask::from_raw(FULL_ARG_MASK),
+                ip_dependent: true,
+                may_fault,
+            };
+        }
+        let ip_dependent = self.ip_dependent();
+        if !self.unknown_ret {
+            if let [action] = self.actions[..] {
+                let verdict = if action == SeccompAction::Allow {
+                    Verdict::AlwaysAllow
+                } else {
+                    Verdict::AlwaysDeny(action)
+                };
+                return SyscallVerdict {
+                    verdict,
+                    mask: ArgBitmask::EMPTY,
+                    ip_dependent,
+                    may_fault,
+                };
+            }
+        }
+        SyscallVerdict {
+            verdict: Verdict::ArgDependent,
+            mask: self.arg_mask(),
+            ip_dependent,
+            may_fault,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------
+
+/// Classifies the filter's decision for one syscall number, with the
+/// architecture word pinned to [`crate::AUDIT_ARCH_X86_64`] (the only
+/// architecture the checker's `SeccompData` constructors produce).
+pub fn analyze_syscall(program: &Program, nr: u32) -> SyscallVerdict {
+    let cfg = AnalysisConfig {
+        nr: Some(nr),
+        arch: Some(crate::AUDIT_ARCH_X86_64),
+    };
+    run_pass(program, &cfg).classify()
+}
+
+/// Classifies the decision under an explicit configuration.
+pub fn analyze_with(program: &Program, cfg: &AnalysisConfig) -> SyscallVerdict {
+    run_pass(program, cfg).classify()
+}
+
+/// Conditional branches proven one-sided for every input (nothing
+/// pinned), for [`crate::optimize_analyzed`]'s dead-branch rewriting.
+pub fn resolved_branches(program: &Program) -> Vec<ResolvedBranch> {
+    let facts = run_pass(program, &AnalysisConfig::default());
+    let mut out = Vec::new();
+    for (at, insn) in program.insns().iter().enumerate() {
+        if !facts.reached[at] || !matches!(insn, Insn::Jmp { .. }) {
+            continue;
+        }
+        match (facts.jt_live[at], facts.jf_live[at]) {
+            (true, false) => out.push(ResolvedBranch { at, taken: true }),
+            (false, true) => out.push(ResolvedBranch { at, taken: false }),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Jump-graph reachability (exactly what `optimize`'s DCE uses).
+fn graph_reachable(insns: &[Insn]) -> Vec<bool> {
+    let mut reachable = vec![false; insns.len()];
+    let mut stack = vec![0usize];
+    while let Some(at) = stack.pop() {
+        if at >= insns.len() || reachable[at] {
+            continue;
+        }
+        reachable[at] = true;
+        match insns[at] {
+            Insn::Ja(off) => stack.push(at + 1 + off as usize),
+            Insn::Jmp { jt, jf, .. } => {
+                stack.push(at + 1 + jt as usize);
+                stack.push(at + 1 + jf as usize);
+            }
+            Insn::RetK(_) | Insn::RetA => {}
+            _ => stack.push(at + 1),
+        }
+    }
+    reachable
+}
+
+/// Backward liveness of `A` over the DAG; returns, per instruction, the
+/// set of `LdAbs` whose loaded value is dead on every path.
+fn dead_loads(insns: &[Insn], reached: &[bool]) -> Vec<usize> {
+    const A: u32 = 1;
+    const X: u32 = 2;
+    let mem_bit = |i: u32| 4u32 << i;
+    let n = insns.len();
+    // live[at] = registers/slots live on entry to `at`.
+    let mut live = vec![0u32; n + 1];
+    let mut dead = Vec::new();
+    for at in (0..n).rev() {
+        let succ = |off: usize| live[(at + 1 + off).min(n)];
+        let out = match insns[at] {
+            Insn::Ja(off) => succ(off as usize),
+            Insn::Jmp { jt, jf, .. } => succ(jt as usize) | succ(jf as usize),
+            Insn::RetK(_) | Insn::RetA => 0,
+            _ => succ(0),
+        };
+        live[at] = match insns[at] {
+            Insn::LdAbs(off) => {
+                if reached[at] && out & A == 0 {
+                    dead.push(at);
+                    let _ = off;
+                }
+                out & !A
+            }
+            Insn::LdImm(_) | Insn::LdLen => out & !A,
+            Insn::LdMem(i) => (out & !A) | mem_bit(i),
+            Insn::LdxImm(_) | Insn::LdxLen => out & !X,
+            Insn::LdxMem(i) => (out & !X) | mem_bit(i),
+            Insn::St(i) => (out & !mem_bit(i)) | A,
+            Insn::Stx(i) => (out & !mem_bit(i)) | X,
+            Insn::Alu(_, Src::X) => out | A | X,
+            Insn::Alu(_, Src::K(_)) | Insn::Neg => out | A,
+            Insn::Ja(_) => out,
+            Insn::Jmp { src: Src::X, .. } => out | A | X,
+            Insn::Jmp { .. } => out | A,
+            Insn::RetK(_) => 0,
+            Insn::RetA => A,
+            Insn::Tax => (out & !X) | A,
+            Insn::Txa => (out & !A) | X,
+        };
+    }
+    dead.reverse();
+    dead
+}
+
+/// Lints a program with nothing pinned, so every finding holds for all
+/// inputs. `table_capacity` (highest syscall number + 1) powers the
+/// out-of-range comparison lint; pass 0 to disable it.
+pub fn lint_program(program: &Program, table_capacity: u32) -> Vec<Lint> {
+    let insns = program.insns();
+    let facts = run_pass(program, &AnalysisConfig::default());
+    let graph = graph_reachable(insns);
+    let mut lints = Vec::new();
+    for (at, insn) in insns.iter().enumerate() {
+        if graph[at] && !facts.reached[at] {
+            lints.push(Lint {
+                at,
+                kind: LintKind::UnreachableCode,
+            });
+            continue;
+        }
+        if facts.reached[at] && matches!(insn, Insn::Jmp { .. }) {
+            match (facts.jt_live[at], facts.jf_live[at]) {
+                (true, false) => lints.push(Lint {
+                    at,
+                    kind: LintKind::DeadBranch { taken: true },
+                }),
+                (false, true) => lints.push(Lint {
+                    at,
+                    kind: LintKind::DeadBranch { taken: false },
+                }),
+                _ => {}
+            }
+        }
+    }
+    if table_capacity > 0 {
+        for &(at, value) in &facts.nr_eq_cmps {
+            if value >= table_capacity {
+                lints.push(Lint {
+                    at,
+                    kind: LintKind::OutOfRangeSyscallCmp {
+                        value,
+                        capacity: table_capacity,
+                    },
+                });
+            }
+        }
+    }
+    for at in dead_loads(insns, &facts.reached) {
+        let Insn::LdAbs(offset) = insns[at] else {
+            unreachable!("dead_loads only reports LdAbs")
+        };
+        lints.push(Lint {
+            at,
+            kind: LintKind::DeadLoad { offset },
+        });
+    }
+    for &at in &facts.div_faults {
+        lints.push(Lint {
+            at,
+            kind: LintKind::PossibleDivFault,
+        });
+    }
+    if facts.ip_dependent() {
+        // Anchor the finding to the first instruction-pointer load.
+        let at = insns
+            .iter()
+            .position(|i| matches!(i, Insn::LdAbs(8) | Insn::LdAbs(12)))
+            .unwrap_or(0);
+        lints.push(Lint {
+            at,
+            kind: LintKind::IpDependentDecision,
+        });
+    }
+    lints.sort_by_key(|l| l.at);
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interpreter, ProgramBuilder, SeccompData};
+
+    fn prog(insns: Vec<Insn>) -> Program {
+        Program::new(insns).expect("valid program")
+    }
+
+    fn jeq(k: u32, jt: u8, jf: u8) -> Insn {
+        Insn::Jmp {
+            cond: Cond::Jeq,
+            src: Src::K(k),
+            jt,
+            jf,
+        }
+    }
+
+    const ALLOW: u32 = 0x7fff_0000;
+    const KILL: u32 = 0x8000_0000;
+
+    #[test]
+    fn constant_allow_is_always_allow() {
+        let p = prog(vec![Insn::RetK(ALLOW)]);
+        let v = analyze_syscall(&p, 39);
+        assert_eq!(v.verdict, Verdict::AlwaysAllow);
+        assert_eq!(v.mask, ArgBitmask::EMPTY);
+        assert!(!v.ip_dependent && !v.may_fault);
+    }
+
+    #[test]
+    fn nr_whitelist_resolves_per_syscall() {
+        // allow getpid(39), kill everything else.
+        let p = prog(vec![
+            Insn::LdAbs(0),
+            jeq(39, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        assert_eq!(analyze_syscall(&p, 39).verdict, Verdict::AlwaysAllow);
+        assert_eq!(
+            analyze_syscall(&p, 40).verdict,
+            Verdict::AlwaysDeny(SeccompAction::KillProcess)
+        );
+    }
+
+    #[test]
+    fn arg_compare_yields_exact_byte_mask() {
+        // allow iff arg0's low word == 0xffff_ffff.
+        let p = prog(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            jeq(0xffff_ffff, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let v = analyze_syscall(&p, 135);
+        assert_eq!(v.verdict, Verdict::ArgDependent);
+        assert_eq!(v.mask, ArgBitmask::from_raw(0xf), "arg0 bytes 0..4");
+    }
+
+    #[test]
+    fn and_mask_discharges_untested_bytes() {
+        // Compare only byte 1 of arg2's low word.
+        let p = prog(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(2)),
+            Insn::Alu(AluOp::And, Src::K(0x0000_ff00)),
+            jeq(0x1200, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let v = analyze_syscall(&p, 1);
+        assert_eq!(v.verdict, Verdict::ArgDependent);
+        // arg2 byte 1 = bitmask bit 2*8 + 1.
+        assert_eq!(v.mask, ArgBitmask::from_raw(1 << 17));
+    }
+
+    #[test]
+    fn arch_guard_is_resolved_in_verdict_runs() {
+        let p = prog(vec![
+            Insn::LdAbs(4),
+            jeq(crate::AUDIT_ARCH_X86_64, 1, 0),
+            Insn::RetK(KILL),
+            Insn::LdAbs(0),
+            jeq(0, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        assert_eq!(analyze_syscall(&p, 0).verdict, Verdict::AlwaysAllow);
+        // ...but stays open in the unpinned lint run: no dead branches.
+        assert!(lint_program(&p, 0).is_empty());
+    }
+
+    #[test]
+    fn ip_dependence_is_flagged() {
+        let p = prog(vec![
+            Insn::LdAbs(8),
+            jeq(0x1234, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let v = analyze_syscall(&p, 0);
+        assert!(v.ip_dependent);
+        let lints = lint_program(&p, 0);
+        assert!(lints
+            .iter()
+            .any(|l| l.kind == LintKind::IpDependentDecision && l.at == 0));
+    }
+
+    #[test]
+    fn reta_of_loaded_word_is_conservative() {
+        let p = prog(vec![Insn::LdAbs(SeccompData::off_arg_lo(0)), Insn::RetA]);
+        let v = analyze_syscall(&p, 0);
+        assert_eq!(v.verdict, Verdict::ArgDependent);
+        assert_eq!(v.mask, ArgBitmask::from_raw(0xf));
+    }
+
+    #[test]
+    fn reta_of_constant_classifies() {
+        let p = prog(vec![Insn::LdImm(ALLOW), Insn::RetA]);
+        assert_eq!(analyze_syscall(&p, 0).verdict, Verdict::AlwaysAllow);
+    }
+
+    #[test]
+    fn possible_div_fault_degrades() {
+        let p = prog(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            Insn::Tax,
+            Insn::LdImm(100),
+            Insn::Alu(AluOp::Div, Src::X),
+            Insn::RetA,
+        ]);
+        let v = analyze_syscall(&p, 0);
+        assert!(v.may_fault);
+        assert_eq!(v.verdict, Verdict::ArgDependent);
+        assert_eq!(v.mask, ArgBitmask::from_raw(FULL_ARG_MASK));
+        assert!(lint_program(&p, 0)
+            .iter()
+            .any(|l| l.kind == LintKind::PossibleDivFault));
+    }
+
+    #[test]
+    fn div_by_nonzero_x_is_clean() {
+        let p = prog(vec![
+            Insn::LdxImm(16),
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            Insn::Alu(AluOp::Div, Src::X),
+            jeq(0, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let v = analyze_syscall(&p, 0);
+        assert!(!v.may_fault);
+        assert!(!lint_program(&p, 0)
+            .iter()
+            .any(|l| l.kind == LintKind::PossibleDivFault));
+    }
+
+    #[test]
+    fn dead_branch_after_prior_comparison() {
+        // Second test of the same loaded word can never differ.
+        let p = prog(vec![
+            Insn::LdAbs(0),
+            jeq(39, 0, 3), // != 39 → ret kill at 5
+            jeq(40, 0, 1), // A == 39 here: never taken
+            Insn::RetK(ALLOW),
+            Insn::RetK(0xdead_0000),
+            Insn::RetK(KILL),
+        ]);
+        let lints = lint_program(&p, 0);
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.at == 2 && l.kind == LintKind::DeadBranch { taken: false }),
+            "{lints:?}"
+        );
+        // Its taken-target became infeasible too.
+        assert!(lints
+            .iter()
+            .any(|l| l.at == 3 && l.kind == LintKind::UnreachableCode));
+    }
+
+    #[test]
+    fn jset_false_edge_proves_bits_zero() {
+        let p = prog(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(1)),
+            Insn::Jmp {
+                cond: Cond::Jset,
+                src: Src::K(0xff),
+                jt: 2,
+                jf: 0,
+            },
+            // A & 0xff == 0 here; testing equality to 7 is dead.
+            jeq(7, 0, 1),
+            Insn::RetK(KILL),
+            Insn::RetK(ALLOW),
+        ]);
+        let lints = lint_program(&p, 0);
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.at == 2 && l.kind == LintKind::DeadBranch { taken: false }),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_syscall_cmp_lints() {
+        let p = prog(vec![
+            Insn::LdAbs(0),
+            jeq(5000, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let lints = lint_program(&p, 436);
+        assert!(lints.iter().any(|l| l.at == 1
+            && l.kind
+                == LintKind::OutOfRangeSyscallCmp {
+                    value: 5000,
+                    capacity: 436
+                }));
+        // Range guards (jgt/jge) against large constants are not linted.
+        let p = prog(vec![
+            Insn::LdAbs(0),
+            Insn::Jmp {
+                cond: Cond::Jge,
+                src: Src::K(0x4000_0000),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(KILL),
+            Insn::RetK(ALLOW),
+        ]);
+        assert!(!lint_program(&p, 436)
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::OutOfRangeSyscallCmp { .. })));
+    }
+
+    #[test]
+    fn dead_load_is_reported() {
+        let p = prog(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(3)), // dead: overwritten
+            Insn::LdAbs(0),
+            jeq(1, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let lints = lint_program(&p, 0);
+        assert!(lints
+            .iter()
+            .any(|l| l.at == 0 && l.kind == LintKind::DeadLoad { offset: 40 }));
+        assert!(
+            !lints
+                .iter()
+                .any(|l| l.at == 1 && matches!(l.kind, LintKind::DeadLoad { .. })),
+            "the used load is live"
+        );
+    }
+
+    #[test]
+    fn scratch_memory_is_tracked() {
+        // Store the arg word, reload it, compare: mask must survive.
+        let p = prog(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            Insn::St(3),
+            Insn::LdImm(0),
+            Insn::LdMem(3),
+            jeq(42, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let v = analyze_syscall(&p, 0);
+        assert_eq!(v.verdict, Verdict::ArgDependent);
+        assert_eq!(v.mask, ArgBitmask::from_raw(0xf));
+    }
+
+    #[test]
+    fn resolved_branches_are_input_independent() {
+        let p = prog(vec![
+            Insn::LdImm(7),
+            jeq(7, 0, 1), // always taken
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let resolved = resolved_branches(&p);
+        assert_eq!(
+            resolved,
+            vec![ResolvedBranch { at: 1, taken: true }]
+        );
+        // An input-dependent branch is never reported.
+        let p = prog(vec![
+            Insn::LdAbs(0),
+            jeq(7, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        assert!(resolved_branches(&p).is_empty());
+    }
+
+    #[test]
+    fn builder_whitelist_has_no_lints() {
+        let mut b = ProgramBuilder::new();
+        b.load_nr();
+        for nr in [0u32, 1, 39, 231] {
+            let next = format!("n{nr}");
+            b.jeq_imm(nr, "allow", next.clone());
+            b.label(next);
+        }
+        b.goto("deny");
+        b.label("allow");
+        b.ret_action(SeccompAction::Allow);
+        b.label("deny");
+        b.ret_action(SeccompAction::KillProcess);
+        let p = b.build().unwrap();
+        assert_eq!(lint_program(&p, 436), Vec::new());
+        assert_eq!(analyze_syscall(&p, 39).verdict, Verdict::AlwaysAllow);
+        assert_eq!(
+            analyze_syscall(&p, 2).verdict,
+            Verdict::AlwaysDeny(SeccompAction::KillProcess)
+        );
+    }
+
+    #[test]
+    fn verdicts_agree_with_vm_on_handwritten_filter(){
+        // Paper Fig. 1's personality filter shape.
+        let p = prog(vec![
+            Insn::LdAbs(0),
+            jeq(135, 0, 4),
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            jeq(0xffff_ffff, 1, 0),
+            jeq(0x0002_0008, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        for nr in [0u32, 135, 200] {
+            let v = analyze_syscall(&p, nr);
+            for arg0 in [0u64, 0xffff_ffff, 0x20008, 7] {
+                let data = SeccompData::for_syscall(nr as i32, &[arg0, 0, 0, 0, 0, 0]);
+                let out = Interpreter::new(&p).run(&data).unwrap();
+                match v.verdict {
+                    Verdict::AlwaysAllow => assert_eq!(out.action, SeccompAction::Allow),
+                    Verdict::AlwaysDeny(a) => assert_eq!(out.action, a),
+                    Verdict::ArgDependent => {}
+                }
+            }
+        }
+        let v = analyze_syscall(&p, 135);
+        assert_eq!(v.verdict, Verdict::ArgDependent);
+        assert_eq!(v.mask, ArgBitmask::from_raw(0xf));
+    }
+
+    #[test]
+    fn lint_display_is_readable() {
+        let lint = Lint {
+            at: 3,
+            kind: LintKind::DeadBranch { taken: true },
+        };
+        assert_eq!(lint.to_string(), "warning: insn 3 is always taken");
+        let lint = Lint {
+            at: 9,
+            kind: LintKind::PossibleDivFault,
+        };
+        assert!(lint.to_string().starts_with("error:"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{Interpreter, SeccompData};
+    use proptest::prelude::*;
+
+    fn arb_alu() -> impl Strategy<Value = AluOp> {
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::Mul),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+        ]
+    }
+
+    fn arb_cond() -> impl Strategy<Value = Cond> {
+        prop_oneof![
+            Just(Cond::Jeq),
+            Just(Cond::Jgt),
+            Just(Cond::Jge),
+            Just(Cond::Jset)
+        ]
+    }
+
+    /// Constants biased toward byte masks and compare values real
+    /// filters use, so branches are sometimes decidable.
+    fn arb_k() -> impl Strategy<Value = u32> {
+        prop_oneof![
+            0u32..8,
+            Just(0xff),
+            Just(0xff00),
+            Just(0xffff_ffff),
+            any::<u32>()
+        ]
+    }
+
+    /// Generator biased toward decision-relevant filters: loads of real
+    /// fields, masked compares, arithmetic, scratch traffic. Division is
+    /// K-only so the VM cannot fault (fault conservatism has its own
+    /// unit test).
+    fn arb_insn() -> impl Strategy<Value = Insn> {
+        prop_oneof![
+            (0u32..16).prop_map(|w| Insn::LdAbs(w * 4)),
+            arb_k().prop_map(Insn::LdImm),
+            (0u32..4).prop_map(Insn::LdMem),
+            (0u32..4).prop_map(Insn::St),
+            arb_k().prop_map(Insn::LdxImm),
+            Just(Insn::Tax),
+            Just(Insn::Txa),
+            Just(Insn::Neg),
+            (arb_alu(), arb_k()).prop_map(|(op, k)| Insn::Alu(op, Src::K(k))),
+            arb_alu().prop_map(|op| Insn::Alu(op, Src::X)),
+            (1u32..32).prop_map(|k| Insn::Alu(AluOp::Div, Src::K(k))),
+            (0u32..31).prop_map(|k| Insn::Alu(AluOp::Lsh, Src::K(k))),
+            (0u32..31).prop_map(|k| Insn::Alu(AluOp::Rsh, Src::K(k))),
+            (0u32..6).prop_map(Insn::Ja),
+            (arb_cond(), arb_k(), 0u8..6, 0u8..6).prop_map(|(cond, k, jt, jf)| Insn::Jmp {
+                cond,
+                src: Src::K(k),
+                jt,
+                jf,
+            }),
+            (arb_cond(), 0u8..6, 0u8..6).prop_map(|(cond, jt, jf)| Insn::Jmp {
+                cond,
+                src: Src::X,
+                jt,
+                jf,
+            }),
+            (0u32..3).prop_map(|k| Insn::RetK(k * 0x7fff_0000)),
+        ]
+    }
+
+    fn arb_program() -> impl Strategy<Value = Program> {
+        proptest::collection::vec(arb_insn(), 1..24).prop_map(|mut body| {
+            let len = body.len();
+            for (i, insn) in body.iter_mut().enumerate() {
+                let room = len - i;
+                match insn {
+                    Insn::Ja(off) => *off %= room as u32,
+                    Insn::Jmp { jt, jf, .. } => {
+                        *jt %= room.min(255) as u8;
+                        *jf %= room.min(255) as u8;
+                    }
+                    _ => {}
+                }
+            }
+            body.push(Insn::RetA);
+            Program::new(body).expect("constructed valid")
+        })
+    }
+
+    fn arb_args() -> impl Strategy<Value = [u64; 6]> {
+        proptest::array::uniform6(prop_oneof![
+            0u64..8,
+            Just(0xffu64),
+            Just(0xffff_ffffu64),
+            any::<u64>()
+        ])
+    }
+
+    proptest! {
+        /// The differential statement of the ISSUE: (1) every concrete
+        /// execution's action falls in the analyzer's verdict class, and
+        /// (2) flipping any argument byte *outside* the derived mask
+        /// never changes the decision.
+        #[test]
+        fn verdict_and_mask_are_sound(
+            prog in arb_program(),
+            nr in 0u32..440,
+            args in arb_args(),
+            flip_bit in 0usize..48,
+        ) {
+            let v = analyze_syscall(&prog, nr);
+            let data = SeccompData::for_syscall(nr as i32, &args);
+            let out = Interpreter::new(&prog).run(&data);
+            if v.may_fault {
+                // Fault conservatism: nothing to check (mask is full,
+                // verdict is ArgDependent).
+                return Ok(());
+            }
+            let out = out.expect("no reachable fault was derived");
+            match v.verdict {
+                Verdict::AlwaysAllow => {
+                    prop_assert_eq!(out.action, SeccompAction::Allow);
+                    prop_assert_eq!(v.mask, ArgBitmask::EMPTY);
+                }
+                Verdict::AlwaysDeny(a) => {
+                    prop_assert_eq!(out.action, a);
+                    prop_assert_eq!(v.mask, ArgBitmask::EMPTY);
+                }
+                Verdict::ArgDependent => {}
+            }
+            // Mask soundness: an outside-mask byte flip cannot change
+            // the decision (nor the raw return value).
+            if v.mask.raw() & (1 << flip_bit) == 0 {
+                let (arg, byte) = (flip_bit / 8, flip_bit % 8);
+                let mut flipped = args;
+                flipped[arg] ^= 0xff << (8 * byte);
+                let out2 = Interpreter::new(&prog)
+                    .run(&SeccompData::for_syscall(nr as i32, &flipped))
+                    .expect("fault-free filter stays fault-free");
+                prop_assert_eq!(out.raw, out2.raw, "mask {:?}", v.mask);
+            }
+        }
+
+        /// Branches reported as resolved are resolved for every input.
+        #[test]
+        fn resolved_branches_hold_concretely(
+            prog in arb_program(),
+            nr in 0u32..440,
+            args in arb_args(),
+        ) {
+            let resolved = resolved_branches(&prog);
+            if resolved.is_empty() {
+                return Ok(());
+            }
+            // Trace the concrete execution and record branch directions.
+            let insns = prog.insns();
+            let mut pc = 0usize;
+            let mut a = 0u32;
+            let mut x = 0u32;
+            let mut mem = [0u32; MEMWORDS];
+            let data = SeccompData::for_syscall(nr as i32, &args);
+            for _ in 0..insns.len() + 1 {
+                match insns[pc] {
+                    Insn::Jmp { cond, src, jt, jf } => {
+                        let operand = match src { Src::K(k) => k, Src::X => x };
+                        let taken = match cond {
+                            Cond::Jeq => a == operand,
+                            Cond::Jgt => a > operand,
+                            Cond::Jge => a >= operand,
+                            Cond::Jset => a & operand != 0,
+                        };
+                        if let Some(r) = resolved.iter().find(|r| r.at == pc) {
+                            prop_assert_eq!(r.taken, taken, "at {}", pc);
+                        }
+                        pc += 1 + if taken { jt as usize } else { jf as usize };
+                    }
+                    Insn::RetK(_) | Insn::RetA => break,
+                    Insn::Ja(off) => pc += 1 + off as usize,
+                    insn => {
+                        match insn {
+                            Insn::LdAbs(off) => a = data.load_word(off).unwrap(),
+                            Insn::LdImm(k) => a = k,
+                            Insn::LdMem(i) => a = mem[i as usize],
+                            Insn::LdLen => a = SECCOMP_DATA_SIZE,
+                            Insn::LdxImm(k) => x = k,
+                            Insn::LdxMem(i) => x = mem[i as usize],
+                            Insn::LdxLen => x = SECCOMP_DATA_SIZE,
+                            Insn::St(i) => mem[i as usize] = a,
+                            Insn::Stx(i) => mem[i as usize] = x,
+                            Insn::Alu(op, src) => {
+                                let operand = match src { Src::K(k) => k, Src::X => x };
+                                a = match op {
+                                    AluOp::Add => a.wrapping_add(operand),
+                                    AluOp::Sub => a.wrapping_sub(operand),
+                                    AluOp::Mul => a.wrapping_mul(operand),
+                                    AluOp::Div if operand == 0 => return Ok(()),
+                                    AluOp::Div => a / operand,
+                                    AluOp::And => a & operand,
+                                    AluOp::Or => a | operand,
+                                    AluOp::Xor => a ^ operand,
+                                    AluOp::Lsh => a.wrapping_shl(operand),
+                                    AluOp::Rsh => a.wrapping_shr(operand),
+                                };
+                            }
+                            Insn::Neg => a = a.wrapping_neg(),
+                            Insn::Tax => x = a,
+                            Insn::Txa => a = x,
+                            _ => unreachable!(),
+                        }
+                        pc += 1;
+                    }
+                }
+            }
+        }
+    }
+}

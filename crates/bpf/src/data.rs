@@ -72,7 +72,9 @@ impl SeccompData {
     /// Returns `None` for unaligned or out-of-bounds offsets — the same
     /// accesses the kernel validator rejects at load time.
     pub fn load_word(&self, offset: u32) -> Option<u32> {
-        if !offset.is_multiple_of(4) || offset + 4 > SECCOMP_DATA_SIZE {
+        // Subtractive bound: `offset + 4` wraps for offsets near
+        // `u32::MAX`, letting 0xffff_fffc through to the indexing below.
+        if !offset.is_multiple_of(4) || offset > SECCOMP_DATA_SIZE - 4 {
             return None;
         }
         Some(match offset {
@@ -157,6 +159,16 @@ mod tests {
         assert_eq!(d.load_word(64), None);
         assert_eq!(d.load_word(u32::MAX), None);
         assert_eq!(d.load_word(60), Some(0), "last word is in bounds");
+    }
+
+    #[test]
+    fn aligned_wrap_around_offset_is_rejected() {
+        // 0xffff_fffc passes the alignment test and `offset + 4` wraps
+        // to 0; the additive bounds check used to let it through to the
+        // argument-indexing arm, which panicked. It must be `None`.
+        let d = SeccompData::for_syscall(0, &[0; 6]);
+        assert_eq!(d.load_word(u32::MAX - 3), None);
+        assert_eq!(d.load_word(0x8000_0000), None);
     }
 
     #[test]

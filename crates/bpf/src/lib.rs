@@ -15,7 +15,11 @@
 //!   kernel's BPF JIT (2–3× faster than interpretation, paper §IV-A); the
 //!   substitution is documented in `DESIGN.md`;
 //! * [`ProgramBuilder`] — a small assembler with labels, used by
-//!   `draco-profiles` to compile whitelists the way libseccomp does.
+//!   `draco-profiles` to compile whitelists the way libseccomp does;
+//! * [`analysis`] — an abstract-interpretation pass that classifies the
+//!   filter's decision per syscall, derives the exact argument-byte mask
+//!   the decision depends on (paper §V-B), and lints filters for dead or
+//!   hazardous code.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod analysis;
 mod action;
 mod asm;
 mod compiled;
@@ -52,11 +57,12 @@ mod validator;
 mod vm;
 
 pub use action::SeccompAction;
+pub use analysis::{analyze_syscall, lint_program, Lint, LintKind, Severity, SyscallVerdict, Verdict};
 pub use asm::{ProgramBuilder, FALLTHROUGH};
 pub use compiled::CompiledFilter;
 pub use data::{SeccompData, AUDIT_ARCH_X86_64, SECCOMP_DATA_SIZE};
 pub use disasm::disasm;
 pub use insn::{AluOp, Cond, Insn, Program, Src, BPF_MAXINSNS};
-pub use opt::optimize;
+pub use opt::{optimize, optimize_analyzed};
 pub use validator::{validate, BpfError};
 pub use vm::{Interpreter, Outcome};

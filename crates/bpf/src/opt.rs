@@ -128,6 +128,42 @@ pub fn optimize(program: &Program) -> Result<Program, BpfError> {
     Program::new(out)
 }
 
+/// Optimizes with the abstract interpreter's dead-branch facts layered
+/// on top of [`optimize`]'s syntactic passes.
+///
+/// Conditionals [`crate::analysis::resolved_branches`] proves one-sided
+/// for *every* input are rewritten to unconditional jumps, which lets
+/// jump threading and DCE collapse code plain graph reachability cannot
+/// see is dead. Rewriting exposes new facts (and `optimize` itself is
+/// not strictly idempotent — DCE renumbering can mint fresh `ja 0`s), so
+/// the combined pass iterates to a fixed point: the returned program is
+/// unchanged by both `optimize` and another `optimize_analyzed`.
+///
+/// # Errors
+///
+/// As for [`optimize`]: only if re-validation of a rewritten stream
+/// fails, which no reachable rewrite can cause.
+pub fn optimize_analyzed(program: &Program) -> Result<Program, BpfError> {
+    let mut current = optimize(program)?;
+    // Each productive iteration shrinks the program or replaces a
+    // conditional with `ja`; the bound is a safety net, not a limit any
+    // real filter approaches.
+    for _ in 0..64 {
+        let mut insns: Vec<Insn> = current.insns().to_vec();
+        for r in crate::analysis::resolved_branches(&current) {
+            if let Insn::Jmp { jt, jf, .. } = insns[r.at] {
+                insns[r.at] = Insn::Ja(u32::from(if r.taken { jt } else { jf }));
+            }
+        }
+        let next = optimize(&Program::new(insns)?)?;
+        if next.insns() == current.insns() {
+            break;
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +263,50 @@ mod tests {
         for nr in 0..30 {
             assert_eq!(action_of(&prog, nr), action_of(&opt, nr));
         }
+    }
+
+    #[test]
+    fn analyzed_pass_removes_semantically_dead_branches() {
+        // `jeq 7` after `ld #7` always falls to its taken edge, but the
+        // branch is live by graph reachability, so plain optimize keeps
+        // all four instructions.
+        let prog = Program::new(vec![
+            Insn::LdImm(7),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(7),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::RetK(SeccompAction::KillProcess.encode()),
+        ])
+        .unwrap();
+        assert_eq!(optimize(&prog).unwrap().len(), 4);
+        let opt = optimize_analyzed(&prog).unwrap();
+        assert_eq!(
+            opt.insns(),
+            &[Insn::LdImm(7), Insn::RetK(SeccompAction::Allow.encode())]
+        );
+        assert_eq!(action_of(&opt, 12), SeccompAction::Allow);
+    }
+
+    #[test]
+    fn analyzed_pass_keeps_input_dependent_branches() {
+        let prog = Program::new(vec![
+            Insn::LdAbs(0),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(7),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::RetK(SeccompAction::KillProcess.encode()),
+        ])
+        .unwrap();
+        let opt = optimize_analyzed(&prog).unwrap();
+        assert_eq!(opt.insns(), prog.insns());
     }
 
     #[test]
@@ -334,6 +414,34 @@ mod proptests {
                 (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
                 (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
             }
+        }
+
+        /// The analysis-assisted pass preserves actions, and its output
+        /// is a fixed point of both itself and the plain optimizer —
+        /// "optimize remains idempotent under the combined pass".
+        #[test]
+        fn optimize_analyzed_preserves_actions_and_is_idempotent(
+            prog in arb_program(),
+            nr in 0i32..64,
+            args in proptest::array::uniform6(0u64..8),
+        ) {
+            let opt = optimize_analyzed(&prog).expect("optimizes");
+            prop_assert!(opt.len() <= prog.len());
+            let data = SeccompData::for_syscall(nr, &args);
+            let a = Interpreter::new(&prog).run(&data);
+            let b = Interpreter::new(&opt).run(&data);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.action, y.action);
+                    prop_assert_eq!(x.raw, y.raw);
+                }
+                (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+                (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+            }
+            let again = optimize_analyzed(&opt).expect("re-optimizes");
+            prop_assert_eq!(again.insns(), opt.insns());
+            let plain = optimize(&opt).expect("plain pass");
+            prop_assert_eq!(plain.insns(), opt.insns());
         }
     }
 }

@@ -144,8 +144,12 @@ pub fn validate(insns: &[Insn]) -> Result<(), BpfError> {
     }
     for (at, insn) in insns.iter().enumerate() {
         match *insn {
+            // `off > SIZE - 4` (not `off + 4 > SIZE`): the additive form
+            // overflows for offsets near `u32::MAX` — 0xffff_fffc is
+            // 4-aligned and `off + 4` wraps to 0, admitting a load far
+            // past the struct tail.
             Insn::LdAbs(off)
-                if (off % 4 != 0 || off + 4 > SECCOMP_DATA_SIZE) => {
+                if (off % 4 != 0 || off > SECCOMP_DATA_SIZE - 4) => {
                     return Err(BpfError::BadLoadOffset { at, offset: off });
                 }
             Insn::LdMem(idx) | Insn::LdxMem(idx) | Insn::St(idx) | Insn::Stx(idx)
@@ -243,6 +247,21 @@ mod tests {
         }
         // 60 is the last valid word.
         assert_eq!(validate(&[Insn::LdAbs(60), Insn::RetK(0)]), Ok(()));
+    }
+
+    #[test]
+    fn rejects_load_offsets_that_overflow_the_bounds_check() {
+        // 0xffff_fffc is 4-aligned and `off + 4` wraps to 0; the
+        // additive bounds check used to admit it and the VM's word
+        // indexing panicked. Every 4-byte access straddling or past the
+        // struct tail must be rejected, including the wrap-around ones.
+        for off in [61u32, 62, 63, 64, u32::MAX - 3, u32::MAX] {
+            let prog = vec![Insn::LdAbs(off), Insn::RetK(0)];
+            assert!(
+                matches!(validate(&prog), Err(BpfError::BadLoadOffset { .. })),
+                "offset {off:#x}"
+            );
+        }
     }
 
     #[test]

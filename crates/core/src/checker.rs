@@ -8,10 +8,10 @@ use draco_obs::{
     Stage, TraceScope,
 };
 use draco_profiles::{
-    compile_stacked, ArgPolicy, CompiledStack, FilterLayout, FilterStack, ProfileSpec,
-    StackOutcome,
+    analyze_profile, compile_stacked, ArgPolicy, CompiledStack, FilterLayout, FilterStack,
+    MaskAgreement, ProfileAnalysis, ProfileSpec, StackOutcome, SyscallRule,
 };
-use draco_syscalls::{SyscallRequest, SyscallTable};
+use draco_syscalls::{ArgBitmask, SyscallId, SyscallRequest, SyscallTable};
 
 use crate::{CheckerStats, DracoError, Spt, Vat};
 
@@ -72,6 +72,75 @@ pub struct CheckResult {
     pub path: CheckPath,
 }
 
+/// Per-syscall facts proved by the filter analyzer
+/// ([`draco_profiles::analyze_profile`]), reshaped for O(1) hot-path
+/// consultation: both vectors are indexed by raw syscall number.
+///
+/// Soundness: the plan only ever *narrows* what gets cached. A syscall
+/// marked always-allow was proved (by abstract interpretation, checked
+/// against the concrete VM) to take the Allow return for **every**
+/// argument vector, so caching it with an empty bitmask replays a
+/// verdict the filter is guaranteed to reach. A derived mask is
+/// installed only when it matches or is a subset of the authored mask,
+/// and covers — by the analyzer's taint proof — every argument byte the
+/// filter's decision can depend on.
+#[derive(Debug)]
+struct AnalysisPlan {
+    /// Syscalls proven `Allow` for every argument vector. Hits need
+    /// neither CRC hashing nor a VAT probe.
+    always_allow: Vec<bool>,
+    /// Effective argument bitmask per syscall: analyzer-derived unless
+    /// it disagreed with the authored mask (authored wins then).
+    masks: Vec<Option<ArgBitmask>>,
+    /// Whitelist rules whose derived mask matched or narrowed the
+    /// authored one.
+    derived_match: u64,
+    /// Whitelist rules where the authored mask overrode a disagreeing
+    /// derived mask.
+    overridden: u64,
+}
+
+impl AnalysisPlan {
+    fn from_analysis(analysis: &ProfileAnalysis, capacity: usize) -> Self {
+        let mut plan = AnalysisPlan {
+            always_allow: vec![false; capacity],
+            masks: vec![None; capacity],
+            derived_match: 0,
+            overridden: 0,
+        };
+        for report in analysis.syscalls() {
+            let idx = report.sid.as_u16() as usize;
+            if idx >= capacity {
+                continue;
+            }
+            if report.is_always_allow() {
+                plan.always_allow[idx] = true;
+            }
+            plan.masks[idx] = Some(report.effective_mask());
+            if report.authored_mask.is_some() {
+                match report.agreement {
+                    MaskAgreement::Match | MaskAgreement::DerivedNarrower => {
+                        plan.derived_match += 1;
+                    }
+                    MaskAgreement::Disagreement => plan.overridden += 1,
+                }
+            }
+        }
+        plan
+    }
+
+    fn always_allows(&self, id: SyscallId) -> bool {
+        self.always_allow
+            .get(id.as_u16() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn mask(&self, id: SyscallId) -> Option<ArgBitmask> {
+        self.masks.get(id.as_u16() as usize).copied().flatten()
+    }
+}
+
 /// Software Draco: SPT + VAT in front of a Seccomp filter.
 ///
 /// The checker is sound because caching only ever stores *positive*
@@ -102,6 +171,9 @@ pub struct DracoChecker {
     span_trace: Option<Box<SpanTracer>>,
     /// Monotonic check counter (sequences trace events).
     check_seq: u64,
+    /// Optional statically-proved facts about the installed filter.
+    /// `None` (the default) costs one branch per SPT hit.
+    analysis: Option<AnalysisPlan>,
 }
 
 impl DracoChecker {
@@ -142,7 +214,50 @@ impl DracoChecker {
             flow_trace: None,
             span_trace: None,
             check_seq: 0,
+            analysis: None,
         }
+    }
+
+    /// Builds a checker like [`DracoChecker::from_profile`], then runs
+    /// the filter analyzer over the compiled stack and installs the
+    /// resulting plan: syscalls proven always-allowed are cached with an
+    /// empty bitmask (pure SPT hits, no CRC/VAT work), and whitelisted
+    /// syscalls cache under the analyzer-derived argument mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::FilterCompile`] if filter compilation fails.
+    pub fn from_profile_analyzed(profile: &ProfileSpec) -> Result<Self, DracoError> {
+        let mut checker = Self::from_profile(profile)?;
+        let analysis = analyze_profile(profile).map_err(DracoError::FilterCompile)?;
+        checker.install_analysis(&analysis);
+        Ok(checker)
+    }
+
+    /// Installs a precomputed analysis plan (e.g. one shared across
+    /// processes running the same profile). The analysis **must** come
+    /// from [`draco_profiles::analyze_profile`] /
+    /// [`draco_profiles::analyze_stack`] over this checker's profile —
+    /// enforced by name here. Cached state is flushed so every resident
+    /// entry was keyed consistently with the plan's masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis was computed for a different profile.
+    pub fn install_analysis(&mut self, analysis: &ProfileAnalysis) {
+        assert_eq!(
+            analysis.name(),
+            self.profile.name(),
+            "analysis plan must match the installed profile"
+        );
+        let capacity = SyscallTable::shared().capacity();
+        self.analysis = Some(AnalysisPlan::from_analysis(analysis, capacity));
+        self.flush();
+    }
+
+    /// Whether an analysis plan is installed.
+    pub const fn has_analysis(&self) -> bool {
+        self.analysis.is_some()
     }
 
     /// Caps every VAT table at `cap` entries (builder-style): an OS
@@ -177,11 +292,14 @@ impl DracoChecker {
         MetricsRegistry {
             checker: CheckerMetrics {
                 spt_hits: self.stats.spt_hits,
+                always_allow_hits: self.stats.always_allow_hits,
                 vat_hits: self.stats.vat_hits,
                 filter_runs: self.stats.filter_runs,
                 filter_insns: self.stats.filter_insns,
                 denials: self.stats.denials,
                 vat_inserts: self.stats.vat_inserts,
+                masks_derived_match: self.analysis.as_ref().map_or(0, |p| p.derived_match),
+                masks_overridden: self.analysis.as_ref().map_or(0, |p| p.overridden),
                 insns_per_filter_run: self.insns_per_filter_run,
                 saved_insns_per_hit: self.saved_insns_per_hit,
             },
@@ -275,16 +393,39 @@ impl DracoChecker {
             .map(|(id, rule)| (id, rule.clone()))
             .collect();
         for (id, rule) in rules {
-            match (&rule.args, self.mode) {
-                (ArgPolicy::Whitelist { mask, sets }, CheckMode::IdAndArgs) => {
-                    let idx = self.vat.ensure_table(id, sets.len());
-                    self.spt.set_valid(id, *mask, Some(idx));
+            match self.cache_plan(id, &rule) {
+                (mask, Some(sets)) => {
+                    let idx = self.vat.ensure_table(id, sets);
+                    self.spt.set_valid(id, mask, Some(idx));
                 }
-                _ => {
-                    self.spt
-                        .set_valid(id, draco_syscalls::ArgBitmask::EMPTY, None);
-                }
+                (mask, None) => self.spt.set_valid(id, mask, None),
             }
+        }
+    }
+
+    /// How a validated syscall gets cached: the bitmask to store in the
+    /// SPT and, for argument-checked syscalls, the VAT table size.
+    ///
+    /// Without an analysis plan this is exactly the authored rule. With
+    /// one, a proven always-allow syscall caches as ID-only (empty mask,
+    /// no VAT) even under a whitelist rule, and whitelisted syscalls key
+    /// their VAT entries on the analyzer's effective mask.
+    fn cache_plan(&self, id: SyscallId, rule: &SyscallRule) -> (ArgBitmask, Option<usize>) {
+        if let Some(plan) = &self.analysis {
+            if plan.always_allows(id) {
+                return (ArgBitmask::EMPTY, None);
+            }
+        }
+        match (&rule.args, self.mode) {
+            (ArgPolicy::Whitelist { mask, sets }, CheckMode::IdAndArgs) => {
+                let mask = self
+                    .analysis
+                    .as_ref()
+                    .and_then(|plan| plan.mask(id))
+                    .unwrap_or(*mask);
+                (mask, Some(sets.len()))
+            }
+            _ => (ArgBitmask::EMPTY, None),
         }
     }
 
@@ -311,6 +452,11 @@ impl DracoChecker {
                 // ID-only checking, or this syscall needs no arg checks.
                 (CheckMode::IdOnly, _) | (CheckMode::IdAndArgs, None) => {
                     self.stats.spt_hits += 1;
+                    if let Some(plan) = &self.analysis {
+                        if plan.always_allows(req.id) {
+                            self.stats.always_allow_hits += 1;
+                        }
+                    }
                     self.saved_insns_per_hit.record(self.mean_filter_cost());
                     self.trace_flow(req, FlowClass::SptHit);
                     scope.finish(FlowClass::SptHit);
@@ -390,17 +536,14 @@ impl DracoChecker {
             // engines): do not cache.
             None => return,
         };
-        match (&rule.args, self.mode) {
-            (ArgPolicy::Whitelist { mask, sets }, CheckMode::IdAndArgs) => {
-                let idx = self.vat.ensure_table(req.id, sets.len());
-                self.spt.set_valid(req.id, *mask, Some(idx));
-                self.vat.insert(idx, *mask, &req.args);
+        match self.cache_plan(req.id, &rule) {
+            (mask, Some(sets)) => {
+                let idx = self.vat.ensure_table(req.id, sets);
+                self.spt.set_valid(req.id, mask, Some(idx));
+                self.vat.insert(idx, mask, &req.args);
                 self.stats.vat_inserts += 1;
             }
-            _ => {
-                self.spt
-                    .set_valid(req.id, draco_syscalls::ArgBitmask::EMPTY, None);
-            }
+            (mask, None) => self.spt.set_valid(req.id, mask, None),
         }
     }
 
@@ -432,6 +575,14 @@ impl DracoChecker {
             CheckMode::IdOnly
         };
         self.profile = combined;
+        // The old analysis plan proved facts about the *previous* filter;
+        // re-derive it for the intersection before any check consults it.
+        if self.analysis.take().is_some() {
+            let analysis =
+                analyze_profile(&self.profile).map_err(DracoError::FilterCompile)?;
+            let capacity = SyscallTable::shared().capacity();
+            self.analysis = Some(AnalysisPlan::from_analysis(&analysis, capacity));
+        }
         self.flush();
         Ok(())
     }
@@ -768,6 +919,127 @@ mod tests {
         let m = checker.metrics();
         assert_eq!(m.checker.saved_insns_per_hit.count(), 2);
         assert_eq!(m.checker.saved_insns_per_hit.sum, insns);
+    }
+
+    #[test]
+    fn analyzed_checker_agrees_with_plain_and_oracle() {
+        let profile = docker_default();
+        let mut plain = DracoChecker::from_profile(&profile).unwrap();
+        let mut analyzed = DracoChecker::from_profile_analyzed(&profile).unwrap();
+        plain.preload_spt();
+        analyzed.preload_spt();
+        let reqs = [
+            req(0, &[3, 0, 100]),
+            req(135, &[0xffff_ffff, 0, 0]),
+            req(135, &[0x1234, 0, 0]),
+            req(135, &[0xffff_ffff, 0, 0]),
+            req(101, &[0, 0, 0]),
+            req(999, &[0, 0, 0]),
+            req(0, &[3, 0, 100]),
+        ];
+        for r in &reqs {
+            let a = analyzed.check(r);
+            let b = plain.check(r);
+            assert_eq!(a.action, b.action, "{r}");
+            assert_eq!(a.action, profile.evaluate(r), "{r}");
+        }
+    }
+
+    #[test]
+    fn analysis_plan_counts_always_allow_hits_and_mask_agreement() {
+        let profile = docker_default();
+        let mut checker = DracoChecker::from_profile_analyzed(&profile).unwrap();
+        assert!(checker.has_analysis());
+        checker.preload_spt();
+        checker.check(&req(0, &[3, 0, 100])); // read: proven always-allow
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // filter + insert
+        checker.check(&req(135, &[0xffff_ffff, 0, 0])); // vat hit
+        let stats = checker.stats();
+        assert_eq!(stats.spt_hits, 1);
+        assert_eq!(stats.always_allow_hits, 1);
+        let m = checker.metrics();
+        assert_eq!(m.checker.always_allow_hits, 1);
+        assert!(
+            m.checker.masks_derived_match > 0,
+            "docker's authored arg masks derive exactly"
+        );
+        assert_eq!(m.checker.masks_overridden, 0);
+        // A planless checker reports no analysis counters.
+        let plain = DracoChecker::from_profile(&profile).unwrap();
+        assert!(!plain.has_analysis());
+        assert_eq!(plain.metrics().checker.masks_derived_match, 0);
+        assert_eq!(plain.stats().always_allow_hits, 0);
+    }
+
+    #[test]
+    fn proven_always_allow_whitelist_skips_the_vat_entirely() {
+        use draco_profiles::{RuleSource, SyscallRule};
+        use draco_syscalls::ArgBitmask;
+        // A whitelist whose mask selects no bytes compiles to a filter
+        // that allows every argument vector. The analyzer proves it, so
+        // the plan caches the syscall ID-only: no VAT table, no CRC.
+        let mut profile =
+            draco_profiles::ProfileSpec::new("degenerate", SeccompAction::KillProcess);
+        profile.allow(
+            SyscallId::new(0),
+            SyscallRule {
+                args: ArgPolicy::whitelist(ArgBitmask::EMPTY, vec![ArgSet::from_slice(&[7])]),
+                source: RuleSource::Runtime,
+            },
+        );
+        profile.allow(
+            SyscallId::new(1),
+            SyscallRule {
+                args: ArgPolicy::whitelist(
+                    ArgBitmask::from_widths([4, 0, 0, 0, 0, 0]),
+                    vec![ArgSet::from_slice(&[7])],
+                ),
+                source: RuleSource::Runtime,
+            },
+        );
+        let mut analyzed = DracoChecker::from_profile_analyzed(&profile).unwrap();
+        analyzed.preload_spt();
+        let r = analyzed.check(&req(0, &[123, 9, 9]));
+        assert_eq!(r.path, CheckPath::SptHit, "no filter, no VAT probe");
+        assert_eq!(analyzed.stats().always_allow_hits, 1);
+        assert_eq!(
+            analyzed.metrics().vat.tables,
+            1,
+            "only the argument-dependent syscall owns a VAT table"
+        );
+        // Planless, the same preloaded check still pays a VAT miss and a
+        // filter run before it can cache the argument set.
+        let mut plain = DracoChecker::from_profile(&profile).unwrap();
+        plain.preload_spt();
+        let r = plain.check(&req(0, &[123, 9, 9]));
+        assert!(matches!(r.path, CheckPath::FilterRun { .. }));
+        assert_eq!(plain.metrics().vat.tables, 2);
+    }
+
+    #[test]
+    fn install_additional_rederives_the_analysis_plan() {
+        let mut checker = DracoChecker::from_profile_analyzed(&docker_default()).unwrap();
+        let mut gen = ProfileGenerator::new("tighter");
+        gen.observe(&req(0, &[3, 0, 64]));
+        let extra = gen.emit(ProfileKind::SyscallNoargs);
+        checker.install_additional(&extra).unwrap();
+        assert!(checker.has_analysis(), "plan survives filter attach");
+        checker.preload_spt();
+        // read stays allowed under the intersection and is still proven.
+        let r = checker.check(&req(0, &[3, 0, 64]));
+        assert_eq!(r.path, CheckPath::SptHit);
+        assert_eq!(checker.stats().always_allow_hits, 1);
+        // write is outside the intersection.
+        assert!(!checker.check(&req(1, &[4, 0, 64])).action.permits());
+    }
+
+    #[test]
+    #[should_panic(expected = "analysis plan must match")]
+    fn installing_a_foreign_analysis_is_rejected() {
+        let mut checker = DracoChecker::from_profile(&docker_default()).unwrap();
+        let analysis =
+            draco_profiles::analyze_profile(&draco_profiles::gvisor_default()).unwrap();
+        checker.install_analysis(&analysis);
     }
 
     #[test]

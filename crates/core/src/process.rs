@@ -9,7 +9,7 @@
 
 use core::fmt;
 
-use draco_profiles::ProfileSpec;
+use draco_profiles::{ProfileAnalysis, ProfileSpec};
 use draco_syscalls::SyscallRequest;
 
 use crate::{CheckResult, CheckerStats, DracoChecker, DracoError};
@@ -53,6 +53,35 @@ impl DracoProcess {
         Ok(DracoProcess {
             pid,
             checker: DracoChecker::from_profile(profile)?,
+            alive: true,
+        })
+    }
+
+    /// Creates a process with the profile installed *and* a precomputed
+    /// filter-analysis plan: the OS analyzed the filter at install time
+    /// (once per profile, shareable across processes), preloaded the
+    /// SPT, and proven always-allow syscalls take the no-VAT fast path
+    /// from their very first call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` was computed for a different profile (see
+    /// [`DracoChecker::install_analysis`]).
+    pub fn spawn_analyzed(
+        pid: ProcessId,
+        profile: &ProfileSpec,
+        analysis: &ProfileAnalysis,
+    ) -> Result<Self, DracoError> {
+        let mut checker = DracoChecker::from_profile(profile)?;
+        checker.install_analysis(analysis);
+        checker.preload_spt();
+        Ok(DracoProcess {
+            pid,
+            checker,
             alive: true,
         })
     }
@@ -184,6 +213,29 @@ mod tests {
         // Child's first call is a cold miss.
         let r = child.syscall(&req(39, &[]));
         assert!(!r.path.is_cache_hit());
+    }
+
+    #[test]
+    fn spawn_analyzed_starts_warm_with_proven_fast_paths() {
+        let profile = gvisor_default();
+        let analysis = draco_profiles::analyze_profile(&profile).unwrap();
+        let mut proc =
+            DracoProcess::spawn_analyzed(ProcessId(3), &profile, &analysis).unwrap();
+        // getpid carries no argument checks in gvisor-default, so the
+        // preloaded, proven syscall hits the SPT on its *first* call.
+        let r = proc.syscall(&req(39, &[]));
+        assert!(r.path.is_cache_hit());
+        assert!(proc.stats().always_allow_hits > 0);
+        // Verdicts still match a plain process on both allowed and
+        // denied traffic.
+        let mut plain = DracoProcess::spawn(ProcessId(4), &profile).unwrap();
+        for request in [req(39, &[]), req(0, &[1, 2, 3]), req(101, &[0, 0])] {
+            assert_eq!(
+                proc.syscall(&request).action,
+                plain.syscall(&request).action,
+                "{request}"
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,11 @@ use core::fmt;
 pub struct CheckerStats {
     /// Checks admitted by the SPT alone (ID-only or empty bitmask).
     pub spt_hits: u64,
+    /// Subset of `spt_hits` on syscalls the filter analyzer *proved*
+    /// always-allowed — hits that skipped CRC hashing and the VAT
+    /// because the installed analysis plan discharged argument checking
+    /// statically.
+    pub always_allow_hits: u64,
     /// Checks admitted by a VAT probe.
     pub vat_hits: u64,
     /// Checks that fell back to the Seccomp filter.
@@ -46,6 +51,7 @@ impl CheckerStats {
     /// Accumulates another set of counters (saturating field-wise).
     pub fn accumulate(&mut self, other: &CheckerStats) {
         self.spt_hits = self.spt_hits.saturating_add(other.spt_hits);
+        self.always_allow_hits = self.always_allow_hits.saturating_add(other.always_allow_hits);
         self.vat_hits = self.vat_hits.saturating_add(other.vat_hits);
         self.filter_runs = self.filter_runs.saturating_add(other.filter_runs);
         self.filter_insns = self.filter_insns.saturating_add(other.filter_insns);
@@ -58,9 +64,10 @@ impl fmt::Display for CheckerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} checks: {} spt, {} vat, {} filter ({} insns), {} denied, {} vat-inserts",
+            "{} checks: {} spt ({} always-allow), {} vat, {} filter ({} insns), {} denied, {} vat-inserts",
             self.total(),
             self.spt_hits,
+            self.always_allow_hits,
             self.vat_hits,
             self.filter_runs,
             self.filter_insns,
@@ -78,6 +85,7 @@ mod tests {
     fn totals_and_rates() {
         let stats = CheckerStats {
             spt_hits: 6,
+            always_allow_hits: 3,
             vat_hits: 2,
             filter_runs: 2,
             filter_insns: 100,
@@ -98,6 +106,7 @@ mod tests {
     fn display_reports_every_counter() {
         let stats = CheckerStats {
             spt_hits: 1,
+            always_allow_hits: 1,
             vat_hits: 2,
             filter_runs: 3,
             filter_insns: 40,
@@ -107,6 +116,7 @@ mod tests {
         let s = stats.to_string();
         assert!(s.contains("6 vat-inserts"), "{s}");
         assert!(s.contains("5 denied"), "{s}");
+        assert!(s.contains("1 always-allow"), "{s}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! dracoctl profile stats <docker|gvisor|firecracker|PATH.json>
 //! dracoctl profile json  <docker|gvisor|firecracker>
 //! dracoctl profile disasm <docker|gvisor|firecracker|PATH.json> [--tree]
+//! dracoctl analyze <docker|gvisor|firecracker|PATH.json> [--format human|json] [--strict]
 //! dracoctl check <docker|gvisor|firecracker|PATH.json> <syscall> [arg0 arg1 ...]
 //! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
@@ -15,11 +16,12 @@
 
 use std::io::Read as _;
 
-use draco::bpf::disasm;
+use draco::bpf::{disasm, Verdict};
 use draco::core::DracoChecker;
 use draco::profiles::{
-    compile_stacked, docker_default, firecracker, gvisor_default, profile_from_json,
-    profile_to_json, FilterLayout, ProfileKind, ProfileSpec, ProfileStats,
+    analyze_profile, compile_stacked, docker_default, firecracker, gvisor_default,
+    profile_from_json, profile_to_json, FilterLayout, MaskAgreement, ProfileAnalysis,
+    ProfileKind, ProfileSpec, ProfileStats,
 };
 use draco::syscalls::{ArgSet, SyscallId, SyscallRequest, SyscallTable};
 use draco::workloads::timing::profile_for_trace;
@@ -34,6 +36,7 @@ fn main() {
 fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("profile") => profile_cmd(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
         Some("check") => check_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
@@ -51,8 +54,9 @@ fn run(args: &[String]) -> i32 {
         }
         _ => {
             eprintln!(
-                "usage: dracoctl <profile|check|trace|stats|workloads> ...\n\
+                "usage: dracoctl <profile|analyze|check|trace|stats|workloads> ...\n\
                  \x20 profile stats|json|disasm <docker|gvisor|firecracker|PATH.json>\n\
+                 \x20 analyze <profile> [--format human|json] [--strict]\n\
                  \x20 check <profile> <syscall> [args...]\n\
                  \x20 trace gen <workload> [--ops N] [--seed N]\n\
                  \x20 trace analyze <PATH.json|->\n\
@@ -149,6 +153,242 @@ fn profile_cmd(args: &[String]) -> i32 {
             2
         }
     }
+}
+
+/// `dracoctl analyze <profile> [--format human|json] [--strict]` — runs
+/// the abstract-interpretation filter analyzer over the profile's
+/// compiled stack: per-syscall verdicts, derived SPT argument masks
+/// (cross-checked against the authored ones), and the filter lint pass.
+///
+/// Exit code 0 means the analysis is clean; 1 means it found problems
+/// (error lints, derived/authored mask disagreements, verdict classes
+/// contradicting the rule shape — or, under `--strict`, any lint at
+/// all); 2 is a usage error.
+fn analyze_cmd(args: &[String]) -> i32 {
+    let Some(which) = args.first() else {
+        eprintln!("usage: dracoctl analyze <profile> [--format human|json] [--strict]");
+        return 2;
+    };
+    let mut format = "human".to_owned();
+    let mut strict = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                format = args.get(i).cloned().unwrap_or(format);
+            }
+            "--strict" => strict = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if format != "human" && format != "json" {
+        eprintln!("--format must be `human` or `json`, got `{format}`");
+        return 2;
+    }
+    let profile = match load_profile(which) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let analysis = match analyze_profile(&profile) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot compile `{}`: {e}", profile.name());
+            return 1;
+        }
+    };
+    let problems = analysis_problems(&analysis, strict);
+    if format == "json" {
+        println!("{}", analysis_json(&analysis, &problems));
+    } else {
+        print_analysis_human(&analysis, &problems);
+    }
+    i32::from(!problems.is_empty())
+}
+
+/// Findings that make an analysis non-clean, as printable strings.
+fn analysis_problems(analysis: &ProfileAnalysis, strict: bool) -> Vec<String> {
+    let mut problems = Vec::new();
+    for fl in analysis.lints() {
+        let is_error = fl.lint.kind.severity() == draco::bpf::Severity::Error;
+        if is_error || strict {
+            problems.push(format!("filter {}: {}", fl.filter, fl.lint));
+        }
+    }
+    for report in analysis.syscalls() {
+        let name = syscall_name(report.sid);
+        if report.agreement == MaskAgreement::Disagreement {
+            problems.push(format!(
+                "{name}: derived mask {:#x} reads bytes outside the authored mask {:#x}",
+                report.derived_mask.raw(),
+                report.authored_mask.map_or(0, |m| m.raw())
+            ));
+        }
+        if !report.matches_spec {
+            problems.push(format!(
+                "{name}: verdict {} contradicts the rule's shape",
+                verdict_label(report.verdict)
+            ));
+        }
+    }
+    problems
+}
+
+fn syscall_name(sid: draco::syscalls::SyscallId) -> String {
+    SyscallTable::shared()
+        .get(sid)
+        .map_or_else(|| sid.to_string(), |d| d.name().to_owned())
+}
+
+fn verdict_label(verdict: Verdict) -> String {
+    match verdict {
+        Verdict::AlwaysAllow => "always-allow".to_owned(),
+        Verdict::AlwaysDeny(action) => format!("always-deny({action})"),
+        Verdict::ArgDependent => "arg-dependent".to_owned(),
+    }
+}
+
+fn print_analysis_human(analysis: &ProfileAnalysis, problems: &[String]) {
+    let reports = analysis.syscalls();
+    let deny = reports
+        .iter()
+        .filter(|r| matches!(r.verdict, Verdict::AlwaysDeny(_)))
+        .count();
+    let arg_dep = reports
+        .iter()
+        .filter(|r| r.verdict == Verdict::ArgDependent)
+        .count();
+    println!(
+        "{}: {} filter(s), {} cBPF instructions, {} syscalls analyzed",
+        analysis.name(),
+        analysis.filters(),
+        analysis.instructions(),
+        reports.len()
+    );
+    println!(
+        "verdicts: {} always-allow (no-VAT fast path), {} arg-dependent, {} always-deny",
+        analysis.always_allow_count(),
+        arg_dep,
+        deny
+    );
+    let (mut matched, mut narrower, mut overridden) = (0usize, 0usize, 0usize);
+    for r in reports.iter().filter(|r| r.authored_mask.is_some()) {
+        match r.agreement {
+            MaskAgreement::Match => matched += 1,
+            MaskAgreement::DerivedNarrower => narrower += 1,
+            MaskAgreement::Disagreement => overridden += 1,
+        }
+    }
+    println!(
+        "derived masks: {matched} exact, {narrower} narrower than authored, {overridden} overridden by authored"
+    );
+    let interesting: Vec<_> = reports
+        .iter()
+        .filter(|r| {
+            r.verdict != Verdict::AlwaysAllow
+                || r.agreement != MaskAgreement::Match
+                || !r.matches_spec
+                || r.ip_dependent
+                || r.may_fault
+        })
+        .collect();
+    if !interesting.is_empty() {
+        println!("argument-dependent and flagged syscalls:");
+        for r in interesting {
+            let mut notes = Vec::new();
+            if r.agreement == MaskAgreement::DerivedNarrower {
+                notes.push("narrower".to_owned());
+            }
+            if r.agreement == MaskAgreement::Disagreement {
+                notes.push("OVERRIDDEN".to_owned());
+            }
+            if r.ip_dependent {
+                notes.push("ip-dependent".to_owned());
+            }
+            if r.may_fault {
+                notes.push("may-fault".to_owned());
+            }
+            if !r.matches_spec {
+                notes.push("SPEC-MISMATCH".to_owned());
+            }
+            println!(
+                "  {:<18} {:<22} mask {:#014x} ({} bytes){}{}",
+                syscall_name(r.sid),
+                verdict_label(r.verdict),
+                r.derived_mask.raw(),
+                r.derived_mask.selected_bytes(),
+                if notes.is_empty() { "" } else { "  " },
+                notes.join(", ")
+            );
+        }
+    }
+    if analysis.lints().is_empty() {
+        println!("lints: none");
+    } else {
+        println!("lints:");
+        for fl in analysis.lints() {
+            println!("  filter {}: {}", fl.filter, fl.lint);
+        }
+    }
+    if problems.is_empty() {
+        println!("clean: yes");
+    } else {
+        println!("clean: NO ({} problem(s))", problems.len());
+        for p in problems {
+            println!("  problem: {p}");
+        }
+    }
+}
+
+fn analysis_json(analysis: &ProfileAnalysis, problems: &[String]) -> String {
+    use serde_json::Value;
+    let syscalls: Vec<Value> = analysis
+        .syscalls()
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "syscall": syscall_name(r.sid),
+                "nr": u64::from(r.sid.as_u16()),
+                "verdict": verdict_label(r.verdict),
+                "derived_mask": r.derived_mask.raw(),
+                "authored_mask": r.authored_mask.map(|m| m.raw()),
+                "agreement": format!("{:?}", r.agreement),
+                "matches_spec": r.matches_spec,
+                "ip_dependent": r.ip_dependent,
+                "may_fault": r.may_fault,
+            })
+        })
+        .collect();
+    let lints: Vec<Value> = analysis
+        .lints()
+        .iter()
+        .map(|fl| {
+            serde_json::json!({
+                "filter": fl.filter as u64,
+                "insn": fl.lint.at as u64,
+                "message": fl.lint.to_string(),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema": "draco-analysis/v1",
+        "profile": analysis.name(),
+        "filters": analysis.filters() as u64,
+        "instructions": analysis.instructions() as u64,
+        "always_allow": analysis.always_allow_count() as u64,
+        "syscalls": Value::Array(syscalls),
+        "lints": Value::Array(lints),
+        "problems": problems.to_vec(),
+        "clean": problems.is_empty(),
+    });
+    serde_json::to_string_pretty(&doc).expect("analysis serializes")
 }
 
 fn check_cmd(args: &[String]) -> i32 {
@@ -484,4 +724,55 @@ fn span_trace_cmd(name: &str, args: &[String]) -> i32 {
         None => print!("{text}"),
     }
     0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn analyze_accepts_every_catalog_profile() {
+        for name in ["docker", "gvisor", "firecracker"] {
+            assert_eq!(analyze_cmd(&argv(&[name])), 0, "{name} must be clean");
+            assert_eq!(
+                analyze_cmd(&argv(&[name, "--strict"])),
+                0,
+                "{name} must be lint-free"
+            );
+            assert_eq!(analyze_cmd(&argv(&[name, "--format", "json"])), 0);
+        }
+    }
+
+    #[test]
+    fn analyze_rejects_bad_usage() {
+        assert_eq!(analyze_cmd(&argv(&[])), 2);
+        assert_eq!(analyze_cmd(&argv(&["docker", "--format", "xml"])), 2);
+        assert_eq!(analyze_cmd(&argv(&["docker", "--bogus"])), 2);
+        assert_eq!(analyze_cmd(&argv(&["/nonexistent/profile.json"])), 1);
+    }
+
+    #[test]
+    fn analysis_json_is_wellformed_and_carries_the_verdict_table() {
+        let profile = docker_default();
+        let analysis = analyze_profile(&profile).unwrap();
+        let problems = analysis_problems(&analysis, false);
+        assert!(problems.is_empty(), "{problems:?}");
+        let text = analysis_json(&analysis, &problems);
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("draco-analysis/v1")
+        );
+        assert_eq!(doc.get("clean").and_then(|v| v.as_bool()), Some(true));
+        let syscalls = doc.get("syscalls").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(syscalls.len(), profile.allowed_syscall_count());
+        assert!(syscalls.iter().any(|s| {
+            s.get("syscall").and_then(|v| v.as_str()) == Some("personality")
+                && s.get("verdict").and_then(|v| v.as_str()) == Some("arg-dependent")
+        }));
+    }
 }

@@ -25,6 +25,11 @@ pub const FLOW_LABELS: [&str; 8] = [
 pub struct CheckerMetrics {
     /// Checks admitted by the SPT alone.
     pub spt_hits: u64,
+    /// Subset of `spt_hits` on syscalls the filter analyzer proved
+    /// always-allowed: the static-analysis fast path that skips CRC
+    /// hashing and the VAT entirely.
+    #[serde(default)]
+    pub always_allow_hits: u64,
     /// Checks admitted by a VAT probe.
     pub vat_hits: u64,
     /// Checks that fell back to the Seccomp filter.
@@ -35,6 +40,14 @@ pub struct CheckerMetrics {
     pub denials: u64,
     /// Argument-set insertions into the VAT.
     pub vat_inserts: u64,
+    /// Whitelist rules whose analyzer-derived argument mask matched or
+    /// narrowed the authored mask (the derived mask was installed).
+    #[serde(default)]
+    pub masks_derived_match: u64,
+    /// Whitelist rules where the derived mask disagreed with the
+    /// authored one (the authored mask was kept as the override).
+    #[serde(default)]
+    pub masks_overridden: u64,
     /// cBPF instructions per fallback run.
     pub insns_per_filter_run: Histogram,
     /// Filter instructions *saved* per cached check: at each SPT/VAT
@@ -59,11 +72,14 @@ impl CheckerMetrics {
     /// Merges another checker section into this one.
     pub fn merge(&mut self, other: &CheckerMetrics) {
         self.spt_hits = self.spt_hits.saturating_add(other.spt_hits);
+        self.always_allow_hits = self.always_allow_hits.saturating_add(other.always_allow_hits);
         self.vat_hits = self.vat_hits.saturating_add(other.vat_hits);
         self.filter_runs = self.filter_runs.saturating_add(other.filter_runs);
         self.filter_insns = self.filter_insns.saturating_add(other.filter_insns);
         self.denials = self.denials.saturating_add(other.denials);
         self.vat_inserts = self.vat_inserts.saturating_add(other.vat_inserts);
+        self.masks_derived_match = self.masks_derived_match.saturating_add(other.masks_derived_match);
+        self.masks_overridden = self.masks_overridden.saturating_add(other.masks_overridden);
         self.insns_per_filter_run.merge(&other.insns_per_filter_run);
         self.saved_insns_per_hit.merge(&other.saved_insns_per_hit);
     }
@@ -292,6 +308,13 @@ impl fmt::Display for MetricsRegistry {
             c.denials,
             c.vat_inserts
         )?;
+        if c.always_allow_hits > 0 || c.masks_derived_match > 0 || c.masks_overridden > 0 {
+            writeln!(
+                f,
+                "  analysis         : {} always-allow hits, {} derived masks installed, {} authored overrides",
+                c.always_allow_hits, c.masks_derived_match, c.masks_overridden
+            )?;
+        }
         if !c.insns_per_filter_run.is_empty() {
             writeln!(f, "  insns/filter-run : {}", c.insns_per_filter_run)?;
         }
@@ -372,8 +395,11 @@ mod tests {
     fn sample(seed: u64) -> MetricsRegistry {
         let mut r = MetricsRegistry::default();
         r.checker.spt_hits = seed;
+        r.checker.always_allow_hits = seed / 2;
         r.checker.vat_hits = seed * 2;
         r.checker.filter_runs = seed + 1;
+        r.checker.masks_derived_match = seed;
+        r.checker.masks_overridden = 1;
         r.checker.insns_per_filter_run.record(seed + 3);
         r.checker.saved_insns_per_hit.record(seed);
         r.cuckoo.hits = seed * 3;
@@ -470,6 +496,29 @@ mod tests {
         for key in ["checker", "cuckoo", "vat", "sim", "replay"] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn checker_json_without_analysis_keys_still_parses() {
+        // Registries serialized before the analysis counters existed
+        // lack these keys; `#[serde(default)]` must zero-fill them.
+        let r = sample(6);
+        let json: String = serde_json::to_string_pretty(&r)
+            .expect("serializes")
+            .lines()
+            .filter(|line| {
+                !line.contains("\"always_allow_hits\"")
+                    && !line.contains("\"masks_derived_match\"")
+                    && !line.contains("\"masks_overridden\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back: MetricsRegistry = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.checker.always_allow_hits, 0);
+        assert_eq!(back.checker.masks_derived_match, 0);
+        assert_eq!(back.checker.masks_overridden, 0);
+        assert_eq!(back.checker.spt_hits, r.checker.spt_hits);
+        assert_eq!(back.cuckoo, r.cuckoo);
     }
 
     #[test]

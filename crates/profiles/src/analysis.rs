@@ -1,0 +1,550 @@
+//! Profile-level filter analysis: derived SPT masks and verdict tables.
+//!
+//! [`draco_bpf::analysis`] classifies one *program*; a profile compiles
+//! to a *stack* of programs the kernel combines most-restrictively. This
+//! module lifts the per-program analysis to whole profiles:
+//!
+//! * per allowed syscall, the stack-combined verdict and the **derived**
+//!   argument-byte mask — computed from the filters themselves, the way
+//!   a kernel could at `seccomp(2)` install time (paper §V-B), instead
+//!   of trusting the hand-authored [`ArgBitmask`] in the rule;
+//! * a cross-check of derived against authored masks: the authored mask
+//!   is kept as an explicit *override* and any disagreement is surfaced
+//!   (and counted by the checker's metrics);
+//! * the union of every member filter's lint findings.
+//!
+//! [`crate::ProfileSpec`]'s rules carry the authored masks;
+//! [`analyze_profile`] is what `draco-core`'s checker and `dracoctl
+//! analyze` consume.
+
+use draco_bpf::analysis::{analyze_syscall, lint_program, Lint, SyscallVerdict, Verdict};
+use draco_bpf::{BpfError, SeccompAction};
+use draco_syscalls::{ArgBitmask, SyscallId, SyscallTable};
+
+use crate::compile::{compile_stacked, FilterLayout, FilterStack};
+use crate::spec::{ArgPolicy, ProfileSpec};
+
+/// How a derived mask relates to the rule's hand-authored one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaskAgreement {
+    /// Derived and authored masks are identical (ID-only rules match
+    /// trivially: both empty).
+    Match,
+    /// The analysis proved the filter inspects strictly fewer bytes than
+    /// the author declared; the derived mask is safe to install and
+    /// caches more aggressively.
+    DerivedNarrower,
+    /// The filter can read bytes the authored mask does not select. The
+    /// authored mask wins (it is an explicit override), but installing
+    /// it risks caching decisions on stale bytes — surfaced as a
+    /// disagreement everywhere.
+    Disagreement,
+}
+
+/// The analysis result for one allowed syscall of a profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyscallReport {
+    /// The syscall.
+    pub sid: SyscallId,
+    /// Stack-combined decision classification.
+    pub verdict: Verdict,
+    /// Argument bytes the stack's decision can depend on, derived from
+    /// the compiled filters.
+    pub derived_mask: ArgBitmask,
+    /// The rule's hand-authored mask (`None` for ID-only rules).
+    pub authored_mask: Option<ArgBitmask>,
+    /// Derived-vs-authored relationship.
+    pub agreement: MaskAgreement,
+    /// The verdict class matches what the rule's shape predicts
+    /// (ID-only → always-allow, argument whitelist → arg-dependent).
+    pub matches_spec: bool,
+    /// The decision can depend on the instruction pointer.
+    pub ip_dependent: bool,
+    /// A runtime filter fault is reachable for this syscall.
+    pub may_fault: bool,
+}
+
+impl SyscallReport {
+    /// The mask the checker should install: the derived mask, unless the
+    /// authored override disagrees with it.
+    pub fn effective_mask(&self) -> ArgBitmask {
+        match self.agreement {
+            MaskAgreement::Match | MaskAgreement::DerivedNarrower => self.derived_mask,
+            MaskAgreement::Disagreement => self.authored_mask.unwrap_or(self.derived_mask),
+        }
+    }
+
+    /// True if the stack's decision for this syscall is proven `Allow`
+    /// for every argument vector — the checker's no-VAT fast path.
+    pub fn is_always_allow(&self) -> bool {
+        self.verdict == Verdict::AlwaysAllow
+    }
+}
+
+/// One lint finding, attributed to a filter of the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FilterLint {
+    /// Index of the filter within the stack.
+    pub filter: usize,
+    /// The finding.
+    pub lint: Lint,
+}
+
+/// The full analysis of one profile's compiled filter stack.
+#[derive(Clone, Debug)]
+pub struct ProfileAnalysis {
+    name: String,
+    /// Per-syscall reports, sorted by syscall id.
+    syscalls: Vec<SyscallReport>,
+    /// Lint findings across every filter in the stack.
+    lints: Vec<FilterLint>,
+    /// Number of filters in the analyzed stack.
+    filters: usize,
+    /// Total instructions across the stack.
+    instructions: usize,
+}
+
+impl ProfileAnalysis {
+    /// The analyzed profile's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-syscall reports, sorted by syscall id.
+    pub fn syscalls(&self) -> &[SyscallReport] {
+        &self.syscalls
+    }
+
+    /// All lint findings.
+    pub fn lints(&self) -> &[FilterLint] {
+        &self.lints
+    }
+
+    /// Number of filters in the stack.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Total cBPF instructions across the stack.
+    pub fn instructions(&self) -> usize {
+        self.instructions
+    }
+
+    /// The report for one syscall, if the profile has a rule for it.
+    pub fn report(&self, sid: SyscallId) -> Option<&SyscallReport> {
+        self.syscalls
+            .binary_search_by_key(&sid, |r| r.sid)
+            .ok()
+            .map(|i| &self.syscalls[i])
+    }
+
+    /// Lint findings of [`draco_bpf::analysis::Severity::Error`].
+    pub fn error_lints(&self) -> impl Iterator<Item = &FilterLint> {
+        self.lints
+            .iter()
+            .filter(|f| f.lint.kind.severity() == draco_bpf::analysis::Severity::Error)
+    }
+
+    /// Reports whose derived mask disagrees with the authored override.
+    pub fn disagreements(&self) -> impl Iterator<Item = &SyscallReport> {
+        self.syscalls
+            .iter()
+            .filter(|r| r.agreement == MaskAgreement::Disagreement)
+    }
+
+    /// Syscalls proven `AlwaysAllow`.
+    pub fn always_allow_count(&self) -> usize {
+        self.syscalls.iter().filter(|r| r.is_always_allow()).count()
+    }
+
+    /// True if nothing needs human attention: no error lints, no mask
+    /// disagreements, every verdict matching its rule's shape.
+    pub fn is_clean(&self) -> bool {
+        self.error_lints().next().is_none()
+            && self.disagreements().next().is_none()
+            && self.syscalls.iter().all(|r| r.matches_spec)
+    }
+}
+
+/// Combines per-filter verdicts for one syscall the way the kernel
+/// combines filter verdicts: most-restrictive action wins.
+fn combine_stack(verdicts: &[SyscallVerdict]) -> SyscallVerdict {
+    let mut ip_dependent = false;
+    let mut may_fault = false;
+    let mut all_const = true;
+    let mut const_action = SeccompAction::Allow;
+    let mut kill = false;
+    let mut mask_bits = 0u64;
+    for v in verdicts {
+        ip_dependent |= v.ip_dependent;
+        may_fault |= v.may_fault;
+        match v.verdict {
+            Verdict::AlwaysAllow => {}
+            Verdict::AlwaysDeny(a) => {
+                const_action = const_action.most_restrictive(a);
+                kill |= a == SeccompAction::KillProcess;
+            }
+            Verdict::ArgDependent => {
+                all_const = false;
+                mask_bits |= v.mask.raw();
+            }
+        }
+    }
+    if may_fault {
+        return SyscallVerdict {
+            verdict: Verdict::ArgDependent,
+            mask: ArgBitmask::from_raw((1 << 48) - 1),
+            ip_dependent: true,
+            may_fault,
+        };
+    }
+    // A constant KillProcess member dominates: it has the lowest
+    // precedence value, so no other filter's outcome can override it.
+    let verdict = if all_const || kill {
+        if kill {
+            Verdict::AlwaysDeny(SeccompAction::KillProcess)
+        } else if const_action == SeccompAction::Allow {
+            Verdict::AlwaysAllow
+        } else {
+            Verdict::AlwaysDeny(const_action)
+        }
+    } else {
+        Verdict::ArgDependent
+    };
+    let mask = if verdict == Verdict::ArgDependent {
+        ArgBitmask::from_raw(mask_bits)
+    } else {
+        ArgBitmask::EMPTY
+    };
+    SyscallVerdict {
+        verdict,
+        mask,
+        ip_dependent,
+        may_fault,
+    }
+}
+
+/// The verdict class a rule's *shape* predicts, for the `matches_spec`
+/// cross-check.
+fn expected_class(policy: &ArgPolicy) -> Verdict {
+    match policy {
+        ArgPolicy::AnyArgs => Verdict::AlwaysAllow,
+        ArgPolicy::Whitelist { mask, sets } => {
+            if sets.is_empty() {
+                // No accepted value: denied regardless of arguments.
+                Verdict::AlwaysDeny(SeccompAction::KillProcess)
+            } else if mask.is_empty() {
+                // Empty mask: every argument vector matches any set.
+                Verdict::AlwaysAllow
+            } else {
+                Verdict::ArgDependent
+            }
+        }
+    }
+}
+
+fn same_class(a: Verdict, b: Verdict) -> bool {
+    matches!(
+        (a, b),
+        (Verdict::AlwaysAllow, Verdict::AlwaysAllow)
+            | (Verdict::AlwaysDeny(_), Verdict::AlwaysDeny(_))
+            | (Verdict::ArgDependent, Verdict::ArgDependent)
+    )
+}
+
+/// Analyzes an already-compiled stack against the profile that produced
+/// it. Use [`analyze_profile`] unless you already hold the stack.
+pub fn analyze_stack(profile: &ProfileSpec, stack: &FilterStack) -> ProfileAnalysis {
+    let capacity = SyscallTable::shared().capacity() as u32;
+    let mut lints = Vec::new();
+    for (filter, program) in stack.programs().iter().enumerate() {
+        lints.extend(
+            lint_program(program, capacity)
+                .into_iter()
+                .map(|lint| FilterLint { filter, lint }),
+        );
+    }
+    let mut syscalls: Vec<SyscallReport> = profile
+        .rules()
+        .map(|(sid, rule)| {
+            let per_filter: Vec<SyscallVerdict> = stack
+                .programs()
+                .iter()
+                .map(|p| analyze_syscall(p, u32::from(sid.as_u16())))
+                .collect();
+            let combined = combine_stack(&per_filter);
+            let authored_mask = match &rule.args {
+                ArgPolicy::AnyArgs => None,
+                ArgPolicy::Whitelist { mask, .. } => Some(*mask),
+            };
+            let authored = authored_mask.unwrap_or(ArgBitmask::EMPTY);
+            let agreement = if combined.mask == authored {
+                MaskAgreement::Match
+            } else if combined.mask.raw() & !authored.raw() == 0 {
+                MaskAgreement::DerivedNarrower
+            } else {
+                MaskAgreement::Disagreement
+            };
+            SyscallReport {
+                sid,
+                verdict: combined.verdict,
+                derived_mask: combined.mask,
+                authored_mask,
+                agreement,
+                matches_spec: same_class(combined.verdict, expected_class(&rule.args)),
+                ip_dependent: combined.ip_dependent,
+                may_fault: combined.may_fault,
+            }
+        })
+        .collect();
+    syscalls.sort_by_key(|r| r.sid);
+    ProfileAnalysis {
+        name: profile.name().to_owned(),
+        syscalls,
+        lints,
+        filters: stack.len(),
+        instructions: stack.total_insns(),
+    }
+}
+
+/// Compiles `profile` (linear layout, as the checker does) and analyzes
+/// the resulting stack.
+///
+/// # Errors
+///
+/// Propagates filter-compilation failures, which indicate a compiler bug
+/// for any expressible profile.
+pub fn analyze_profile(profile: &ProfileSpec) -> Result<ProfileAnalysis, BpfError> {
+    let stack = compile_stacked(profile, FilterLayout::Linear)?;
+    Ok(analyze_stack(profile, &stack))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{docker_default, firecracker, gvisor_default};
+    use crate::generate::{ProfileGenerator, ProfileKind};
+    use crate::spec::{RuleSource, SyscallRule};
+    use draco_bpf::SeccompData;
+    use draco_syscalls::{ArgSet, SyscallRequest};
+
+    fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+        SyscallRequest::new(0, SyscallId::new(nr), ArgSet::from_slice(args))
+    }
+
+    #[test]
+    fn catalog_profiles_analyze_cleanly() {
+        for profile in [docker_default(), gvisor_default(), firecracker()] {
+            let analysis = analyze_profile(&profile).expect("compiles");
+            assert!(
+                analysis.is_clean(),
+                "{}: lints {:?}, disagreements {:?}, class mismatches {:?}",
+                profile.name(),
+                analysis.lints(),
+                analysis.disagreements().collect::<Vec<_>>(),
+                analysis
+                    .syscalls()
+                    .iter()
+                    .filter(|r| !r.matches_spec)
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(analysis.syscalls().len(), profile.allowed_syscall_count());
+            assert!(analysis.always_allow_count() > 0);
+        }
+    }
+
+    #[test]
+    fn id_only_rules_are_proven_always_allow_with_empty_masks() {
+        let profile = docker_default();
+        let analysis = analyze_profile(&profile).unwrap();
+        // read(0) is ID-only in docker-default.
+        let r = analysis.report(SyscallId::new(0)).expect("read has a rule");
+        assert!(r.is_always_allow());
+        assert_eq!(r.derived_mask, ArgBitmask::EMPTY);
+        assert_eq!(r.agreement, MaskAgreement::Match);
+        assert_eq!(r.effective_mask(), ArgBitmask::EMPTY);
+    }
+
+    #[test]
+    fn arg_checked_rules_derive_exactly_the_authored_mask() {
+        let profile = docker_default();
+        let analysis = analyze_profile(&profile).unwrap();
+        // personality(135) whitelists arg0 values in docker-default.
+        let r = analysis
+            .report(SyscallId::new(135))
+            .expect("personality has a rule");
+        assert_eq!(r.verdict, Verdict::ArgDependent);
+        assert_eq!(r.agreement, MaskAgreement::Match, "derived {:?} authored {:?}",
+            r.derived_mask, r.authored_mask);
+        assert_eq!(Some(r.derived_mask), r.authored_mask);
+        assert!(!r.derived_mask.is_empty());
+    }
+
+    #[test]
+    fn unlisted_syscalls_have_no_report() {
+        let analysis = analyze_profile(&firecracker()).unwrap();
+        assert!(analysis.report(SyscallId::new(101)).is_none(), "ptrace");
+    }
+
+    #[test]
+    fn multi_filter_stacks_combine_per_syscall() {
+        // Big enough to need chunking + a membership filter.
+        let mut gen = ProfileGenerator::new("huge");
+        for nr in 0u16..40 {
+            for set in 0u64..40 {
+                gen.observe(&req(nr, &[set, set + 1, set + 2, set + 3, set + 4, set + 5]));
+            }
+        }
+        let profile = gen.emit(ProfileKind::SyscallComplete);
+        let stack = compile_stacked(&profile, FilterLayout::Linear).unwrap();
+        assert!(stack.len() >= 3, "needs chunks + membership");
+        let analysis = analyze_stack(&profile, &stack);
+        assert!(analysis.is_clean(), "{:?}", analysis.lints());
+        assert_eq!(analysis.filters(), stack.len());
+        assert!(analysis.instructions() > 0);
+        for r in analysis.syscalls() {
+            // Generated profiles mix argument whitelists with ID-only
+            // runtime-required rules; each must classify to its shape.
+            match &profile.rule(r.sid).unwrap().args {
+                ArgPolicy::AnyArgs => {
+                    assert_eq!(r.verdict, Verdict::AlwaysAllow, "sid {}", r.sid);
+                }
+                ArgPolicy::Whitelist { .. } => {
+                    assert_eq!(r.verdict, Verdict::ArgDependent, "sid {}", r.sid);
+                }
+            }
+            assert_eq!(r.agreement, MaskAgreement::Match, "sid {}", r.sid);
+        }
+    }
+
+    #[test]
+    fn derived_verdicts_agree_with_interpreted_stack() {
+        let profile = gvisor_default();
+        let stack = compile_stacked(&profile, FilterLayout::Linear).unwrap();
+        let analysis = analyze_stack(&profile, &stack);
+        for r in analysis.syscalls() {
+            for args in [[0u64; 6], [1, 0x5401, 0, 0, 0, 0], [u64::MAX; 6]] {
+                let data = SeccompData::for_syscall(i32::from(r.sid.as_u16()), &args);
+                let out = stack.run(&data).unwrap();
+                match r.verdict {
+                    Verdict::AlwaysAllow => {
+                        assert_eq!(out.action, SeccompAction::Allow, "sid {}", r.sid);
+                    }
+                    Verdict::AlwaysDeny(a) => assert_eq!(out.action, a, "sid {}", r.sid),
+                    Verdict::ArgDependent => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overridden_masks_are_flagged_as_disagreements() {
+        // Author a mask narrower than what the compiled filter checks by
+        // intersecting profiles... simplest: construct a rule whose mask
+        // selects byte 0 but compare the filter derived for a *wider*
+        // authored profile. Instead, hand-build the disagreement: analyze
+        // a profile, then ask how a *different* authored mask would have
+        // compared by checking the agreement logic through a stack whose
+        // filter checks more bytes than the rule advertises.
+        let mut wide = ProfileSpec::new("wide", SeccompAction::KillProcess);
+        wide.allow(
+            SyscallId::new(100),
+            SyscallRule {
+                args: ArgPolicy::whitelist(
+                    ArgBitmask::from_widths([4, 0, 0, 0, 0, 0]),
+                    vec![ArgSet::from_slice(&[7])],
+                ),
+                source: RuleSource::Runtime,
+            },
+        );
+        let stack = compile_stacked(&wide, FilterLayout::Linear).unwrap();
+        // The same stack, analyzed against a profile authored with a
+        // narrower mask, must disagree (filter reads bytes 0..4 of arg0,
+        // author claims only byte 0).
+        let mut narrow = ProfileSpec::new("narrow", SeccompAction::KillProcess);
+        narrow.allow(
+            SyscallId::new(100),
+            SyscallRule {
+                args: ArgPolicy::whitelist(
+                    ArgBitmask::from_widths([1, 0, 0, 0, 0, 0]),
+                    vec![ArgSet::from_slice(&[7])],
+                ),
+                source: RuleSource::Runtime,
+            },
+        );
+        let analysis = analyze_stack(&narrow, &stack);
+        let r = analysis.report(SyscallId::new(100)).unwrap();
+        assert_eq!(r.agreement, MaskAgreement::Disagreement);
+        assert_eq!(r.effective_mask(), ArgBitmask::from_widths([1, 0, 0, 0, 0, 0]), "authored override wins");
+        assert!(!analysis.is_clean());
+        assert_eq!(analysis.disagreements().count(), 1);
+    }
+
+    #[test]
+    fn narrower_derived_mask_is_preferred() {
+        // Authored mask claims bytes 0..4, filter only checks byte 0.
+        let mut narrow_filter = ProfileSpec::new("nf", SeccompAction::KillProcess);
+        narrow_filter.allow(
+            SyscallId::new(100),
+            SyscallRule {
+                args: ArgPolicy::whitelist(
+                    ArgBitmask::from_widths([1, 0, 0, 0, 0, 0]),
+                    vec![ArgSet::from_slice(&[7])],
+                ),
+                source: RuleSource::Runtime,
+            },
+        );
+        let stack = compile_stacked(&narrow_filter, FilterLayout::Linear).unwrap();
+        let mut wide_author = ProfileSpec::new("wa", SeccompAction::KillProcess);
+        wide_author.allow(
+            SyscallId::new(100),
+            SyscallRule {
+                args: ArgPolicy::whitelist(
+                    ArgBitmask::from_widths([4, 0, 0, 0, 0, 0]),
+                    vec![ArgSet::from_slice(&[7])],
+                ),
+                source: RuleSource::Runtime,
+            },
+        );
+        let analysis = analyze_stack(&wide_author, &stack);
+        let r = analysis.report(SyscallId::new(100)).unwrap();
+        assert_eq!(r.agreement, MaskAgreement::DerivedNarrower);
+        assert_eq!(r.effective_mask(), ArgBitmask::from_widths([1, 0, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn twox_profiles_analyze_like_their_single_pass_form() {
+        let mut gen = ProfileGenerator::new("app");
+        for nr in [0u16, 1, 202] {
+            gen.observe(&req(nr, &[1, 2, 3, 4, 5, 6]));
+        }
+        let p1 = gen.emit(ProfileKind::SyscallComplete);
+        let p2 = gen.emit(ProfileKind::SyscallComplete2x);
+        let a1 = analyze_profile(&p1).unwrap();
+        let a2 = analyze_profile(&p2).unwrap();
+        assert!(a2.is_clean(), "{:?}", a2.lints());
+        for (r1, r2) in a1.syscalls().iter().zip(a2.syscalls()) {
+            assert_eq!(r1.sid, r2.sid);
+            assert!(same_class(r1.verdict, r2.verdict));
+            assert_eq!(r1.derived_mask, r2.derived_mask, "sid {}", r1.sid);
+        }
+    }
+
+    #[test]
+    fn binary_tree_layout_derives_the_same_masks() {
+        let profile = firecracker();
+        let linear = analyze_stack(
+            &profile,
+            &compile_stacked(&profile, FilterLayout::Linear).unwrap(),
+        );
+        let tree = analyze_stack(
+            &profile,
+            &compile_stacked(&profile, FilterLayout::BinaryTree).unwrap(),
+        );
+        for (l, t) in linear.syscalls().iter().zip(tree.syscalls()) {
+            assert_eq!(l.sid, t.sid);
+            assert!(same_class(l.verdict, t.verdict), "sid {}", l.sid);
+            assert_eq!(l.derived_mask, t.derived_mask, "sid {}", l.sid);
+        }
+    }
+}

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod analysis;
 mod catalog;
 mod compile;
 mod docker_json;
@@ -45,6 +46,9 @@ mod serde_io;
 mod spec;
 mod stats;
 
+pub use analysis::{
+    analyze_profile, analyze_stack, FilterLint, MaskAgreement, ProfileAnalysis, SyscallReport,
+};
 pub use catalog::{
     docker_default, firecracker, gvisor_default, DOCKER_CLONE_FLAGS,
     DOCKER_PERSONALITY_VALUES, RUNTIME_REQUIRED,

@@ -20,7 +20,9 @@ use std::time::Instant;
 use draco_bpf::SeccompData;
 use draco_core::{DracoProcess, ProcessId};
 use draco_obs::{merge_spans, Histogram, MetricsRegistry, ReplayMetrics, Span, SpanTracer};
-use draco_profiles::{compile_stacked, FilterLayout, ProfileKind, ProfileSpec};
+use draco_profiles::{
+    analyze_profile, compile_stacked, FilterLayout, ProfileAnalysis, ProfileKind, ProfileSpec,
+};
 use draco_syscalls::SyscallRequest;
 
 use crate::model::WorkloadSpec;
@@ -191,15 +193,28 @@ struct ShardPlan {
     warmup: Vec<SyscallRequest>,
     measured: Vec<SyscallRequest>,
     profile: ProfileSpec,
+    /// Filter-analysis plan for the Draco backend, computed here — with
+    /// trace generation and compilation, before any clock starts — so
+    /// the measured region models an OS that analyzed the filter once
+    /// at install time.
+    analysis: Option<ProfileAnalysis>,
 }
 
-fn plan_shards(spec: &WorkloadSpec, kind: ProfileKind, cfg: &ReplayConfig) -> Vec<ShardPlan> {
+fn plan_shards(
+    spec: &WorkloadSpec,
+    kind: ProfileKind,
+    backend: ReplayBackend,
+    cfg: &ReplayConfig,
+) -> Vec<ShardPlan> {
     (0..cfg.shards)
         .map(|shard| {
             let seed = cfg.shard_seed(shard);
             let trace =
                 TraceGenerator::new(spec, seed).generate(cfg.warmup_ops + cfg.ops_per_shard);
             let profile = profile_for_trace(&trace, kind);
+            let analysis = (backend == ReplayBackend::DracoSw).then(|| {
+                analyze_profile(&profile).expect("generated profiles always compile")
+            });
             let mut reqs = trace.requests();
             let warmup: Vec<SyscallRequest> = reqs.by_ref().take(cfg.warmup_ops).collect();
             let measured: Vec<SyscallRequest> = reqs.collect();
@@ -209,6 +224,7 @@ fn plan_shards(spec: &WorkloadSpec, kind: ProfileKind, cfg: &ReplayConfig) -> Ve
                 warmup,
                 measured,
                 profile,
+                analysis,
             }
         })
         .collect()
@@ -299,8 +315,13 @@ fn run_shard(
             // conversion cannot fail in practice — but a silent `as`
             // truncation would alias ProcessIds; fail loudly instead.
             let pid = u32::try_from(plan.shard).expect("shard index exceeds ProcessId range");
-            let mut process = DracoProcess::spawn(ProcessId(pid), &plan.profile)
-                .expect("generated profiles always compile");
+            let mut process = match &plan.analysis {
+                Some(analysis) => {
+                    DracoProcess::spawn_analyzed(ProcessId(pid), &plan.profile, analysis)
+                }
+                None => DracoProcess::spawn(ProcessId(pid), &plan.profile),
+            }
+            .expect("generated profiles always compile");
             if let Some(tracer) = tracer {
                 process.checker_mut().install_span_tracer(tracer);
             }
@@ -369,7 +390,7 @@ fn replay_inner(
     trace: Option<&TraceConfig>,
 ) -> (ReplayReport, Vec<Span>) {
     assert!(cfg.shards > 0, "replay needs at least one shard");
-    let plans = plan_shards(spec, kind, cfg);
+    let plans = plan_shards(spec, kind, backend, cfg);
     let epoch = Instant::now();
     let start = Instant::now();
     let mut shards: Vec<ShardReport> = Vec::with_capacity(plans.len());
@@ -534,6 +555,32 @@ mod tests {
         );
         assert_eq!(seccomp.metrics.checker.total(), 0);
         assert_eq!(seccomp.metrics.replay.checks, seccomp.total_checks());
+    }
+
+    #[test]
+    fn draco_replay_reports_analysis_fast_path_counters() {
+        let spec = catalog::ipc_pipe();
+        // Every rule of a noargs profile is proven always-allow, so all
+        // SPT hits ride the static fast path.
+        let noargs = replay_parallel(
+            &spec,
+            ProfileKind::SyscallNoargs,
+            ReplayBackend::DracoSw,
+            &small_cfg(2),
+        );
+        let c = &noargs.metrics.checker;
+        assert!(c.always_allow_hits > 0);
+        assert_eq!(c.always_allow_hits, c.spt_hits);
+        // Complete profiles carry argument whitelists whose compiled
+        // filters yield exactly the authored masks back.
+        let complete = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &small_cfg(1),
+        );
+        assert!(complete.metrics.checker.masks_derived_match > 0);
+        assert_eq!(complete.metrics.checker.masks_overridden, 0);
     }
 
     #[test]
