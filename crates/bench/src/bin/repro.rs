@@ -117,6 +117,7 @@ fn run_throughput_cmd(args: &[String]) {
             "--warmup" => cfg.warmup_ops = parse(args, &mut i, "--warmup"),
             "--seed" => cfg.seed = parse(args, &mut i, "--seed"),
             "--shards" => cfg.shards = parse(args, &mut i, "--shards"),
+            "--shared-threads" => cfg.shared_threads = parse(args, &mut i, "--shared-threads"),
             "--workload" => cfg.workload = parse(args, &mut i, "--workload"),
             "--out" => out = Some(parse(args, &mut i, "--out")),
             "--trace" => trace_out = Some(parse(args, &mut i, "--trace")),
@@ -134,6 +135,7 @@ fn run_throughput_cmd(args: &[String]) {
     }
     assert!(cfg.warmup_ops < cfg.ops_per_shard, "--warmup must be below --ops");
     assert!(cfg.shards > 0, "--shards must be nonzero");
+    assert!(cfg.shared_threads > 0, "--shared-threads must be nonzero");
     assert!(trace_cfg.sample_interval > 0, "--sample must be nonzero");
 
     let tracing = trace_out.is_some() || folded_out.is_some();
@@ -200,6 +202,31 @@ fn run_throughput_cmd(args: &[String]) {
             b.parallel_speedup,
             b.cache_hit_rate * 100.0
         );
+    }
+    if !report.shared_threads.is_empty() {
+        println!();
+        println!(
+            "Thread-shared process — one SPT/VAT, {} worker threads (lock-free reads)",
+            report.shared_threads[0].threads
+        );
+        println!(
+            "{:<10} {:>14} {:>14} {:>9} {:>9} {:>24}",
+            "key mix", "1-worker", "N-worker", "scaling", "hit-rate", "retries/waits/races"
+        );
+        for s in &report.shared_threads {
+            println!(
+                "{:<10} {:>14.0} {:>14.0} {:>8.2}x {:>8.1}% {:>24}",
+                s.mix,
+                s.single_thread_checks_per_sec,
+                s.multi_thread_checks_per_sec,
+                s.scaling,
+                s.cache_hit_rate * 100.0,
+                format!(
+                    "{}/{}/{}",
+                    s.seqlock_retries, s.lock_waits, s.insert_races_lost
+                )
+            );
+        }
     }
     if tracing {
         println!("traced {} spans from the draco-sw multi-thread run", spans.len());
@@ -307,8 +334,8 @@ fn usage() {
          \x20               (writes BENCH_throughput.json and appends to\n\
          \x20               BENCH_history.jsonl; --quick writes the untracked\n\
          \x20               target/BENCH_throughput.quick.json; flags: --shards N\n\
-         \x20               --workload W --out PATH --trace PATH --folded PATH\n\
-         \x20               --sample N --stats)\n\
+         \x20               --shared-threads N --workload W --out PATH --trace PATH\n\
+         \x20               --folded PATH --sample N --stats)\n\
          \x20 compare       regression gate: report vs BENCH_history.jsonl\n\
          \x20               (flags: --report PATH --history PATH\n\
          \x20               --threshold-pct P --warn-only; exits 1 on regression)"

@@ -12,7 +12,8 @@
 use std::fmt;
 use std::fs::OpenOptions;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +45,15 @@ pub struct HistoryEntry {
     pub seccomp_interp_single_checks_per_sec: f64,
     /// Seccomp pre-decoded baseline, single-thread.
     pub seccomp_compiled_single_checks_per_sec: f64,
+    /// Thread-shared process, skewed mix, aggregate across all worker
+    /// threads (schema v4 reports; zero for entries appended before the
+    /// shared section existed).
+    #[serde(default)]
+    pub draco_shared_multi_checks_per_sec: f64,
+    /// Multi-worker over 1-worker scaling of the shared process, skewed
+    /// mix (hardware-dependent; recorded, not gated).
+    #[serde(default)]
+    pub draco_shared_scaling: f64,
 }
 
 impl HistoryEntry {
@@ -70,6 +80,16 @@ impl HistoryEntry {
                 .unwrap_or(0.0),
             seccomp_interp_single_checks_per_sec: single("seccomp-interp"),
             seccomp_compiled_single_checks_per_sec: single("seccomp-compiled"),
+            draco_shared_multi_checks_per_sec: report
+                .shared_threads
+                .first()
+                .map(|s| s.multi_thread_checks_per_sec)
+                .unwrap_or(0.0),
+            draco_shared_scaling: report
+                .shared_threads
+                .first()
+                .map(|s| s.scaling)
+                .unwrap_or(0.0),
         }
     }
 
@@ -158,15 +178,80 @@ pub fn compare(
     }
 }
 
+/// How long a sidecar lock may exist before a waiter presumes its owner
+/// crashed and steals it.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(2);
+
+/// Poll interval while waiting for the sidecar lock.
+const LOCK_RETRY_EVERY: Duration = Duration::from_millis(10);
+
+/// An advisory append lock implemented as a `<path>.lock` sidecar file
+/// created with `create_new` (atomic on every platform and filesystem,
+/// unlike `flock`, which this toolchain has no bindings for). The lock
+/// is released by deleting the sidecar on drop; a sidecar older than
+/// [`LOCK_STALE_AFTER`] is presumed orphaned by a crashed writer and
+/// stolen.
+struct HistoryLock {
+    path: PathBuf,
+}
+
+impl HistoryLock {
+    fn acquire(target: &Path) -> std::io::Result<HistoryLock> {
+        let mut path = target.as_os_str().to_owned();
+        path.push(".lock");
+        let path = PathBuf::from(path);
+        let mut waited = Duration::ZERO;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    // Owner pid, for humans inspecting a stuck lock.
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(HistoryLock { path });
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if waited >= LOCK_STALE_AFTER {
+                        // Steal: remove and retry with create_new, so of
+                        // N stealers exactly one wins the next round.
+                        let _ = std::fs::remove_file(&path);
+                        waited = Duration::ZERO;
+                        continue;
+                    }
+                    std::thread::sleep(LOCK_RETRY_EVERY);
+                    waited += LOCK_RETRY_EVERY;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+impl Drop for HistoryLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Appends one entry to a JSONL history file (created if missing).
+///
+/// The append is atomic against concurrent appenders: the whole line —
+/// JSON plus trailing newline — is staged into one buffer and handed to
+/// the kernel as a **single `write_all` on an `O_APPEND` descriptor**,
+/// under the `<path>.lock` sidecar advisory lock. Two racing `repro
+/// throughput` runs therefore cannot interleave bytes mid-line (which
+/// previously could split a line into `serde_json` output and a
+/// separately written `\n`, corrupting both entries for
+/// [`load_history`]).
 ///
 /// # Errors
 ///
-/// Returns any I/O error from opening or writing the file.
+/// Returns any I/O error from locking, opening, or writing the file.
 pub fn append_history(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
-    let line = serde_json::to_string(entry).expect("history entries always serialize");
+    let mut line = serde_json::to_string(entry).expect("history entries always serialize");
+    line.push('\n');
+    let _lock = HistoryLock::acquire(path)?;
     let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-    writeln!(file, "{line}")
+    file.write_all(line.as_bytes())?;
+    file.flush()
 }
 
 /// Loads every parseable entry from a JSONL history file. A missing
@@ -202,6 +287,7 @@ mod tests {
             warmup_ops: 20,
             seed: 11,
             shards: 2,
+            shared_threads: 2,
         })
     }
 
@@ -315,6 +401,96 @@ mod tests {
         }
         let loaded = load_history(&path).unwrap();
         assert_eq!(loaded, vec![entry.clone(), entry]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn entry_carries_shared_rates_and_tolerates_their_absence() {
+        let report = tiny_report();
+        let entry = HistoryEntry::from_report(&report);
+        assert!(
+            entry.draco_shared_multi_checks_per_sec > 0.0,
+            "v4 reports populate the shared rate"
+        );
+        assert!(entry.draco_shared_scaling > 0.0);
+        // Entries appended before schema v4 lack the shared keys entirely;
+        // they are the last two fields, so truncating the serialized line
+        // at the first of them yields a faithful pre-v4 entry.
+        let json = serde_json::to_string(&entry).unwrap();
+        let cut = json
+            .find(",\"draco_shared_multi_checks_per_sec\"")
+            .expect("shared keys serialize");
+        let old: HistoryEntry = serde_json::from_str(&format!("{}}}", &json[..cut])).unwrap();
+        assert_eq!(old.draco_shared_multi_checks_per_sec, 0.0);
+        assert_eq!(old.draco_shared_scaling, 0.0);
+    }
+
+    /// Regression test for the non-atomic append: the old implementation
+    /// wrote the JSON and the trailing newline as two syscalls with no
+    /// lock, so concurrent appenders could interleave and corrupt both
+    /// lines. Hammer the file from many threads and require every line
+    /// to parse back intact.
+    #[test]
+    fn concurrent_appends_never_tear_lines() {
+        let report = tiny_report();
+        let dir = std::env::temp_dir().join("draco-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("history-race-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        const WRITERS: usize = 8;
+        const APPENDS_EACH: u64 = 16;
+        std::thread::scope(|scope| {
+            for writer in 0..WRITERS {
+                let path = &path;
+                let report = &report;
+                scope.spawn(move || {
+                    for i in 0..APPENDS_EACH {
+                        let mut entry = HistoryEntry::from_report(report);
+                        // Tag each line so loss would also be detectable.
+                        entry.ops_per_shard = (writer as u64) * APPENDS_EACH + i;
+                        append_history(path, &entry).unwrap();
+                    }
+                });
+            }
+        });
+
+        // Every appended line must parse; none may be torn or lost.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = raw.lines().collect();
+        assert_eq!(lines.len(), WRITERS * APPENDS_EACH as usize);
+        let mut tags: Vec<u64> = lines
+            .iter()
+            .map(|line| {
+                serde_json::from_str::<HistoryEntry>(line)
+                    .unwrap_or_else(|err| panic!("torn line {line:?}: {err}"))
+                    .ops_per_shard
+            })
+            .collect();
+        tags.sort_unstable();
+        let expected: Vec<u64> = (0..WRITERS as u64 * APPENDS_EACH).collect();
+        assert_eq!(tags, expected, "no append may be lost");
+        assert!(
+            !std::path::Path::new(&format!("{}.lock", path.display())).exists(),
+            "the sidecar lock is released after every append"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_sidecar_locks_are_stolen() {
+        let dir = std::env::temp_dir().join("draco-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("history-stale-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let lock_path = PathBuf::from(format!("{}.lock", path.display()));
+        // Simulate a crashed writer that left its lock behind.
+        std::fs::write(&lock_path, b"dead").unwrap();
+        let report = tiny_report();
+        let entry = HistoryEntry::from_report(&report);
+        append_history(&path, &entry).unwrap();
+        assert_eq!(load_history(&path).unwrap(), vec![entry]);
+        assert!(!lock_path.exists());
         std::fs::remove_file(&path).unwrap();
     }
 }

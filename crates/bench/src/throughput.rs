@@ -15,11 +15,14 @@ use draco::workloads::replay::{
     replay_parallel, replay_parallel_traced, ReplayBackend, ReplayConfig, ReplayReport,
     TraceConfig,
 };
+use draco::workloads::shared_replay::{replay_shared, KeyMix, SharedReplayConfig};
+use draco::workloads::WorkloadSpec;
 
 /// Schema tag written into every report (bump on breaking changes).
-/// v2 added the `metrics` observability section; v3 adds per-backend
-/// sampled check-latency histograms (`check_latency_ns`).
-pub const SCHEMA: &str = "draco-throughput/v3";
+/// v2 added the `metrics` observability section; v3 added per-backend
+/// sampled check-latency histograms (`check_latency_ns`); v4 adds the
+/// `shared_threads` section (thread-shared SPT/VAT scaling, paper §VI).
+pub const SCHEMA: &str = "draco-throughput/v4";
 
 /// Harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,6 +37,9 @@ pub struct ThroughputConfig {
     pub seed: u64,
     /// Shard (thread) count for the multi-thread run.
     pub shards: usize,
+    /// Worker-thread count for the shared-process runs
+    /// (the `shared_threads` report section).
+    pub shared_threads: usize,
 }
 
 impl ThroughputConfig {
@@ -45,6 +51,7 @@ impl ThroughputConfig {
             warmup_ops: 20_000,
             seed: 2020,
             shards: default_shards(),
+            shared_threads: default_shards(),
         }
     }
 
@@ -96,6 +103,39 @@ pub struct BackendThroughput {
     pub check_latency_ns: Histogram,
 }
 
+/// One key mix's thread-shared scaling measurement (schema v4): N
+/// worker threads of a single [`draco::core::SharedDracoProcess`]
+/// against the 1-worker rate of the same shared code path.
+///
+/// The contention counters come from the N-worker run's merged checker
+/// section. They are interleaving-dependent (unlike everything in
+/// [`ThroughputReport::metrics`]), which is why this section carries
+/// them itself and is excluded from the deterministic registry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SharedThroughput {
+    /// Key mix label (`skewed` or `uniform`).
+    pub mix: String,
+    /// Worker-thread count of the multi-worker run.
+    pub threads: u64,
+    /// Checks/second with one worker on the shared process.
+    pub single_thread_checks_per_sec: f64,
+    /// Aggregate checks/second with `threads` workers on the shared
+    /// process.
+    pub multi_thread_checks_per_sec: f64,
+    /// Multi-worker over single-worker throughput. Hardware-dependent:
+    /// near-linear on enough free cores, ~1.0 on a single-CPU host.
+    pub scaling: f64,
+    /// Fraction of measured checks the shared SPT/VAT absorbed.
+    pub cache_hit_rate: f64,
+    /// Seqlock read retries across all workers of the multi-worker run.
+    pub seqlock_retries: u64,
+    /// Miss-path lock waits across all workers.
+    pub lock_waits: u64,
+    /// Validation races lost (another worker validated the same
+    /// argument set first).
+    pub insert_races_lost: u64,
+}
+
 /// The full report `repro throughput` prints and writes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -119,6 +159,10 @@ pub struct ThroughputReport {
     /// Draco shards (the Seccomp backends have no tables to feed).
     /// Deterministic for a given `(workload, seed, shards)`.
     pub metrics: MetricsRegistry,
+    /// Thread-shared SPT/VAT scaling (one entry per key mix, in
+    /// [`KeyMix::ALL`] order). Empty when parsing pre-v4 reports.
+    #[serde(default)]
+    pub shared_threads: Vec<SharedThroughput>,
 }
 
 impl ThroughputReport {
@@ -158,6 +202,46 @@ fn summarize(single: &ReplayReport, multi: &ReplayReport) -> BackendThroughput {
         shard_allowed: multi.shards.iter().map(|s| s.allowed).collect(),
         check_latency_ns: multi.latency_hist(),
     }
+}
+
+/// The shared-process scaling section: for each key mix, a 1-worker and
+/// a `cfg.shared_threads`-worker run of the same shared code path.
+fn run_shared_section(spec: &WorkloadSpec, cfg: &ThroughputConfig) -> Vec<SharedThroughput> {
+    KeyMix::ALL
+        .iter()
+        .map(|&mix| {
+            let base = SharedReplayConfig {
+                threads: 1,
+                ops_per_thread: cfg.ops_per_shard,
+                warmup_ops: cfg.warmup_ops,
+                base_seed: cfg.seed,
+                mix,
+            };
+            let single = replay_shared(spec, ProfileKind::SyscallComplete, &base);
+            let multi = replay_shared(
+                spec,
+                ProfileKind::SyscallComplete,
+                &SharedReplayConfig {
+                    threads: cfg.shared_threads,
+                    ..base
+                },
+            );
+            let st = finite_or_zero(single.checks_per_sec());
+            let mt = finite_or_zero(multi.checks_per_sec());
+            let c = &multi.metrics.checker;
+            SharedThroughput {
+                mix: mix.label().to_owned(),
+                threads: cfg.shared_threads as u64,
+                single_thread_checks_per_sec: st,
+                multi_thread_checks_per_sec: mt,
+                scaling: if st > 0.0 { finite_or_zero(mt / st) } else { 0.0 },
+                cache_hit_rate: finite_or_zero(multi.cache_hit_rate()),
+                seqlock_retries: c.seqlock_retries,
+                lock_waits: c.vat_lock_waits,
+                insert_races_lost: c.insert_races_lost,
+            }
+        })
+        .collect()
 }
 
 /// Runs the harness: for each backend, one single-shard replay and one
@@ -223,6 +307,7 @@ fn run_throughput_inner(
             summarize(&single, &multi)
         })
         .collect();
+    let shared_threads = run_shared_section(&spec, cfg);
     let report = ThroughputReport {
         schema: SCHEMA.to_owned(),
         workload: cfg.workload.clone(),
@@ -232,6 +317,7 @@ fn run_throughput_inner(
         shards: cfg.shards as u64,
         backends,
         metrics,
+        shared_threads,
     };
     (report, spans)
 }
@@ -247,6 +333,7 @@ mod tests {
             warmup_ops: 50,
             seed: 7,
             shards: 2,
+            shared_threads: 2,
         }
     }
 
@@ -269,6 +356,17 @@ mod tests {
         for b in &report.backends {
             assert_eq!(b.check_latency_ns.count(), 4, "{}", b.backend);
         }
+        // v4: one shared-process entry per key mix.
+        assert_eq!(report.shared_threads.len(), 2);
+        for (s, mix) in report.shared_threads.iter().zip(KeyMix::ALL) {
+            assert_eq!(s.mix, mix.label());
+            assert_eq!(s.threads, 2);
+            assert!(s.single_thread_checks_per_sec > 0.0, "{}", s.mix);
+            assert!(s.multi_thread_checks_per_sec > 0.0, "{}", s.mix);
+            assert!(s.scaling > 0.0, "{}", s.mix);
+        }
+        let skewed = &report.shared_threads[0];
+        assert!(skewed.cache_hit_rate > 0.5, "shared hot keys re-hit");
     }
 
     #[test]
@@ -301,6 +399,15 @@ mod tests {
         for b in &back.backends {
             assert!(b.check_latency_ns.is_empty(), "defaulted");
         }
+    }
+
+    #[test]
+    fn pre_v4_reports_without_shared_section_still_parse() {
+        let report = run_throughput(&tiny());
+        let mut json = serde_json::to_string(&report).expect("serializes");
+        json = json.replace("\"shared_threads\"", "\"renamed_away\"");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        assert!(back.shared_threads.is_empty(), "defaulted");
     }
 
     #[test]
@@ -368,6 +475,7 @@ mod tests {
             shards: 0,
             backends: vec![summary],
             metrics: MetricsRegistry::default(),
+            shared_threads: Vec::new(),
         };
         let json = serde_json::to_string(&report).expect("serializes");
         assert!(!json.contains("null"), "no non-finite rate leaked: {json}");

@@ -85,7 +85,7 @@ pub struct CheckResult {
 /// and covers — by the analyzer's taint proof — every argument byte the
 /// filter's decision can depend on.
 #[derive(Debug)]
-struct AnalysisPlan {
+pub(crate) struct AnalysisPlan {
     /// Syscalls proven `Allow` for every argument vector. Hits need
     /// neither CRC hashing nor a VAT probe.
     always_allow: Vec<bool>,
@@ -94,14 +94,14 @@ struct AnalysisPlan {
     masks: Vec<Option<ArgBitmask>>,
     /// Whitelist rules whose derived mask matched or narrowed the
     /// authored one.
-    derived_match: u64,
+    pub(crate) derived_match: u64,
     /// Whitelist rules where the authored mask overrode a disagreeing
     /// derived mask.
-    overridden: u64,
+    pub(crate) overridden: u64,
 }
 
 impl AnalysisPlan {
-    fn from_analysis(analysis: &ProfileAnalysis, capacity: usize) -> Self {
+    pub(crate) fn from_analysis(analysis: &ProfileAnalysis, capacity: usize) -> Self {
         let mut plan = AnalysisPlan {
             always_allow: vec![false; capacity],
             masks: vec![None; capacity],
@@ -129,14 +129,14 @@ impl AnalysisPlan {
         plan
     }
 
-    fn always_allows(&self, id: SyscallId) -> bool {
+    pub(crate) fn always_allows(&self, id: SyscallId) -> bool {
         self.always_allow
             .get(id.as_u16() as usize)
             .copied()
             .unwrap_or(false)
     }
 
-    fn mask(&self, id: SyscallId) -> Option<ArgBitmask> {
+    pub(crate) fn mask(&self, id: SyscallId) -> Option<ArgBitmask> {
         self.masks.get(id.as_u16() as usize).copied().flatten()
     }
 }
@@ -298,6 +298,9 @@ impl DracoChecker {
                 filter_insns: self.stats.filter_insns,
                 denials: self.stats.denials,
                 vat_inserts: self.stats.vat_inserts,
+                seqlock_retries: self.stats.seqlock_retries,
+                vat_lock_waits: self.stats.vat_lock_waits,
+                insert_races_lost: self.stats.insert_races_lost,
                 masks_derived_match: self.analysis.as_ref().map_or(0, |p| p.derived_match),
                 masks_overridden: self.analysis.as_ref().map_or(0, |p| p.overridden),
                 insns_per_filter_run: self.insns_per_filter_run,

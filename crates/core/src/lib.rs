@@ -51,6 +51,7 @@ mod error;
 mod os;
 mod process;
 mod sentry;
+mod shared;
 mod spt;
 mod stats;
 mod vat;
@@ -60,6 +61,7 @@ pub use error::DracoError;
 pub use os::{DracoOs, OsError};
 pub use process::{DracoProcess, ProcessId};
 pub use sentry::{SentryOutcome, SentryPipeline};
+pub use shared::{SharedDracoProcess, SharedThreadHandle};
 pub use spt::{Spt, SptEntry};
 pub use stats::CheckerStats;
 pub use vat::{Vat, VatKey, VatLookup};

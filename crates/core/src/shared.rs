@@ -1,0 +1,1095 @@
+//! Thread-shared Draco state (paper §VI).
+//!
+//! Every thread of a process shares one SPT and one VAT: "all threads in
+//! the process share the same filter" and the kernel "updates the VAT
+//! with a lock while lookups can still proceed" (§VI). This module is the
+//! software model of that sharing:
+//!
+//! * the **check hot path is lock-free** — an SPT read is one atomic
+//!   word load, a VAT probe is two seqlocked cuckoo-slot reads
+//!   ([`draco_cuckoo::ConcurrentTable`]); a reader never blocks and never
+//!   observes a torn 48-byte key / hash pair;
+//! * only the **miss path** — filter execution and the subsequent VAT
+//!   insert — takes a lock, and it is per-table: updates to one syscall's
+//!   table never stall lookups (or updates) on another's;
+//! * lifecycle follows the paper: [`SharedDracoProcess::spawn_thread`]
+//!   shares the tables, [`SharedDracoProcess::fork`] starts cold with the
+//!   same profile, and [`SharedDracoProcess::install_additional`]
+//!   atomically swaps the policy and flushes cached state without ever
+//!   stalling the lock-free readers.
+//!
+//! # Soundness under concurrency
+//!
+//! The serial checker's argument (stateless profiles; only positive
+//! verdicts are cached) carries over, with two concurrent hazards
+//! discharged by protocol:
+//!
+//! * **Torn reads** are impossible by the seqlock argument (see
+//!   `docs/concurrency.md`); a reader under sustained writer pressure
+//!   falls back to a miss, which merely re-runs the filter.
+//! * **Stale inserts** around [`SharedDracoProcess::install_additional`]
+//!   are prevented by an epoch: a miss-path thread captures the epoch
+//!   *before* running the filter and re-checks it *inside* the write
+//!   critical section. `install_additional` bumps the epoch before it
+//!   flushes, so a validation from the old policy either lands before
+//!   the flush (and is wiped by it) or observes the bumped epoch and is
+//!   dropped. In-flight checks may still *return* a verdict from the
+//!   policy that was installed when they started — exactly the semantics
+//!   of a kernel filter attach racing in-flight syscalls — but no stale
+//!   verdict is ever cached.
+
+use core::fmt;
+
+#[cfg(loom)]
+use loom::sync::{
+    atomic::{AtomicBool, AtomicU64, Ordering},
+    Arc, Mutex, RwLock,
+};
+#[cfg(not(loom))]
+use std::sync::{
+    atomic::{AtomicBool, AtomicU64, Ordering},
+    Arc, Mutex, RwLock,
+};
+
+use std::sync::OnceLock;
+
+use draco_bpf::{SeccompAction, SeccompData};
+use draco_cuckoo::{ConcurrentTable, InsertOutcome};
+use draco_obs::{CheckerMetrics, CuckooMetrics, Histogram, MetricsRegistry, VatMetrics};
+use draco_profiles::{
+    analyze_profile, compile_stacked, ArgPolicy, CompiledStack, FilterLayout, ProfileAnalysis,
+    ProfileSpec, SyscallRule,
+};
+use draco_syscalls::{ArgBitmask, SyscallId, SyscallRequest, SyscallTable};
+
+use crate::checker::AnalysisPlan;
+use crate::{CheckMode, CheckPath, CheckResult, CheckerStats, DracoError, ProcessId};
+
+/// Low 48 bits of an SPT word: the Argument Bitmask.
+const SPT_MASK_BITS: u64 = (1 << 48) - 1;
+/// The syscall checks arguments (a VAT table exists for it).
+const SPT_HAS_VAT: u64 = 1 << 48;
+/// The entry is valid.
+const SPT_VALID: u64 = 1 << 49;
+/// The analyzer proved the syscall always-allowed.
+const SPT_ALWAYS_ALLOW: u64 = 1 << 50;
+
+/// A decoded shared-SPT entry.
+#[derive(Clone, Copy, Debug)]
+struct SptWord {
+    mask: ArgBitmask,
+    has_vat: bool,
+    always_allow: bool,
+}
+
+/// The shared SPT: one atomic word per syscall. An entry packs the
+/// 48-bit Argument Bitmask with the Valid / has-VAT / always-allow flags
+/// into a single `u64`, so the hot-path read is one `Acquire` load — no
+/// seqlock needed, a word can never tear.
+///
+/// The serial SPT's *Base* field (the VAT table index) is implicit here:
+/// the shared VAT is a direct-mapped table directory indexed by raw
+/// syscall number.
+struct SharedSpt {
+    words: Box<[AtomicU64]>,
+}
+
+impl SharedSpt {
+    fn new(capacity: usize) -> Self {
+        SharedSpt {
+            words: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Lock-free entry read (one atomic load).
+    fn load(&self, id: SyscallId) -> Option<SptWord> {
+        let word = self.words.get(id.index())?.load(Ordering::Acquire);
+        if word & SPT_VALID == 0 {
+            return None;
+        }
+        Some(SptWord {
+            mask: ArgBitmask::from_raw(word & SPT_MASK_BITS),
+            has_vat: word & SPT_HAS_VAT != 0,
+            always_allow: word & SPT_ALWAYS_ALLOW != 0,
+        })
+    }
+
+    /// Marks `id` validated. Out-of-range IDs are ignored (they can never
+    /// be validated; the check falls back to the filter, which denies).
+    fn store(&self, id: SyscallId, mask: ArgBitmask, has_vat: bool, always_allow: bool) {
+        if let Some(cell) = self.words.get(id.index()) {
+            let mut word = SPT_VALID | mask.raw();
+            if has_vat {
+                word |= SPT_HAS_VAT;
+            }
+            if always_allow {
+                word |= SPT_ALWAYS_ALLOW;
+            }
+            cell.store(word, Ordering::Release);
+        }
+    }
+
+    fn invalidate_all(&self) {
+        for cell in self.words.iter() {
+            cell.store(0, Ordering::Release);
+        }
+    }
+
+    fn valid_count(&self) -> usize {
+        self.words
+            .iter()
+            .filter(|cell| cell.load(Ordering::Acquire) & SPT_VALID != 0)
+            .count()
+    }
+}
+
+/// The shared VAT: a direct-mapped directory of per-syscall concurrent
+/// cuckoo tables, indexed by raw syscall number. A resolved table is
+/// reached with one lock-free `OnceLock::get`; creation happens at most
+/// once per syscall, on the miss path.
+struct SharedVat {
+    tables: Box<[OnceLock<ConcurrentTable>]>,
+    min_capacity: usize,
+    capacity_cap: Option<usize>,
+}
+
+impl SharedVat {
+    fn new(capacity: usize, capacity_cap: Option<usize>) -> Self {
+        SharedVat {
+            tables: (0..capacity).map(|_| OnceLock::new()).collect(),
+            min_capacity: crate::Vat::DEFAULT_MIN_CAPACITY,
+            capacity_cap,
+        }
+    }
+
+    /// Lock-free table resolution for the probe hot path.
+    fn get(&self, id: SyscallId) -> Option<&ConcurrentTable> {
+        self.tables.get(id.index())?.get()
+    }
+
+    /// Creates (or finds) the table for a syscall, over-provisioned to
+    /// twice the expected argument sets (paper §VII-A), subject to the
+    /// memory cap.
+    fn ensure(&self, id: SyscallId, expected_sets: usize) -> Option<&ConcurrentTable> {
+        let cell = self.tables.get(id.index())?;
+        Some(cell.get_or_init(|| {
+            let mut capacity = (expected_sets * 2).max(self.min_capacity);
+            if let Some(cap) = self.capacity_cap {
+                capacity = capacity.min(cap.max(2));
+            }
+            ConcurrentTable::with_capacity(capacity)
+        }))
+    }
+
+    fn allocated(&self) -> impl Iterator<Item = &ConcurrentTable> {
+        self.tables.iter().filter_map(|cell| cell.get())
+    }
+
+    /// Clears every allocated table, each under its own write lock —
+    /// readers (and writers) of *other* syscalls are never stalled.
+    fn clear_all(&self) {
+        for table in self.allocated() {
+            table.clear();
+        }
+    }
+
+    fn table_count(&self) -> usize {
+        self.allocated().count()
+    }
+
+    fn resident_sets(&self) -> usize {
+        self.allocated().map(|t| t.len()).sum()
+    }
+
+    /// Packed-record footprint, costed like the serial VAT (48 value
+    /// bytes + an 8-byte hash/metadata word per slot) so shared and
+    /// per-thread runs report comparable numbers.
+    fn footprint_bytes(&self) -> usize {
+        const ENTRY_BYTES: usize = 48 + 8;
+        self.allocated()
+            .map(|t| t.capacity() * ENTRY_BYTES)
+            .sum()
+    }
+
+    /// Writer-side counters aggregated across tables. Reader hits and
+    /// misses live in each thread's [`CheckerStats`] (the lock-free read
+    /// path owns no shared counters), so this section reports insertion
+    /// traffic only.
+    fn cuckoo_metrics(&self) -> CuckooMetrics {
+        let mut merged = CuckooMetrics::default();
+        for table in self.allocated() {
+            let stats = table.stats();
+            merged.insertions = merged.insertions.saturating_add(stats.insertions);
+            merged.updates = merged.updates.saturating_add(stats.updates);
+            merged.evictions = merged.evictions.saturating_add(stats.evictions);
+            merged.relocations = merged.relocations.saturating_add(stats.relocations);
+        }
+        merged
+    }
+}
+
+/// The swappable policy: profile, compiled filter stack, check mode, and
+/// the optional analysis plan — everything `install_additional` replaces
+/// atomically.
+struct Policy {
+    profile: ProfileSpec,
+    filter: CompiledStack,
+    mode: CheckMode,
+    plan: Option<AnalysisPlan>,
+}
+
+impl Policy {
+    fn build(profile: ProfileSpec, plan: Option<AnalysisPlan>) -> Result<Self, DracoError> {
+        let mode = if profile.checks_arguments() {
+            CheckMode::IdAndArgs
+        } else {
+            CheckMode::IdOnly
+        };
+        let stack =
+            compile_stacked(&profile, FilterLayout::Linear).map_err(DracoError::FilterCompile)?;
+        Ok(Policy {
+            filter: stack.compiled(),
+            profile,
+            mode,
+            plan,
+        })
+    }
+
+    /// How a validated syscall gets cached — the shared twin of the
+    /// serial checker's `cache_plan`.
+    fn cache_plan(&self, id: SyscallId, rule: &SyscallRule) -> (ArgBitmask, Option<usize>) {
+        if let Some(plan) = &self.plan {
+            if plan.always_allows(id) {
+                return (ArgBitmask::EMPTY, None);
+            }
+        }
+        match (&rule.args, self.mode) {
+            (ArgPolicy::Whitelist { mask, sets }, CheckMode::IdAndArgs) => {
+                let mask = self
+                    .plan
+                    .as_ref()
+                    .and_then(|plan| plan.mask(id))
+                    .unwrap_or(*mask);
+                (mask, Some(sets.len()))
+            }
+            _ => (ArgBitmask::EMPTY, None),
+        }
+    }
+
+    fn always_allows(&self, id: SyscallId) -> bool {
+        self.plan.as_ref().is_some_and(|plan| plan.always_allows(id))
+    }
+}
+
+/// Check-traffic accumulator merged from finished thread sessions.
+struct Aggregate {
+    stats: CheckerStats,
+    insns_per_filter_run: Histogram,
+    saved_insns_per_hit: Histogram,
+}
+
+/// The state every thread handle shares.
+struct SharedState {
+    pid: ProcessId,
+    spt: SharedSpt,
+    vat: SharedVat,
+    /// The current policy. Read-locked briefly on the miss path (to
+    /// clone the `Arc`); write-locked only by `install_additional`.
+    policy: RwLock<Arc<Policy>>,
+    /// Serializes shared-SPT writes against each other and against the
+    /// `install_additional` flush (VAT tables carry their own per-table
+    /// locks).
+    update: Mutex<()>,
+    /// Bumped by every `install_additional`/`flush`; miss-path threads
+    /// re-check it inside their write critical sections so a validation
+    /// from a superseded policy is never cached.
+    epoch: AtomicU64,
+    alive: AtomicBool,
+    aggregate: Mutex<Aggregate>,
+}
+
+impl SharedState {
+    fn lock_aggregate(&self) -> std::sync::MutexGuard<'_, Aggregate> {
+        self.aggregate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn read_policy(&self) -> Arc<Policy> {
+        self.policy
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// A process whose SPT and VAT are shared by every thread spawned from
+/// it (paper §VI). Cheap to clone handles from; the tables live exactly
+/// as long as the last handle.
+///
+/// # Example
+///
+/// ```
+/// use draco_core::{ProcessId, SharedDracoProcess};
+/// use draco_profiles::docker_default;
+/// use draco_syscalls::{ArgSet, SyscallId, SyscallRequest};
+///
+/// let process = SharedDracoProcess::spawn(ProcessId(1), &docker_default())?;
+/// let mut t1 = process.spawn_thread();
+/// let mut t2 = process.spawn_thread();
+/// let read = SyscallRequest::new(0, SyscallId::new(0), ArgSet::from_slice(&[3, 0, 64]));
+/// // Thread 1 validates through the filter…
+/// assert!(!t1.check(&read).path.is_cache_hit());
+/// // …and thread 2 hits the *shared* tables immediately.
+/// assert!(t2.check(&read).path.is_cache_hit());
+/// # Ok::<(), draco_core::DracoError>(())
+/// ```
+pub struct SharedDracoProcess {
+    state: Arc<SharedState>,
+}
+
+impl SharedDracoProcess {
+    /// Creates a shared process with the given profile installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    pub fn spawn(pid: ProcessId, profile: &ProfileSpec) -> Result<Self, DracoError> {
+        Self::spawn_inner(pid, profile.clone(), None, None)
+    }
+
+    /// Creates a shared process with a precomputed filter-analysis plan
+    /// installed and the SPT preloaded, like
+    /// [`DracoProcess::spawn_analyzed`](crate::DracoProcess::spawn_analyzed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` was computed for a different profile.
+    pub fn spawn_analyzed(
+        pid: ProcessId,
+        profile: &ProfileSpec,
+        analysis: &ProfileAnalysis,
+    ) -> Result<Self, DracoError> {
+        assert_eq!(
+            analysis.name(),
+            profile.name(),
+            "analysis plan must match the installed profile"
+        );
+        let capacity = SyscallTable::shared().capacity();
+        let plan = AnalysisPlan::from_analysis(analysis, capacity);
+        let process = Self::spawn_inner(pid, profile.clone(), Some(plan), None)?;
+        process.preload();
+        Ok(process)
+    }
+
+    /// Like [`SharedDracoProcess::spawn`], with every VAT table capped at
+    /// `cap` entries (memory-pressure policy; evicted argument sets
+    /// revalidate through the filter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    pub fn spawn_capped(
+        pid: ProcessId,
+        profile: &ProfileSpec,
+        cap: usize,
+    ) -> Result<Self, DracoError> {
+        Self::spawn_inner(pid, profile.clone(), None, Some(cap))
+    }
+
+    fn spawn_inner(
+        pid: ProcessId,
+        profile: ProfileSpec,
+        plan: Option<AnalysisPlan>,
+        capacity_cap: Option<usize>,
+    ) -> Result<Self, DracoError> {
+        let capacity = SyscallTable::shared().capacity();
+        let policy = Policy::build(profile, plan)?;
+        Ok(SharedDracoProcess {
+            state: Arc::new(SharedState {
+                pid,
+                spt: SharedSpt::new(capacity),
+                vat: SharedVat::new(capacity, capacity_cap),
+                policy: RwLock::new(Arc::new(policy)),
+                update: Mutex::new(()),
+                epoch: AtomicU64::new(0),
+                alive: AtomicBool::new(true),
+                aggregate: Mutex::new(Aggregate {
+                    stats: CheckerStats::default(),
+                    insns_per_filter_run: Histogram::default(),
+                    saved_insns_per_hit: Histogram::default(),
+                }),
+            }),
+        })
+    }
+
+    /// The process ID.
+    pub fn pid(&self) -> ProcessId {
+        self.state.pid
+    }
+
+    /// Whether the process group is still running (any thread observing a
+    /// `KillProcess`/`KillThread` verdict through
+    /// [`SharedThreadHandle::syscall`] terminates it).
+    pub fn is_alive(&self) -> bool {
+        self.state.alive.load(Ordering::Acquire)
+    }
+
+    /// The installed profile (a clone — the live spec sits behind the
+    /// policy lock).
+    pub fn profile(&self) -> ProfileSpec {
+        self.state.read_policy().profile.clone()
+    }
+
+    /// Whether an analysis plan is installed.
+    pub fn has_analysis(&self) -> bool {
+        self.state.read_policy().plan.is_some()
+    }
+
+    /// Creates a checking handle that shares this process's SPT/VAT —
+    /// the paper's thread spawn (§VI: new threads share the tables, so a
+    /// pair validated by any thread is a hit for all).
+    pub fn spawn_thread(&self) -> SharedThreadHandle {
+        SharedThreadHandle {
+            state: Arc::clone(&self.state),
+            stats: CheckerStats::default(),
+            insns_per_filter_run: Histogram::default(),
+            saved_insns_per_hit: Histogram::default(),
+        }
+    }
+
+    /// Forks the process: the child inherits the profile but starts with
+    /// cold, *unshared* tables (existing [`crate::DracoProcess::fork`]
+    /// semantics — a forked address space shares nothing with the
+    /// parent's Draco state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if re-compiling the inherited profile fails.
+    pub fn fork(&self, child_pid: ProcessId) -> Result<SharedDracoProcess, DracoError> {
+        SharedDracoProcess::spawn(child_pid, &self.profile())
+    }
+
+    /// Attaches an additional filter: the effective policy becomes the
+    /// intersection (kernel most-restrictive combining), the analysis
+    /// plan (if any) is re-derived for it, and every cached validation is
+    /// flushed — *without stalling readers*: the policy swap is one
+    /// `Arc` replacement, the SPT flush runs under the update lock only,
+    /// and each VAT table is cleared under its own lock while lookups on
+    /// other syscalls proceed untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::FilterCompile`] if the combined filter (or
+    /// its re-analysis) fails to compile.
+    pub fn install_additional(&self, extra: &ProfileSpec) -> Result<(), DracoError> {
+        let state = &self.state;
+        {
+            let mut guard = state
+                .policy
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let combined = guard.profile.intersect(extra);
+            let plan = if guard.plan.is_some() {
+                let analysis = analyze_profile(&combined).map_err(DracoError::FilterCompile)?;
+                let capacity = SyscallTable::shared().capacity();
+                Some(AnalysisPlan::from_analysis(&analysis, capacity))
+            } else {
+                None
+            };
+            *guard = Arc::new(Policy::build(combined, plan)?);
+        }
+        self.flush();
+        Ok(())
+    }
+
+    /// Clears all cached state (the paper's one-shot clear, §VII-B),
+    /// safely against concurrent checking threads: the epoch bump
+    /// invalidates in-flight miss-path validations before the tables are
+    /// wiped.
+    pub fn flush(&self) {
+        let state = &self.state;
+        // Order matters: bump the epoch *first* so any in-flight
+        // validation either lands before the wipe below (and is erased)
+        // or sees the new epoch inside its critical section and aborts.
+        state.epoch.fetch_add(1, Ordering::AcqRel);
+        {
+            let _update = state
+                .update
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.spt.invalidate_all();
+        }
+        state.vat.clear_all();
+    }
+
+    /// Pre-populates the SPT (and VAT table directory) from the profile,
+    /// as the OS does at filter-install time.
+    pub fn preload(&self) {
+        let state = &self.state;
+        let epoch = state.epoch.load(Ordering::Acquire);
+        let policy = state.read_policy();
+        for (id, rule) in policy.profile.rules() {
+            match policy.cache_plan(id, rule) {
+                (mask, Some(sets)) => {
+                    if state.vat.ensure(id, sets).is_some() {
+                        Self::spt_store_guarded(state, epoch, id, mask, true, false);
+                    }
+                }
+                (mask, None) => {
+                    Self::spt_store_guarded(state, epoch, id, mask, false, policy.always_allows(id));
+                }
+            }
+        }
+    }
+
+    /// Shared-SPT write under the update lock with the epoch re-check.
+    /// Returns whether the lock acquisition was contended.
+    fn spt_store_guarded(
+        state: &SharedState,
+        epoch: u64,
+        id: SyscallId,
+        mask: ArgBitmask,
+        has_vat: bool,
+        always_allow: bool,
+    ) -> bool {
+        let (guard, contended) = match state.update.try_lock() {
+            Ok(guard) => (guard, false),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => (poisoned.into_inner(), false),
+            Err(std::sync::TryLockError::WouldBlock) => (
+                state
+                    .update
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+                true,
+            ),
+        };
+        if state.epoch.load(Ordering::Acquire) == epoch {
+            state.spt.store(id, mask, has_vat, always_allow);
+        }
+        drop(guard);
+        contended
+    }
+
+    /// Accumulated counters from every finished (or synced) thread
+    /// session. Live handles hold their unflushed traffic locally — call
+    /// [`SharedThreadHandle::sync_stats`] (or drop the handle) first for
+    /// a complete total.
+    pub fn stats(&self) -> CheckerStats {
+        self.state.lock_aggregate().stats
+    }
+
+    /// Number of valid shared-SPT entries.
+    pub fn spt_valid_count(&self) -> usize {
+        self.state.spt.valid_count()
+    }
+
+    /// This process's observability snapshot: the `checker` section from
+    /// the merged thread sessions, the `cuckoo` section from writer-side
+    /// table counters (reader traffic is thread-local by design), and
+    /// the `vat` occupancy gauges.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let policy = self.state.read_policy();
+        let aggregate = self.state.lock_aggregate();
+        let stats = aggregate.stats;
+        MetricsRegistry {
+            checker: CheckerMetrics {
+                spt_hits: stats.spt_hits,
+                always_allow_hits: stats.always_allow_hits,
+                vat_hits: stats.vat_hits,
+                filter_runs: stats.filter_runs,
+                filter_insns: stats.filter_insns,
+                denials: stats.denials,
+                vat_inserts: stats.vat_inserts,
+                seqlock_retries: stats.seqlock_retries,
+                vat_lock_waits: stats.vat_lock_waits,
+                insert_races_lost: stats.insert_races_lost,
+                masks_derived_match: policy.plan.as_ref().map_or(0, |p| p.derived_match),
+                masks_overridden: policy.plan.as_ref().map_or(0, |p| p.overridden),
+                insns_per_filter_run: aggregate.insns_per_filter_run,
+                saved_insns_per_hit: aggregate.saved_insns_per_hit,
+            },
+            cuckoo: self.state.vat.cuckoo_metrics(),
+            vat: VatMetrics {
+                tables: self.state.vat.table_count() as u64,
+                resident_sets: self.state.vat.resident_sets() as u64,
+                footprint_bytes: self.state.vat.footprint_bytes() as u64,
+            },
+            ..MetricsRegistry::default()
+        }
+    }
+}
+
+impl fmt::Debug for SharedDracoProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedDracoProcess")
+            .field("pid", &self.state.pid)
+            .field("spt_valid", &self.state.spt.valid_count())
+            .field("vat_tables", &self.state.vat.table_count())
+            .finish()
+    }
+}
+
+impl fmt::Display for SharedDracoProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] shared",
+            self.state.pid,
+            self.state.read_policy().profile.name()
+        )
+    }
+}
+
+/// One thread's checking session against a [`SharedDracoProcess`].
+///
+/// The handle owns its [`CheckerStats`] — the lock-free hot path updates
+/// plain thread-local counters, never a shared atomic — and merges them
+/// into the process aggregate on [`SharedThreadHandle::sync_stats`] or
+/// drop.
+pub struct SharedThreadHandle {
+    state: Arc<SharedState>,
+    stats: CheckerStats,
+    insns_per_filter_run: Histogram,
+    saved_insns_per_hit: Histogram,
+}
+
+impl SharedThreadHandle {
+    /// Checks one system call against the shared tables (paper Fig. 4,
+    /// multi-threaded §VI variant). The hit path takes no lock: one
+    /// atomic SPT load, then (for argument-checked syscalls) a seqlocked
+    /// two-probe VAT lookup.
+    pub fn check(&mut self, req: &SyscallRequest) -> CheckResult {
+        if let Some(word) = self.state.spt.load(req.id) {
+            if !word.has_vat {
+                self.stats.spt_hits += 1;
+                if word.always_allow {
+                    self.stats.always_allow_hits += 1;
+                }
+                self.saved_insns_per_hit.record(self.mean_filter_cost());
+                return CheckResult {
+                    action: SeccompAction::Allow,
+                    path: CheckPath::SptHit,
+                };
+            }
+            if let Some(table) = self.state.vat.get(req.id) {
+                let key = word.mask.select_bytes(&req.args);
+                let probe = table.probe(key.as_slice());
+                self.stats.seqlock_retries += probe.retries;
+                if probe.hit.is_some() {
+                    self.stats.vat_hits += 1;
+                    self.saved_insns_per_hit.record(self.mean_filter_cost());
+                    return CheckResult {
+                        action: SeccompAction::Allow,
+                        path: CheckPath::VatHit,
+                    };
+                }
+            }
+        }
+        self.check_miss(req)
+    }
+
+    /// Issues one system call: like [`SharedThreadHandle::check`] but
+    /// honouring process-group liveness — a `KillProcess`/`KillThread`
+    /// verdict from *any* thread marks the whole group dead (threads
+    /// share their fate, paper §VI).
+    pub fn syscall(&mut self, req: &SyscallRequest) -> CheckResult {
+        if !self.state.alive.load(Ordering::Acquire) {
+            return CheckResult {
+                action: SeccompAction::KillProcess,
+                path: CheckPath::FilterRun { insns: 0 },
+            };
+        }
+        let result = self.check(req);
+        if matches!(
+            result.action,
+            SeccompAction::KillProcess | SeccompAction::KillThread
+        ) {
+            self.state.alive.store(false, Ordering::Release);
+        }
+        result
+    }
+
+    /// The slow path: run the filter under the policy current *now*, and
+    /// cache a permit — unless the policy epoch moved underneath us.
+    fn check_miss(&mut self, req: &SyscallRequest) -> CheckResult {
+        // Epoch before policy: if an install lands between these two
+        // loads we run the *new* filter tagged with the *old* epoch, so
+        // the validation is conservatively dropped at insert time.
+        let epoch = self.state.epoch.load(Ordering::Acquire);
+        let policy = self.state.read_policy();
+        let data = SeccompData::from_request(req);
+        let outcome = policy
+            .filter
+            .run(&data)
+            .expect("profile-generated filters cannot fault");
+        self.stats.filter_runs += 1;
+        self.stats.filter_insns += outcome.insns_executed;
+        self.insns_per_filter_run.record(outcome.insns_executed);
+        if outcome.action.permits() {
+            self.record_validation(req, &policy, epoch);
+        } else {
+            self.stats.denials += 1;
+        }
+        CheckResult {
+            action: outcome.action,
+            path: CheckPath::FilterRun {
+                insns: outcome.insns_executed,
+            },
+        }
+    }
+
+    /// Updates the shared SPT/VAT after a successful filter run. Every
+    /// write re-checks the epoch inside its critical section; a stale
+    /// validation (policy swapped since the filter ran) is dropped.
+    fn record_validation(&mut self, req: &SyscallRequest, policy: &Policy, epoch: u64) {
+        let Some(rule) = policy.profile.rule(req.id) else {
+            return;
+        };
+        match policy.cache_plan(req.id, rule) {
+            (mask, Some(sets)) => {
+                let Some(table) = self.state.vat.ensure(req.id, sets) else {
+                    return;
+                };
+                let key = mask.select_bytes(&req.args);
+                let mut guard = table.write();
+                if guard.contended() {
+                    self.stats.vat_lock_waits += 1;
+                }
+                if self.state.epoch.load(Ordering::Acquire) != epoch {
+                    return;
+                }
+                let outcome = guard.insert(key.as_slice(), mask.masked(&req.args).as_array());
+                drop(guard);
+                match outcome {
+                    // The key was already resident: another thread
+                    // validated the same argument set while our filter
+                    // ran (the refreshed value is bit-identical).
+                    InsertOutcome::Updated => self.stats.insert_races_lost += 1,
+                    InsertOutcome::Inserted | InsertOutcome::Evicted => {
+                        self.stats.vat_inserts += 1;
+                    }
+                }
+                if SharedDracoProcess::spt_store_guarded(
+                    &self.state,
+                    epoch,
+                    req.id,
+                    mask,
+                    true,
+                    false,
+                ) {
+                    self.stats.vat_lock_waits += 1;
+                }
+            }
+            (mask, None) => {
+                if SharedDracoProcess::spt_store_guarded(
+                    &self.state,
+                    epoch,
+                    req.id,
+                    mask,
+                    false,
+                    policy.always_allows(req.id),
+                ) {
+                    self.stats.vat_lock_waits += 1;
+                }
+            }
+        }
+    }
+
+    /// Mean fallback cost this thread has observed, in cBPF
+    /// instructions (what a cached hit is credited with saving).
+    fn mean_filter_cost(&self) -> u64 {
+        self.stats.filter_insns / self.stats.filter_runs.max(1)
+    }
+
+    /// This thread's local counters (not yet merged into the process).
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// Merges this thread's counters into the process aggregate and
+    /// resets the local ones. Called automatically on drop.
+    pub fn sync_stats(&mut self) {
+        let mut aggregate = self.state.lock_aggregate();
+        aggregate.stats.accumulate(&self.stats);
+        aggregate
+            .insns_per_filter_run
+            .merge(&self.insns_per_filter_run);
+        aggregate.saved_insns_per_hit.merge(&self.saved_insns_per_hit);
+        drop(aggregate);
+        self.stats = CheckerStats::default();
+        self.insns_per_filter_run = Histogram::default();
+        self.saved_insns_per_hit = Histogram::default();
+    }
+}
+
+impl Drop for SharedThreadHandle {
+    fn drop(&mut self) {
+        self.sync_stats();
+    }
+}
+
+impl fmt::Debug for SharedThreadHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedThreadHandle")
+            .field("pid", &self.state.pid)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use draco_profiles::{docker_default, gvisor_default, ProfileGenerator, ProfileKind};
+    use draco_syscalls::ArgSet;
+
+    fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+        SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+    }
+
+    #[test]
+    fn threads_share_validations() {
+        let process = SharedDracoProcess::spawn(ProcessId(1), &docker_default()).unwrap();
+        let mut t1 = process.spawn_thread();
+        let mut t2 = process.spawn_thread();
+        // t1 validates an argument-checked syscall through the filter…
+        let r = t1.check(&req(135, &[0xffff_ffff, 0, 0]));
+        assert!(matches!(r.path, CheckPath::FilterRun { .. }));
+        assert!(r.action.permits());
+        // …and t2's very first encounter is a VAT hit on the shared table.
+        let r = t2.check(&req(135, &[0xffff_ffff, 0, 0]));
+        assert_eq!(r.path, CheckPath::VatHit);
+        // Same for an ID-only syscall via the shared SPT.
+        assert!(matches!(
+            t1.check(&req(0, &[3, 0, 100])).path,
+            CheckPath::FilterRun { .. }
+        ));
+        assert_eq!(t2.check(&req(0, &[3, 0, 100])).path, CheckPath::SptHit);
+    }
+
+    #[test]
+    fn decisions_match_the_serial_checker() {
+        let profile = docker_default();
+        let process = SharedDracoProcess::spawn(ProcessId(1), &profile).unwrap();
+        let mut shared = process.spawn_thread();
+        let mut serial = crate::DracoChecker::from_profile(&profile).unwrap();
+        let reqs = [
+            req(0, &[3, 0, 100]),
+            req(135, &[0xffff_ffff, 0, 0]),
+            req(135, &[0x1234, 0, 0]),
+            req(135, &[0xffff_ffff, 0, 0]),
+            req(101, &[0, 0, 0]),
+            req(999, &[0, 0, 0]),
+            req(0, &[3, 0, 100]),
+        ];
+        for r in &reqs {
+            let a = shared.check(r);
+            let b = serial.check(r);
+            assert_eq!(a.action, b.action, "{r}");
+            assert_eq!(a.path, b.path, "single-threaded paths agree, {r}");
+        }
+        shared.sync_stats();
+        let stats = process.stats();
+        assert_eq!(stats.spt_hits, serial.stats().spt_hits);
+        assert_eq!(stats.vat_hits, serial.stats().vat_hits);
+        assert_eq!(stats.filter_runs, serial.stats().filter_runs);
+        assert_eq!(stats.filter_insns, serial.stats().filter_insns);
+        assert_eq!(stats.denials, serial.stats().denials);
+        assert_eq!(stats.vat_inserts, serial.stats().vat_inserts);
+        assert_eq!(stats.seqlock_retries, 0, "no concurrent writers here");
+        assert_eq!(stats.insert_races_lost, 0);
+    }
+
+    #[test]
+    fn spawn_analyzed_preloads_proven_fast_paths() {
+        let profile = gvisor_default();
+        let analysis = analyze_profile(&profile).unwrap();
+        let process =
+            SharedDracoProcess::spawn_analyzed(ProcessId(3), &profile, &analysis).unwrap();
+        assert!(process.has_analysis());
+        let mut t = process.spawn_thread();
+        let r = t.check(&req(39, &[]));
+        assert!(r.path.is_cache_hit(), "preloaded proven syscall");
+        assert!(t.stats().always_allow_hits > 0);
+        drop(t);
+        let m = process.metrics();
+        assert!(m.checker.always_allow_hits > 0);
+        assert!(m.checker.masks_derived_match > 0 || m.checker.masks_overridden == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "analysis plan must match")]
+    fn foreign_analysis_is_rejected() {
+        let analysis = analyze_profile(&gvisor_default()).unwrap();
+        let _ = SharedDracoProcess::spawn_analyzed(ProcessId(1), &docker_default(), &analysis);
+    }
+
+    #[test]
+    fn kill_verdict_terminates_the_whole_group() {
+        let process = SharedDracoProcess::spawn(ProcessId(7), &gvisor_default()).unwrap();
+        let mut t1 = process.spawn_thread();
+        let mut t2 = process.spawn_thread();
+        assert!(process.is_alive());
+        let r = t1.syscall(&req(101, &[0, 0])); // ptrace: kill
+        assert!(!r.action.permits());
+        assert!(!process.is_alive());
+        // Every thread of the group short-circuits now.
+        let r2 = t2.syscall(&req(39, &[]));
+        assert!(!r2.action.permits());
+        assert!(matches!(r2.path, CheckPath::FilterRun { insns: 0 }));
+        // check() still reports verdicts (the differential oracle needs
+        // order-independent decisions).
+        assert!(t2.check(&req(39, &[])).action.permits());
+    }
+
+    #[test]
+    fn fork_starts_cold_with_same_profile() {
+        let process = SharedDracoProcess::spawn(ProcessId(1), &gvisor_default()).unwrap();
+        let mut t = process.spawn_thread();
+        t.check(&req(39, &[]));
+        assert_eq!(t.check(&req(39, &[])).path, CheckPath::SptHit);
+        let child = process.fork(ProcessId(2)).unwrap();
+        assert_eq!(child.pid(), ProcessId(2));
+        let mut ct = child.spawn_thread();
+        assert!(
+            !ct.check(&req(39, &[])).path.is_cache_hit(),
+            "child tables are cold"
+        );
+    }
+
+    #[test]
+    fn install_additional_restricts_and_flushes() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0, 64]));
+        gen.observe(&req(1, &[4, 0, 64]));
+        let base = gen.emit(ProfileKind::SyscallNoargs);
+        let process = SharedDracoProcess::spawn(ProcessId(1), &base).unwrap();
+        let mut t = process.spawn_thread();
+        assert!(t.check(&req(0, &[3, 0, 64])).action.permits());
+        assert!(t.check(&req(1, &[4, 0, 64])).action.permits());
+        assert!(t.check(&req(1, &[4, 0, 64])).path.is_cache_hit());
+
+        let mut gen2 = ProfileGenerator::new("tighter");
+        gen2.observe(&req(0, &[3, 0, 64]));
+        let extra = gen2.emit(ProfileKind::SyscallNoargs);
+        process.install_additional(&extra).unwrap();
+
+        // write is now denied — including the previously cached pair.
+        assert!(!t.check(&req(1, &[4, 0, 64])).action.permits());
+        // read revalidates from cold, then caches again.
+        let r = t.check(&req(0, &[3, 0, 64]));
+        assert!(r.action.permits());
+        assert!(!r.path.is_cache_hit(), "tables were flushed");
+        assert!(t.check(&req(0, &[3, 0, 64])).path.is_cache_hit());
+        assert!(process.profile().name().contains('+'));
+    }
+
+    #[test]
+    fn install_additional_matches_intersection_oracle() {
+        let base = docker_default();
+        let mut gen = ProfileGenerator::new("app");
+        for nr in [0u16, 1, 3, 135] {
+            gen.observe(&req(nr, &[0xffff_ffff, 0, 0]));
+        }
+        let extra = gen.emit(ProfileKind::SyscallComplete);
+        let oracle = base.intersect(&extra);
+        let process = SharedDracoProcess::spawn(ProcessId(1), &base).unwrap();
+        process.install_additional(&extra).unwrap();
+        let mut t = process.spawn_thread();
+        for nr in [0u16, 1, 3, 57, 135, 200] {
+            for v in [0u64, 0xffff_ffff] {
+                let r = req(nr, &[v, 0, 0]);
+                assert_eq!(
+                    t.check(&r).action.permits(),
+                    oracle.evaluate(&r).permits(),
+                    "{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_threads_agree_with_the_profile_oracle() {
+        let profile = docker_default();
+        let process = SharedDracoProcess::spawn(ProcessId(1), &profile).unwrap();
+        let oracle = profile.clone();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let mut t = process.spawn_thread();
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let nr = [(0u16), 1, 135, 101, 999][(i.wrapping_mul(worker + 1) % 5) as usize];
+                        let r = req(nr, &[i % 4, 0, 0]);
+                        assert_eq!(
+                            t.check(&r).action.permits(),
+                            oracle.evaluate(&r).permits(),
+                            "{r}"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = process.stats();
+        assert_eq!(stats.total(), 2000, "every check accounted for");
+        // Two of the five syscalls in the mix are always denied (denials
+        // are never cached), so the ceiling is well under 1.0 — but the
+        // allowed majority must be soaked by the shared tables.
+        assert!(stats.cache_hit_rate() > 0.3, "shared tables soak re-hits");
+    }
+
+    #[test]
+    fn flush_drops_in_flight_validation_effects() {
+        let process = SharedDracoProcess::spawn(ProcessId(1), &docker_default()).unwrap();
+        let mut t = process.spawn_thread();
+        t.check(&req(135, &[0xffff_ffff, 0, 0]));
+        assert!(process.metrics().vat.resident_sets > 0);
+        process.flush();
+        assert_eq!(process.metrics().vat.resident_sets, 0);
+        assert_eq!(process.spt_valid_count(), 0);
+        assert!(
+            !t.check(&req(135, &[0xffff_ffff, 0, 0])).path.is_cache_hit(),
+            "flushed"
+        );
+    }
+
+    #[test]
+    fn metrics_report_writer_side_cuckoo_traffic() {
+        let process = SharedDracoProcess::spawn(ProcessId(1), &docker_default()).unwrap();
+        let mut t = process.spawn_thread();
+        t.check(&req(135, &[0xffff_ffff, 0, 0])); // filter + insert
+        t.check(&req(135, &[0xffff_ffff, 0, 0])); // vat hit
+        t.sync_stats();
+        let m = process.metrics();
+        assert_eq!(m.checker.vat_hits, 1);
+        assert_eq!(m.checker.vat_inserts, 1);
+        assert_eq!(m.cuckoo.insertions, 1);
+        assert!(m.vat.tables >= 1);
+        assert!(m.vat.footprint_bytes > 0);
+        assert_eq!(m.replay.checks, 0, "not our section");
+    }
+
+    #[test]
+    fn capped_tables_bound_memory() {
+        let process =
+            SharedDracoProcess::spawn_capped(ProcessId(1), &docker_default(), 4).unwrap();
+        let mut t = process.spawn_thread();
+        for i in 0..64u64 {
+            t.check(&req(135, &[0x1234 + (i << 16), 0, 0]));
+        }
+        assert!(process.metrics().vat.resident_sets <= 4);
+    }
+
+    #[test]
+    fn display_and_debug_mention_identity() {
+        let process = SharedDracoProcess::spawn(ProcessId(42), &docker_default()).unwrap();
+        assert!(process.to_string().contains("pid:42"));
+        assert!(format!("{process:?}").contains("spt_valid"));
+        assert!(format!("{:?}", process.spawn_thread()).contains("pid"));
+    }
+}

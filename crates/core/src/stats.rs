@@ -27,6 +27,18 @@ pub struct CheckerStats {
     pub denials: u64,
     /// Argument-set insertions into the VAT.
     pub vat_inserts: u64,
+    /// Seqlock read retries on the shared VAT (a reader collided with an
+    /// in-flight writer or saw the slot version change mid-snapshot).
+    /// Always zero for per-thread checkers.
+    pub seqlock_retries: u64,
+    /// Miss-path lock acquisitions that had to wait for another thread
+    /// (VAT table writer lock or the shared SPT update lock). Always zero
+    /// for per-thread checkers.
+    pub vat_lock_waits: u64,
+    /// Validations that found their key already resident once the write
+    /// lock was held — another thread validated the same argument set
+    /// first. Always zero for per-thread checkers.
+    pub insert_races_lost: u64,
 }
 
 impl CheckerStats {
@@ -57,6 +69,11 @@ impl CheckerStats {
         self.filter_insns = self.filter_insns.saturating_add(other.filter_insns);
         self.denials = self.denials.saturating_add(other.denials);
         self.vat_inserts = self.vat_inserts.saturating_add(other.vat_inserts);
+        self.seqlock_retries = self.seqlock_retries.saturating_add(other.seqlock_retries);
+        self.vat_lock_waits = self.vat_lock_waits.saturating_add(other.vat_lock_waits);
+        self.insert_races_lost = self
+            .insert_races_lost
+            .saturating_add(other.insert_races_lost);
     }
 }
 
@@ -73,7 +90,15 @@ impl fmt::Display for CheckerStats {
             self.filter_insns,
             self.denials,
             self.vat_inserts
-        )
+        )?;
+        if self.seqlock_retries > 0 || self.vat_lock_waits > 0 || self.insert_races_lost > 0 {
+            write!(
+                f,
+                ", contention: {} seqlock-retries, {} lock-waits, {} races-lost",
+                self.seqlock_retries, self.vat_lock_waits, self.insert_races_lost
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -91,6 +116,7 @@ mod tests {
             filter_insns: 100,
             denials: 1,
             vat_inserts: 1,
+            ..CheckerStats::default()
         };
         assert_eq!(stats.total(), 10);
         assert!((stats.cache_hit_rate() - 0.8).abs() < 1e-12);
@@ -112,11 +138,47 @@ mod tests {
             filter_insns: 40,
             denials: 5,
             vat_inserts: 6,
+            seqlock_retries: 7,
+            vat_lock_waits: 8,
+            insert_races_lost: 9,
         };
         let s = stats.to_string();
         assert!(s.contains("6 vat-inserts"), "{s}");
         assert!(s.contains("5 denied"), "{s}");
         assert!(s.contains("1 always-allow"), "{s}");
+        assert!(s.contains("7 seqlock-retries"), "{s}");
+        assert!(s.contains("8 lock-waits"), "{s}");
+        assert!(s.contains("9 races-lost"), "{s}");
+    }
+
+    #[test]
+    fn uncontended_stats_omit_the_contention_clause() {
+        let stats = CheckerStats {
+            spt_hits: 1,
+            ..CheckerStats::default()
+        };
+        assert!(!stats.to_string().contains("contention"));
+    }
+
+    #[test]
+    fn accumulate_covers_contention_counters() {
+        let mut a = CheckerStats {
+            seqlock_retries: 1,
+            vat_lock_waits: u64::MAX,
+            insert_races_lost: 2,
+            ..CheckerStats::default()
+        };
+        let b = CheckerStats {
+            seqlock_retries: 10,
+            vat_lock_waits: 1,
+            insert_races_lost: 3,
+            ..CheckerStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.seqlock_retries, 11);
+        assert_eq!(a.vat_lock_waits, u64::MAX, "saturates");
+        assert_eq!(a.insert_races_lost, 5);
+        assert_eq!(a.total(), 0, "contention counters are not checks");
     }
 
     #[test]

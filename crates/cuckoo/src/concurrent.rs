@@ -1,0 +1,767 @@
+//! A thread-shared 2-way cuckoo table with a lock-free read path.
+//!
+//! The paper's kernel shares one VAT across all threads of a process:
+//! "lookups can still proceed while an update is in flight" (§VI) — reads
+//! are lockless, updates serialize on a per-table lock. This module is
+//! that table. Every slot is a miniature *seqlock*: a version word plus
+//! the entry data, all stored as individual atomics (the crate forbids
+//! `unsafe`, so there is no `UnsafeCell` trickery — tearing is prevented
+//! by protocol, not by exclusion).
+//!
+//! # Slot protocol
+//!
+//! A slot holds a version counter (even = stable, odd = write in flight),
+//! a metadata word (occupied bit + key length), the two CRC hash values,
+//! six key words (the ≤48 selected argument bytes, zero-padded), and six
+//! value words (the masked [`ArgSet`](https://docs.rs) equivalent).
+//!
+//! *Reader*: load version (`Acquire`); if odd, retry. Load meta, key and
+//! value words (`Relaxed`); `fence(Acquire)`; reload version (`Relaxed`).
+//! If it changed, retry. Otherwise the snapshot is consistent (see
+//! `docs/concurrency.md` for the happens-before argument — the writer's
+//! release fence before its data stores pairs with the reader's acquire
+//! fence after its data loads, so a reader that observes any word of an
+//! in-flight write cannot also observe an unchanged version).
+//!
+//! *Writer* (under the table mutex, so single-writer): store version odd
+//! (`Relaxed`), `fence(Release)`, store the data words (`Relaxed`), store
+//! version even (`Release`).
+//!
+//! A reader that keeps colliding with writers gives up after a bounded
+//! number of retries and reports a miss — sound, because a VAT miss only
+//! sends the syscall through the real filter again.
+//!
+//! Relocation during insert writes the incoming entry *over* the displaced
+//! one first, then re-homes the displaced entry in its other way: a
+//! concurrent reader may transiently miss the displaced key (benign
+//! revalidation) but can never observe a torn or fabricated entry.
+
+#[cfg(loom)]
+use loom::sync::{
+    atomic::{fence, AtomicU64, Ordering},
+    Mutex, MutexGuard,
+};
+#[cfg(not(loom))]
+use std::sync::{
+    atomic::{fence, AtomicU64, Ordering},
+    Mutex, MutexGuard,
+};
+
+use crate::{CrcPairHasher, HashPair, PairHasher, Way};
+
+/// Maximum key length in bytes (the 48-bit Argument Bitmask selects at
+/// most 48 bytes).
+pub const MAX_KEY_BYTES: usize = 48;
+
+/// Key words per slot (48 bytes = 6 little-endian `u64`s).
+const KEY_WORDS: usize = MAX_KEY_BYTES / 8;
+
+/// Value words per slot (a masked argument set is six `u64`s).
+pub const VALUE_WORDS: usize = 6;
+
+/// Reader retry budget before a probe gives up and reports a miss.
+const MAX_READ_RETRIES: usize = 64;
+
+const OCCUPIED: u64 = 1 << 63;
+const LEN_MASK: u64 = 0xff;
+
+/// A probe key packed into comparison-ready words: the raw bytes copied
+/// into zero-padded little-endian `u64`s plus the byte length. Slot
+/// comparison is then six word compares — no byte slicing on the read
+/// path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PackedKey {
+    words: [u64; KEY_WORDS],
+    len: usize,
+}
+
+impl PackedKey {
+    fn new(key: &[u8]) -> Self {
+        assert!(
+            key.len() <= MAX_KEY_BYTES,
+            "concurrent cuckoo keys are at most {MAX_KEY_BYTES} bytes"
+        );
+        let mut words = [0u64; KEY_WORDS];
+        for (i, chunk) in key.chunks(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(buf);
+        }
+        PackedKey {
+            words,
+            len: key.len(),
+        }
+    }
+}
+
+/// One seqlocked slot. All fields are atomics so concurrent access is
+/// race-free by construction; consistency of multi-word snapshots comes
+/// from the version protocol.
+struct SeqSlot {
+    version: AtomicU64,
+    /// Bit 63: occupied. Bits 0..8: key length in bytes.
+    meta: AtomicU64,
+    h1: AtomicU64,
+    h2: AtomicU64,
+    key: [AtomicU64; KEY_WORDS],
+    value: [AtomicU64; VALUE_WORDS],
+}
+
+impl SeqSlot {
+    fn new() -> Self {
+        SeqSlot {
+            version: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            h1: AtomicU64::new(0),
+            h2: AtomicU64::new(0),
+            key: [(); KEY_WORDS].map(|()| AtomicU64::new(0)),
+            value: [(); VALUE_WORDS].map(|()| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A fully materialized entry, used on the writer side (relocation moves
+/// entries between slots; the hash pair rides along so displaced entries
+/// need no re-hashing).
+#[derive(Clone, Copy, Debug)]
+struct EntryData {
+    key: PackedKey,
+    pair: HashPair,
+    value: [u64; VALUE_WORDS],
+}
+
+/// Writer-side bookkeeping, guarded by the table mutex.
+#[derive(Clone, Copy, Debug, Default)]
+struct WriterState {
+    occupied: usize,
+    insertions: u64,
+    updates: u64,
+    evictions: u64,
+    relocations: u64,
+}
+
+/// A successful lock-free probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConcurrentHit {
+    /// The way holding the entry.
+    pub way: Way,
+    /// The hash value that indexed the slot.
+    pub hash: u64,
+    /// The stored value words (a consistent snapshot).
+    pub value: [u64; VALUE_WORDS],
+}
+
+/// Outcome of a lock-free probe: the hit (if any) plus how many times the
+/// seqlock protocol forced a retry — the paper's reader/writer collision
+/// signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The entry, if found.
+    pub hit: Option<ConcurrentHit>,
+    /// Version-mismatch (or in-flight-writer) retries this probe paid.
+    pub retries: u64,
+}
+
+/// What an insert did, as seen by the writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was new and found a slot (directly or via relocation).
+    Inserted,
+    /// The key was already resident — its value was refreshed in place.
+    /// When the inserting thread had just missed on this key, this means
+    /// another thread validated it first (an insert race lost).
+    Updated,
+    /// The key was placed but relocation pressure evicted another entry.
+    Evicted,
+}
+
+/// Occupancy and writer-traffic counters (reader hits/misses are counted
+/// by the probing threads themselves, to keep the read path free of
+/// shared-counter contention).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrentTableStats {
+    /// Entries currently resident.
+    pub occupied: usize,
+    /// Insertions that found a slot.
+    pub insertions: u64,
+    /// Insertions that refreshed an existing key.
+    pub updates: u64,
+    /// Entries evicted under relocation pressure.
+    pub evictions: u64,
+    /// Total relocation steps across all insertions.
+    pub relocations: u64,
+}
+
+/// A bounded, thread-shared 2-way cuckoo table: lock-free seqlocked
+/// reads, mutex-serialized writes (paper §VI).
+///
+/// Keys are byte strings of at most [`MAX_KEY_BYTES`] bytes; values are
+/// six-word arrays. Capacity is fixed at construction and the table never
+/// allocates after it — probes and inserts are heap-free.
+///
+/// # Example
+///
+/// ```
+/// use draco_cuckoo::ConcurrentTable;
+///
+/// let t = ConcurrentTable::with_capacity(8);
+/// assert!(t.probe(b"argset-1").hit.is_none());
+/// t.insert(b"argset-1", [7, 0, 0, 0, 0, 0]);
+/// let probe = t.probe(b"argset-1");
+/// assert_eq!(probe.hit.expect("present").value[0], 7);
+/// ```
+pub struct ConcurrentTable {
+    ways: [Box<[SeqSlot]>; 2],
+    slots_per_way: usize,
+    max_relocations: usize,
+    hasher: CrcPairHasher,
+    writer: Mutex<WriterState>,
+}
+
+impl ConcurrentTable {
+    /// Default relocation budget before eviction (matches the serial
+    /// [`crate::CuckooTable`]).
+    pub const DEFAULT_MAX_RELOCATIONS: usize = 16;
+
+    /// Creates a table with room for `capacity` entries total (split
+    /// across the two ways; odd capacities round up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cuckoo table capacity must be nonzero");
+        let slots_per_way = capacity.div_ceil(2);
+        let make_way = || (0..slots_per_way).map(|_| SeqSlot::new()).collect();
+        ConcurrentTable {
+            ways: [make_way(), make_way()],
+            slots_per_way,
+            max_relocations: Self::DEFAULT_MAX_RELOCATIONS,
+            hasher: CrcPairHasher::new(),
+            writer: Mutex::new(WriterState::default()),
+        }
+    }
+
+    /// Sets the relocation budget (builder-style).
+    #[must_use]
+    pub fn with_max_relocations(mut self, max: usize) -> Self {
+        self.max_relocations = max;
+        self
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots_per_way * 2
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock_writer().occupied
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writer-side counters (takes the write lock briefly).
+    pub fn stats(&self) -> ConcurrentTableStats {
+        let state = self.lock_writer();
+        ConcurrentTableStats {
+            occupied: state.occupied,
+            insertions: state.insertions,
+            updates: state.updates,
+            evictions: state.evictions,
+            relocations: state.relocations,
+        }
+    }
+
+    /// The hash pair the table computes for a key.
+    pub fn hash_pair(&self, key: &[u8]) -> HashPair {
+        self.hasher.hash_pair(key)
+    }
+
+    /// Derives a slot index from a hash value — the same Fibonacci fold
+    /// as the serial table, so shared and per-thread VATs place entries
+    /// identically.
+    fn slot_for(&self, hash: u64) -> usize {
+        let folded = hash.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((folded >> 32) % self.slots_per_way as u64) as usize
+    }
+
+    /// Lock-free lookup: exactly two seqlocked slot reads, retried on
+    /// version collision. Never blocks and never observes a torn entry.
+    pub fn probe(&self, key: &[u8]) -> ProbeOutcome {
+        let pair = self.hasher.hash_pair(key);
+        self.probe_hashed(key, pair)
+    }
+
+    /// [`ConcurrentTable::probe`] with a caller-computed hash pair (the
+    /// checker hashes once and reuses the pair for insert-after-miss).
+    pub fn probe_hashed(&self, key: &[u8], pair: HashPair) -> ProbeOutcome {
+        let packed = PackedKey::new(key);
+        let mut retries = 0u64;
+        for way in [Way::H1, Way::H2] {
+            let hash = pair.for_way(way);
+            let slot = &self.ways[way.index()][self.slot_for(hash)];
+            if let Some(value) = Self::read_slot(slot, &packed, &mut retries) {
+                return ProbeOutcome {
+                    hit: Some(ConcurrentHit { way, hash, value }),
+                    retries,
+                };
+            }
+        }
+        ProbeOutcome { hit: None, retries }
+    }
+
+    /// Seqlocked read of one slot. Returns the value if the slot holds
+    /// `probe`'s key, `None` on empty/other-key/retry-budget-exhausted.
+    fn read_slot(
+        slot: &SeqSlot,
+        probe: &PackedKey,
+        retries: &mut u64,
+    ) -> Option<[u64; VALUE_WORDS]> {
+        for _ in 0..MAX_READ_RETRIES {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                // A writer is mid-flight on this slot.
+                *retries += 1;
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let mut key = [0u64; KEY_WORDS];
+            for (word, cell) in key.iter_mut().zip(slot.key.iter()) {
+                *word = cell.load(Ordering::Relaxed);
+            }
+            let mut value = [0u64; VALUE_WORDS];
+            for (word, cell) in value.iter_mut().zip(slot.value.iter()) {
+                *word = cell.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if slot.version.load(Ordering::Relaxed) != v1 {
+                // The slot changed under us — the snapshot may be torn.
+                *retries += 1;
+                continue;
+            }
+            let occupied = meta & OCCUPIED != 0;
+            let len = (meta & LEN_MASK) as usize;
+            if occupied && len == probe.len && key == probe.words {
+                return Some(value);
+            }
+            return None;
+        }
+        // Retry budget exhausted under sustained writer pressure: report
+        // a miss. The caller revalidates through the filter — slower,
+        // never wrong.
+        None
+    }
+
+    /// Inserts (or refreshes) a key. Returns the outcome plus whether the
+    /// write lock was contended (`true` means this thread had to wait for
+    /// another updater).
+    pub fn insert(&self, key: &[u8], value: [u64; VALUE_WORDS]) -> (InsertOutcome, bool) {
+        let mut guard = self.write();
+        let contended = guard.contended();
+        let outcome = guard.insert(key, value);
+        (outcome, contended)
+    }
+
+    /// Acquires the writer lock, recording whether the acquisition had to
+    /// wait. The guard exposes insert/clear so callers can bundle their
+    /// own invariant checks (e.g. an epoch re-check) into the critical
+    /// section.
+    pub fn write(&self) -> ConcurrentWriteGuard<'_> {
+        let (state, contended) = match self.writer.try_lock() {
+            Ok(guard) => (guard, false),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => (poisoned.into_inner(), false),
+            Err(std::sync::TryLockError::WouldBlock) => (self.lock_writer(), true),
+        };
+        ConcurrentWriteGuard {
+            table: self,
+            state,
+            contended,
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, WriterState> {
+        self.writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Removes every entry (each slot cleared under the seqlock, so
+    /// concurrent readers see either the old entry or an empty slot,
+    /// never garbage).
+    pub fn clear(&self) {
+        self.write().clear();
+    }
+
+    /// Writer-side slot write under the seqlock protocol. Must only be
+    /// called while holding the writer mutex.
+    fn slot_write(slot: &SeqSlot, entry: Option<&EntryData>) {
+        let v = slot.version.load(Ordering::Relaxed);
+        debug_assert_eq!(v & 1, 0, "slot version must be even between writes");
+        slot.version.store(v.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        match entry {
+            Some(e) => {
+                slot.meta
+                    .store(OCCUPIED | e.key.len as u64, Ordering::Relaxed);
+                slot.h1.store(e.pair.h1, Ordering::Relaxed);
+                slot.h2.store(e.pair.h2, Ordering::Relaxed);
+                for (cell, word) in slot.key.iter().zip(e.key.words.iter()) {
+                    cell.store(*word, Ordering::Relaxed);
+                }
+                for (cell, word) in slot.value.iter().zip(e.value.iter()) {
+                    cell.store(*word, Ordering::Relaxed);
+                }
+            }
+            None => slot.meta.store(0, Ordering::Relaxed),
+        }
+        slot.version.store(v.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Writer-side plain read of one slot (the mutex holder is the only
+    /// mutator, so no version dance is needed).
+    fn slot_read(slot: &SeqSlot) -> Option<EntryData> {
+        let meta = slot.meta.load(Ordering::Relaxed);
+        if meta & OCCUPIED == 0 {
+            return None;
+        }
+        let mut key = [0u64; KEY_WORDS];
+        for (word, cell) in key.iter_mut().zip(slot.key.iter()) {
+            *word = cell.load(Ordering::Relaxed);
+        }
+        let mut value = [0u64; VALUE_WORDS];
+        for (word, cell) in value.iter_mut().zip(slot.value.iter()) {
+            *word = cell.load(Ordering::Relaxed);
+        }
+        Some(EntryData {
+            key: PackedKey {
+                words: key,
+                len: (meta & LEN_MASK) as usize,
+            },
+            pair: HashPair {
+                h1: slot.h1.load(Ordering::Relaxed),
+                h2: slot.h2.load(Ordering::Relaxed),
+            },
+            value,
+        })
+    }
+}
+
+impl core::fmt::Debug for ConcurrentTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ConcurrentTable")
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Exclusive write access to a [`ConcurrentTable`]. Readers are *not*
+/// excluded — they keep probing lock-free while this guard mutates slots
+/// under the seqlock protocol.
+pub struct ConcurrentWriteGuard<'a> {
+    table: &'a ConcurrentTable,
+    state: MutexGuard<'a, WriterState>,
+    contended: bool,
+}
+
+impl ConcurrentWriteGuard<'_> {
+    /// Whether acquiring this guard had to wait for another writer.
+    pub fn contended(&self) -> bool {
+        self.contended
+    }
+
+    /// True if the key is resident right now (no concurrent writer can
+    /// change that while the guard lives).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let packed = PackedKey::new(key);
+        let pair = self.table.hasher.hash_pair(key);
+        self.find(&packed, pair).is_some()
+    }
+
+    fn find(&self, packed: &PackedKey, pair: HashPair) -> Option<(Way, usize)> {
+        for way in [Way::H1, Way::H2] {
+            let slot_idx = self.table.slot_for(pair.for_way(way));
+            let slot = &self.table.ways[way.index()][slot_idx];
+            if let Some(entry) = ConcurrentTable::slot_read(slot) {
+                if entry.key == *packed {
+                    return Some((way, slot_idx));
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts (or refreshes) a key under the held lock.
+    pub fn insert(&mut self, key: &[u8], value: [u64; VALUE_WORDS]) -> InsertOutcome {
+        let packed = PackedKey::new(key);
+        let pair = self.table.hasher.hash_pair(key);
+        if let Some((way, slot_idx)) = self.find(&packed, pair) {
+            let slot = &self.table.ways[way.index()][slot_idx];
+            ConcurrentTable::slot_write(
+                slot,
+                Some(&EntryData {
+                    key: packed,
+                    pair,
+                    value,
+                }),
+            );
+            self.state.updates += 1;
+            return InsertOutcome::Updated;
+        }
+
+        let mut homeless = EntryData {
+            key: packed,
+            pair,
+            value,
+        };
+        let mut way = Way::H1;
+        for step in 0..=self.table.max_relocations {
+            let slot_idx = self.table.slot_for(homeless.pair.for_way(way));
+            let slot = &self.table.ways[way.index()][slot_idx];
+            match ConcurrentTable::slot_read(slot) {
+                None => {
+                    ConcurrentTable::slot_write(slot, Some(&homeless));
+                    self.state.occupied += 1;
+                    self.state.insertions += 1;
+                    self.state.relocations += step as u64;
+                    return InsertOutcome::Inserted;
+                }
+                Some(displaced) => {
+                    // Write the incoming entry first, then re-home the
+                    // displaced one: a concurrent reader can transiently
+                    // miss the displaced key (benign — it revalidates
+                    // through the filter) but never sees a torn slot.
+                    ConcurrentTable::slot_write(slot, Some(&homeless));
+                    homeless = displaced;
+                    way = way.other();
+                }
+            }
+        }
+        // Relocation budget exhausted: the final homeless entry is
+        // dropped (evicted), matching the serial table's policy.
+        self.state.insertions += 1;
+        self.state.evictions += 1;
+        self.state.relocations += self.table.max_relocations as u64;
+        InsertOutcome::Evicted
+    }
+
+    /// Clears every slot (each under the seqlock protocol).
+    pub fn clear(&mut self) {
+        for way in &self.table.ways {
+            for slot in way.iter() {
+                if ConcurrentTable::slot_read(slot).is_some() {
+                    ConcurrentTable::slot_write(slot, None);
+                }
+            }
+        }
+        self.state.occupied = 0;
+    }
+}
+
+impl core::fmt::Debug for ConcurrentWriteGuard<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ConcurrentWriteGuard")
+            .field("contended", &self.contended)
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(i: u64) -> [u8; 8] {
+        i.to_le_bytes()
+    }
+
+    fn val(i: u64) -> [u64; VALUE_WORDS] {
+        [i, i + 1, 0, 0, 0, 0]
+    }
+
+    #[test]
+    fn insert_then_probe() {
+        let t = ConcurrentTable::with_capacity(8);
+        assert!(t.is_empty());
+        assert!(t.probe(&key(1)).hit.is_none());
+        let (outcome, contended) = t.insert(&key(1), val(100));
+        assert_eq!(outcome, InsertOutcome::Inserted);
+        assert!(!contended, "uncontended single-thread insert");
+        let probe = t.probe(&key(1));
+        let hit = probe.hit.expect("present");
+        assert_eq!(hit.value, val(100));
+        assert_eq!(hit.hash, t.hash_pair(&key(1)).for_way(hit.way));
+        assert_eq!(probe.retries, 0, "no writer to collide with");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let t = ConcurrentTable::with_capacity(8);
+        t.insert(&key(1), val(1));
+        let (outcome, _) = t.insert(&key(1), val(2));
+        assert_eq!(outcome, InsertOutcome::Updated);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.probe(&key(1)).hit.unwrap().value, val(2));
+        assert_eq!(t.stats().updates, 1);
+    }
+
+    #[test]
+    fn pressure_evicts_rather_than_grows() {
+        let t = ConcurrentTable::with_capacity(4).with_max_relocations(8);
+        let mut evicted = 0;
+        for i in 0..32 {
+            if t.insert(&key(i), val(i)).0 == InsertOutcome::Evicted {
+                evicted += 1;
+            }
+        }
+        assert!(evicted > 0, "pressure must cause evictions");
+        assert!(t.len() <= t.capacity());
+        let stats = t.stats();
+        assert_eq!(stats.evictions, evicted);
+        assert!(stats.relocations > 0);
+        // Residents are still findable after all that shuffling.
+        let mut found = 0;
+        for i in 0..32 {
+            if t.probe(&key(i)).hit.is_some() {
+                found += 1;
+            }
+        }
+        assert_eq!(found, t.len());
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let t = ConcurrentTable::with_capacity(8);
+        for i in 0..4 {
+            t.insert(&key(i), val(i));
+        }
+        t.clear();
+        assert!(t.is_empty());
+        for i in 0..4 {
+            assert!(t.probe(&key(i)).hit.is_none());
+        }
+    }
+
+    #[test]
+    fn guard_bundles_check_and_insert() {
+        let t = ConcurrentTable::with_capacity(8);
+        let mut guard = t.write();
+        assert!(!guard.contains(&key(5)));
+        assert_eq!(guard.insert(&key(5), val(5)), InsertOutcome::Inserted);
+        assert!(guard.contains(&key(5)));
+        drop(guard);
+        assert!(t.probe(&key(5)).hit.is_some());
+    }
+
+    #[test]
+    fn empty_key_is_valid() {
+        let t = ConcurrentTable::with_capacity(4);
+        t.insert(b"", val(9));
+        assert_eq!(t.probe(b"").hit.unwrap().value, val(9));
+        assert!(t.probe(&[0u8]).hit.is_none(), "empty != single zero byte");
+    }
+
+    #[test]
+    fn forty_eight_byte_keys_round_trip() {
+        let t = ConcurrentTable::with_capacity(8);
+        let long = [0xabu8; MAX_KEY_BYTES];
+        t.insert(&long, val(7));
+        assert!(t.probe(&long).hit.is_some());
+        let mut other = long;
+        other[47] = 0xac;
+        assert!(t.probe(&other).hit.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 48")]
+    fn oversized_key_rejected() {
+        let t = ConcurrentTable::with_capacity(4);
+        t.insert(&[0u8; 49], val(0));
+    }
+
+    #[test]
+    fn zero_padding_cannot_alias_lengths() {
+        // "ab" and "ab\0" pack to identical words; the length in the
+        // meta word must keep them distinct.
+        let t = ConcurrentTable::with_capacity(8);
+        t.insert(b"ab", val(1));
+        assert!(t.probe(b"ab").hit.is_some());
+        assert!(t.probe(b"ab\0").hit.is_none());
+    }
+
+    #[test]
+    fn placement_matches_serial_table() {
+        // Shared and serial tables use the same hash and slot fold, so a
+        // key resident in one is found at the same (way, hash) in the
+        // other.
+        let concurrent = ConcurrentTable::with_capacity(32);
+        let mut serial: crate::CuckooTable<Vec<u8>, u64> =
+            crate::CuckooTable::with_capacity(32, CrcPairHasher::default());
+        for i in 0..8u64 {
+            concurrent.insert(&key(i), val(i));
+            serial.insert(key(i).to_vec(), i);
+        }
+        for i in 0..8u64 {
+            let c = concurrent.probe(&key(i)).hit;
+            let s = serial.lookup(&key(i).to_vec());
+            match (c, s) {
+                (Some(ch), Some(sh)) => {
+                    assert_eq!(ch.way, sh.way, "key {i}");
+                    assert_eq!(ch.hash, sh.hash, "key {i}");
+                }
+                (None, None) => {}
+                other => panic!("presence diverged for key {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_entries() {
+        // Values are derived from keys (value word 0 == key as u64), so
+        // any torn read manifests as a mismatched pair.
+        let t = Arc::new(ConcurrentTable::with_capacity(64));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut checked = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    for i in 0..32u64 {
+                        if let Some(hit) = t.probe(&key(i)).hit {
+                            assert_eq!(hit.value[0], i, "torn read");
+                            assert_eq!(hit.value[1], i + 1, "torn read");
+                            checked += 1;
+                        }
+                    }
+                }
+                checked
+            }));
+        }
+        for round in 0..200u64 {
+            for i in 0..32u64 {
+                t.insert(&key(i), val(i));
+            }
+            if round % 10 == 9 {
+                t.clear();
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+    }
+
+    #[test]
+    fn debug_formats() {
+        let t = ConcurrentTable::with_capacity(4);
+        assert!(format!("{t:?}").contains("capacity"));
+        assert!(format!("{:?}", t.write()).contains("contended"));
+    }
+}

@@ -28,8 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod concurrent;
 mod crc;
 mod table;
 
+pub use concurrent::{
+    ConcurrentHit, ConcurrentTable, ConcurrentTableStats, ConcurrentWriteGuard, InsertOutcome,
+    ProbeOutcome, MAX_KEY_BYTES, VALUE_WORDS,
+};
 pub use crc::{Crc64, HashPair};
 pub use table::{CrcPairHasher, CuckooTable, Lookup, PairHasher, TableStats, Way};

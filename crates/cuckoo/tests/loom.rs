@@ -1,0 +1,144 @@
+//! Loom models for the seqlock cuckoo table ([`ConcurrentTable`]).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the `loom` CI job):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p draco-cuckoo --test loom
+//! ```
+//!
+//! Against the vendored shim each model body runs many times with real
+//! OS threads (stochastic interleaving smoke); against upstream loom the
+//! same source explores every interleaving the C11 memory model allows.
+//! The models are deliberately tiny — two threads, a handful of keys —
+//! because real loom's state space is exponential in operations.
+//!
+//! Invariants checked:
+//! 1. a reader racing a writer never observes a **torn entry** — every
+//!    hit's value words satisfy the writer's self-consistency stamp;
+//! 2. a key that was **never inserted** never produces a hit, no matter
+//!    how writers rearrange (or clear) the ways around the probe;
+//! 3. a thread that inserted a key **reads it back** (its own writes are
+//!    never lost to it).
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+
+use draco_cuckoo::{ConcurrentTable, InsertOutcome};
+
+/// A value stamped so any torn mix of two entries is detectable: word i
+/// must equal `seed + i`, and every word shares the same seed.
+fn stamped(seed: u64) -> [u64; 6] {
+    [seed, seed + 1, seed + 2, seed + 3, seed + 4, seed + 5]
+}
+
+fn assert_untorn(value: [u64; 6]) {
+    let seed = value[0];
+    for (i, w) in value.iter().enumerate() {
+        assert_eq!(
+            *w,
+            seed + i as u64,
+            "torn entry: {value:?} mixes two writers' stamps"
+        );
+    }
+}
+
+#[test]
+fn reader_never_observes_a_torn_entry() {
+    loom::model(|| {
+        let table = Arc::new(ConcurrentTable::with_capacity(4));
+        // Same key, two writers with different stamps: the reader must
+        // see stamp A, stamp B, or nothing — never a mix.
+        let t1 = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                table.insert(b"key-a", stamped(100));
+            })
+        };
+        let t2 = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                table.insert(b"key-a", stamped(200));
+            })
+        };
+        let reader = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    if let Some(hit) = table.probe(b"key-a").hit {
+                        assert_untorn(hit.value);
+                        assert!(hit.value[0] == 100 || hit.value[0] == 200);
+                    }
+                }
+            })
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+        reader.join().unwrap();
+        // Quiescent state: the entry is whole and one of the two stamps.
+        let hit = table.probe(b"key-a").hit.expect("entry resident");
+        assert_untorn(hit.value);
+    });
+}
+
+#[test]
+fn never_inserted_keys_never_hit() {
+    loom::model(|| {
+        let table = Arc::new(ConcurrentTable::with_capacity(4));
+        // A writer churns *other* keys (forcing relocations and slot
+        // rewrites in the ways the phantom key hashes into) and clears.
+        let writer = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                table.insert(b"real-1", stamped(1));
+                table.insert(b"real-2", stamped(7));
+                table.clear();
+                table.insert(b"real-3", stamped(13));
+            })
+        };
+        let reader = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    let outcome = table.probe(b"phantom");
+                    assert!(
+                        outcome.hit.is_none(),
+                        "hit for a key no writer ever inserted"
+                    );
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+#[test]
+fn inserting_thread_reads_its_key_back() {
+    loom::model(|| {
+        let table = Arc::new(ConcurrentTable::with_capacity(4));
+        let mine = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let (outcome, _contended) = table.insert(b"mine", stamped(42));
+                assert!(matches!(
+                    outcome,
+                    InsertOutcome::Inserted | InsertOutcome::Updated
+                ));
+                // Program order: the inserting thread must observe its
+                // own publish regardless of the sibling writer.
+                let hit = table.probe(b"mine").hit.expect("own insert visible");
+                assert_untorn(hit.value);
+                assert_eq!(hit.value[0], 42);
+            })
+        };
+        let sibling = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                table.insert(b"theirs", stamped(9));
+            })
+        };
+        mine.join().unwrap();
+        sibling.join().unwrap();
+    });
+}

@@ -11,6 +11,8 @@
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
 //! dracoctl trace <workload> [--format chrome|folded] [--hw] # stage spans
 //! dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--json]
+//! dracoctl shared-replay <workload> [--threads N] [--ops N] [--warmup N]
+//!                        [--seed N] [--mix skewed|uniform] [--json]
 //! dracoctl workloads                                        # list the catalog
 //! ```
 
@@ -40,6 +42,7 @@ fn run(args: &[String]) -> i32 {
         Some("check") => check_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
+        Some("shared-replay") => shared_replay_cmd(&args[1..]),
         Some("workloads") => {
             for spec in catalog::all() {
                 println!(
@@ -63,6 +66,8 @@ fn run(args: &[String]) -> i32 {
                  \x20 trace <workload> [--format chrome|folded] [--ops N] [--seed N]\n\
                  \x20       [--sample N] [--hw] [--out PATH]\n\
                  \x20 stats <workload> [--ops N] [--seed N] [--trace N] [--json]\n\
+                 \x20 shared-replay <workload> [--threads N] [--ops N] [--warmup N]\n\
+                 \x20               [--seed N] [--mix skewed|uniform] [--json]\n\
                  \x20 workloads"
             );
             2
@@ -544,6 +549,154 @@ fn stats_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// `dracoctl shared-replay <workload> [--threads N] [--ops N]
+/// [--warmup N] [--seed N] [--mix skewed|uniform] [--json]` — replays a
+/// workload through ONE [`draco::core::SharedDracoProcess`] from N
+/// worker threads that share its SPT/VAT (paper §VI), and prints
+/// per-thread rates plus the contention counters of the lock-free read
+/// path. `skewed` gives every thread the same trace seed (shared hot
+/// keys, read-dominated after warmup); `uniform` gives each thread its
+/// own seed (disjoint keys, writer-heavy).
+fn shared_replay_cmd(args: &[String]) -> i32 {
+    use draco::workloads::shared_replay::{replay_shared, KeyMix, SharedReplayConfig};
+
+    let Some(name) = args.first() else {
+        eprintln!(
+            "usage: dracoctl shared-replay <workload> [--threads N] [--ops N] [--warmup N] [--seed N] [--mix skewed|uniform] [--json]"
+        );
+        return 2;
+    };
+    let Some(spec) = catalog::by_name(name) else {
+        eprintln!("unknown workload `{name}` (try `dracoctl workloads`)");
+        return 1;
+    };
+    let mut cfg = SharedReplayConfig {
+        threads: 4,
+        ops_per_thread: 5_000,
+        warmup_ops: 500,
+        base_seed: 0,
+        mix: KeyMix::Skewed,
+    };
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                cfg.threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.threads);
+            }
+            "--ops" => {
+                i += 1;
+                cfg.ops_per_thread =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.ops_per_thread);
+            }
+            "--warmup" => {
+                i += 1;
+                cfg.warmup_ops =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.warmup_ops);
+            }
+            "--seed" => {
+                i += 1;
+                cfg.base_seed =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.base_seed);
+            }
+            "--mix" => {
+                i += 1;
+                cfg.mix = match args.get(i).map(String::as_str) {
+                    Some("skewed") => KeyMix::Skewed,
+                    Some("uniform") => KeyMix::Uniform,
+                    other => {
+                        eprintln!(
+                            "--mix must be `skewed` or `uniform`, got `{}`",
+                            other.unwrap_or("")
+                        );
+                        return 2;
+                    }
+                };
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if cfg.threads == 0 {
+        eprintln!("--threads must be nonzero");
+        return 2;
+    }
+
+    let report = replay_shared(&spec, ProfileKind::SyscallComplete, &cfg);
+    if json {
+        let doc = serde_json::json!({
+            "schema": "draco-shared-replay/v1",
+            "workload": report.workload,
+            "mix": report.mix.label(),
+            "wall_ns": report.wall_ns,
+            "checks_per_sec": report.checks_per_sec(),
+            "cache_hit_rate": report.cache_hit_rate(),
+            "threads": report.threads.iter().map(|t| serde_json::json!({
+                "thread": t.thread as u64,
+                "seed": t.seed,
+                "checks": t.checks,
+                "allowed": t.allowed,
+                "cache_hits": t.cache_hits,
+                "elapsed_ns": t.elapsed_ns,
+            })).collect::<Vec<_>>(),
+            "metrics": report.metrics,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("report serializes"));
+        return 0;
+    }
+    println!(
+        "{}: {} threads sharing one process ({} mix, {} ops/thread + {} warmup)",
+        report.workload,
+        report.threads.len(),
+        report.mix.label(),
+        cfg.ops_per_thread,
+        cfg.warmup_ops
+    );
+    println!(
+        "{:<8} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "thread", "seed", "checks", "allowed", "cache-hit", "ns/check"
+    );
+    for t in &report.threads {
+        println!(
+            "{:<8} {:>12} {:>8} {:>10} {:>9.1}% {:>10.0}",
+            t.thread,
+            t.seed,
+            t.checks,
+            t.allowed,
+            if t.checks > 0 {
+                t.cache_hits as f64 * 100.0 / t.checks as f64
+            } else {
+                0.0
+            },
+            if t.checks > 0 {
+                t.elapsed_ns as f64 / t.checks as f64
+            } else {
+                0.0
+            }
+        );
+    }
+    println!(
+        "aggregate: {:.0} checks/sec, {:.1}% cache hits",
+        report.checks_per_sec(),
+        report.cache_hit_rate() * 100.0
+    );
+    let c = &report.metrics.checker;
+    println!(
+        "contention: {} seqlock retries, {} VAT lock waits, {} insert races lost",
+        c.seqlock_retries, c.vat_lock_waits, c.insert_races_lost
+    );
+    println!(
+        "sampled latency (ns): {}",
+        report.latency_hist().quantile_summary()
+    );
+    0
+}
+
 fn trace_cmd(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("gen") => {
@@ -753,6 +906,28 @@ mod tests {
         assert_eq!(analyze_cmd(&argv(&["docker", "--format", "xml"])), 2);
         assert_eq!(analyze_cmd(&argv(&["docker", "--bogus"])), 2);
         assert_eq!(analyze_cmd(&argv(&["/nonexistent/profile.json"])), 1);
+    }
+
+    #[test]
+    fn shared_replay_runs_and_rejects_bad_usage() {
+        assert_eq!(
+            shared_replay_cmd(&argv(&[
+                "pipe", "--threads", "2", "--ops", "300", "--warmup", "30"
+            ])),
+            0
+        );
+        assert_eq!(
+            shared_replay_cmd(&argv(&[
+                "pipe", "--threads", "2", "--ops", "300", "--warmup", "30", "--mix", "uniform",
+                "--json"
+            ])),
+            0
+        );
+        assert_eq!(shared_replay_cmd(&argv(&[])), 2);
+        assert_eq!(shared_replay_cmd(&argv(&["no-such-workload"])), 1);
+        assert_eq!(shared_replay_cmd(&argv(&["pipe", "--mix", "zipf"])), 2);
+        assert_eq!(shared_replay_cmd(&argv(&["pipe", "--threads", "0"])), 2);
+        assert_eq!(shared_replay_cmd(&argv(&["pipe", "--bogus"])), 2);
     }
 
     #[test]

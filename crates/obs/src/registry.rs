@@ -40,6 +40,18 @@ pub struct CheckerMetrics {
     pub denials: u64,
     /// Argument-set insertions into the VAT.
     pub vat_inserts: u64,
+    /// Seqlock read retries on a shared VAT (reader collided with an
+    /// in-flight writer). Zero for per-thread checkers.
+    #[serde(default)]
+    pub seqlock_retries: u64,
+    /// Miss-path lock acquisitions that had to wait for another thread
+    /// (shared VAT/SPT only).
+    #[serde(default)]
+    pub vat_lock_waits: u64,
+    /// Validations another thread completed first (the key was already
+    /// resident once the write lock was held; shared VAT only).
+    #[serde(default)]
+    pub insert_races_lost: u64,
     /// Whitelist rules whose analyzer-derived argument mask matched or
     /// narrowed the authored mask (the derived mask was installed).
     #[serde(default)]
@@ -78,6 +90,9 @@ impl CheckerMetrics {
         self.filter_insns = self.filter_insns.saturating_add(other.filter_insns);
         self.denials = self.denials.saturating_add(other.denials);
         self.vat_inserts = self.vat_inserts.saturating_add(other.vat_inserts);
+        self.seqlock_retries = self.seqlock_retries.saturating_add(other.seqlock_retries);
+        self.vat_lock_waits = self.vat_lock_waits.saturating_add(other.vat_lock_waits);
+        self.insert_races_lost = self.insert_races_lost.saturating_add(other.insert_races_lost);
         self.masks_derived_match = self.masks_derived_match.saturating_add(other.masks_derived_match);
         self.masks_overridden = self.masks_overridden.saturating_add(other.masks_overridden);
         self.insns_per_filter_run.merge(&other.insns_per_filter_run);
@@ -315,6 +330,13 @@ impl fmt::Display for MetricsRegistry {
                 c.always_allow_hits, c.masks_derived_match, c.masks_overridden
             )?;
         }
+        if c.seqlock_retries > 0 || c.vat_lock_waits > 0 || c.insert_races_lost > 0 {
+            writeln!(
+                f,
+                "  contention       : {} seqlock retries, {} lock waits, {} insert races lost",
+                c.seqlock_retries, c.vat_lock_waits, c.insert_races_lost
+            )?;
+        }
         if !c.insns_per_filter_run.is_empty() {
             writeln!(f, "  insns/filter-run : {}", c.insns_per_filter_run)?;
         }
@@ -400,6 +422,9 @@ mod tests {
         r.checker.filter_runs = seed + 1;
         r.checker.masks_derived_match = seed;
         r.checker.masks_overridden = 1;
+        r.checker.seqlock_retries = seed / 3;
+        r.checker.vat_lock_waits = seed / 4;
+        r.checker.insert_races_lost = seed / 5;
         r.checker.insns_per_filter_run.record(seed + 3);
         r.checker.saved_insns_per_hit.record(seed);
         r.cuckoo.hits = seed * 3;
@@ -519,6 +544,40 @@ mod tests {
         assert_eq!(back.checker.masks_overridden, 0);
         assert_eq!(back.checker.spt_hits, r.checker.spt_hits);
         assert_eq!(back.cuckoo, r.cuckoo);
+    }
+
+    #[test]
+    fn checker_json_without_contention_keys_still_parses() {
+        // Registries serialized before the shared-table contention
+        // counters existed lack these keys; `#[serde(default)]` must
+        // zero-fill them.
+        let r = sample(9);
+        let json: String = serde_json::to_string_pretty(&r)
+            .expect("serializes")
+            .lines()
+            .filter(|line| {
+                !line.contains("\"seqlock_retries\"")
+                    && !line.contains("\"vat_lock_waits\"")
+                    && !line.contains("\"insert_races_lost\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back: MetricsRegistry = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.checker.seqlock_retries, 0);
+        assert_eq!(back.checker.vat_lock_waits, 0);
+        assert_eq!(back.checker.insert_races_lost, 0);
+        assert_eq!(back.checker.spt_hits, r.checker.spt_hits);
+    }
+
+    #[test]
+    fn display_reports_contention_only_when_present() {
+        let mut r = MetricsRegistry::default();
+        r.checker.spt_hits = 4;
+        assert!(!r.to_string().contains("contention"));
+        r.checker.seqlock_retries = 2;
+        let text = r.to_string();
+        assert!(text.contains("contention"), "{text}");
+        assert!(text.contains("2 seqlock retries"), "{text}");
     }
 
     #[test]

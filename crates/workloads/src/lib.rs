@@ -45,6 +45,7 @@ mod generator;
 mod locality;
 mod model;
 pub mod replay;
+pub mod shared_replay;
 pub mod timing;
 mod trace;
 

@@ -1,0 +1,84 @@
+//! Differential target: **abstract interpretation vs concrete VM**.
+//!
+//! `analyze_syscall` claims, per syscall number, that a filter is
+//! constant (always-allow / always-deny) or argument-dependent, and
+//! that its decision reads only the argument bytes in the derived mask.
+//! The claims feed Draco's SPT fast path, so an unsound verdict is a
+//! security bug. For fuzzed programs and syscall numbers this target
+//! checks against the concrete interpreter:
+//!
+//! * `AlwaysAllow` / `AlwaysDeny` ⇒ every concrete run returns exactly
+//!   that action and never faults;
+//! * any verdict ⇒ inputs differing only in bytes *outside* the derived
+//!   mask (ip included, unless flagged `ip_dependent`) decide
+//!   identically.
+
+use draco_bpf::{analyze_syscall, Interpreter, Program, SeccompData, Verdict, AUDIT_ARCH_X86_64};
+use draco_fuzz::{fuzz_target, split_program_bytes, vm_inputs};
+use draco_syscalls::ArgSet;
+
+fuzz_target!(|data: &[u8]| {
+    let (raw, tail) = split_program_bytes(data);
+    let Ok(program) = Program::from_raw(&raw) else {
+        return;
+    };
+    let interp = Interpreter::new(&program);
+    let inputs = vm_inputs(tail, 12);
+    for &(nr, _, _) in inputs.iter().take(4) {
+        let Ok(nr_u32) = u32::try_from(nr) else {
+            continue;
+        };
+        let verdict = analyze_syscall(&program, nr_u32);
+        for &(_, ip, args) in &inputs {
+            let data = SeccompData {
+                nr,
+                arch: AUDIT_ARCH_X86_64,
+                instruction_pointer: ip,
+                args,
+            };
+            let concrete = interp.run(&data);
+            match verdict.verdict {
+                Verdict::AlwaysAllow => {
+                    let outcome = concrete.unwrap_or_else(|e| {
+                        panic!("always-allow verdict but the VM faulted ({e}) on {data:?}")
+                    });
+                    assert!(
+                        outcome.action.permits(),
+                        "always-allow verdict but the VM returned {} on {data:?}",
+                        outcome.action
+                    );
+                }
+                Verdict::AlwaysDeny(action) => {
+                    let outcome = concrete.unwrap_or_else(|e| {
+                        panic!("always-deny verdict but the VM faulted ({e}) on {data:?}")
+                    });
+                    assert_eq!(
+                        outcome.action, action,
+                        "always-deny({action}) verdict diverges on {data:?}"
+                    );
+                }
+                Verdict::ArgDependent => {
+                    // Mask soundness: zero the bytes the analysis says
+                    // are irrelevant — the decision must not move.
+                    if verdict.may_fault || verdict.ip_dependent {
+                        continue;
+                    }
+                    let masked_args = verdict.mask.masked(&ArgSet::new(args)).as_array();
+                    let masked = SeccompData {
+                        nr,
+                        arch: AUDIT_ARCH_X86_64,
+                        instruction_pointer: 0,
+                        args: masked_args,
+                    };
+                    let a = interp.run(&data).map(|o| o.action);
+                    let b = interp.run(&masked).map(|o| o.action);
+                    assert_eq!(
+                        a.as_ref().ok(),
+                        b.as_ref().ok(),
+                        "bytes outside the derived mask changed the decision: {data:?} vs {masked:?}"
+                    );
+                }
+            }
+        }
+    }
+});

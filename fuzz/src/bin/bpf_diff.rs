@@ -1,0 +1,59 @@
+//! Differential target: **validator → interpreter vs pre-decoded
+//! compiler**.
+//!
+//! Any byte string decodes (or fails to decode) into a cBPF program via
+//! the wire format `Program::from_raw` accepts. For every program the
+//! validator admits, the reference [`Interpreter`] and the pre-decoded
+//! [`CompiledFilter`] must agree on *every* input — same action, same
+//! raw return word, same runtime fault — and on the instruction count
+//! their executions report. A divergence means the compiler changed
+//! filter semantics, which for Draco is a sandbox escape.
+
+use draco_bpf::{CompiledFilter, Interpreter, Program, SeccompData, AUDIT_ARCH_X86_64};
+use draco_fuzz::{fuzz_target, split_program_bytes, vm_inputs};
+
+fuzz_target!(|data: &[u8]| {
+    let (raw, tail) = split_program_bytes(data);
+    let Ok(program) = Program::from_raw(&raw) else {
+        // Validator rejection is a fine outcome; it must simply not
+        // panic (that is what this arm fuzzes).
+        return;
+    };
+    let compiled = CompiledFilter::compile(&program);
+    let interp = Interpreter::new(&program);
+    for (nr, ip, args) in vm_inputs(tail, 16) {
+        // Both the pinned x86-64 arch (the hot path) and a fuzzed arch
+        // word (the mismatch path filters open with).
+        for arch in [AUDIT_ARCH_X86_64, ip as u32] {
+            let data = SeccompData {
+                nr,
+                arch,
+                instruction_pointer: ip,
+                args,
+            };
+            let a = interp.run(&data);
+            let b = compiled.run(&data);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(
+                        x.action, y.action,
+                        "interpreter/compiled action divergence on {data:?}"
+                    );
+                    assert_eq!(x.raw, y.raw, "raw return divergence on {data:?}");
+                    assert_eq!(
+                        x.insns_executed, y.insns_executed,
+                        "cost-model divergence on {data:?}"
+                    );
+                }
+                (Err(x), Err(y)) => {
+                    assert_eq!(
+                        format!("{x}"),
+                        format!("{y}"),
+                        "fault divergence on {data:?}"
+                    );
+                }
+                (a, b) => panic!("one engine faulted, the other did not: {a:?} vs {b:?}"),
+            }
+        }
+    }
+});

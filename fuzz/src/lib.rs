@@ -1,0 +1,279 @@
+//! Self-contained fuzzing runner: corpus replay plus a timed
+//! random-mutation loop.
+//!
+//! The environment this workspace builds in has no network access, so
+//! `libfuzzer-sys`/`cargo-fuzz` are unavailable; this crate keeps their
+//! *shape* — each harness is one `fuzz_target!(|data: &[u8]| { ... })`
+//! binary — on top of a deterministic runner:
+//!
+//! 1. **Replay**: every file in `corpus/<target>/` runs first, so the
+//!    committed corpus acts as a regression suite on every invocation
+//!    (including `--seconds 0`).
+//! 2. **Mutate**: for the configured wall-clock budget, inputs are drawn
+//!    by mutating random corpus entries (byte flips, splices, truncation,
+//!    extension) or generated fresh, seeded from `--seed`/`FUZZ_SEED` so
+//!    failures reproduce.
+//!
+//! A panicking input is written to `artifacts/<target>/` before the
+//! panic is re-raised, so CI failures leave the crasher behind. Flags:
+//! `--seconds N` (default 10; env `FUZZ_SECONDS`), `--seed N` (env
+//! `FUZZ_SEED`), `--corpus DIR`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Declares the fuzz entry point, cargo-fuzz style. Expands to the
+/// target function plus a `main` that hands it to [`fuzz_main`].
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:block) => {
+        fn fuzz_one($data: &[u8]) $body
+
+        fn main() {
+            $crate::fuzz_main(env!("CARGO_BIN_NAME"), fuzz_one);
+        }
+    };
+}
+
+/// Largest input the mutator will grow to. Filters are capped at
+/// `BPF_MAXINSNS` (4096) instructions = 32 KiB of quadruples; inputs
+/// beyond that only exercise the "too long" validator arm.
+const MAX_LEN: usize = 4096;
+
+struct Options {
+    seconds: u64,
+    seed: u64,
+    corpus: PathBuf,
+}
+
+fn parse_options(target: &str) -> Options {
+    let mut seconds = std::env::var("FUZZ_SECONDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let mut seed = std::env::var("FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5eed_f00d);
+    let mut corpus =
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")).join(target);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("usage: {target} [--seconds N] [--seed N] [--corpus DIR]");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--seconds" => {
+                seconds = value(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("--seconds needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = value(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--corpus" => corpus = PathBuf::from(value(&mut i)),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("usage: {target} [--seconds N] [--seed N] [--corpus DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Options {
+        seconds,
+        seed,
+        corpus,
+    }
+}
+
+fn load_corpus(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<(String, Vec<u8>)> = entries
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_file())
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            std::fs::read(e.path()).ok().map(|bytes| (name, bytes))
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+/// One mutation step: flip, overwrite, truncate, extend, or splice.
+fn mutate(rng: &mut SmallRng, base: &[u8]) -> Vec<u8> {
+    let mut out = base.to_vec();
+    for _ in 0..rng.gen_range(1u32..8) {
+        match rng.gen_range(0u32..5) {
+            0 if !out.is_empty() => {
+                // Flip one bit.
+                let at = rng.gen_range(0usize..out.len());
+                out[at] ^= 1 << rng.gen_range(0u32..8);
+            }
+            1 if !out.is_empty() => {
+                // Overwrite a byte with an interesting value.
+                let at = rng.gen_range(0usize..out.len());
+                const INTERESTING: [u8; 8] = [0x00, 0x01, 0x06, 0x15, 0x16, 0x20, 0x7f, 0xff];
+                out[at] = INTERESTING[rng.gen_range(0usize..INTERESTING.len())];
+            }
+            2 if out.len() > 1 => {
+                // Truncate at a random point.
+                out.truncate(rng.gen_range(1usize..out.len()));
+            }
+            3 if out.len() < MAX_LEN => {
+                // Extend with random bytes (quadruple-sized chunks keep
+                // instruction alignment interesting).
+                for _ in 0..rng.gen_range(1usize..=8).min(MAX_LEN - out.len()) {
+                    out.push(rng.next_u64() as u8);
+                }
+            }
+            _ if !out.is_empty() => {
+                // Rotate a window (cheap splice).
+                let at = rng.gen_range(0usize..out.len());
+                out.rotate_left(at);
+            }
+            _ => out.push(rng.next_u64() as u8),
+        }
+    }
+    out
+}
+
+fn save_artifact(target: &str, data: &[u8]) -> Option<PathBuf> {
+    // FNV-1a content hash names the crasher, so repeats overwrite.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in data {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/artifacts")).join(target);
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("crash-{hash:016x}"));
+    std::fs::write(&path, data).ok()?;
+    Some(path)
+}
+
+fn run_guarded(target: &str, f: fn(&[u8]), data: &[u8], origin: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| f(data)));
+    if let Err(panic) = result {
+        let saved = save_artifact(target, data);
+        eprintln!(
+            "{target}: input from {origin} ({} bytes) panicked{}",
+            data.len(),
+            saved.map_or(String::new(), |p| format!(", saved to {}", p.display())),
+        );
+        std::panic::resume_unwind(panic);
+    }
+}
+
+/// Runs one fuzz target: corpus replay, then timed mutation.
+pub fn fuzz_main(target: &str, f: fn(&[u8])) {
+    let opts = parse_options(target);
+    let corpus = load_corpus(&opts.corpus);
+    if corpus.is_empty() {
+        eprintln!(
+            "{target}: warning: empty corpus at {} — mutating from scratch",
+            opts.corpus.display()
+        );
+    }
+    for (name, bytes) in &corpus {
+        run_guarded(target, f, bytes, &format!("corpus/{name}"));
+    }
+
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let deadline = Instant::now() + Duration::from_secs(opts.seconds);
+    let mut executions = 0u64;
+    while Instant::now() < deadline {
+        // Batch between clock reads; gettime per input would dominate.
+        for _ in 0..64 {
+            let input = if corpus.is_empty() || rng.gen_range(0u32..4) == 0 {
+                let len = rng.gen_range(0usize..64) * 8 + rng.gen_range(0usize..8);
+                let mut fresh = Vec::with_capacity(len);
+                for _ in 0..len {
+                    fresh.push(rng.next_u64() as u8);
+                }
+                fresh
+            } else {
+                let base = &corpus[rng.gen_range(0usize..corpus.len())].1;
+                mutate(&mut rng, base)
+            };
+            run_guarded(target, f, &input, "mutator");
+            executions += 1;
+        }
+    }
+    println!(
+        "{target}: {} corpus inputs replayed, {executions} mutated inputs in {}s (seed {}), no failures",
+        corpus.len(),
+        opts.seconds,
+        opts.seed
+    );
+}
+
+/// Splits a fuzz input into raw `sock_filter` quadruples plus trailing
+/// data bytes the harnesses use to derive VM inputs. Shared by both
+/// targets so corpus files are interchangeable between them.
+pub fn split_program_bytes(data: &[u8]) -> (Vec<(u16, u8, u8, u32)>, &[u8]) {
+    // First byte picks how many quadruples follow (bounded by what is
+    // actually present); the rest of the tail seeds SeccompData values.
+    let Some((&n, rest)) = data.split_first() else {
+        return (Vec::new(), data);
+    };
+    let avail = rest.len() / 8;
+    let count = (usize::from(n) % (avail + 1)).min(avail);
+    let mut insns = Vec::with_capacity(count);
+    for chunk in rest.chunks_exact(8).take(count) {
+        insns.push((
+            u16::from_le_bytes([chunk[0], chunk[1]]),
+            chunk[2],
+            chunk[3],
+            u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]),
+        ));
+    }
+    (insns, &rest[count * 8..])
+}
+
+/// Derives a deterministic stream of `(nr, ip, args)` VM inputs from the
+/// tail bytes of a fuzz input.
+pub fn vm_inputs(tail: &[u8], rounds: usize) -> Vec<(i32, u64, [u64; 6])> {
+    let mut seed = 0x9e37_79b9u64;
+    for b in tail {
+        seed = seed.wrapping_mul(31).wrapping_add(u64::from(*b));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..rounds)
+        .map(|_| {
+            // Small syscall numbers dominate (they are what filters
+            // branch on), with occasional huge/negative outliers.
+            let nr = if rng.gen_range(0u32..8) == 0 {
+                rng.next_u32() as i32
+            } else {
+                rng.gen_range(0u32..512) as i32
+            };
+            let ip = rng.next_u64();
+            let mut args = [0u64; 6];
+            for a in &mut args {
+                *a = if rng.gen_range(0u32..4) == 0 {
+                    rng.next_u64()
+                } else {
+                    u64::from(rng.gen_range(0u32..16))
+                };
+            }
+            (nr, ip, args)
+        })
+        .collect()
+}

@@ -130,6 +130,89 @@ proptest! {
     }
 }
 
+/// The thread-shared checker is decision-equivalent to the per-process
+/// one: N threads replaying **disjoint slices** of a workload trace
+/// through one [`draco::core::SharedDracoProcess`] return, per event,
+/// exactly the action a single-threaded [`DracoProcess`] oracle returns
+/// for that event. Only decisions are compared — cache-hit *counts*
+/// legitimately differ, because which thread warms a shared entry first
+/// depends on scheduling.
+#[test]
+fn shared_process_threads_agree_with_the_single_thread_oracle() {
+    use draco::core::{DracoProcess, ProcessId, SharedDracoProcess};
+    use draco::workloads::{catalog, TraceGenerator};
+
+    let spec = catalog::by_name("nginx").expect("nginx is in the catalog");
+    // Profile from one seed, stream from another: the stream's cold
+    // argument sets make the filter path (and some denials under the
+    // no-args kind below) do real work.
+    let observed: Vec<SyscallRequest> = TraceGenerator::new(&spec, 11)
+        .generate(300)
+        .requests()
+        .collect();
+    let stream: Vec<SyscallRequest> = TraceGenerator::new(&spec, 99)
+        .generate(2_000)
+        .requests()
+        .collect();
+    let profile = profile_from(&observed, ProfileKind::SyscallComplete);
+
+    // Single-threaded oracle: one process, the whole stream in order.
+    let mut oracle = DracoProcess::spawn(ProcessId(1), &profile).expect("oracle spawns");
+    let expected: Vec<_> = stream
+        .iter()
+        .map(|req| oracle.checker_mut().check(req).action)
+        .collect();
+    // Sanity: the stream exercises both outcomes.
+    assert!(expected.iter().any(|a| a.permits()));
+    assert!(expected.iter().any(|a| !a.permits()));
+
+    const THREADS: usize = 4;
+    let process = SharedDracoProcess::spawn(ProcessId(2), &profile).expect("shared spawns");
+    let slice_len = stream.len().div_ceil(THREADS);
+    let decisions: Vec<Vec<(usize, draco::bpf::SeccompAction)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = stream
+            .chunks(slice_len)
+            .enumerate()
+            .map(|(t, slice)| {
+                let mut handle = process.spawn_thread();
+                s.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, req)| (t * slice_len + i, handle.check(req).action))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut compared = 0usize;
+    for (index, action) in decisions.into_iter().flatten() {
+        assert_eq!(
+            action, expected[index],
+            "event {index} ({}) diverged from the oracle",
+            stream[index]
+        );
+        compared += 1;
+    }
+    assert_eq!(compared, stream.len(), "every event was compared");
+
+    // Both engines admitted the same calls; hit *placement* is left
+    // unchecked by design (it is scheduling-dependent), but the shared
+    // run must still have served a healthy fraction from its tables.
+    let shared_stats = process.stats();
+    assert_eq!(shared_stats.total(), stream.len() as u64);
+    assert_eq!(
+        shared_stats.denials,
+        expected.iter().filter(|a| !a.permits()).count() as u64
+    );
+    assert!(
+        shared_stats.cache_hit_rate() > 0.5,
+        "shared tables barely used: {shared_stats}"
+    );
+}
+
 #[test]
 fn twox_profiles_agree_with_oracle_too() {
     let reqs: Vec<SyscallRequest> = (0..8)
