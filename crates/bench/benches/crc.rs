@@ -1,12 +1,14 @@
 //! CRC-64 hashing microbenchmarks: the hardware-shaped bit-serial LFSR
 //! vs the classic one-table (slice-by-1) loop vs the slice-by-8 hot
 //! path, across Draco-typical input sizes (selected argument bytes are
-//! at most 48 bytes).
+//! at most 48 bytes) — plus the batch-path engines: the 4-lane
+//! interleaved `checksum4`, the carry-less-multiply folding variant,
+//! and the full `hash_pair4` both-polynomial staging hash.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use draco::cuckoo::Crc64;
+use draco::cuckoo::{clmul_detected, Crc64, Crc64Fold, CrcPairHasher, PairHasher};
 
 fn bench_crc(c: &mut Criterion) {
     let ecma = Crc64::ecma();
@@ -35,5 +37,60 @@ fn bench_crc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crc);
+/// The batch staging engines, measured per *batch of four keys* so the
+/// scalar loop and the interleaved/folding variants are comparable:
+/// throughput is total bytes across all four lanes.
+fn bench_crc_batch(c: &mut Criterion) {
+    let ecma = Crc64::ecma_shared();
+    let fold = Crc64Fold::ecma_shared();
+    let hasher = CrcPairHasher::new();
+    let mut group = c.benchmark_group("crc64-batch");
+    for &len in &[8usize, 16, 48] {
+        let lanes: Vec<Vec<u8>> = (0..4u8)
+            .map(|lane| (0..len as u8).map(|b| b.wrapping_mul(lane + 1)).collect())
+            .collect();
+        let keys: [&[u8]; 4] = [&lanes[0], &lanes[1], &lanes[2], &lanes[3]];
+        group.throughput(Throughput::Bytes(4 * len as u64));
+        group.bench_function(BenchmarkId::new("scalar_x4", len), |b| {
+            b.iter(|| {
+                let mut out = [0u64; 4];
+                for (slot, key) in out.iter_mut().zip(black_box(keys)) {
+                    *slot = ecma.checksum(key);
+                }
+                black_box(out)
+            });
+        });
+        group.bench_function(BenchmarkId::new("interleaved4", len), |b| {
+            b.iter(|| black_box(ecma.checksum4(black_box(keys))));
+        });
+        group.bench_function(BenchmarkId::new("clmul_fold_x4", len), |b| {
+            b.iter(|| {
+                let mut out = [0u64; 4];
+                for (slot, key) in out.iter_mut().zip(black_box(keys)) {
+                    *slot = fold.checksum_auto(key);
+                }
+                black_box(out)
+            });
+        });
+        group.bench_function(BenchmarkId::new("pair_scalar_x4", len), |b| {
+            b.iter(|| {
+                let mut out = [draco::cuckoo::HashPair { h1: 0, h2: 0 }; 4];
+                for (slot, key) in out.iter_mut().zip(black_box(keys)) {
+                    *slot = hasher.hash_pair(&key);
+                }
+                black_box(out)
+            });
+        });
+        group.bench_function(BenchmarkId::new("pair4", len), |b| {
+            b.iter(|| black_box(hasher.hash_pair4(black_box(keys))));
+        });
+    }
+    group.finish();
+    eprintln!(
+        "note: clmul folding is {} on this host",
+        if clmul_detected() { "hardware (pclmulqdq)" } else { "the table fallback" }
+    );
+}
+
+criterion_group!(benches, bench_crc, bench_crc_batch);
 criterion_main!(benches);

@@ -79,7 +79,7 @@ fn main() {
 const HISTORY_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
 
 /// `repro throughput [--quick] [--ops N] [--warmup N] [--seed N]
-/// [--shards N] [--workload W] [--out PATH] [--trace PATH]
+/// [--shards N] [--batch N] [--workload W] [--out PATH] [--trace PATH]
 /// [--folded PATH] [--sample N] [--json] [--stats]` — the wall-clock
 /// harness. Always writes the JSON report. Standard runs default to the
 /// tracked `BENCH_throughput.json` at the repo root and append a summary
@@ -118,6 +118,7 @@ fn run_throughput_cmd(args: &[String]) {
             "--seed" => cfg.seed = parse(args, &mut i, "--seed"),
             "--shards" => cfg.shards = parse(args, &mut i, "--shards"),
             "--shared-threads" => cfg.shared_threads = parse(args, &mut i, "--shared-threads"),
+            "--batch" => cfg.batch = parse(args, &mut i, "--batch"),
             "--workload" => cfg.workload = parse(args, &mut i, "--workload"),
             "--out" => out = Some(parse(args, &mut i, "--out")),
             "--trace" => trace_out = Some(parse(args, &mut i, "--trace")),
@@ -136,6 +137,7 @@ fn run_throughput_cmd(args: &[String]) {
     assert!(cfg.warmup_ops < cfg.ops_per_shard, "--warmup must be below --ops");
     assert!(cfg.shards > 0, "--shards must be nonzero");
     assert!(cfg.shared_threads > 0, "--shared-threads must be nonzero");
+    assert!(cfg.batch > 0, "--batch must be nonzero");
     assert!(trace_cfg.sample_interval > 0, "--sample must be nonzero");
 
     let tracing = trace_out.is_some() || folded_out.is_some();
@@ -201,6 +203,17 @@ fn run_throughput_cmd(args: &[String]) {
             b.multi_thread_checks_per_sec,
             b.parallel_speedup,
             b.cache_hit_rate * 100.0
+        );
+    }
+    if let Some(b) = &report.batch {
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>8.2}x {:>8.1}%  (batch={}, vs scalar single)",
+            "draco-batch",
+            b.single_thread_checks_per_sec,
+            b.multi_thread_checks_per_sec,
+            b.speedup_vs_scalar_single,
+            b.cache_hit_rate * 100.0,
+            b.batch
         );
     }
     if !report.shared_threads.is_empty() {
@@ -334,8 +347,8 @@ fn usage() {
          \x20               (writes BENCH_throughput.json and appends to\n\
          \x20               BENCH_history.jsonl; --quick writes the untracked\n\
          \x20               target/BENCH_throughput.quick.json; flags: --shards N\n\
-         \x20               --shared-threads N --workload W --out PATH --trace PATH\n\
-         \x20               --folded PATH --sample N --stats)\n\
+         \x20               --shared-threads N --batch N --workload W --out PATH\n\
+         \x20               --trace PATH --folded PATH --sample N --stats)\n\
          \x20 compare       regression gate: report vs BENCH_history.jsonl\n\
          \x20               (flags: --report PATH --history PATH\n\
          \x20               --threshold-pct P --warn-only; exits 1 on regression)"

@@ -54,6 +54,15 @@ pub struct HistoryEntry {
     /// mix (hardware-dependent; recorded, not gated).
     #[serde(default)]
     pub draco_shared_scaling: f64,
+    /// Batched check path, one shard on one thread (schema v5 reports;
+    /// zero for entries appended before the batch section existed).
+    #[serde(default)]
+    pub draco_batch_single_checks_per_sec: f64,
+    /// Batch single-thread rate over the same run's scalar draco-sw
+    /// single-thread rate (recorded, not gated — the scalar rate stays
+    /// the gated number so batching cannot mask a scalar regression).
+    #[serde(default)]
+    pub draco_batch_speedup_vs_scalar: f64,
 }
 
 impl HistoryEntry {
@@ -89,6 +98,16 @@ impl HistoryEntry {
                 .shared_threads
                 .first()
                 .map(|s| s.scaling)
+                .unwrap_or(0.0),
+            draco_batch_single_checks_per_sec: report
+                .batch
+                .as_ref()
+                .map(|b| b.single_thread_checks_per_sec)
+                .unwrap_or(0.0),
+            draco_batch_speedup_vs_scalar: report
+                .batch
+                .as_ref()
+                .map(|b| b.speedup_vs_scalar_single)
                 .unwrap_or(0.0),
         }
     }
@@ -288,6 +307,7 @@ mod tests {
             seed: 11,
             shards: 2,
             shared_threads: 2,
+            batch: 32,
         })
     }
 
@@ -423,6 +443,55 @@ mod tests {
         let old: HistoryEntry = serde_json::from_str(&format!("{}}}", &json[..cut])).unwrap();
         assert_eq!(old.draco_shared_multi_checks_per_sec, 0.0);
         assert_eq!(old.draco_shared_scaling, 0.0);
+    }
+
+    #[test]
+    fn entry_carries_batch_rates_and_tolerates_their_absence() {
+        let report = tiny_report();
+        let entry = HistoryEntry::from_report(&report);
+        assert!(
+            entry.draco_batch_single_checks_per_sec > 0.0,
+            "v5 reports populate the batch rate"
+        );
+        assert!(entry.draco_batch_speedup_vs_scalar > 0.0);
+        // Entries appended before schema v5 lack the batch keys; they are
+        // the last two fields, so truncating the serialized line at the
+        // first of them yields a faithful pre-v5 entry.
+        let json = serde_json::to_string(&entry).unwrap();
+        let cut = json
+            .find(",\"draco_batch_single_checks_per_sec\"")
+            .expect("batch keys serialize");
+        let old: HistoryEntry = serde_json::from_str(&format!("{}}}", &json[..cut])).unwrap();
+        assert_eq!(old.draco_batch_single_checks_per_sec, 0.0);
+        assert_eq!(old.draco_batch_speedup_vs_scalar, 0.0);
+    }
+
+    #[test]
+    fn mixed_version_history_compares_without_loss() {
+        // A real history mixes entries appended by v3/v4 builds (no
+        // shared/batch keys) with v5 entries. The gate must consider all
+        // of them — no panic, no silent skip of old lines.
+        let report = tiny_report();
+        let current = HistoryEntry::from_report(&report);
+        let v5_line = serde_json::to_string(&current).unwrap();
+        let pre_v5 = {
+            let cut = v5_line.find(",\"draco_batch_single_checks_per_sec\"").unwrap();
+            format!("{}}}", &v5_line[..cut])
+        };
+        let pre_v4 = {
+            let cut = v5_line.find(",\"draco_shared_multi_checks_per_sec\"").unwrap();
+            format!("{}}}", &v5_line[..cut])
+        };
+        let dir = std::env::temp_dir().join("draco-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("history-mixed-{}.jsonl", std::process::id()));
+        std::fs::write(&path, format!("{pre_v4}\n{pre_v5}\n{v5_line}\n")).unwrap();
+        let history = load_history(&path).unwrap();
+        assert_eq!(history.len(), 3, "every version of the entry loads");
+        let outcome = compare(&history, &report, DEFAULT_THRESHOLD_PCT);
+        assert_eq!(outcome.baselines_considered, 3);
+        assert!(!outcome.regressed, "{outcome}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     /// Regression test for the non-atomic append: the old implementation

@@ -20,9 +20,11 @@ use draco::workloads::WorkloadSpec;
 
 /// Schema tag written into every report (bump on breaking changes).
 /// v2 added the `metrics` observability section; v3 added per-backend
-/// sampled check-latency histograms (`check_latency_ns`); v4 adds the
-/// `shared_threads` section (thread-shared SPT/VAT scaling, paper §VI).
-pub const SCHEMA: &str = "draco-throughput/v4";
+/// sampled check-latency histograms (`check_latency_ns`); v4 added the
+/// `shared_threads` section (thread-shared SPT/VAT scaling, paper §VI);
+/// v5 adds the `batch` section (the staged batched check path against
+/// the same-run scalar draco-sw rate).
+pub const SCHEMA: &str = "draco-throughput/v5";
 
 /// Harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,9 +42,18 @@ pub struct ThroughputConfig {
     /// Worker-thread count for the shared-process runs
     /// (the `shared_threads` report section).
     pub shared_threads: usize,
+    /// Requests per `syscall_batch` call in the batch-backend runs (the
+    /// `batch` report section).
+    pub batch: usize,
 }
 
 impl ThroughputConfig {
+    /// Default batch size for the batch-backend section: big enough to
+    /// amortize per-batch staging (the commit fast path makes staging
+    /// O(distinct), so larger batches keep paying off), small enough
+    /// that requests plus staging stay cache-resident.
+    pub const DEFAULT_BATCH: usize = 128;
+
     /// Defaults sized for a stable measurement (a few seconds total).
     pub fn standard() -> Self {
         ThroughputConfig {
@@ -52,6 +63,7 @@ impl ThroughputConfig {
             seed: 2020,
             shards: default_shards(),
             shared_threads: default_shards(),
+            batch: Self::DEFAULT_BATCH,
         }
     }
 
@@ -136,6 +148,46 @@ pub struct SharedThroughput {
     pub insert_races_lost: u64,
 }
 
+/// The batched check path's measurement (schema v5): the draco-batch
+/// backend over the same workload/seed as the scalar backends, plus the
+/// key headline number — its single-thread rate relative to the **same
+/// run's** scalar draco-sw rate (cross-run comparisons would fold host
+/// noise into the speedup).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchThroughput {
+    /// Requests per `syscall_batch` call.
+    pub batch: u64,
+    /// Checks/second with one shard on one thread.
+    pub single_thread_checks_per_sec: f64,
+    /// Aggregate checks/second across all shards.
+    pub multi_thread_checks_per_sec: f64,
+    /// Batch single-thread rate over the same run's scalar draco-sw
+    /// single-thread rate.
+    pub speedup_vs_scalar_single: f64,
+    /// Fraction of measured checks the SPT/VAT absorbed (identical to
+    /// the scalar draco-sw rate on the same seed).
+    pub cache_hit_rate: f64,
+    /// Measured checks per shard in the multi-thread run
+    /// (deterministic).
+    pub shard_checks: Vec<u64>,
+    /// Allowed verdicts per shard in the multi-thread run (identical to
+    /// scalar draco-sw — the differential tests pin this).
+    pub shard_allowed: Vec<u64>,
+    /// Sampled per-check wall-clock latency of the multi-thread run
+    /// (nanoseconds; one sample per sampled batch, batch wall time over
+    /// batch length).
+    #[serde(default)]
+    pub check_latency_ns: Histogram,
+    /// Batches executed across both runs (from the merged checker
+    /// section of the batch runs).
+    pub batches: u64,
+    /// Software prefetches issued before probe passes.
+    pub prefetch_issued: u64,
+    /// Misses resolved by an earlier in-batch validation of the same
+    /// key instead of a second filter run.
+    pub miss_dedup_hits: u64,
+}
+
 /// The full report `repro throughput` prints and writes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -163,6 +215,10 @@ pub struct ThroughputReport {
     /// [`KeyMix::ALL`] order). Empty when parsing pre-v4 reports.
     #[serde(default)]
     pub shared_threads: Vec<SharedThroughput>,
+    /// Batched check path measurement. `None` when parsing pre-v5
+    /// reports (and omitted from the JSON entirely when absent).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub batch: Option<BatchThroughput>,
 }
 
 impl ThroughputReport {
@@ -288,7 +344,7 @@ fn run_throughput_inner(
     };
     let mut metrics = MetricsRegistry::default();
     let mut spans = Vec::new();
-    let backends = ReplayBackend::ALL
+    let backends: Vec<BackendThroughput> = ReplayBackend::ALL
         .iter()
         .map(|&backend| {
             let single = replay_parallel(&spec, kind, backend, &base);
@@ -308,6 +364,7 @@ fn run_throughput_inner(
         })
         .collect();
     let shared_threads = run_shared_section(&spec, cfg);
+    let batch = run_batch_section(&spec, cfg, &base, &multi_cfg, &backends, &mut metrics);
     let report = ThroughputReport {
         schema: SCHEMA.to_owned(),
         workload: cfg.workload.clone(),
@@ -318,8 +375,52 @@ fn run_throughput_inner(
         backends,
         metrics,
         shared_threads,
+        batch: Some(batch),
     };
     (report, spans)
+}
+
+/// The batch section (schema v5): one single-shard and one multi-shard
+/// run of the draco-batch backend, with the speedup computed against the
+/// same run's scalar draco-sw single-thread rate.
+fn run_batch_section(
+    spec: &WorkloadSpec,
+    cfg: &ThroughputConfig,
+    base: &ReplayConfig,
+    multi_cfg: &ReplayConfig,
+    backends: &[BackendThroughput],
+    metrics: &mut MetricsRegistry,
+) -> BatchThroughput {
+    let backend = ReplayBackend::DracoBatch { batch: cfg.batch };
+    let kind = ProfileKind::SyscallComplete;
+    let single = replay_parallel(spec, kind, backend, base);
+    let multi = replay_parallel(spec, kind, backend, multi_cfg);
+    let st = finite_or_zero(single.checks_per_sec());
+    let scalar_single = backends
+        .iter()
+        .find(|b| b.backend == ReplayBackend::DracoSw.label())
+        .map(|b| b.single_thread_checks_per_sec)
+        .unwrap_or(0.0);
+    let mut batch_counters = single.metrics.checker;
+    batch_counters.merge(&multi.metrics.checker);
+    metrics.merge(&multi.metrics);
+    BatchThroughput {
+        batch: cfg.batch as u64,
+        single_thread_checks_per_sec: st,
+        multi_thread_checks_per_sec: finite_or_zero(multi.checks_per_sec()),
+        speedup_vs_scalar_single: if scalar_single > 0.0 {
+            finite_or_zero(st / scalar_single)
+        } else {
+            0.0
+        },
+        cache_hit_rate: finite_or_zero(multi.cache_hit_rate()),
+        shard_checks: multi.shard_checks(),
+        shard_allowed: multi.shards.iter().map(|s| s.allowed).collect(),
+        check_latency_ns: multi.latency_hist(),
+        batches: batch_counters.batches,
+        prefetch_issued: batch_counters.prefetch_issued,
+        miss_dedup_hits: batch_counters.miss_dedup_hits,
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +435,7 @@ mod tests {
             seed: 7,
             shards: 2,
             shared_threads: 2,
+            batch: 32,
         }
     }
 
@@ -367,6 +469,22 @@ mod tests {
         }
         let skewed = &report.shared_threads[0];
         assert!(skewed.cache_hit_rate > 0.5, "shared hot keys re-hit");
+        // v5: the batch section measures the batched path against the
+        // same-seed scalar run.
+        let batch = report.batch.as_ref().expect("v5 reports carry batch");
+        assert_eq!(batch.batch, 32);
+        assert!(batch.single_thread_checks_per_sec > 0.0);
+        assert!(batch.multi_thread_checks_per_sec > 0.0);
+        assert!(batch.speedup_vs_scalar_single > 0.0);
+        assert_eq!(batch.shard_checks, vec![300, 300]);
+        assert_eq!(
+            batch.shard_allowed,
+            report.backend("draco-sw").unwrap().shard_allowed,
+            "batched decisions are identical to scalar"
+        );
+        assert_eq!(batch.cache_hit_rate, draco.cache_hit_rate);
+        assert!(batch.batches > 0);
+        assert!(batch.prefetch_issued > 0);
     }
 
     #[test]
@@ -411,6 +529,15 @@ mod tests {
     }
 
     #[test]
+    fn pre_v5_reports_without_batch_section_still_parse() {
+        let report = run_throughput(&tiny());
+        let mut json = serde_json::to_string(&report).expect("serializes");
+        json = json.replace("\"batch\":", "\"renamed_away\":");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        assert!(back.batch.is_none(), "defaulted");
+    }
+
+    #[test]
     fn json_round_trip_preserves_deterministic_fields() {
         let report = run_throughput(&tiny());
         let json = serde_json::to_string_pretty(&report).expect("serializes");
@@ -434,9 +561,10 @@ mod tests {
     fn metrics_section_is_populated() {
         let report = run_throughput(&tiny());
         let m = &report.metrics;
-        // replay covers all three backends' multi-thread runs.
-        assert_eq!(m.replay.checks, 3 * 2 * 300);
-        assert_eq!(m.replay.shards, 3 * 2);
+        // replay covers the three standard backends' multi-thread runs
+        // plus the batch backend's.
+        assert_eq!(m.replay.checks, 4 * 2 * 300);
+        assert_eq!(m.replay.shards, 4 * 2);
         // checker/cuckoo come from the Draco shards.
         assert!(m.checker.total() > 0);
         assert!(m.checker.vat_hits > 0);
@@ -476,6 +604,7 @@ mod tests {
             backends: vec![summary],
             metrics: MetricsRegistry::default(),
             shared_threads: Vec::new(),
+            batch: None,
         };
         let json = serde_json::to_string(&report).expect("serializes");
         assert!(!json.contains("null"), "no non-finite rate leaked: {json}");

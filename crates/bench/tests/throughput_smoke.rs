@@ -36,6 +36,21 @@ fn quick_run_emits_schema_valid_json() {
     }
     assert!(report.backend("draco-sw").unwrap().cache_hit_rate > 0.5);
 
+    // The batch section rode along with real numbers and the same
+    // deterministic per-shard tallies as the scalar draco-sw replay.
+    let batch = report.batch.as_ref().expect("v5 reports carry a batch section");
+    assert!(batch.batch > 0);
+    assert_eq!(batch.shard_checks.len(), 2);
+    assert!(batch.single_thread_checks_per_sec > 0.0);
+    assert!(batch.multi_thread_checks_per_sec > 0.0);
+    assert!(batch.speedup_vs_scalar_single > 0.0);
+    assert!(batch.batches > 0 && batch.prefetch_issued > 0);
+    assert_eq!(
+        batch.shard_allowed,
+        report.backend("draco-sw").unwrap().shard_allowed,
+        "batched decisions must match the scalar replay"
+    );
+
     // The file mirrors stdout and survives a serde round-trip.
     let on_disk = std::fs::read_to_string(&out).expect("report written");
     let parsed: ThroughputReport = serde_json::from_str(&on_disk).expect("file parses");
@@ -60,6 +75,15 @@ fn same_seed_runs_have_identical_shard_counts() {
         assert_eq!(x.shard_allowed, y.shard_allowed, "{}", x.backend);
         assert_eq!(x.cache_hit_rate, y.cache_hit_rate, "{}", x.backend);
     }
+    let (ba, bb) = (a.batch.as_ref().unwrap(), b.batch.as_ref().unwrap());
+    assert_eq!(ba.shard_checks, bb.shard_checks, "batch");
+    assert_eq!(ba.shard_allowed, bb.shard_allowed, "batch");
+    assert_eq!(ba.cache_hit_rate, bb.cache_hit_rate, "batch");
+    assert_eq!(
+        (ba.batches, ba.prefetch_issued, ba.miss_dedup_hits),
+        (bb.batches, bb.prefetch_issued, bb.miss_dedup_hits),
+        "batch counters are deterministic"
+    );
     let _ = std::fs::remove_file(&out_a);
     let _ = std::fs::remove_file(&out_b);
 }

@@ -1,0 +1,147 @@
+//! Per-path cost breakdown for the batched check path.
+//!
+//! ```text
+//! cargo run --release -p draco-core --example batch_microbench
+//! ```
+//!
+//! Times the scalar `check()` loop against `check_batch()` on warm,
+//! hit-dominated streams so the staging overhead and the per-check
+//! bookkeeping are visible in isolation. Not a tracked benchmark —
+//! use `repro throughput` for recorded numbers.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use draco_core::{DracoChecker, Decision};
+use draco_profiles::{ProfileGenerator, ProfileKind};
+use draco_syscalls::{ArgSet, SyscallId, SyscallRequest};
+
+fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+    SyscallRequest::new(0x7000, SyscallId::new(nr), ArgSet::from_slice(args))
+}
+
+fn build_checker() -> DracoChecker {
+    let mut gen = ProfileGenerator::new("microbench");
+    gen.observe(&req(0, &[3, 0x1000, 64]));
+    gen.observe(&req(0, &[4, 0x2000, 128]));
+    gen.observe(&req(1, &[5, 0x3000, 256]));
+    gen.observe(&req(39, &[]));
+    gen.observe(&req(96, &[]));
+    let profile = gen.emit(ProfileKind::SyscallComplete);
+    DracoChecker::from_profile(&profile).expect("profile compiles")
+}
+
+fn bench(label: &str, stream: &[SyscallRequest], batch: usize, iters: usize) -> f64 {
+    let mut checker = build_checker();
+    let mut out = vec![Decision::KILLED; batch.max(1)];
+    // Warm every key so the measured loop is hit-only.
+    for r in stream {
+        black_box(checker.check(r));
+    }
+    let start = Instant::now();
+    if batch == 0 {
+        for _ in 0..iters {
+            for r in stream {
+                black_box(checker.check(r));
+            }
+        }
+    } else {
+        for _ in 0..iters {
+            for chunk in stream.chunks(batch) {
+                checker.check_batch(chunk, &mut out[..chunk.len()]);
+                black_box(&out);
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let checks = (stream.len() * iters) as f64;
+    let ns = elapsed.as_nanos() as f64 / checks;
+    println!("{label:<28} {ns:>8.1} ns/check  ({:.2} Mchecks/s)", 1e3 / ns);
+    ns
+}
+
+fn main() {
+    // Mixed stream: 2/6 SPT exits, 4/6 VAT-backed keys, mirrors the
+    // pipe-style replay mix.
+    let mixed: Vec<SyscallRequest> = (0..4096)
+        .map(|i| match i % 6 {
+            0 => req(39, &[]),
+            1 => req(96, &[]),
+            2 => req(0, &[3, 0x1000, 64]),
+            3 => req(0, &[4, 0x2000, 128]),
+            4 => req(1, &[5, 0x3000, 256]),
+            _ => req(0, &[3, 0x1000, 64]),
+        })
+        .collect();
+    let vat_only: Vec<SyscallRequest> = (0..4096)
+        .map(|i| match i % 3 {
+            0 => req(0, &[3, 0x1000, 64]),
+            1 => req(0, &[4, 0x2000, 128]),
+            _ => req(1, &[5, 0x3000, 256]),
+        })
+        .collect();
+    let spt_only: Vec<SyscallRequest> = (0..4096)
+        .map(|i| if i % 2 == 0 { req(39, &[]) } else { req(96, &[]) })
+        .collect();
+
+    let iters = 2000;
+    println!("== mixed (1/3 SPT exit, 2/3 VAT) ==");
+    let scalar = bench("scalar", &mixed, 0, iters);
+    for b in [16usize, 64, 256] {
+        let ns = bench(&format!("batch={b}"), &mixed, b, iters);
+        println!("{:>38} speedup {:.2}x", "", scalar / ns);
+    }
+    println!("== vat-only ==");
+    let scalar = bench("scalar", &vat_only, 0, iters);
+    let ns = bench("batch=64", &vat_only, 64, iters);
+    println!("{:>38} speedup {:.2}x", "", scalar / ns);
+    // One argument set per syscall — the replay-trace shape (pipe-style
+    // read/write loops) where the bulk commit path engages.
+    let pipe_like: Vec<SyscallRequest> = (0..4096)
+        .map(|i| match i % 2 {
+            0 => req(0, &[3, 0x1000, 64]),
+            _ => req(1, &[5, 0x3000, 256]),
+        })
+        .collect();
+    println!("== pipe-like (one key per syscall) ==");
+    let scalar = bench("scalar", &pipe_like, 0, iters);
+    let ns = bench("batch=64", &pipe_like, 64, iters);
+    println!("{:>38} speedup {:.2}x", "", scalar / ns);
+    println!("== spt-only ==");
+    let scalar = bench("scalar", &spt_only, 0, iters);
+    let ns = bench("batch=64", &spt_only, 64, iters);
+    println!("{:>38} speedup {:.2}x", "", scalar / ns);
+
+    // Per-stage breakdown of the batch path via the span tracer
+    // (sample every batch; each batch records one span per stage).
+    println!("== batch=64 stage breakdown (vat-only stream) ==");
+    let mut checker = build_checker();
+    checker.enable_span_trace(1 << 16, 1);
+    let mut out = vec![Decision::KILLED; 64];
+    for r in &vat_only {
+        black_box(checker.check(r));
+    }
+    let _ = checker.take_span_tracer();
+    checker.enable_span_trace(1 << 16, 1);
+    for _ in 0..120 {
+        for chunk in vat_only.chunks(64) {
+            checker.check_batch(chunk, &mut out[..chunk.len()]);
+        }
+    }
+    let tracer = checker.take_span_tracer().expect("installed");
+    let mut by_stage: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for s in tracer.spans() {
+        let e = by_stage.entry(format!("{:?}", s.stage)).or_insert((0, 0));
+        e.0 += s.dur_ns;
+        e.1 += 1;
+    }
+    let total: u64 = by_stage.values().map(|v| v.0).sum();
+    for (stage, (ns, n)) in &by_stage {
+        println!(
+            "{stage:<22} {:>10} ns total  {:>7.1} ns/span  {:>5.1}%",
+            ns,
+            *ns as f64 / *n as f64,
+            *ns as f64 * 100.0 / total as f64
+        );
+    }
+}

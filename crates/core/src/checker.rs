@@ -3,6 +3,7 @@
 use core::fmt;
 
 use draco_bpf::{SeccompAction, SeccompData};
+use draco_cuckoo::{CrcPairHasher, HashPair, Lookup, PairHasher};
 use draco_obs::{
     CheckerMetrics, EventRing, FlowClass, FlowEvent, Histogram, MetricsRegistry, SpanTracer,
     Stage, TraceScope,
@@ -11,9 +12,11 @@ use draco_profiles::{
     analyze_profile, compile_stacked, ArgPolicy, CompiledStack, FilterLayout, FilterStack,
     MaskAgreement, ProfileAnalysis, ProfileSpec, StackOutcome, SyscallRule,
 };
-use draco_syscalls::{ArgBitmask, SyscallId, SyscallRequest, SyscallTable};
+use draco_syscalls::{
+    ArgBitmask, MaskedBytes, SyscallId, SyscallRequest, SyscallTable, MAX_ARGS,
+};
 
-use crate::{CheckerStats, DracoError, Spt, Vat};
+use crate::{BatchStats, CheckerStats, DracoError, Spt, Vat};
 
 /// What Draco checks (paper §V-A vs §V-B).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -70,6 +73,169 @@ pub struct CheckResult {
     pub action: SeccompAction,
     /// How the verdict was produced.
     pub path: CheckPath,
+}
+
+impl CheckResult {
+    /// The verdict a dead process reports without reaching the checker
+    /// (also a convenient initializer for batch output slices).
+    pub const KILLED: CheckResult = CheckResult {
+        action: SeccompAction::KillProcess,
+        path: CheckPath::FilterRun { insns: 0 },
+    };
+}
+
+/// The verdict of one batched check — identical in shape and meaning to
+/// [`CheckResult`]; the alias marks slices used as batch outputs.
+pub type Decision = CheckResult;
+
+/// Per-request classification produced by the batch's SPT-resolve pass.
+#[derive(Clone, Copy, Debug, Default)]
+enum BatchClass {
+    /// The SPT word alone admits the request (ID-only checking or a
+    /// rule without argument checks): a fast exit, no hashing.
+    SptExit {
+        /// The analyzer proved this syscall always-allowed.
+        always_allow: bool,
+    },
+    /// SPT valid with a VAT table: hash, prefetch, probe.
+    Candidate,
+    /// No valid SPT word: full scalar check during the commit walk.
+    #[default]
+    Cold,
+}
+
+/// One slot of the batch's direct-mapped key-dedup index.
+///
+/// `epoch` tags the batch that wrote the slot, so resetting the index
+/// is a counter bump instead of a memset. `distinct` indexes the
+/// distinct-key arrays of the same batch.
+#[derive(Clone, Copy, Debug, Default)]
+struct DedupSlot {
+    fp: u64,
+    epoch: u64,
+    distinct: u32,
+}
+
+/// Slots in the dedup index. Collisions are sound — a clashing key is
+/// simply staged as its own distinct entry — so the table stays small
+/// enough to live in L1/L2.
+const DEDUP_SLOTS: usize = 256;
+
+/// Ceiling on distinct keys for the bulk commit: past it the pairwise
+/// table-distinctness check costs more than the walk it would replace.
+const BULK_DISTINCT_LIMIT: usize = 16;
+
+/// True if no VAT table index appears twice — the bulk commit's "one
+/// distinct key per table" precondition.
+#[inline]
+fn tables_pairwise_distinct(cand: &[u32]) -> bool {
+    cand.iter()
+        .enumerate()
+        .all(|(i, &c)| cand[..i].iter().all(|&p| p != c))
+}
+
+/// A cheap 64-bit fingerprint of a candidate's (table, masked-words)
+/// identity, used only to index the dedup table. Equality of the full
+/// mask and masked words is always re-verified before two requests
+/// share staged work, so fingerprint quality affects the dedup *rate*,
+/// never correctness.
+#[inline]
+fn words_fingerprint(idx: u32, words: &[u64; MAX_ARGS]) -> u64 {
+    const K: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = (u64::from(idx) ^ 0xa076_1d64_78bd_642f).wrapping_mul(K);
+    for &w in words {
+        h = (h ^ w).wrapping_mul(K);
+        h ^= h >> 29;
+    }
+    h ^ (h >> 32)
+}
+
+/// One slot of the batch's per-syscall resolve cache, indexed by raw
+/// syscall number and epoch-tagged like [`DedupSlot`].
+///
+/// The first request of each syscall ID in a batch resolves its SPT
+/// word (and, for candidates, expands the bitmask to per-argument mask
+/// words); every later request of the same ID reuses the slot, turning
+/// the per-request resolve into six ANDs and an array compare. Caching
+/// is sound because all resolves happen in pass 1, before any commit
+/// can mutate the SPT — the scalar loop would read the same words.
+#[derive(Clone, Copy, Debug, Default)]
+struct IdSlot {
+    /// Batch that wrote the slot (any other value means vacant).
+    epoch: u64,
+    /// Resolved classification for this syscall ID.
+    class: BatchClass,
+    /// VAT table index (candidates only).
+    idx: u32,
+    /// SPT bitmask (candidates only).
+    bitmask: ArgBitmask,
+    /// `bitmask` expanded to per-argument byte-mask words.
+    mask_words: [u64; MAX_ARGS],
+    /// The distinct index this ID's most recent request mapped to, or
+    /// `u32::MAX` if none yet — the fast path for straight-line replay
+    /// traffic that repeats one argument set per syscall.
+    distinct: u32,
+}
+
+/// Reusable staging buffers for [`DracoChecker::check_batch_with`].
+///
+/// All vectors are cleared — never freed — at batch start, so a warm
+/// caller-held scratch makes the whole batch hit path allocation-free
+/// (`crates/core/tests/zero_alloc_batch.rs` proves it under a counting
+/// allocator).
+///
+/// The staging arrays hold one entry per *distinct* candidate key, not
+/// per request: requests whose masked argument bytes match an
+/// already-staged key (verified bytewise, not just by fingerprint)
+/// share its hash, prefetch, and probe via `slot`.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Pass-1 classification, one per request.
+    class: Vec<BatchClass>,
+    /// Per candidate, in request order: index into the distinct arrays.
+    slot: Vec<u32>,
+    /// VAT table index per distinct key.
+    cand: Vec<u32>,
+    /// SPT bitmask per distinct key (re-verified on dedup hits so two
+    /// tables can never alias through equal masked words).
+    cand_mask: Vec<ArgBitmask>,
+    /// Per-argument masked words per distinct key — the dedup identity.
+    cand_masked: Vec<[u64; MAX_ARGS]>,
+    /// Requests mapped to each distinct key this batch.
+    dups: Vec<u32>,
+    /// Masked key bytes per distinct key.
+    keys: Vec<MaskedBytes>,
+    /// CRC hash pair per distinct key.
+    pairs: Vec<HashPair>,
+    /// Pass-3 probe result per distinct key.
+    probes: Vec<Option<Lookup>>,
+    /// Direct-mapped fingerprint → distinct-index map, epoch-tagged so
+    /// a batch never sees a previous batch's entries.
+    dedup: Vec<DedupSlot>,
+    /// Per-syscall resolve cache, indexed by raw syscall number and
+    /// epoch-tagged like `dedup`; sized to the SPT on first use.
+    idcache: Vec<IdSlot>,
+    /// Current batch's epoch (slots with any other epoch are vacant).
+    epoch: u64,
+}
+
+impl BatchScratch {
+    fn reset(&mut self) {
+        self.class.clear();
+        self.slot.clear();
+        self.cand.clear();
+        self.cand_mask.clear();
+        self.cand_masked.clear();
+        self.dups.clear();
+        self.keys.clear();
+        self.pairs.clear();
+        self.probes.clear();
+        if self.dedup.is_empty() {
+            self.dedup.resize(DEDUP_SLOTS, DedupSlot::default());
+        }
+        // Epoch 0 is the vacant default, so the first batch starts at 1.
+        self.epoch += 1;
+    }
 }
 
 /// Per-syscall facts proved by the filter analyzer
@@ -174,6 +340,14 @@ pub struct DracoChecker {
     /// Optional statically-proved facts about the installed filter.
     /// `None` (the default) costs one branch per SPT hit.
     analysis: Option<AnalysisPlan>,
+    /// Batched-path counters (separate from `stats`, which a batch must
+    /// advance exactly as the equivalent scalar loop would).
+    batch: BatchStats,
+    /// Distribution of batch sizes submitted to `check_batch`.
+    batch_size: Histogram,
+    /// Internal staging buffers for `check_batch` (callers wanting
+    /// explicit buffer control use `check_batch_with`).
+    batch_scratch: BatchScratch,
 }
 
 impl DracoChecker {
@@ -215,6 +389,9 @@ impl DracoChecker {
             span_trace: None,
             check_seq: 0,
             analysis: None,
+            batch: BatchStats::default(),
+            batch_size: Histogram::default(),
+            batch_scratch: BatchScratch::default(),
         }
     }
 
@@ -284,6 +461,11 @@ impl DracoChecker {
         self.stats
     }
 
+    /// Accumulated batched-path counters.
+    pub const fn batch_stats(&self) -> BatchStats {
+        self.batch
+    }
+
     /// This checker's observability snapshot: the `checker` section from
     /// its own counters and histograms, the `cuckoo` and `vat` sections
     /// aggregated from its VAT tables. (The `sim`/`replay` sections stay
@@ -303,6 +485,11 @@ impl DracoChecker {
                 insert_races_lost: self.stats.insert_races_lost,
                 masks_derived_match: self.analysis.as_ref().map_or(0, |p| p.derived_match),
                 masks_overridden: self.analysis.as_ref().map_or(0, |p| p.overridden),
+                batches: self.batch.batches,
+                batched_checks: self.batch.batched_checks,
+                prefetch_issued: self.batch.prefetch_issued,
+                miss_dedup_hits: self.batch.miss_dedup_hits,
+                batch_size: self.batch_size,
                 insns_per_filter_run: self.insns_per_filter_run,
                 saved_insns_per_hit: self.saved_insns_per_hit,
             },
@@ -443,6 +630,448 @@ impl DracoChecker {
         let result = self.check_staged(req, &mut scope);
         self.span_trace = tracer;
         result
+    }
+
+    /// Checks a whole batch, amortizing per-check overhead across staged
+    /// passes: (1) SPT-word resolve for all requests, partitioning fast
+    /// exits from VAT candidates and deduplicating candidates on their
+    /// masked key (repeats of a staged key share its staged work);
+    /// (2) 4-lane interleaved CRC-64 hashing of the distinct surviving
+    /// keys; (3) software prefetch of every distinct key's cuckoo slots
+    /// (both ways) followed by a bulk probe pass; (4) an in-order commit
+    /// walk that fans decisions out — replaying per-request hit/lookup
+    /// bookkeeping — and runs the filter for misses.
+    ///
+    /// Produces exactly the decisions — and exactly the
+    /// [`CheckerStats`] and table metrics — of calling
+    /// [`DracoChecker::check`] on each request in order
+    /// (`tests/equivalence.rs` pins this differentially). Misses
+    /// deduplicate *through the caches*: once an early request validates
+    /// a key, later requests in the same batch re-probe and hit instead
+    /// of re-running the filter (counted in
+    /// [`BatchStats::miss_dedup_hits`]). Denials are never memoized —
+    /// every denied request runs the real filter, exactly as the scalar
+    /// loop does.
+    ///
+    /// Writes one [`Decision`] per request into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != reqs.len()`.
+    pub fn check_batch(&mut self, reqs: &[SyscallRequest], out: &mut [Decision]) {
+        let mut scratch = core::mem::take(&mut self.batch_scratch);
+        self.check_batch_with(reqs, out, &mut scratch);
+        self.batch_scratch = scratch;
+    }
+
+    /// [`DracoChecker::check_batch`] with caller-provided staging
+    /// buffers — the zero-allocation form once `scratch` is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != reqs.len()`.
+    pub fn check_batch_with(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [Decision],
+        scratch: &mut BatchScratch,
+    ) {
+        let committed = self.batch_passes(reqs, out, scratch, false);
+        debug_assert_eq!(committed, reqs.len());
+    }
+
+    /// Batch segment for process-level callers: commits decisions in
+    /// request order but stops immediately after committing a kill
+    /// verdict, returning how many decisions were committed. The
+    /// pre-commit passes are read-only (SPT accessed bits aside, which
+    /// no stat or decision observes), so aborting the walk mid-batch
+    /// leaves the checker exactly as a scalar loop that stopped at the
+    /// same request.
+    pub(crate) fn check_batch_segment(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [Decision],
+    ) -> usize {
+        let mut scratch = core::mem::take(&mut self.batch_scratch);
+        let committed = self.batch_passes(reqs, out, &mut scratch, true);
+        self.batch_scratch = scratch;
+        committed
+    }
+
+    /// The four staged passes. Returns the number of decisions
+    /// committed (always `reqs.len()` unless `stop_on_kill` cut the
+    /// commit walk short).
+    fn batch_passes(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [Decision],
+        scratch: &mut BatchScratch,
+        stop_on_kill: bool,
+    ) -> usize {
+        assert_eq!(reqs.len(), out.len(), "one decision slot per request");
+        if reqs.is_empty() {
+            return 0;
+        }
+        self.batch.batches += 1;
+        self.batch.batched_checks += reqs.len() as u64;
+        self.batch_size.record(reqs.len() as u64);
+        let before = self.stats;
+        scratch.reset();
+
+        // One trace scope spans the whole batch (sequenced like the
+        // batch's first check); each pass records its own stage.
+        let mut tracer = self.span_trace.take();
+        let mut scope = TraceScope::begin(
+            tracer.as_deref_mut(),
+            self.check_seq.saturating_add(1),
+            reqs.first().map_or(0, |r| r.id.as_u16()),
+        );
+
+        // Pass 1 — resolve every request's SPT word, partitioning pure
+        // SPT exits from VAT candidates, and deduplicate candidates on
+        // their masked argument words: repeats of a key already staged
+        // this batch (same table, same mask, equal masked words — which
+        // is exactly selected-bytes equality) share its
+        // hash/prefetch/probe instead of re-staging it. The per-syscall
+        // resolve cache makes a repeat request cost six ANDs and a
+        // compare. Hot replay traffic repeats a handful of argument
+        // sets per batch, so this is where the batch earns its
+        // amortization.
+        let t = scope.stage_begin();
+        let epoch = scratch.epoch;
+        let cap = self.spt.capacity();
+        if scratch.idcache.len() < cap {
+            scratch.idcache.resize(cap, IdSlot::default());
+        }
+        let (mut n_spt, mut n_aa, mut n_cold) = (0u64, 0u64, 0u64);
+        for req in reqs {
+            let sid = req.id.as_u16() as usize;
+            if sid >= scratch.idcache.len() {
+                // Out of SPT range: the scalar path treats this as a
+                // miss; route it through the commit walk unchanged.
+                scratch.class.push(BatchClass::Cold);
+                n_cold += 1;
+                continue;
+            }
+            let slot = &mut scratch.idcache[sid];
+            if slot.epoch != epoch {
+                *slot = match self.spt.get(req.id) {
+                    None => IdSlot {
+                        epoch,
+                        ..IdSlot::default()
+                    },
+                    Some(entry) => match (self.mode, entry.vat_index) {
+                        (CheckMode::IdOnly, _) | (CheckMode::IdAndArgs, None) => IdSlot {
+                            epoch,
+                            class: BatchClass::SptExit {
+                                always_allow: self
+                                    .analysis
+                                    .as_ref()
+                                    .is_some_and(|plan| plan.always_allows(req.id)),
+                            },
+                            ..IdSlot::default()
+                        },
+                        (CheckMode::IdAndArgs, Some(idx)) => IdSlot {
+                            epoch,
+                            class: BatchClass::Candidate,
+                            idx,
+                            bitmask: entry.bitmask,
+                            mask_words: entry.bitmask.expand(),
+                            distinct: u32::MAX,
+                        },
+                    },
+                };
+            }
+            let class = slot.class;
+            match class {
+                BatchClass::Cold => n_cold += 1,
+                BatchClass::SptExit { always_allow } => {
+                    n_spt += 1;
+                    n_aa += u64::from(always_allow);
+                }
+                BatchClass::Candidate => {
+                    let idx = slot.idx;
+                    let args = req.args.as_array();
+                    let mut w = [0u64; MAX_ARGS];
+                    for ((wi, &a), &m) in w.iter_mut().zip(args.iter()).zip(&slot.mask_words) {
+                        *wi = a & m;
+                    }
+                    let distinct = if slot.distinct != u32::MAX
+                        && scratch.cand_masked[slot.distinct as usize] == w
+                    {
+                        slot.distinct
+                    } else {
+                        let fp = words_fingerprint(idx, &w);
+                        let d = &mut scratch.dedup[(fp as usize) & (DEDUP_SLOTS - 1)];
+                        let hit = d.epoch == epoch
+                            && d.fp == fp
+                            && scratch.cand[d.distinct as usize] == idx
+                            && scratch.cand_mask[d.distinct as usize] == slot.bitmask
+                            && scratch.cand_masked[d.distinct as usize] == w;
+                        if hit {
+                            d.distinct
+                        } else {
+                            let fresh = scratch.cand.len() as u32;
+                            scratch.cand.push(idx);
+                            scratch.cand_mask.push(slot.bitmask);
+                            scratch.cand_masked.push(w);
+                            scratch.keys.push(slot.bitmask.select_bytes(&req.args));
+                            scratch.dups.push(0);
+                            *d = DedupSlot {
+                                fp,
+                                epoch,
+                                distinct: fresh,
+                            };
+                            fresh
+                        }
+                    };
+                    scratch.dups[distinct as usize] += 1;
+                    slot.distinct = distinct;
+                    scratch.slot.push(distinct);
+                }
+            }
+            scratch.class.push(class);
+        }
+        scope.stage_end(Stage::BatchSptResolve, t);
+
+        // Pass 2 — CRC-64 both ways for every surviving key, four lanes
+        // interleaved (falls back to scalar for the remainder).
+        let t = scope.stage_begin();
+        let hasher = CrcPairHasher::new();
+        let mut lanes = scratch.keys.chunks_exact(4);
+        for four in &mut lanes {
+            scratch.pairs.extend_from_slice(&hasher.hash_pair4([
+                four[0].as_slice(),
+                four[1].as_slice(),
+                four[2].as_slice(),
+                four[3].as_slice(),
+            ]));
+        }
+        for key in lanes.remainder() {
+            scratch.pairs.push(hasher.hash_pair(key.as_slice()));
+        }
+        scope.stage_end(Stage::BatchCrcHash, t);
+
+        // Pass 3 — touch every distinct key's cuckoo slots (both ways)
+        // before any probe, overlapping cache fills the way the
+        // hardware SLB overlaps probe latency with younger work; then
+        // probe once per distinct key. Probes do not count lookups yet —
+        // the commit walk replays that bookkeeping per request, in
+        // request order.
+        let t = scope.stage_begin();
+        for (&idx, &pair) in scratch.cand.iter().zip(scratch.pairs.iter()) {
+            if self.vat.prefetch(idx, pair) {
+                self.batch.prefetch_issued += 2;
+            }
+        }
+        scope.stage_end(Stage::BatchPrefetch, t);
+        let t = scope.stage_begin();
+        for ((&idx, key), &pair) in scratch
+            .cand
+            .iter()
+            .zip(scratch.keys.iter())
+            .zip(scratch.pairs.iter())
+        {
+            scratch
+                .probes
+                .push(self.vat.probe_hashed(idx, key.as_slice(), pair));
+        }
+        scope.stage_end(Stage::BatchProbe, t);
+
+        // Pass 4 — commit. An all-hit batch (no cold requests, every
+        // distinct probe hit) with no flow trace attached commits in
+        // O(distinct) instead of O(requests): the scalar loop's
+        // bookkeeping for n consecutive hits on one entry has a closed
+        // form (`Vat::count_hits_bulk`), histograms are order-free
+        // bags, and with no filter run possible the recorded
+        // saved-insns mean is a single loop-invariant value. The
+        // pairwise-distinct table check keeps the closed form exact —
+        // one distinct key per table means each table really does see
+        // consecutive same-entry hits.
+        let t = scope.stage_begin();
+        let mut committed = reqs.len();
+        let bulk = n_cold == 0
+            && self.flow_trace.is_none()
+            && scratch.cand.len() <= BULK_DISTINCT_LIMIT
+            && scratch.probes.iter().all(Option::is_some)
+            && tables_pairwise_distinct(&scratch.cand);
+        if bulk {
+            self.commit_batch_bulk(reqs, out, scratch, n_spt, n_aa);
+            scope.stage_end(Stage::BatchCommit, t);
+        } else {
+            committed = self.commit_batch_walk(reqs, out, scratch, stop_on_kill);
+            scope.stage_end(Stage::BatchCommit, t);
+        }
+
+        // Classify the whole batch by its most severe flow (delta over
+        // the stats captured at entry).
+        let class = if self.stats.denials != before.denials {
+            FlowClass::FilterDeny
+        } else if self.stats.filter_runs != before.filter_runs {
+            FlowClass::FilterAllow
+        } else if self.stats.vat_hits != before.vat_hits {
+            FlowClass::VatHit
+        } else {
+            FlowClass::SptHit
+        };
+        scope.finish(class);
+        self.span_trace = tracer;
+        committed
+    }
+
+    /// O(distinct) commit for a batch that is provably all cache hits.
+    ///
+    /// Produces byte-identical [`CheckerStats`] and metrics to the
+    /// per-request walk (and hence to the scalar loop — the replay and
+    /// equivalence suites pin both): counter increments are bulk sums,
+    /// per-table lookup bookkeeping goes through
+    /// [`Vat::count_hits_bulk`]'s exact closed form, and every hit
+    /// records the same loop-invariant filter-cost mean the scalar
+    /// loop would. No filter ever runs here, so no kill verdict can
+    /// occur and `stop_on_kill` is vacuous.
+    fn commit_batch_bulk(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [Decision],
+        scratch: &BatchScratch,
+        n_spt: u64,
+        n_aa: u64,
+    ) {
+        self.check_seq = self.check_seq.saturating_add(reqs.len() as u64);
+        self.stats.spt_hits += n_spt;
+        self.stats.always_allow_hits += n_aa;
+        let cand_requests = scratch.slot.len() as u64;
+        self.stats.vat_hits += cand_requests;
+        let mean = self.mean_filter_cost();
+        self.saved_insns_per_hit.record_n(mean, n_spt + cand_requests);
+        for ((&idx, probe), &n) in scratch
+            .cand
+            .iter()
+            .zip(scratch.probes.iter())
+            .zip(scratch.dups.iter())
+        {
+            if let Some(hit) = *probe {
+                self.vat.count_hits_bulk(idx, hit, u64::from(n));
+            }
+        }
+        const SPT_HIT: Decision = CheckResult {
+            action: SeccompAction::Allow,
+            path: CheckPath::SptHit,
+        };
+        const VAT_HIT: Decision = CheckResult {
+            action: SeccompAction::Allow,
+            path: CheckPath::VatHit,
+        };
+        // Uniform batches (the common replay shape) fan out with a
+        // single fill; mixed batches walk the class array.
+        if n_spt == 0 {
+            out.fill(VAT_HIT);
+        } else if cand_requests == 0 {
+            out.fill(SPT_HIT);
+        } else {
+            for (slot, class) in out.iter_mut().zip(scratch.class.iter()) {
+                *slot = match class {
+                    BatchClass::SptExit { .. } => SPT_HIT,
+                    BatchClass::Candidate => VAT_HIT,
+                    BatchClass::Cold => unreachable!("bulk commit requires a cold-free batch"),
+                };
+            }
+        }
+    }
+
+    /// The general per-request commit walk — the reference semantics
+    /// every batch must match.
+    fn commit_batch_walk(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [Decision],
+        scratch: &BatchScratch,
+        stop_on_kill: bool,
+    ) -> usize {
+        // `stale` flips once a filter run inserts into the VAT: inserts
+        // can relocate or evict entries, so later candidates re-probe
+        // with their cached hash pair (a re-probe that now hits is a
+        // batch-local dedup).
+        let mut stale = false;
+        let mut cursor = 0usize;
+        let mut committed = reqs.len();
+        // Between filter runs `stats.filter_{insns,runs}` cannot change,
+        // so the mean a hit records is loop-invariant: hoist it and
+        // refresh only after a path that may run the filter. Each hit
+        // still records exactly the value the scalar loop would.
+        let mut mean = self.mean_filter_cost();
+        for (i, req) in reqs.iter().enumerate() {
+            self.check_seq = self.check_seq.saturating_add(1);
+            let result = match scratch.class[i] {
+                BatchClass::SptExit { always_allow } => {
+                    self.stats.spt_hits += 1;
+                    if always_allow {
+                        self.stats.always_allow_hits += 1;
+                    }
+                    self.saved_insns_per_hit.record(mean);
+                    self.trace_flow(req, FlowClass::SptHit);
+                    CheckResult {
+                        action: SeccompAction::Allow,
+                        path: CheckPath::SptHit,
+                    }
+                }
+                BatchClass::Candidate => {
+                    let slot = scratch.slot[cursor] as usize;
+                    cursor += 1;
+                    let idx = scratch.cand[slot];
+                    let mut found = scratch.probes[slot];
+                    if stale {
+                        let fresh = self.vat.probe_hashed(
+                            idx,
+                            scratch.keys[slot].as_slice(),
+                            scratch.pairs[slot],
+                        );
+                        if found.is_none() && fresh.is_some() {
+                            self.batch.miss_dedup_hits += 1;
+                        }
+                        found = fresh;
+                    }
+                    self.vat.count_lookup(idx, found);
+                    if found.is_some() {
+                        self.stats.vat_hits += 1;
+                        self.saved_insns_per_hit.record(mean);
+                        self.trace_flow(req, FlowClass::VatHit);
+                        CheckResult {
+                            action: SeccompAction::Allow,
+                            path: CheckPath::VatHit,
+                        }
+                    } else {
+                        let inserts = self.stats.vat_inserts;
+                        let result = self.run_filter_and_update(req, &mut TraceScope::inactive());
+                        stale |= self.stats.vat_inserts != inserts;
+                        mean = self.mean_filter_cost();
+                        result
+                    }
+                }
+                BatchClass::Cold => {
+                    let cached = self.stats.spt_hits + self.stats.vat_hits;
+                    let inserts = self.stats.vat_inserts;
+                    let result = self.check_staged(req, &mut TraceScope::inactive());
+                    if self.stats.spt_hits + self.stats.vat_hits != cached {
+                        self.batch.miss_dedup_hits += 1;
+                    }
+                    stale |= self.stats.vat_inserts != inserts;
+                    mean = self.mean_filter_cost();
+                    result
+                }
+            };
+            out[i] = result;
+            if stop_on_kill
+                && matches!(
+                    result.action,
+                    SeccompAction::KillProcess | SeccompAction::KillThread
+                )
+            {
+                committed = i + 1;
+                break;
+            }
+        }
+        committed
     }
 
     fn check_staged(&mut self, req: &SyscallRequest, scope: &mut TraceScope<'_>) -> CheckResult {

@@ -56,12 +56,14 @@ mod spt;
 mod stats;
 mod vat;
 
-pub use checker::{CheckMode, CheckPath, CheckResult, DracoChecker, FilterEngine};
+pub use checker::{
+    BatchScratch, CheckMode, CheckPath, CheckResult, Decision, DracoChecker, FilterEngine,
+};
 pub use error::DracoError;
 pub use os::{DracoOs, OsError};
 pub use process::{DracoProcess, ProcessId};
 pub use sentry::{SentryOutcome, SentryPipeline};
-pub use shared::{SharedDracoProcess, SharedThreadHandle};
+pub use shared::{SharedBatchScratch, SharedDracoProcess, SharedThreadHandle};
 pub use spt::{Spt, SptEntry};
-pub use stats::CheckerStats;
+pub use stats::{BatchStats, CheckerStats};
 pub use vat::{Vat, VatKey, VatLookup};

@@ -12,7 +12,7 @@ use core::fmt;
 use draco_profiles::{ProfileAnalysis, ProfileSpec};
 use draco_syscalls::SyscallRequest;
 
-use crate::{CheckResult, CheckerStats, DracoChecker, DracoError};
+use crate::{CheckResult, CheckerStats, Decision, DracoChecker, DracoError};
 
 /// A process identifier.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -125,10 +125,7 @@ impl DracoProcess {
     /// checker.
     pub fn syscall(&mut self, req: &SyscallRequest) -> CheckResult {
         if !self.alive {
-            return CheckResult {
-                action: draco_bpf::SeccompAction::KillProcess,
-                path: crate::CheckPath::FilterRun { insns: 0 },
-            };
+            return CheckResult::KILLED;
         }
         let result = self.checker.check(req);
         if matches!(
@@ -138,6 +135,39 @@ impl DracoProcess {
             self.alive = false;
         }
         result
+    }
+
+    /// Issues a whole batch of system calls through the staged batch
+    /// path, producing exactly the decisions — and exactly the stats —
+    /// of a loop over [`DracoProcess::syscall`]: the checker's commit
+    /// walk stops at the first kill verdict, the process dies there,
+    /// and every later slot reports the dead-process verdict without
+    /// reaching the checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != reqs.len()`.
+    pub fn syscall_batch(&mut self, reqs: &[SyscallRequest], out: &mut [Decision]) {
+        assert_eq!(reqs.len(), out.len(), "one decision slot per request");
+        let mut start = 0;
+        while start < reqs.len() {
+            if !self.alive {
+                for slot in &mut out[start..] {
+                    *slot = CheckResult::KILLED;
+                }
+                return;
+            }
+            let committed = self
+                .checker
+                .check_batch_segment(&reqs[start..], &mut out[start..]);
+            start += committed;
+            if matches!(
+                out[start - 1].action,
+                draco_bpf::SeccompAction::KillProcess | draco_bpf::SeccompAction::KillThread
+            ) {
+                self.alive = false;
+            }
+        }
     }
 
     /// Forks the process: the child inherits the profile but starts with

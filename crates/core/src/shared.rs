@@ -54,16 +54,18 @@ use std::sync::{
 use std::sync::OnceLock;
 
 use draco_bpf::{SeccompAction, SeccompData};
-use draco_cuckoo::{ConcurrentTable, InsertOutcome};
+use draco_cuckoo::{ConcurrentTable, CrcPairHasher, HashPair, InsertOutcome, PairHasher};
 use draco_obs::{CheckerMetrics, CuckooMetrics, Histogram, MetricsRegistry, VatMetrics};
 use draco_profiles::{
     analyze_profile, compile_stacked, ArgPolicy, CompiledStack, FilterLayout, ProfileAnalysis,
     ProfileSpec, SyscallRule,
 };
-use draco_syscalls::{ArgBitmask, SyscallId, SyscallRequest, SyscallTable};
+use draco_syscalls::{ArgBitmask, MaskedBytes, SyscallId, SyscallRequest, SyscallTable};
 
 use crate::checker::AnalysisPlan;
-use crate::{CheckMode, CheckPath, CheckResult, CheckerStats, DracoError, ProcessId};
+use crate::{
+    BatchStats, CheckMode, CheckPath, CheckResult, CheckerStats, Decision, DracoError, ProcessId,
+};
 
 /// Low 48 bits of an SPT word: the Argument Bitmask.
 const SPT_MASK_BITS: u64 = (1 << 48) - 1;
@@ -284,6 +286,8 @@ impl Policy {
 /// Check-traffic accumulator merged from finished thread sessions.
 struct Aggregate {
     stats: CheckerStats,
+    batch: BatchStats,
+    batch_size: Histogram,
     insns_per_filter_run: Histogram,
     saved_insns_per_hit: Histogram,
 }
@@ -420,6 +424,8 @@ impl SharedDracoProcess {
                 alive: AtomicBool::new(true),
                 aggregate: Mutex::new(Aggregate {
                     stats: CheckerStats::default(),
+                    batch: BatchStats::default(),
+                    batch_size: Histogram::default(),
                     insns_per_filter_run: Histogram::default(),
                     saved_insns_per_hit: Histogram::default(),
                 }),
@@ -457,6 +463,9 @@ impl SharedDracoProcess {
         SharedThreadHandle {
             state: Arc::clone(&self.state),
             stats: CheckerStats::default(),
+            batch: BatchStats::default(),
+            batch_size: Histogram::default(),
+            batch_scratch: SharedBatchScratch::default(),
             insns_per_filter_run: Histogram::default(),
             saved_insns_per_hit: Histogram::default(),
         }
@@ -610,6 +619,11 @@ impl SharedDracoProcess {
                 insert_races_lost: stats.insert_races_lost,
                 masks_derived_match: policy.plan.as_ref().map_or(0, |p| p.derived_match),
                 masks_overridden: policy.plan.as_ref().map_or(0, |p| p.overridden),
+                batches: aggregate.batch.batches,
+                batched_checks: aggregate.batch.batched_checks,
+                prefetch_issued: aggregate.batch.prefetch_issued,
+                miss_dedup_hits: aggregate.batch.miss_dedup_hits,
+                batch_size: aggregate.batch_size,
                 insns_per_filter_run: aggregate.insns_per_filter_run,
                 saved_insns_per_hit: aggregate.saved_insns_per_hit,
             },
@@ -654,8 +668,46 @@ impl fmt::Display for SharedDracoProcess {
 pub struct SharedThreadHandle {
     state: Arc<SharedState>,
     stats: CheckerStats,
+    batch: BatchStats,
+    batch_size: Histogram,
+    batch_scratch: SharedBatchScratch,
     insns_per_filter_run: Histogram,
     saved_insns_per_hit: Histogram,
+}
+
+/// Per-request classification from the shared batch resolve pass.
+#[derive(Clone, Copy, Debug)]
+enum SharedBatchClass {
+    /// Valid SPT word with no VAT: the word alone decides (allow).
+    SptExit { always_allow: bool },
+    /// Valid SPT word with a resident VAT table: hash, prefetch, probe.
+    Candidate,
+    /// No usable word/table at resolve time: re-run the scalar check in
+    /// the commit walk (which also picks up any in-batch cache fills).
+    Miss,
+}
+
+/// Reusable staging buffers for [`SharedThreadHandle::check_batch`].
+///
+/// Same role as [`crate::BatchScratch`] on the serial checker: own the
+/// per-pass vectors once so warm batches allocate nothing.
+#[derive(Debug, Default)]
+pub struct SharedBatchScratch {
+    class: Vec<SharedBatchClass>,
+    ids: Vec<SyscallId>,
+    keys: Vec<MaskedBytes>,
+    pairs: Vec<HashPair>,
+    hits: Vec<bool>,
+}
+
+impl SharedBatchScratch {
+    fn reset(&mut self) {
+        self.class.clear();
+        self.ids.clear();
+        self.keys.clear();
+        self.pairs.clear();
+        self.hits.clear();
+    }
 }
 
 impl SharedThreadHandle {
@@ -712,6 +764,239 @@ impl SharedThreadHandle {
             self.state.alive.store(false, Ordering::Release);
         }
         result
+    }
+
+    /// Checks a whole batch through the staged passes, writing one
+    /// decision per request.
+    ///
+    /// From a single handle with no concurrent writers this produces
+    /// exactly the decisions — and exactly the stats — of a loop over
+    /// [`SharedThreadHandle::check`]. Under concurrent mutation the
+    /// decisions any interleaving could have produced are still the only
+    /// possible outputs (every stale probe is re-run before it commits),
+    /// but diagnostic counters such as `seqlock_retries` may count a
+    /// rare re-probe twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != reqs.len()`.
+    pub fn check_batch(&mut self, reqs: &[SyscallRequest], out: &mut [CheckResult]) {
+        let mut scratch = core::mem::take(&mut self.batch_scratch);
+        self.check_batch_with(reqs, out, &mut scratch);
+        self.batch_scratch = scratch;
+    }
+
+    /// Like [`SharedThreadHandle::check_batch`], but staging through a
+    /// caller-owned scratch (for allocation-free warm batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != reqs.len()`.
+    pub fn check_batch_with(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [CheckResult],
+        scratch: &mut SharedBatchScratch,
+    ) {
+        let committed = self.batch_passes(reqs, out, scratch, false);
+        debug_assert_eq!(committed, reqs.len());
+    }
+
+    /// Batch segment that stops committing after the first kill verdict;
+    /// returns how many decisions were written.
+    pub(crate) fn check_batch_segment(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [CheckResult],
+    ) -> usize {
+        let mut scratch = core::mem::take(&mut self.batch_scratch);
+        let committed = self.batch_passes(reqs, out, &mut scratch, true);
+        self.batch_scratch = scratch;
+        committed
+    }
+
+    /// Issues a whole batch of system calls: like
+    /// [`SharedThreadHandle::syscall`] per slot — a kill verdict from any
+    /// request marks the whole group dead, and every later slot reports
+    /// the dead-group verdict without reaching the tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != reqs.len()`.
+    pub fn syscall_batch(&mut self, reqs: &[SyscallRequest], out: &mut [Decision]) {
+        assert_eq!(reqs.len(), out.len(), "one decision slot per request");
+        let mut start = 0;
+        while start < reqs.len() {
+            if !self.state.alive.load(Ordering::Acquire) {
+                for slot in &mut out[start..] {
+                    *slot = CheckResult::KILLED;
+                }
+                return;
+            }
+            let committed = self.check_batch_segment(&reqs[start..], &mut out[start..]);
+            start += committed;
+            if matches!(
+                out[start - 1].action,
+                SeccompAction::KillProcess | SeccompAction::KillThread
+            ) {
+                self.state.alive.store(false, Ordering::Release);
+            }
+        }
+    }
+
+    /// The staged batch pipeline (shared-table variant of the serial
+    /// checker's): resolve SPT words, hash surviving keys four lanes at a
+    /// time, prefetch every candidate slot before any probe, probe, then
+    /// commit decisions in request order. Commit re-runs the scalar path
+    /// for misses and re-probes candidates whose table may have changed
+    /// under an in-batch insert, so ordering effects (a repeated key
+    /// validated earlier in the same batch) resolve exactly as a scalar
+    /// loop would.
+    fn batch_passes(
+        &mut self,
+        reqs: &[SyscallRequest],
+        out: &mut [CheckResult],
+        scratch: &mut SharedBatchScratch,
+        stop_on_kill: bool,
+    ) -> usize {
+        assert_eq!(reqs.len(), out.len(), "one decision slot per request");
+        if reqs.is_empty() {
+            return 0;
+        }
+        self.batch.batches += 1;
+        self.batch.batched_checks += reqs.len() as u64;
+        self.batch_size.record(reqs.len() as u64);
+        scratch.reset();
+
+        // Pass 1: resolve SPT words, partition the batch.
+        for req in reqs {
+            let class = match self.state.spt.load(req.id) {
+                Some(word) if !word.has_vat => SharedBatchClass::SptExit {
+                    always_allow: word.always_allow,
+                },
+                Some(word) => {
+                    if self.state.vat.get(req.id).is_some() {
+                        scratch.ids.push(req.id);
+                        scratch.keys.push(word.mask.select_bytes(&req.args));
+                        SharedBatchClass::Candidate
+                    } else {
+                        SharedBatchClass::Miss
+                    }
+                }
+                None => SharedBatchClass::Miss,
+            };
+            scratch.class.push(class);
+        }
+
+        // Pass 2: CRC the surviving keys, four lanes at a time.
+        let hasher = CrcPairHasher::new();
+        let mut chunks = scratch.keys.chunks_exact(4);
+        for four in chunks.by_ref() {
+            let pairs = hasher.hash_pair4([
+                four[0].as_slice(),
+                four[1].as_slice(),
+                four[2].as_slice(),
+                four[3].as_slice(),
+            ]);
+            scratch.pairs.extend_from_slice(&pairs);
+        }
+        for key in chunks.remainder() {
+            scratch.pairs.push(hasher.hash_pair(key.as_slice()));
+        }
+
+        // Pass 3: prefetch both candidate ways, then probe.
+        for (&id, &pair) in scratch.ids.iter().zip(scratch.pairs.iter()) {
+            if let Some(table) = self.state.vat.get(id) {
+                table.prefetch(pair);
+                self.batch.prefetch_issued += 2;
+            }
+        }
+        for (i, &id) in scratch.ids.iter().enumerate() {
+            let hit = match self.state.vat.get(id) {
+                Some(table) => {
+                    let probe = table.probe_hashed(scratch.keys[i].as_slice(), scratch.pairs[i]);
+                    self.stats.seqlock_retries += probe.retries;
+                    probe.hit.is_some()
+                }
+                None => false,
+            };
+            scratch.hits.push(hit);
+        }
+
+        // Pass 4: commit decisions in request order.
+        let mut mutated = false;
+        let mut cursor = 0usize;
+        let mut committed = reqs.len();
+        for (i, req) in reqs.iter().enumerate() {
+            let result = match scratch.class[i] {
+                SharedBatchClass::SptExit { always_allow } => {
+                    self.stats.spt_hits += 1;
+                    if always_allow {
+                        self.stats.always_allow_hits += 1;
+                    }
+                    self.saved_insns_per_hit.record(self.mean_filter_cost());
+                    CheckResult {
+                        action: SeccompAction::Allow,
+                        path: CheckPath::SptHit,
+                    }
+                }
+                SharedBatchClass::Candidate => {
+                    let mut hit = scratch.hits[cursor];
+                    // An in-batch insert may have filled — or evicted —
+                    // the probed slots; re-probe so the commit sees the
+                    // table exactly as a scalar check at this position
+                    // would.
+                    if mutated {
+                        if let Some(table) = self.state.vat.get(req.id) {
+                            let probe = table
+                                .probe_hashed(scratch.keys[cursor].as_slice(), scratch.pairs[cursor]);
+                            self.stats.seqlock_retries += probe.retries;
+                            let fresh = probe.hit.is_some();
+                            if !hit && fresh {
+                                self.batch.miss_dedup_hits += 1;
+                            }
+                            hit = fresh;
+                        }
+                    }
+                    cursor += 1;
+                    if hit {
+                        self.stats.vat_hits += 1;
+                        self.saved_insns_per_hit.record(self.mean_filter_cost());
+                        CheckResult {
+                            action: SeccompAction::Allow,
+                            path: CheckPath::VatHit,
+                        }
+                    } else {
+                        let writes = self.stats.vat_inserts + self.stats.insert_races_lost;
+                        let result = self.check_miss(req);
+                        mutated |=
+                            self.stats.vat_inserts + self.stats.insert_races_lost != writes;
+                        result
+                    }
+                }
+                SharedBatchClass::Miss => {
+                    let cached = self.stats.spt_hits + self.stats.vat_hits;
+                    let writes = self.stats.vat_inserts + self.stats.insert_races_lost;
+                    let result = self.check(req);
+                    if self.stats.spt_hits + self.stats.vat_hits != cached {
+                        self.batch.miss_dedup_hits += 1;
+                    }
+                    mutated |= self.stats.vat_inserts + self.stats.insert_races_lost != writes;
+                    result
+                }
+            };
+            out[i] = result;
+            if stop_on_kill
+                && matches!(
+                    result.action,
+                    SeccompAction::KillProcess | SeccompAction::KillThread
+                )
+            {
+                committed = i + 1;
+                break;
+            }
+        }
+        committed
     }
 
     /// The slow path: run the filter under the policy current *now*, and
@@ -811,17 +1096,27 @@ impl SharedThreadHandle {
         self.stats
     }
 
+    /// This thread's local batch-path counters (not yet merged into the
+    /// process).
+    pub const fn batch_stats(&self) -> BatchStats {
+        self.batch
+    }
+
     /// Merges this thread's counters into the process aggregate and
     /// resets the local ones. Called automatically on drop.
     pub fn sync_stats(&mut self) {
         let mut aggregate = self.state.lock_aggregate();
         aggregate.stats.accumulate(&self.stats);
+        aggregate.batch.accumulate(&self.batch);
+        aggregate.batch_size.merge(&self.batch_size);
         aggregate
             .insns_per_filter_run
             .merge(&self.insns_per_filter_run);
         aggregate.saved_insns_per_hit.merge(&self.saved_insns_per_hit);
         drop(aggregate);
         self.stats = CheckerStats::default();
+        self.batch = BatchStats::default();
+        self.batch_size = Histogram::default();
         self.insns_per_filter_run = Histogram::default();
         self.saved_insns_per_hit = Histogram::default();
     }
@@ -1091,5 +1386,129 @@ mod tests {
         assert!(process.to_string().contains("pid:42"));
         assert!(format!("{process:?}").contains("spt_valid"));
         assert!(format!("{:?}", process.spawn_thread()).contains("pid"));
+    }
+
+    /// A mixed trace exercising every batch class: ID-only SPT exits,
+    /// argument-checked candidates (with repeats in and across batches),
+    /// denials, and an unknown syscall.
+    fn mixed_trace() -> Vec<SyscallRequest> {
+        let mut reqs = Vec::new();
+        for i in 0..40u64 {
+            reqs.push(req(0, &[3, 0, 100 + i % 3]));
+            reqs.push(req(135, &[0xffff_ffff, 0, i % 2]));
+            reqs.push(req(135, &[0x1234 + ((i % 4) << 16), 0, 0]));
+            reqs.push(req(999, &[i, 0, 0]));
+            reqs.push(req(135, &[0xffff_ffff, 0, i % 2]));
+        }
+        reqs
+    }
+
+    #[test]
+    fn batch_matches_a_scalar_shared_loop_exactly() {
+        let profile = docker_default();
+        let trace = mixed_trace();
+        for batch_size in [1usize, 3, 7, 64, trace.len()] {
+            let batched = SharedDracoProcess::spawn(ProcessId(1), &profile).unwrap();
+            let scalar = SharedDracoProcess::spawn(ProcessId(2), &profile).unwrap();
+            let mut tb = batched.spawn_thread();
+            let mut ts = scalar.spawn_thread();
+            let mut out = vec![CheckResult::KILLED; trace.len()];
+            for (chunk, slots) in trace.chunks(batch_size).zip(out.chunks_mut(batch_size)) {
+                tb.check_batch(chunk, slots);
+            }
+            for (r, want) in trace.iter().zip(out.iter()) {
+                let got = ts.check(r);
+                assert_eq!(got.action, want.action, "batch={batch_size} {r}");
+                assert_eq!(got.path, want.path, "batch={batch_size} {r}");
+            }
+            assert_eq!(
+                tb.stats(),
+                ts.stats(),
+                "single-handle batch stats are byte-identical (batch={batch_size})"
+            );
+            let b = tb.batch_stats();
+            assert_eq!(b.batched_checks, trace.len() as u64);
+            assert_eq!(b.batches, trace.len().div_ceil(batch_size) as u64);
+            if batch_size < trace.len() {
+                assert!(b.prefetch_issued > 0, "warm batches prefetch candidates");
+            } else {
+                // One fully cold batch: no SPT words at resolve time, so
+                // every repeat resolves through the deduplicated miss path.
+                assert!(b.miss_dedup_hits > 0, "cold repeats dedup in-batch");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dedups_repeated_misses_through_the_caches() {
+        let process = SharedDracoProcess::spawn(ProcessId(1), &docker_default()).unwrap();
+        let mut t = process.spawn_thread();
+        // Five copies of the same never-seen argument-checked request in
+        // one batch: the first runs the filter, the other four resolve
+        // from the in-batch insert.
+        let reqs = vec![req(135, &[0xffff_ffff, 0, 0]); 5];
+        let mut out = vec![CheckResult::KILLED; 5];
+        t.check_batch(&reqs, &mut out);
+        assert!(out.iter().all(|r| r.action.permits()));
+        assert_eq!(t.stats().filter_runs, 1, "filter executed once per distinct key");
+        assert_eq!(t.batch_stats().miss_dedup_hits, 4);
+    }
+
+    #[test]
+    fn batch_kill_terminates_the_group_mid_batch() {
+        let profile = gvisor_default(); // default action: kill-process
+        let process = SharedDracoProcess::spawn(ProcessId(7), &profile).unwrap();
+        let scalar = SharedDracoProcess::spawn(ProcessId(8), &profile).unwrap();
+        let mut tb = process.spawn_thread();
+        let mut ts = scalar.spawn_thread();
+        let trace = [
+            req(39, &[]),
+            req(101, &[0, 0]), // ptrace: kill
+            req(39, &[]),
+            req(39, &[]),
+        ];
+        let mut out = [CheckResult::KILLED; 4];
+        tb.syscall_batch(&trace, &mut out);
+        for (r, want) in trace.iter().zip(out.iter()) {
+            let got = ts.syscall(r);
+            assert_eq!(got.action, want.action, "{r}");
+            assert_eq!(got.path, want.path, "{r}");
+        }
+        assert!(!process.is_alive());
+        assert_eq!(tb.stats(), ts.stats(), "post-kill slots never reach the tables");
+    }
+
+    #[test]
+    fn concurrent_batches_agree_with_the_profile_oracle() {
+        let profile = docker_default();
+        let process = SharedDracoProcess::spawn(ProcessId(1), &profile).unwrap();
+        let oracle = profile.clone();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let mut t = process.spawn_thread();
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    let mut reqs = Vec::new();
+                    for i in 0..500u64 {
+                        let nr =
+                            [(0u16), 1, 135, 101, 999][(i.wrapping_mul(worker + 1) % 5) as usize];
+                        reqs.push(req(nr, &[i % 4, 0, 0]));
+                    }
+                    let mut out = vec![CheckResult::KILLED; reqs.len()];
+                    for (chunk, slots) in reqs.chunks(17).zip(out.chunks_mut(17)) {
+                        t.check_batch(chunk, slots);
+                    }
+                    for (r, got) in reqs.iter().zip(out.iter()) {
+                        assert_eq!(
+                            got.action.permits(),
+                            oracle.evaluate(r).permits(),
+                            "{r}"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = process.stats();
+        assert_eq!(stats.total(), 2000, "every batched check accounted for");
     }
 }

@@ -77,6 +77,49 @@ impl CheckerStats {
     }
 }
 
+/// Counters for the batched check path
+/// ([`crate::DracoChecker::check_batch`] and the shared-thread
+/// equivalent).
+///
+/// Kept separate from [`CheckerStats`] on purpose: a batch produces
+/// exactly the same `CheckerStats` as the equivalent scalar loop (the
+/// differential test in `tests/equivalence.rs` pins this down), so
+/// batch-only bookkeeping must not leak into the shared counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// `check_batch` invocations.
+    pub batches: u64,
+    /// Checks submitted through batches.
+    pub batched_checks: u64,
+    /// Software prefetches issued before the probe pass (two per
+    /// distinct staged key — one per cuckoo way; in-batch repeats of a
+    /// key share one prefetch).
+    pub prefetch_issued: u64,
+    /// Batch-local misses that resolved from cache in the commit walk
+    /// because an earlier request in the same batch validated the key.
+    pub miss_dedup_hits: u64,
+}
+
+impl BatchStats {
+    /// Accumulates another set of counters (saturating field-wise).
+    pub fn accumulate(&mut self, other: &BatchStats) {
+        self.batches = self.batches.saturating_add(other.batches);
+        self.batched_checks = self.batched_checks.saturating_add(other.batched_checks);
+        self.prefetch_issued = self.prefetch_issued.saturating_add(other.prefetch_issued);
+        self.miss_dedup_hits = self.miss_dedup_hits.saturating_add(other.miss_dedup_hits);
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} checks in {} batches, {} prefetches, {} dedup-hits",
+            self.batched_checks, self.batches, self.prefetch_issued, self.miss_dedup_hits
+        )
+    }
+}
+
 impl fmt::Display for CheckerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

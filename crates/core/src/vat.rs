@@ -3,7 +3,7 @@
 use core::borrow::Borrow;
 use core::fmt;
 
-use draco_cuckoo::{CrcPairHasher, CuckooTable, HashPair, Way};
+use draco_cuckoo::{CrcPairHasher, CuckooTable, HashPair, Lookup, Way};
 use draco_obs::{CuckooMetrics, Stage, TraceScope, VatMetrics};
 use draco_syscalls::{ArgBitmask, ArgSet, MaskedBytes, SyscallId};
 
@@ -199,6 +199,49 @@ impl Vat {
             way: hit.way,
             hash: hit.hash,
         })
+    }
+
+    /// Issues software prefetches for both cuckoo ways of a pending
+    /// probe — the batched check path's stand-in for the hardware SLB
+    /// overlapping probe latency with younger checks. Returns whether
+    /// the table exists, so callers can count issued prefetches.
+    pub fn prefetch(&self, index: u32, pair: HashPair) -> bool {
+        match self.tables.get(index as usize) {
+            Some(table) => {
+                table.prefetch(pair);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Probes with a precomputed hash pair *without* touching the lookup
+    /// counters. The batched check path separates the bulk probe pass
+    /// from the in-order commit walk; the walk replays the bookkeeping
+    /// through [`Vat::count_lookup`] so batched and scalar runs produce
+    /// identical table metrics.
+    pub fn probe_hashed(&self, index: u32, key: &[u8], pair: HashPair) -> Option<Lookup> {
+        self.tables.get(index as usize)?.probe(key, pair)
+    }
+
+    /// Replays the counted-lookup bookkeeping for a probe performed via
+    /// [`Vat::probe_hashed`], in commit order.
+    pub fn count_lookup(&mut self, index: u32, found: Option<Lookup>) {
+        if let Some(table) = self.tables.get_mut(index as usize) {
+            table.count_lookup(found);
+        }
+    }
+
+    /// Replays the bookkeeping of `n` consecutive counted lookups that
+    /// all hit the same entry of table `index` (no other lookup of that
+    /// table in between) in O(1) — the batch commit fast path's bulk
+    /// form of [`Vat::count_lookup`]. Exactness is pinned by the
+    /// table-level differential test
+    /// (`hashed_bulk_hits_match_serial_count_lookup`).
+    pub fn count_hits_bulk(&mut self, index: u32, hit: Lookup, n: u64) {
+        if let Some(table) = self.tables.get_mut(index as usize) {
+            table.count_hits_bulk(hit, n);
+        }
     }
 
     /// [`Vat::lookup`] decomposed into its timed stages for a sampled
@@ -506,6 +549,44 @@ mod tests {
         assert!(traced
             .lookup_traced(999, mask2(), &ArgSet::from_slice(&[1, 1]), &mut scope)
             .is_none());
+    }
+
+    #[test]
+    fn hashed_probe_with_replayed_counting_matches_lookup() {
+        let mut counted = Vat::new();
+        let mut staged = Vat::new();
+        let (ci, si) = (
+            counted.ensure_table(SyscallId::new(1), 4),
+            staged.ensure_table(SyscallId::new(1), 4),
+        );
+        for i in 0..4u64 {
+            counted.insert(ci, mask2(), &ArgSet::from_slice(&[i, i]));
+            staged.insert(si, mask2(), &ArgSet::from_slice(&[i, i]));
+        }
+        for i in 0..8u64 {
+            let args = ArgSet::from_slice(&[i, i]);
+            let expected = counted.lookup(ci, mask2(), &args);
+            let key = mask2().select_bytes(&args);
+            let pair = staged.hash_pair(si, mask2(), &args).unwrap();
+            assert!(staged.prefetch(si, pair), "table exists");
+            let found = staged.probe_hashed(si, key.as_slice(), pair);
+            staged.count_lookup(si, found);
+            assert_eq!(
+                found.map(|hit| VatLookup {
+                    way: hit.way,
+                    hash: hit.hash
+                }),
+                expected,
+                "args {i}"
+            );
+        }
+        assert_eq!(staged.cuckoo_metrics(), counted.cuckoo_metrics());
+        // Out-of-range indices are inert on every staged entry point.
+        let pair = staged.hash_pair(si, mask2(), &ArgSet::from_slice(&[0, 0])).unwrap();
+        assert!(!staged.prefetch(999, pair));
+        assert!(staged.probe_hashed(999, &[0], pair).is_none());
+        staged.count_lookup(999, None);
+        assert_eq!(staged.cuckoo_metrics(), counted.cuckoo_metrics());
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! 3. a handle that just validated a request **hits on its re-check**
 //!    (its own insert is visible to it), even while a sibling thread
 //!    writes other keys;
-//! 4. checks racing a **flush** still return the profile's decision.
+//! 4. checks racing a **flush** still return the profile's decision;
+//! 5. a **batched** check group racing a flush still returns the
+//!    profile's decision for every slot — the staged probe pass may see
+//!    pre-flush table state, but the commit walk re-validates before
+//!    deciding.
 
 #![cfg(loom)]
 
@@ -139,6 +143,56 @@ fn validating_thread_hits_on_its_recheck() {
         };
         writer.join().unwrap();
         sibling.join().unwrap();
+    });
+}
+
+#[test]
+fn batched_checks_racing_a_flush_keep_the_profile_decision() {
+    loom::model(|| {
+        let profile = profile();
+        let process =
+            Arc::new(SharedDracoProcess::spawn(ProcessId(5), &profile).expect("compiles"));
+        // Warm one key so the batch's probe pass has a live candidate
+        // for the flush to invalidate between staging and commit.
+        process.spawn_thread().check(&req(0, &[3, 9, 64]));
+        let batcher = {
+            let process = Arc::clone(&process);
+            let profile = profile.clone();
+            thread::spawn(move || {
+                let mut handle = process.spawn_thread();
+                let reqs = [
+                    req(0, &[3, 9, 64]),  // candidate (warmed above)
+                    req(39, &[]),         // SPT exit
+                    req(0, &[4, 10, 128]), // miss
+                    req(0, &[3, 9, 64]),  // duplicate of the candidate
+                ];
+                let mut out = [draco_core::CheckResult::KILLED; 4];
+                handle.check_batch(&reqs, &mut out);
+                for (r, got) in reqs.iter().zip(out.iter()) {
+                    assert_eq!(
+                        got.action,
+                        profile.evaluate(r),
+                        "batched decision diverged for {r}"
+                    );
+                }
+            })
+        };
+        let flusher = {
+            let process = Arc::clone(&process);
+            thread::spawn(move || {
+                process.flush();
+            })
+        };
+        batcher.join().unwrap();
+        flusher.join().unwrap();
+        // The tables stay usable: a fresh batch repopulates and hits.
+        let mut handle = process.spawn_thread();
+        let reqs = [req(0, &[3, 9, 64]), req(0, &[3, 9, 64])];
+        let mut out = [draco_core::CheckResult::KILLED; 2];
+        handle.check_batch(&reqs, &mut out);
+        handle.check_batch(&reqs, &mut out);
+        assert_eq!(out[0].path, CheckPath::VatHit);
+        assert_eq!(out[1].path, CheckPath::VatHit);
     });
 }
 

@@ -103,27 +103,70 @@ impl Crc64 {
     /// Computes the CRC of `data`, folding eight bytes per step
     /// (slice-by-8) with a byte-at-a-time tail.
     pub fn checksum(&self, data: &[u8]) -> u64 {
-        let mut crc = 0u64;
+        self.update(0, data)
+    }
+
+    /// Advances an in-flight CRC state over `data` (slice-by-8 body,
+    /// byte-at-a-time tail). `checksum` is `update(0, data)`; the batch
+    /// engines use nonzero states to resume after their lockstep body.
+    #[inline]
+    fn update(&self, state: u64, data: &[u8]) -> u64 {
+        let mut crc = state;
         let mut chunks = data.chunks_exact(8);
         for chunk in chunks.by_ref() {
-            let word = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
-            let x = crc ^ word;
-            // The byte consumed first (MSB) still has seven message bytes
-            // after it, so it needs the most zero-byte advancement.
-            crc = self.tables[7][(x >> 56) as usize]
-                ^ self.tables[6][(x >> 48) as usize & 0xff]
-                ^ self.tables[5][(x >> 40) as usize & 0xff]
-                ^ self.tables[4][(x >> 32) as usize & 0xff]
-                ^ self.tables[3][(x >> 24) as usize & 0xff]
-                ^ self.tables[2][(x >> 16) as usize & 0xff]
-                ^ self.tables[1][(x >> 8) as usize & 0xff]
-                ^ self.tables[0][x as usize & 0xff];
+            crc = self.fold8(crc, chunk);
         }
         for &b in chunks.remainder() {
             let idx = ((crc >> 56) as u8 ^ b) as usize;
             crc = (crc << 8) ^ self.tables[0][idx];
         }
         crc
+    }
+
+    /// One slice-by-8 step: absorbs an aligned 8-byte chunk into `crc`.
+    #[inline(always)]
+    fn fold8(&self, crc: u64, chunk: &[u8]) -> u64 {
+        let word = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        let x = crc ^ word;
+        // The byte consumed first (MSB) still has seven message bytes
+        // after it, so it needs the most zero-byte advancement.
+        self.tables[7][(x >> 56) as usize]
+            ^ self.tables[6][(x >> 48) as usize & 0xff]
+            ^ self.tables[5][(x >> 40) as usize & 0xff]
+            ^ self.tables[4][(x >> 32) as usize & 0xff]
+            ^ self.tables[3][(x >> 24) as usize & 0xff]
+            ^ self.tables[2][(x >> 16) as usize & 0xff]
+            ^ self.tables[1][(x >> 8) as usize & 0xff]
+            ^ self.tables[0][x as usize & 0xff]
+    }
+
+    /// Computes four CRCs at once, interleaving the slice-by-8 folds of
+    /// the four lanes so they form independent dependency chains.
+    ///
+    /// A single CRC is a serial recurrence — each fold waits on the
+    /// previous one — so the scalar loop leaves most of the core's
+    /// load/ALU ports idle. Interleaving four lanes (the batch check
+    /// path runs this on both polynomials, eight chains total) gives
+    /// the out-of-order engine independent work per cycle, the same
+    /// trick hardware Draco plays by overlapping SLB hashing with the
+    /// pipeline. Bit-for-bit equal to four [`Crc64::checksum`] calls.
+    pub fn checksum4(&self, lanes: [&[u8]; 4]) -> [u64; 4] {
+        let lockstep = lanes.iter().map(|lane| lane.len()).min().unwrap_or(0) / 8 * 8;
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        let mut off = 0;
+        while off < lockstep {
+            c0 = self.fold8(c0, &lanes[0][off..off + 8]);
+            c1 = self.fold8(c1, &lanes[1][off..off + 8]);
+            c2 = self.fold8(c2, &lanes[2][off..off + 8]);
+            c3 = self.fold8(c3, &lanes[3][off..off + 8]);
+            off += 8;
+        }
+        [
+            self.update(c0, &lanes[0][off..]),
+            self.update(c1, &lanes[1][off..]),
+            self.update(c2, &lanes[2][off..]),
+            self.update(c3, &lanes[3][off..]),
+        ]
     }
 
     /// Computes the CRC one byte (one table read) at a time — the classic
@@ -163,6 +206,165 @@ impl fmt::Debug for Crc64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Crc64(poly={:#018x})", self.poly)
     }
+}
+
+/// Whether this CPU reports the carry-less-multiply instruction the
+/// folding engine models (`pclmulqdq` on x86-64).
+///
+/// [`Crc64Fold`] itself is pure safe code and works everywhere; this
+/// gate exists so callers can mirror the deployment shape of a real
+/// CLMUL implementation — take the folding path only where the
+/// instruction exists, fall back to slice-by-8 elsewhere (see
+/// [`Crc64Fold::checksum_auto`]). Always `false` on non-x86-64 targets
+/// and under Miri.
+pub fn clmul_detected() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        std::arch::is_x86_feature_detected!("pclmulqdq")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        false
+    }
+}
+
+/// Carry-less multiplication of a 64-bit variable by a fixed 64-bit
+/// constant, four bits of the variable per table read.
+///
+/// `nibble[d]` holds the carry-less product `d(x) · C(x)` (degree
+/// ≤ 66, so the shifted partials stay inside a `u128`); a full
+/// multiply XORs sixteen shifted partials — the safe-code stand-in
+/// for one `pclmulqdq`.
+#[derive(Clone, Copy)]
+struct ClmulByConst {
+    nibble: [u128; 16],
+}
+
+impl ClmulByConst {
+    fn new(constant: u64) -> Self {
+        let mut nibble = [0u128; 16];
+        for (d, slot) in nibble.iter_mut().enumerate() {
+            let mut acc = 0u128;
+            for bit in 0..4 {
+                if d & (1 << bit) != 0 {
+                    acc ^= (constant as u128) << bit;
+                }
+            }
+            *slot = acc;
+        }
+        ClmulByConst { nibble }
+    }
+
+    #[inline(always)]
+    fn mul(&self, mut v: u64) -> u128 {
+        let mut acc = 0u128;
+        let mut shift = 0u32;
+        for _ in 0..16 {
+            acc ^= self.nibble[(v & 0xf) as usize] << shift;
+            v >>= 4;
+            shift += 4;
+        }
+        acc
+    }
+}
+
+/// The CLMUL-style folding CRC engine: 128-bit blocks reduced with two
+/// carry-less multiplies per step, exactly the schedule a `pclmulqdq`
+/// implementation uses — rendered in safe code so the crate's
+/// `forbid(unsafe_code)` holds.
+///
+/// The running 128-bit state `S` stays *congruent* to the message
+/// polynomial mod `P` instead of being reduced every step: folding one
+/// block computes `S·x¹²⁸ mod P = hi(S)·(x¹⁹² mod P) ⊕ lo(S)·(x¹²⁸ mod
+/// P)` with two multiplies, then XORs in the next block. Finalization
+/// feeds the state's 16 bytes through the table engine (the state *is*
+/// a 16-byte message with the same CRC) and streams any tail bytes.
+///
+/// Inputs shorter than one block fall back to [`Crc64::checksum`].
+/// Property-tested bit-for-bit against the scalar engines on all
+/// lengths 0..=256 and random long inputs.
+pub struct Crc64Fold {
+    base: &'static Crc64,
+    /// Multiplies by `x^192 mod P` (folds the state's high half).
+    fold_hi: ClmulByConst,
+    /// Multiplies by `x^128 mod P` (folds the state's low half).
+    fold_lo: ClmulByConst,
+}
+
+impl Crc64Fold {
+    /// Builds a folding engine over a shared table engine, deriving the
+    /// two folding constants from its polynomial.
+    pub fn new(base: &'static Crc64) -> Self {
+        let poly = base.poly();
+        Crc64Fold {
+            base,
+            fold_hi: ClmulByConst::new(x_pow_mod(poly, 192)),
+            fold_lo: ClmulByConst::new(x_pow_mod(poly, 128)),
+        }
+    }
+
+    /// The process-wide ECMA-182 folding engine.
+    pub fn ecma_shared() -> &'static Crc64Fold {
+        static ENGINE: OnceLock<Crc64Fold> = OnceLock::new();
+        ENGINE.get_or_init(|| Crc64Fold::new(Crc64::ecma_shared()))
+    }
+
+    /// The process-wide complemented-polynomial folding engine.
+    pub fn not_ecma_shared() -> &'static Crc64Fold {
+        static ENGINE: OnceLock<Crc64Fold> = OnceLock::new();
+        ENGINE.get_or_init(|| Crc64Fold::new(Crc64::not_ecma_shared()))
+    }
+
+    /// The underlying table engine (and polynomial).
+    pub fn base(&self) -> &'static Crc64 {
+        self.base
+    }
+
+    /// Computes the CRC by 128-bit folding. Bit-for-bit equal to
+    /// [`Crc64::checksum`] on the same data.
+    pub fn checksum(&self, data: &[u8]) -> u64 {
+        let mut chunks = data.chunks_exact(16);
+        let Some(first) = chunks.next() else {
+            return self.base.checksum(data);
+        };
+        let mut state = u128::from_be_bytes(first.try_into().expect("16-byte block"));
+        for chunk in chunks.by_ref() {
+            let block = u128::from_be_bytes(chunk.try_into().expect("16-byte block"));
+            state = self.fold_hi.mul((state >> 64) as u64) ^ self.fold_lo.mul(state as u64) ^ block;
+        }
+        let crc = self.base.checksum(&state.to_be_bytes());
+        self.base.update(crc, chunks.remainder())
+    }
+
+    /// Folding where the CPU reports the modelled instruction
+    /// ([`clmul_detected`]), falling back cleanly to the scalar
+    /// slice-by-8 engine everywhere else. Identical results either way.
+    pub fn checksum_auto(&self, data: &[u8]) -> u64 {
+        if clmul_detected() {
+            self.checksum(data)
+        } else {
+            self.base.checksum(data)
+        }
+    }
+}
+
+impl fmt::Debug for Crc64Fold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Crc64Fold(poly={:#018x})", self.base.poly())
+    }
+}
+
+/// `x^n mod P` over GF(2), for deriving folding constants.
+fn x_pow_mod(poly: u64, n: u32) -> u64 {
+    let mut r = 1u64;
+    for _ in 0..n {
+        r = if r & (1 << 63) != 0 {
+            (r << 1) ^ poly
+        } else {
+            r << 1
+        };
+    }
+    r
 }
 
 /// The two hash values Draco computes per argument set (`H1`, `H2`).
@@ -245,6 +447,73 @@ mod tests {
     #[test]
     fn debug_shows_polynomial() {
         assert!(format!("{:?}", Crc64::ecma()).contains("0x42f0e1eba9ea3693"));
+        assert!(format!("{:?}", Crc64Fold::ecma_shared()).contains("0x42f0e1eba9ea3693"));
+    }
+
+    /// Every engine variant — bitwise, slice-by-1, slice-by-8, 4-lane
+    /// interleaved, and CLMUL folding — agrees on *every* length
+    /// 0..=256 (the satellite's exhaustive sweep; proptest covers the
+    /// random long inputs).
+    #[test]
+    fn all_lengths_up_to_256_agree_across_all_variants() {
+        for (crc, fold) in [
+            (Crc64::ecma_shared(), Crc64Fold::ecma_shared()),
+            (Crc64::not_ecma_shared(), Crc64Fold::not_ecma_shared()),
+        ] {
+            for len in 0..=256usize {
+                let data: Vec<u8> = (0..len).map(|i| (i * 31 + len * 7) as u8).collect();
+                let want = crc.checksum_bitwise(&data);
+                assert_eq!(crc.checksum_slice1(&data), want, "slice1 len {len}");
+                assert_eq!(crc.checksum(&data), want, "slice8 len {len}");
+                assert_eq!(fold.checksum(&data), want, "fold len {len}");
+                assert_eq!(fold.checksum_auto(&data), want, "auto len {len}");
+                let lanes = crc.checksum4([&data, &data, &data, &data]);
+                assert_eq!(lanes, [want; 4], "interleaved len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_lanes_of_unequal_lengths_agree_with_scalar() {
+        let crc = Crc64::ecma_shared();
+        let a: Vec<u8> = (0..3).collect();
+        let b: Vec<u8> = (0..17).collect();
+        let c: Vec<u8> = vec![];
+        let d: Vec<u8> = (0..48).map(|i| i * 5).collect();
+        let got = crc.checksum4([&a, &b, &c, &d]);
+        assert_eq!(
+            got,
+            [
+                crc.checksum(&a),
+                crc.checksum(&b),
+                crc.checksum(&c),
+                crc.checksum(&d)
+            ]
+        );
+    }
+
+    #[test]
+    fn fold_constants_match_first_principles() {
+        // x^64 mod P is P's low word by definition, and folding a block
+        // of zeros must leave the congruence class unchanged.
+        assert_eq!(super::x_pow_mod(Crc64::ECMA, 64), Crc64::ECMA);
+        assert_eq!(super::x_pow_mod(Crc64::ECMA, 0), 1);
+        let fold = Crc64Fold::ecma_shared();
+        let msg = [0xabu8; 32];
+        assert_eq!(fold.checksum(&msg), fold.base().checksum(&msg));
+    }
+
+    #[test]
+    fn detection_is_stable_and_auto_always_matches_scalar() {
+        // Whatever the CPU reports, the gate must answer consistently
+        // and `checksum_auto` must land on the same bits as the scalar
+        // engine — i.e. the fallback is clean on both kinds of machine.
+        assert_eq!(clmul_detected(), clmul_detected());
+        let fold = Crc64Fold::not_ecma_shared();
+        for len in [0usize, 5, 16, 23, 64, 200] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+            assert_eq!(fold.checksum_auto(&data), fold.base().checksum(&data));
+        }
     }
 }
 
@@ -272,6 +541,53 @@ mod proptests {
                 prop_assert_eq!(crc.checksum_slice1(&data), bitwise);
                 prop_assert_eq!(crc.checksum(&data), bitwise);
             }
+        }
+
+        /// The 4-lane interleaved engine is four independent scalar
+        /// CRCs, for arbitrary (and unequal) lane lengths.
+        #[test]
+        fn interleaved_agrees_with_scalar(
+            a in proptest::collection::vec(any::<u8>(), 0..257),
+            b in proptest::collection::vec(any::<u8>(), 0..257),
+            c in proptest::collection::vec(any::<u8>(), 0..257),
+            d in proptest::collection::vec(any::<u8>(), 0..257),
+        ) {
+            for crc in [Crc64::ecma_shared(), Crc64::not_ecma_shared()] {
+                let got = crc.checksum4([&a, &b, &c, &d]);
+                let want = [
+                    crc.checksum(&a),
+                    crc.checksum(&b),
+                    crc.checksum(&c),
+                    crc.checksum(&d),
+                ];
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        /// The CLMUL folding engine agrees with the scalar engines on
+        /// short inputs (0..=256, straddling its 16-byte block edge).
+        #[test]
+        fn fold_agrees_with_scalar(data in proptest::collection::vec(any::<u8>(), 0..257)) {
+            for fold in [Crc64Fold::ecma_shared(), Crc64Fold::not_ecma_shared()] {
+                let want = fold.base().checksum(&data);
+                prop_assert_eq!(fold.checksum(&data), want);
+                prop_assert_eq!(fold.checksum_auto(&data), want);
+            }
+        }
+
+        /// ... and on random long inputs, where the folding loop does
+        /// the bulk of the work.
+        #[test]
+        fn fold_agrees_on_long_inputs(data in proptest::collection::vec(any::<u8>(), 1024..4096)) {
+            for fold in [Crc64Fold::ecma_shared(), Crc64Fold::not_ecma_shared()] {
+                prop_assert_eq!(fold.checksum(&data), fold.base().checksum(&data));
+            }
+            let ecma = Crc64::ecma_shared();
+            let lanes = ecma.checksum4([&data, &data[1..], &data[..16], &data]);
+            prop_assert_eq!(lanes[0], ecma.checksum(&data));
+            prop_assert_eq!(lanes[1], ecma.checksum(&data[1..]));
+            prop_assert_eq!(lanes[2], ecma.checksum(&data[..16]));
+            prop_assert_eq!(lanes[3], lanes[0]);
         }
 
         #[test]

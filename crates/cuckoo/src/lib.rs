@@ -36,5 +36,5 @@ pub use concurrent::{
     ConcurrentHit, ConcurrentTable, ConcurrentTableStats, ConcurrentWriteGuard, InsertOutcome,
     ProbeOutcome, MAX_KEY_BYTES, VALUE_WORDS,
 };
-pub use crc::{Crc64, HashPair};
+pub use crc::{clmul_detected, Crc64, Crc64Fold, HashPair};
 pub use table::{CrcPairHasher, CuckooTable, Lookup, PairHasher, TableStats, Way};

@@ -73,6 +73,23 @@ impl CrcPairHasher {
             h2: Crc64::not_ecma_shared(),
         }
     }
+
+    /// Hashes four keys at once with the interleaved engine
+    /// ([`Crc64::checksum4`]) on both polynomials — eight independent
+    /// CRC chains instead of the scalar path's one-at-a-time
+    /// recurrence. Bit-for-bit equal to four [`PairHasher::hash_pair`]
+    /// calls; the batch check path hashes its VAT candidates through
+    /// this in groups of four.
+    pub fn hash_pair4(&self, keys: [&[u8]; 4]) -> [HashPair; 4] {
+        let h1 = self.h1.checksum4(keys);
+        let h2 = self.h2.checksum4(keys);
+        [
+            HashPair { h1: h1[0], h2: h2[0] },
+            HashPair { h1: h1[1], h2: h2[1] },
+            HashPair { h1: h1[2], h2: h2[2] },
+            HashPair { h1: h1[3], h2: h2[3] },
+        ]
+    }
 }
 
 impl Default for CrcPairHasher {
@@ -317,6 +334,53 @@ where
         }
     }
 
+    /// Applies the counter updates of `n` consecutive counted lookups
+    /// that all hit the same entry — `hit` must come from probing
+    /// *this* table — producing exactly the state of `n` successive
+    /// `count_lookup(Some(hit))` calls with no other lookup of this
+    /// table in between: the tick advances by `n`, the first lookup
+    /// records the entry's pending reuse distance, and the remaining
+    /// `n - 1` each record a reuse distance of 1. `n == 0` is a no-op.
+    ///
+    /// Batch commit paths use this to fold a run of repeated keys into
+    /// O(1) bookkeeping; `hashed_bulk_hits_match_serial_count_lookup`
+    /// pins the equivalence.
+    pub fn count_hits_bulk(&mut self, hit: Lookup, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.tick = self.tick.saturating_add(n);
+        self.stats.hits += n;
+        self.probe_length.record_n(1 + hit.way.index() as u64, n);
+        if let Some(entry) = self.ways[hit.way.index()][hit.slot].as_mut() {
+            // The tick after the first of the n lookups.
+            let first_tick = self.tick - (n - 1);
+            self.reuse_distance
+                .record(first_tick.saturating_sub(entry.last_tick));
+            self.reuse_distance.record_n(1, n - 1);
+            entry.last_tick = self.tick;
+        }
+    }
+
+    /// Software-prefetches the two slots a hash pair indexes, pulling
+    /// both candidate cache lines before any probe compares keys.
+    ///
+    /// Hardware Draco hides VAT latency by overlapping the SLB walk
+    /// with the pipeline; the software batch path gets the same overlap
+    /// by touching every candidate slot of a whole batch first, so the
+    /// loads are all in flight (or resident) by the time the probe pass
+    /// runs. The crate forbids `unsafe`, so this is a bounds-checked
+    /// read wrapped in [`core::hint::black_box`] rather than a
+    /// `prefetcht0` — it genuinely populates the cache, at the cost of
+    /// being a demand load.
+    #[inline]
+    pub fn prefetch(&self, pair: HashPair) {
+        let s1 = self.slot_for(pair.h1);
+        let s2 = self.slot_for(pair.h2);
+        core::hint::black_box(self.ways[0][s1].is_some());
+        core::hint::black_box(self.ways[1][s2].is_some());
+    }
+
     /// Non-counting lookup (used by read-only paths and tests).
     pub fn probe<Q>(&self, key: &Q, pair: HashPair) -> Option<Lookup>
     where
@@ -479,6 +543,41 @@ mod tests {
         assert!(t.lookup(&key(2)).is_none());
         assert_eq!(t.stats().hits, 1);
         assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn hashed_bulk_hits_match_serial_count_lookup() {
+        // Two tables driven identically except one folds runs of
+        // repeated hits through count_hits_bulk: every counter,
+        // histogram, and entry tick must come out byte-identical.
+        let mut bulk = table(8);
+        let mut serial = table(8);
+        for i in 0..4 {
+            bulk.insert(key(i), i);
+            serial.insert(key(i), i);
+        }
+        // Interleave runs on different keys with ordinary counted
+        // lookups (including a miss) between them.
+        let runs: [(u64, u64); 4] = [(1, 5), (2, 1), (1, 3), (3, 64)];
+        for (k, n) in runs {
+            let hasher = CrcPairHasher::default();
+            let hit = bulk.probe(&key(k), hasher.hash_pair(&key(k))).unwrap();
+            bulk.count_hits_bulk(hit, n);
+            for _ in 0..n {
+                let hit = serial.probe(&key(k), hasher.hash_pair(&key(k))).unwrap();
+                serial.count_lookup(Some(hit));
+            }
+            assert!(bulk.lookup(&key(99)).is_none());
+            assert!(serial.lookup(&key(99)).is_none());
+        }
+        assert_eq!(bulk.stats(), serial.stats());
+        assert_eq!(bulk.metrics(), serial.metrics());
+        // A zero-length run is a no-op.
+        let before = bulk.metrics();
+        let hasher = CrcPairHasher::default();
+        let hit = bulk.probe(&key(2), hasher.hash_pair(&key(2))).unwrap();
+        bulk.count_hits_bulk(hit, 0);
+        assert_eq!(bulk.metrics(), before);
     }
 
     #[test]
@@ -660,6 +759,32 @@ mod tests {
         }
         assert_eq!(staged.stats(), plain.stats());
         assert_eq!(staged.metrics(), plain.metrics());
+    }
+
+    #[test]
+    fn hash_pair4_matches_four_scalar_pairs() {
+        let hasher = CrcPairHasher::new();
+        let keys: Vec<Vec<u8>> = (0u64..4).map(|i| (i * 77).to_le_bytes().to_vec()).collect();
+        let got = hasher.hash_pair4([&keys[0], &keys[1], &keys[2], &keys[3]]);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(got[i], hasher.hash_pair(k.as_slice()), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn prefetch_is_pure() {
+        // Prefetching must not perturb results, occupancy, or counters.
+        let mut t = table(16);
+        for i in 0..6 {
+            t.insert(key(i), i);
+        }
+        let before = (t.stats(), t.metrics());
+        for i in 0..10 {
+            let pair = t.hash_pair(&key(i));
+            t.prefetch(pair);
+        }
+        assert_eq!((t.stats(), t.metrics()), before);
+        assert!(t.lookup(&key(0)).is_some());
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
 //! dracoctl trace <workload> [--format chrome|folded] [--hw] # stage spans
-//! dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--json]
+//! dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--batch N] [--json]
 //! dracoctl shared-replay <workload> [--threads N] [--ops N] [--warmup N]
-//!                        [--seed N] [--mix skewed|uniform] [--json]
+//!                        [--seed N] [--mix skewed|uniform] [--batch N] [--json]
 //! dracoctl workloads                                        # list the catalog
 //! ```
 
@@ -65,9 +65,9 @@ fn run(args: &[String]) -> i32 {
                  \x20 trace analyze <PATH.json|->\n\
                  \x20 trace <workload> [--format chrome|folded] [--ops N] [--seed N]\n\
                  \x20       [--sample N] [--hw] [--out PATH]\n\
-                 \x20 stats <workload> [--ops N] [--seed N] [--trace N] [--json]\n\
+                 \x20 stats <workload> [--ops N] [--seed N] [--trace N] [--batch N] [--json]\n\
                  \x20 shared-replay <workload> [--threads N] [--ops N] [--warmup N]\n\
-                 \x20               [--seed N] [--mix skewed|uniform] [--json]\n\
+                 \x20               [--seed N] [--mix skewed|uniform] [--batch N] [--json]\n\
                  \x20 workloads"
             );
             2
@@ -465,11 +465,17 @@ fn parse_u64(s: &str) -> Result<u64, String> {
 /// Replays a generated workload trace through the software checker and
 /// prints the merged observability snapshot — the CLI face of the
 /// `draco-obs` registry. `--trace N` keeps the last `N` flow
-/// classifications in a ring and prints them; `--json` emits the raw
-/// [`draco::obs::MetricsRegistry`] instead of the human snapshot.
+/// classifications in a ring and prints them; `--batch N` drives the
+/// replay through the staged [`DracoChecker::check_batch`] path in
+/// groups of `N` (decisions are identical to the scalar loop — the
+/// batch counters in the snapshot show the staging at work); `--json`
+/// emits the raw [`draco::obs::MetricsRegistry`] instead of the human
+/// snapshot.
 fn stats_cmd(args: &[String]) -> i32 {
     let Some(name) = args.first() else {
-        eprintln!("usage: dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--json]");
+        eprintln!(
+            "usage: dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--batch N] [--json]"
+        );
         return 2;
     };
     let Some(spec) = catalog::by_name(name) else {
@@ -479,6 +485,7 @@ fn stats_cmd(args: &[String]) -> i32 {
     let mut ops = spec.default_ops;
     let mut seed = 0u64;
     let mut ring_cap = 0usize;
+    let mut batch = 0usize;
     let mut json = false;
     let mut i = 1;
     while i < args.len() {
@@ -495,6 +502,10 @@ fn stats_cmd(args: &[String]) -> i32 {
                 i += 1;
                 ring_cap = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(ring_cap);
             }
+            "--batch" => {
+                i += 1;
+                batch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(batch);
+            }
             "--json" => json = true,
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -509,15 +520,29 @@ fn stats_cmd(args: &[String]) -> i32 {
     if ring_cap > 0 {
         checker.enable_flow_trace(ring_cap);
     }
-    for req in trace.requests() {
-        checker.check(&req);
+    if batch > 0 {
+        let requests: Vec<SyscallRequest> = trace.requests().collect();
+        let mut out = vec![draco::core::Decision::KILLED; batch];
+        for chunk in requests.chunks(batch) {
+            checker.check_batch(chunk, &mut out[..chunk.len()]);
+        }
+    } else {
+        for req in trace.requests() {
+            checker.check(&req);
+        }
     }
     let metrics = checker.metrics();
     if json {
         println!("{}", serde_json::to_string_pretty(&metrics).expect("registry serializes"));
         return 0;
     }
-    println!("{name}: {ops} checks replayed (seed {seed}, syscall-complete profile)");
+    if batch > 0 {
+        println!(
+            "{name}: {ops} checks replayed in batches of {batch} (seed {seed}, syscall-complete profile)"
+        );
+    } else {
+        println!("{name}: {ops} checks replayed (seed {seed}, syscall-complete profile)");
+    }
     println!("{metrics}");
     println!("quantile upper bounds:");
     println!(
@@ -550,19 +575,23 @@ fn stats_cmd(args: &[String]) -> i32 {
 }
 
 /// `dracoctl shared-replay <workload> [--threads N] [--ops N]
-/// [--warmup N] [--seed N] [--mix skewed|uniform] [--json]` — replays a
-/// workload through ONE [`draco::core::SharedDracoProcess`] from N
-/// worker threads that share its SPT/VAT (paper §VI), and prints
-/// per-thread rates plus the contention counters of the lock-free read
-/// path. `skewed` gives every thread the same trace seed (shared hot
-/// keys, read-dominated after warmup); `uniform` gives each thread its
-/// own seed (disjoint keys, writer-heavy).
+/// [--warmup N] [--seed N] [--mix skewed|uniform] [--batch N]
+/// [--json]` — replays a workload through ONE
+/// [`draco::core::SharedDracoProcess`] from N worker threads that share
+/// its SPT/VAT (paper §VI), and prints per-thread rates plus the
+/// contention counters of the lock-free read path. `skewed` gives every
+/// thread the same trace seed (shared hot keys, read-dominated after
+/// warmup); `uniform` gives each thread its own seed (disjoint keys,
+/// writer-heavy). `--batch N` drives each worker through the staged
+/// batch check path in groups of `N`.
 fn shared_replay_cmd(args: &[String]) -> i32 {
-    use draco::workloads::shared_replay::{replay_shared, KeyMix, SharedReplayConfig};
+    use draco::workloads::shared_replay::{
+        replay_shared, replay_shared_batched, KeyMix, SharedReplayConfig,
+    };
 
     let Some(name) = args.first() else {
         eprintln!(
-            "usage: dracoctl shared-replay <workload> [--threads N] [--ops N] [--warmup N] [--seed N] [--mix skewed|uniform] [--json]"
+            "usage: dracoctl shared-replay <workload> [--threads N] [--ops N] [--warmup N] [--seed N] [--mix skewed|uniform] [--batch N] [--json]"
         );
         return 2;
     };
@@ -577,6 +606,7 @@ fn shared_replay_cmd(args: &[String]) -> i32 {
         base_seed: 0,
         mix: KeyMix::Skewed,
     };
+    let mut batch = 0usize;
     let mut json = false;
     let mut i = 1;
     while i < args.len() {
@@ -614,6 +644,10 @@ fn shared_replay_cmd(args: &[String]) -> i32 {
                     }
                 };
             }
+            "--batch" => {
+                i += 1;
+                batch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(batch);
+            }
             "--json" => json = true,
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -627,7 +661,11 @@ fn shared_replay_cmd(args: &[String]) -> i32 {
         return 2;
     }
 
-    let report = replay_shared(&spec, ProfileKind::SyscallComplete, &cfg);
+    let report = if batch > 0 {
+        replay_shared_batched(&spec, ProfileKind::SyscallComplete, &cfg, batch)
+    } else {
+        replay_shared(&spec, ProfileKind::SyscallComplete, &cfg)
+    };
     if json {
         let doc = serde_json::json!({
             "schema": "draco-shared-replay/v1",
@@ -923,11 +961,27 @@ mod tests {
             ])),
             0
         );
+        assert_eq!(
+            shared_replay_cmd(&argv(&[
+                "pipe", "--threads", "2", "--ops", "300", "--warmup", "30", "--batch", "16"
+            ])),
+            0
+        );
         assert_eq!(shared_replay_cmd(&argv(&[])), 2);
         assert_eq!(shared_replay_cmd(&argv(&["no-such-workload"])), 1);
         assert_eq!(shared_replay_cmd(&argv(&["pipe", "--mix", "zipf"])), 2);
         assert_eq!(shared_replay_cmd(&argv(&["pipe", "--threads", "0"])), 2);
         assert_eq!(shared_replay_cmd(&argv(&["pipe", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn stats_replays_batched_and_scalar() {
+        assert_eq!(stats_cmd(&argv(&["pipe", "--ops", "400"])), 0);
+        assert_eq!(stats_cmd(&argv(&["pipe", "--ops", "400", "--batch", "32"])), 0);
+        assert_eq!(
+            stats_cmd(&argv(&["pipe", "--ops", "400", "--batch", "32", "--json"])),
+            0
+        );
     }
 
     #[test]

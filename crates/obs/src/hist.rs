@@ -82,6 +82,20 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
     }
 
+    /// Records `n` samples of the same value, producing exactly the
+    /// state of `n` successive [`Histogram::record`] calls (the bucket
+    /// count and the sum both saturate to the same fixed point a
+    /// one-at-a-time chain reaches). `n == 0` is a no-op. Lets bulk
+    /// paths fold a run of identical samples into one bucket update.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = Self::bucket_of(value);
+        self.counts[b] = self.counts[b].saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.counts
@@ -355,5 +369,32 @@ mod tests {
         let json = serde_json::to_string(&h).expect("serializes");
         let back: Histogram = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, h);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        for (value, n) in [(0u64, 3u64), (1, 1), (7, 1000), (u64::MAX, 5), (1 << 40, 17)] {
+            let mut bulk = Histogram::default();
+            bulk.record(3); // pre-existing state must compose identically
+            bulk.record_n(value, n);
+            let mut serial = Histogram::default();
+            serial.record(3);
+            for _ in 0..n {
+                serial.record(value);
+            }
+            assert_eq!(bulk, serial, "value={value} n={n}");
+        }
+        // n == 0 is a no-op.
+        let mut h = Histogram::default();
+        h.record_n(9, 0);
+        assert_eq!(h, Histogram::default());
+        // Sum saturation reaches the same fixed point as the serial chain.
+        let mut bulk = Histogram::default();
+        bulk.record_n(u64::MAX / 2, 3);
+        let mut serial = Histogram::default();
+        for _ in 0..3 {
+            serial.record(u64::MAX / 2);
+        }
+        assert_eq!(bulk, serial);
     }
 }

@@ -60,6 +60,23 @@ pub struct CheckerMetrics {
     /// authored one (the authored mask was kept as the override).
     #[serde(default)]
     pub masks_overridden: u64,
+    /// `check_batch` invocations on the batched check path.
+    #[serde(default)]
+    pub batches: u64,
+    /// Checks submitted through the batched check path.
+    #[serde(default)]
+    pub batched_checks: u64,
+    /// Software prefetches issued by batch probe passes (two per VAT
+    /// candidate — one per cuckoo way).
+    #[serde(default)]
+    pub prefetch_issued: u64,
+    /// Batch-local misses resolved from cache during the commit walk
+    /// because an earlier request in the same batch validated the key.
+    #[serde(default)]
+    pub miss_dedup_hits: u64,
+    /// Distribution of batch sizes submitted to the batched check path.
+    #[serde(default)]
+    pub batch_size: Histogram,
     /// cBPF instructions per fallback run.
     pub insns_per_filter_run: Histogram,
     /// Filter instructions *saved* per cached check: at each SPT/VAT
@@ -95,6 +112,11 @@ impl CheckerMetrics {
         self.insert_races_lost = self.insert_races_lost.saturating_add(other.insert_races_lost);
         self.masks_derived_match = self.masks_derived_match.saturating_add(other.masks_derived_match);
         self.masks_overridden = self.masks_overridden.saturating_add(other.masks_overridden);
+        self.batches = self.batches.saturating_add(other.batches);
+        self.batched_checks = self.batched_checks.saturating_add(other.batched_checks);
+        self.prefetch_issued = self.prefetch_issued.saturating_add(other.prefetch_issued);
+        self.miss_dedup_hits = self.miss_dedup_hits.saturating_add(other.miss_dedup_hits);
+        self.batch_size.merge(&other.batch_size);
         self.insns_per_filter_run.merge(&other.insns_per_filter_run);
         self.saved_insns_per_hit.merge(&other.saved_insns_per_hit);
     }
@@ -337,6 +359,13 @@ impl fmt::Display for MetricsRegistry {
                 c.seqlock_retries, c.vat_lock_waits, c.insert_races_lost
             )?;
         }
+        if c.batched_checks > 0 {
+            writeln!(
+                f,
+                "  batch            : {} checks in {} batches, {} prefetches, {} dedup hits, sizes {}",
+                c.batched_checks, c.batches, c.prefetch_issued, c.miss_dedup_hits, c.batch_size
+            )?;
+        }
         if !c.insns_per_filter_run.is_empty() {
             writeln!(f, "  insns/filter-run : {}", c.insns_per_filter_run)?;
         }
@@ -425,6 +454,11 @@ mod tests {
         r.checker.seqlock_retries = seed / 3;
         r.checker.vat_lock_waits = seed / 4;
         r.checker.insert_races_lost = seed / 5;
+        r.checker.batches = seed / 2;
+        r.checker.batched_checks = seed * 4;
+        r.checker.prefetch_issued = seed * 8;
+        r.checker.miss_dedup_hits = seed / 3;
+        r.checker.batch_size.record(seed + 1);
         r.checker.insns_per_filter_run.record(seed + 3);
         r.checker.saved_insns_per_hit.record(seed);
         r.cuckoo.hits = seed * 3;
@@ -567,6 +601,68 @@ mod tests {
         assert_eq!(back.checker.vat_lock_waits, 0);
         assert_eq!(back.checker.insert_races_lost, 0);
         assert_eq!(back.checker.spt_hits, r.checker.spt_hits);
+    }
+
+    #[test]
+    fn checker_json_without_batch_keys_still_parses() {
+        // Registries serialized before the batched check path existed
+        // lack these keys; `#[serde(default)]` must zero-fill them.
+        let r = sample(8);
+        let json: String = serde_json::to_string_pretty(&r)
+            .expect("serializes")
+            .lines()
+            .filter(|line| {
+                !line.contains("\"batches\"")
+                    && !line.contains("\"batched_checks\"")
+                    && !line.contains("\"prefetch_issued\"")
+                    && !line.contains("\"miss_dedup_hits\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // `batch_size` is a multi-line histogram object; strip the whole
+        // block by matching its braces (the vendored serde_json exposes
+        // no mutation API).
+        let start = json.find("\"batch_size\"").expect("key present");
+        let mut depth = 0usize;
+        let mut end = json.len();
+        for (i, b) in json.bytes().enumerate().skip(start) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if json[end..].starts_with(',') {
+            end += 1;
+        }
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        let back: MetricsRegistry =
+            serde_json::from_str(&stripped).expect("parses without batch keys");
+        assert_eq!(back.checker.batches, 0);
+        assert_eq!(back.checker.batched_checks, 0);
+        assert_eq!(back.checker.prefetch_issued, 0);
+        assert_eq!(back.checker.miss_dedup_hits, 0);
+        assert_eq!(back.checker.batch_size.count(), 0);
+        assert_eq!(back.checker.spt_hits, r.checker.spt_hits);
+    }
+
+    #[test]
+    fn display_reports_batch_section_only_when_present() {
+        let mut r = MetricsRegistry::default();
+        r.checker.spt_hits = 4;
+        assert!(!r.to_string().contains("batch"));
+        r.checker.batches = 2;
+        r.checker.batched_checks = 9;
+        r.checker.prefetch_issued = 6;
+        let text = r.to_string();
+        assert!(text.contains("9 checks in 2 batches"), "{text}");
+        assert!(text.contains("6 prefetches"), "{text}");
     }
 
     #[test]

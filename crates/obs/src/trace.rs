@@ -45,6 +45,16 @@ pub enum Stage {
     FilterExec,
     /// Argument-set insertion into the VAT after a permitted fallback.
     VatInsert,
+    /// Batched path: SPT-word resolve pass over the whole batch.
+    BatchSptResolve,
+    /// Batched path: vectorized CRC hashing of surviving keys.
+    BatchCrcHash,
+    /// Batched path: software prefetch of all candidate cuckoo slots.
+    BatchPrefetch,
+    /// Batched path: bulk VAT probe pass.
+    BatchProbe,
+    /// Batched path: in-order commit walk (fan-out plus miss handling).
+    BatchCommit,
     /// Hardware: STB lookup at ROB insertion (§VI-B prediction).
     StbPredict,
     /// Hardware: speculative SLB preload probe and VAT prefetch.
@@ -57,13 +67,18 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, software first, in pipeline order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 15] = [
         Stage::SptLookup,
         Stage::CrcHash,
         Stage::VatProbeWay1,
         Stage::VatProbeWay2,
         Stage::FilterExec,
         Stage::VatInsert,
+        Stage::BatchSptResolve,
+        Stage::BatchCrcHash,
+        Stage::BatchPrefetch,
+        Stage::BatchProbe,
+        Stage::BatchCommit,
         Stage::StbPredict,
         Stage::SlbPreload,
         Stage::SlbAccess,
@@ -79,6 +94,11 @@ impl Stage {
             Stage::VatProbeWay2 => "vat-probe-way2",
             Stage::FilterExec => "filter-exec",
             Stage::VatInsert => "vat-insert",
+            Stage::BatchSptResolve => "batch-spt-resolve",
+            Stage::BatchCrcHash => "batch-crc-hash",
+            Stage::BatchPrefetch => "batch-prefetch",
+            Stage::BatchProbe => "batch-probe",
+            Stage::BatchCommit => "batch-commit",
             Stage::StbPredict => "stb-predict",
             Stage::SlbPreload => "slb-preload",
             Stage::SlbAccess => "slb-access",
@@ -87,11 +107,17 @@ impl Stage {
     }
 
     /// The `stage[;substage]` frames used in folded flamegraph output
-    /// (per-way probes fold under a shared `vat-probe` frame).
+    /// (per-way probes fold under a shared `vat-probe` frame, batch
+    /// passes under a shared `batch` frame).
     pub const fn folded_frames(self) -> (&'static str, Option<&'static str>) {
         match self {
             Stage::VatProbeWay1 => ("vat-probe", Some("way-1")),
             Stage::VatProbeWay2 => ("vat-probe", Some("way-2")),
+            Stage::BatchSptResolve => ("batch", Some("spt-resolve")),
+            Stage::BatchCrcHash => ("batch", Some("crc-hash")),
+            Stage::BatchPrefetch => ("batch", Some("prefetch")),
+            Stage::BatchProbe => ("batch", Some("probe")),
+            Stage::BatchCommit => ("batch", Some("commit")),
             other => (other.label(), None),
         }
     }
@@ -585,6 +611,8 @@ mod tests {
         assert_eq!(Stage::SptLookup.to_string(), "spt-lookup");
         assert_eq!(Stage::VatProbeWay2.folded_frames(), ("vat-probe", Some("way-2")));
         assert_eq!(Stage::TempBufOp.folded_frames(), ("tempbuf-op", None));
+        assert_eq!(Stage::BatchProbe.to_string(), "batch-probe");
+        assert_eq!(Stage::BatchCommit.folded_frames(), ("batch", Some("commit")));
     }
 
     #[test]

@@ -260,11 +260,21 @@ impl ArgBitmask {
                 continue;
             }
             let value = args.get(arg).to_le_bytes();
-            for (b, &vb) in value.iter().enumerate() {
-                if (byte_bits >> b) & 1 == 1 {
-                    bytes[len] = vb;
-                    len += 1;
-                }
+            if byte_bits == 0xff {
+                // Whole-argument masks (the common case for value
+                // arguments) copy in one shot.
+                bytes[len..len + ARG_BYTES].copy_from_slice(&value);
+                len += ARG_BYTES;
+                continue;
+            }
+            // Sparse masks walk only the *set* bits, still in ascending
+            // bit order (paper Fig. 5's selector ordering).
+            let mut bits = byte_bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bytes[len] = value[b];
+                len += 1;
+                bits &= bits - 1;
             }
         }
         MaskedBytes { bytes, len }
@@ -274,6 +284,31 @@ impl ArgBitmask {
     #[must_use]
     pub const fn union(self, other: ArgBitmask) -> ArgBitmask {
         ArgBitmask(self.0 | other.0)
+    }
+
+    /// Expands the bitmask into one byte-granular mask word per
+    /// argument: `args.get(i) & expand()[i]` keeps exactly the bytes
+    /// [`ArgBitmask::masked`] keeps. Callers that test many argument
+    /// sets against one mask (e.g. batch key deduplication) precompute
+    /// this once and reduce the per-set work to six ANDs.
+    #[must_use]
+    pub const fn expand(self) -> [u64; MAX_ARGS] {
+        let mut out = [0u64; MAX_ARGS];
+        let mut i = 0;
+        while i < MAX_ARGS {
+            let byte_bits = (self.0 >> (i * ARG_BYTES)) & 0xff;
+            let mut m = 0u64;
+            let mut b = 0;
+            while b < ARG_BYTES {
+                if (byte_bits >> b) & 1 == 1 {
+                    m |= 0xffu64 << (b * 8);
+                }
+                b += 1;
+            }
+            out[i] = m;
+            i += 1;
+        }
+        out
     }
 }
 
@@ -385,6 +420,34 @@ mod tests {
         assert_eq!(m.get(1), 0);
         assert_eq!(m.get(2), u64::MAX);
         assert_eq!(m.get(3), 0);
+    }
+
+    #[test]
+    fn expand_agrees_with_masked() {
+        // Sparse, full, and empty per-argument byte masks, including a
+        // non-contiguous bit pattern (raw bit 2 of arg 3's byte mask).
+        let masks = [
+            ArgBitmask::from_widths([1, 1, 0, 0, 0, 0]),
+            ArgBitmask::from_widths([8, 8, 8, 8, 8, 8]),
+            ArgBitmask::from_widths([4, 0, 8, 0, 2, 0]),
+            ArgBitmask::EMPTY,
+            ArgBitmask::from_raw(0b101 << 24),
+        ];
+        let args = ArgSet::new([
+            0xaabb_ccdd_eeff_0011,
+            u64::MAX,
+            0x0102_0304_0506_0708,
+            0xffee_ddcc_bbaa_9988,
+            7,
+            0,
+        ]);
+        for mask in masks {
+            let words = mask.expand();
+            let masked = mask.masked(&args);
+            for (i, &w) in words.iter().enumerate() {
+                assert_eq!(args.get(i) & w, masked.get(i), "mask {mask:?} arg {i}");
+            }
+        }
     }
 
     #[test]

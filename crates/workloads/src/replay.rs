@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use draco_bpf::SeccompData;
-use draco_core::{DracoProcess, ProcessId};
+use draco_core::{Decision, DracoProcess, ProcessId};
 use draco_obs::{merge_spans, Histogram, MetricsRegistry, ReplayMetrics, Span, SpanTracer};
 use draco_profiles::{
     analyze_profile, compile_stacked, FilterLayout, ProfileAnalysis, ProfileKind, ProfileSpec,
@@ -39,10 +39,22 @@ pub enum ReplayBackend {
     SeccompCompiled,
     /// Software Draco: SPT + VAT caches in front of the filter.
     DracoSw,
+    /// Software Draco driven through the staged batch path
+    /// ([`DracoProcess::syscall_batch`]), `batch` requests per call.
+    /// Decisions and cache counters are identical to [`DracoSw`] on the
+    /// same trace; only the per-check overhead changes.
+    ///
+    /// [`DracoSw`]: ReplayBackend::DracoSw
+    DracoBatch {
+        /// Requests per `syscall_batch` call. Must be nonzero.
+        batch: usize,
+    },
 }
 
 impl ReplayBackend {
-    /// All backends, in report order.
+    /// The standard comparison backends, in report order. The batch
+    /// backend is an opt-in extra (its batch size is a parameter, not a
+    /// fixed member of the comparison set).
     pub const ALL: [ReplayBackend; 3] = [
         ReplayBackend::SeccompInterp,
         ReplayBackend::SeccompCompiled,
@@ -55,7 +67,17 @@ impl ReplayBackend {
             ReplayBackend::SeccompInterp => "seccomp-interp",
             ReplayBackend::SeccompCompiled => "seccomp-compiled",
             ReplayBackend::DracoSw => "draco-sw",
+            ReplayBackend::DracoBatch { .. } => "draco-batch",
         }
+    }
+
+    /// Whether this backend drives Draco tables (and therefore wants the
+    /// install-time filter analysis and emits checker metrics).
+    pub const fn is_draco(self) -> bool {
+        matches!(
+            self,
+            ReplayBackend::DracoSw | ReplayBackend::DracoBatch { .. }
+        )
     }
 }
 
@@ -212,7 +234,7 @@ fn plan_shards(
             let trace =
                 TraceGenerator::new(spec, seed).generate(cfg.warmup_ops + cfg.ops_per_shard);
             let profile = profile_for_trace(&trace, kind);
-            let analysis = (backend == ReplayBackend::DracoSw).then(|| {
+            let analysis = backend.is_draco().then(|| {
                 analyze_profile(&profile).expect("generated profiles always compile")
             });
             let mut reqs = trace.requests();
@@ -252,6 +274,55 @@ where
         }
         allowed += u64::from(permitted);
         cache_hits += u64::from(hit);
+    }
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    ShardReport {
+        shard: plan.shard,
+        seed: plan.seed,
+        checks: plan.measured.len() as u64,
+        allowed,
+        cache_hits,
+        elapsed_ns,
+        latency_ns,
+    }
+}
+
+/// Drives one shard through the batched check entry point, `batch`
+/// requests per call, with a reusable decision buffer allocated before
+/// the clock starts.
+///
+/// Latency sampling keeps the scalar driver's cadence: a batch is timed
+/// whenever it contains a sampled index (a multiple of
+/// [`LATENCY_SAMPLE_INTERVAL`]), and the per-check sample recorded is
+/// the batch's wall time divided by its length.
+fn drive_batched<F>(plan: &ShardPlan, batch: usize, mut check_batch: F) -> ShardReport
+where
+    F: FnMut(&[SyscallRequest], &mut [Decision]),
+{
+    assert!(batch > 0, "batched replay needs a nonzero batch size");
+    let mut out = vec![Decision::KILLED; batch];
+    for chunk in plan.warmup.chunks(batch) {
+        check_batch(chunk, &mut out[..chunk.len()]);
+    }
+    let mut allowed = 0u64;
+    let mut cache_hits = 0u64;
+    let mut latency_ns = Histogram::default();
+    let start = Instant::now();
+    let mut index = 0usize;
+    for chunk in plan.measured.chunks(batch) {
+        let offset = index % LATENCY_SAMPLE_INTERVAL;
+        let sampled = offset == 0 || offset + chunk.len() > LATENCY_SAMPLE_INTERVAL;
+        let sample_start = sampled.then(Instant::now);
+        let slots = &mut out[..chunk.len()];
+        check_batch(chunk, slots);
+        if let Some(t) = sample_start {
+            latency_ns.record(t.elapsed().as_nanos() as u64 / chunk.len() as u64);
+        }
+        for decision in slots.iter() {
+            allowed += u64::from(decision.action.permits());
+            cache_hits += u64::from(decision.path.is_cache_hit());
+        }
+        index += chunk.len();
     }
     let elapsed_ns = start.elapsed().as_nanos() as u64;
     ShardReport {
@@ -329,6 +400,27 @@ fn run_shard(
                 let result = process.syscall(req);
                 (result.action.permits(), result.path.is_cache_hit())
             });
+            let registry = shard_registry(&report, Some(&process.checker().metrics()));
+            let spans = process
+                .checker_mut()
+                .take_span_tracer()
+                .map(SpanTracer::into_spans)
+                .unwrap_or_default();
+            (report, registry, spans)
+        }
+        ReplayBackend::DracoBatch { batch } => {
+            let pid = u32::try_from(plan.shard).expect("shard index exceeds ProcessId range");
+            let mut process = match &plan.analysis {
+                Some(analysis) => {
+                    DracoProcess::spawn_analyzed(ProcessId(pid), &plan.profile, analysis)
+                }
+                None => DracoProcess::spawn(ProcessId(pid), &plan.profile),
+            }
+            .expect("generated profiles always compile");
+            if let Some(tracer) = tracer {
+                process.checker_mut().install_span_tracer(tracer);
+            }
+            let report = drive_batched(plan, batch, |reqs, out| process.syscall_batch(reqs, out));
             let registry = shard_registry(&report, Some(&process.checker().metrics()));
             let spans = process
                 .checker_mut()
@@ -717,5 +809,63 @@ mod tests {
         assert_eq!(ReplayBackend::SeccompInterp.label(), "seccomp-interp");
         assert_eq!(ReplayBackend::SeccompCompiled.label(), "seccomp-compiled");
         assert_eq!(ReplayBackend::DracoSw.label(), "draco-sw");
+        assert_eq!(ReplayBackend::DracoBatch { batch: 64 }.label(), "draco-batch");
+    }
+
+    #[test]
+    fn batched_replay_matches_scalar_counters_exactly() {
+        let spec = catalog::ipc_pipe();
+        let cfg = small_cfg(2);
+        let scalar = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+        );
+        for batch in [1usize, 7, 64, 1000] {
+            let batched = replay_parallel(
+                &spec,
+                ProfileKind::SyscallComplete,
+                ReplayBackend::DracoBatch { batch },
+                &cfg,
+            );
+            assert_eq!(
+                strip_timing(&scalar),
+                strip_timing(&batched),
+                "batch={batch}"
+            );
+            // The whole checker section matches except the batch-only
+            // counters (the scalar run has none).
+            let (s, b) = (&scalar.metrics.checker, &batched.metrics.checker);
+            assert_eq!(s.spt_hits, b.spt_hits, "batch={batch}");
+            assert_eq!(s.vat_hits, b.vat_hits, "batch={batch}");
+            assert_eq!(s.filter_runs, b.filter_runs, "batch={batch}");
+            assert_eq!(s.filter_insns, b.filter_insns, "batch={batch}");
+            assert_eq!(s.denials, b.denials, "batch={batch}");
+            assert_eq!(s.vat_inserts, b.vat_inserts, "batch={batch}");
+            assert_eq!(scalar.metrics.replay, batched.metrics.replay, "batch={batch}");
+            assert_eq!(b.batched_checks, batched.total_checks() + 2 * 100, "warmup batches too");
+            assert!(b.batches > 0);
+        }
+    }
+
+    #[test]
+    fn batched_replay_traces_batch_stage_spans() {
+        let spec = catalog::ipc_pipe();
+        let (_, spans) = replay_parallel_traced(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoBatch { batch: 32 },
+            &small_cfg(1),
+            &TraceConfig {
+                capacity_per_shard: 1 << 14,
+                sample_interval: 1,
+            },
+        );
+        assert!(!spans.is_empty());
+        let stages: std::collections::BTreeSet<&str> =
+            spans.iter().map(|s| s.stage.label()).collect();
+        assert!(stages.contains("batch-probe"), "{stages:?}");
+        assert!(stages.contains("batch-commit"), "{stages:?}");
     }
 }

@@ -215,6 +215,34 @@ pub fn replay_shared(
     kind: ProfileKind,
     cfg: &SharedReplayConfig,
 ) -> SharedReplayReport {
+    replay_shared_inner(spec, kind, cfg, None)
+}
+
+/// Like [`replay_shared`], but each worker drives the staged batch path
+/// ([`draco_core::SharedThreadHandle::syscall_batch`]), `batch` requests
+/// per call. Per-thread allow counts are identical to the scalar shared
+/// replay on the same config; cache-hit counts remain timing-dependent
+/// across threads exactly as in the scalar case.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads == 0`, `batch == 0`, or a worker panics.
+pub fn replay_shared_batched(
+    spec: &WorkloadSpec,
+    kind: ProfileKind,
+    cfg: &SharedReplayConfig,
+    batch: usize,
+) -> SharedReplayReport {
+    assert!(batch > 0, "batched replay needs a nonzero batch size");
+    replay_shared_inner(spec, kind, cfg, Some(batch))
+}
+
+fn replay_shared_inner(
+    spec: &WorkloadSpec,
+    kind: ProfileKind,
+    cfg: &SharedReplayConfig,
+    batch: Option<usize>,
+) -> SharedReplayReport {
     assert!(cfg.threads > 0, "shared replay needs at least one thread");
     let plans = plan_threads(spec, cfg);
     let profile = union_profile(spec, &plans, kind);
@@ -232,25 +260,61 @@ pub fn replay_shared(
                 let mut handle = process.spawn_thread();
                 let barrier = &barrier;
                 scope.spawn(move || {
+                    let mut out =
+                        vec![draco_core::CheckResult::KILLED; batch.unwrap_or(0)];
                     // Writer-heavy cold start: all threads populate the
                     // shared tables concurrently, unmeasured.
-                    for req in &plan.warmup {
-                        let _ = handle.syscall(req);
+                    match batch {
+                        Some(batch) => {
+                            for chunk in plan.warmup.chunks(batch) {
+                                handle.syscall_batch(chunk, &mut out[..chunk.len()]);
+                            }
+                        }
+                        None => {
+                            for req in &plan.warmup {
+                                let _ = handle.syscall(req);
+                            }
+                        }
                     }
                     barrier.wait();
                     let mut allowed = 0u64;
                     let mut cache_hits = 0u64;
                     let mut latency_ns = Histogram::default();
                     let start = Instant::now();
-                    for (i, req) in plan.measured.iter().enumerate() {
-                        let sampled = i % LATENCY_SAMPLE_INTERVAL == 0;
-                        let sample_start = sampled.then(Instant::now);
-                        let result = handle.syscall(req);
-                        if let Some(t) = sample_start {
-                            latency_ns.record(t.elapsed().as_nanos() as u64);
+                    match batch {
+                        Some(batch) => {
+                            let mut index = 0usize;
+                            for chunk in plan.measured.chunks(batch) {
+                                let offset = index % LATENCY_SAMPLE_INTERVAL;
+                                let sampled = offset == 0
+                                    || offset + chunk.len() > LATENCY_SAMPLE_INTERVAL;
+                                let sample_start = sampled.then(Instant::now);
+                                let slots = &mut out[..chunk.len()];
+                                handle.syscall_batch(chunk, slots);
+                                if let Some(t) = sample_start {
+                                    latency_ns.record(
+                                        t.elapsed().as_nanos() as u64 / chunk.len() as u64,
+                                    );
+                                }
+                                for decision in slots.iter() {
+                                    allowed += u64::from(decision.action.permits());
+                                    cache_hits += u64::from(decision.path.is_cache_hit());
+                                }
+                                index += chunk.len();
+                            }
                         }
-                        allowed += u64::from(result.action.permits());
-                        cache_hits += u64::from(result.path.is_cache_hit());
+                        None => {
+                            for (i, req) in plan.measured.iter().enumerate() {
+                                let sampled = i % LATENCY_SAMPLE_INTERVAL == 0;
+                                let sample_start = sampled.then(Instant::now);
+                                let result = handle.syscall(req);
+                                if let Some(t) = sample_start {
+                                    latency_ns.record(t.elapsed().as_nanos() as u64);
+                                }
+                                allowed += u64::from(result.action.permits());
+                                cache_hits += u64::from(result.path.is_cache_hit());
+                            }
+                        }
                     }
                     let elapsed_ns = start.elapsed().as_nanos() as u64;
                     drop(handle); // flush thread-local stats into the process
@@ -453,5 +517,49 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(KeyMix::Skewed.label(), "skewed");
         assert_eq!(KeyMix::Uniform.label(), "uniform");
+    }
+
+    #[test]
+    fn batched_shared_replay_matches_scalar_allow_counts() {
+        let spec = catalog::ipc_pipe();
+        for mix in KeyMix::ALL {
+            let cfg = small_cfg(3, mix);
+            let scalar = replay_shared(&spec, ProfileKind::SyscallComplete, &cfg);
+            for batch in [1usize, 31, 1000] {
+                let batched =
+                    replay_shared_batched(&spec, ProfileKind::SyscallComplete, &cfg, batch);
+                let allowed = |r: &SharedReplayReport| -> Vec<u64> {
+                    r.threads.iter().map(|t| t.allowed).collect()
+                };
+                assert_eq!(
+                    allowed(&scalar),
+                    allowed(&batched),
+                    "{} batch={batch}",
+                    mix.label()
+                );
+                // Every check is still a hit or a filter run, and the
+                // batch section reflects the batched traffic.
+                let c = &batched.metrics.checker;
+                assert_eq!(c.total(), 3 * 500, "{} batch={batch}", mix.label());
+                assert_eq!(
+                    c.batched_checks,
+                    3 * 500,
+                    "warmup and measured both batched ({} batch={batch})",
+                    mix.label()
+                );
+                assert!(c.batches > 0, "{} batch={batch}", mix.label());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero batch size")]
+    fn zero_batch_rejected() {
+        let _ = replay_shared_batched(
+            &catalog::ipc_pipe(),
+            ProfileKind::SyscallComplete,
+            &small_cfg(1, KeyMix::Skewed),
+            0,
+        );
     }
 }

@@ -101,6 +101,58 @@ proptest! {
         prop_assert_eq!(report.denials, expected_denials);
     }
 
+    /// The staged batch path is byte-identical to the scalar loop —
+    /// same decisions, same provenance, and the same `CheckerStats` —
+    /// at every batch size, including degenerate ones (1, larger than
+    /// the stream) and the whole stream at once.
+    #[test]
+    fn check_batch_is_byte_identical_to_the_scalar_loop(
+        observed in proptest::collection::vec(arb_request(), 1..16),
+        stream in proptest::collection::vec(arb_request(), 1..80),
+    ) {
+        let profile = profile_from(&observed, ProfileKind::SyscallComplete);
+        let mut scalar = DracoChecker::from_profile(&profile).expect("checker");
+        let expected: Vec<_> = stream.iter().map(|r| scalar.check(r)).collect();
+        for batch in [1usize, 7, 64, 1000, stream.len()] {
+            let mut batched = DracoChecker::from_profile(&profile).expect("checker");
+            let mut got = vec![draco::core::CheckResult::KILLED; stream.len()];
+            for (chunk, slots) in stream.chunks(batch).zip(got.chunks_mut(batch)) {
+                batched.check_batch(chunk, slots);
+            }
+            prop_assert_eq!(&got, &expected, "batch={}", batch);
+            prop_assert_eq!(batched.stats(), scalar.stats(), "batch={}", batch);
+        }
+    }
+
+    /// Same statement for the thread-shared checker with a single
+    /// handle and no concurrent writer: batching through one
+    /// [`draco::core::SharedDracoProcess`] handle reproduces a scalar
+    /// handle's decisions, provenance, and stats exactly.
+    #[test]
+    fn shared_batch_is_byte_identical_to_a_scalar_handle(
+        observed in proptest::collection::vec(arb_request(), 1..16),
+        stream in proptest::collection::vec(arb_request(), 1..80),
+    ) {
+        use draco::core::{ProcessId, SharedDracoProcess};
+
+        let profile = profile_from(&observed, ProfileKind::SyscallComplete);
+        let scalar_process =
+            SharedDracoProcess::spawn(ProcessId(1), &profile).expect("shared spawns");
+        let mut scalar = scalar_process.spawn_thread();
+        let expected: Vec<_> = stream.iter().map(|r| scalar.check(r)).collect();
+        for batch in [1usize, 7, 64, 1000, stream.len()] {
+            let process =
+                SharedDracoProcess::spawn(ProcessId(2), &profile).expect("shared spawns");
+            let mut handle = process.spawn_thread();
+            let mut got = vec![draco::core::CheckResult::KILLED; stream.len()];
+            for (chunk, slots) in stream.chunks(batch).zip(got.chunks_mut(batch)) {
+                handle.check_batch(chunk, slots);
+            }
+            prop_assert_eq!(&got, &expected, "batch={}", batch);
+            prop_assert_eq!(handle.stats(), scalar.stats(), "batch={}", batch);
+        }
+    }
+
     /// Cached admissions are replays: a syscall Draco admits from its
     /// tables was admitted by the filter earlier in the same stream.
     #[test]
@@ -211,6 +263,102 @@ fn shared_process_threads_agree_with_the_single_thread_oracle() {
         shared_stats.cache_hit_rate() > 0.5,
         "shared tables barely used: {shared_stats}"
     );
+}
+
+/// A kill mid-stream terminates the process identically under the
+/// scalar and batched entry points: the killing call gets the same
+/// verdict, every later slot is filled with `KILLED`, and the stats are
+/// byte-identical (post-kill slots never reach the tables).
+#[test]
+fn process_batch_kill_matches_the_scalar_syscall_loop() {
+    use draco::core::{CheckResult, DracoProcess, ProcessId};
+    use draco::profiles::gvisor_default;
+
+    let profile = gvisor_default(); // default action: kill-process
+    let stream: Vec<SyscallRequest> = (0..40u16)
+        .map(|i| {
+            let nr = if i == 23 { 101 } else { 39 }; // ptrace(101) kills at event 23
+            SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(&[0, 0]))
+        })
+        .collect();
+    let mut oracle = DracoProcess::spawn(ProcessId(1), &profile).expect("oracle spawns");
+    let expected: Vec<CheckResult> = stream.iter().map(|r| oracle.syscall(r)).collect();
+    assert!(!oracle.is_alive(), "the stream must actually kill");
+    for batch in [1usize, 7, 16, stream.len()] {
+        let mut process = DracoProcess::spawn(ProcessId(2), &profile).expect("spawns");
+        let mut got = vec![CheckResult::KILLED; stream.len()];
+        for (chunk, slots) in stream.chunks(batch).zip(got.chunks_mut(batch)) {
+            process.syscall_batch(chunk, slots);
+        }
+        assert_eq!(got, expected, "batch={batch}");
+        assert_eq!(process.stats(), oracle.stats(), "batch={batch}");
+        assert!(!process.is_alive(), "batch={batch}");
+    }
+}
+
+/// The multithreaded flavor of the batch statement: N threads batching
+/// **disjoint slices** through one shared process return, per event,
+/// exactly the action the single-threaded oracle returns. Only
+/// decisions are compared — hit placement is scheduling-dependent.
+#[test]
+fn shared_batched_threads_agree_with_the_single_thread_oracle() {
+    use draco::core::{CheckResult, DracoProcess, ProcessId, SharedDracoProcess};
+    use draco::workloads::{catalog, TraceGenerator};
+
+    let spec = catalog::by_name("nginx").expect("nginx is in the catalog");
+    let observed: Vec<SyscallRequest> = TraceGenerator::new(&spec, 11)
+        .generate(300)
+        .requests()
+        .collect();
+    let stream: Vec<SyscallRequest> = TraceGenerator::new(&spec, 99)
+        .generate(2_000)
+        .requests()
+        .collect();
+    let profile = profile_from(&observed, ProfileKind::SyscallComplete);
+
+    let mut oracle = DracoProcess::spawn(ProcessId(1), &profile).expect("oracle spawns");
+    let expected: Vec<_> = stream
+        .iter()
+        .map(|req| oracle.checker_mut().check(req).action)
+        .collect();
+
+    const THREADS: usize = 4;
+    const BATCH: usize = 23; // deliberately misaligned with the slice length
+    let process = SharedDracoProcess::spawn(ProcessId(2), &profile).expect("shared spawns");
+    let slice_len = stream.len().div_ceil(THREADS);
+    let decisions: Vec<Vec<(usize, draco::bpf::SeccompAction)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = stream
+            .chunks(slice_len)
+            .enumerate()
+            .map(|(t, slice)| {
+                let mut handle = process.spawn_thread();
+                s.spawn(move || {
+                    let mut out = vec![CheckResult::KILLED; slice.len()];
+                    for (chunk, slots) in slice.chunks(BATCH).zip(out.chunks_mut(BATCH)) {
+                        handle.check_batch(chunk, slots);
+                    }
+                    out.iter()
+                        .enumerate()
+                        .map(|(i, result)| (t * slice_len + i, result.action))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut compared = 0usize;
+    for (index, action) in decisions.into_iter().flatten() {
+        assert_eq!(
+            action, expected[index],
+            "event {index} ({}) diverged from the oracle",
+            stream[index]
+        );
+        compared += 1;
+    }
+    assert_eq!(compared, stream.len(), "every event was compared");
+    let shared_stats = process.stats();
+    assert_eq!(shared_stats.total(), stream.len() as u64);
 }
 
 #[test]
