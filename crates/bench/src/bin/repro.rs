@@ -216,6 +216,38 @@ fn run_throughput_cmd(args: &[String]) {
             b.batch
         );
     }
+    if let Some(d) = &report.dag {
+        println!();
+        println!(
+            "Filter engines, deny-heavy stream — {} checks, {:.1}% denied (no cache in front)",
+            d.checks,
+            d.deny_rate * 100.0
+        );
+        println!(
+            "{:<18} {:>14} {:>12}",
+            "engine", "checks/sec", "vs interp"
+        );
+        println!("{:<18} {:>14.0} {:>11.2}x", "interp", d.interp_checks_per_sec, 1.0);
+        println!(
+            "{:<18} {:>14.0} {:>11.2}x",
+            "compiled",
+            d.compiled_checks_per_sec,
+            if d.interp_checks_per_sec > 0.0 {
+                d.compiled_checks_per_sec / d.interp_checks_per_sec
+            } else {
+                0.0
+            }
+        );
+        println!(
+            "{:<18} {:>14.0} {:>11.2}x  ({} nodes, {}/{} entries closed)",
+            "dag",
+            d.dag_checks_per_sec,
+            d.speedup_vs_interp,
+            d.nodes,
+            d.closed_entries,
+            d.table_entries
+        );
+    }
     if !report.shared_threads.is_empty() {
         println!();
         println!(

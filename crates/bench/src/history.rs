@@ -63,6 +63,15 @@ pub struct HistoryEntry {
     /// the gated number so batching cannot mask a scalar regression).
     #[serde(default)]
     pub draco_batch_speedup_vs_scalar: f64,
+    /// Decision-DAG engine rate on the deny-heavy stream (schema v6
+    /// reports; zero for entries appended before the dag section
+    /// existed).
+    #[serde(default)]
+    pub draco_dag_checks_per_sec: f64,
+    /// DAG engine rate over the cBPF interpreter rate on the same
+    /// deny-heavy stream (recorded, not gated).
+    #[serde(default)]
+    pub draco_dag_speedup_vs_interp: f64,
 }
 
 impl HistoryEntry {
@@ -108,6 +117,16 @@ impl HistoryEntry {
                 .batch
                 .as_ref()
                 .map(|b| b.speedup_vs_scalar_single)
+                .unwrap_or(0.0),
+            draco_dag_checks_per_sec: report
+                .dag
+                .as_ref()
+                .map(|d| d.dag_checks_per_sec)
+                .unwrap_or(0.0),
+            draco_dag_speedup_vs_interp: report
+                .dag
+                .as_ref()
+                .map(|d| d.speedup_vs_interp)
                 .unwrap_or(0.0),
         }
     }
@@ -464,6 +483,27 @@ mod tests {
         let old: HistoryEntry = serde_json::from_str(&format!("{}}}", &json[..cut])).unwrap();
         assert_eq!(old.draco_batch_single_checks_per_sec, 0.0);
         assert_eq!(old.draco_batch_speedup_vs_scalar, 0.0);
+    }
+
+    #[test]
+    fn entry_carries_dag_rates_and_tolerates_their_absence() {
+        let report = tiny_report();
+        let entry = HistoryEntry::from_report(&report);
+        assert!(
+            entry.draco_dag_checks_per_sec > 0.0,
+            "v6 reports populate the dag rate"
+        );
+        assert!(entry.draco_dag_speedup_vs_interp > 0.0);
+        // Entries appended before schema v6 lack the dag keys; truncating
+        // the serialized line at the first of them yields a faithful
+        // pre-v6 entry.
+        let json = serde_json::to_string(&entry).unwrap();
+        let cut = json
+            .find(",\"draco_dag_checks_per_sec\"")
+            .expect("dag keys serialize");
+        let old: HistoryEntry = serde_json::from_str(&format!("{}}}", &json[..cut])).unwrap();
+        assert_eq!(old.draco_dag_checks_per_sec, 0.0);
+        assert_eq!(old.draco_dag_speedup_vs_interp, 0.0);
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! result as `BENCH_throughput.json` so throughput is tracked in-repo
 //! across changes to the hot path.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
+use draco::bpf::SeccompData;
 use draco::obs::{Histogram, MetricsRegistry, Span};
-use draco::profiles::ProfileKind;
+use draco::profiles::{compile_dag, compile_stacked, FilterLayout, ProfileKind};
 use draco::workloads::catalog;
+use draco::workloads::timing::profile_for_trace;
+use draco::workloads::TraceGenerator;
 use draco::workloads::replay::{
     replay_parallel, replay_parallel_traced, ReplayBackend, ReplayConfig, ReplayReport,
     TraceConfig,
@@ -22,9 +27,11 @@ use draco::workloads::WorkloadSpec;
 /// v2 added the `metrics` observability section; v3 added per-backend
 /// sampled check-latency histograms (`check_latency_ns`); v4 added the
 /// `shared_threads` section (thread-shared SPT/VAT scaling, paper §VI);
-/// v5 adds the `batch` section (the staged batched check path against
-/// the same-run scalar draco-sw rate).
-pub const SCHEMA: &str = "draco-throughput/v5";
+/// v5 added the `batch` section (the staged batched check path against
+/// the same-run scalar draco-sw rate); v6 adds the `draco-dag` backend
+/// to the standard comparison set and the `dag` section (filter-engine
+/// rates on a deny-heavy, cache-defeating stream).
+pub const SCHEMA: &str = "draco-throughput/v6";
 
 /// Harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -188,6 +195,44 @@ pub struct BatchThroughput {
     pub miss_dedup_hits: u64,
 }
 
+/// The specializing-compiler measurement (schema v6): raw filter-engine
+/// rates on a **deny-heavy** stream — the workload's trace with every
+/// argument value perturbed outside the recorded whitelists, so each
+/// check would miss the VAT and fall through to the filter engine. This
+/// is the regime the decision DAG targets: the cached fast path never
+/// absorbs the check, and the engine itself is the whole cost.
+///
+/// All three engines are driven directly (no SPT/VAT in front), over the
+/// identical stream, in the same process — so the speedups compare
+/// engines, not runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DagThroughput {
+    /// Checks per engine in the measured pass.
+    pub checks: u64,
+    /// Fraction of checks denied (deterministic; near 1.0 for
+    /// argument-checking profiles — the stream is built to miss).
+    pub deny_rate: f64,
+    /// cBPF reference interpreter checks/second.
+    pub interp_checks_per_sec: f64,
+    /// Pre-decoded cBPF executor checks/second.
+    pub compiled_checks_per_sec: f64,
+    /// Decision-DAG checks/second.
+    pub dag_checks_per_sec: f64,
+    /// DAG rate over the interpreter rate (the headline number; the
+    /// acceptance floor is 2×).
+    pub speedup_vs_interp: f64,
+    /// DAG rate over the pre-decoded executor rate.
+    pub speedup_vs_compiled: f64,
+    /// Total DAG nodes across the profile's filter chunks.
+    pub nodes: u64,
+    /// Fallback leaves (paths the specializer could not close).
+    pub fallback_nodes: u64,
+    /// Dispatch-table entries (distinct specialized syscall numbers).
+    pub table_entries: u64,
+    /// Table entries whose subgraph is fallback-free.
+    pub closed_entries: u64,
+}
+
 /// The full report `repro throughput` prints and writes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -219,6 +264,10 @@ pub struct ThroughputReport {
     /// reports (and omitted from the JSON entirely when absent).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub batch: Option<BatchThroughput>,
+    /// Deny-heavy filter-engine comparison. `None` when parsing pre-v6
+    /// reports (and omitted from the JSON entirely when absent).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dag: Option<DagThroughput>,
 }
 
 impl ThroughputReport {
@@ -365,6 +414,7 @@ fn run_throughput_inner(
         .collect();
     let shared_threads = run_shared_section(&spec, cfg);
     let batch = run_batch_section(&spec, cfg, &base, &multi_cfg, &backends, &mut metrics);
+    let dag = run_dag_section(&spec, cfg);
     let report = ThroughputReport {
         schema: SCHEMA.to_owned(),
         workload: cfg.workload.clone(),
@@ -376,8 +426,106 @@ fn run_throughput_inner(
         metrics,
         shared_threads,
         batch: Some(batch),
+        dag: Some(dag),
     };
     (report, spans)
+}
+
+/// The dag section (schema v6): every filter engine timed over a
+/// deny-heavy stream built by perturbing the trace's argument values
+/// outside the whitelists the profile recorded from that same trace.
+///
+/// # Panics
+///
+/// Panics if the engines ever disagree on a verdict — the differential
+/// suites prove they cannot, so a disagreement here is a harness bug.
+fn run_dag_section(spec: &WorkloadSpec, cfg: &ThroughputConfig) -> DagThroughput {
+    let trace = TraceGenerator::new(spec, cfg.seed).generate(cfg.ops_per_shard);
+    let profile = profile_for_trace(&trace, ProfileKind::SyscallComplete);
+    // Linear layout, matching the seccomp replay backends (and real
+    // kernel filters — the binary-tree layout is the §XII libseccomp
+    // optimization the `repro ablate-opt` study covers separately).
+    let interp = compile_stacked(&profile, FilterLayout::Linear)
+        .expect("generated profiles always compile");
+    let compiled = interp.compiled();
+    let dag = compile_dag(&profile).expect("generated profiles always compile");
+    // Perturb every argument outside the recorded whitelists: XOR with a
+    // constant no recorded value uses, so argument-checked syscalls are
+    // denied and nothing upstream could have cached the pair.
+    let stream: Vec<SeccompData> = trace
+        .requests()
+        .map(|req| {
+            let mut args = [0u64; 6];
+            for (i, slot) in args.iter_mut().enumerate() {
+                *slot = req.args.get(i) ^ 0xdead_0000_0000;
+            }
+            SeccompData::for_syscall(i32::from(req.id.as_u16()), &args)
+        })
+        .collect();
+    let warm = cfg.warmup_ops.min(stream.len());
+    let time_engine = |run: &mut dyn FnMut(&SeccompData) -> bool| -> (f64, u64) {
+        for data in &stream[..warm] {
+            std::hint::black_box(run(data));
+        }
+        let mut denied = 0u64;
+        let start = Instant::now();
+        for data in &stream {
+            if !run(data) {
+                denied += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            stream.len() as f64 / elapsed
+        } else {
+            0.0
+        };
+        (finite_or_zero(rate), denied)
+    };
+    let (interp_rate, interp_denied) = time_engine(&mut |data| {
+        interp
+            .run(data)
+            .expect("generated filters cannot fault")
+            .action
+            .permits()
+    });
+    let (compiled_rate, compiled_denied) = time_engine(&mut |data| {
+        compiled
+            .run(data)
+            .expect("generated filters cannot fault")
+            .action
+            .permits()
+    });
+    let (dag_rate, dag_denied) = time_engine(&mut |data| {
+        dag.run(data)
+            .expect("generated filters cannot fault")
+            .action
+            .permits()
+    });
+    assert_eq!(interp_denied, compiled_denied, "engines must agree");
+    assert_eq!(interp_denied, dag_denied, "engines must agree");
+    let stats = dag.stats();
+    DagThroughput {
+        checks: stream.len() as u64,
+        deny_rate: finite_or_zero(interp_denied as f64 / stream.len() as f64),
+        interp_checks_per_sec: interp_rate,
+        compiled_checks_per_sec: compiled_rate,
+        dag_checks_per_sec: dag_rate,
+        speedup_vs_interp: if interp_rate > 0.0 {
+            finite_or_zero(dag_rate / interp_rate)
+        } else {
+            0.0
+        },
+        speedup_vs_compiled: if compiled_rate > 0.0 {
+            finite_or_zero(dag_rate / compiled_rate)
+        } else {
+            0.0
+        },
+        nodes: stats.nodes as u64,
+        fallback_nodes: stats.fallback as u64,
+        table_entries: stats.table_entries as u64,
+        closed_entries: stats.closed_entries as u64,
+    }
 }
 
 /// The batch section (schema v5): one single-shard and one multi-shard
@@ -443,7 +591,7 @@ mod tests {
     fn report_shape() {
         let report = run_throughput(&tiny());
         assert_eq!(report.schema, SCHEMA);
-        assert_eq!(report.backends.len(), 3);
+        assert_eq!(report.backends.len(), 4);
         for b in &report.backends {
             assert_eq!(b.shard_checks, vec![300, 300]);
             assert!(b.single_thread_checks_per_sec > 0.0);
@@ -485,6 +633,22 @@ mod tests {
         assert_eq!(batch.cache_hit_rate, draco.cache_hit_rate);
         assert!(batch.batches > 0);
         assert!(batch.prefetch_issued > 0);
+        // v6: the draco-dag backend joins the standard set and agrees
+        // with draco-sw on every deterministic counter.
+        let dag_backend = report.backend("draco-dag").expect("draco-dag present");
+        assert_eq!(dag_backend.shard_allowed, draco.shard_allowed);
+        assert_eq!(dag_backend.cache_hit_rate, draco.cache_hit_rate);
+        // v6: the dag section measures raw engines on a deny-heavy
+        // stream — no cache in front, so denials dominate.
+        let dag = report.dag.as_ref().expect("v6 reports carry dag");
+        assert_eq!(dag.checks, 300);
+        assert!(dag.deny_rate > 0.5, "stream built to miss: {}", dag.deny_rate);
+        assert!(dag.interp_checks_per_sec > 0.0);
+        assert!(dag.compiled_checks_per_sec > 0.0);
+        assert!(dag.dag_checks_per_sec > 0.0);
+        assert!(dag.table_entries > 0);
+        assert!(dag.closed_entries > 0, "specializer closed some syscalls");
+        assert!(dag.nodes > dag.fallback_nodes);
     }
 
     #[test]
@@ -495,7 +659,7 @@ mod tests {
         };
         let (report, spans) = run_throughput_traced(&tiny(), &trace);
         assert_eq!(report.schema, SCHEMA);
-        assert_eq!(report.backends.len(), 3);
+        assert_eq!(report.backends.len(), 4);
         assert!(!spans.is_empty(), "draco-sw multi run produced spans");
         // Spans come from the multi-thread run: both shards appear.
         let shards: std::collections::BTreeSet<u32> =
@@ -538,6 +702,28 @@ mod tests {
     }
 
     #[test]
+    fn pre_v6_reports_without_dag_section_still_parse() {
+        let report = run_throughput(&tiny());
+        let mut json = serde_json::to_string(&report).expect("serializes");
+        json = json.replace("\"dag\":", "\"renamed_away\":");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        assert!(back.dag.is_none(), "defaulted");
+    }
+
+    #[test]
+    fn dag_section_deterministic_fields_are_stable() {
+        let a = run_throughput(&tiny());
+        let b = run_throughput(&tiny());
+        let (x, y) = (a.dag.unwrap(), b.dag.unwrap());
+        assert_eq!(x.checks, y.checks);
+        assert_eq!(x.deny_rate, y.deny_rate);
+        assert_eq!(x.nodes, y.nodes);
+        assert_eq!(x.fallback_nodes, y.fallback_nodes);
+        assert_eq!(x.table_entries, y.table_entries);
+        assert_eq!(x.closed_entries, y.closed_entries);
+    }
+
+    #[test]
     fn json_round_trip_preserves_deterministic_fields() {
         let report = run_throughput(&tiny());
         let json = serde_json::to_string_pretty(&report).expect("serializes");
@@ -561,10 +747,11 @@ mod tests {
     fn metrics_section_is_populated() {
         let report = run_throughput(&tiny());
         let m = &report.metrics;
-        // replay covers the three standard backends' multi-thread runs
-        // plus the batch backend's.
-        assert_eq!(m.replay.checks, 4 * 2 * 300);
-        assert_eq!(m.replay.shards, 4 * 2);
+        // replay covers the four standard backends' multi-thread runs
+        // plus the batch backend's (the dag *section* drives raw engines
+        // outside the replay harness and feeds no registry).
+        assert_eq!(m.replay.checks, 5 * 2 * 300);
+        assert_eq!(m.replay.shards, 5 * 2);
         // checker/cuckoo come from the Draco shards.
         assert!(m.checker.total() > 0);
         assert!(m.checker.vat_hits > 0);
@@ -605,6 +792,7 @@ mod tests {
             metrics: MetricsRegistry::default(),
             shared_threads: Vec::new(),
             batch: None,
+            dag: None,
         };
         let json = serde_json::to_string(&report).expect("serializes");
         assert!(!json.contains("null"), "no non-finite rate leaked: {json}");

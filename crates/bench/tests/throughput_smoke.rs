@@ -28,13 +28,18 @@ fn quick_run_emits_schema_valid_json() {
     assert_eq!(report.schema, draco_bench::throughput::SCHEMA);
     assert_eq!(report.shards, 2);
     assert_eq!(report.seed, 11);
-    assert_eq!(report.backends.len(), 3);
+    assert_eq!(report.backends.len(), 4);
     for backend in &report.backends {
         assert_eq!(backend.shard_checks.len(), 2);
         assert!(backend.single_thread_checks_per_sec > 0.0);
         assert!(backend.multi_thread_checks_per_sec > 0.0);
     }
     assert!(report.backend("draco-sw").unwrap().cache_hit_rate > 0.5);
+    assert_eq!(
+        report.backend("draco-dag").unwrap().shard_allowed,
+        report.backend("draco-sw").unwrap().shard_allowed,
+        "dag-backed checker decisions must match the compiled-backed ones"
+    );
 
     // The batch section rode along with real numbers and the same
     // deterministic per-shard tallies as the scalar draco-sw replay.
@@ -50,6 +55,17 @@ fn quick_run_emits_schema_valid_json() {
         report.backend("draco-sw").unwrap().shard_allowed,
         "batched decisions must match the scalar replay"
     );
+
+    // The dag section rode along: a deny-heavy stream with all three
+    // filter engines timed over it.
+    let dag = report.dag.as_ref().expect("v6 reports carry a dag section");
+    assert!(dag.checks > 0);
+    assert!(dag.deny_rate > 0.5, "stream built to miss: {}", dag.deny_rate);
+    assert!(dag.interp_checks_per_sec > 0.0);
+    assert!(dag.compiled_checks_per_sec > 0.0);
+    assert!(dag.dag_checks_per_sec > 0.0);
+    assert!(dag.speedup_vs_interp > 0.0);
+    assert!(dag.table_entries > 0 && dag.closed_entries > 0);
 
     // The file mirrors stdout and survives a serde round-trip.
     let on_disk = std::fs::read_to_string(&out).expect("report written");

@@ -228,7 +228,7 @@ pub struct ResolvedBranch {
 /// Per-byte-lane taint: which `seccomp_data` bytes each byte of a 32-bit
 /// value can depend on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Taint([ByteSet; 4]);
+pub(crate) struct Taint([ByteSet; 4]);
 
 impl Taint {
     const NONE: Taint = Taint([0; 4]);
@@ -276,22 +276,25 @@ impl Taint {
 }
 
 /// The reduced interval × known-bits × taint abstract value.
+///
+/// Crate-visible so the specializing DAG compiler ([`crate::dag`]) can
+/// drive branch decisions through the same domain the verdicts use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct AbsVal {
-    lo: u32,
-    hi: u32,
+pub(crate) struct AbsVal {
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
     /// Bits whose value is the same for every input reaching this point.
-    kmask: u32,
+    pub(crate) kmask: u32,
     /// Their values (`kval & !kmask == 0`).
-    kval: u32,
-    taint: Taint,
+    pub(crate) kval: u32,
+    pub(crate) taint: Taint,
     /// `Some(off)`: the value is exactly the `seccomp_data` word at
     /// `off` (used by the syscall-number lint).
-    field: Option<u32>,
+    pub(crate) field: Option<u32>,
 }
 
 impl AbsVal {
-    const fn constant(v: u32) -> AbsVal {
+    pub(crate) const fn constant(v: u32) -> AbsVal {
         AbsVal {
             lo: v,
             hi: v,
@@ -302,7 +305,7 @@ impl AbsVal {
         }
     }
 
-    fn top() -> AbsVal {
+    pub(crate) fn top() -> AbsVal {
         AbsVal {
             lo: 0,
             hi: u32::MAX,
@@ -315,7 +318,7 @@ impl AbsVal {
 
     /// An unknown `seccomp_data` word: each result byte is tainted by
     /// the corresponding input byte.
-    fn load(off: u32) -> AbsVal {
+    pub(crate) fn load(off: u32) -> AbsVal {
         let mut t = [0; 4];
         for (lane, slot) in t.iter_mut().enumerate() {
             *slot = 1u64 << (off as usize + lane);
@@ -327,7 +330,7 @@ impl AbsVal {
         }
     }
 
-    const fn is_const(&self) -> bool {
+    pub(crate) const fn is_const(&self) -> bool {
         self.lo == self.hi
     }
 
@@ -394,7 +397,7 @@ fn bit_len(v: u32) -> u32 {
 
 /// Abstract transfer for `a <op> rhs` (both operands abstract; constant
 /// operands arrive as singleton values).
-fn alu_transfer(op: AluOp, a: &AbsVal, rhs: &AbsVal) -> AbsVal {
+pub(crate) fn alu_transfer(op: AluOp, a: &AbsVal, rhs: &AbsVal) -> AbsVal {
     // Constant folding falls out of the per-op cases below, but the
     // fully-known fast path keeps taint exactly empty.
     if a.is_const() && rhs.is_const() && !matches!(op, AluOp::Div if rhs.lo == 0) {
@@ -471,8 +474,10 @@ fn alu_transfer(op: AluOp, a: &AbsVal, rhs: &AbsVal) -> AbsVal {
         }
         AluOp::Lsh => {
             if rhs.is_const() {
-                // Constant shifts < 32 are enforced by the validator.
-                let k = rhs.lo;
+                // Immediate shifts < 32 are enforced by the validator;
+                // a constant-valued X register is not, and the VM masks
+                // it mod 32 (`wrapping_shl`).
+                let k = rhs.lo & 31;
                 out.kmask = (a.kmask << k) | ((1u32 << k) - 1);
                 out.kval = a.kval << k;
                 if a.hi <= u32::MAX >> k {
@@ -494,7 +499,7 @@ fn alu_transfer(op: AluOp, a: &AbsVal, rhs: &AbsVal) -> AbsVal {
         }
         AluOp::Rsh => {
             if rhs.is_const() {
-                let k = rhs.lo;
+                let k = rhs.lo & 31;
                 out.kmask = (a.kmask >> k) | !(u32::MAX >> k);
                 out.kval = a.kval >> k;
                 out.lo = a.lo >> k;
@@ -522,13 +527,13 @@ fn alu_transfer(op: AluOp, a: &AbsVal, rhs: &AbsVal) -> AbsVal {
 // ---------------------------------------------------------------------
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Tri {
+pub(crate) enum Tri {
     True,
     False,
     Maybe,
 }
 
-fn eval_cond(cond: Cond, a: &AbsVal, rhs: &AbsVal) -> Tri {
+pub(crate) fn eval_cond(cond: Cond, a: &AbsVal, rhs: &AbsVal) -> Tri {
     match cond {
         Cond::Jeq => {
             if a.is_const() && rhs.is_const() && a.lo == rhs.lo {
@@ -575,7 +580,7 @@ fn eval_cond(cond: Cond, a: &AbsVal, rhs: &AbsVal) -> Tri {
 /// Refines `a` along one edge of a conditional against a *constant* `k`.
 /// Returns `None` if the refinement is contradictory (the edge is dead
 /// even though plain evaluation could not decide the branch).
-fn refine(cond: Cond, a: &AbsVal, k: u32, taken: bool) -> Option<AbsVal> {
+pub(crate) fn refine(cond: Cond, a: &AbsVal, k: u32, taken: bool) -> Option<AbsVal> {
     let mut v = *a;
     match (cond, taken) {
         (Cond::Jeq, true) => {
@@ -1129,6 +1134,30 @@ mod tests {
 
     const ALLOW: u32 = 0x7fff_0000;
     const KILL: u32 = 0x8000_0000;
+
+    #[test]
+    fn oversized_constant_x_shift_matches_vm() {
+        // A constant X >= 32 reaches the shift transfer (the validator
+        // only caps immediate shifts); the VM masks it mod 32, and the
+        // abstract transfer used to panic on the raw shift instead.
+        for (op, x, a, want) in [
+            (AluOp::Lsh, 40u32, 3u32, 3u32 << 8),
+            (AluOp::Rsh, 33, 0x300, 0x300 >> 1),
+        ] {
+            let p = prog(vec![
+                Insn::LdxImm(x),
+                Insn::LdImm(a),
+                Insn::Alu(op, Src::X),
+                Insn::RetA,
+            ]);
+            let v = analyze_syscall(&p, 39);
+            assert_eq!(v.verdict, Verdict::AlwaysDeny(SeccompAction::decode(want)));
+            let out = Interpreter::new(&p)
+                .run(&SeccompData::for_syscall(39, &[0; 6]))
+                .unwrap();
+            assert_eq!(out.raw, want);
+        }
+    }
 
     #[test]
     fn constant_allow_is_always_allow() {

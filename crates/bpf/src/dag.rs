@@ -1,0 +1,1026 @@
+//! The specializing decision-DAG compiler (paper §XII, ROADMAP item 3).
+//!
+//! The software miss path pays full cBPF execution on every VAT miss.
+//! This module lowers a validated [`Program`] into a [`CompiledDag`]: a
+//! sorted dispatch table on the syscall number whose entries are
+//! straight-line mask/compare chains over `seccomp_data` words, derived
+//! by re-running the abstract domain of [`crate::analysis`] (interval ×
+//! known-bits × byte-taint) as a *specializer* instead of a classifier.
+//!
+//! # How specialization works
+//!
+//! For each syscall number in the dispatch table the compiler walks the
+//! program once with the number pinned to a constant. Every branch the
+//! abstract domain decides ([`analysis`]'s `eval_cond` returning a
+//! definite answer) is followed at compile time and disappears; every
+//! branch it cannot decide becomes a [`Cmp`] node *only if* the
+//! accumulator is provably `word(off) & mask` for some data word — a
+//! fact tracked by a small symbolic-expression domain riding along with
+//! the abstract value. Both arms are then specialized recursively under
+//! the branch refinement, so downstream comparisons that the refinement
+//! decides also vanish. `RetK` (and `RetA` with a constant accumulator)
+//! become deduplicated [`Ret`] leaves.
+//!
+//! A second, unpinned walk produces the *root* entry used for syscall
+//! numbers outside the table; there the number itself is a symbolic
+//! word, so the filter's own nr-dispatch tree (linear or binary) is
+//! reproduced as runtime compare nodes and the DAG remains total over
+//! every input.
+//!
+//! # Fallback rules
+//!
+//! Wherever specialization cannot close a path the node becomes
+//! [`Fallback`], which re-runs the full program in the pre-decoded VM
+//! ([`CompiledFilter`]) from instruction 0. This is sound because the
+//! program is deterministic: any input reaching that node would drive
+//! the concrete VM through exactly the decided prefix that led there,
+//! so a full re-run returns the same verdict. Fallback triggers on:
+//!
+//! * a conditional whose accumulator is not a (masked) data word and
+//!   not a constant — e.g. values mixed through arithmetic;
+//! * a conditional against the `X` register when `X` is not constant;
+//! * `RetA` with a non-constant accumulator;
+//! * a division whose divisor may be zero at run time (the re-run
+//!   reproduces the VM's [`BpfError::RuntimeDivisionByZero`] exactly);
+//! * compile-time budget exhaustion (step, depth, or node caps), which
+//!   degrades the *path* — or, for the node cap, the whole entry — to
+//!   fallback rather than failing.
+//!
+//! Because every leaf is `Ret` or `Fallback`, `CompiledDag::run` is
+//! total: it decides exactly like the interpreter on every input,
+//! including error outcomes.
+//!
+//! # Cost accounting
+//!
+//! [`Outcome::insns_executed`] from a DAG run counts *DAG nodes walked*
+//! (plus the VM's own count when a fallback re-runs the filter). A node
+//! is one pre-decoded load-mask-compare, so the unit is comparable to —
+//! but smaller than — one interpreted instruction; benchmark sections
+//! report the two engines side by side rather than mixing the units.
+//!
+//! # Example
+//!
+//! ```
+//! use draco_bpf::{CompiledDag, Insn, Interpreter, Program, SeccompData};
+//!
+//! // return the first argument word for syscall 7, else 0
+//! let prog = Program::new(vec![
+//!     Insn::LdAbs(SeccompData::OFF_NR),
+//!     Insn::Jmp { cond: draco_bpf::Cond::Jeq, src: draco_bpf::Src::K(7), jt: 0, jf: 2 },
+//!     Insn::LdAbs(SeccompData::off_arg_lo(0)),
+//!     Insn::RetA,
+//!     Insn::RetK(0),
+//! ])?;
+//! let dag = CompiledDag::compile(&prog, &[7]);
+//! let data = SeccompData::for_syscall(7, &[41, 0, 0, 0, 0, 0]);
+//! assert_eq!(dag.run(&data)?.raw, Interpreter::new(&prog).run(&data)?.raw);
+//! # Ok::<(), draco_bpf::BpfError>(())
+//! ```
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::analysis::{alu_transfer, eval_cond, refine, AbsVal, Tri};
+use crate::insn::{Insn, Src, MEMWORDS};
+use crate::vm::Outcome;
+use crate::{BpfError, CompiledFilter, Cond, Program, SeccompAction, SeccompData};
+
+/// Per-entry cap on emitted nodes; exceeding it degrades the entry to a
+/// single fallback node.
+const MAX_NODES_PER_ENTRY: usize = 4096;
+/// Per-entry cap on abstractly executed instructions across all paths;
+/// paths beyond it degrade to fallback nodes.
+const MAX_STEPS_PER_ENTRY: usize = 1 << 17;
+/// Cap on specializer recursion depth (one level per undecided branch).
+const MAX_DEPTH: usize = 1024;
+
+/// One pre-decoded decision node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DagOp {
+    /// Return this raw 32-bit filter value.
+    Ret(u32),
+    /// `if (word(off) & mask) <cond> k goto t else goto f`.
+    Cmp {
+        /// Byte offset of the `seccomp_data` word to load.
+        off: u32,
+        /// Mask applied to the loaded word before comparing.
+        mask: u32,
+        /// The comparison.
+        cond: Cond,
+        /// Right-hand constant.
+        k: u32,
+        /// Node index when the comparison holds.
+        t: u32,
+        /// Node index when it does not.
+        f: u32,
+    },
+    /// Re-run the full program in the pre-decoded VM.
+    Fallback,
+}
+
+/// A node plus the source-program pc it was specialized from
+/// (provenance, surfaced by [`CompiledDag::dump`]).
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    op: DagOp,
+    pc: u32,
+}
+
+/// Shape summary of a compiled DAG, for tooling and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DagStats {
+    /// Total nodes, including the shared fallback node 0.
+    pub nodes: usize,
+    /// Compare nodes.
+    pub cmp: usize,
+    /// Return leaves.
+    pub ret: usize,
+    /// Fallback leaves.
+    pub fallback: usize,
+    /// Dispatch-table entries (distinct pinned syscall numbers).
+    pub table_entries: usize,
+    /// Table entries whose reachable subgraph contains no fallback —
+    /// the specializer fully closed them.
+    pub closed_entries: usize,
+}
+
+impl fmt::Display for DagStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} cmp, {} ret, {} fallback), {}/{} table entries closed",
+            self.nodes, self.cmp, self.ret, self.fallback, self.closed_entries, self.table_entries
+        )
+    }
+}
+
+/// A filter lowered to a specialized decision DAG.
+///
+/// Compile once with [`CompiledDag::compile`], run many times with
+/// [`CompiledDag::run`]. Decisions (action, raw value, and errors) are
+/// exactly those of [`crate::Interpreter`] on every input; only the
+/// instruction-count unit differs (see the module docs).
+#[derive(Clone, Debug)]
+pub struct CompiledDag {
+    nodes: Vec<Node>,
+    /// Sorted `(nr-as-u32, entry node)` dispatch table.
+    table: Vec<(u32, u32)>,
+    /// Entry for syscall numbers outside the table.
+    root: u32,
+    vm: CompiledFilter,
+}
+
+impl CompiledDag {
+    /// Specializes `program` for the given syscall numbers.
+    ///
+    /// `nrs` are the numbers given dedicated dispatch-table entries
+    /// (duplicates are removed); any other number routes through the
+    /// unpinned root entry. Compilation always succeeds — paths the
+    /// specializer cannot close become VM-fallback nodes.
+    pub fn compile(program: &Program, nrs: &[u32]) -> CompiledDag {
+        // Node 0 is the shared "whole entry degraded" fallback.
+        let mut nodes = vec![Node {
+            op: DagOp::Fallback,
+            pc: 0,
+        }];
+        let root = build_entry(program, None, &mut nodes).unwrap_or(0);
+        let mut sorted: Vec<u32> = nrs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let table: Vec<(u32, u32)> = sorted
+            .into_iter()
+            .map(|nr| {
+                let entry = build_entry(program, Some(nr), &mut nodes).unwrap_or(0);
+                (nr, entry)
+            })
+            .collect();
+        CompiledDag {
+            nodes,
+            table,
+            root,
+            vm: CompiledFilter::compile(program),
+        }
+    }
+
+    /// Runs the DAG against one `seccomp_data` snapshot.
+    ///
+    /// `insns_executed` in the outcome counts DAG nodes walked, plus
+    /// the VM's instruction count if a fallback re-ran the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BpfError::RuntimeDivisionByZero`] exactly when the
+    /// interpreter would (such paths always route through fallback).
+    pub fn run(&self, data: &SeccompData) -> Result<Outcome, BpfError> {
+        let nr_word = data
+            .load_word(SeccompData::OFF_NR)
+            .expect("nr offset is always in bounds");
+        let mut idx = match self.table.binary_search_by_key(&nr_word, |&(nr, _)| nr) {
+            Ok(i) => self.table[i].1,
+            Err(_) => self.root,
+        };
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            match self.nodes[idx as usize].op {
+                DagOp::Ret(raw) => {
+                    return Ok(Outcome {
+                        action: SeccompAction::decode(raw),
+                        raw,
+                        insns_executed: steps,
+                    })
+                }
+                DagOp::Cmp {
+                    off,
+                    mask,
+                    cond,
+                    k,
+                    t,
+                    f,
+                } => {
+                    let w = data.load_word(off).expect("compare offsets are validated") & mask;
+                    let taken = match cond {
+                        Cond::Jeq => w == k,
+                        Cond::Jgt => w > k,
+                        Cond::Jge => w >= k,
+                        Cond::Jset => w & k != 0,
+                    };
+                    idx = if taken { t } else { f };
+                }
+                DagOp::Fallback => {
+                    let out = self.vm.run(data)?;
+                    return Ok(Outcome {
+                        insns_executed: steps + out.insns_executed,
+                        ..out
+                    });
+                }
+            }
+        }
+    }
+
+    /// Shape summary (node kinds, closed-entry count).
+    pub fn stats(&self) -> DagStats {
+        let mut s = DagStats {
+            nodes: self.nodes.len(),
+            table_entries: self.table.len(),
+            ..DagStats::default()
+        };
+        for n in &self.nodes {
+            match n.op {
+                DagOp::Ret(_) => s.ret += 1,
+                DagOp::Cmp { .. } => s.cmp += 1,
+                DagOp::Fallback => s.fallback += 1,
+            }
+        }
+        s.closed_entries = self
+            .table
+            .iter()
+            .filter(|&&(_, entry)| self.entry_is_closed(entry))
+            .count();
+        s
+    }
+
+    /// True if no fallback node is reachable from the entry serving
+    /// `nr` — every input with that number decides inside the DAG.
+    pub fn is_closed_for(&self, nr: u32) -> bool {
+        let entry = match self.table.binary_search_by_key(&nr, |&(n, _)| n) {
+            Ok(i) => self.table[i].1,
+            Err(_) => self.root,
+        };
+        self.entry_is_closed(entry)
+    }
+
+    fn entry_is_closed(&self, entry: u32) -> bool {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![entry];
+        while let Some(i) = stack.pop() {
+            if core::mem::replace(&mut seen[i as usize], true) {
+                continue;
+            }
+            match self.nodes[i as usize].op {
+                DagOp::Fallback => return false,
+                DagOp::Ret(_) => {}
+                DagOp::Cmp { t, f, .. } => {
+                    stack.push(t);
+                    stack.push(f);
+                }
+            }
+        }
+        true
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the DAG holds only the shared fallback node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Human-readable listing: the dispatch table, then every node with
+    /// its source-pc provenance (`[pc N]` — the program counter the
+    /// specializer was at when it emitted the node).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "dag: {}", self.stats());
+        let _ = writeln!(out, "root -> n{}", self.root);
+        for &(nr, entry) in &self.table {
+            let _ = writeln!(out, "nr {nr} -> n{entry}");
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.op {
+                DagOp::Ret(raw) => {
+                    let _ = writeln!(
+                        out,
+                        "n{i}: ret {} (0x{raw:08x}) [pc {}]",
+                        SeccompAction::decode(raw),
+                        n.pc
+                    );
+                }
+                DagOp::Cmp {
+                    off,
+                    mask,
+                    cond,
+                    k,
+                    t,
+                    f,
+                } => {
+                    let lhs = if mask == u32::MAX {
+                        format!("data[{off}]")
+                    } else {
+                        format!("data[{off}] & 0x{mask:08x}")
+                    };
+                    let op = match cond {
+                        Cond::Jeq => "==",
+                        Cond::Jgt => ">",
+                        Cond::Jge => ">=",
+                        Cond::Jset => "&",
+                    };
+                    let _ = writeln!(out, "n{i}: if {lhs} {op} 0x{k:08x} -> n{t} else n{f} [pc {}]", n.pc);
+                }
+                DagOp::Fallback => {
+                    let _ = writeln!(out, "n{i}: fallback -> vm [pc {}]", n.pc);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Specializes one entry; `None` pins nothing (the root entry). Returns
+/// `None` only when the per-entry node budget is exhausted, in which
+/// case any partial nodes are rolled back.
+fn build_entry(program: &Program, pinned_nr: Option<u32>, nodes: &mut Vec<Node>) -> Option<u32> {
+    let start = nodes.len();
+    let node_budget = start + MAX_NODES_PER_ENTRY;
+    let mut b = Specializer {
+        insns: program.insns(),
+        pinned_nr,
+        nodes,
+        ret_cache: HashMap::new(),
+        fb_cache: HashMap::new(),
+        steps: 0,
+        node_budget,
+    };
+    match b.spec(0, SpecState::entry(), 0) {
+        Ok(idx) => Some(idx),
+        Err(Overflow) => {
+            nodes.truncate(start);
+            None
+        }
+    }
+}
+
+/// Node-budget exhaustion; degrades the entry wholesale.
+struct Overflow;
+
+/// What the specializer knows the accumulator (or `X`, or a scratch
+/// word) *is*, as a computation over the input — alongside the abstract
+/// value describing what it can *be*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expr {
+    /// Exactly the `seccomp_data` word at this byte offset.
+    Field(u32),
+    /// Exactly `word(off) & mask`.
+    Masked(u32, u32),
+    /// Some other computation (only usable if the abstract value is a
+    /// constant).
+    Opaque,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Val {
+    abs: AbsVal,
+    expr: Expr,
+}
+
+impl Val {
+    fn constant(v: u32) -> Val {
+        Val {
+            abs: AbsVal::constant(v),
+            expr: Expr::Opaque,
+        }
+    }
+
+    fn load(off: u32) -> Val {
+        Val {
+            abs: AbsVal::load(off),
+            expr: Expr::Field(off),
+        }
+    }
+
+    fn opaque_top() -> Val {
+        Val {
+            abs: AbsVal::top(),
+            expr: Expr::Opaque,
+        }
+    }
+
+    fn as_const(&self) -> Option<u32> {
+        self.abs.is_const().then_some(self.abs.lo)
+    }
+
+    /// `Some((off, mask))` if the runtime value is exactly
+    /// `word(off) & mask` (mask `u32::MAX` for a bare load).
+    fn as_word(&self) -> Option<(u32, u32)> {
+        match self.expr {
+            Expr::Field(off) => Some((off, u32::MAX)),
+            Expr::Masked(off, m) => Some((off, m)),
+            Expr::Opaque => None,
+        }
+    }
+}
+
+/// Registers plus lazily materialized scratch memory (all-zero until
+/// first store, mirroring the VM's initial state).
+#[derive(Clone, Debug)]
+struct SpecState {
+    a: Val,
+    x: Val,
+    mem: Option<Box<[Val; MEMWORDS]>>,
+}
+
+impl SpecState {
+    fn entry() -> SpecState {
+        SpecState {
+            a: Val::constant(0),
+            x: Val::constant(0),
+            mem: None,
+        }
+    }
+
+    fn mem_get(&self, i: usize) -> Val {
+        match &self.mem {
+            Some(slots) => slots[i],
+            None => Val::constant(0),
+        }
+    }
+
+    fn mem_set(&mut self, i: usize, v: Val) {
+        self.mem
+            .get_or_insert_with(|| Box::new([Val::constant(0); MEMWORDS]))[i] = v;
+    }
+}
+
+struct Specializer<'a> {
+    insns: &'a [Insn],
+    pinned_nr: Option<u32>,
+    nodes: &'a mut Vec<Node>,
+    /// Dedup of `Ret` leaves by raw value, per entry.
+    ret_cache: HashMap<u32, u32>,
+    /// Dedup of fallback nodes by source pc, per entry.
+    fb_cache: HashMap<u32, u32>,
+    steps: usize,
+    node_budget: usize,
+}
+
+impl Specializer<'_> {
+    fn push(&mut self, op: DagOp, pc: usize) -> Result<u32, Overflow> {
+        if self.nodes.len() >= self.node_budget {
+            return Err(Overflow);
+        }
+        self.nodes.push(Node { op, pc: pc as u32 });
+        Ok((self.nodes.len() - 1) as u32)
+    }
+
+    fn ret(&mut self, raw: u32, pc: usize) -> Result<u32, Overflow> {
+        if let Some(&idx) = self.ret_cache.get(&raw) {
+            return Ok(idx);
+        }
+        let idx = self.push(DagOp::Ret(raw), pc)?;
+        self.ret_cache.insert(raw, idx);
+        Ok(idx)
+    }
+
+    fn fallback(&mut self, pc: usize) -> Result<u32, Overflow> {
+        if let Some(&idx) = self.fb_cache.get(&(pc as u32)) {
+            return Ok(idx);
+        }
+        let idx = self.push(DagOp::Fallback, pc)?;
+        self.fb_cache.insert(pc as u32, idx);
+        Ok(idx)
+    }
+
+    /// Specializes from `pc` under `st`, returning the node deciding
+    /// every input that can reach this point.
+    fn spec(&mut self, mut pc: usize, mut st: SpecState, depth: usize) -> Result<u32, Overflow> {
+        if depth > MAX_DEPTH {
+            return self.fallback(pc);
+        }
+        loop {
+            self.steps += 1;
+            if self.steps > MAX_STEPS_PER_ENTRY {
+                return self.fallback(pc);
+            }
+            // Validation guarantees pc stays in bounds and terminates.
+            match self.insns[pc] {
+                Insn::LdAbs(off) => {
+                    st.a = match self.pinned_nr {
+                        Some(nr) if off == SeccompData::OFF_NR => Val::constant(nr),
+                        _ => Val::load(off),
+                    };
+                }
+                Insn::LdImm(k) => st.a = Val::constant(k),
+                Insn::LdMem(i) => st.a = st.mem_get(i as usize),
+                Insn::LdLen => st.a = Val::constant(crate::SECCOMP_DATA_SIZE),
+                Insn::LdxImm(k) => st.x = Val::constant(k),
+                Insn::LdxMem(i) => st.x = st.mem_get(i as usize),
+                Insn::LdxLen => st.x = Val::constant(crate::SECCOMP_DATA_SIZE),
+                Insn::St(i) => st.mem_set(i as usize, st.a),
+                Insn::Stx(i) => st.mem_set(i as usize, st.x),
+                Insn::Alu(op, src) => {
+                    let rhs = match src {
+                        Src::K(k) => Val::constant(k),
+                        Src::X => st.x,
+                    };
+                    // A divisor that may be zero at run time faults in
+                    // the VM; reproduce by re-running it.
+                    if matches!(op, crate::AluOp::Div) && rhs.abs.lo == 0 {
+                        return self.fallback(pc);
+                    }
+                    let abs = alu_transfer(op, &st.a.abs, &rhs.abs);
+                    let expr = if abs.is_const() {
+                        Expr::Opaque
+                    } else {
+                        and_expr(op, &st.a, &rhs)
+                    };
+                    st.a = Val { abs, expr };
+                }
+                Insn::Neg => {
+                    st.a = match st.a.as_const() {
+                        Some(v) => Val::constant(v.wrapping_neg()),
+                        None => Val::opaque_top(),
+                    };
+                }
+                Insn::Ja(off) => {
+                    pc += 1 + off as usize;
+                    continue;
+                }
+                Insn::Jmp { cond, src, jt, jf } => {
+                    let k = match src {
+                        Src::K(k) => k,
+                        // A runtime-varying X operand is outside the
+                        // compare-node language.
+                        Src::X => match st.x.as_const() {
+                            Some(v) => v,
+                            None => return self.fallback(pc),
+                        },
+                    };
+                    let rhs_abs = AbsVal::constant(k);
+                    match eval_cond(cond, &st.a.abs, &rhs_abs) {
+                        Tri::True => {
+                            pc += 1 + jt as usize;
+                            continue;
+                        }
+                        Tri::False => {
+                            pc += 1 + jf as usize;
+                            continue;
+                        }
+                        Tri::Maybe => {
+                            let Some((off, mask)) = st.a.as_word() else {
+                                return self.fallback(pc);
+                            };
+                            // Reserve the node before recursing so the
+                            // entry's node order follows discovery.
+                            let idx = self.push(
+                                DagOp::Cmp {
+                                    off,
+                                    mask,
+                                    cond,
+                                    k,
+                                    t: 0,
+                                    f: 0,
+                                },
+                                pc,
+                            )?;
+                            let t = match refine(cond, &st.a.abs, k, true) {
+                                Some(abs) => {
+                                    let mut s = st.clone();
+                                    s.a.abs = abs;
+                                    self.spec(pc + 1 + jt as usize, s, depth + 1)?
+                                }
+                                // Refinement proved the edge dead: no
+                                // input reaches it, any target is
+                                // sound.
+                                None => self.fallback(pc)?,
+                            };
+                            let f = match refine(cond, &st.a.abs, k, false) {
+                                Some(abs) => {
+                                    st.a.abs = abs;
+                                    self.spec(pc + 1 + jf as usize, st, depth + 1)?
+                                }
+                                None => self.fallback(pc)?,
+                            };
+                            if let DagOp::Cmp {
+                                t: ref mut slot_t,
+                                f: ref mut slot_f,
+                                ..
+                            } = self.nodes[idx as usize].op
+                            {
+                                *slot_t = t;
+                                *slot_f = f;
+                            }
+                            return Ok(idx);
+                        }
+                    }
+                }
+                Insn::RetK(k) => return self.ret(k, pc),
+                Insn::RetA => {
+                    return match st.a.as_const() {
+                        Some(v) => self.ret(v, pc),
+                        None => self.fallback(pc),
+                    }
+                }
+                Insn::Tax => st.x = st.a,
+                Insn::Txa => st.a = st.x,
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// Symbolic-expression transfer: only `AND` against a constant keeps a
+/// data word in the compare-node language.
+fn and_expr(op: crate::AluOp, a: &Val, rhs: &Val) -> Expr {
+    if !matches!(op, crate::AluOp::And) {
+        return Expr::Opaque;
+    }
+    let masked = |v: &Val, k: u32| match v.expr {
+        Expr::Field(off) => Expr::Masked(off, k),
+        Expr::Masked(off, m) => Expr::Masked(off, m & k),
+        Expr::Opaque => Expr::Opaque,
+    };
+    if let Some(k) = rhs.as_const() {
+        masked(a, k)
+    } else if let Some(k) = a.as_const() {
+        masked(rhs, k)
+    } else {
+        Expr::Opaque
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Interpreter};
+
+    fn whitelist_prog() -> Program {
+        // Paper Fig. 1: personality(0xffffffff) or personality(0x20008).
+        Program::new(vec![
+            Insn::LdAbs(SeccompData::OFF_NR),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(135),
+                jt: 0,
+                jf: 4,
+            },
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(0xffff_ffff),
+                jt: 1,
+                jf: 0,
+            },
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(0x0002_0008),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::RetK(SeccompAction::KillProcess.encode()),
+        ])
+        .unwrap()
+    }
+
+    fn assert_agrees(dag: &CompiledDag, prog: &Program, data: &SeccompData) {
+        let want = Interpreter::new(prog).run(data);
+        let got = dag.run(data);
+        match (want, got) {
+            (Ok(w), Ok(g)) => {
+                assert_eq!(w.action, g.action, "action for {data:?}");
+                assert_eq!(w.raw, g.raw, "raw for {data:?}");
+            }
+            (Err(w), Err(g)) => assert_eq!(w, g),
+            (w, g) => panic!("divergence for {data:?}: vm={w:?} dag={g:?}"),
+        }
+    }
+
+    #[test]
+    fn whitelist_decisions_match_interpreter() {
+        let prog = whitelist_prog();
+        let dag = CompiledDag::compile(&prog, &[135]);
+        for (nr, arg0) in [
+            (135i32, 0xffff_ffffu64),
+            (135, 0x20008),
+            (135, 1),
+            (1, 0),
+            (-1, 0),
+            (135, u64::MAX),
+        ] {
+            let data = SeccompData::for_syscall(nr, &[arg0, 0, 0, 0, 0, 0]);
+            assert_agrees(&dag, &prog, &data);
+        }
+    }
+
+    #[test]
+    fn pinned_entry_is_closed_and_small() {
+        let prog = whitelist_prog();
+        let dag = CompiledDag::compile(&prog, &[135]);
+        assert!(dag.is_closed_for(135), "pinned entry should close");
+        assert!(dag.is_closed_for(7), "root only compares nr + args");
+        let s = dag.stats();
+        assert_eq!(s.table_entries, 1);
+        assert_eq!(s.closed_entries, 1);
+        // Pinned chain: two arg compares + allow/kill leaves; root adds
+        // the nr compare. Everything fits well under a dozen nodes.
+        assert!(s.nodes <= 12, "{s}");
+        // The pinned run decides in two compares + leaf, far fewer
+        // steps than the interpreter's seven instructions.
+        let data = SeccompData::for_syscall(135, &[0x20008, 0, 0, 0, 0, 0]);
+        assert!(dag.run(&data).unwrap().insns_executed <= 3);
+    }
+
+    #[test]
+    fn errno_value_is_preserved() {
+        let prog = Program::new(vec![
+            Insn::LdAbs(SeccompData::OFF_NR),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(2),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Errno(38).encode()),
+            Insn::RetK(SeccompAction::Allow.encode()),
+        ])
+        .unwrap();
+        let dag = CompiledDag::compile(&prog, &[2]);
+        let out = dag.run(&SeccompData::for_syscall(2, &[0; 6])).unwrap();
+        assert_eq!(out.action, SeccompAction::Errno(38));
+    }
+
+    #[test]
+    fn masked_compares_specialize() {
+        // allow iff (arg1.lo & 0xff00) == 0x1200 — an AND chain the
+        // expression domain must keep in the compare language.
+        let prog = Program::new(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(1)),
+            Insn::Alu(AluOp::And, Src::K(0xff00)),
+            Insn::Jmp {
+                cond: Cond::Jeq,
+                src: Src::K(0x1200),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::RetK(SeccompAction::KillProcess.encode()),
+        ])
+        .unwrap();
+        let dag = CompiledDag::compile(&prog, &[0]);
+        assert!(dag.is_closed_for(0));
+        for arg1 in [0x1234u64, 0x5634, 0x1200, 0, u64::MAX] {
+            let data = SeccompData::for_syscall(0, &[0, arg1, 0, 0, 0, 0]);
+            assert_agrees(&dag, &prog, &data);
+        }
+    }
+
+    #[test]
+    fn non_const_reta_falls_back_exactly() {
+        let prog = Program::new(vec![Insn::LdAbs(SeccompData::OFF_NR), Insn::RetA]).unwrap();
+        let dag = CompiledDag::compile(&prog, &[7]);
+        assert!(!dag.is_closed_for(1234));
+        for nr in [0, 7, 1234, -1] {
+            assert_agrees(&dag, &prog, &SeccompData::for_syscall(nr, &[0; 6]));
+        }
+        // Pinned entry: nr is a constant, so RetA closes.
+        assert!(dag.is_closed_for(7));
+    }
+
+    #[test]
+    fn possible_division_fault_falls_back() {
+        let prog = Program::new(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            Insn::Tax,
+            Insn::LdImm(10),
+            Insn::Alu(AluOp::Div, Src::X),
+            Insn::RetA,
+        ])
+        .unwrap();
+        let dag = CompiledDag::compile(&prog, &[0]);
+        assert!(!dag.is_closed_for(0));
+        let faulting = SeccompData::for_syscall(0, &[0, 0, 0, 0, 0, 0]);
+        assert_eq!(dag.run(&faulting).unwrap_err(), BpfError::RuntimeDivisionByZero);
+        let fine = SeccompData::for_syscall(0, &[2, 0, 0, 0, 0, 0]);
+        assert_eq!(dag.run(&fine).unwrap().raw, 5);
+    }
+
+    #[test]
+    fn jumps_on_non_constant_x_fall_back_exactly() {
+        let prog = Program::new(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            Insn::Tax,
+            Insn::LdAbs(SeccompData::off_arg_lo(1)),
+            Insn::Jmp {
+                cond: Cond::Jgt,
+                src: Src::X,
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Allow.encode()),
+            Insn::RetK(SeccompAction::Errno(1).encode()),
+        ])
+        .unwrap();
+        let dag = CompiledDag::compile(&prog, &[0]);
+        for (a0, a1) in [(1u64, 2u64), (2, 1), (5, 5)] {
+            let data = SeccompData::for_syscall(0, &[a0, a1, 0, 0, 0, 0]);
+            assert_agrees(&dag, &prog, &data);
+        }
+    }
+
+    #[test]
+    fn ret_leaves_are_deduplicated() {
+        // Three paths to the same allow leaf inside one entry.
+        let prog = whitelist_prog();
+        let dag = CompiledDag::compile(&prog, &[]);
+        let rets = dag
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, DagOp::Ret(_)))
+            .count();
+        // allow + kill only, despite multiple source paths.
+        assert_eq!(rets, 2);
+    }
+
+    #[test]
+    fn dump_lists_table_and_provenance() {
+        let prog = whitelist_prog();
+        let dag = CompiledDag::compile(&prog, &[135]);
+        let text = dag.dump();
+        assert!(text.contains("nr 135 -> n"), "{text}");
+        assert!(text.contains("[pc "), "{text}");
+        assert!(text.contains("ret allow"), "{text}");
+        assert!(!dag.is_empty());
+        assert_eq!(dag.len(), dag.stats().nodes);
+    }
+
+    #[test]
+    fn scratch_memory_flows_through() {
+        let prog = Program::new(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(2)),
+            Insn::St(3),
+            Insn::LdImm(0),
+            Insn::LdMem(3),
+            Insn::Jmp {
+                cond: Cond::Jset,
+                src: Src::K(0x1),
+                jt: 0,
+                jf: 1,
+            },
+            Insn::RetK(SeccompAction::Errno(9).encode()),
+            Insn::RetK(SeccompAction::Allow.encode()),
+        ])
+        .unwrap();
+        let dag = CompiledDag::compile(&prog, &[0]);
+        assert!(dag.is_closed_for(0));
+        for arg2 in [0u64, 1, 2, 3] {
+            let data = SeccompData::for_syscall(0, &[0, 0, arg2, 0, 0, 0]);
+            assert_agrees(&dag, &prog, &data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{AluOp, Interpreter};
+    use proptest::prelude::*;
+
+    /// Strategy: random but *valid* programs (same shape as the
+    /// `CompiledFilter` equivalence suite).
+    fn arb_program(max_len: usize) -> impl Strategy<Value = Program> {
+        proptest::collection::vec(arb_body_insn(), 1..max_len).prop_map(|mut body| {
+            let len = body.len();
+            for (i, insn) in body.iter_mut().enumerate() {
+                let room = len - i;
+                match insn {
+                    Insn::Ja(off) => *off %= room as u32,
+                    Insn::Jmp { jt, jf, .. } => {
+                        *jt %= room.min(255) as u8;
+                        *jf %= room.min(255) as u8;
+                    }
+                    _ => {}
+                }
+            }
+            body.push(Insn::RetA);
+            Program::new(body).expect("constructed valid")
+        })
+    }
+
+    fn arb_body_insn() -> impl Strategy<Value = Insn> {
+        prop_oneof![
+            (0u32..16).prop_map(|w| Insn::LdAbs(w * 4)),
+            any::<u32>().prop_map(Insn::LdImm),
+            (0u32..16).prop_map(Insn::LdMem),
+            any::<u32>().prop_map(Insn::LdxImm),
+            (0u32..16).prop_map(Insn::LdxMem),
+            (0u32..16).prop_map(Insn::St),
+            (0u32..16).prop_map(Insn::Stx),
+            (arb_alu_op(), 1u32..1000).prop_map(|(op, k)| Insn::Alu(op, Src::K(k))),
+            (arb_shift_op(), 0u32..32).prop_map(|(op, k)| Insn::Alu(op, Src::K(k))),
+            arb_alu_op().prop_map(|op| Insn::Alu(op, Src::X)),
+            arb_shift_op().prop_map(|op| Insn::Alu(op, Src::X)),
+            Just(Insn::Neg),
+            Just(Insn::Tax),
+            Just(Insn::Txa),
+            (0u32..4).prop_map(Insn::Ja),
+            (arb_cond(), arb_src(), 0u8..4, 0u8..4).prop_map(|(cond, src, jt, jf)| {
+                Insn::Jmp { cond, src, jt, jf }
+            }),
+        ]
+    }
+
+    fn arb_src() -> impl Strategy<Value = Src> {
+        prop_oneof![any::<u32>().prop_map(Src::K), Just(Src::X)]
+    }
+
+    fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+        prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::Mul),
+            Just(AluOp::Div),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+        ]
+    }
+
+    /// Shift ops are separate: the validator caps constant shift
+    /// amounts at 31.
+    fn arb_shift_op() -> impl Strategy<Value = AluOp> {
+        prop_oneof![Just(AluOp::Lsh), Just(AluOp::Rsh)]
+    }
+
+    fn arb_cond() -> impl Strategy<Value = Cond> {
+        prop_oneof![
+            Just(Cond::Jeq),
+            Just(Cond::Jgt),
+            Just(Cond::Jge),
+            Just(Cond::Jset)
+        ]
+    }
+
+    proptest! {
+        /// Exact decision equality (action, raw value, and errors)
+        /// between the DAG — through both pinned table entries and the
+        /// symbolic root — and the interpreter, on arbitrary valid
+        /// programs and inputs.
+        #[test]
+        fn dag_equals_interpreter(
+            prog in arb_program(24),
+            nr in 0i32..512,
+            args in proptest::array::uniform6(any::<u64>()),
+        ) {
+            let data = SeccompData::for_syscall(nr, &args);
+            // Pin the exercised nr (table-entry path) plus two others
+            // that force the same input through the symbolic root.
+            let dag_pinned = CompiledDag::compile(&prog, &[nr as u32]);
+            let dag_root = CompiledDag::compile(&prog, &[]);
+            let want = Interpreter::new(&prog).run(&data);
+            for dag in [&dag_pinned, &dag_root] {
+                match (&want, dag.run(&data)) {
+                    (Ok(w), Ok(g)) => {
+                        prop_assert_eq!(w.action, g.action);
+                        prop_assert_eq!(w.raw, g.raw);
+                    }
+                    (Err(w), Err(g)) => prop_assert_eq!(w, &g),
+                    (w, g) => prop_assert!(false, "divergence: vm={:?} dag={:?}", w, g),
+                }
+            }
+        }
+    }
+}

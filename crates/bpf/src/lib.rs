@@ -14,6 +14,9 @@
 //! * [`CompiledFilter`] — a pre-decoded executor standing in for the
 //!   kernel's BPF JIT (2–3× faster than interpretation, paper §IV-A); the
 //!   substitution is documented in `DESIGN.md`;
+//! * [`CompiledDag`] — a specializing compiler that lowers a filter to
+//!   a per-syscall decision DAG of mask/compare nodes derived from the
+//!   analysis domain, with exact VM-fallback for paths it cannot close;
 //! * [`ProgramBuilder`] — a small assembler with labels, used by
 //!   `draco-profiles` to compile whitelists the way libseccomp does;
 //! * [`analysis`] — an abstract-interpretation pass that classifies the
@@ -49,6 +52,7 @@ pub mod analysis;
 mod action;
 mod asm;
 mod compiled;
+mod dag;
 mod data;
 pub mod disasm;
 mod opt;
@@ -60,6 +64,7 @@ pub use action::SeccompAction;
 pub use analysis::{analyze_syscall, lint_program, Lint, LintKind, Severity, SyscallVerdict, Verdict};
 pub use asm::{ProgramBuilder, FALLTHROUGH};
 pub use compiled::CompiledFilter;
+pub use dag::{CompiledDag, DagStats};
 pub use data::{SeccompData, AUDIT_ARCH_X86_64, SECCOMP_DATA_SIZE};
 pub use disasm::disasm;
 pub use insn::{AluOp, Cond, Insn, Program, Src, BPF_MAXINSNS};

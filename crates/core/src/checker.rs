@@ -9,8 +9,9 @@ use draco_obs::{
     Stage, TraceScope,
 };
 use draco_profiles::{
-    analyze_profile, compile_stacked, ArgPolicy, CompiledStack, FilterLayout, FilterStack,
-    MaskAgreement, ProfileAnalysis, ProfileSpec, StackOutcome, SyscallRule,
+    analyze_profile, compile_dag, compile_stacked, ArgPolicy, CompiledStack, DagStack,
+    FilterLayout, FilterStack, MaskAgreement, ProfileAnalysis, ProfileSpec, StackOutcome,
+    SyscallRule,
 };
 use draco_syscalls::{
     ArgBitmask, MaskedBytes, SyscallId, SyscallRequest, SyscallTable, MAX_ARGS,
@@ -34,14 +35,68 @@ pub enum FilterEngine {
     Interpreted(FilterStack),
     /// The pre-decoded executor (kernel with BPF JIT enabled).
     Compiled(CompiledStack),
+    /// The specializing decision DAG (`draco-bpf::dag`): per-syscall
+    /// mask/compare chains with exact VM fallback.
+    Dag(DagStack),
+}
+
+/// Selects a [`FilterEngine`] flavor at construction time
+/// ([`DracoChecker::from_profile_with_engine`] and the spawn variants
+/// on `DracoProcess` / `SharedDracoProcess`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Interpreted cBPF (kernel with BPF JIT disabled).
+    Interpreted,
+    /// Pre-decoded cBPF ops (kernel JIT model).
+    #[default]
+    Compiled,
+    /// Specialized decision DAG.
+    Dag,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Interpreted => write!(f, "interpreted"),
+            EngineKind::Compiled => write!(f, "compiled"),
+            EngineKind::Dag => write!(f, "dag"),
+        }
+    }
 }
 
 impl FilterEngine {
-    fn run(&self, data: &SeccompData) -> Result<StackOutcome, draco_bpf::BpfError> {
+    pub(crate) fn run(&self, data: &SeccompData) -> Result<StackOutcome, draco_bpf::BpfError> {
         match self {
             FilterEngine::Interpreted(stack) => stack.run(data),
             FilterEngine::Compiled(stack) => stack.run(data),
+            FilterEngine::Dag(stack) => stack.run(data),
         }
+    }
+
+    /// The flavor of this engine, preserved across policy swaps.
+    pub const fn kind(&self) -> EngineKind {
+        match self {
+            FilterEngine::Interpreted(_) => EngineKind::Interpreted,
+            FilterEngine::Compiled(_) => EngineKind::Compiled,
+            FilterEngine::Dag(_) => EngineKind::Dag,
+        }
+    }
+
+    /// Builds the engine of the given kind for a profile.
+    pub(crate) fn build(profile: &ProfileSpec, kind: EngineKind) -> Result<Self, DracoError> {
+        Ok(match kind {
+            EngineKind::Interpreted => FilterEngine::Interpreted(
+                compile_stacked(profile, FilterLayout::Linear).map_err(DracoError::FilterCompile)?,
+            ),
+            EngineKind::Compiled => FilterEngine::Compiled(
+                compile_stacked(profile, FilterLayout::Linear)
+                    .map_err(DracoError::FilterCompile)?
+                    .compiled(),
+            ),
+            EngineKind::Dag => {
+                FilterEngine::Dag(compile_dag(profile).map_err(DracoError::FilterCompile)?)
+            }
+        })
     }
 }
 
@@ -359,18 +414,37 @@ impl DracoChecker {
     ///
     /// Returns [`DracoError::FilterCompile`] if filter compilation fails.
     pub fn from_profile(profile: &ProfileSpec) -> Result<Self, DracoError> {
+        Self::from_profile_with_engine(profile, EngineKind::Compiled)
+    }
+
+    /// Builds a checker like [`DracoChecker::from_profile`], but with the
+    /// miss path running on the specialized decision DAG
+    /// ([`draco_bpf::CompiledDag`] per filter) instead of the cBPF
+    /// executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::FilterCompile`] if filter compilation fails.
+    pub fn from_profile_dag(profile: &ProfileSpec) -> Result<Self, DracoError> {
+        Self::from_profile_with_engine(profile, EngineKind::Dag)
+    }
+
+    /// Builds a checker for a profile with an explicit miss-path engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::FilterCompile`] if filter compilation fails.
+    pub fn from_profile_with_engine(
+        profile: &ProfileSpec,
+        kind: EngineKind,
+    ) -> Result<Self, DracoError> {
         let mode = if profile.checks_arguments() {
             CheckMode::IdAndArgs
         } else {
             CheckMode::IdOnly
         };
-        let stack =
-            compile_stacked(profile, FilterLayout::Linear).map_err(DracoError::FilterCompile)?;
-        Ok(Self::new(
-            profile.clone(),
-            FilterEngine::Compiled(stack.compiled()),
-            mode,
-        ))
+        let engine = FilterEngine::build(profile, kind)?;
+        Ok(Self::new(profile.clone(), engine, mode))
     }
 
     /// Builds a checker with explicit filter engine and mode.
@@ -405,10 +479,28 @@ impl DracoChecker {
     ///
     /// Returns [`DracoError::FilterCompile`] if filter compilation fails.
     pub fn from_profile_analyzed(profile: &ProfileSpec) -> Result<Self, DracoError> {
-        let mut checker = Self::from_profile(profile)?;
+        Self::from_profile_analyzed_with_engine(profile, EngineKind::Compiled)
+    }
+
+    /// Like [`DracoChecker::from_profile_analyzed`] with an explicit
+    /// miss-path engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::FilterCompile`] if filter compilation fails.
+    pub fn from_profile_analyzed_with_engine(
+        profile: &ProfileSpec,
+        kind: EngineKind,
+    ) -> Result<Self, DracoError> {
+        let mut checker = Self::from_profile_with_engine(profile, kind)?;
         let analysis = analyze_profile(profile).map_err(DracoError::FilterCompile)?;
         checker.install_analysis(&analysis);
         Ok(checker)
+    }
+
+    /// The flavor of the miss-path filter engine.
+    pub const fn engine_kind(&self) -> EngineKind {
+        self.filter.kind()
     }
 
     /// Installs a precomputed analysis plan (e.g. one shared across
@@ -1198,9 +1290,9 @@ impl DracoChecker {
     /// to compile.
     pub fn install_additional(&mut self, extra: &ProfileSpec) -> Result<(), DracoError> {
         let combined = self.profile.intersect(extra);
-        let stack = compile_stacked(&combined, FilterLayout::Linear)
-            .map_err(DracoError::FilterCompile)?;
-        self.filter = FilterEngine::Compiled(stack.compiled());
+        // Rebuild with the same engine flavor this checker was created
+        // with: a DAG-backed checker stays DAG-backed across policy swaps.
+        self.filter = FilterEngine::build(&combined, self.filter.kind())?;
         self.mode = if combined.checks_arguments() {
             CheckMode::IdAndArgs
         } else {
@@ -1413,6 +1505,78 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dag_engine_matches_compiled_engine_decisions() {
+        for profile in [
+            docker_default(),
+            draco_profiles::gvisor_default(),
+            draco_profiles::firecracker(),
+        ] {
+            let mut dag = DracoChecker::from_profile_dag(&profile).unwrap();
+            let mut compiled = DracoChecker::from_profile(&profile).unwrap();
+            assert_eq!(dag.engine_kind(), EngineKind::Dag);
+            assert_eq!(compiled.engine_kind(), EngineKind::Compiled);
+            for nr in (0u16..512).step_by(7).chain([0, 1, 56, 57, 101, 135, 435]) {
+                for args in [
+                    [0u64, 0, 0, 0, 0, 0],
+                    [3, 0, 64, 0, 0, 0],
+                    [0xffff_ffff, 0, 0, 0, 0, 0],
+                    [0x0002_0008, 0, 0, 0, 0, 0],
+                    [u64::MAX, u64::MAX, u64::MAX, 0, 0, 0],
+                ] {
+                    let r = SyscallRequest::new(1, SyscallId::new(nr), ArgSet::from_slice(&args));
+                    // Flush both so every check exercises the miss-path
+                    // engine, not the SPT/VAT caches.
+                    dag.flush();
+                    compiled.flush();
+                    assert_eq!(
+                        dag.check(&r).action,
+                        compiled.check(&r).action,
+                        "{} {r}",
+                        profile.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dag_engine_batch_matches_scalar_compiled() {
+        let profile = draco_profiles::gvisor_default();
+        let mut dag = DracoChecker::from_profile_dag(&profile).unwrap();
+        let mut compiled = DracoChecker::from_profile(&profile).unwrap();
+        let reqs: Vec<SyscallRequest> = (0u16..256)
+            .flat_map(|nr| {
+                [[0u64, 0, 0], [0xffff_ffff, 0, 0], [3, 0, 64]].into_iter().map(move |a| {
+                    SyscallRequest::new(1, SyscallId::new(nr), ArgSet::from_slice(&a))
+                })
+            })
+            .collect();
+        let mut out = vec![Decision::KILLED; reqs.len()];
+        dag.check_batch(&reqs, &mut out);
+        for (r, d) in reqs.iter().zip(&out) {
+            assert_eq!(d.action, compiled.check(r).action, "{r}");
+        }
+    }
+
+    #[test]
+    fn install_additional_preserves_dag_engine() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0, 64]));
+        gen.observe(&req(1, &[4, 0, 64]));
+        let base = gen.emit(ProfileKind::SyscallNoargs);
+        let mut checker = DracoChecker::from_profile_dag(&base).unwrap();
+
+        let mut gen2 = ProfileGenerator::new("tighter");
+        gen2.observe(&req(0, &[3, 0, 64]));
+        let extra = gen2.emit(ProfileKind::SyscallNoargs);
+        checker.install_additional(&extra).unwrap();
+
+        assert_eq!(checker.engine_kind(), EngineKind::Dag);
+        assert!(checker.check(&req(0, &[3, 0, 64])).action.permits());
+        assert!(!checker.check(&req(1, &[4, 0, 64])).action.permits());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use core::fmt;
 use draco_profiles::{ProfileAnalysis, ProfileSpec};
 use draco_syscalls::SyscallRequest;
 
-use crate::{CheckResult, CheckerStats, Decision, DracoChecker, DracoError};
+use crate::{CheckResult, CheckerStats, Decision, DracoChecker, DracoError, EngineKind};
 
 /// A process identifier.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -50,9 +50,24 @@ impl DracoProcess {
     ///
     /// Returns [`DracoError`] if the profile's filter fails to compile.
     pub fn spawn(pid: ProcessId, profile: &ProfileSpec) -> Result<Self, DracoError> {
+        Self::spawn_with_engine(pid, profile, EngineKind::Compiled)
+    }
+
+    /// Creates a process like [`DracoProcess::spawn`] with an explicit
+    /// miss-path filter engine (e.g. [`EngineKind::Dag`] for the
+    /// specialized decision DAG).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    pub fn spawn_with_engine(
+        pid: ProcessId,
+        profile: &ProfileSpec,
+        kind: EngineKind,
+    ) -> Result<Self, DracoError> {
         Ok(DracoProcess {
             pid,
-            checker: DracoChecker::from_profile(profile)?,
+            checker: DracoChecker::from_profile_with_engine(profile, kind)?,
             alive: true,
         })
     }
@@ -76,7 +91,27 @@ impl DracoProcess {
         profile: &ProfileSpec,
         analysis: &ProfileAnalysis,
     ) -> Result<Self, DracoError> {
-        let mut checker = DracoChecker::from_profile(profile)?;
+        Self::spawn_analyzed_with_engine(pid, profile, analysis, EngineKind::Compiled)
+    }
+
+    /// Like [`DracoProcess::spawn_analyzed`] with an explicit miss-path
+    /// filter engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` was computed for a different profile (see
+    /// [`DracoChecker::install_analysis`]).
+    pub fn spawn_analyzed_with_engine(
+        pid: ProcessId,
+        profile: &ProfileSpec,
+        analysis: &ProfileAnalysis,
+        kind: EngineKind,
+    ) -> Result<Self, DracoError> {
+        let mut checker = DracoChecker::from_profile_with_engine(profile, kind)?;
         checker.install_analysis(analysis);
         checker.preload_spt();
         Ok(DracoProcess {

@@ -56,15 +56,13 @@ use std::sync::OnceLock;
 use draco_bpf::{SeccompAction, SeccompData};
 use draco_cuckoo::{ConcurrentTable, CrcPairHasher, HashPair, InsertOutcome, PairHasher};
 use draco_obs::{CheckerMetrics, CuckooMetrics, Histogram, MetricsRegistry, VatMetrics};
-use draco_profiles::{
-    analyze_profile, compile_stacked, ArgPolicy, CompiledStack, FilterLayout, ProfileAnalysis,
-    ProfileSpec, SyscallRule,
-};
+use draco_profiles::{analyze_profile, ArgPolicy, ProfileAnalysis, ProfileSpec, SyscallRule};
 use draco_syscalls::{ArgBitmask, MaskedBytes, SyscallId, SyscallRequest, SyscallTable};
 
-use crate::checker::AnalysisPlan;
+use crate::checker::{AnalysisPlan, FilterEngine};
 use crate::{
-    BatchStats, CheckMode, CheckPath, CheckResult, CheckerStats, Decision, DracoError, ProcessId,
+    BatchStats, CheckMode, CheckPath, CheckResult, CheckerStats, Decision, DracoError, EngineKind,
+    ProcessId,
 };
 
 /// Low 48 bits of an SPT word: the Argument Bitmask.
@@ -235,22 +233,25 @@ impl SharedVat {
 /// atomically.
 struct Policy {
     profile: ProfileSpec,
-    filter: CompiledStack,
+    filter: FilterEngine,
     mode: CheckMode,
     plan: Option<AnalysisPlan>,
 }
 
 impl Policy {
-    fn build(profile: ProfileSpec, plan: Option<AnalysisPlan>) -> Result<Self, DracoError> {
+    fn build(
+        profile: ProfileSpec,
+        plan: Option<AnalysisPlan>,
+        kind: EngineKind,
+    ) -> Result<Self, DracoError> {
         let mode = if profile.checks_arguments() {
             CheckMode::IdAndArgs
         } else {
             CheckMode::IdOnly
         };
-        let stack =
-            compile_stacked(&profile, FilterLayout::Linear).map_err(DracoError::FilterCompile)?;
+        let filter = FilterEngine::build(&profile, kind)?;
         Ok(Policy {
-            filter: stack.compiled(),
+            filter,
             profile,
             mode,
             plan,
@@ -359,7 +360,22 @@ impl SharedDracoProcess {
     ///
     /// Returns [`DracoError`] if the profile's filter fails to compile.
     pub fn spawn(pid: ProcessId, profile: &ProfileSpec) -> Result<Self, DracoError> {
-        Self::spawn_inner(pid, profile.clone(), None, None)
+        Self::spawn_inner(pid, profile.clone(), None, None, EngineKind::Compiled)
+    }
+
+    /// Creates a shared process like [`SharedDracoProcess::spawn`] with an
+    /// explicit miss-path filter engine (e.g. [`EngineKind::Dag`] for the
+    /// specialized decision DAG).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    pub fn spawn_with_engine(
+        pid: ProcessId,
+        profile: &ProfileSpec,
+        kind: EngineKind,
+    ) -> Result<Self, DracoError> {
+        Self::spawn_inner(pid, profile.clone(), None, None, kind)
     }
 
     /// Creates a shared process with a precomputed filter-analysis plan
@@ -378,6 +394,25 @@ impl SharedDracoProcess {
         profile: &ProfileSpec,
         analysis: &ProfileAnalysis,
     ) -> Result<Self, DracoError> {
+        Self::spawn_analyzed_with_engine(pid, profile, analysis, EngineKind::Compiled)
+    }
+
+    /// Like [`SharedDracoProcess::spawn_analyzed`] with an explicit
+    /// miss-path filter engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError`] if the profile's filter fails to compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` was computed for a different profile.
+    pub fn spawn_analyzed_with_engine(
+        pid: ProcessId,
+        profile: &ProfileSpec,
+        analysis: &ProfileAnalysis,
+        kind: EngineKind,
+    ) -> Result<Self, DracoError> {
         assert_eq!(
             analysis.name(),
             profile.name(),
@@ -385,7 +420,7 @@ impl SharedDracoProcess {
         );
         let capacity = SyscallTable::shared().capacity();
         let plan = AnalysisPlan::from_analysis(analysis, capacity);
-        let process = Self::spawn_inner(pid, profile.clone(), Some(plan), None)?;
+        let process = Self::spawn_inner(pid, profile.clone(), Some(plan), None, kind)?;
         process.preload();
         Ok(process)
     }
@@ -402,7 +437,7 @@ impl SharedDracoProcess {
         profile: &ProfileSpec,
         cap: usize,
     ) -> Result<Self, DracoError> {
-        Self::spawn_inner(pid, profile.clone(), None, Some(cap))
+        Self::spawn_inner(pid, profile.clone(), None, Some(cap), EngineKind::Compiled)
     }
 
     fn spawn_inner(
@@ -410,9 +445,10 @@ impl SharedDracoProcess {
         profile: ProfileSpec,
         plan: Option<AnalysisPlan>,
         capacity_cap: Option<usize>,
+        kind: EngineKind,
     ) -> Result<Self, DracoError> {
         let capacity = SyscallTable::shared().capacity();
-        let policy = Policy::build(profile, plan)?;
+        let policy = Policy::build(profile, plan, kind)?;
         Ok(SharedDracoProcess {
             state: Arc::new(SharedState {
                 pid,
@@ -456,6 +492,11 @@ impl SharedDracoProcess {
         self.state.read_policy().plan.is_some()
     }
 
+    /// The flavor of the miss-path filter engine.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.state.read_policy().filter.kind()
+    }
+
     /// Creates a checking handle that shares this process's SPT/VAT —
     /// the paper's thread spawn (§VI: new threads share the tables, so a
     /// pair validated by any thread is a hit for all).
@@ -480,7 +521,7 @@ impl SharedDracoProcess {
     ///
     /// Returns [`DracoError`] if re-compiling the inherited profile fails.
     pub fn fork(&self, child_pid: ProcessId) -> Result<SharedDracoProcess, DracoError> {
-        SharedDracoProcess::spawn(child_pid, &self.profile())
+        SharedDracoProcess::spawn_with_engine(child_pid, &self.profile(), self.engine_kind())
     }
 
     /// Attaches an additional filter: the effective policy becomes the
@@ -510,7 +551,8 @@ impl SharedDracoProcess {
             } else {
                 None
             };
-            *guard = Arc::new(Policy::build(combined, plan)?);
+            // Preserve the engine flavor across the policy swap.
+            *guard = Arc::new(Policy::build(combined, plan, guard.filter.kind())?);
         }
         self.flush();
         Ok(())
@@ -1145,6 +1187,32 @@ mod tests {
 
     fn req(nr: u16, args: &[u64]) -> SyscallRequest {
         SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+    }
+
+    #[test]
+    fn dag_engine_shared_process_matches_compiled() {
+        let profile = gvisor_default();
+        let dag = SharedDracoProcess::spawn_with_engine(
+            ProcessId(1),
+            &profile,
+            crate::EngineKind::Dag,
+        )
+        .unwrap();
+        assert_eq!(dag.engine_kind(), crate::EngineKind::Dag);
+        let compiled = SharedDracoProcess::spawn(ProcessId(2), &profile).unwrap();
+        let mut td = dag.spawn_thread();
+        let mut tc = compiled.spawn_thread();
+        for nr in 0u16..256 {
+            for args in [[0u64, 0, 0], [0xffff_ffff, 0, 0], [3, 0, 64]] {
+                let r = req(nr, &args);
+                assert_eq!(td.check(&r).action, tc.check(&r).action, "{r}");
+            }
+        }
+        // Engine flavor survives a policy swap and a fork.
+        dag.install_additional(&profile).unwrap();
+        assert_eq!(dag.engine_kind(), crate::EngineKind::Dag);
+        let child = dag.fork(ProcessId(3)).unwrap();
+        assert_eq!(child.engine_kind(), crate::EngineKind::Dag);
     }
 
     #[test]

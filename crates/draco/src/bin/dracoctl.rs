@@ -6,6 +6,7 @@
 //! dracoctl profile json  <docker|gvisor|firecracker>
 //! dracoctl profile disasm <docker|gvisor|firecracker|PATH.json> [--tree]
 //! dracoctl analyze <docker|gvisor|firecracker|PATH.json> [--format human|json] [--strict]
+//! dracoctl compile <docker|gvisor|firecracker|PATH.json>   # decision-DAG dump
 //! dracoctl check <docker|gvisor|firecracker|PATH.json> <syscall> [arg0 arg1 ...]
 //! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
@@ -21,9 +22,9 @@ use std::io::Read as _;
 use draco::bpf::{disasm, Verdict};
 use draco::core::DracoChecker;
 use draco::profiles::{
-    analyze_profile, compile_stacked, docker_default, firecracker, gvisor_default,
-    profile_from_json, profile_to_json, FilterLayout, MaskAgreement, ProfileAnalysis,
-    ProfileKind, ProfileSpec, ProfileStats,
+    analyze_profile, compile_dag, compile_stacked, docker_default, firecracker,
+    gvisor_default, profile_from_json, profile_to_json, FilterLayout, MaskAgreement,
+    ProfileAnalysis, ProfileKind, ProfileSpec, ProfileStats,
 };
 use draco::syscalls::{ArgSet, SyscallId, SyscallRequest, SyscallTable};
 use draco::workloads::timing::profile_for_trace;
@@ -39,6 +40,7 @@ fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("profile") => profile_cmd(&args[1..]),
         Some("analyze") => analyze_cmd(&args[1..]),
+        Some("compile") => compile_cmd(&args[1..]),
         Some("check") => check_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
@@ -57,9 +59,10 @@ fn run(args: &[String]) -> i32 {
         }
         _ => {
             eprintln!(
-                "usage: dracoctl <profile|analyze|check|trace|stats|workloads> ...\n\
+                "usage: dracoctl <profile|analyze|compile|check|trace|stats|workloads> ...\n\
                  \x20 profile stats|json|disasm <docker|gvisor|firecracker|PATH.json>\n\
                  \x20 analyze <profile> [--format human|json] [--strict]\n\
+                 \x20 compile <profile>\n\
                  \x20 check <profile> <syscall> [args...]\n\
                  \x20 trace gen <workload> [--ops N] [--seed N]\n\
                  \x20 trace analyze <PATH.json|->\n\
@@ -76,25 +79,37 @@ fn run(args: &[String]) -> i32 {
 }
 
 fn load_profile(name: &str) -> Result<ProfileSpec, String> {
+    load_profile_import(name).map(|(profile, _)| profile)
+}
+
+/// Like [`load_profile`], but also returns the syscall names a Docker
+/// import skipped (unknown on this architecture); empty for catalog and
+/// native-schema profiles.
+fn load_profile_import(name: &str) -> Result<(ProfileSpec, Vec<String>), String> {
     match name {
-        "docker" | "docker-default" => Ok(docker_default()),
-        "gvisor" | "gvisor-default" => Ok(gvisor_default()),
-        "firecracker" => Ok(firecracker()),
+        "docker" | "docker-default" => Ok((docker_default(), Vec::new())),
+        "gvisor" | "gvisor-default" => Ok((gvisor_default(), Vec::new())),
+        "firecracker" => Ok((firecracker(), Vec::new())),
         path => {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read `{path}`: {e}"))?;
             // Native schema first, then the Docker/OCI seccomp.json format.
-            profile_from_json(&json).or_else(|native_err| {
-                let stem = std::path::Path::new(path)
-                    .file_stem()
-                    .and_then(|s| s.to_str())
-                    .unwrap_or("imported");
-                draco::profiles::from_docker_json(&json, stem).map_err(|docker_err| {
-                    format!(
-                        "cannot parse `{path}`: not the native schema                          ({native_err}) nor Docker seccomp.json ({docker_err})"
-                    )
-                })
-            })
+            match profile_from_json(&json) {
+                Ok(profile) => Ok((profile, Vec::new())),
+                Err(native_err) => {
+                    let stem = std::path::Path::new(path)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("imported");
+                    draco::profiles::import_docker_json(&json, stem)
+                        .map(|import| (import.profile, import.skipped))
+                        .map_err(|docker_err| {
+                            format!(
+                                "cannot parse `{path}`: not the native schema                          ({native_err}) nor Docker seccomp.json ({docker_err})"
+                            )
+                        })
+                }
+            }
         }
     }
 }
@@ -195,7 +210,7 @@ fn analyze_cmd(args: &[String]) -> i32 {
         eprintln!("--format must be `human` or `json`, got `{format}`");
         return 2;
     }
-    let profile = match load_profile(which) {
+    let (profile, skipped) = match load_profile_import(which) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -209,11 +224,19 @@ fn analyze_cmd(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let problems = analysis_problems(&analysis, strict);
+    let mut problems = analysis_problems(&analysis, strict);
+    if strict {
+        // Skipped imports are names the profile *meant* to govern but the
+        // importer could not map — unenforced policy, an error in strict
+        // mode.
+        for name in &skipped {
+            problems.push(format!("import skipped unknown syscall `{name}`"));
+        }
+    }
     if format == "json" {
-        println!("{}", analysis_json(&analysis, &problems));
+        println!("{}", analysis_json(&analysis, &problems, &skipped));
     } else {
-        print_analysis_human(&analysis, &problems);
+        print_analysis_human(&analysis, &problems, &skipped);
     }
     i32::from(!problems.is_empty())
 }
@@ -260,7 +283,7 @@ fn verdict_label(verdict: Verdict) -> String {
     }
 }
 
-fn print_analysis_human(analysis: &ProfileAnalysis, problems: &[String]) {
+fn print_analysis_human(analysis: &ProfileAnalysis, problems: &[String], skipped: &[String]) {
     let reports = analysis.syscalls();
     let deny = reports
         .iter()
@@ -342,6 +365,9 @@ fn print_analysis_human(analysis: &ProfileAnalysis, problems: &[String]) {
             println!("  filter {}: {}", fl.filter, fl.lint);
         }
     }
+    for name in skipped {
+        println!("warning: import skipped unknown syscall `{name}` (not enforced)");
+    }
     if problems.is_empty() {
         println!("clean: yes");
     } else {
@@ -352,7 +378,7 @@ fn print_analysis_human(analysis: &ProfileAnalysis, problems: &[String]) {
     }
 }
 
-fn analysis_json(analysis: &ProfileAnalysis, problems: &[String]) -> String {
+fn analysis_json(analysis: &ProfileAnalysis, problems: &[String], skipped: &[String]) -> String {
     use serde_json::Value;
     let syscalls: Vec<Value> = analysis
         .syscalls()
@@ -390,10 +416,61 @@ fn analysis_json(analysis: &ProfileAnalysis, problems: &[String]) -> String {
         "always_allow": analysis.always_allow_count() as u64,
         "syscalls": Value::Array(syscalls),
         "lints": Value::Array(lints),
+        "skipped_imports": skipped.to_vec(),
         "problems": problems.to_vec(),
         "clean": problems.is_empty(),
     });
     serde_json::to_string_pretty(&doc).expect("analysis serializes")
+}
+
+/// `dracoctl compile <profile>` — lowers the profile through the
+/// specializing filter compiler and dumps the resulting decision DAG:
+/// summary statistics (node/table counts, how many table entries closed
+/// to a verdict without a cBPF fallback) followed by the per-node
+/// listing with provenance — which filter instruction range each node
+/// was specialized from.
+fn compile_cmd(args: &[String]) -> i32 {
+    let Some(which) = args.first() else {
+        eprintln!("usage: dracoctl compile <profile>");
+        return 2;
+    };
+    if args.len() > 1 {
+        eprintln!("unknown flag `{}`", args[1]);
+        return 2;
+    }
+    let (profile, skipped) = match load_profile_import(which) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let stack = match compile_dag(&profile) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot compile `{}`: {e}", profile.name());
+            return 1;
+        }
+    };
+    let stats = stack.stats();
+    println!(
+        "{}: {} decision DAG(s), {} nodes ({} cmp, {} ret, {} cBPF fallback)",
+        profile.name(),
+        stack.len(),
+        stats.nodes,
+        stats.cmp,
+        stats.ret,
+        stats.fallback
+    );
+    println!(
+        "dispatch: {} table entries, {} closed (verdict without touching cBPF)",
+        stats.table_entries, stats.closed_entries
+    );
+    for name in &skipped {
+        println!("warning: import skipped unknown syscall `{name}` (not enforced)");
+    }
+    print!("{}", stack.dump());
+    0
 }
 
 fn check_cmd(args: &[String]) -> i32 {
@@ -939,6 +1016,39 @@ mod tests {
     }
 
     #[test]
+    fn compile_dumps_every_catalog_profile_and_rejects_bad_usage() {
+        for name in ["docker", "gvisor", "firecracker"] {
+            assert_eq!(compile_cmd(&argv(&[name])), 0, "{name} must compile");
+        }
+        assert_eq!(compile_cmd(&argv(&[])), 2);
+        assert_eq!(compile_cmd(&argv(&["docker", "--bogus"])), 2);
+        assert_eq!(compile_cmd(&argv(&["/nonexistent/profile.json"])), 1);
+    }
+
+    #[test]
+    fn analyze_surfaces_skipped_imports_and_strict_makes_them_problems() {
+        let dir = std::env::temp_dir().join("dracoctl_skip_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("typo.json");
+        std::fs::write(
+            &path,
+            r#"{"defaultAction": "SCMP_ACT_ERRNO",
+                "syscalls": [{"names": ["read", "not_a_syscall"],
+                              "action": "SCMP_ACT_ALLOW"}]}"#,
+        )
+        .unwrap();
+        let arg = path.to_str().unwrap();
+        // A warning alone does not make the analysis non-clean…
+        assert_eq!(analyze_cmd(&argv(&[arg])), 0);
+        assert_eq!(analyze_cmd(&argv(&[arg, "--format", "json"])), 0);
+        // …but strict mode turns unenforced names into problems.
+        assert_eq!(analyze_cmd(&argv(&[arg, "--strict"])), 1);
+        let (_, skipped) = load_profile_import(arg).unwrap();
+        assert_eq!(skipped, vec!["not_a_syscall".to_owned()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn analyze_rejects_bad_usage() {
         assert_eq!(analyze_cmd(&argv(&[])), 2);
         assert_eq!(analyze_cmd(&argv(&["docker", "--format", "xml"])), 2);
@@ -990,7 +1100,7 @@ mod tests {
         let analysis = analyze_profile(&profile).unwrap();
         let problems = analysis_problems(&analysis, false);
         assert!(problems.is_empty(), "{problems:?}");
-        let text = analysis_json(&analysis, &problems);
+        let text = analysis_json(&analysis, &problems, &[]);
         let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert_eq!(
             doc.get("schema").and_then(|v| v.as_str()),

@@ -361,6 +361,79 @@ mod tests {
         assert_eq!(p99, 1023, "rank 990 lands in [512,1023]");
     }
 
+    /// Oracle for the quantile bound: the `ceil(q*n)`-th smallest of the
+    /// actual samples, computed on a sorted copy.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as u64;
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    proptest::proptest! {
+        /// Against a sorted-sample oracle: the returned bound always
+        /// brackets the true quantile — never below it, and (outside the
+        /// unbounded overflow bucket) within the true value's own pow2
+        /// bucket, i.e. less than 2x above it.
+        #[test]
+        fn quantile_upper_bound_brackets_the_sorted_sample_oracle(
+            // Mixed so overflow-bucket values (>= 2^14), zeros, and
+            // u64::MAX all appear often, not just the midrange.
+            samples in proptest::collection::vec(
+                proptest::prop_oneof![
+                    proptest::strategy::Just(0u64),
+                    0u64..16_384,
+                    16_384u64..u64::MAX,
+                    proptest::strategy::Just(u64::MAX),
+                ],
+                1..200,
+            ),
+            q_milli in 0u64..=1000,
+        ) {
+            let q = q_milli as f64 / 1000.0;
+            let mut h = Histogram::default();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples;
+            sorted.sort_unstable();
+            for q in [q, 0.0, 1.0] {
+                let truth = exact_quantile(&sorted, q);
+                let bound = h.quantile_upper_bound(q).expect("non-empty");
+                proptest::prop_assert!(
+                    bound >= truth,
+                    "q={q}: bound {bound} below the true quantile {truth}"
+                );
+                let bucket = Histogram::bucket_of(truth);
+                proptest::prop_assert_eq!(
+                    bound,
+                    Histogram::bucket_high(bucket).unwrap_or(u64::MAX),
+                    "q={} truth={}: bound must be the true value's bucket edge",
+                    q, truth
+                );
+            }
+        }
+
+        /// Saturated per-bucket counts near `u64::MAX` must not overflow
+        /// the rank scan — the cumulative sum saturates instead of
+        /// wrapping, so the quantile lands in the first saturated bucket.
+        #[test]
+        fn quantile_survives_saturated_counts(
+            hot in 0usize..Histogram::BUCKETS,
+            q_milli in 0u64..=1000,
+        ) {
+            let q = q_milli as f64 / 1000.0;
+            let mut h = Histogram::default();
+            h.counts[hot] = u64::MAX - 1;
+            h.record_n(Histogram::bucket_low(hot), 7); // push count to saturation
+            proptest::prop_assert_eq!(h.count(), u64::MAX);
+            let bound = h.quantile_upper_bound(q).expect("non-empty");
+            proptest::prop_assert_eq!(
+                bound,
+                Histogram::bucket_high(hot).unwrap_or(u64::MAX)
+            );
+        }
+    }
+
     #[test]
     fn serde_round_trip() {
         let mut h = Histogram::default();

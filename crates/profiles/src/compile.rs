@@ -479,6 +479,111 @@ impl CompiledStack {
     }
 }
 
+impl FilterStack {
+    /// Lowers every filter to a specialized decision DAG
+    /// ([`draco_bpf::CompiledDag`]), with one dispatch-table entry per
+    /// number in `nrs` — typically the profile's whitelisted syscalls,
+    /// which is what [`compile_dag`] passes.
+    #[must_use]
+    pub fn dag(&self, nrs: &[u32]) -> DagStack {
+        DagStack {
+            dags: self
+                .programs
+                .iter()
+                .map(|p| draco_bpf::CompiledDag::compile(p, nrs))
+                .collect(),
+            default_action: self.default_action,
+        }
+    }
+}
+
+/// The specialized decision-DAG form of a [`FilterStack`]: the miss
+/// path's fast filter engine. Combines per-filter verdicts exactly like
+/// [`FilterStack::run`] / [`CompiledStack::run`]; `insns_executed`
+/// counts DAG nodes walked (plus VM instructions on fallback), a
+/// smaller unit than interpreted instructions.
+#[derive(Debug)]
+pub struct DagStack {
+    dags: Vec<draco_bpf::CompiledDag>,
+    default_action: SeccompAction,
+}
+
+impl DagStack {
+    /// Runs every DAG and combines the verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor faults (impossible for generated filters).
+    pub fn run(&self, data: &draco_bpf::SeccompData) -> Result<StackOutcome, BpfError> {
+        let mut action = SeccompAction::Allow;
+        let mut insns = 0;
+        for dag in &self.dags {
+            let out = dag.run(data)?;
+            insns += out.insns_executed;
+            action = action.most_restrictive(out.action);
+        }
+        if self.dags.is_empty() {
+            action = self.default_action;
+        }
+        Ok(StackOutcome {
+            action,
+            insns_executed: insns,
+        })
+    }
+
+    /// Number of DAGs.
+    pub fn len(&self) -> usize {
+        self.dags.len()
+    }
+
+    /// True if the stack has no DAGs.
+    pub fn is_empty(&self) -> bool {
+        self.dags.is_empty()
+    }
+
+    /// Aggregated shape summary across all filters in the stack.
+    pub fn stats(&self) -> draco_bpf::DagStats {
+        let mut total = draco_bpf::DagStats::default();
+        for dag in &self.dags {
+            let s = dag.stats();
+            total.nodes += s.nodes;
+            total.cmp += s.cmp;
+            total.ret += s.ret;
+            total.fallback += s.fallback;
+            total.table_entries += s.table_entries;
+            total.closed_entries += s.closed_entries;
+        }
+        total
+    }
+
+    /// Per-filter DAG listings with node provenance, for tooling.
+    pub fn dump(&self) -> String {
+        self.dags
+            .iter()
+            .enumerate()
+            .map(|(i, dag)| format!("filter {i}:\n{}", dag.dump()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Compiles a profile straight to its decision-DAG form: binary-tree
+/// layout (whose nr dispatch the DAG's symbolic root reproduces for
+/// out-of-table numbers) with one dispatch-table entry per whitelisted
+/// syscall.
+///
+/// # Errors
+///
+/// Returns a [`BpfError`] only for compiler bugs; every expressible
+/// profile is compilable.
+pub fn compile_dag(profile: &ProfileSpec) -> Result<DagStack, BpfError> {
+    let nrs: Vec<u32> = profile
+        .rules()
+        .map(|(id, _)| u32::from(id.as_u16()))
+        .collect();
+    Ok(compile_stacked(profile, FilterLayout::BinaryTree)?.dag(&nrs))
+}
+
 /// Instruction budget per chunk, conservatively below `BPF_MAXINSNS`.
 const CHUNK_BUDGET: usize = 3600;
 

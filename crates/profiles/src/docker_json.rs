@@ -12,6 +12,14 @@
 //! Multiple entries for one syscall OR together; conditions within an
 //! entry AND together. Range/mask operators are rejected with a typed
 //! error rather than silently weakened.
+//!
+//! `SCMP_ACT_ERRNO` honors the document's `errnoRet` /
+//! `defaultErrnoRet` fields (the errno the denial returns): absent means
+//! `EPERM` (1), the Moby default, and values outside the 16 bits of
+//! `SECCOMP_RET_DATA` are rejected like the kernel would at
+//! filter-install time. Unknown syscall names without argument
+//! conditions are skipped but reported ([`import_docker_json`]), so a
+//! typo'd name is visible instead of silently unenforced.
 
 use serde::Deserialize;
 
@@ -25,16 +33,21 @@ use crate::spec::{ArgPolicy, ProfileSpec, RuleSource, SyscallRule};
 struct Doc {
     default_action: String,
     #[serde(default)]
+    default_errno_ret: Option<u64>,
+    #[serde(default)]
     syscalls: Vec<Entry>,
 }
 
 #[derive(Deserialize)]
+#[serde(rename_all = "camelCase")]
 struct Entry {
     #[serde(default)]
     names: Vec<String>,
     #[serde(default)]
     name: Option<String>,
     action: String,
+    #[serde(default)]
+    errno_ret: Option<u64>,
     #[serde(default)]
     args: Option<Vec<ArgCond>>,
 }
@@ -66,6 +79,9 @@ pub enum DockerImportError {
     MixedArgPositions(String),
     /// An argument index outside 0..6.
     BadArgIndex(usize),
+    /// An `errnoRet` value outside the 16 bits `SECCOMP_RET_DATA`
+    /// carries (the kernel rejects these at filter-install time).
+    BadErrnoRet(u64),
 }
 
 impl std::fmt::Display for DockerImportError {
@@ -79,6 +95,9 @@ impl std::fmt::Display for DockerImportError {
                 write!(f, "`{s}` entries constrain different argument positions")
             }
             DockerImportError::BadArgIndex(i) => write!(f, "argument index {i} out of range"),
+            DockerImportError::BadErrnoRet(e) => {
+                write!(f, "errnoRet {e} exceeds the 16-bit SECCOMP_RET_DATA range")
+            }
         }
     }
 }
@@ -98,16 +117,38 @@ impl From<serde_json::Error> for DockerImportError {
     }
 }
 
-fn parse_action(s: &str) -> Result<SeccompAction, DockerImportError> {
+/// Parses an action string. `errno_ret` is the entry's (or document's)
+/// `errnoRet` field: the errno an `SCMP_ACT_ERRNO` verdict returns. The
+/// Moby default when the field is absent is `EPERM` (1); values outside
+/// the 16 bits of `SECCOMP_RET_DATA` are rejected, as the kernel would.
+fn parse_action(s: &str, errno_ret: Option<u64>) -> Result<SeccompAction, DockerImportError> {
     Ok(match s {
         "SCMP_ACT_ALLOW" => SeccompAction::Allow,
         "SCMP_ACT_LOG" => SeccompAction::Log,
-        "SCMP_ACT_ERRNO" => SeccompAction::Errno(1),
+        "SCMP_ACT_ERRNO" => {
+            let errno = errno_ret.unwrap_or(1);
+            let errno =
+                u16::try_from(errno).map_err(|_| DockerImportError::BadErrnoRet(errno))?;
+            SeccompAction::Errno(errno)
+        }
         "SCMP_ACT_TRAP" => SeccompAction::Trap,
         "SCMP_ACT_KILL" | "SCMP_ACT_KILL_THREAD" => SeccompAction::KillThread,
         "SCMP_ACT_KILL_PROCESS" => SeccompAction::KillProcess,
         other => return Err(DockerImportError::UnsupportedAction(other.to_owned())),
     })
+}
+
+/// The result of a Docker/OCI import: the profile plus everything the
+/// importer dropped on the floor — see [`import_docker_json`].
+#[derive(Clone, Debug)]
+pub struct DockerImport {
+    /// The imported profile.
+    pub profile: ProfileSpec,
+    /// Syscall names (without argument conditions) absent from the
+    /// syscall table and therefore skipped — typically foreign-arch
+    /// names from a multi-arch Moby profile, but also typos, which is
+    /// why `dracoctl analyze` surfaces them.
+    pub skipped: Vec<String>,
 }
 
 /// Imports a Docker/OCI `seccomp.json` document.
@@ -139,8 +180,19 @@ fn parse_action(s: &str) -> Result<SeccompAction, DockerImportError> {
 /// # Ok::<(), draco_profiles::DockerImportError>(())
 /// ```
 pub fn from_docker_json(json: &str, name: &str) -> Result<ProfileSpec, DockerImportError> {
+    import_docker_json(json, name).map(|import| import.profile)
+}
+
+/// Like [`from_docker_json`], but also reports which syscall names the
+/// importer skipped instead of silently dropping that information.
+///
+/// # Errors
+///
+/// Returns [`DockerImportError`] for malformed JSON or constructs outside
+/// the exact-match subset.
+pub fn import_docker_json(json: &str, name: &str) -> Result<DockerImport, DockerImportError> {
     let doc: Doc = serde_json::from_str(json)?;
-    let default = parse_action(&doc.default_action)?;
+    let default = parse_action(&doc.default_action, doc.default_errno_ret)?;
     let table = SyscallTable::shared();
     let runtime: std::collections::HashSet<&str> =
         crate::catalog::RUNTIME_REQUIRED.iter().copied().collect();
@@ -154,9 +206,10 @@ pub fn from_docker_json(json: &str, name: &str) -> Result<ProfileSpec, DockerImp
     }
     let mut collected: std::collections::BTreeMap<u16, Collected> =
         std::collections::BTreeMap::new();
+    let mut skipped: Vec<String> = Vec::new();
 
     for entry in &doc.syscalls {
-        let action = parse_action(&entry.action)?;
+        let action = parse_action(&entry.action, entry.errno_ret)?;
         if !action.permits() {
             // Deny-rules on top of a deny default are no-ops in the
             // exact-match subset; skip.
@@ -175,6 +228,7 @@ pub fn from_docker_json(json: &str, name: &str) -> Result<ProfileSpec, DockerImp
                 if entry.args.as_ref().is_some_and(|a| !a.is_empty()) {
                     return Err(DockerImportError::UnknownSyscall(syscall.to_owned()));
                 }
+                skipped.push(syscall.to_owned());
                 continue;
             };
             let nr = desc.id().as_u16();
@@ -235,7 +289,9 @@ pub fn from_docker_json(json: &str, name: &str) -> Result<ProfileSpec, DockerImp
         };
         profile.allow(id, SyscallRule { args, source });
     }
-    Ok(profile)
+    skipped.sort_unstable();
+    skipped.dedup();
+    Ok(DockerImport { profile, skipped })
 }
 
 #[cfg(test)]
@@ -353,6 +409,68 @@ mod tests {
             from_docker_json(json, "t"),
             Err(DockerImportError::UnsupportedAction(_))
         ));
+    }
+
+    #[test]
+    fn default_errno_ret_round_trips_through_compile_and_check() {
+        // Regression: the importer used to map every SCMP_ACT_ERRNO to
+        // Errno(1), discarding errnoRet. 38 = ENOSYS.
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "defaultErrnoRet": 38,
+            "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW"}]
+        }"#;
+        let p = from_docker_json(json, "enosys").unwrap();
+        assert_eq!(p.default_action(), SeccompAction::Errno(38));
+        let denied = draco_bpf::SeccompData::for_syscall(57, &[0; 6]);
+        let stack = crate::compile_stacked(&p, crate::FilterLayout::BinaryTree).unwrap();
+        assert_eq!(stack.run(&denied).unwrap().action, SeccompAction::Errno(38));
+        // …and identically through the specialized decision DAG.
+        let dag = crate::compile_dag(&p).unwrap();
+        assert_eq!(dag.run(&denied).unwrap().action, SeccompAction::Errno(38));
+        let allowed = draco_bpf::SeccompData::for_syscall(0, &[0; 6]);
+        assert!(dag.run(&allowed).unwrap().action.permits());
+    }
+
+    #[test]
+    fn entry_errno_ret_is_parsed_and_out_of_range_rejected() {
+        // Per-entry errnoRet parses (the entry is a deny-rule no-op over
+        // a deny default, but the value must still validate).
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "syscalls": [{"name": "read", "action": "SCMP_ACT_ERRNO", "errnoRet": 70000}]
+        }"#;
+        assert!(matches!(
+            from_docker_json(json, "t"),
+            Err(DockerImportError::BadErrnoRet(70000))
+        ));
+        let json = r#"{
+            "defaultAction": "SCMP_ACT_ERRNO",
+            "defaultErrnoRet": 65536,
+            "syscalls": []
+        }"#;
+        assert!(matches!(
+            from_docker_json(json, "t"),
+            Err(DockerImportError::BadErrnoRet(65536))
+        ));
+        // Absent errnoRet keeps the Moby EPERM default.
+        let p = from_docker_json(r#"{"defaultAction": "SCMP_ACT_ERRNO"}"#, "t").unwrap();
+        assert_eq!(p.default_action(), SeccompAction::Errno(1));
+    }
+
+    #[test]
+    fn skipped_unknown_names_are_reported() {
+        let import = import_docker_json(MINI, "mini").unwrap();
+        assert_eq!(import.skipped, vec!["arm_specific_call".to_owned()]);
+        assert_eq!(import.profile.allowed_syscall_count(), 4);
+        // Known-only documents report nothing skipped.
+        let clean = import_docker_json(
+            r#"{"defaultAction": "SCMP_ACT_ERRNO",
+                "syscalls": [{"names": ["read"], "action": "SCMP_ACT_ALLOW"}]}"#,
+            "t",
+        )
+        .unwrap();
+        assert!(clean.skipped.is_empty());
     }
 
     #[test]

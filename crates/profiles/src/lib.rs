@@ -53,8 +53,11 @@ pub use catalog::{
     docker_default, firecracker, gvisor_default, DOCKER_CLONE_FLAGS,
     DOCKER_PERSONALITY_VALUES, RUNTIME_REQUIRED,
 };
-pub use compile::{compile, compile_stacked, CompiledStack, FilterLayout, FilterStack, StackOutcome};
-pub use docker_json::{from_docker_json, DockerImportError};
+pub use compile::{
+    compile, compile_dag, compile_stacked, CompiledStack, DagStack, FilterLayout, FilterStack,
+    StackOutcome,
+};
+pub use docker_json::{from_docker_json, import_docker_json, DockerImport, DockerImportError};
 pub use generate::{ProfileGenerator, ProfileKind};
 pub use serde_io::{profile_from_json, profile_to_json, ProfileIoError};
 pub use spec::{ArgPolicy, ProfileSpec, RuleSource, SyscallRule};

@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use draco_bpf::SeccompData;
-use draco_core::{Decision, DracoProcess, ProcessId};
+use draco_core::{Decision, DracoProcess, EngineKind, ProcessId};
 use draco_obs::{merge_spans, Histogram, MetricsRegistry, ReplayMetrics, Span, SpanTracer};
 use draco_profiles::{
     analyze_profile, compile_stacked, FilterLayout, ProfileAnalysis, ProfileKind, ProfileSpec,
@@ -49,16 +49,24 @@ pub enum ReplayBackend {
         /// Requests per `syscall_batch` call. Must be nonzero.
         batch: usize,
     },
+    /// Software Draco with the miss path running on the specialized
+    /// decision DAG ([`draco_core::EngineKind::Dag`]) instead of the
+    /// pre-decoded cBPF executor. Decisions and cache counters are
+    /// identical to [`DracoSw`] on the same trace.
+    ///
+    /// [`DracoSw`]: ReplayBackend::DracoSw
+    DracoDag,
 }
 
 impl ReplayBackend {
     /// The standard comparison backends, in report order. The batch
     /// backend is an opt-in extra (its batch size is a parameter, not a
     /// fixed member of the comparison set).
-    pub const ALL: [ReplayBackend; 3] = [
+    pub const ALL: [ReplayBackend; 4] = [
         ReplayBackend::SeccompInterp,
         ReplayBackend::SeccompCompiled,
         ReplayBackend::DracoSw,
+        ReplayBackend::DracoDag,
     ];
 
     /// Stable label used in reports and JSON.
@@ -68,6 +76,7 @@ impl ReplayBackend {
             ReplayBackend::SeccompCompiled => "seccomp-compiled",
             ReplayBackend::DracoSw => "draco-sw",
             ReplayBackend::DracoBatch { .. } => "draco-batch",
+            ReplayBackend::DracoDag => "draco-dag",
         }
     }
 
@@ -76,7 +85,7 @@ impl ReplayBackend {
     pub const fn is_draco(self) -> bool {
         matches!(
             self,
-            ReplayBackend::DracoSw | ReplayBackend::DracoBatch { .. }
+            ReplayBackend::DracoSw | ReplayBackend::DracoBatch { .. } | ReplayBackend::DracoDag
         )
     }
 }
@@ -381,16 +390,24 @@ fn run_shard(
             let registry = shard_registry(&report, None);
             (report, registry, Vec::new())
         }
-        ReplayBackend::DracoSw => {
+        ReplayBackend::DracoSw | ReplayBackend::DracoDag => {
             // Shard indices are bounded by the thread count, so this
             // conversion cannot fail in practice — but a silent `as`
             // truncation would alias ProcessIds; fail loudly instead.
             let pid = u32::try_from(plan.shard).expect("shard index exceeds ProcessId range");
+            let kind = if backend == ReplayBackend::DracoDag {
+                EngineKind::Dag
+            } else {
+                EngineKind::Compiled
+            };
             let mut process = match &plan.analysis {
-                Some(analysis) => {
-                    DracoProcess::spawn_analyzed(ProcessId(pid), &plan.profile, analysis)
-                }
-                None => DracoProcess::spawn(ProcessId(pid), &plan.profile),
+                Some(analysis) => DracoProcess::spawn_analyzed_with_engine(
+                    ProcessId(pid),
+                    &plan.profile,
+                    analysis,
+                    kind,
+                ),
+                None => DracoProcess::spawn_with_engine(ProcessId(pid), &plan.profile, kind),
             }
             .expect("generated profiles always compile");
             if let Some(tracer) = tracer {
@@ -611,6 +628,25 @@ mod tests {
             .collect();
         assert_eq!(allowed[0], allowed[1]);
         assert_eq!(allowed[1], allowed[2]);
+        assert_eq!(allowed[2], allowed[3], "dag backend agrees with the rest");
+    }
+
+    #[test]
+    fn dag_backend_matches_draco_sw_counters() {
+        // Same engine semantics, different miss-path executor: every
+        // deterministic counter (checks, allows, cache hits) must be
+        // bit-identical between draco-sw and draco-dag.
+        let spec = catalog::unixbench_syscall();
+        let cfg = small_cfg(2);
+        let sw = replay_parallel(&spec, ProfileKind::SyscallComplete, ReplayBackend::DracoSw, &cfg);
+        let dag = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoDag,
+            &cfg,
+        );
+        assert_eq!(strip_timing(&sw), strip_timing(&dag));
+        assert_eq!(sw.metrics.checker.filter_runs, dag.metrics.checker.filter_runs);
     }
 
     #[test]
@@ -810,6 +846,7 @@ mod tests {
         assert_eq!(ReplayBackend::SeccompCompiled.label(), "seccomp-compiled");
         assert_eq!(ReplayBackend::DracoSw.label(), "draco-sw");
         assert_eq!(ReplayBackend::DracoBatch { batch: 64 }.label(), "draco-batch");
+        assert_eq!(ReplayBackend::DracoDag.label(), "draco-dag");
     }
 
     #[test]

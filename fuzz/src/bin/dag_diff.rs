@@ -1,0 +1,60 @@
+//! Differential target: **specialized decision DAG vs concrete VM**.
+//!
+//! `CompiledDag::compile` partially evaluates a filter per syscall
+//! number, folding constant comparisons into direct verdicts and
+//! keeping a VM fallback only for paths it cannot close. The DAG serves
+//! Draco's miss path, so any divergence from the interpreter is a
+//! policy-enforcement bug. For fuzzed programs this target specializes
+//! on a handful of the input-derived syscall numbers (so both
+//! table-entry and unpinned-root dispatch get exercised) and demands
+//! exact decision equality — action, raw return word, and error arm —
+//! on every input.
+
+use draco_bpf::{CompiledDag, Interpreter, Program, SeccompData, AUDIT_ARCH_X86_64};
+use draco_fuzz::{fuzz_target, split_program_bytes, vm_inputs};
+
+fuzz_target!(|data: &[u8]| {
+    let (raw, tail) = split_program_bytes(data);
+    let Ok(program) = Program::from_raw(&raw) else {
+        return;
+    };
+    let interp = Interpreter::new(&program);
+    let inputs = vm_inputs(tail, 12);
+    // Pin the first few numbers into the dispatch table; the rest of the
+    // inputs route through the unpinned root entry.
+    let nrs: Vec<u32> = inputs
+        .iter()
+        .take(4)
+        .filter_map(|&(nr, _, _)| u32::try_from(nr).ok())
+        .collect();
+    let dag = CompiledDag::compile(&program, &nrs);
+    for &(nr, ip, args) in &inputs {
+        let data = SeccompData {
+            nr,
+            arch: AUDIT_ARCH_X86_64,
+            instruction_pointer: ip,
+            args,
+        };
+        let vm = interp.run(&data);
+        let specialized = dag.run(&data);
+        match (&vm, &specialized) {
+            (Ok(v), Ok(s)) => {
+                assert_eq!(
+                    (v.action, v.raw),
+                    (s.action, s.raw),
+                    "DAG diverges from the VM on {data:?} (pinned: {nrs:?})"
+                );
+            }
+            (Err(v), Err(s)) => {
+                assert_eq!(
+                    format!("{v}"),
+                    format!("{s}"),
+                    "DAG faults differently from the VM on {data:?}"
+                );
+            }
+            _ => panic!(
+                "DAG and VM disagree on faulting: vm={vm:?} dag={specialized:?} on {data:?}"
+            ),
+        }
+    }
+});

@@ -6,14 +6,53 @@
 use draco::bpf::SeccompData;
 use draco::core::DracoChecker;
 use draco::profiles::{
-    compile, compile_stacked, FilterLayout, ProfileGenerator, ProfileKind, ProfileSpec,
+    compile, compile_dag, compile_stacked, DagStack, FilterLayout, FilterStack, ProfileGenerator,
+    ProfileKind, ProfileSpec,
 };
 use draco::syscalls::{ArgSet, SyscallId, SyscallRequest};
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn arb_request() -> impl Strategy<Value = SyscallRequest> {
     (0u16..436, proptest::array::uniform6(0u64..12), 0u64..8).prop_map(|(nr, args, pc)| {
         SyscallRequest::new(0x1000 + pc * 8, SyscallId::new(nr), ArgSet::new(args))
+    })
+}
+
+/// Queries aimed at the catalog profiles: in- and out-of-whitelist
+/// numbers, and argument values straddling the published whitelists
+/// (clone flags, personality values) as well as arbitrary ones.
+fn arb_catalog_request() -> impl Strategy<Value = SyscallRequest> {
+    let arg = prop_oneof![
+        0u64..12,
+        Just(0xffff_ffffu64),
+        Just(0x0002_0008u64),
+        Just(0x0001_1000u64), // a clone flag combination
+        any::<u64>(),
+    ];
+    (0u16..512, proptest::array::uniform6(arg)).prop_map(|(nr, args)| {
+        SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::new(args))
+    })
+}
+
+/// Catalog profiles compiled once per process: (name, interpreted
+/// stack, DAG) triples.
+fn catalog_engines() -> &'static [(String, FilterStack, DagStack)] {
+    static ENGINES: OnceLock<Vec<(String, FilterStack, DagStack)>> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        [
+            draco::profiles::docker_default(),
+            draco::profiles::gvisor_default(),
+            draco::profiles::firecracker(),
+        ]
+        .into_iter()
+        .map(|profile| {
+            let stack =
+                compile_stacked(&profile, FilterLayout::BinaryTree).expect("catalog compiles");
+            let dag = compile_dag(&profile).expect("catalog dag compiles");
+            (profile.name().to_owned(), stack, dag)
+        })
+        .collect()
     })
 }
 
@@ -51,6 +90,48 @@ proptest! {
                 prop_assert_eq!(a, want);
                 prop_assert_eq!(b, want);
                 prop_assert_eq!(c, want);
+            }
+        }
+    }
+
+    /// The specializing decision-DAG engine is observationally
+    /// identical to the interpreted stack — same action, including the
+    /// errno value — on generated argument-checking profiles, through
+    /// both its pinned dispatch-table entries and its symbolic root
+    /// (queries include syscalls outside the profile).
+    #[test]
+    fn dag_stack_agrees_with_interpreted_stack(
+        observed in proptest::collection::vec(arb_request(), 1..20),
+        queries in proptest::collection::vec(arb_request(), 1..30),
+        complete in any::<bool>(),
+    ) {
+        let kind = if complete { ProfileKind::SyscallComplete } else { ProfileKind::SyscallNoargs };
+        let profile = profile_from(&observed, kind);
+        let stack = compile_stacked(&profile, FilterLayout::BinaryTree).expect("stacks");
+        let dag = compile_dag(&profile).expect("dag compiles");
+        for req in &queries {
+            let data = SeccompData::from_request(req);
+            let want = stack.run(&data).unwrap().action;
+            let got = dag.run(&data).unwrap().action;
+            prop_assert_eq!(got, want, "{}", req);
+            prop_assert_eq!(got, profile.evaluate(req), "{}", req);
+        }
+    }
+
+    /// The same exactness statement over every catalog profile
+    /// (tentpole acceptance): Docker, gVisor, and Firecracker profiles
+    /// — errno defaults and argument whitelists included — decide
+    /// identically under the DAG and the concrete VM.
+    #[test]
+    fn dag_matches_vm_on_every_catalog_profile(
+        queries in proptest::collection::vec(arb_catalog_request(), 1..40),
+    ) {
+        for (name, stack, dag) in catalog_engines() {
+            for req in &queries {
+                let data = SeccompData::from_request(req);
+                let want = stack.run(&data).unwrap().action;
+                let got = dag.run(&data).unwrap().action;
+                prop_assert_eq!(got, want, "{name}: {}", req);
             }
         }
     }
