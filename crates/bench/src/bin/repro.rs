@@ -80,21 +80,25 @@ const HISTORY_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_his
 
 /// `repro throughput [--quick] [--ops N] [--warmup N] [--seed N]
 /// [--shards N] [--batch N] [--workload W] [--out PATH] [--trace PATH]
-/// [--folded PATH] [--sample N] [--json] [--stats]` — the wall-clock
-/// harness. Always writes the JSON report. Standard runs default to the
+/// [--folded PATH] [--timeseries PATH] [--sample N] [--json] [--stats]`
+/// — the wall-clock harness. Always writes the JSON report. Standard
+/// runs default to the
 /// tracked `BENCH_throughput.json` at the repo root and append a summary
 /// line to `BENCH_history.jsonl` for the `repro compare` gate; `--quick`
 /// runs default to the untracked `target/BENCH_throughput.quick.json`
 /// and leave the history alone. `--trace`/`--folded` run the Draco
 /// multi-thread replay under a sampled span tracer and export the spans
-/// as Chrome trace JSON / folded flamegraph stacks. `--json` echoes the
+/// as Chrome trace JSON / folded flamegraph stacks. `--timeseries`
+/// writes the v7 live-replay window ring as a standalone
+/// `draco-timeseries/v1` JSON document (tracked bench files are
+/// unaffected). `--json` echoes the
 /// report to stdout instead of the human table; `--stats` appends
 /// latency quantiles and the merged metrics snapshot.
 fn run_throughput_cmd(args: &[String]) {
     use draco::obs::{chrome_trace_json, folded_stacks};
     use draco::workloads::replay::TraceConfig;
     use draco_bench::history::{append_history, HistoryEntry};
-    use draco_bench::throughput::{run_throughput, run_throughput_traced, ThroughputConfig};
+    use draco_bench::throughput::{run_throughput_full, ThroughputConfig};
 
     let mut cfg = ThroughputConfig::standard();
     let mut json = false;
@@ -103,6 +107,7 @@ fn run_throughput_cmd(args: &[String]) {
     let mut out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut folded_out: Option<String> = None;
+    let mut timeseries_out: Option<String> = None;
     let mut trace_cfg = TraceConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -123,6 +128,7 @@ fn run_throughput_cmd(args: &[String]) {
             "--out" => out = Some(parse(args, &mut i, "--out")),
             "--trace" => trace_out = Some(parse(args, &mut i, "--trace")),
             "--folded" => folded_out = Some(parse(args, &mut i, "--folded")),
+            "--timeseries" => timeseries_out = Some(parse(args, &mut i, "--timeseries")),
             "--sample" => trace_cfg.sample_interval = parse(args, &mut i, "--sample"),
             "--json" => json = true,
             "--stats" => stats = true,
@@ -141,11 +147,8 @@ fn run_throughput_cmd(args: &[String]) {
     assert!(trace_cfg.sample_interval > 0, "--sample must be nonzero");
 
     let tracing = trace_out.is_some() || folded_out.is_some();
-    let (report, spans) = if tracing {
-        run_throughput_traced(&cfg, &trace_cfg)
-    } else {
-        (run_throughput(&cfg), Vec::new())
-    };
+    let (report, spans, timeseries) =
+        run_throughput_full(&cfg, tracing.then_some(&trace_cfg));
     let text = serde_json::to_string_pretty(&report).expect("report serializes")
         + "\n";
     // Quick runs are smoke tests: keep them away from the tracked
@@ -175,6 +178,13 @@ fn run_throughput_cmd(args: &[String]) {
         std::fs::write(folded_path, folded_stacks(&spans))
             .unwrap_or_else(|e| panic!("cannot write {folded_path}: {e}"));
         wrote.push(folded_path.clone());
+    }
+    if let Some(ts_path) = &timeseries_out {
+        let ts_text =
+            serde_json::to_string_pretty(&timeseries).expect("timeseries serializes") + "\n";
+        std::fs::write(ts_path, ts_text)
+            .unwrap_or_else(|e| panic!("cannot write {ts_path}: {e}"));
+        wrote.push(ts_path.clone());
     }
     if tracked {
         let history = std::path::Path::new(HISTORY_PATH);
@@ -246,6 +256,20 @@ fn run_throughput_cmd(args: &[String]) {
             d.nodes,
             d.closed_entries,
             d.table_entries
+        );
+    }
+    if let Some(ts) = &report.timeseries {
+        println!();
+        println!(
+            "Live timeseries — {} rounds over a deny-every-{} stream ({} checks, {:.1}% denied)",
+            ts.rounds,
+            ts.deny_every,
+            ts.checks,
+            ts.deny_rate * 100.0
+        );
+        println!(
+            "  window: {} intervals held ({} dropped); audit: {} published, {} dropped of {} denials",
+            ts.intervals, ts.intervals_dropped, ts.audit_published, ts.audit_dropped, ts.denials
         );
     }
     if !report.shared_threads.is_empty() {
@@ -380,7 +404,8 @@ fn usage() {
          \x20               BENCH_history.jsonl; --quick writes the untracked\n\
          \x20               target/BENCH_throughput.quick.json; flags: --shards N\n\
          \x20               --shared-threads N --batch N --workload W --out PATH\n\
-         \x20               --trace PATH --folded PATH --sample N --stats)\n\
+         \x20               --trace PATH --folded PATH --timeseries PATH\n\
+         \x20               --sample N --stats)\n\
          \x20 compare       regression gate: report vs BENCH_history.jsonl\n\
          \x20               (flags: --report PATH --history PATH\n\
          \x20               --threshold-pct P --warn-only; exits 1 on regression)"

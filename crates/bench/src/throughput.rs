@@ -11,9 +11,10 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use draco::bpf::SeccompData;
-use draco::obs::{Histogram, MetricsRegistry, Span};
+use draco::obs::{Histogram, MetricsRegistry, Span, TimeseriesDump};
 use draco::profiles::{compile_dag, compile_stacked, FilterLayout, ProfileKind};
 use draco::workloads::catalog;
+use draco::workloads::live::{replay_live, LiveConfig};
 use draco::workloads::timing::profile_for_trace;
 use draco::workloads::TraceGenerator;
 use draco::workloads::replay::{
@@ -30,8 +31,11 @@ use draco::workloads::WorkloadSpec;
 /// v5 added the `batch` section (the staged batched check path against
 /// the same-run scalar draco-sw rate); v6 adds the `draco-dag` backend
 /// to the standard comparison set and the `dag` section (filter-engine
-/// rates on a deny-heavy, cache-defeating stream).
-pub const SCHEMA: &str = "draco-throughput/v6";
+/// rates on a deny-heavy, cache-defeating stream); v7 adds the
+/// `timeseries` section (a rounds-sliced deny-heavy live replay with
+/// window-ring and audit-stream accounting; the full window dump is
+/// exported by `repro throughput --timeseries PATH`).
+pub const SCHEMA: &str = "draco-throughput/v7";
 
 /// Harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -233,6 +237,52 @@ pub struct DagThroughput {
     pub closed_entries: u64,
 }
 
+/// The live-telemetry measurement (schema v7): a rounds-sliced
+/// deny-heavy replay of the draco-sw backend with a [`MetricsWindow`]
+/// pump and an attached audit ring — the same machinery behind
+/// `dracoctl top`/`audit`. Every 8th measured request is perturbed into
+/// a guaranteed denial, so the section exercises (and pins, via the
+/// accounting invariant `audit_published + audit_dropped == denials`)
+/// the denial-audit stream under load. The full interval-by-interval
+/// window dump is not embedded here — `repro throughput --timeseries
+/// PATH` writes it as a standalone `draco-timeseries/v1` document.
+///
+/// [`MetricsWindow`]: draco::obs::MetricsWindow
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeseriesThroughput {
+    /// Schema tag of the window dump (`draco-timeseries/v1`).
+    pub schema: String,
+    /// Rounds the measured region was sliced into (one window interval
+    /// each).
+    pub rounds: u64,
+    /// Every Nth measured request perturbed into a denial.
+    pub deny_every: u64,
+    /// Intervals held in the window ring at the end of the run.
+    pub intervals: u64,
+    /// Intervals pushed over the run (equals `rounds`).
+    pub intervals_pushed: u64,
+    /// Intervals lost to window wraparound (zero — the section sizes
+    /// the ring to hold every round).
+    pub intervals_dropped: u64,
+    /// Measured checks across all shards.
+    pub checks: u64,
+    /// Filter-path denials (registry counter — the audit accounting
+    /// below must add up to exactly this).
+    pub denials: u64,
+    /// Denial events published into the audit ring.
+    pub audit_published: u64,
+    /// Denial events dropped by the ring (full or rate-limited), still
+    /// explicitly counted.
+    pub audit_dropped: u64,
+    /// Wall-clock checks/second of the live replay (single-threaded,
+    /// interleaved shards — not comparable to the backend rates above).
+    pub checks_per_sec: f64,
+    /// Fraction of measured checks the SPT/VAT absorbed.
+    pub cache_hit_rate: f64,
+    /// Fraction of measured checks denied (deterministic).
+    pub deny_rate: f64,
+}
+
 /// The full report `repro throughput` prints and writes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -268,6 +318,10 @@ pub struct ThroughputReport {
     /// reports (and omitted from the JSON entirely when absent).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub dag: Option<DagThroughput>,
+    /// Live-telemetry (window + audit) measurement. `None` when parsing
+    /// pre-v7 reports (and omitted from the JSON entirely when absent).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeseries: Option<TimeseriesThroughput>,
 }
 
 impl ThroughputReport {
@@ -359,6 +413,20 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     run_throughput_inner(cfg, None).0
 }
 
+/// Like [`run_throughput`], but also returns the interval-by-interval
+/// window dump behind the report's `timeseries` summary section —
+/// the `repro throughput --timeseries PATH` payload.
+///
+/// # Panics
+///
+/// Panics if the workload is not in the catalog or `cfg.shards == 0`.
+pub fn run_throughput_full(
+    cfg: &ThroughputConfig,
+    trace: Option<&TraceConfig>,
+) -> (ThroughputReport, Vec<Span>, TimeseriesDump) {
+    run_throughput_inner(cfg, trace)
+}
+
 /// Like [`run_throughput`], but the multi-thread Draco run carries a
 /// sampled span tracer; the merged spans come back alongside the report
 /// for export via [`draco::obs::chrome_trace_json`] /
@@ -371,13 +439,14 @@ pub fn run_throughput_traced(
     cfg: &ThroughputConfig,
     trace: &TraceConfig,
 ) -> (ThroughputReport, Vec<Span>) {
-    run_throughput_inner(cfg, Some(trace))
+    let (report, spans, _) = run_throughput_inner(cfg, Some(trace));
+    (report, spans)
 }
 
 fn run_throughput_inner(
     cfg: &ThroughputConfig,
     trace: Option<&TraceConfig>,
-) -> (ThroughputReport, Vec<Span>) {
+) -> (ThroughputReport, Vec<Span>, TimeseriesDump) {
     let spec = catalog::by_name(&cfg.workload)
         .unwrap_or_else(|| panic!("unknown workload `{}`", cfg.workload));
     let kind = ProfileKind::SyscallComplete;
@@ -415,6 +484,7 @@ fn run_throughput_inner(
     let shared_threads = run_shared_section(&spec, cfg);
     let batch = run_batch_section(&spec, cfg, &base, &multi_cfg, &backends, &mut metrics);
     let dag = run_dag_section(&spec, cfg);
+    let (timeseries, dump) = run_timeseries_section(&spec, cfg);
     let report = ThroughputReport {
         schema: SCHEMA.to_owned(),
         workload: cfg.workload.clone(),
@@ -427,8 +497,80 @@ fn run_throughput_inner(
         shared_threads,
         batch: Some(batch),
         dag: Some(dag),
+        timeseries: Some(timeseries),
     };
-    (report, spans)
+    (report, spans, dump)
+}
+
+/// The timeseries section (schema v7): one deny-heavy live replay of
+/// the draco-sw backend, rounds-sliced through the window pump with an
+/// unthrottled audit ring attached. Two shards, interleaved on one
+/// thread — deterministic counters for a given `(workload, seed)`.
+fn run_timeseries_section(
+    spec: &WorkloadSpec,
+    cfg: &ThroughputConfig,
+) -> (TimeseriesThroughput, TimeseriesDump) {
+    const ROUNDS: usize = 16;
+    const DENY_EVERY: usize = 8;
+    let live_cfg = LiveConfig {
+        replay: ReplayConfig {
+            shards: 2,
+            ops_per_shard: cfg.ops_per_shard,
+            warmup_ops: cfg.warmup_ops,
+            base_seed: cfg.seed,
+        },
+        rounds: ROUNDS,
+        // Hold every round: the dump is the complete series.
+        window_capacity: ROUNDS,
+        audit_capacity: 8192,
+        audit_burst: u64::MAX,
+        audit_refill_per_round: 0,
+        deny_every: DENY_EVERY,
+    };
+    let live = replay_live(
+        spec,
+        ProfileKind::SyscallComplete,
+        ReplayBackend::DracoSw,
+        &live_cfg,
+        |_| {},
+    );
+    let checks = live.total_checks();
+    let denials = live.metrics.checker.denials;
+    // The tentpole invariant: the stream's losses are accounted, never
+    // silent. Hard assert — a mismatch is a telemetry bug, not noise.
+    assert_eq!(
+        live.audit_published + live.audit_dropped,
+        denials,
+        "audit accounting must cover every denial"
+    );
+    let summary = TimeseriesThroughput {
+        schema: live.timeseries.schema.clone(),
+        rounds: live.rounds as u64,
+        deny_every: DENY_EVERY as u64,
+        intervals: live.timeseries.intervals.len() as u64,
+        intervals_pushed: live.timeseries.intervals_pushed,
+        intervals_dropped: live.timeseries.intervals_dropped,
+        checks,
+        denials,
+        audit_published: live.audit_published,
+        audit_dropped: live.audit_dropped,
+        checks_per_sec: if live.wall_ns > 0 {
+            finite_or_zero(checks as f64 * 1e9 / live.wall_ns as f64)
+        } else {
+            0.0
+        },
+        cache_hit_rate: if checks > 0 {
+            finite_or_zero(live.metrics.replay.cache_hits as f64 / checks as f64)
+        } else {
+            0.0
+        },
+        deny_rate: if checks > 0 {
+            finite_or_zero(denials as f64 / checks as f64)
+        } else {
+            0.0
+        },
+    };
+    (summary, live.timeseries)
 }
 
 /// The dag section (schema v6): every filter engine timed over a
@@ -649,6 +791,39 @@ mod tests {
         assert!(dag.table_entries > 0);
         assert!(dag.closed_entries > 0, "specializer closed some syscalls");
         assert!(dag.nodes > dag.fallback_nodes);
+        // v7: the timeseries section summarizes a live deny-heavy replay
+        // with exact audit accounting.
+        let ts = report.timeseries.as_ref().expect("v7 reports carry timeseries");
+        assert_eq!(ts.schema, "draco-timeseries/v1");
+        assert_eq!(ts.rounds, 16);
+        assert_eq!(ts.intervals_pushed, 16);
+        assert_eq!(ts.intervals_dropped, 0, "ring sized to hold every round");
+        assert_eq!(ts.intervals, 16);
+        assert_eq!(ts.checks, 600, "two shards of 300 measured checks");
+        assert!(ts.denials > 0, "every 8th request perturbed into a denial");
+        assert_eq!(ts.audit_published + ts.audit_dropped, ts.denials);
+        assert!(ts.deny_rate > 0.0 && ts.deny_rate < 0.5);
+    }
+
+    #[test]
+    fn timeseries_dump_reconstructs_the_section_totals() {
+        let (report, _, dump) = run_throughput_full(&tiny(), None);
+        let ts = report.timeseries.as_ref().unwrap();
+        assert_eq!(dump.schema, "draco-timeseries/v1");
+        assert_eq!(dump.intervals.len() as u64, ts.intervals);
+        assert_eq!(dump.intervals_pushed, ts.intervals_pushed);
+        let replayed: u64 = dump.intervals.iter().map(|s| s.delta.replay.checks).sum();
+        assert_eq!(replayed, ts.checks, "window deltas cover every check");
+        let denied: u64 = dump.intervals.iter().map(|s| s.delta.checker.denials).sum();
+        assert_eq!(denied, ts.denials, "window deltas cover every denial");
+        assert_eq!(
+            dump.intervals.last().unwrap().cumulative.checker.denials,
+            ts.denials
+        );
+        // The dump is a valid draco-timeseries/v1 document.
+        let json = serde_json::to_string(&dump).expect("serializes");
+        let back: TimeseriesDump = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, dump);
     }
 
     #[test]
@@ -708,6 +883,15 @@ mod tests {
         json = json.replace("\"dag\":", "\"renamed_away\":");
         let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
         assert!(back.dag.is_none(), "defaulted");
+    }
+
+    #[test]
+    fn pre_v7_reports_without_timeseries_section_still_parse() {
+        let report = run_throughput(&tiny());
+        let mut json = serde_json::to_string(&report).expect("serializes");
+        json = json.replace("\"timeseries\":", "\"renamed_away\":");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        assert!(back.timeseries.is_none(), "defaulted");
     }
 
     #[test]
@@ -793,6 +977,7 @@ mod tests {
             shared_threads: Vec::new(),
             batch: None,
             dag: None,
+            timeseries: None,
         };
         let json = serde_json::to_string(&report).expect("serializes");
         assert!(!json.contains("null"), "no non-finite rate leaked: {json}");

@@ -4,9 +4,11 @@ use core::fmt;
 
 use draco_bpf::{SeccompAction, SeccompData};
 use draco_cuckoo::{CrcPairHasher, HashPair, Lookup, PairHasher};
+use std::sync::Arc;
+
 use draco_obs::{
-    CheckerMetrics, EventRing, FlowClass, FlowEvent, Histogram, MetricsRegistry, SpanTracer,
-    Stage, TraceScope,
+    AuditDecision, AuditEngine, AuditEvent, AuditProvenance, AuditRing, CheckerMetrics,
+    EventRing, FlowClass, FlowEvent, Histogram, MetricsRegistry, SpanTracer, Stage, TraceScope,
 };
 use draco_profiles::{
     analyze_profile, compile_dag, compile_stacked, ArgPolicy, CompiledStack, DagStack,
@@ -62,6 +64,49 @@ impl fmt::Display for EngineKind {
             EngineKind::Dag => write!(f, "dag"),
         }
     }
+}
+
+/// Builds the security-audit event for one denying verdict, or `None`
+/// if `action` permits the call (nothing to audit).
+///
+/// The provenance records whether the specialized decision DAG closed
+/// the verdict by itself — a DAG engine that executed zero VM
+/// instructions — or the concrete cBPF VM decided (every other case,
+/// including DAG nodes that fell back). Used by both the per-process
+/// checker and the shared-process miss path so the two paths emit
+/// identical events for identical verdicts.
+pub fn deny_audit_event(
+    source: u16,
+    req: &SyscallRequest,
+    action: SeccompAction,
+    engine: EngineKind,
+    insns_executed: u64,
+) -> Option<AuditEvent> {
+    let decision = match action {
+        SeccompAction::Allow | SeccompAction::Log => return None,
+        SeccompAction::Errno(e) => AuditDecision::Errno(e),
+        SeccompAction::Trap => AuditDecision::Trap,
+        SeccompAction::Trace(d) => AuditDecision::Trace(d),
+        SeccompAction::KillThread => AuditDecision::KillThread,
+        SeccompAction::KillProcess => AuditDecision::KillProcess,
+    };
+    let engine = match engine {
+        EngineKind::Interpreted => AuditEngine::Interpreted,
+        EngineKind::Compiled => AuditEngine::Compiled,
+        EngineKind::Dag => AuditEngine::Dag,
+    };
+    let provenance = if engine == AuditEngine::Dag && insns_executed == 0 {
+        AuditProvenance::DagClosed
+    } else {
+        AuditProvenance::Vm
+    };
+    Some(AuditEvent {
+        source,
+        syscall: req.id.as_u16(),
+        decision,
+        engine,
+        provenance,
+    })
 }
 
 impl FilterEngine {
@@ -392,6 +437,11 @@ pub struct DracoChecker {
     span_trace: Option<Box<SpanTracer>>,
     /// Monotonic check counter (sequences trace events).
     check_seq: u64,
+    /// Optional denial audit stream: `(ring, source id)`. `None` (the
+    /// default) costs one branch per *denial* — allowed checks never
+    /// consult it. Offering into the ring is lock-free and
+    /// allocation-free, so the stream is hot-path safe.
+    audit: Option<(Arc<AuditRing>, u16)>,
     /// Optional statically-proved facts about the installed filter.
     /// `None` (the default) costs one branch per SPT hit.
     analysis: Option<AnalysisPlan>,
@@ -462,6 +512,7 @@ impl DracoChecker {
             flow_trace: None,
             span_trace: None,
             check_seq: 0,
+            audit: None,
             analysis: None,
             batch: BatchStats::default(),
             batch_size: Histogram::default(),
@@ -610,6 +661,27 @@ impl DracoChecker {
     /// The flow trace, if enabled.
     pub fn flow_trace(&self) -> Option<&EventRing> {
         self.flow_trace.as_ref()
+    }
+
+    /// Attaches a denial audit stream: every denying verdict this
+    /// checker produces is offered into `ring` tagged with `source`
+    /// (typically the process or replay-shard id). The ring is shared —
+    /// many checkers can feed one stream — and offering is lock-free
+    /// and allocation-free, so the hot path's zero-allocation contract
+    /// holds with auditing enabled.
+    pub fn enable_audit(&mut self, ring: Arc<AuditRing>, source: u16) {
+        self.audit = Some((ring, source));
+    }
+
+    /// Detaches (and releases this checker's handle on) the audit
+    /// stream.
+    pub fn disable_audit(&mut self) {
+        self.audit = None;
+    }
+
+    /// The attached audit ring, if any.
+    pub fn audit_ring(&self) -> Option<&Arc<AuditRing>> {
+        self.audit.as_ref().map(|(ring, _)| ring)
     }
 
     /// Installs a sampled stage-span tracer (typically one built with a
@@ -1239,6 +1311,17 @@ impl DracoChecker {
             scope.finish(FlowClass::FilterAllow);
         } else {
             self.stats.denials += 1;
+            if let Some((ring, source)) = &self.audit {
+                if let Some(event) = deny_audit_event(
+                    *source,
+                    req,
+                    outcome.action,
+                    self.filter.kind(),
+                    outcome.insns_executed,
+                ) {
+                    ring.offer(event);
+                }
+            }
             self.trace_flow(req, FlowClass::FilterDeny);
             scope.finish(FlowClass::FilterDeny);
         }
@@ -1384,6 +1467,93 @@ mod tests {
         }
         assert_eq!(checker.stats().denials, 3);
         assert_eq!(checker.stats().vat_hits, 0);
+    }
+
+    #[test]
+    fn audit_ring_sees_every_denial_and_nothing_else() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0, 64]));
+        let profile = gen.emit(ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        let ring = Arc::new(AuditRing::with_capacity(16));
+        checker.enable_audit(Arc::clone(&ring), 7);
+
+        checker.check(&req(0, &[3, 0, 64])); // allowed: no event
+        checker.check(&req(0, &[9, 0, 64])); // denied
+        checker.check(&req(99, &[0, 0, 0])); // denied (unknown syscall)
+        assert_eq!(checker.stats().denials, 2);
+        assert_eq!(
+            ring.events_published() + ring.events_dropped(),
+            checker.stats().denials
+        );
+
+        let mut events = Vec::new();
+        ring.drain(&mut events);
+        assert_eq!(events.len(), 2);
+        for event in &events {
+            assert_eq!(event.source, 7);
+            assert_eq!(event.engine, AuditEngine::Compiled);
+        }
+        assert_eq!(events[0].syscall, 0);
+        assert_eq!(events[1].syscall, 99);
+
+        checker.disable_audit();
+        checker.check(&req(0, &[9, 0, 64]));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn audit_batch_path_matches_scalar_denials() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(0, &[3, 0, 64]));
+        let profile = gen.emit(ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        let ring = Arc::new(AuditRing::with_capacity(64));
+        checker.enable_audit(Arc::clone(&ring), 1);
+
+        let reqs: Vec<SyscallRequest> = (0..32)
+            .map(|i| {
+                if i % 3 == 0 {
+                    req(0, &[9 + i, 0, 64]) // denied: unvalidated fd
+                } else {
+                    req(0, &[3, 0, 64]) // allowed
+                }
+            })
+            .collect();
+        let mut out = vec![
+            CheckResult {
+                action: SeccompAction::Allow,
+                path: CheckPath::SptHit,
+            };
+            reqs.len()
+        ];
+        checker.check_batch(&reqs, &mut out);
+        let denied = out.iter().filter(|r| !r.action.permits()).count() as u64;
+        assert_eq!(checker.stats().denials, denied);
+        assert_eq!(ring.events_published() + ring.events_dropped(), denied);
+    }
+
+    #[test]
+    fn dag_engine_denials_carry_closed_form_provenance() {
+        let mut gen = ProfileGenerator::new("app");
+        gen.observe(&req(39, &[]));
+        let profile = gen.emit(ProfileKind::SyscallNoargs);
+        let mut checker =
+            DracoChecker::from_profile_analyzed_with_engine(&profile, EngineKind::Dag).unwrap();
+        let ring = Arc::new(AuditRing::with_capacity(8));
+        checker.enable_audit(Arc::clone(&ring), 2);
+
+        let denied = checker.check(&req(99, &[0, 0, 0]));
+        assert!(!denied.action.permits());
+        let mut events = Vec::new();
+        ring.drain(&mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].engine, AuditEngine::Dag);
+        if let CheckPath::FilterRun { insns: 0 } = denied.path {
+            assert_eq!(events[0].provenance, AuditProvenance::DagClosed);
+        } else {
+            assert_eq!(events[0].provenance, AuditProvenance::Vm);
+        }
     }
 
     #[test]

@@ -57,8 +57,8 @@ mod stats;
 mod vat;
 
 pub use checker::{
-    BatchScratch, CheckMode, CheckPath, CheckResult, Decision, DracoChecker, EngineKind,
-    FilterEngine,
+    deny_audit_event, BatchScratch, CheckMode, CheckPath, CheckResult, Decision, DracoChecker,
+    EngineKind, FilterEngine,
 };
 pub use error::DracoError;
 pub use os::{DracoOs, OsError};

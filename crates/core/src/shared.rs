@@ -55,11 +55,11 @@ use std::sync::OnceLock;
 
 use draco_bpf::{SeccompAction, SeccompData};
 use draco_cuckoo::{ConcurrentTable, CrcPairHasher, HashPair, InsertOutcome, PairHasher};
-use draco_obs::{CheckerMetrics, CuckooMetrics, Histogram, MetricsRegistry, VatMetrics};
+use draco_obs::{AuditRing, CheckerMetrics, CuckooMetrics, Histogram, MetricsRegistry, VatMetrics};
 use draco_profiles::{analyze_profile, ArgPolicy, ProfileAnalysis, ProfileSpec, SyscallRule};
 use draco_syscalls::{ArgBitmask, MaskedBytes, SyscallId, SyscallRequest, SyscallTable};
 
-use crate::checker::{AnalysisPlan, FilterEngine};
+use crate::checker::{deny_audit_event, AnalysisPlan, FilterEngine};
 use crate::{
     BatchStats, CheckMode, CheckPath, CheckResult, CheckerStats, Decision, DracoError, EngineKind,
     ProcessId,
@@ -311,6 +311,10 @@ struct SharedState {
     epoch: AtomicU64,
     alive: AtomicBool,
     aggregate: Mutex<Aggregate>,
+    /// Optional denial-audit sink. Installed (rarely) under the lock;
+    /// each `spawn_thread` clones the `Arc` into the handle so the
+    /// miss-path emission itself is lock-free.
+    audit: Mutex<Option<Arc<AuditRing>>>,
 }
 
 impl SharedState {
@@ -465,6 +469,7 @@ impl SharedDracoProcess {
                     insns_per_filter_run: Histogram::default(),
                     saved_insns_per_hit: Histogram::default(),
                 }),
+                audit: Mutex::new(None),
             }),
         })
     }
@@ -497,11 +502,47 @@ impl SharedDracoProcess {
         self.state.read_policy().filter.kind()
     }
 
+    /// Attaches a denial-audit ring: every `Deny`/`Errno`/`Kill` verdict
+    /// from any thread emits one bounded
+    /// [`AuditEvent`](draco_obs::AuditEvent) tagged with this process's
+    /// pid (truncated to 16 bits).
+    ///
+    /// Handles capture the ring at [`SharedDracoProcess::spawn_thread`]
+    /// time, so call this *before* spawning the threads that should be
+    /// audited; existing handles keep their previous (possibly absent)
+    /// sink.
+    pub fn enable_audit(&self, ring: Arc<AuditRing>) {
+        *self
+            .state
+            .audit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(ring);
+    }
+
+    /// Detaches the denial-audit ring for threads spawned afterwards.
+    pub fn disable_audit(&self) {
+        *self
+            .state
+            .audit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+
+    /// The installed denial-audit ring, if any.
+    pub fn audit_ring(&self) -> Option<Arc<AuditRing>> {
+        self.state
+            .audit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
     /// Creates a checking handle that shares this process's SPT/VAT —
     /// the paper's thread spawn (§VI: new threads share the tables, so a
     /// pair validated by any thread is a hit for all).
     pub fn spawn_thread(&self) -> SharedThreadHandle {
         SharedThreadHandle {
+            audit: self.audit_ring(),
             state: Arc::clone(&self.state),
             stats: CheckerStats::default(),
             batch: BatchStats::default(),
@@ -709,6 +750,9 @@ impl fmt::Display for SharedDracoProcess {
 /// drop.
 pub struct SharedThreadHandle {
     state: Arc<SharedState>,
+    /// Captured from the process at spawn time so the deny emission
+    /// never takes the process-level lock.
+    audit: Option<Arc<AuditRing>>,
     stats: CheckerStats,
     batch: BatchStats,
     batch_size: Histogram,
@@ -1061,6 +1105,17 @@ impl SharedThreadHandle {
             self.record_validation(req, &policy, epoch);
         } else {
             self.stats.denials += 1;
+            if let Some(ring) = &self.audit {
+                if let Some(event) = deny_audit_event(
+                    self.state.pid.0 as u16,
+                    req,
+                    outcome.action,
+                    policy.filter.kind(),
+                    outcome.insns_executed,
+                ) {
+                    ring.offer(event);
+                }
+            }
         }
         CheckResult {
             action: outcome.action,
@@ -1283,6 +1338,54 @@ mod tests {
         let m = process.metrics();
         assert!(m.checker.always_allow_hits > 0);
         assert!(m.checker.masks_derived_match > 0 || m.checker.masks_overridden == 0);
+    }
+
+    #[test]
+    fn audit_ring_captures_every_thread_denial() {
+        let process = SharedDracoProcess::spawn(ProcessId(42), &docker_default()).unwrap();
+        let ring = Arc::new(AuditRing::with_capacity(64));
+        process.enable_audit(Arc::clone(&ring));
+        let mut t1 = process.spawn_thread();
+        let mut t2 = process.spawn_thread();
+
+        t1.check(&req(0, &[3, 0, 100])); // allowed: no event
+        t1.check(&req(999, &[0, 0, 0])); // denied
+        t2.check(&req(998, &[0, 0, 0])); // denied
+        t2.check(&req(999, &[0, 0, 0])); // denied again (denials never cache)
+        drop(t1);
+        drop(t2);
+
+        let denials = process.stats().denials;
+        assert_eq!(denials, 3);
+        assert_eq!(ring.events_published() + ring.events_dropped(), denials);
+        let mut events = Vec::new();
+        ring.drain(&mut events);
+        assert_eq!(events.len(), 3);
+        for event in &events {
+            assert_eq!(event.source, 42);
+            assert_eq!(event.engine, draco_obs::AuditEngine::Compiled);
+        }
+    }
+
+    #[test]
+    fn audit_attaches_only_to_threads_spawned_after_enable() {
+        let process = SharedDracoProcess::spawn(ProcessId(5), &docker_default()).unwrap();
+        let mut before = process.spawn_thread();
+        let ring = Arc::new(AuditRing::with_capacity(8));
+        process.enable_audit(Arc::clone(&ring));
+        assert!(process.audit_ring().is_some());
+        let mut after = process.spawn_thread();
+
+        before.check(&req(999, &[0, 0, 0]));
+        assert!(ring.is_empty(), "pre-enable handles keep no sink");
+        after.check(&req(999, &[0, 0, 0]));
+        assert_eq!(ring.len(), 1);
+
+        process.disable_audit();
+        assert!(process.audit_ring().is_none());
+        let mut detached = process.spawn_thread();
+        detached.check(&req(998, &[0, 0, 0]));
+        assert_eq!(ring.len(), 1, "post-disable handles emit nothing");
     }
 
     #[test]

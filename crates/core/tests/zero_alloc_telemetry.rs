@@ -1,0 +1,132 @@
+//! Counting-allocator proof for the live-telemetry layer: with an audit
+//! ring attached and a metrics window pumping snapshots, the steady
+//! state allocates nothing —
+//!
+//! * cache-hit checks are unchanged (the audit hook is a branch on an
+//!   `Option` that deny paths alone enter);
+//! * the deny path itself — filter run plus [`draco_obs::AuditRing`]
+//!   `offer` — is allocation-free (one packed atomic store);
+//! * window pushes ([`draco_obs::MetricsWindow::push`]) subtract
+//!   cumulative snapshots into pre-allocated ring slots in place;
+//! * draining the audit ring through `drain_with` streams events without
+//!   buffering.
+//!
+//! Same harness discipline as `zero_alloc.rs`: the counter is gated on a
+//! thread-local flag so only the measuring thread is attributed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use draco_core::{CheckPath, DracoChecker};
+use draco_obs::{AuditRing, Histogram, MetricsWindow};
+use draco_profiles::{ProfileGenerator, ProfileKind};
+use draco_syscalls::{ArgSet, SyscallId, SyscallRequest};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_enabled() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting_enabled() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting_enabled() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn req(nr: u16, args: &[u64]) -> SyscallRequest {
+    SyscallRequest::new(0x1000, SyscallId::new(nr), ArgSet::from_slice(args))
+}
+
+#[test]
+fn telemetry_steady_state_does_not_allocate() {
+    let mut gen = ProfileGenerator::new("zero-alloc-telemetry");
+    gen.observe(&req(0, &[3, 0xaaaa, 64]));
+    gen.observe(&req(39, &[]));
+    let profile = gen.emit(ProfileKind::SyscallComplete);
+    let mut checker = DracoChecker::from_profile(&profile).expect("compiles");
+
+    let ring = Arc::new(AuditRing::with_rate_limit(1024, 512));
+    checker.enable_audit(Arc::clone(&ring), 1);
+
+    // Window ring and latency snapshot pre-allocated before measuring.
+    let mut window = MetricsWindow::with_capacity(32);
+    let latency = Histogram::default();
+    window.reset_baseline(&checker.metrics(), 0);
+
+    // Warm: validate the hit requests, touch the deny request once (the
+    // cold miss may build VAT state; denials themselves never cache, so
+    // the warmed deny path is exactly the measured one).
+    let hit_req = req(0, &[3, 1, 64]);
+    let spt_req = req(39, &[]);
+    let deny_req = req(0, &[9, 0, 64]);
+    checker.check(&hit_req);
+    checker.check(&spt_req);
+    assert!(!checker.check(&deny_req).action.permits());
+    assert_eq!(checker.check(&hit_req).path, CheckPath::VatHit);
+    assert_eq!(checker.check(&spt_req).path, CheckPath::SptHit);
+    let mut seen = 0u64;
+    ring.drain_with(|_| seen += 1);
+    assert_eq!(seen, 1, "warm denial audited");
+
+    // Measured window: hits, denials (audited), periodic window pushes,
+    // token refills, and streaming drains — zero heap traffic.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for round in 0..1_000u64 {
+        assert_eq!(checker.check(&hit_req).path, CheckPath::VatHit);
+        assert_eq!(checker.check(&spt_req).path, CheckPath::SptHit);
+        assert!(!checker.check(&deny_req).action.permits());
+        if round % 16 == 0 {
+            window.push(&checker.metrics(), &latency, round + 1);
+            ring.refill(16);
+            ring.drain_with(|_| seen += 1);
+        }
+    }
+    COUNTING.with(|c| c.set(false));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "audit emission, window pushes, and streaming drains must not allocate"
+    );
+
+    // The telemetry really observed the traffic.
+    ring.refill(u64::MAX);
+    ring.drain_with(|_| seen += 1);
+    assert_eq!(
+        seen + ring.events_dropped(),
+        1 + 1_000,
+        "every denial is either streamed or explicitly counted as dropped"
+    );
+    assert_eq!(checker.stats().denials, 1 + 1_000);
+    assert!(window.intervals_pushed() >= 32, "window wrapped");
+    assert!(window.intervals_dropped() > 0, "wrap accounted");
+    let last = window.last_slot().expect("window non-empty");
+    assert!(last.cumulative.checker.denials >= 900);
+}

@@ -11,7 +11,12 @@
 //! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
 //! dracoctl trace <workload> [--format chrome|folded] [--hw] # stage spans
-//! dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--batch N] [--json]
+//! dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--batch N]
+//!                [--json] [--prom]
+//! dracoctl stats --quick [PATH]          # summarize the untracked quick bench
+//! dracoctl top <workload> [--shards N] [--ops N] [--rounds N] [--deny-every N]
+//! dracoctl audit <workload> [--follow] [--format jsonl|human] [--deny-every N]
+//! dracoctl prom-lint <PATH|->            # Prometheus text-format checker
 //! dracoctl shared-replay <workload> [--threads N] [--ops N] [--warmup N]
 //!                        [--seed N] [--mix skewed|uniform] [--batch N] [--json]
 //! dracoctl workloads                                        # list the catalog
@@ -44,6 +49,9 @@ fn run(args: &[String]) -> i32 {
         Some("check") => check_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
+        Some("top") => top_cmd(&args[1..]),
+        Some("audit") => audit_cmd(&args[1..]),
+        Some("prom-lint") => prom_lint_cmd(&args[1..]),
         Some("shared-replay") => shared_replay_cmd(&args[1..]),
         Some("workloads") => {
             for spec in catalog::all() {
@@ -59,7 +67,7 @@ fn run(args: &[String]) -> i32 {
         }
         _ => {
             eprintln!(
-                "usage: dracoctl <profile|analyze|compile|check|trace|stats|workloads> ...\n\
+                "usage: dracoctl <profile|analyze|compile|check|trace|stats|top|audit|prom-lint|workloads> ...\n\
                  \x20 profile stats|json|disasm <docker|gvisor|firecracker|PATH.json>\n\
                  \x20 analyze <profile> [--format human|json] [--strict]\n\
                  \x20 compile <profile>\n\
@@ -68,7 +76,15 @@ fn run(args: &[String]) -> i32 {
                  \x20 trace analyze <PATH.json|->\n\
                  \x20 trace <workload> [--format chrome|folded] [--ops N] [--seed N]\n\
                  \x20       [--sample N] [--hw] [--out PATH]\n\
-                 \x20 stats <workload> [--ops N] [--seed N] [--trace N] [--batch N] [--json]\n\
+                 \x20 stats <workload> [--ops N] [--seed N] [--trace N] [--batch N]\n\
+                 \x20       [--json] [--prom]\n\
+                 \x20 stats --quick [PATH]   (summarize target/BENCH_throughput.quick.json)\n\
+                 \x20 top <workload> [--shards N] [--ops N] [--warmup N] [--seed N]\n\
+                 \x20     [--rounds N] [--window N] [--deny-every N] [--batch N] [--dag]\n\
+                 \x20 audit <workload> [--follow] [--format jsonl|human] [--shards N]\n\
+                 \x20       [--ops N] [--warmup N] [--seed N] [--rounds N] [--deny-every N]\n\
+                 \x20       [--capacity N] [--burst N] [--refill N]\n\
+                 \x20 prom-lint <PATH|->\n\
                  \x20 shared-replay <workload> [--threads N] [--ops N] [--warmup N]\n\
                  \x20               [--seed N] [--mix skewed|uniform] [--batch N] [--json]\n\
                  \x20 workloads"
@@ -547,14 +563,34 @@ fn parse_u64(s: &str) -> Result<u64, String> {
 /// groups of `N` (decisions are identical to the scalar loop — the
 /// batch counters in the snapshot show the staging at work); `--json`
 /// emits the raw [`draco::obs::MetricsRegistry`] instead of the human
-/// snapshot.
+/// snapshot; `--prom` renders the registry in the Prometheus text
+/// format (pipe through `dracoctl prom-lint -` to check it).
+///
+/// `dracoctl stats --quick [PATH]` takes no workload: it summarizes an
+/// untracked quick bench report (`repro throughput --quick`), default
+/// path `target/BENCH_throughput.quick.json` at the repo root.
 fn stats_cmd(args: &[String]) -> i32 {
     let Some(name) = args.first() else {
         eprintln!(
-            "usage: dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--batch N] [--json]"
+            "usage: dracoctl stats <workload> [--ops N] [--seed N] [--trace N] [--batch N] [--json] [--prom]\n\
+             \x20      dracoctl stats --quick [PATH]"
         );
         return 2;
     };
+    if name == "--quick" {
+        let path = args.get(1).cloned().unwrap_or_else(|| {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/BENCH_throughput.quick.json"
+            )
+            .to_owned()
+        });
+        if args.len() > 2 {
+            eprintln!("unknown flag `{}`", args[2]);
+            return 2;
+        }
+        return quick_bench_summary(&path);
+    }
     let Some(spec) = catalog::by_name(name) else {
         eprintln!("unknown workload `{name}` (try `dracoctl workloads`)");
         return 1;
@@ -564,6 +600,7 @@ fn stats_cmd(args: &[String]) -> i32 {
     let mut ring_cap = 0usize;
     let mut batch = 0usize;
     let mut json = false;
+    let mut prom = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -584,6 +621,7 @@ fn stats_cmd(args: &[String]) -> i32 {
                 batch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(batch);
             }
             "--json" => json = true,
+            "--prom" => prom = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 return 2;
@@ -609,6 +647,10 @@ fn stats_cmd(args: &[String]) -> i32 {
         }
     }
     let metrics = checker.metrics();
+    if prom {
+        print!("{}", draco::obs::render_prometheus(&metrics));
+        return 0;
+    }
     if json {
         println!("{}", serde_json::to_string_pretty(&metrics).expect("registry serializes"));
         return 0;
@@ -637,9 +679,10 @@ fn stats_cmd(args: &[String]) -> i32 {
     if let Some(ring) = checker.flow_trace() {
         let table = SyscallTable::shared();
         println!(
-            "recent flows ({} kept of {} recorded):",
+            "recent flows ({} kept of {} recorded, {} overwritten):",
             ring.len(),
-            ring.total_recorded()
+            ring.total_recorded(),
+            ring.events_dropped()
         );
         for ev in ring.iter_recent() {
             let name = table
@@ -649,6 +692,432 @@ fn stats_cmd(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+/// Summarizes an untracked quick throughput report generically (the
+/// CLI has no `draco-bench` dependency, so the JSON is read through
+/// `serde_json::Value` and tolerates any `draco-throughput/*` schema).
+fn quick_bench_summary(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e} (run `repro throughput --quick` first)");
+            return 1;
+        }
+    };
+    let doc: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("`{path}` is not JSON: {e}");
+            return 1;
+        }
+    };
+    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if !schema.starts_with("draco-throughput/") {
+        eprintln!("`{path}` is not a throughput report (schema `{schema}`)");
+        return 1;
+    }
+    println!(
+        "{path}: {schema} — workload {}, {} ops/shard x {} shards (seed {})",
+        doc.get("workload").and_then(|v| v.as_str()).unwrap_or("?"),
+        doc.get("ops_per_shard").and_then(|v| v.as_u64()).unwrap_or(0),
+        doc.get("shards").and_then(|v| v.as_u64()).unwrap_or(0),
+        doc.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+    );
+    println!(
+        "{:<18} {:>14} {:>14} {:>9} {:>9}",
+        "backend", "1-thread", "N-thread", "speedup", "hit-rate"
+    );
+    for b in doc
+        .get("backends")
+        .and_then(|v| v.as_array())
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
+    {
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>8.2}x {:>8.1}%",
+            b.get("backend").and_then(|v| v.as_str()).unwrap_or("?"),
+            b.get("single_thread_checks_per_sec").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            b.get("multi_thread_checks_per_sec").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            b.get("parallel_speedup").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            b.get("cache_hit_rate").and_then(|v| v.as_f64()).unwrap_or(0.0) * 100.0,
+        );
+    }
+    if let Some(ts) = doc.get("timeseries").filter(|v| !v.is_null()) {
+        println!(
+            "timeseries: {} intervals held ({} pushed, {} dropped), {} denials, audit {} published / {} dropped",
+            ts.get("intervals").and_then(|v| v.as_u64()).unwrap_or(0),
+            ts.get("intervals_pushed").and_then(|v| v.as_u64()).unwrap_or(0),
+            ts.get("intervals_dropped").and_then(|v| v.as_u64()).unwrap_or(0),
+            ts.get("denials").and_then(|v| v.as_u64()).unwrap_or(0),
+            ts.get("audit_published").and_then(|v| v.as_u64()).unwrap_or(0),
+            ts.get("audit_dropped").and_then(|v| v.as_u64()).unwrap_or(0),
+        );
+    }
+    0
+}
+
+/// `dracoctl top <workload> [--shards N] [--ops N] [--warmup N]
+/// [--seed N] [--rounds N] [--window N] [--deny-every N] [--batch N]
+/// [--dag]` — live per-shard table over a rounds-sliced replay. Each
+/// round merges the shard registries, seals one window interval, and
+/// redraws: sliding-window rates (checks/sec, cache-hit, deny) from the
+/// newest intervals, windowed latency quantiles, per-shard progress,
+/// and the audit ring's accounting. On a terminal the table refreshes
+/// in place; piped output prints one summary line per round.
+fn top_cmd(args: &[String]) -> i32 {
+    use std::io::IsTerminal as _;
+
+    use draco::workloads::live::{replay_live, LiveConfig, LiveTick};
+    use draco::workloads::replay::ReplayBackend;
+
+    let Some(name) = args.first() else {
+        eprintln!(
+            "usage: dracoctl top <workload> [--shards N] [--ops N] [--warmup N] [--seed N] [--rounds N] [--window N] [--deny-every N] [--batch N] [--dag]"
+        );
+        return 2;
+    };
+    let Some(spec) = catalog::by_name(name) else {
+        eprintln!("unknown workload `{name}` (try `dracoctl workloads`)");
+        return 1;
+    };
+    let mut cfg = LiveConfig::default();
+    let mut batch = 0usize;
+    let mut dag = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                cfg.replay.shards =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.replay.shards);
+            }
+            "--ops" => {
+                i += 1;
+                cfg.replay.ops_per_shard = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.replay.ops_per_shard);
+            }
+            "--warmup" => {
+                i += 1;
+                cfg.replay.warmup_ops =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.replay.warmup_ops);
+            }
+            "--seed" => {
+                i += 1;
+                cfg.replay.base_seed =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.replay.base_seed);
+            }
+            "--rounds" => {
+                i += 1;
+                cfg.rounds = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.rounds);
+            }
+            "--window" => {
+                i += 1;
+                cfg.window_capacity =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.window_capacity);
+            }
+            "--deny-every" => {
+                i += 1;
+                cfg.deny_every =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.deny_every);
+            }
+            "--batch" => {
+                i += 1;
+                batch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(batch);
+            }
+            "--dag" => dag = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if cfg.replay.shards == 0 || cfg.rounds == 0 || cfg.window_capacity == 0 {
+        eprintln!("--shards, --rounds, and --window must be nonzero");
+        return 2;
+    }
+    let backend = if batch > 0 {
+        ReplayBackend::DracoBatch { batch }
+    } else if dag {
+        ReplayBackend::DracoDag
+    } else {
+        ReplayBackend::DracoSw
+    };
+
+    let interactive = std::io::stdout().is_terminal();
+    let render = |tick: &LiveTick<'_>| {
+        if interactive {
+            // Clear and home; redraw the whole table each round.
+            print!("\x1b[2J\x1b[H");
+        }
+        if let Some(r) = tick.window.rates_over_last(5) {
+            println!(
+                "{name} [{}] round {}/{} — window[{}]: {:.0} checks/s, {:.1}% cache-hit, {:.2}% deny",
+                backend.label(),
+                tick.round + 1,
+                tick.rounds,
+                r.intervals,
+                r.checks_per_sec,
+                r.cache_hit_rate * 100.0,
+                r.deny_rate * 100.0,
+            );
+            if interactive {
+                println!("window latency (ns): {}", r.latency_ns.quantile_summary());
+            }
+        }
+        if interactive {
+            println!(
+                "{:<6} {:>10} {:>10} {:>10} {:>10}",
+                "shard", "checks", "allowed", "denials", "cache-hit"
+            );
+            for s in tick.shards {
+                println!(
+                    "{:<6} {:>10} {:>10} {:>10} {:>9.1}%",
+                    s.shard,
+                    s.checks,
+                    s.allowed,
+                    s.denials,
+                    if s.checks > 0 {
+                        s.cache_hits as f64 * 100.0 / s.checks as f64
+                    } else {
+                        0.0
+                    }
+                );
+            }
+            println!(
+                "audit: {} published, {} dropped ({} ring-full, {} throttled), {} queued",
+                tick.audit.events_published(),
+                tick.audit.events_dropped(),
+                tick.audit.dropped_ring_full(),
+                tick.audit.dropped_rate_limited(),
+                tick.audit.len()
+            );
+        }
+    };
+    let report = replay_live(&spec, ProfileKind::SyscallComplete, backend, &cfg, render);
+
+    println!(
+        "{}: {} checks in {} rounds, {} denials ({} audited, {} dropped), {:.0} checks/s overall",
+        report.workload,
+        report.total_checks(),
+        report.rounds,
+        report.total_denials(),
+        report.audit_published,
+        report.audit_dropped,
+        if report.wall_ns > 0 {
+            report.total_checks() as f64 * 1e9 / report.wall_ns as f64
+        } else {
+            0.0
+        }
+    );
+    0
+}
+
+/// `dracoctl audit <workload> [--follow] [--format jsonl|human]
+/// [--shards N] [--ops N] [--warmup N] [--seed N] [--rounds N]
+/// [--deny-every N] [--capacity N] [--burst N] [--refill N]` — runs a
+/// live replay and prints its denial-audit stream. By default every 8th
+/// measured request is perturbed into a guaranteed denial
+/// (`--deny-every 0` replays the trace untouched); `--follow` streams
+/// events as each round drains the ring instead of printing them at the
+/// end. `jsonl` emits one JSON object per event; `human` a table with
+/// resolved syscall names. The accounting summary goes to stderr so
+/// JSONL output stays machine-readable; exits 1 if published + dropped
+/// does not equal the registry's denial counter.
+fn audit_cmd(args: &[String]) -> i32 {
+    use draco::obs::AuditEvent;
+    use draco::workloads::live::{replay_live, LiveConfig};
+    use draco::workloads::replay::ReplayBackend;
+
+    let Some(name) = args.first() else {
+        eprintln!(
+            "usage: dracoctl audit <workload> [--follow] [--format jsonl|human] [--shards N] [--ops N] [--warmup N] [--seed N] [--rounds N] [--deny-every N] [--capacity N] [--burst N] [--refill N]"
+        );
+        return 2;
+    };
+    let Some(spec) = catalog::by_name(name) else {
+        eprintln!("unknown workload `{name}` (try `dracoctl workloads`)");
+        return 1;
+    };
+    let mut cfg = LiveConfig {
+        deny_every: 8,
+        ..LiveConfig::default()
+    };
+    let mut follow = false;
+    let mut format = "human".to_owned();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                cfg.replay.shards =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.replay.shards);
+            }
+            "--ops" => {
+                i += 1;
+                cfg.replay.ops_per_shard = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.replay.ops_per_shard);
+            }
+            "--warmup" => {
+                i += 1;
+                cfg.replay.warmup_ops =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.replay.warmup_ops);
+            }
+            "--seed" => {
+                i += 1;
+                cfg.replay.base_seed =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.replay.base_seed);
+            }
+            "--rounds" => {
+                i += 1;
+                cfg.rounds = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.rounds);
+            }
+            "--deny-every" => {
+                i += 1;
+                cfg.deny_every =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.deny_every);
+            }
+            "--capacity" => {
+                i += 1;
+                cfg.audit_capacity =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.audit_capacity);
+            }
+            "--burst" => {
+                i += 1;
+                cfg.audit_burst =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.audit_burst);
+            }
+            "--refill" => {
+                i += 1;
+                cfg.audit_refill_per_round = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.audit_refill_per_round);
+            }
+            "--format" => {
+                i += 1;
+                format = args.get(i).cloned().unwrap_or(format);
+            }
+            "--follow" => follow = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if format != "jsonl" && format != "human" {
+        eprintln!("--format must be `jsonl` or `human`, got `{format}`");
+        return 2;
+    }
+    if cfg.replay.shards == 0 || cfg.rounds == 0 {
+        eprintln!("--shards and --rounds must be nonzero");
+        return 2;
+    }
+
+    let table = SyscallTable::shared();
+    let print_event = |ev: &AuditEvent| {
+        if format == "jsonl" {
+            println!("{}", ev.to_json_line());
+        } else {
+            let syscall = table
+                .get(SyscallId::new(ev.syscall))
+                .map_or_else(|| ev.syscall.to_string(), |d| d.name().to_owned());
+            println!(
+                "{:<6} {:<18} {:<10} {:<10} {}",
+                ev.source,
+                syscall,
+                ev.decision.label(),
+                ev.engine.label(),
+                ev.provenance.label()
+            );
+        }
+    };
+    if format == "human" {
+        println!(
+            "{:<6} {:<18} {:<10} {:<10} provenance",
+            "shard", "syscall", "decision", "engine"
+        );
+    }
+    let report = replay_live(
+        &spec,
+        ProfileKind::SyscallComplete,
+        ReplayBackend::DracoSw,
+        &cfg,
+        |tick| {
+            if follow {
+                for ev in tick.events {
+                    print_event(ev);
+                }
+            }
+        },
+    );
+    if !follow {
+        for ev in &report.events {
+            print_event(ev);
+        }
+    }
+    let denials = report.metrics.checker.denials;
+    eprintln!(
+        "audit: {} denials — {} published, {} dropped ({} ring-full, {} rate-limited)",
+        denials,
+        report.audit_published,
+        report.audit_dropped,
+        report.audit_dropped_ring_full,
+        report.audit_dropped_rate_limited
+    );
+    if report.audit_published + report.audit_dropped != denials {
+        eprintln!(
+            "ERROR: audit accounting broken: {} + {} != {}",
+            report.audit_published, report.audit_dropped, denials
+        );
+        return 1;
+    }
+    0
+}
+
+/// `dracoctl prom-lint <PATH|->` — validates a Prometheus text-format
+/// exposition (`dracoctl stats <w> --prom` output, or any scrape body)
+/// with [`draco::obs::validate_exposition`]: per-line syntax plus
+/// histogram-family consistency. Exits 0 and reports the family count
+/// when clean, 1 with the first error otherwise.
+fn prom_lint_cmd(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: dracoctl prom-lint <PATH|->");
+        return 2;
+    };
+    if args.len() > 1 {
+        eprintln!("unknown flag `{}`", args[1]);
+        return 2;
+    }
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).expect("stdin");
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return 1;
+            }
+        }
+    };
+    match draco::obs::validate_exposition(&text) {
+        Ok(families) => {
+            println!("ok: {families} metric families, Prometheus text format");
+            0
+        }
+        Err(e) => {
+            eprintln!("invalid exposition: {e}");
+            1
+        }
+    }
 }
 
 /// `dracoctl shared-replay <workload> [--threads N] [--ops N]
@@ -1092,6 +1561,103 @@ mod tests {
             stats_cmd(&argv(&["pipe", "--ops", "400", "--batch", "32", "--json"])),
             0
         );
+        assert_eq!(stats_cmd(&argv(&["pipe", "--ops", "400", "--prom"])), 0);
+    }
+
+    #[test]
+    fn stats_quick_summarizes_a_bench_report() {
+        let dir = std::env::temp_dir().join("dracoctl_quick_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quick.json");
+        std::fs::write(
+            &path,
+            r#"{"schema":"draco-throughput/v7","workload":"pipe",
+                "ops_per_shard":5000,"warmup_ops":1000,"seed":2020,"shards":2,
+                "backends":[{"backend":"draco-sw",
+                             "single_thread_checks_per_sec":1e6,
+                             "multi_thread_checks_per_sec":2e6,
+                             "parallel_speedup":2.0,"cache_hit_rate":0.9}],
+                "timeseries":{"schema":"draco-timeseries/v1","rounds":16,
+                              "intervals":16,"intervals_pushed":16,
+                              "intervals_dropped":0,"checks":10000,
+                              "denials":1250,"deny_every":8,
+                              "audit_published":1250,"audit_dropped":0,
+                              "checks_per_sec":1e6,"cache_hit_rate":0.9,
+                              "deny_rate":0.125}}"#,
+        )
+        .unwrap();
+        let arg = path.to_str().unwrap();
+        assert_eq!(stats_cmd(&argv(&["--quick", arg])), 0);
+        assert_eq!(stats_cmd(&argv(&["--quick", arg, "--bogus"])), 2);
+        assert_eq!(stats_cmd(&argv(&["--quick", "/nonexistent/quick.json"])), 1);
+        let not_a_report = dir.join("other.json");
+        std::fs::write(&not_a_report, r#"{"schema":"draco-analysis/v1"}"#).unwrap();
+        assert_eq!(
+            stats_cmd(&argv(&["--quick", not_a_report.to_str().unwrap()])),
+            1
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&not_a_report);
+    }
+
+    #[test]
+    fn top_runs_every_backend_and_rejects_bad_usage() {
+        let base = &["pipe", "--ops", "400", "--warmup", "100", "--rounds", "4"];
+        assert_eq!(top_cmd(&argv(base)), 0);
+        let mut batched = base.to_vec();
+        batched.extend(["--batch", "32", "--deny-every", "9"]);
+        assert_eq!(top_cmd(&argv(&batched)), 0);
+        let mut dag = base.to_vec();
+        dag.push("--dag");
+        assert_eq!(top_cmd(&argv(&dag)), 0);
+        assert_eq!(top_cmd(&argv(&[])), 2);
+        assert_eq!(top_cmd(&argv(&["no-such-workload"])), 1);
+        assert_eq!(top_cmd(&argv(&["pipe", "--bogus"])), 2);
+        assert_eq!(top_cmd(&argv(&["pipe", "--rounds", "0"])), 2);
+    }
+
+    #[test]
+    fn audit_streams_in_both_formats_and_accounts() {
+        let base = &["sysbench-fio", "--ops", "400", "--warmup", "100", "--rounds", "4"];
+        assert_eq!(audit_cmd(&argv(base)), 0);
+        let mut jsonl = base.to_vec();
+        jsonl.extend(["--format", "jsonl", "--follow"]);
+        assert_eq!(audit_cmd(&argv(&jsonl)), 0);
+        // Throttled ring: accounting must still balance (exit 0).
+        let mut throttled = base.to_vec();
+        throttled.extend(["--burst", "4", "--refill", "2"]);
+        assert_eq!(audit_cmd(&argv(&throttled)), 0);
+        assert_eq!(audit_cmd(&argv(&[])), 2);
+        assert_eq!(audit_cmd(&argv(&["no-such-workload"])), 1);
+        assert_eq!(audit_cmd(&argv(&["pipe", "--format", "xml"])), 2);
+        assert_eq!(audit_cmd(&argv(&["pipe", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn prom_lint_validates_rendered_expositions() {
+        let dir = std::env::temp_dir().join("dracoctl_prom_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = catalog::by_name("pipe").unwrap();
+        let trace = TraceGenerator::new(&spec, 0).generate(400);
+        let profile = profile_for_trace(&trace, ProfileKind::SyscallComplete);
+        let mut checker = DracoChecker::from_profile(&profile).unwrap();
+        for req in trace.requests() {
+            checker.check(&req);
+        }
+        let good = dir.join("metrics.prom");
+        std::fs::write(&good, draco::obs::render_prometheus(&checker.metrics())).unwrap();
+        assert_eq!(prom_lint_cmd(&argv(&[good.to_str().unwrap()])), 0);
+        let bad = dir.join("bad.prom");
+        std::fs::write(&bad, "draco_orphan_sample 1\n").unwrap();
+        assert_eq!(prom_lint_cmd(&argv(&[bad.to_str().unwrap()])), 1);
+        assert_eq!(prom_lint_cmd(&argv(&[])), 2);
+        assert_eq!(prom_lint_cmd(&argv(&["/nonexistent.prom"])), 1);
+        assert_eq!(
+            prom_lint_cmd(&argv(&[good.to_str().unwrap(), "--bogus"])),
+            2
+        );
+        let _ = std::fs::remove_file(&good);
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

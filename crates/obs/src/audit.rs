@@ -1,0 +1,640 @@
+//! The structured security-audit stream.
+//!
+//! Dynamic syscall-limitation systems tune and audit policy from a
+//! runtime record of *denied* syscalls; Draco's denials previously
+//! vanished into one aggregate counter. This module gives every
+//! `Deny`/`Errno`/`Kill` verdict a structured [`AuditEvent`] — who
+//! (process/shard), what (syscall number), how (decision and errno),
+//! and which engine decided it (interpreter / compiled VM / decision
+//! DAG, with provenance distinguishing a DAG-closed verdict from a VM
+//! fallback).
+//!
+//! Events flow through an [`AuditRing`]: a lock-free bounded
+//! multi-producer/single-consumer ring of packed `AtomicU64` slots
+//! (no `unsafe` — each event fits one word, and a set high bit marks a
+//! published slot, so `0` always means *vacant*). Producers reserve a
+//! sequence number by CAS and publish with a release store; the drain
+//! side consumes published slots in order and re-zeros them. A
+//! token-bucket rate limiter bounds the event rate under deny storms.
+//! Loss is never silent: both ring-full and throttled drops land in an
+//! explicit [`AuditRing::events_dropped`] counter, so
+//! `events drained + still queued + dropped == denials` holds exactly.
+//!
+//! Offering an event is zero-allocation and wait-free apart from the
+//! reservation CAS — safe on the check hot path's deny branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The denying verdict a filter engine returned for one syscall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AuditDecision {
+    /// The call was failed with this errno (seccomp `ERRNO`).
+    Errno(u16),
+    /// The calling thread takes a `SIGSYS` trap (seccomp `TRAP`).
+    Trap,
+    /// The call was diverted to a tracer with this data word and no
+    /// tracer permitted it (seccomp `TRACE`).
+    Trace(u16),
+    /// The calling thread is killed (seccomp `KILL_THREAD`).
+    KillThread,
+    /// The whole process is killed (seccomp `KILL_PROCESS`).
+    KillProcess,
+}
+
+impl AuditDecision {
+    /// Stable label used in JSONL output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AuditDecision::Errno(_) => "errno",
+            AuditDecision::Trap => "trap",
+            AuditDecision::Trace(_) => "trace",
+            AuditDecision::KillThread => "kill-thread",
+            AuditDecision::KillProcess => "kill-process",
+        }
+    }
+
+    /// The 16-bit payload (errno or trace data; 0 for kills and traps).
+    pub const fn data(self) -> u16 {
+        match self {
+            AuditDecision::Errno(v) | AuditDecision::Trace(v) => v,
+            _ => 0,
+        }
+    }
+
+    const fn tag(self) -> u64 {
+        match self {
+            AuditDecision::Errno(_) => 1,
+            AuditDecision::Trap => 2,
+            AuditDecision::Trace(_) => 3,
+            AuditDecision::KillThread => 4,
+            AuditDecision::KillProcess => 5,
+        }
+    }
+
+    const fn from_tag(tag: u64, data: u16) -> AuditDecision {
+        match tag {
+            1 => AuditDecision::Errno(data),
+            2 => AuditDecision::Trap,
+            3 => AuditDecision::Trace(data),
+            4 => AuditDecision::KillThread,
+            // Unknown tags decode conservatively as the harshest verdict.
+            _ => AuditDecision::KillProcess,
+        }
+    }
+}
+
+/// Which miss-engine flavor produced the verdict (the observability
+/// mirror of the checker's engine selection).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AuditEngine {
+    /// The cBPF interpreter.
+    Interpreted,
+    /// The compiled cBPF VM.
+    #[default]
+    Compiled,
+    /// The specialized decision DAG.
+    Dag,
+}
+
+impl AuditEngine {
+    /// Stable label used in JSONL output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AuditEngine::Interpreted => "interpreted",
+            AuditEngine::Compiled => "compiled",
+            AuditEngine::Dag => "dag",
+        }
+    }
+
+    const fn tag(self) -> u64 {
+        match self {
+            AuditEngine::Interpreted => 0,
+            AuditEngine::Compiled => 1,
+            AuditEngine::Dag => 2,
+        }
+    }
+
+    const fn from_tag(tag: u64) -> AuditEngine {
+        match tag {
+            0 => AuditEngine::Interpreted,
+            2 => AuditEngine::Dag,
+            _ => AuditEngine::Compiled,
+        }
+    }
+}
+
+/// How the verdict was reached inside the engine — whether the
+/// analysis-derived DAG closed the decision itself or fell back to the
+/// concrete VM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AuditProvenance {
+    /// The concrete cBPF VM executed instructions to decide.
+    #[default]
+    Vm,
+    /// The specialized decision DAG decided without any VM fallback
+    /// (zero instructions executed).
+    DagClosed,
+}
+
+impl AuditProvenance {
+    /// Stable label used in JSONL output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AuditProvenance::Vm => "vm",
+            AuditProvenance::DagClosed => "dag-closed",
+        }
+    }
+
+    const fn tag(self) -> u64 {
+        match self {
+            AuditProvenance::Vm => 0,
+            AuditProvenance::DagClosed => 1,
+        }
+    }
+
+    const fn from_tag(tag: u64) -> AuditProvenance {
+        match tag {
+            1 => AuditProvenance::DagClosed,
+            _ => AuditProvenance::Vm,
+        }
+    }
+}
+
+/// One denied syscall, as seen by the audit stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AuditEvent {
+    /// Process id (per-process checker) or shard/thread id (replay)
+    /// that issued the denied call.
+    pub source: u16,
+    /// Raw syscall number of the denied call.
+    pub syscall: u16,
+    /// The denying verdict.
+    pub decision: AuditDecision,
+    /// Which engine flavor ran the filter.
+    pub engine: AuditEngine,
+    /// Whether the DAG closed the verdict or the VM decided.
+    pub provenance: AuditProvenance,
+}
+
+// Packed-word layout. Bit 63 marks a published slot so the packed value
+// is never zero (zero = vacant); the remaining fields use the low bits.
+const SYSCALL_SHIFT: u64 = 0;
+const SOURCE_SHIFT: u64 = 16;
+const DATA_SHIFT: u64 = 32;
+const DECISION_SHIFT: u64 = 48;
+const ENGINE_SHIFT: u64 = 51;
+const PROVENANCE_SHIFT: u64 = 53;
+const PUBLISHED_BIT: u64 = 1 << 63;
+
+impl AuditEvent {
+    /// Packs the event into one nonzero word (bit 63 set).
+    fn pack(self) -> u64 {
+        PUBLISHED_BIT
+            | ((self.syscall as u64) << SYSCALL_SHIFT)
+            | ((self.source as u64) << SOURCE_SHIFT)
+            | ((self.decision.data() as u64) << DATA_SHIFT)
+            | (self.decision.tag() << DECISION_SHIFT)
+            | (self.engine.tag() << ENGINE_SHIFT)
+            | (self.provenance.tag() << PROVENANCE_SHIFT)
+    }
+
+    /// Inverse of [`AuditEvent::pack`].
+    fn unpack(word: u64) -> AuditEvent {
+        let data = ((word >> DATA_SHIFT) & 0xffff) as u16;
+        AuditEvent {
+            source: ((word >> SOURCE_SHIFT) & 0xffff) as u16,
+            syscall: ((word >> SYSCALL_SHIFT) & 0xffff) as u16,
+            decision: AuditDecision::from_tag((word >> DECISION_SHIFT) & 0b111, data),
+            engine: AuditEngine::from_tag((word >> ENGINE_SHIFT) & 0b11),
+            provenance: AuditProvenance::from_tag((word >> PROVENANCE_SHIFT) & 0b11),
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    ///
+    /// All values are numbers or fixed enum labels, so the output needs
+    /// no escaping and stays dependency-free:
+    /// `{"source":3,"syscall":39,"decision":"errno","data":38,"engine":"dag","provenance":"dag-closed"}`.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"source\":{},\"syscall\":{},\"decision\":\"{}\",\"data\":{},\"engine\":\"{}\",\"provenance\":\"{}\"}}",
+            self.source,
+            self.syscall,
+            self.decision.label(),
+            self.decision.data(),
+            self.engine.label(),
+            self.provenance.label(),
+        )
+    }
+}
+
+/// A lock-free bounded MPSC ring of [`AuditEvent`]s with token-bucket
+/// rate limiting (see the module docs for the protocol).
+///
+/// Producers call [`AuditRing::offer`] concurrently; one consumer at a
+/// time drains ([`AuditRing::drain_with`]). Dropped events — ring full
+/// or rate-limited — are counted, never silent.
+#[derive(Debug)]
+pub struct AuditRing {
+    slots: Box<[AtomicU64]>,
+    capacity: u64,
+    /// Next sequence number to reserve (producers CAS this).
+    head: AtomicU64,
+    /// Next sequence number to consume (single consumer).
+    tail: AtomicU64,
+    /// Remaining token-bucket tokens (`u64::MAX` burst = unlimited).
+    tokens: AtomicU64,
+    burst: u64,
+    dropped_full: AtomicU64,
+    dropped_throttled: AtomicU64,
+    published: AtomicU64,
+}
+
+impl AuditRing {
+    /// Creates an unthrottled ring holding up to `capacity` undrained
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_rate_limit(capacity, u64::MAX)
+    }
+
+    /// Creates a ring whose token bucket holds at most `burst` tokens
+    /// (starting full). Each accepted event consumes one token;
+    /// [`AuditRing::refill`] adds tokens back. A `burst` of `u64::MAX`
+    /// disables throttling.
+    ///
+    /// The refill cadence is the *caller's* clock — the snapshot pump
+    /// refills per interval — so tests stay deterministic: no wall
+    /// clock is read here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_rate_limit(capacity: usize, burst: u64) -> Self {
+        assert!(capacity > 0, "audit ring capacity must be nonzero");
+        AuditRing {
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            capacity: capacity as u64,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            tokens: AtomicU64::new(burst),
+            burst,
+            dropped_full: AtomicU64::new(0),
+            dropped_throttled: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Offers an event to the stream. Returns `true` if it was
+    /// accepted; `false` when throttled or the ring is full (either way
+    /// the drop is counted). Never allocates and never blocks.
+    pub fn offer(&self, event: AuditEvent) -> bool {
+        if self.burst != u64::MAX
+            && self
+                .tokens
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| t.checked_sub(1))
+                .is_err()
+        {
+            self.dropped_throttled.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let packed = event.pack();
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let tail = self.tail.load(Ordering::Acquire);
+            if head.wrapping_sub(tail) >= self.capacity {
+                self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if self
+                .head
+                .compare_exchange_weak(head, head + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // The slot was zeroed by the consumer before `tail`
+                // passed `head - capacity`, so this store publishes.
+                self.slots[(head % self.capacity) as usize].store(packed, Ordering::Release);
+                self.published.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+
+    /// Adds `tokens` back to the bucket, clamped at the burst size.
+    /// No-op for unthrottled rings.
+    pub fn refill(&self, tokens: u64) {
+        if self.burst == u64::MAX {
+            return;
+        }
+        let _ = self
+            .tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                Some(t.saturating_add(tokens).min(self.burst))
+            });
+    }
+
+    /// Drains every currently published event, in offer order, into
+    /// `f`. Returns how many were consumed. Allocation-free.
+    ///
+    /// Single-consumer: exactly one thread may drain at a time (the
+    /// snapshot pump / the CLI follower). The slot is zeroed *before*
+    /// `tail` advances, so producers — which gate slot reuse on `tail`
+    /// — can never have a fresh event wiped by the consumer.
+    ///
+    /// A producer that reserved a slot but has not yet published is
+    /// left in place — its event is picked up by a later drain.
+    pub fn drain_with(&self, mut f: impl FnMut(AuditEvent)) -> usize {
+        let mut consumed = 0usize;
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            let slot = &self.slots[(tail % self.capacity) as usize];
+            let word = slot.load(Ordering::Acquire);
+            if word == 0 {
+                return consumed; // vacant or not yet published
+            }
+            slot.store(0, Ordering::Release);
+            self.tail.store(tail + 1, Ordering::Release);
+            f(AuditEvent::unpack(word));
+            consumed += 1;
+        }
+    }
+
+    /// Drains into a vector (appending). Convenience wrapper over
+    /// [`AuditRing::drain_with`].
+    pub fn drain(&self, out: &mut Vec<AuditEvent>) -> usize {
+        self.drain_with(|ev| out.push(ev))
+    }
+
+    /// Events currently queued (published, not yet drained).
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        head.wrapping_sub(tail) as usize
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub const fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Events accepted into the ring over its lifetime.
+    pub fn events_published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Total events dropped (ring full + rate limited). The accounting
+    /// invariant: `events_published() + events_dropped()` equals the
+    /// number of [`AuditRing::offer`] calls — i.e. the denial count
+    /// when every denial is offered.
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped_ring_full()
+            .saturating_add(self.dropped_rate_limited())
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped_ring_full(&self) -> u64 {
+        self.dropped_full.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped by the token-bucket rate limiter.
+    pub fn dropped_rate_limited(&self) -> u64 {
+        self.dropped_throttled.load(Ordering::Relaxed)
+    }
+
+    /// Tokens currently available (`u64::MAX` when unthrottled).
+    pub fn tokens_available(&self) -> u64 {
+        if self.burst == u64::MAX {
+            u64::MAX
+        } else {
+            self.tokens.load(Ordering::Relaxed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(source: u16, syscall: u16) -> AuditEvent {
+        AuditEvent {
+            source,
+            syscall,
+            decision: AuditDecision::Errno(38),
+            engine: AuditEngine::Dag,
+            provenance: AuditProvenance::DagClosed,
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_every_variant() {
+        let decisions = [
+            AuditDecision::Errno(0),
+            AuditDecision::Errno(38),
+            AuditDecision::Errno(u16::MAX),
+            AuditDecision::Trap,
+            AuditDecision::Trace(7),
+            AuditDecision::KillThread,
+            AuditDecision::KillProcess,
+        ];
+        let engines = [
+            AuditEngine::Interpreted,
+            AuditEngine::Compiled,
+            AuditEngine::Dag,
+        ];
+        let provs = [AuditProvenance::Vm, AuditProvenance::DagClosed];
+        for decision in decisions {
+            for engine in engines {
+                for provenance in provs {
+                    let event = AuditEvent {
+                        source: 513,
+                        syscall: 59,
+                        decision,
+                        engine,
+                        provenance,
+                    };
+                    let packed = event.pack();
+                    assert_ne!(packed, 0, "published events are never the vacant word");
+                    assert_eq!(AuditEvent::unpack(packed), event);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offer_drain_preserves_order_and_content() {
+        let ring = AuditRing::with_capacity(8);
+        for i in 0..5u16 {
+            assert!(ring.offer(ev(i, 100 + i)));
+        }
+        assert_eq!(ring.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(ring.drain(&mut out), 5);
+        assert!(ring.is_empty());
+        for (i, event) in out.iter().enumerate() {
+            assert_eq!(event.source, i as u16);
+            assert_eq!(event.syscall, 100 + i as u16);
+        }
+        assert_eq!(ring.events_published(), 5);
+        assert_eq!(ring.events_dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_accounts() {
+        let ring = AuditRing::with_capacity(2);
+        assert!(ring.offer(ev(0, 0)));
+        assert!(ring.offer(ev(1, 1)));
+        assert!(!ring.offer(ev(2, 2)), "third offer must drop");
+        assert_eq!(ring.dropped_ring_full(), 1);
+        assert_eq!(ring.events_published() + ring.events_dropped(), 3);
+        // Draining frees capacity again.
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert!(ring.offer(ev(3, 3)));
+        assert_eq!(ring.events_published(), 3);
+    }
+
+    #[test]
+    fn rate_limiter_enforces_burst_then_refills() {
+        let ring = AuditRing::with_rate_limit(64, 3);
+        let mut accepted = 0;
+        for i in 0..10u16 {
+            accepted += u64::from(ring.offer(ev(i, i)));
+        }
+        assert_eq!(accepted, 3, "burst bound");
+        assert_eq!(ring.dropped_rate_limited(), 7);
+        assert_eq!(ring.tokens_available(), 0);
+        ring.refill(2);
+        assert_eq!(ring.tokens_available(), 2);
+        assert!(ring.offer(ev(90, 90)));
+        assert!(ring.offer(ev(91, 91)));
+        assert!(!ring.offer(ev(92, 92)));
+        // Refill clamps at the burst size.
+        ring.refill(u64::MAX);
+        assert_eq!(ring.tokens_available(), 3);
+        assert_eq!(
+            ring.events_published() + ring.events_dropped(),
+            10 + 3,
+            "every offer is accounted exactly once"
+        );
+    }
+
+    #[test]
+    fn unthrottled_ring_ignores_refill() {
+        let ring = AuditRing::with_capacity(4);
+        assert_eq!(ring.tokens_available(), u64::MAX);
+        ring.refill(10);
+        assert_eq!(ring.tokens_available(), u64::MAX);
+    }
+
+    #[test]
+    fn json_line_is_stable() {
+        let line = ev(3, 39).to_json_line();
+        assert_eq!(
+            line,
+            "{\"source\":3,\"syscall\":39,\"decision\":\"errno\",\"data\":38,\"engine\":\"dag\",\"provenance\":\"dag-closed\"}"
+        );
+        // And it parses as JSON with the documented fields.
+        let parsed: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+        assert_eq!(parsed["syscall"].as_u64(), Some(39));
+        assert_eq!(parsed["decision"].as_str(), Some("errno"));
+        assert_eq!(parsed["provenance"].as_str(), Some("dag-closed"));
+        let kill = AuditEvent {
+            decision: AuditDecision::KillProcess,
+            engine: AuditEngine::Interpreted,
+            provenance: AuditProvenance::Vm,
+            ..ev(0, 1)
+        };
+        let parsed: serde_json::Value =
+            serde_json::from_str(&kill.to_json_line()).expect("valid JSON");
+        assert_eq!(parsed["decision"].as_str(), Some("kill-process"));
+        assert_eq!(parsed["data"].as_u64(), Some(0));
+        assert_eq!(parsed["engine"].as_str(), Some("interpreted"));
+    }
+
+    #[test]
+    fn concurrent_producers_never_lose_unaccounted_events() {
+        let ring = AuditRing::with_capacity(32);
+        let producers = 4u64;
+        let per_producer = 5_000u64;
+        let done = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let (ring, done) = (&ring, &done);
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        ring.offer(ev(p as u16, (i % 400) as u16));
+                    }
+                    done.fetch_add(1, Ordering::Release);
+                });
+            }
+            // Concurrent consumer drains while producers run, then
+            // until the ring settles empty.
+            let (ring, done) = (&ring, &done);
+            scope.spawn(move || {
+                while done.load(Ordering::Acquire) < producers || !ring.is_empty() {
+                    ring.drain_with(|_| {});
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Settle: drain what's left.
+        let mut rest = Vec::new();
+        ring.drain(&mut rest);
+        let offers = producers * per_producer;
+        assert_eq!(
+            ring.events_published() + ring.events_dropped(),
+            offers,
+            "every offer accepted or counted dropped"
+        );
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = AuditRing::with_capacity(0);
+    }
+
+    proptest::proptest! {
+        /// Rate-limiter bounds under a deny storm: with burst `b` and
+        /// `r` refills of `k` tokens, at most `b + r*k` events are ever
+        /// accepted, and acceptances plus drops equal offers exactly.
+        #[test]
+        fn deny_storm_respects_token_bounds(
+            burst in 1u64..32,
+            refill in 0u64..16,
+            rounds in 1usize..8,
+            storm in 1u64..200,
+        ) {
+            let ring = AuditRing::with_rate_limit(4096, burst);
+            let mut offers = 0u64;
+            let mut accepted = 0u64;
+            for _ in 0..rounds {
+                for i in 0..storm {
+                    accepted += u64::from(ring.offer(ev(0, (i % 100) as u16)));
+                    offers += 1;
+                }
+                ring.refill(refill);
+            }
+            let ceiling = burst + (rounds as u64 - 1) * refill.min(burst);
+            proptest::prop_assert!(
+                accepted <= ceiling.min(offers),
+                "accepted {accepted} exceeds token ceiling {ceiling}"
+            );
+            proptest::prop_assert_eq!(
+                ring.events_published() + ring.events_dropped(),
+                offers,
+                "loss is never silent"
+            );
+            proptest::prop_assert_eq!(ring.events_published(), accepted);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Prometheus text-format exposition of metric snapshots.
+//!
+//! [`render_prometheus`] turns any [`MetricsRegistry`] snapshot into
+//! the Prometheus text exposition format (version 0.0.4): every
+//! counter becomes a `draco_<section>_<field>_total` counter family,
+//! gauges (VAT occupancy) stay unsuffixed, and the pow2 [`Histogram`]s
+//! render as native Prometheus histograms with cumulative
+//! `_bucket{le="..."}` series, `_sum`, and `_count`. The naming
+//! conventions:
+//!
+//! * one flat namespace rooted at `draco_`;
+//! * the section name (`checker`, `cuckoo`, `vat`, `sim`, `replay`)
+//!   is the second path element, matching the registry's JSON keys;
+//! * monotone counters carry the `_total` suffix, gauges none,
+//!   histogram series the standard `_bucket`/`_sum`/`_count` suffixes;
+//! * the only labeled family is `draco_sim_flow_total{flow="..."}`,
+//!   labeled with the Table-I flow names from [`FLOW_LABELS`].
+//!
+//! [`validate_exposition`] is the matching line-format checker: it
+//! verifies `HELP`/`TYPE` preambles, sample-line syntax, and histogram
+//! consistency (monotone cumulative buckets ending at `le="+Inf"`,
+//! `_count` equal to the `+Inf` bucket). CI renders an exposition from
+//! a replay run and gates on this checker.
+
+use core::fmt::Write as _;
+
+use crate::{AuditRing, Histogram, MetricsRegistry, FLOW_LABELS};
+
+/// Appends one `# HELP` / `# TYPE` preamble.
+fn preamble(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends a counter family with one unlabeled sample.
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    preamble(out, name, help, "counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a gauge family with one unlabeled sample.
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    preamble(out, name, help, "gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a pow2 [`Histogram`] as a Prometheus histogram family:
+/// cumulative `_bucket{le="..."}` series (upper bounds from the pow2
+/// bucket edges, final bucket `+Inf`), then `_sum` and `_count`.
+fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    preamble(out, name, help, "histogram");
+    let mut cumulative = 0u64;
+    for (bucket, &count) in h.counts.iter().enumerate() {
+        cumulative = cumulative.saturating_add(count);
+        match Histogram::bucket_high(bucket) {
+            Some(high) => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{high}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition
+/// format (see the module docs for the naming conventions). The output
+/// always passes [`validate_exposition`].
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+
+    let c = &registry.checker;
+    counter(&mut out, "draco_checker_checks_total", "Total checks observed by the software checker.", c.total());
+    counter(&mut out, "draco_checker_spt_hits_total", "Checks admitted by the SPT alone.", c.spt_hits);
+    counter(&mut out, "draco_checker_always_allow_hits_total", "SPT hits on syscalls the filter analyzer proved always-allowed.", c.always_allow_hits);
+    counter(&mut out, "draco_checker_vat_hits_total", "Checks admitted by a VAT probe.", c.vat_hits);
+    counter(&mut out, "draco_checker_filter_runs_total", "Checks that fell back to the seccomp filter.", c.filter_runs);
+    counter(&mut out, "draco_checker_filter_insns_total", "cBPF instructions executed by fallback runs.", c.filter_insns);
+    counter(&mut out, "draco_checker_denials_total", "Checks whose final verdict was a denial.", c.denials);
+    counter(&mut out, "draco_checker_vat_inserts_total", "Argument-set insertions into the VAT.", c.vat_inserts);
+    counter(&mut out, "draco_checker_seqlock_retries_total", "Seqlock read retries on a shared VAT.", c.seqlock_retries);
+    counter(&mut out, "draco_checker_vat_lock_waits_total", "Miss-path lock acquisitions that had to wait.", c.vat_lock_waits);
+    counter(&mut out, "draco_checker_insert_races_lost_total", "Validations another thread completed first.", c.insert_races_lost);
+    counter(&mut out, "draco_checker_masks_derived_match_total", "Whitelist rules installed with the analyzer-derived mask.", c.masks_derived_match);
+    counter(&mut out, "draco_checker_masks_overridden_total", "Whitelist rules keeping the authored mask override.", c.masks_overridden);
+    counter(&mut out, "draco_checker_batches_total", "check_batch invocations.", c.batches);
+    counter(&mut out, "draco_checker_batched_checks_total", "Checks submitted through the batched path.", c.batched_checks);
+    counter(&mut out, "draco_checker_prefetch_issued_total", "Software prefetches issued by batch probe passes.", c.prefetch_issued);
+    counter(&mut out, "draco_checker_miss_dedup_hits_total", "Batch-local misses resolved from an earlier request in the same batch.", c.miss_dedup_hits);
+    histogram(&mut out, "draco_checker_batch_size", "Distribution of submitted batch sizes.", &c.batch_size);
+    histogram(&mut out, "draco_checker_insns_per_filter_run", "cBPF instructions per fallback run.", &c.insns_per_filter_run);
+    histogram(&mut out, "draco_checker_saved_insns_per_hit", "Filter instructions saved per cached check.", &c.saved_insns_per_hit);
+
+    let k = &registry.cuckoo;
+    counter(&mut out, "draco_cuckoo_hits_total", "Successful cuckoo lookups.", k.hits);
+    counter(&mut out, "draco_cuckoo_misses_total", "Failed cuckoo lookups.", k.misses);
+    counter(&mut out, "draco_cuckoo_insertions_total", "Insertions that found a slot.", k.insertions);
+    counter(&mut out, "draco_cuckoo_updates_total", "Insertions that replaced an existing key's value.", k.updates);
+    counter(&mut out, "draco_cuckoo_evictions_total", "Entries forcibly evicted under relocation pressure.", k.evictions);
+    counter(&mut out, "draco_cuckoo_relocations_total", "Total relocation steps across insertions.", k.relocations);
+    histogram(&mut out, "draco_cuckoo_probe_length", "Probes per lookup.", &k.probe_length);
+    histogram(&mut out, "draco_cuckoo_relocation_steps", "Relocation steps per insertion.", &k.relocation_steps);
+    histogram(&mut out, "draco_cuckoo_reuse_distance", "Lookups between successive hits of the same resident entry.", &k.reuse_distance);
+
+    let v = &registry.vat;
+    gauge(&mut out, "draco_vat_tables", "Per-syscall VAT tables allocated.", v.tables);
+    gauge(&mut out, "draco_vat_resident_sets", "Argument sets currently resident.", v.resident_sets);
+    gauge(&mut out, "draco_vat_footprint_bytes", "Approximate resident footprint in bytes.", v.footprint_bytes);
+
+    let s = &registry.sim;
+    counter(&mut out, "draco_sim_stb_hits_total", "STB lookup hits.", s.stb_hits);
+    counter(&mut out, "draco_sim_stb_misses_total", "STB lookup misses.", s.stb_misses);
+    counter(&mut out, "draco_sim_slb_access_hits_total", "Non-speculative SLB access hits.", s.slb_access_hits);
+    counter(&mut out, "draco_sim_slb_access_misses_total", "Non-speculative SLB access misses.", s.slb_access_misses);
+    counter(&mut out, "draco_sim_slb_preload_hits_total", "Speculative SLB preload-probe hits.", s.slb_preload_hits);
+    counter(&mut out, "draco_sim_slb_preload_misses_total", "Speculative SLB preload-probe misses.", s.slb_preload_misses);
+    counter(&mut out, "draco_sim_tempbuf_staged_total", "Entries staged into the temporary buffer.", s.tempbuf_staged);
+    counter(&mut out, "draco_sim_tempbuf_commits_total", "Staged entries committed into the SLB.", s.tempbuf_commits);
+    counter(&mut out, "draco_sim_tempbuf_squashes_total", "Squashes that cleared the temporary buffer.", s.tempbuf_squashes);
+    preamble(&mut out, "draco_sim_flow_total", "Table-I flow occupancy by flow class.", "counter");
+    for (label, count) in FLOW_LABELS.iter().zip(s.flow_mix.iter()) {
+        let _ = writeln!(out, "draco_sim_flow_total{{flow=\"{label}\"}} {count}");
+    }
+
+    let r = &registry.replay;
+    counter(&mut out, "draco_replay_shards_total", "Replay shards merged into this snapshot.", r.shards);
+    counter(&mut out, "draco_replay_checks_total", "Measured replay checks performed.", r.checks);
+    counter(&mut out, "draco_replay_allowed_total", "Replay checks whose verdict permitted the call.", r.allowed);
+    counter(&mut out, "draco_replay_cache_hits_total", "Replay checks admitted without running the filter.", r.cache_hits);
+
+    out
+}
+
+/// Renders the audit stream's accounting counters as a Prometheus
+/// exposition fragment, appendable after [`render_prometheus`].
+pub fn render_prometheus_audit(ring: &AuditRing) -> String {
+    let mut out = String::with_capacity(1024);
+    counter(&mut out, "draco_audit_events_published_total", "Audit events accepted into the stream.", ring.events_published());
+    counter(&mut out, "draco_audit_events_dropped_total", "Audit events dropped (ring full + rate limited).", ring.events_dropped());
+    counter(&mut out, "draco_audit_dropped_ring_full_total", "Audit events dropped because the ring was full.", ring.dropped_ring_full());
+    counter(&mut out, "draco_audit_dropped_rate_limited_total", "Audit events dropped by the token-bucket rate limiter.", ring.dropped_rate_limited());
+    gauge(&mut out, "draco_audit_queued", "Audit events published and not yet drained.", ring.len() as u64);
+    out
+}
+
+/// Validates Prometheus text-format exposition syntax plus histogram
+/// consistency. Returns `Ok(families)` — the number of metric families
+/// seen — or the first error, prefixed `line N:`.
+///
+/// Checked per line: `# HELP`/`# TYPE` shape and known types; sample
+/// lines `name{labels} value` with a legal metric name and a parseable
+/// value; every sample's family must have a preceding `TYPE`. Checked
+/// per histogram family: `_bucket` series carry an `le` label, their
+/// cumulative counts are nondecreasing in file order, the final bucket
+/// is `le="+Inf"`, and `_count` equals that `+Inf` bucket.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    fn is_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    // family name -> declared type
+    let mut types: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    // histogram family -> (last cumulative bucket value, saw +Inf, +Inf value)
+    let mut hists: std::collections::HashMap<String, (u64, bool, u64)> =
+        std::collections::HashMap::new();
+    // histogram family -> reported _count value
+    let mut counts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" if !is_name(name) => {
+                    return Err(format!("line {n}: HELP with bad metric name {name:?}"));
+                }
+                "HELP" => {}
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    if !is_name(name) {
+                        return Err(format!("line {n}: TYPE with bad metric name {name:?}"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return Err(format!("line {n}: unknown TYPE {kind:?}"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        return Err(format!("line {n}: duplicate TYPE for {name}"));
+                    }
+                }
+                // Anything else after '#' is a plain comment.
+                _ => {}
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_part, rest) = match line.find(['{', ' ']) {
+            Some(pos) => line.split_at(pos),
+            None => return Err(format!("line {n}: sample without value: {line:?}")),
+        };
+        if !is_name(name_part) {
+            return Err(format!("line {n}: bad metric name {name_part:?}"));
+        }
+        let (labels, value_part) = if let Some(body) = rest.strip_prefix('{') {
+            let end = body
+                .find('}')
+                .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+            (&body[..end], body[end + 1..].trim_start())
+        } else {
+            ("", rest.trim_start())
+        };
+        for pair in labels.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("line {n}: label without '=': {pair:?}"))?;
+            if !is_name(k) {
+                return Err(format!("line {n}: bad label name {k:?}"));
+            }
+            if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                return Err(format!("line {n}: unquoted label value {v:?}"));
+            }
+        }
+        let value_str = value_part.split_whitespace().next().unwrap_or("");
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            other => other
+                .parse()
+                .map_err(|_| format!("line {n}: unparseable value {other:?}"))?,
+        };
+        // Resolve the family: histogram series suffixes fold into the
+        // base family name.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name_part.strip_suffix(suffix).filter(|base| {
+                    types.get(*base).is_some_and(|t| t == "histogram")
+                })
+            })
+            .unwrap_or(name_part);
+        if !types.contains_key(family) {
+            return Err(format!("line {n}: sample for undeclared family {family:?}"));
+        }
+        if types[family] == "histogram" && name_part.ends_with("_bucket") {
+            let le = labels
+                .split(',')
+                .find_map(|p| p.strip_prefix("le="))
+                .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
+            let entry = hists.entry(family.to_string()).or_insert((0, false, 0));
+            let cumulative = value as u64;
+            if cumulative < entry.0 {
+                return Err(format!(
+                    "line {n}: histogram {family} buckets not cumulative ({cumulative} < {})",
+                    entry.0
+                ));
+            }
+            entry.0 = cumulative;
+            if le == "\"+Inf\"" {
+                entry.1 = true;
+                entry.2 = cumulative;
+            }
+        }
+        if types[family] == "histogram" && name_part.ends_with("_count") {
+            counts.insert(family.to_string(), value as u64);
+        }
+    }
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let (_, saw_inf, inf_value) = hists
+            .get(family)
+            .ok_or_else(|| format!("histogram {family} has no buckets"))?;
+        if !saw_inf {
+            return Err(format!("histogram {family} missing le=\"+Inf\" bucket"));
+        }
+        let count = counts
+            .get(family)
+            .ok_or_else(|| format!("histogram {family} missing _count"))?;
+        if count != inf_value {
+            return Err(format!(
+                "histogram {family}: _count {count} != +Inf bucket {inf_value}"
+            ));
+        }
+    }
+    Ok(types.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::default();
+        r.checker.spt_hits = 10;
+        r.checker.vat_hits = 5;
+        r.checker.filter_runs = 3;
+        r.checker.denials = 2;
+        r.checker.insns_per_filter_run.record(12);
+        r.checker.insns_per_filter_run.record(90);
+        r.cuckoo.hits = 5;
+        r.cuckoo.probe_length.record(1);
+        r.vat.tables = 2;
+        r.sim.flow_mix[0] = 7;
+        r.replay.checks = 18;
+        r
+    }
+
+    #[test]
+    fn rendering_passes_the_validator() {
+        let text = render_prometheus(&sample_registry());
+        let families = validate_exposition(&text).expect("own output validates");
+        assert!(families > 30, "expected the full family set, got {families}");
+        assert!(text.contains("draco_checker_denials_total 2"), "{text}");
+        assert!(text.contains("draco_checker_checks_total 18"), "{text}");
+        assert!(text.contains("draco_sim_flow_total{flow=\"spt-only\"} 7"));
+        assert!(text.contains("draco_vat_tables 2"));
+        // Histogram series shape.
+        assert!(text.contains("draco_checker_insns_per_filter_run_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("draco_checker_insns_per_filter_run_count 2"));
+        assert!(text.contains("draco_checker_insns_per_filter_run_sum 102"));
+    }
+
+    #[test]
+    fn audit_fragment_passes_the_validator() {
+        let ring = AuditRing::with_rate_limit(4, 2);
+        let event = crate::AuditEvent {
+            source: 0,
+            syscall: 1,
+            decision: crate::AuditDecision::KillProcess,
+            engine: crate::AuditEngine::Compiled,
+            provenance: crate::AuditProvenance::Vm,
+        };
+        for _ in 0..5 {
+            ring.offer(event);
+        }
+        let text = render_prometheus_audit(&ring);
+        validate_exposition(&text).expect("audit fragment validates");
+        assert!(text.contains("draco_audit_events_published_total 2"), "{text}");
+        assert!(text.contains("draco_audit_events_dropped_total 3"), "{text}");
+        // Appending after the registry exposition still validates.
+        let combined = format!("{}{}", render_prometheus(&sample_registry()), text);
+        validate_exposition(&combined).expect("combined exposition validates");
+    }
+
+    #[test]
+    fn empty_registry_still_renders_validly() {
+        let text = render_prometheus(&MetricsRegistry::default());
+        validate_exposition(&text).expect("zeroed registry validates");
+        assert!(text.contains("draco_checker_checks_total 0"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("9bad_name 1").is_err());
+        assert!(validate_exposition("# TYPE x flavor\nx 1").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx notanumber").is_err());
+        assert!(validate_exposition("x 1").unwrap_err().contains("undeclared"));
+        assert!(validate_exposition("# TYPE x counter\nx{le=\"1\" 1").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx{le=1} 1")
+            .unwrap_err()
+            .contains("unquoted"));
+        assert!(validate_exposition("# TYPE x counter\n# TYPE x counter\nx 1")
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn validator_rejects_histogram_inconsistencies() {
+        // Non-cumulative buckets.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n";
+        assert!(validate_exposition(text).unwrap_err().contains("cumulative"));
+        // Missing +Inf.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 0\nh_count 5\n";
+        assert!(validate_exposition(text).unwrap_err().contains("+Inf"));
+        // _count disagreeing with the +Inf bucket.
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 0\nh_count 4\n";
+        assert!(validate_exposition(text).unwrap_err().contains("_count"));
+        // A consistent one passes.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert_eq!(validate_exposition(text), Ok(1));
+    }
+
+    #[test]
+    fn validator_accepts_blank_lines_and_comments() {
+        let text = "\n# just a comment\n# TYPE up gauge\nup 1\n\n";
+        assert_eq!(validate_exposition(text), Ok(1));
+    }
+}

@@ -126,6 +126,25 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// The samples recorded since an `earlier` snapshot of the same
+    /// histogram: element-wise saturating subtraction of counts and sum.
+    /// With `earlier` taken from the same monotonically growing
+    /// histogram, the delta is exactly the interval's traffic; if
+    /// `earlier` is not actually a prefix (or a counter saturated in
+    /// between), saturation clamps at zero instead of wrapping.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::default();
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(earlier.counts.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
     /// Upper-bound estimate of the `q`-quantile (`q` clamped to
     /// `[0, 1]`): the inclusive upper edge of the bucket containing the
     /// `ceil(q*n)`-th smallest sample. Returns `None` when empty and
@@ -432,6 +451,25 @@ mod tests {
                 Histogram::bucket_high(hot).unwrap_or(u64::MAX)
             );
         }
+    }
+
+    #[test]
+    fn delta_since_recovers_interval_traffic() {
+        let mut h = Histogram::default();
+        h.record(1);
+        h.record(100);
+        let snap = h;
+        h.record(3);
+        h.record(1 << 20);
+        let delta = h.delta_since(&snap);
+        let mut expect = Histogram::default();
+        expect.record(3);
+        expect.record(1 << 20);
+        assert_eq!(delta, expect);
+        // Delta against itself is empty; delta against a *later* state
+        // clamps at zero instead of wrapping.
+        assert_eq!(h.delta_since(&h), Histogram::default());
+        assert_eq!(snap.delta_since(&h), Histogram::default());
     }
 
     #[test]

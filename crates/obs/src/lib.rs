@@ -30,15 +30,28 @@
 //!    module): unsampled checks cost one branch, sampled checks record
 //!    into pre-allocated buffers, and exports (Chrome trace / folded
 //!    flamegraph stacks) happen strictly off the hot path.
+//! 5. **Live telemetry by subtraction, not instrumentation.** The
+//!    [`window`] module turns periodic cumulative snapshots into a
+//!    fixed-capacity ring of interval deltas ([`MetricsWindow`]) —
+//!    sliding-window rates and quantiles with no new hot-path code.
+//!    The [`audit`] module gives every denial a structured, bounded,
+//!    rate-limited [`AuditEvent`] stream whose losses are explicitly
+//!    counted; [`expo`] renders any snapshot in the Prometheus text
+//!    format and ships the matching line-format checker.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod audit;
+pub mod expo;
 mod hist;
 mod registry;
 mod ring;
 pub mod trace;
+pub mod window;
 
+pub use audit::{AuditDecision, AuditEngine, AuditEvent, AuditProvenance, AuditRing};
+pub use expo::{render_prometheus, render_prometheus_audit, validate_exposition};
 pub use hist::Histogram;
 pub use registry::{
     CheckerMetrics, CuckooMetrics, MetricsRegistry, ReplayMetrics, SimMetrics, VatMetrics,
@@ -47,4 +60,7 @@ pub use registry::{
 pub use ring::{merge_recent_events, EventRing, FlowClass, FlowEvent};
 pub use trace::{
     chrome_trace_json, folded_stacks, merge_spans, Span, SpanTracer, Stage, StageStart, TraceScope,
+};
+pub use window::{
+    MetricsWindow, TimeseriesDump, WindowRates, WindowSlot, TIMESERIES_SCHEMA,
 };

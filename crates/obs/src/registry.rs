@@ -120,6 +120,39 @@ impl CheckerMetrics {
         self.insns_per_filter_run.merge(&other.insns_per_filter_run);
         self.saved_insns_per_hit.merge(&other.saved_insns_per_hit);
     }
+
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// section (per-field saturating subtraction — see
+    /// [`MetricsRegistry::delta_since`]).
+    pub fn delta_since(&self, earlier: &CheckerMetrics) -> CheckerMetrics {
+        CheckerMetrics {
+            spt_hits: self.spt_hits.saturating_sub(earlier.spt_hits),
+            always_allow_hits: self.always_allow_hits.saturating_sub(earlier.always_allow_hits),
+            vat_hits: self.vat_hits.saturating_sub(earlier.vat_hits),
+            filter_runs: self.filter_runs.saturating_sub(earlier.filter_runs),
+            filter_insns: self.filter_insns.saturating_sub(earlier.filter_insns),
+            denials: self.denials.saturating_sub(earlier.denials),
+            vat_inserts: self.vat_inserts.saturating_sub(earlier.vat_inserts),
+            seqlock_retries: self.seqlock_retries.saturating_sub(earlier.seqlock_retries),
+            vat_lock_waits: self.vat_lock_waits.saturating_sub(earlier.vat_lock_waits),
+            insert_races_lost: self.insert_races_lost.saturating_sub(earlier.insert_races_lost),
+            masks_derived_match: self
+                .masks_derived_match
+                .saturating_sub(earlier.masks_derived_match),
+            masks_overridden: self.masks_overridden.saturating_sub(earlier.masks_overridden),
+            batches: self.batches.saturating_sub(earlier.batches),
+            batched_checks: self.batched_checks.saturating_sub(earlier.batched_checks),
+            prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
+            miss_dedup_hits: self.miss_dedup_hits.saturating_sub(earlier.miss_dedup_hits),
+            batch_size: self.batch_size.delta_since(&earlier.batch_size),
+            insns_per_filter_run: self
+                .insns_per_filter_run
+                .delta_since(&earlier.insns_per_filter_run),
+            saved_insns_per_hit: self
+                .saved_insns_per_hit
+                .delta_since(&earlier.saved_insns_per_hit),
+        }
+    }
 }
 
 /// Cuckoo-table counters, aggregated across every VAT table
@@ -165,6 +198,22 @@ impl CuckooMetrics {
         self.relocation_steps.merge(&other.relocation_steps);
         self.reuse_distance.merge(&other.reuse_distance);
     }
+
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// section (per-field saturating subtraction).
+    pub fn delta_since(&self, earlier: &CuckooMetrics) -> CuckooMetrics {
+        CuckooMetrics {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            updates: self.updates.saturating_sub(earlier.updates),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            relocations: self.relocations.saturating_sub(earlier.relocations),
+            probe_length: self.probe_length.delta_since(&earlier.probe_length),
+            relocation_steps: self.relocation_steps.delta_since(&earlier.relocation_steps),
+            reuse_distance: self.reuse_distance.delta_since(&earlier.reuse_distance),
+        }
+    }
 }
 
 /// VAT occupancy gauges (paper §XI-C footprints).
@@ -185,6 +234,18 @@ impl VatMetrics {
         self.tables = self.tables.saturating_add(other.tables);
         self.resident_sets = self.resident_sets.saturating_add(other.resident_sets);
         self.footprint_bytes = self.footprint_bytes.saturating_add(other.footprint_bytes);
+    }
+
+    /// Growth since an `earlier` snapshot (saturating subtraction).
+    /// These are gauges, so a shrink (flush, eviction) clamps at zero —
+    /// window consumers wanting absolute occupancy should read the
+    /// cumulative snapshot instead of the delta.
+    pub fn delta_since(&self, earlier: &VatMetrics) -> VatMetrics {
+        VatMetrics {
+            tables: self.tables.saturating_sub(earlier.tables),
+            resident_sets: self.resident_sets.saturating_sub(earlier.resident_sets),
+            footprint_bytes: self.footprint_bytes.saturating_sub(earlier.footprint_bytes),
+        }
     }
 }
 
@@ -261,6 +322,33 @@ impl SimMetrics {
             *a = a.saturating_add(*b);
         }
     }
+
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// section (per-field saturating subtraction, flow mix
+    /// element-wise).
+    pub fn delta_since(&self, earlier: &SimMetrics) -> SimMetrics {
+        let mut flow_mix = [0u64; 8];
+        for (o, (a, b)) in flow_mix
+            .iter_mut()
+            .zip(self.flow_mix.iter().zip(earlier.flow_mix.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        SimMetrics {
+            stb_hits: self.stb_hits.saturating_sub(earlier.stb_hits),
+            stb_misses: self.stb_misses.saturating_sub(earlier.stb_misses),
+            slb_access_hits: self.slb_access_hits.saturating_sub(earlier.slb_access_hits),
+            slb_access_misses: self.slb_access_misses.saturating_sub(earlier.slb_access_misses),
+            slb_preload_hits: self.slb_preload_hits.saturating_sub(earlier.slb_preload_hits),
+            slb_preload_misses: self
+                .slb_preload_misses
+                .saturating_sub(earlier.slb_preload_misses),
+            tempbuf_staged: self.tempbuf_staged.saturating_sub(earlier.tempbuf_staged),
+            tempbuf_commits: self.tempbuf_commits.saturating_sub(earlier.tempbuf_commits),
+            tempbuf_squashes: self.tempbuf_squashes.saturating_sub(earlier.tempbuf_squashes),
+            flow_mix,
+        }
+    }
 }
 
 /// Replay-engine counters (one shard, or the merge of many).
@@ -283,6 +371,17 @@ impl ReplayMetrics {
         self.checks = self.checks.saturating_add(other.checks);
         self.allowed = self.allowed.saturating_add(other.allowed);
         self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+    }
+
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// section (per-field saturating subtraction).
+    pub fn delta_since(&self, earlier: &ReplayMetrics) -> ReplayMetrics {
+        ReplayMetrics {
+            shards: self.shards.saturating_sub(earlier.shards),
+            checks: self.checks.saturating_sub(earlier.checks),
+            allowed: self.allowed.saturating_sub(earlier.allowed),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+        }
     }
 }
 
@@ -326,6 +425,28 @@ impl MetricsRegistry {
             out.merge(part);
         }
         out
+    }
+
+    /// Counters accumulated since an `earlier` cumulative snapshot: the
+    /// per-field saturating subtraction `self - earlier`, applied
+    /// section by section (histograms element-wise).
+    ///
+    /// With `earlier` an older snapshot of the same monotonically
+    /// growing registry, the result is exactly the interval's traffic,
+    /// and deltas compose: merging consecutive interval deltas
+    /// reconstructs the cumulative difference over the combined span.
+    /// Because every field subtracts saturating, a non-monotone input
+    /// (a gauge that shrank, a counter that saturated mid-interval)
+    /// clamps at zero rather than wrapping to a huge value — the
+    /// windowed-delta invariant the time-series engine relies on.
+    pub fn delta_since(&self, earlier: &MetricsRegistry) -> MetricsRegistry {
+        MetricsRegistry {
+            checker: self.checker.delta_since(&earlier.checker),
+            cuckoo: self.cuckoo.delta_since(&earlier.cuckoo),
+            vat: self.vat.delta_since(&earlier.vat),
+            sim: self.sim.delta_since(&earlier.sim),
+            replay: self.replay.delta_since(&earlier.replay),
+        }
     }
 }
 
@@ -681,5 +802,59 @@ mod tests {
         assert_eq!(FLOW_LABELS.len(), 8);
         assert_eq!(FLOW_LABELS[0], "spt-only");
         assert_eq!(FLOW_LABELS[7], "fallback");
+    }
+
+    #[test]
+    fn delta_since_inverts_merge() {
+        // cumulative = earlier + growth  =>  delta_since(earlier) == growth.
+        let earlier = sample(5);
+        let growth = sample(3);
+        let mut cumulative = earlier;
+        cumulative.merge(&growth);
+        assert_eq!(cumulative.delta_since(&earlier), growth);
+        // Delta against itself is all-zero; a "backwards" delta clamps
+        // at zero instead of wrapping.
+        assert_eq!(
+            cumulative.delta_since(&cumulative),
+            MetricsRegistry::default()
+        );
+        assert_eq!(earlier.delta_since(&cumulative), MetricsRegistry::default());
+    }
+
+    proptest::proptest! {
+        /// The windowed-delta invariant: over a monotone sequence of
+        /// cumulative snapshots, merging the per-interval deltas
+        /// reconstructs the cumulative growth exactly, and no delta
+        /// field ever "goes negative" (wraps) — saturating subtraction
+        /// clamps instead.
+        #[test]
+        fn interval_deltas_sum_to_cumulative(
+            seeds in proptest::collection::vec(0u64..1000, 1..16),
+        ) {
+            // Build a monotone cumulative chain by merging increments.
+            let mut snapshots = vec![MetricsRegistry::default()];
+            for &seed in &seeds {
+                let mut next = *snapshots.last().unwrap();
+                next.merge(&sample(seed));
+                snapshots.push(next);
+            }
+            let mut recombined = MetricsRegistry::default();
+            for pair in snapshots.windows(2) {
+                let delta = pair[1].delta_since(&pair[0]);
+                // Each interval delta is exactly the increment fed in.
+                recombined.merge(&delta);
+                // No wrap: every counter in the delta is bounded by the
+                // later cumulative snapshot.
+                proptest::prop_assert!(delta.checker.total() <= pair[1].checker.total());
+                proptest::prop_assert!(delta.checker.denials <= pair[1].checker.denials);
+            }
+            let total = snapshots.last().unwrap();
+            proptest::prop_assert_eq!(
+                &recombined,
+                &total.delta_since(&snapshots[0]),
+                "sum of interval deltas must equal the cumulative growth"
+            );
+            proptest::prop_assert_eq!(recombined, *total, "grown from zero");
+        }
     }
 }

@@ -72,6 +72,8 @@ pub struct EventRing {
     /// Index of the next write (wraps at `capacity`).
     next: usize,
     total: u64,
+    /// Events lost to wraparound (each overwrite drops the oldest).
+    dropped: u64,
 }
 
 impl EventRing {
@@ -87,16 +89,19 @@ impl EventRing {
             capacity,
             next: 0,
             total: 0,
+            dropped: 0,
         }
     }
 
-    /// Records an event, overwriting the oldest when full. Never
-    /// allocates: the buffer was sized at construction.
+    /// Records an event, overwriting the oldest when full (counted in
+    /// [`EventRing::events_dropped`]). Never allocates: the buffer was
+    /// sized at construction.
     pub fn record(&mut self, event: FlowEvent) {
         if self.events.len() < self.capacity {
             self.events.push(event);
         } else {
             self.events[self.next] = event;
+            self.dropped = self.dropped.saturating_add(1);
         }
         self.next = (self.next + 1) % self.capacity;
         self.total = self.total.saturating_add(1);
@@ -120,6 +125,14 @@ impl EventRing {
     /// Total events ever recorded (including overwritten ones).
     pub const fn total_recorded(&self) -> u64 {
         self.total
+    }
+
+    /// Events lost to wraparound: every overwrite of a not-yet-read
+    /// oldest event counts here, so `events_dropped() + len()` always
+    /// equals [`EventRing::total_recorded`]. Loss is accounted, never
+    /// silent.
+    pub const fn events_dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Iterates over the held events, oldest first.
@@ -173,6 +186,7 @@ mod tests {
             ring.record(ev(seq));
         }
         assert_eq!(ring.len(), 3);
+        assert_eq!(ring.events_dropped(), 0, "no overwrite before full");
         let seqs: Vec<u64> = ring.iter_recent().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2]);
         for seq in 3..11 {
@@ -180,6 +194,8 @@ mod tests {
         }
         assert_eq!(ring.len(), 4);
         assert_eq!(ring.total_recorded(), 11);
+        assert_eq!(ring.events_dropped(), 7, "11 recorded, 4 held");
+        assert_eq!(ring.events_dropped() + ring.len() as u64, ring.total_recorded());
         let seqs: Vec<u64> = ring.iter_recent().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9, 10], "oldest first after wrap");
     }

@@ -1,0 +1,467 @@
+//! Windowed time-series over cumulative metric snapshots.
+//!
+//! The live-telemetry layer answers "what is the check rate, hit rate,
+//! and p99 *right now*?" without adding any hot-path instrumentation:
+//! a pump thread (or the replay driver between slices) periodically
+//! snapshots the cumulative [`MetricsRegistry`] the layers already
+//! feed, and [`MetricsWindow::push`] turns consecutive snapshots into
+//! per-interval deltas by saturating subtraction
+//! ([`MetricsRegistry::delta_since`]). The deltas live in a
+//! fixed-capacity ring whose slots are preallocated `Copy` values, so
+//! pushing is zero-allocation in steady state — the same contract the
+//! check path itself obeys.
+//!
+//! Derived sliding-window rates (checks/sec, cache-hit rate, deny
+//! rate) and windowed latency quantiles come from merging the last `k`
+//! interval deltas; the pow2 [`Histogram`]s merge element-wise, so a
+//! window quantile costs one 16-bucket scan.
+//!
+//! The ring serializes as schema [`TIMESERIES_SCHEMA`]
+//! (`draco-timeseries/v1`) for `repro throughput --timeseries` and the
+//! coming `dracod` exporter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Histogram, MetricsRegistry};
+
+/// Schema tag of the serialized window-ring dump.
+pub const TIMESERIES_SCHEMA: &str = "draco-timeseries/v1";
+
+/// One interval of the time-series ring: the traffic delta between two
+/// consecutive cumulative snapshots, plus the later snapshot itself so
+/// gauges (VAT occupancy) stay readable in absolute terms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowSlot {
+    /// Interval ordinal since the window was created (0-based,
+    /// monotonically increasing even after the ring wraps).
+    pub interval: u64,
+    /// Caller-supplied timestamp of the interval's start, nanoseconds
+    /// relative to the caller's epoch (the previous push's `now_ns`).
+    pub start_ns: u64,
+    /// Caller-supplied timestamp of the interval's end (`now_ns` of the
+    /// push that sealed this interval).
+    pub end_ns: u64,
+    /// Counters accumulated during this interval (saturating
+    /// subtraction of the bracketing cumulative snapshots).
+    pub delta: MetricsRegistry,
+    /// The cumulative registry at `end_ns` — gauges and lifetime totals.
+    pub cumulative: MetricsRegistry,
+    /// Per-check latency samples recorded during this interval
+    /// (nanoseconds; empty when the pump has no latency source).
+    pub latency_ns: Histogram,
+}
+
+impl WindowSlot {
+    /// Interval length in nanoseconds (zero for a degenerate interval).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Checks per second during this interval (0.0 when the interval
+    /// has zero length).
+    pub fn checks_per_sec(&self) -> f64 {
+        let ns = self.duration_ns();
+        if ns == 0 {
+            return 0.0;
+        }
+        self.delta.checker.total() as f64 * 1e9 / ns as f64
+    }
+}
+
+/// Sliding-window aggregates over the most recent interval deltas.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowRates {
+    /// Intervals merged into this view.
+    pub intervals: usize,
+    /// Wall-clock span covered, nanoseconds.
+    pub span_ns: u64,
+    /// Checks per second across the window.
+    pub checks_per_sec: f64,
+    /// Fraction of window checks admitted by SPT/VAT.
+    pub cache_hit_rate: f64,
+    /// Fraction of window checks whose verdict was a denial.
+    pub deny_rate: f64,
+    /// Checks observed in the window.
+    pub checks: u64,
+    /// Denials observed in the window.
+    pub denials: u64,
+    /// Pooled per-check latency samples in the window (nanoseconds).
+    pub latency_ns: Histogram,
+}
+
+/// A fixed-capacity ring of per-interval metric deltas.
+///
+/// All slots are preallocated at construction; [`MetricsWindow::push`]
+/// writes `Copy` values in place and never allocates, so a pump can
+/// run at arbitrary frequency without violating the zero-allocation
+/// steady-state contract (proven by the counting-allocator tests in
+/// `draco-core`). When the ring is full the oldest interval is
+/// overwritten and counted in [`MetricsWindow::intervals_dropped`].
+#[derive(Clone, Debug)]
+pub struct MetricsWindow {
+    slots: Vec<WindowSlot>,
+    capacity: usize,
+    /// Index of the next write (wraps at `capacity`).
+    next: usize,
+    /// Slots currently holding data (saturates at `capacity`).
+    len: usize,
+    pushed: u64,
+    dropped: u64,
+    last: MetricsRegistry,
+    last_latency: Histogram,
+    last_ns: u64,
+}
+
+impl MetricsWindow {
+    /// Creates a window ring holding the most recent `capacity`
+    /// intervals. The baseline snapshot starts zeroed at relative time
+    /// zero; use [`MetricsWindow::reset_baseline`] to start mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "metrics window capacity must be nonzero");
+        MetricsWindow {
+            slots: vec![WindowSlot::default(); capacity],
+            capacity,
+            next: 0,
+            len: 0,
+            pushed: 0,
+            dropped: 0,
+            last: MetricsRegistry::default(),
+            last_latency: Histogram::default(),
+            last_ns: 0,
+        }
+    }
+
+    /// Re-bases the delta computation on `cumulative` at `now_ns`
+    /// without emitting an interval — used when the window attaches to
+    /// a registry that already has traffic (e.g. after warm-up), so the
+    /// first pushed interval covers only post-attach work.
+    pub fn reset_baseline(&mut self, cumulative: &MetricsRegistry, now_ns: u64) {
+        self.last = *cumulative;
+        self.last_latency = Histogram::default();
+        self.last_ns = now_ns;
+    }
+
+    /// Seals one interval: records the delta between `cumulative` and
+    /// the previous snapshot, stamped `[last_ns, now_ns]`, and makes
+    /// `cumulative` the new baseline. `latency_ns` is the *cumulative*
+    /// latency histogram (the interval's samples are recovered by
+    /// subtraction, like the counters); pass the previous cumulative
+    /// value — or an empty histogram — when no latency source exists.
+    ///
+    /// Zero-allocation: the slot is written in place.
+    pub fn push(&mut self, cumulative: &MetricsRegistry, latency_ns: &Histogram, now_ns: u64) {
+        let slot = WindowSlot {
+            interval: self.pushed,
+            start_ns: self.last_ns,
+            end_ns: now_ns,
+            delta: cumulative.delta_since(&self.last),
+            cumulative: *cumulative,
+            latency_ns: latency_ns.delta_since(&self.last_latency),
+        };
+        if self.len == self.capacity {
+            self.dropped = self.dropped.saturating_add(1);
+        } else {
+            self.len += 1;
+        }
+        self.slots[self.next] = slot;
+        self.next = (self.next + 1) % self.capacity;
+        self.pushed = self.pushed.saturating_add(1);
+        self.last = *cumulative;
+        self.last_latency = *latency_ns;
+        self.last_ns = now_ns;
+    }
+
+    /// Intervals currently held (at most the capacity).
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no interval has been pushed yet.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured ring capacity.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total intervals ever pushed (including overwritten ones).
+    pub const fn intervals_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Intervals lost to ring wraparound. Loss is accounted:
+    /// `intervals_dropped() + len()` always equals
+    /// [`MetricsWindow::intervals_pushed`].
+    pub const fn intervals_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over the held intervals, oldest first.
+    pub fn iter_recent(&self) -> impl Iterator<Item = &WindowSlot> {
+        // Before the first wrap the data sits in `[0, len)`; after it,
+        // the oldest slot is at `next` and the buffer is fully live.
+        let (tail, head) = if self.len < self.capacity {
+            (&self.slots[..self.len], &self.slots[..0])
+        } else {
+            (&self.slots[self.next..], &self.slots[..self.next])
+        };
+        tail.iter().chain(head.iter())
+    }
+
+    /// The most recently sealed interval, if any.
+    pub fn last_slot(&self) -> Option<&WindowSlot> {
+        if self.len == 0 {
+            return None;
+        }
+        let idx = (self.next + self.capacity - 1) % self.capacity;
+        Some(&self.slots[idx])
+    }
+
+    /// Sliding-window aggregates over the newest `window` intervals
+    /// (all held intervals when `window >= len`). Returns `None` when
+    /// the ring is empty.
+    pub fn rates_over_last(&self, window: usize) -> Option<WindowRates> {
+        if self.len == 0 || window == 0 {
+            return None;
+        }
+        let take = window.min(self.len);
+        let mut delta = MetricsRegistry::default();
+        let mut latency_ns = Histogram::default();
+        let mut span_ns = 0u64;
+        // Oldest-first iteration; keep only the newest `take`.
+        for slot in self.iter_recent().skip(self.len - take) {
+            delta.merge(&slot.delta);
+            latency_ns.merge(&slot.latency_ns);
+            span_ns = span_ns.saturating_add(slot.duration_ns());
+        }
+        let checks = delta.checker.total();
+        let denials = delta.checker.denials;
+        let checks_per_sec = if span_ns == 0 {
+            0.0
+        } else {
+            checks as f64 * 1e9 / span_ns as f64
+        };
+        let deny_rate = if checks == 0 {
+            0.0
+        } else {
+            denials as f64 / checks as f64
+        };
+        Some(WindowRates {
+            intervals: take,
+            span_ns,
+            checks_per_sec,
+            cache_hit_rate: delta.checker.cache_hit_rate(),
+            deny_rate,
+            checks,
+            denials,
+            latency_ns,
+        })
+    }
+
+    /// Serializable dump of the whole ring, oldest interval first
+    /// (schema [`TIMESERIES_SCHEMA`]).
+    pub fn dump(&self) -> TimeseriesDump {
+        TimeseriesDump {
+            schema: TIMESERIES_SCHEMA.to_string(),
+            capacity: self.capacity as u64,
+            intervals_pushed: self.pushed,
+            intervals_dropped: self.dropped,
+            intervals: self.iter_recent().copied().collect(),
+        }
+    }
+}
+
+/// The serialized form of a [`MetricsWindow`] (`draco-timeseries/v1`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeseriesDump {
+    /// Always [`TIMESERIES_SCHEMA`] when produced by this crate.
+    pub schema: String,
+    /// Ring capacity at dump time.
+    pub capacity: u64,
+    /// Total intervals pushed over the window's lifetime.
+    pub intervals_pushed: u64,
+    /// Intervals lost to wraparound (accounted loss).
+    pub intervals_dropped: u64,
+    /// The held intervals, oldest first.
+    pub intervals: Vec<WindowSlot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(checks: u64, denials: u64) -> MetricsRegistry {
+        let mut r = MetricsRegistry::default();
+        r.checker.spt_hits = checks / 2;
+        r.checker.vat_hits = checks / 4;
+        r.checker.filter_runs = checks - checks / 2 - checks / 4;
+        r.checker.denials = denials;
+        r
+    }
+
+    #[test]
+    fn push_seals_interval_deltas() {
+        let mut w = MetricsWindow::with_capacity(4);
+        assert!(w.is_empty());
+        let lat = Histogram::default();
+        w.push(&registry_with(100, 1), &lat, 1_000);
+        w.push(&registry_with(250, 5), &lat, 2_000);
+        assert_eq!(w.len(), 2);
+        let slots: Vec<&WindowSlot> = w.iter_recent().collect();
+        assert_eq!(slots[0].delta.checker.total(), 100);
+        assert_eq!(slots[0].start_ns, 0);
+        assert_eq!(slots[0].end_ns, 1_000);
+        assert_eq!(slots[1].delta.checker.total(), 150);
+        assert_eq!(slots[1].delta.checker.denials, 4);
+        assert_eq!(slots[1].cumulative.checker.denials, 5);
+        assert_eq!(slots[1].duration_ns(), 1_000);
+        // checks/sec: 150 checks in 1 microsecond.
+        assert!((slots[1].checks_per_sec() - 150e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn ring_wraps_and_accounts_drops() {
+        let mut w = MetricsWindow::with_capacity(2);
+        let lat = Histogram::default();
+        for i in 1..=5u64 {
+            w.push(&registry_with(i * 10, 0), &lat, i * 100);
+        }
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.intervals_pushed(), 5);
+        assert_eq!(w.intervals_dropped(), 3);
+        assert_eq!(w.intervals_dropped() + w.len() as u64, w.intervals_pushed());
+        let intervals: Vec<u64> = w.iter_recent().map(|s| s.interval).collect();
+        assert_eq!(intervals, vec![3, 4], "newest two, oldest first");
+        assert_eq!(w.last_slot().unwrap().interval, 4);
+    }
+
+    #[test]
+    fn reset_baseline_skips_preexisting_traffic() {
+        let mut w = MetricsWindow::with_capacity(4);
+        let lat = Histogram::default();
+        w.reset_baseline(&registry_with(1_000, 50), 500);
+        w.push(&registry_with(1_100, 51), &lat, 600);
+        let slot = w.last_slot().unwrap();
+        assert_eq!(slot.delta.checker.total(), 100);
+        assert_eq!(slot.delta.checker.denials, 1);
+        assert_eq!(slot.start_ns, 500);
+    }
+
+    #[test]
+    fn rates_merge_the_newest_window() {
+        let mut w = MetricsWindow::with_capacity(8);
+        let mut lat = Histogram::default();
+        // Three intervals of 1000 ns each: 100, 200, 300 checks.
+        let mut cum = 0u64;
+        let mut denials = 0u64;
+        for (i, checks) in [100u64, 200, 300].iter().enumerate() {
+            cum += checks;
+            denials += 10;
+            lat.record(1 << i); // one latency sample per interval
+            w.push(&registry_with(cum, denials), &lat, (i as u64 + 1) * 1_000);
+        }
+        let all = w.rates_over_last(usize::MAX).unwrap();
+        assert_eq!(all.intervals, 3);
+        assert_eq!(all.checks, 600);
+        assert_eq!(all.denials, 30);
+        assert_eq!(all.span_ns, 3_000);
+        assert!((all.checks_per_sec - 200e6).abs() < 1.0);
+        assert!((all.deny_rate - 0.05).abs() < 1e-12);
+        assert_eq!(all.latency_ns.count(), 3, "latency deltas pooled");
+        let newest = w.rates_over_last(1).unwrap();
+        assert_eq!(newest.checks, 300);
+        assert_eq!(newest.latency_ns.count(), 1);
+        assert!(w.rates_over_last(0).is_none());
+        assert!(MetricsWindow::with_capacity(1).rates_over_last(3).is_none());
+    }
+
+    #[test]
+    fn latency_is_deltaed_like_counters() {
+        let mut w = MetricsWindow::with_capacity(4);
+        let mut lat = Histogram::default();
+        lat.record(10);
+        lat.record(20);
+        w.push(&registry_with(10, 0), &lat, 100);
+        lat.record(40);
+        w.push(&registry_with(20, 0), &lat, 200);
+        let slots: Vec<&WindowSlot> = w.iter_recent().collect();
+        assert_eq!(slots[0].latency_ns.count(), 2);
+        assert_eq!(slots[1].latency_ns.count(), 1, "only the new sample");
+        assert_eq!(slots[1].latency_ns.sum, 40);
+    }
+
+    #[test]
+    fn dump_round_trips_with_schema() {
+        let mut w = MetricsWindow::with_capacity(3);
+        let lat = Histogram::default();
+        for i in 1..=4u64 {
+            w.push(&registry_with(i * 7, i), &lat, i * 50);
+        }
+        let dump = w.dump();
+        assert_eq!(dump.schema, TIMESERIES_SCHEMA);
+        assert_eq!(dump.capacity, 3);
+        assert_eq!(dump.intervals_pushed, 4);
+        assert_eq!(dump.intervals_dropped, 1);
+        assert_eq!(dump.intervals.len(), 3);
+        assert!(dump.intervals.windows(2).all(|p| p[0].interval + 1 == p[1].interval));
+        let json = serde_json::to_string(&dump).expect("serializes");
+        assert!(json.contains("draco-timeseries/v1"));
+        let back: TimeseriesDump = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, dump);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = MetricsWindow::with_capacity(0);
+    }
+
+    proptest::proptest! {
+        /// Windowed-delta correctness: over any monotone snapshot
+        /// sequence, merging every held interval delta (when nothing
+        /// was dropped) reconstructs the cumulative growth exactly —
+        /// and no delta ever wraps (each is bounded by its cumulative).
+        #[test]
+        fn deltas_reconstruct_cumulative(
+            increments in proptest::collection::vec((0u64..500, 0u64..50), 1..12),
+        ) {
+            let mut w = MetricsWindow::with_capacity(16);
+            let lat = Histogram::default();
+            let mut cum_checks = 0u64;
+            let mut cum_denials = 0u64;
+            for (i, &(checks, denials)) in increments.iter().enumerate() {
+                cum_checks += checks;
+                cum_denials = (cum_denials + denials).min(cum_checks);
+                w.push(
+                    &registry_with(cum_checks, cum_denials),
+                    &lat,
+                    (i as u64 + 1) * 1_000,
+                );
+            }
+            proptest::prop_assert_eq!(w.intervals_dropped(), 0);
+            let mut recombined = MetricsRegistry::default();
+            for slot in w.iter_recent() {
+                recombined.merge(&slot.delta);
+                proptest::prop_assert!(
+                    slot.delta.checker.total() <= slot.cumulative.checker.total()
+                );
+                proptest::prop_assert!(
+                    slot.delta.checker.denials <= slot.cumulative.checker.denials
+                );
+            }
+            proptest::prop_assert_eq!(recombined.checker.total(), cum_checks);
+            proptest::prop_assert_eq!(recombined.checker.denials, cum_denials);
+            proptest::prop_assert_eq!(
+                recombined,
+                w.last_slot().unwrap().cumulative,
+                "sum of interval deltas == cumulative snapshot"
+            );
+        }
+    }
+}

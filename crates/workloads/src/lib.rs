@@ -42,6 +42,7 @@
 
 pub mod catalog;
 mod generator;
+pub mod live;
 mod locality;
 mod model;
 pub mod replay;

@@ -1,0 +1,539 @@
+//! Rounds-based live replay: the snapshot pump behind `dracoctl top`,
+//! `dracoctl audit`, and `repro throughput --timeseries`.
+//!
+//! The telemetry design rule (see `draco-obs`) is *subtraction, not
+//! instrumentation*: the hot loop keeps its existing counters, and live
+//! views are built by snapshotting the cumulative [`MetricsRegistry`]
+//! at interval boundaries and letting [`MetricsWindow`] subtract. This
+//! module supplies the boundaries. A live replay drives the same
+//! per-shard plans as [`replay::replay_parallel`](crate::replay) but in
+//! `rounds` slices; after each slice it
+//!
+//! 1. merges the per-shard cumulative registries and pushes one window
+//!    interval,
+//! 2. refills the audit ring's token bucket (deterministically — the
+//!    pump is the clock) and drains newly published denial events,
+//! 3. hands a [`LiveTick`] to the caller (the `top` table renderer, the
+//!    `audit --follow` printer, or nobody).
+//!
+//! Shards run interleaved on the calling thread, so per-shard counters
+//! remain bit-identical to the equivalent single-shot replay — same
+//! plans, same request order within a shard — and ticks never race a
+//! half-updated registry.
+//!
+//! Replayed traces are generated from the very workload profile they
+//! are checked against, so a plain replay denies almost nothing. For
+//! audit-stream exercise, [`LiveConfig::deny_every`] perturbs every Nth
+//! measured request's arguments with a constant outside every recorded
+//! whitelist (the throughput harness's deny-stream trick), turning that
+//! request into a guaranteed filter-path denial under an
+//! argument-checking profile.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use draco_core::{Decision, DracoProcess, EngineKind, ProcessId};
+use draco_obs::{
+    AuditEvent, AuditRing, Histogram, MetricsRegistry, MetricsWindow, ReplayMetrics,
+    TimeseriesDump,
+};
+use draco_profiles::ProfileKind;
+use draco_syscalls::{ArgSet, SyscallRequest};
+
+use crate::model::WorkloadSpec;
+use crate::replay::{plan_shards, ReplayBackend, ReplayConfig, LATENCY_SAMPLE_INTERVAL};
+
+/// The argument perturbation that makes a request miss every recorded
+/// whitelist: no generated workload produces values with these bits set
+/// (same constant as the throughput harness's deny stream).
+pub const DENY_PERTURBATION: u64 = 0xdead_0000_0000;
+
+/// Parameters of a live (rounds-sliced) replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// Sharding/trace parameters, as for a single-shot replay.
+    pub replay: ReplayConfig,
+    /// Number of slices the measured region is cut into; each slice
+    /// seals one window interval and fires one [`LiveTick`]. Must be
+    /// nonzero.
+    pub rounds: usize,
+    /// Window ring capacity (intervals retained). Must be nonzero.
+    pub window_capacity: usize,
+    /// Audit ring capacity (events buffered between drains).
+    pub audit_capacity: usize,
+    /// Token-bucket burst for the audit ring; `u64::MAX` disables rate
+    /// limiting.
+    pub audit_burst: u64,
+    /// Tokens granted per round (the pump is the refill clock).
+    pub audit_refill_per_round: u64,
+    /// Perturb every Nth measured request into a guaranteed denial
+    /// (`0` = replay the trace untouched).
+    pub deny_every: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            replay: ReplayConfig {
+                shards: 2,
+                ops_per_shard: 20_000,
+                warmup_ops: 2_000,
+                base_seed: 2020,
+            },
+            rounds: 20,
+            window_capacity: 64,
+            audit_capacity: 4096,
+            audit_burst: u64::MAX,
+            audit_refill_per_round: 0,
+            deny_every: 0,
+        }
+    }
+}
+
+/// One shard's cumulative progress, updated every round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveShardProgress {
+    /// Shard index (0-based; also the audit `source` id).
+    pub shard: usize,
+    /// Measured checks performed so far.
+    pub checks: u64,
+    /// Checks whose verdict permitted the call.
+    pub allowed: u64,
+    /// Checks admitted by SPT or VAT without running the filter.
+    pub cache_hits: u64,
+    /// Filter-path denials so far.
+    pub denials: u64,
+}
+
+/// What one round of a live replay exposes to the tick callback.
+#[derive(Debug)]
+pub struct LiveTick<'a> {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Total rounds in this replay.
+    pub rounds: usize,
+    /// The window ring after this round's push (`last_slot()` is this
+    /// round's interval).
+    pub window: &'a MetricsWindow,
+    /// Per-shard cumulative progress, in shard order.
+    pub shards: &'a [LiveShardProgress],
+    /// Denial events drained *this round*, in publication order.
+    pub events: &'a [AuditEvent],
+    /// The audit ring, for drop/throttle accounting.
+    pub audit: &'a AuditRing,
+}
+
+/// The outcome of a live replay: final cumulative state plus the full
+/// telemetry the rounds produced.
+#[derive(Clone, Debug)]
+pub struct LiveReport {
+    /// Workload name.
+    pub workload: String,
+    /// The backend that was driven.
+    pub backend: ReplayBackend,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Final per-shard cumulative progress.
+    pub shards: Vec<LiveShardProgress>,
+    /// Final merged cumulative registry (checker/cuckoo/vat sections
+    /// from every shard's process, plus the replay overlay).
+    pub metrics: MetricsRegistry,
+    /// The window ring's dump (schema [`draco_obs::TIMESERIES_SCHEMA`]).
+    pub timeseries: TimeseriesDump,
+    /// Every denial event drained across all rounds, in order.
+    pub events: Vec<AuditEvent>,
+    /// Audit events published into the ring (drained or still queued).
+    pub audit_published: u64,
+    /// Audit events dropped (ring full + rate limited).
+    pub audit_dropped: u64,
+    /// Drop reason split: ring full.
+    pub audit_dropped_ring_full: u64,
+    /// Drop reason split: token bucket empty.
+    pub audit_dropped_rate_limited: u64,
+    /// Wall-clock nanoseconds for the measured region (all rounds).
+    pub wall_ns: u64,
+}
+
+impl LiveReport {
+    /// Total measured checks across shards.
+    pub fn total_checks(&self) -> u64 {
+        self.shards.iter().map(|s| s.checks).sum()
+    }
+
+    /// Total filter-path denials across shards.
+    pub fn total_denials(&self) -> u64 {
+        self.shards.iter().map(|s| s.denials).sum()
+    }
+}
+
+/// One shard's live-replay state: its process plus cursors into its
+/// measured stream.
+struct LiveShard {
+    process: DracoProcess,
+    measured: Vec<SyscallRequest>,
+    cursor: usize,
+    progress: LiveShardProgress,
+    batch_out: Vec<Decision>,
+}
+
+fn perturb(req: &SyscallRequest) -> SyscallRequest {
+    let mut args = [0u64; 6];
+    for (i, slot) in args.iter_mut().enumerate() {
+        *slot = req.args.get(i) ^ DENY_PERTURBATION;
+    }
+    SyscallRequest::new(req.pc, req.id, ArgSet::new(args))
+}
+
+/// Runs a live replay, firing `on_tick` after every round.
+///
+/// Only the Draco backends are supported: the Seccomp backends have no
+/// checker to audit and no cache counters to window.
+///
+/// # Panics
+///
+/// Panics if the backend is not a Draco variant, or if `rounds`,
+/// `window_capacity`, or `replay.shards` is zero.
+pub fn replay_live<F>(
+    spec: &WorkloadSpec,
+    kind: ProfileKind,
+    backend: ReplayBackend,
+    cfg: &LiveConfig,
+    mut on_tick: F,
+) -> LiveReport
+where
+    F: FnMut(&LiveTick<'_>),
+{
+    assert!(
+        backend.is_draco(),
+        "live telemetry needs a Draco backend (got {})",
+        backend.label()
+    );
+    assert!(cfg.rounds > 0, "live replay needs at least one round");
+    assert!(cfg.replay.shards > 0, "live replay needs at least one shard");
+
+    let engine = if backend == ReplayBackend::DracoDag {
+        EngineKind::Dag
+    } else {
+        EngineKind::Compiled
+    };
+    let batch = match backend {
+        ReplayBackend::DracoBatch { batch } => {
+            assert!(batch > 0, "batched replay needs a nonzero batch size");
+            Some(batch)
+        }
+        _ => None,
+    };
+    let ring = Arc::new(AuditRing::with_rate_limit(
+        cfg.audit_capacity,
+        cfg.audit_burst,
+    ));
+
+    // Plan exactly as the single-shot replay does, then build one
+    // process per shard with the audit sink attached (source = shard).
+    let plans = plan_shards(spec, kind, backend, &cfg.replay);
+    let mut shards: Vec<LiveShard> = plans
+        .into_iter()
+        .map(|mut plan| {
+            let pid = u32::try_from(plan.shard).expect("shard index exceeds ProcessId range");
+            let mut process = match &plan.analysis {
+                Some(analysis) => DracoProcess::spawn_analyzed_with_engine(
+                    ProcessId(pid),
+                    &plan.profile,
+                    analysis,
+                    engine,
+                ),
+                None => DracoProcess::spawn_with_engine(ProcessId(pid), &plan.profile, engine),
+            }
+            .expect("generated profiles always compile");
+            process
+                .checker_mut()
+                .enable_audit(Arc::clone(&ring), plan.shard as u16);
+            if cfg.deny_every > 0 {
+                for (i, req) in plan.measured.iter_mut().enumerate() {
+                    if i % cfg.deny_every == 0 {
+                        *req = perturb(req);
+                    }
+                }
+            }
+            // Warmup is unmeasured and unwindowed (but still audited —
+            // the ring's accounting must cover *every* denial).
+            for req in &plan.warmup {
+                let _ = process.checker_mut().check(req);
+            }
+            LiveShard {
+                process,
+                measured: plan.measured,
+                cursor: 0,
+                progress: LiveShardProgress {
+                    shard: plan.shard,
+                    ..LiveShardProgress::default()
+                },
+                batch_out: vec![Decision::KILLED; batch.unwrap_or(1)],
+            }
+        })
+        .collect();
+
+    let merged = |shards: &[LiveShard]| -> MetricsRegistry {
+        let mut registry = MetricsRegistry::default();
+        for shard in shards {
+            let mut one = shard.process.checker().metrics();
+            one.replay = ReplayMetrics {
+                shards: 1,
+                checks: shard.progress.checks,
+                allowed: shard.progress.allowed,
+                cache_hits: shard.progress.cache_hits,
+            };
+            registry.merge(&one);
+        }
+        registry
+    };
+
+    let mut window = MetricsWindow::with_capacity(cfg.window_capacity);
+    let mut latency_pool = Histogram::default();
+    let epoch = Instant::now();
+    window.reset_baseline(&merged(&shards), 0);
+
+    let mut all_events: Vec<AuditEvent> = Vec::new();
+    let mut round_events: Vec<AuditEvent> = Vec::new();
+    let mut progress: Vec<LiveShardProgress> = Vec::with_capacity(shards.len());
+
+    for round in 0..cfg.rounds {
+        for shard in &mut shards {
+            // Slice boundaries by round index: even coverage, and the
+            // concatenation of all slices is exactly the measured
+            // stream in order.
+            let len = shard.measured.len();
+            let end = len * (round + 1) / cfg.rounds;
+            while shard.cursor < end {
+                let i = shard.cursor;
+                let take = match batch {
+                    Some(b) => b.min(end - i),
+                    None => 1,
+                };
+                let reqs = &shard.measured[i..i + take];
+                let sampled = i % LATENCY_SAMPLE_INTERVAL < take;
+                let sample_start = sampled.then(Instant::now);
+                // Drive the liveness-free check path: a live monitor
+                // watches a deny-heavy stream without the one-strike
+                // `KillProcess` shutdown `DracoProcess::syscall` models
+                // (the profile default action would otherwise end the
+                // replay at the first audited denial).
+                match batch {
+                    Some(_) => {
+                        let out = &mut shard.batch_out[..take];
+                        shard.process.checker_mut().check_batch(reqs, out);
+                        for decision in out.iter() {
+                            shard.progress.allowed += u64::from(decision.action.permits());
+                            shard.progress.cache_hits +=
+                                u64::from(decision.path.is_cache_hit());
+                        }
+                    }
+                    None => {
+                        let result = shard.process.checker_mut().check(&reqs[0]);
+                        shard.progress.allowed += u64::from(result.action.permits());
+                        shard.progress.cache_hits += u64::from(result.path.is_cache_hit());
+                    }
+                }
+                if let Some(t) = sample_start {
+                    latency_pool.record(t.elapsed().as_nanos() as u64 / take as u64);
+                }
+                shard.progress.checks += take as u64;
+                shard.cursor += take;
+            }
+            shard.progress.denials = shard.process.checker().stats().denials;
+        }
+
+        window.push(&merged(&shards), &latency_pool, epoch.elapsed().as_nanos() as u64);
+        ring.refill(cfg.audit_refill_per_round);
+        round_events.clear();
+        ring.drain(&mut round_events);
+        all_events.extend_from_slice(&round_events);
+
+        progress.clear();
+        progress.extend(shards.iter().map(|s| s.progress));
+        on_tick(&LiveTick {
+            round,
+            rounds: cfg.rounds,
+            window: &window,
+            shards: &progress,
+            events: &round_events,
+            audit: &ring,
+        });
+    }
+    let wall_ns = epoch.elapsed().as_nanos() as u64;
+
+    // Final sweep: anything published after the last drain.
+    ring.drain(&mut all_events);
+
+    LiveReport {
+        workload: spec.name.to_owned(),
+        backend,
+        rounds: cfg.rounds,
+        shards: shards.iter().map(|s| s.progress).collect(),
+        metrics: merged(&shards),
+        timeseries: window.dump(),
+        events: all_events,
+        audit_published: ring.events_published(),
+        audit_dropped: ring.events_dropped(),
+        audit_dropped_ring_full: ring.dropped_ring_full(),
+        audit_dropped_rate_limited: ring.dropped_rate_limited(),
+        wall_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::replay::replay_parallel;
+
+    fn live_cfg() -> LiveConfig {
+        LiveConfig {
+            replay: ReplayConfig {
+                shards: 2,
+                ops_per_shard: 400,
+                warmup_ops: 100,
+                base_seed: 2020,
+            },
+            rounds: 8,
+            window_capacity: 8,
+            audit_capacity: 1024,
+            audit_burst: u64::MAX,
+            audit_refill_per_round: 0,
+            deny_every: 0,
+        }
+    }
+
+    #[test]
+    fn live_counters_match_single_shot_replay() {
+        let spec = catalog::by_name("nginx").unwrap();
+        let cfg = live_cfg();
+        let mut ticks = 0usize;
+        let live = replay_live(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+            |tick| {
+                ticks += 1;
+                assert_eq!(tick.rounds, 8);
+                assert_eq!(tick.shards.len(), 2);
+            },
+        );
+        assert_eq!(ticks, 8);
+        let single = replay_parallel(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg.replay,
+        );
+        assert_eq!(live.total_checks(), single.total_checks());
+        for (ls, ss) in live.shards.iter().zip(single.shards.iter()) {
+            assert_eq!(ls.checks, ss.checks, "shard {}", ls.shard);
+            assert_eq!(ls.allowed, ss.allowed, "shard {}", ls.shard);
+            assert_eq!(ls.cache_hits, ss.cache_hits, "shard {}", ls.shard);
+        }
+        // Deterministic sections agree with the single-shot registry.
+        assert_eq!(live.metrics.checker, single.metrics.checker);
+        assert_eq!(live.metrics.replay, single.metrics.replay);
+    }
+
+    #[test]
+    fn window_deltas_reconstruct_the_cumulative_registry() {
+        let spec = catalog::by_name("redis").unwrap();
+        let live = replay_live(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &live_cfg(),
+            |_| {},
+        );
+        assert_eq!(live.timeseries.intervals.len(), 8);
+        let mut reconstructed = 0u64;
+        for slot in &live.timeseries.intervals {
+            reconstructed += slot.delta.replay.checks;
+        }
+        assert_eq!(reconstructed, live.total_checks());
+        let last = live.timeseries.intervals.last().unwrap();
+        assert_eq!(last.cumulative.replay.checks, live.total_checks());
+    }
+
+    #[test]
+    fn deny_stream_is_fully_audited_or_counted() {
+        let spec = catalog::by_name("sysbench-fio").unwrap();
+        let mut cfg = live_cfg();
+        cfg.deny_every = 7;
+        let live = replay_live(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+            |_| {},
+        );
+        let denials = live.metrics.checker.denials;
+        assert!(denials > 0, "perturbed stream must deny");
+        assert_eq!(
+            live.audit_published + live.audit_dropped,
+            denials,
+            "every denial is either published or explicitly dropped"
+        );
+        assert_eq!(live.events.len() as u64, live.audit_published);
+        for event in &live.events {
+            assert!((event.source as usize) < cfg.replay.shards);
+        }
+    }
+
+    #[test]
+    fn rate_limited_audit_accounts_exactly() {
+        let spec = catalog::by_name("sysbench-fio").unwrap();
+        let mut cfg = live_cfg();
+        cfg.deny_every = 3;
+        cfg.audit_burst = 4;
+        cfg.audit_refill_per_round = 2;
+        let live = replay_live(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+            |_| {},
+        );
+        let denials = live.metrics.checker.denials;
+        assert_eq!(live.audit_published + live.audit_dropped, denials);
+        assert!(live.audit_dropped_rate_limited > 0, "bucket must throttle");
+        // Burst at attach plus per-round refills bound what can publish.
+        let ceiling = 4 + 2 * (cfg.rounds as u64);
+        assert!(
+            live.audit_published <= ceiling,
+            "published {} exceeds token ceiling {}",
+            live.audit_published,
+            ceiling
+        );
+    }
+
+    #[test]
+    fn batch_backend_matches_scalar_decisions() {
+        let spec = catalog::by_name("nginx").unwrap();
+        let mut cfg = live_cfg();
+        cfg.deny_every = 11;
+        let scalar = replay_live(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoSw,
+            &cfg,
+            |_| {},
+        );
+        let batched = replay_live(
+            &spec,
+            ProfileKind::SyscallComplete,
+            ReplayBackend::DracoBatch { batch: 32 },
+            &cfg,
+            |_| {},
+        );
+        assert_eq!(scalar.total_checks(), batched.total_checks());
+        assert_eq!(scalar.total_denials(), batched.total_denials());
+        assert_eq!(
+            scalar.audit_published + scalar.audit_dropped,
+            batched.audit_published + batched.audit_dropped
+        );
+    }
+}

@@ -218,20 +218,20 @@ impl ReplayReport {
 
 /// One shard's fully prepared input: requests decoded and profile built
 /// before any clock starts.
-struct ShardPlan {
-    shard: usize,
-    seed: u64,
-    warmup: Vec<SyscallRequest>,
-    measured: Vec<SyscallRequest>,
-    profile: ProfileSpec,
+pub(crate) struct ShardPlan {
+    pub(crate) shard: usize,
+    pub(crate) seed: u64,
+    pub(crate) warmup: Vec<SyscallRequest>,
+    pub(crate) measured: Vec<SyscallRequest>,
+    pub(crate) profile: ProfileSpec,
     /// Filter-analysis plan for the Draco backend, computed here — with
     /// trace generation and compilation, before any clock starts — so
     /// the measured region models an OS that analyzed the filter once
     /// at install time.
-    analysis: Option<ProfileAnalysis>,
+    pub(crate) analysis: Option<ProfileAnalysis>,
 }
 
-fn plan_shards(
+pub(crate) fn plan_shards(
     spec: &WorkloadSpec,
     kind: ProfileKind,
     backend: ReplayBackend,
