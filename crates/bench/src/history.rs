@@ -83,8 +83,7 @@ impl HistoryEntry {
         let single = |label: &str| {
             report
                 .backend(label)
-                .map(|b| b.single_thread_checks_per_sec)
-                .unwrap_or(0.0)
+                .map_or(0.0, |b| b.single_thread_checks_per_sec)
         };
         HistoryEntry {
             schema: HISTORY_SCHEMA.to_owned(),
@@ -94,40 +93,33 @@ impl HistoryEntry {
             draco_sw_single_checks_per_sec: single("draco-sw"),
             draco_sw_multi_checks_per_sec: report
                 .backend("draco-sw")
-                .map(|b| b.multi_thread_checks_per_sec)
-                .unwrap_or(0.0),
+                .map_or(0.0, |b| b.multi_thread_checks_per_sec),
             seccomp_interp_single_checks_per_sec: single("seccomp-interp"),
             seccomp_compiled_single_checks_per_sec: single("seccomp-compiled"),
             draco_shared_multi_checks_per_sec: report
                 .shared_threads
                 .first()
-                .map(|s| s.multi_thread_checks_per_sec)
-                .unwrap_or(0.0),
+                .map_or(0.0, |s| s.multi_thread_checks_per_sec),
             draco_shared_scaling: report
                 .shared_threads
                 .first()
-                .map(|s| s.scaling)
-                .unwrap_or(0.0),
+                .map_or(0.0, |s| s.scaling),
             draco_batch_single_checks_per_sec: report
                 .batch
                 .as_ref()
-                .map(|b| b.single_thread_checks_per_sec)
-                .unwrap_or(0.0),
+                .map_or(0.0, |b| b.single_thread_checks_per_sec),
             draco_batch_speedup_vs_scalar: report
                 .batch
                 .as_ref()
-                .map(|b| b.speedup_vs_scalar_single)
-                .unwrap_or(0.0),
+                .map_or(0.0, |b| b.speedup_vs_scalar_single),
             draco_dag_checks_per_sec: report
                 .dag
                 .as_ref()
-                .map(|d| d.dag_checks_per_sec)
-                .unwrap_or(0.0),
+                .map_or(0.0, |d| d.dag_checks_per_sec),
             draco_dag_speedup_vs_interp: report
                 .dag
                 .as_ref()
-                .map(|d| d.speedup_vs_interp)
-                .unwrap_or(0.0),
+                .map_or(0.0, |d| d.speedup_vs_interp),
         }
     }
 

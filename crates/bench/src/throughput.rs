@@ -92,8 +92,7 @@ impl ThroughputConfig {
 /// so the harness behaves on large machines.
 pub fn default_shards() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
+        .map_or(2, std::num::NonZero::get)
         .clamp(2, 8)
 }
 
@@ -689,8 +688,7 @@ fn run_batch_section(
     let scalar_single = backends
         .iter()
         .find(|b| b.backend == ReplayBackend::DracoSw.label())
-        .map(|b| b.single_thread_checks_per_sec)
-        .unwrap_or(0.0);
+        .map_or(0.0, |b| b.single_thread_checks_per_sec);
     let mut batch_counters = single.metrics.checker;
     batch_counters.merge(&multi.metrics.checker);
     metrics.merge(&multi.metrics);

@@ -146,6 +146,18 @@ pub enum LintKind {
     IpDependentDecision,
     /// A division by a possibly-zero `X` is reachable.
     PossibleDivFault,
+    /// A masked compare whose outcome is already decided by a compare
+    /// on the same masked field on every path to it — a contradictory
+    /// or duplicate compare chain (typically an importer emitting the
+    /// same argument test twice, or an unsatisfiable flag combination).
+    RedundantMaskedCompare {
+        /// The `seccomp_data` byte offset of the field both compares
+        /// load.
+        offset: u32,
+        /// True if the redundant branch is always taken, false if it
+        /// always falls through.
+        taken: bool,
+    },
 }
 
 impl LintKind {
@@ -155,7 +167,8 @@ impl LintKind {
             LintKind::UnreachableCode
             | LintKind::DeadBranch { .. }
             | LintKind::OutOfRangeSyscallCmp { .. }
-            | LintKind::DeadLoad { .. } => Severity::Warning,
+            | LintKind::DeadLoad { .. }
+            | LintKind::RedundantMaskedCompare { .. } => Severity::Warning,
             LintKind::IpDependentDecision | LintKind::PossibleDivFault => Severity::Error,
         }
     }
@@ -205,6 +218,12 @@ impl core::fmt::Display for Lint {
                 f,
                 "{sev}: insn {} may divide by a zero X at run time",
                 self.at
+            ),
+            LintKind::RedundantMaskedCompare { offset, taken } => write!(
+                f,
+                "{sev}: insn {} re-compares the field at offset {offset} already decided by a dominating compare (always {})",
+                self.at,
+                if taken { "taken" } else { "fall-through" }
             ),
         }
     }
@@ -1041,6 +1060,244 @@ fn dead_loads(insns: &[Insn], reached: &[bool]) -> Vec<usize> {
     dead
 }
 
+/// Does an established compare outcome decide a later compare on the
+/// *same* masked field? `(fc, fk, f_taken)` is the dominating fact —
+/// "`cond fc` against `fk` went `f_taken`" — and `(cond, k)` the
+/// question. Returns the forced branch direction, or `None` when the
+/// fact leaves the question open.
+fn fact_decides(fc: Cond, fk: u32, f_taken: bool, cond: Cond, k: u32) -> Option<bool> {
+    // The exact same test repeats: its outcome is already fixed.
+    if fc == cond && fk == k {
+        return Some(f_taken);
+    }
+    match (fc, f_taken) {
+        // v == fk: every compare against a constant is decided.
+        (Cond::Jeq, true) => Some(match cond {
+            Cond::Jeq => fk == k,
+            Cond::Jgt => fk > k,
+            Cond::Jge => fk >= k,
+            Cond::Jset => fk & k != 0,
+        }),
+        // v != fk.
+        (Cond::Jeq, false) => (cond == Cond::Jeq && k == fk).then_some(false),
+        // v > fk.
+        (Cond::Jgt, true) => match cond {
+            Cond::Jeq if k <= fk => Some(false),
+            Cond::Jgt if k <= fk => Some(true),
+            Cond::Jge if k <= fk.saturating_add(1) => Some(true),
+            _ => None,
+        },
+        // v <= fk.
+        (Cond::Jgt, false) => match cond {
+            Cond::Jeq | Cond::Jge if k > fk => Some(false),
+            Cond::Jgt if k >= fk => Some(false),
+            _ => None,
+        },
+        // v >= fk.
+        (Cond::Jge, true) => match cond {
+            Cond::Jeq if k < fk => Some(false),
+            Cond::Jgt if k < fk => Some(true),
+            Cond::Jge if k <= fk => Some(true),
+            _ => None,
+        },
+        // v < fk.
+        (Cond::Jge, false) => match cond {
+            Cond::Jeq | Cond::Jge if k >= fk => Some(false),
+            Cond::Jgt if k >= fk.saturating_sub(1) => Some(false),
+            _ => None,
+        },
+        // v & fk != 0 (weak: some bit of fk is set).
+        (Cond::Jset, true) => match cond {
+            Cond::Jeq if k == 0 => Some(false),
+            Cond::Jset if fk.count_ones() == 1 && k & fk != 0 => Some(true),
+            _ => None,
+        },
+        // v & fk == 0 (strong: every bit of fk is clear).
+        (Cond::Jset, false) => match cond {
+            Cond::Jset if k & !fk == 0 => Some(false),
+            Cond::Jeq if k & fk != 0 => Some(false),
+            _ => None,
+        },
+    }
+}
+
+/// Forward must-analysis attributing decided branches to a dominating
+/// compare on the same masked `seccomp_data` field: returns, per such
+/// conditional, `(insn index, field offset, always-taken)`.
+///
+/// The accumulator, `X`, and scratch slots carry a provenance — "this
+/// value is `data[off..off+4] & mask`" — and every path records the
+/// constant compares already executed on such values. `seccomp_data`
+/// is immutable during one evaluation, so reloading the field yields
+/// the same word, and a compare whose `(offset, mask)` provenance
+/// matches a fact held on *every* path to it (set intersection at
+/// joins) is decided by [`fact_decides`] even where the interval
+/// domain of [`run_pass`] lost the refinement across the reload.
+fn redundant_masked_compares(insns: &[Insn]) -> Vec<(usize, u32, bool)> {
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Prov {
+        Field { off: u32, mask: u32 },
+        Opaque,
+    }
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    struct CmpFact {
+        off: u32,
+        mask: u32,
+        cond: Cond,
+        k: u32,
+        taken: bool,
+    }
+    #[derive(Clone)]
+    struct ProvState {
+        a: Prov,
+        x: Prov,
+        mem: [Prov; MEMWORDS],
+        facts: Vec<CmpFact>,
+    }
+    impl ProvState {
+        fn join(&mut self, other: &ProvState) {
+            fn meet(a: &mut Prov, b: Prov) {
+                if *a != b {
+                    *a = Prov::Opaque;
+                }
+            }
+            meet(&mut self.a, other.a);
+            meet(&mut self.x, other.x);
+            for (s, o) in self.mem.iter_mut().zip(other.mem) {
+                meet(s, o);
+            }
+            self.facts.retain(|f| other.facts.contains(f));
+        }
+    }
+
+    let n = insns.len();
+    let mut states: Vec<Option<ProvState>> = vec![None; n];
+    states[0] = Some(ProvState {
+        a: Prov::Opaque,
+        x: Prov::Opaque,
+        mem: [Prov::Opaque; MEMWORDS],
+        facts: Vec::new(),
+    });
+    let mut out = Vec::new();
+    for at in 0..n {
+        let Some(mut st) = states[at].take() else {
+            continue;
+        };
+        let seed = |states: &mut Vec<Option<ProvState>>, target: usize, st: ProvState| {
+            match &mut states[target] {
+                Some(existing) => existing.join(&st),
+                slot @ None => *slot = Some(st),
+            }
+        };
+        match insns[at] {
+            Insn::LdAbs(off) => {
+                st.a = Prov::Field {
+                    off,
+                    mask: u32::MAX,
+                };
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdImm(_) | Insn::LdLen => {
+                st.a = Prov::Opaque;
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdMem(i) => {
+                st.a = st.mem[i as usize];
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdxImm(_) | Insn::LdxLen => {
+                st.x = Prov::Opaque;
+                seed(&mut states, at + 1, st);
+            }
+            Insn::LdxMem(i) => {
+                st.x = st.mem[i as usize];
+                seed(&mut states, at + 1, st);
+            }
+            Insn::St(i) => {
+                st.mem[i as usize] = st.a;
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Stx(i) => {
+                st.mem[i as usize] = st.x;
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Alu(op, src) => {
+                st.a = match (op, src, st.a) {
+                    // Narrowing the mask keeps the field provenance:
+                    // (word & m) & k == word & (m & k).
+                    (AluOp::And, Src::K(k), Prov::Field { off, mask }) => Prov::Field {
+                        off,
+                        mask: mask & k,
+                    },
+                    // Identity ops leave the value untouched.
+                    (
+                        AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor | AluOp::Lsh | AluOp::Rsh,
+                        Src::K(0),
+                        p,
+                    ) => p,
+                    _ => Prov::Opaque,
+                };
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Neg => {
+                st.a = Prov::Opaque;
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Ja(off) => {
+                seed(&mut states, at + 1 + off as usize, st);
+            }
+            Insn::Jmp { cond, src, jt, jf } => {
+                let field = match (st.a, src) {
+                    (Prov::Field { off, mask }, Src::K(k)) => Some((off, mask, k)),
+                    _ => None,
+                };
+                let decided = field.and_then(|(off, mask, k)| {
+                    st.facts
+                        .iter()
+                        .filter(|f| f.off == off && f.mask == mask)
+                        .find_map(|f| fact_decides(f.cond, f.k, f.taken, cond, k))
+                        .map(|taken| (off, taken))
+                });
+                if let Some((off, taken)) = decided {
+                    out.push((at, off, taken));
+                }
+                for (taken, target) in [(true, at + 1 + jt as usize), (false, at + 1 + jf as usize)]
+                {
+                    if let Some((_, forced)) = decided {
+                        if forced != taken {
+                            continue;
+                        }
+                    }
+                    let mut edge = st.clone();
+                    if let Some((off, mask, k)) = field {
+                        let fact = CmpFact {
+                            off,
+                            mask,
+                            cond,
+                            k,
+                            taken,
+                        };
+                        if !edge.facts.contains(&fact) {
+                            edge.facts.push(fact);
+                        }
+                    }
+                    seed(&mut states, target, edge);
+                }
+            }
+            Insn::RetK(_) | Insn::RetA => {}
+            Insn::Tax => {
+                st.x = st.a;
+                seed(&mut states, at + 1, st);
+            }
+            Insn::Txa => {
+                st.a = st.x;
+                seed(&mut states, at + 1, st);
+            }
+        }
+    }
+    out
+}
+
 /// Lints a program with nothing pinned, so every finding holds for all
 /// inputs. `table_capacity` (highest syscall number + 1) powers the
 /// out-of-range comparison lint; pass 0 to disable it.
@@ -1048,6 +1305,7 @@ pub fn lint_program(program: &Program, table_capacity: u32) -> Vec<Lint> {
     let insns = program.insns();
     let facts = run_pass(program, &AnalysisConfig::default());
     let graph = graph_reachable(insns);
+    let redundant = redundant_masked_compares(insns);
     let mut lints = Vec::new();
     for (at, insn) in insns.iter().enumerate() {
         if graph[at] && !facts.reached[at] {
@@ -1058,6 +1316,18 @@ pub fn lint_program(program: &Program, table_capacity: u32) -> Vec<Lint> {
             continue;
         }
         if facts.reached[at] && matches!(insn, Insn::Jmp { .. }) {
+            // A branch attributable to a dominating compare on the same
+            // masked field gets the specific lint; the generic
+            // dead-branch lint covers the rest.
+            if let Some(&(_, offset, taken)) =
+                redundant.iter().find(|&&(r_at, _, _)| r_at == at)
+            {
+                lints.push(Lint {
+                    at,
+                    kind: LintKind::RedundantMaskedCompare { offset, taken },
+                });
+                continue;
+            }
             match (facts.jt_live[at], facts.jf_live[at]) {
                 (true, false) => lints.push(Lint {
                     at,
@@ -1307,12 +1577,20 @@ mod tests {
             Insn::RetK(KILL),
         ]);
         let lints = lint_program(&p, 0);
+        // The decided branch is attributed to the dominating compare on
+        // the same field rather than reported as a bare dead branch.
         assert!(
-            lints
-                .iter()
-                .any(|l| l.at == 2 && l.kind == LintKind::DeadBranch { taken: false }),
+            lints.iter().any(|l| l.at == 2
+                && l.kind
+                    == LintKind::RedundantMaskedCompare {
+                        offset: 0,
+                        taken: false
+                    }),
             "{lints:?}"
         );
+        assert!(!lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::DeadBranch { .. })));
         // Its taken-target became infeasible too.
         assert!(lints
             .iter()
@@ -1336,9 +1614,110 @@ mod tests {
         ]);
         let lints = lint_program(&p, 0);
         assert!(
-            lints
+            lints.iter().any(|l| l.at == 2
+                && l.kind
+                    == LintKind::RedundantMaskedCompare {
+                        offset: SeccompData::off_arg_lo(1),
+                        taken: false
+                    }),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_masked_compare_survives_a_reload() {
+        // The same byte of arg0 is masked and tested twice, with a
+        // reload in between. The interval domain loses the refinement
+        // across the reload (both edges of insn 5 stay live for it),
+        // but the field-provenance pass knows seccomp_data is
+        // immutable and proves the repeat always taken.
+        let off = SeccompData::off_arg_lo(0);
+        let p = prog(vec![
+            Insn::LdAbs(off),
+            Insn::Alu(AluOp::And, Src::K(0xff)),
+            jeq(5, 0, 4), // != 5 → kill at 7
+            Insn::LdAbs(off),
+            Insn::Alu(AluOp::And, Src::K(0xff)),
+            jeq(5, 0, 1), // same test again: always taken
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let lints = lint_program(&p, 0);
+        assert!(
+            lints.iter().any(|l| l.at == 5
+                && l.kind
+                    == LintKind::RedundantMaskedCompare {
+                        offset: off,
+                        taken: true
+                    }),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn contradictory_masked_compare_chain_is_flagged() {
+        // arg1 == 3 was established upstream; == 4 can never hold.
+        let off = SeccompData::off_arg_lo(1);
+        let p = prog(vec![
+            Insn::LdAbs(off),
+            jeq(3, 0, 3), // != 3 → kill
+            Insn::LdAbs(off),
+            jeq(4, 0, 1), // contradicts the dominating == 3
+            Insn::RetK(0xdead_0000),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let lints = lint_program(&p, 0);
+        assert!(
+            lints.iter().any(|l| l.at == 3
+                && l.kind
+                    == LintKind::RedundantMaskedCompare {
+                        offset: off,
+                        taken: false
+                    }),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn compares_on_distinct_fields_are_not_redundant() {
+        let p = prog(vec![
+            Insn::LdAbs(SeccompData::off_arg_lo(0)),
+            jeq(5, 0, 3),
+            Insn::LdAbs(SeccompData::off_arg_lo(1)), // different field
+            jeq(5, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let lints = lint_program(&p, 0);
+        assert!(
+            !lints
                 .iter()
-                .any(|l| l.at == 2 && l.kind == LintKind::DeadBranch { taken: false }),
+                .any(|l| matches!(l.kind, LintKind::RedundantMaskedCompare { .. })),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_masks_on_one_field_are_not_redundant() {
+        // Same word, different masks: the first test says nothing about
+        // the second derived value.
+        let off = SeccompData::off_arg_lo(2);
+        let p = prog(vec![
+            Insn::LdAbs(off),
+            Insn::Alu(AluOp::And, Src::K(0x00ff)),
+            jeq(5, 0, 4),
+            Insn::LdAbs(off),
+            Insn::Alu(AluOp::And, Src::K(0xff00)),
+            jeq(0x0500, 0, 1),
+            Insn::RetK(ALLOW),
+            Insn::RetK(KILL),
+        ]);
+        let lints = lint_program(&p, 0);
+        assert!(
+            !lints
+                .iter()
+                .any(|l| matches!(l.kind, LintKind::RedundantMaskedCompare { .. })),
             "{lints:?}"
         );
     }

@@ -150,8 +150,8 @@ impl CompiledFilter {
                             cond,
                             k,
                             use_x,
-                            target_true: next + jt as u32,
-                            target_false: next + jf as u32,
+                            target_true: next + u32::from(jt),
+                            target_false: next + u32::from(jf),
                         }
                     }
                     Insn::RetK(k) => Op::RetK(k),

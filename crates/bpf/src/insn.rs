@@ -13,7 +13,7 @@ use core::fmt;
 pub const BPF_MAXINSNS: usize = 4096;
 
 /// Scratch memory slots available to a cBPF program (`BPF_MEMWORDS`).
-pub const MEMWORDS: usize = 16;
+pub(crate) const MEMWORDS: usize = 16;
 
 /// Operand source for ALU and conditional-jump instructions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -233,46 +233,46 @@ impl Insn {
 
 /// Linux numeric encodings for cBPF fields.
 mod consts {
-    pub const LD: u16 = 0x00;
-    pub const LDX: u16 = 0x01;
-    pub const ST: u16 = 0x02;
-    pub const STX: u16 = 0x03;
-    pub const ALU: u16 = 0x04;
-    pub const JMP: u16 = 0x05;
-    pub const RET: u16 = 0x06;
-    pub const MISC: u16 = 0x07;
+    pub(super) const LD: u16 = 0x00;
+    pub(super) const LDX: u16 = 0x01;
+    pub(super) const ST: u16 = 0x02;
+    pub(super) const STX: u16 = 0x03;
+    pub(super) const ALU: u16 = 0x04;
+    pub(super) const JMP: u16 = 0x05;
+    pub(super) const RET: u16 = 0x06;
+    pub(super) const MISC: u16 = 0x07;
 
-    pub const W: u16 = 0x00;
-    pub const IMM: u16 = 0x00;
-    pub const ABS: u16 = 0x20;
-    pub const MEM: u16 = 0x60;
-    pub const LEN: u16 = 0x80;
+    pub(super) const W: u16 = 0x00;
+    pub(super) const IMM: u16 = 0x00;
+    pub(super) const ABS: u16 = 0x20;
+    pub(super) const MEM: u16 = 0x60;
+    pub(super) const LEN: u16 = 0x80;
 
-    pub const ADD: u16 = 0x00;
-    pub const SUB: u16 = 0x10;
-    pub const MUL: u16 = 0x20;
-    pub const DIV: u16 = 0x30;
-    pub const OR: u16 = 0x40;
-    pub const AND: u16 = 0x50;
-    pub const LSH: u16 = 0x60;
-    pub const RSH: u16 = 0x70;
-    pub const NEG: u16 = 0x80;
-    pub const XOR: u16 = 0xa0;
+    pub(super) const ADD: u16 = 0x00;
+    pub(super) const SUB: u16 = 0x10;
+    pub(super) const MUL: u16 = 0x20;
+    pub(super) const DIV: u16 = 0x30;
+    pub(super) const OR: u16 = 0x40;
+    pub(super) const AND: u16 = 0x50;
+    pub(super) const LSH: u16 = 0x60;
+    pub(super) const RSH: u16 = 0x70;
+    pub(super) const NEG: u16 = 0x80;
+    pub(super) const XOR: u16 = 0xa0;
 
-    pub const JA: u16 = 0x00;
-    pub const JEQ: u16 = 0x10;
-    pub const JGT: u16 = 0x20;
-    pub const JGE: u16 = 0x30;
-    pub const JSET: u16 = 0x40;
+    pub(super) const JA: u16 = 0x00;
+    pub(super) const JEQ: u16 = 0x10;
+    pub(super) const JGT: u16 = 0x20;
+    pub(super) const JGE: u16 = 0x30;
+    pub(super) const JSET: u16 = 0x40;
 
-    pub const SRC_K: u16 = 0x00;
-    pub const SRC_X: u16 = 0x08;
+    pub(super) const SRC_K: u16 = 0x00;
+    pub(super) const SRC_X: u16 = 0x08;
 
-    pub const RVAL_K: u16 = 0x00;
-    pub const RVAL_A: u16 = 0x10;
+    pub(super) const RVAL_K: u16 = 0x00;
+    pub(super) const RVAL_A: u16 = 0x10;
 
-    pub const TAX: u16 = 0x00;
-    pub const TXA: u16 = 0x80;
+    pub(super) const TAX: u16 = 0x00;
+    pub(super) const TXA: u16 = 0x80;
 }
 
 /// A complete cBPF program (a boxed instruction sequence).

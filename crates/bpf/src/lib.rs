@@ -56,6 +56,7 @@ mod dag;
 mod data;
 pub mod disasm;
 mod opt;
+pub mod semdiff;
 mod insn;
 mod validator;
 mod vm;

@@ -632,6 +632,8 @@ impl DracoChecker {
                 batched_checks: self.batch.batched_checks,
                 prefetch_issued: self.batch.prefetch_issued,
                 miss_dedup_hits: self.batch.miss_dedup_hits,
+                reloads_permitted: self.stats.reloads_permitted,
+                reloads_refused: self.stats.reloads_refused,
                 batch_size: self.batch_size,
                 insns_per_filter_run: self.insns_per_filter_run,
                 saved_insns_per_hit: self.saved_insns_per_hit,

@@ -10,6 +10,18 @@ pub enum DracoError {
     FilterCompile(draco_bpf::BpfError),
     /// The fallback filter faulted at run time.
     FilterRuntime(draco_bpf::BpfError),
+    /// A hot reload was refused by
+    /// [`ReloadPolicy::RequireRefinement`](crate::ReloadPolicy): the
+    /// candidate profile would relax — or could not be proven not to
+    /// relax — the installed policy.
+    ReloadRejected {
+        /// The overall relation of the candidate vs. the installed
+        /// policy (never `Equivalent`/`Refines` here).
+        relation: draco_bpf::semdiff::Relation,
+        /// The first offending per-syscall diff, carrying a
+        /// VM-verified divergence witness when the search found one.
+        diff: Option<draco_bpf::semdiff::SyscallDiff>,
+    },
 }
 
 impl fmt::Display for DracoError {
@@ -17,6 +29,16 @@ impl fmt::Display for DracoError {
         match self {
             DracoError::FilterCompile(e) => write!(f, "fallback filter compilation failed: {e}"),
             DracoError::FilterRuntime(e) => write!(f, "fallback filter execution failed: {e}"),
+            DracoError::ReloadRejected { relation, diff } => {
+                write!(
+                    f,
+                    "hot reload refused: candidate policy is not a refinement of the installed one (relation: {relation}"
+                )?;
+                if let Some(d) = diff {
+                    write!(f, " at syscall {}", d.nr)?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -25,6 +47,7 @@ impl std::error::Error for DracoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DracoError::FilterCompile(e) | DracoError::FilterRuntime(e) => Some(e),
+            DracoError::ReloadRejected { .. } => None,
         }
     }
 }

@@ -64,7 +64,9 @@ pub use error::DracoError;
 pub use os::{DracoOs, OsError};
 pub use process::{DracoProcess, ProcessId};
 pub use sentry::{SentryOutcome, SentryPipeline};
-pub use shared::{SharedBatchScratch, SharedDracoProcess, SharedThreadHandle};
+pub use shared::{
+    ReloadDecision, ReloadPolicy, SharedBatchScratch, SharedDracoProcess, SharedThreadHandle,
+};
 pub use spt::{Spt, SptEntry};
 pub use stats::{BatchStats, CheckerStats};
 pub use vat::{Vat, VatKey, VatLookup};

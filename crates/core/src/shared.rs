@@ -198,7 +198,7 @@ impl SharedVat {
     }
 
     fn resident_sets(&self) -> usize {
-        self.allocated().map(|t| t.len()).sum()
+        self.allocated().map(draco_cuckoo::ConcurrentTable::len).sum()
     }
 
     /// Packed-record footprint, costed like the serial VAT (48 value
@@ -226,6 +226,42 @@ impl SharedVat {
         }
         merged
     }
+}
+
+/// How [`SharedDracoProcess::install_additional_with`] vets a candidate
+/// profile before swapping it in — the `dracod` hot-reload safety
+/// primitive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReloadPolicy {
+    /// Install unconditionally (the historical
+    /// [`SharedDracoProcess::install_additional`] behavior). The
+    /// intersection semantics still guarantee the *combined* policy
+    /// never relaxes, but an extra profile that would relax the
+    /// installed one on its own is silently neutered rather than
+    /// flagged.
+    #[default]
+    Permissive,
+    /// Run the semantic policy differ
+    /// ([`draco_profiles::diff_profiles`]) on candidate-vs-installed
+    /// and refuse the reload unless the candidate is proven
+    /// `Equivalent` or `Refines` — i.e. the operator's *intent* is a
+    /// tightening, not just the intersection's arithmetic. A refusal
+    /// surfaces as [`DracoError::ReloadRejected`] with the offending
+    /// syscall and (when the search found one) a VM-verified witness,
+    /// and counts in [`CheckerStats::reloads_refused`].
+    RequireRefinement,
+}
+
+/// What an admitted [`SharedDracoProcess::install_additional_with`]
+/// reload actually established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReloadDecision {
+    /// Installed without semantic vetting
+    /// ([`ReloadPolicy::Permissive`]).
+    Installed,
+    /// Diffed and proven safe before installing; carries the proven
+    /// relation (`Equivalent` or `Refines`).
+    ProvenSafe(draco_bpf::semdiff::Relation),
 }
 
 /// The swappable policy: profile, compiled filter stack, check mode, and
@@ -578,12 +614,63 @@ impl SharedDracoProcess {
     /// Returns [`DracoError::FilterCompile`] if the combined filter (or
     /// its re-analysis) fails to compile.
     pub fn install_additional(&self, extra: &ProfileSpec) -> Result<(), DracoError> {
+        self.install_additional_with(extra, ReloadPolicy::Permissive)
+            .map(|_| ())
+    }
+
+    /// Like [`SharedDracoProcess::install_additional`], but vetting the
+    /// candidate through a [`ReloadPolicy`] first. Under
+    /// [`ReloadPolicy::RequireRefinement`] the candidate profile is
+    /// semantically diffed against the installed one (both compiled to
+    /// their real filter stacks) and refused unless proven `Equivalent`
+    /// or `Refines`; either outcome is counted in
+    /// [`CheckerStats::reloads_permitted`] /
+    /// [`CheckerStats::reloads_refused`] and the process metrics.
+    ///
+    /// The diff runs inside the policy write critical section, so the
+    /// relation is established against exactly the policy being
+    /// replaced; lock-free readers are unaffected (only the miss path's
+    /// brief read-lock contends).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DracoError::ReloadRejected`] if the gate refuses the
+    /// candidate, or [`DracoError::FilterCompile`] if the combined
+    /// filter (or its re-analysis) fails to compile.
+    pub fn install_additional_with(
+        &self,
+        extra: &ProfileSpec,
+        reload_policy: ReloadPolicy,
+    ) -> Result<ReloadDecision, DracoError> {
         let state = &self.state;
+        let decision;
         {
             let mut guard = state
                 .policy
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            decision = match reload_policy {
+                ReloadPolicy::Permissive => ReloadDecision::Installed,
+                ReloadPolicy::RequireRefinement => {
+                    let diff = draco_profiles::diff_profiles(&guard.profile, extra)
+                        .map_err(DracoError::FilterCompile)?;
+                    let relation = diff.report.relation;
+                    if !relation.is_safe_swap() {
+                        drop(guard);
+                        state.lock_aggregate().stats.reloads_refused += 1;
+                        return Err(DracoError::ReloadRejected {
+                            relation,
+                            diff: diff
+                                .report
+                                .syscalls
+                                .iter()
+                                .find(|s| !s.relation.is_safe_swap())
+                                .copied(),
+                        });
+                    }
+                    ReloadDecision::ProvenSafe(relation)
+                }
+            };
             let combined = guard.profile.intersect(extra);
             let plan = if guard.plan.is_some() {
                 let analysis = analyze_profile(&combined).map_err(DracoError::FilterCompile)?;
@@ -595,8 +682,9 @@ impl SharedDracoProcess {
             // Preserve the engine flavor across the policy swap.
             *guard = Arc::new(Policy::build(combined, plan, guard.filter.kind())?);
         }
+        state.lock_aggregate().stats.reloads_permitted += 1;
         self.flush();
-        Ok(())
+        Ok(decision)
     }
 
     /// Clears all cached state (the paper's one-shot clear, §VII-B),
@@ -706,6 +794,8 @@ impl SharedDracoProcess {
                 batched_checks: aggregate.batch.batched_checks,
                 prefetch_issued: aggregate.batch.prefetch_issued,
                 miss_dedup_hits: aggregate.batch.miss_dedup_hits,
+                reloads_permitted: stats.reloads_permitted,
+                reloads_refused: stats.reloads_refused,
                 batch_size: aggregate.batch_size,
                 insns_per_filter_run: aggregate.insns_per_filter_run,
                 saved_insns_per_hit: aggregate.saved_insns_per_hit,
@@ -1338,6 +1428,92 @@ mod tests {
         let m = process.metrics();
         assert!(m.checker.always_allow_hits > 0);
         assert!(m.checker.masks_derived_match > 0 || m.checker.masks_overridden == 0);
+    }
+
+    #[test]
+    fn require_refinement_rejects_a_relaxing_profile() {
+        use draco_profiles::{ArgPolicy, RuleSource, SyscallRule};
+        let installed = draco_profiles::firecracker();
+        let process = SharedDracoProcess::spawn(ProcessId(7), &installed).unwrap();
+        // Candidate allows everything firecracker does *plus* one more
+        // syscall: a relaxation of the operator's intent, even though
+        // the intersection arithmetic would silently neuter it.
+        let mut candidate = installed.clone();
+        candidate.allow(
+            SyscallId::new(333),
+            SyscallRule {
+                args: ArgPolicy::AnyArgs,
+                source: RuleSource::Application,
+            },
+        );
+        let err = process
+            .install_additional_with(&candidate, crate::ReloadPolicy::RequireRefinement)
+            .unwrap_err();
+        match err {
+            crate::DracoError::ReloadRejected { relation, diff } => {
+                assert_eq!(relation, draco_bpf::semdiff::Relation::Relaxes);
+                let diff = diff.expect("offending syscall identified");
+                assert_eq!(diff.nr, 333);
+                // The witness was VM-verified before it was reported.
+                assert!(diff.witness.is_some());
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Refusal left the installed policy untouched…
+        assert_eq!(
+            process.profile().allowed_syscall_count(),
+            installed.allowed_syscall_count()
+        );
+        // …and is visible in the stats and the obs snapshot.
+        assert_eq!(process.stats().reloads_refused, 1);
+        assert_eq!(process.stats().reloads_permitted, 0);
+        assert_eq!(process.metrics().checker.reloads_refused, 1);
+        let expo = draco_obs::render_prometheus(&process.metrics());
+        assert!(expo.contains("draco_checker_reloads_refused_total 1"), "{expo}");
+    }
+
+    #[test]
+    fn require_refinement_permits_a_tightening_profile() {
+        let installed = draco_profiles::firecracker();
+        let process = SharedDracoProcess::spawn(ProcessId(8), &installed).unwrap();
+        // Candidate drops one rule: a strict tightening.
+        let mut candidate = installed.clone();
+        let dropped = installed.rules().next().unwrap().0;
+        assert!(candidate.deny(dropped));
+        let decision = process
+            .install_additional_with(&candidate, crate::ReloadPolicy::RequireRefinement)
+            .unwrap();
+        assert_eq!(
+            decision,
+            crate::ReloadDecision::ProvenSafe(draco_bpf::semdiff::Relation::Refines)
+        );
+        // The install actually took effect (intersection drops the rule).
+        let mut t = process.spawn_thread();
+        let r = t.check(&req(dropped.as_u16(), &[0, 0, 0]));
+        assert!(!r.action.permits(), "dropped syscall now denied");
+        drop(t);
+        assert_eq!(process.stats().reloads_permitted, 1);
+        assert_eq!(process.stats().reloads_refused, 0);
+        assert_eq!(process.metrics().checker.reloads_permitted, 1);
+    }
+
+    #[test]
+    fn permissive_reload_counts_as_permitted() {
+        let installed = draco_profiles::firecracker();
+        let process = SharedDracoProcess::spawn(ProcessId(9), &installed).unwrap();
+        let decision = process
+            .install_additional_with(&installed, crate::ReloadPolicy::Permissive)
+            .unwrap();
+        assert_eq!(decision, crate::ReloadDecision::Installed);
+        // Equivalent candidates also pass the strict gate.
+        let decision = process
+            .install_additional_with(&installed, crate::ReloadPolicy::RequireRefinement)
+            .unwrap();
+        assert_eq!(
+            decision,
+            crate::ReloadDecision::ProvenSafe(draco_bpf::semdiff::Relation::Equivalent)
+        );
+        assert_eq!(process.stats().reloads_permitted, 2);
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct CheckerStats {
     /// lock was held — another thread validated the same argument set
     /// first. Always zero for per-thread checkers.
     pub insert_races_lost: u64,
+    /// Hot-reload installs admitted (permissively, or proven safe by
+    /// the semantic policy differ under
+    /// [`ReloadPolicy::RequireRefinement`](crate::ReloadPolicy)).
+    pub reloads_permitted: u64,
+    /// Hot-reload installs refused by the `RequireRefinement` gate: the
+    /// candidate profile would relax (or is incomparable to) the
+    /// installed policy.
+    pub reloads_refused: u64,
 }
 
 impl CheckerStats {
@@ -74,6 +82,8 @@ impl CheckerStats {
         self.insert_races_lost = self
             .insert_races_lost
             .saturating_add(other.insert_races_lost);
+        self.reloads_permitted = self.reloads_permitted.saturating_add(other.reloads_permitted);
+        self.reloads_refused = self.reloads_refused.saturating_add(other.reloads_refused);
     }
 }
 
@@ -141,6 +151,13 @@ impl fmt::Display for CheckerStats {
                 self.seqlock_retries, self.vat_lock_waits, self.insert_races_lost
             )?;
         }
+        if self.reloads_permitted > 0 || self.reloads_refused > 0 {
+            write!(
+                f,
+                ", reloads: {} permitted, {} refused",
+                self.reloads_permitted, self.reloads_refused
+            )?;
+        }
         Ok(())
     }
 }
@@ -184,6 +201,8 @@ mod tests {
             seqlock_retries: 7,
             vat_lock_waits: 8,
             insert_races_lost: 9,
+            reloads_permitted: 10,
+            reloads_refused: 11,
         };
         let s = stats.to_string();
         assert!(s.contains("6 vat-inserts"), "{s}");
@@ -192,6 +211,8 @@ mod tests {
         assert!(s.contains("7 seqlock-retries"), "{s}");
         assert!(s.contains("8 lock-waits"), "{s}");
         assert!(s.contains("9 races-lost"), "{s}");
+        assert!(s.contains("10 permitted"), "{s}");
+        assert!(s.contains("11 refused"), "{s}");
     }
 
     #[test]

@@ -314,7 +314,7 @@ impl Vat {
 
     /// Total resident argument sets across all tables.
     pub fn resident_sets(&self) -> usize {
-        self.tables.iter().map(|t| t.len()).sum()
+        self.tables.iter().map(draco_cuckoo::CuckooTable::len).sum()
     }
 
     /// Total evictions across all tables (insertion-pressure signal).

@@ -189,7 +189,7 @@ impl Crc64 {
     pub fn checksum_bitwise(&self, data: &[u8]) -> u64 {
         let mut crc = 0u64;
         for &byte in data {
-            crc ^= (byte as u64) << 56;
+            crc ^= u64::from(byte) << 56;
             for _ in 0..8 {
                 crc = if crc & (1 << 63) != 0 {
                     (crc << 1) ^ self.poly
@@ -247,7 +247,7 @@ impl ClmulByConst {
             let mut acc = 0u128;
             for bit in 0..4 {
                 if d & (1 << bit) != 0 {
-                    acc ^= (constant as u128) << bit;
+                    acc ^= u128::from(constant) << bit;
                 }
             }
             *slot = acc;

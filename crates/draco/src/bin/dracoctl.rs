@@ -6,7 +6,8 @@
 //! dracoctl profile json  <docker|gvisor|firecracker>
 //! dracoctl profile disasm <docker|gvisor|firecracker|PATH.json> [--tree]
 //! dracoctl analyze <docker|gvisor|firecracker|PATH.json> [--format human|json] [--strict]
-//! dracoctl compile <docker|gvisor|firecracker|PATH.json>   # decision-DAG dump
+//! dracoctl diff <old> <new> [--format human|json] [--witnesses N] [--strict]
+//! dracoctl compile <docker|gvisor|firecracker|PATH.json> [--selfcheck]
 //! dracoctl check <docker|gvisor|firecracker|PATH.json> <syscall> [arg0 arg1 ...]
 //! dracoctl trace gen <workload> [--ops N] [--seed N]        # JSON to stdout
 //! dracoctl trace analyze <PATH.json|->                      # Fig. 3-style report
@@ -27,9 +28,10 @@ use std::io::Read as _;
 use draco::bpf::{disasm, Verdict};
 use draco::core::DracoChecker;
 use draco::profiles::{
-    analyze_profile, compile_dag, compile_stacked, docker_default, firecracker,
-    gvisor_default, profile_from_json, profile_to_json, FilterLayout, MaskAgreement,
-    ProfileAnalysis, ProfileKind, ProfileSpec, ProfileStats,
+    analyze_profile, compile_dag, compile_dag_checked, compile_stacked, diff_profiles_with,
+    docker_default, firecracker, gvisor_default, profile_from_json, profile_to_json,
+    FilterLayout, MaskAgreement, ProfileAnalysis, ProfileDiff, ProfileKind, ProfileSpec,
+    ProfileStats, SelfCheckError,
 };
 use draco::syscalls::{ArgSet, SyscallId, SyscallRequest, SyscallTable};
 use draco::workloads::timing::profile_for_trace;
@@ -45,6 +47,7 @@ fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("profile") => profile_cmd(&args[1..]),
         Some("analyze") => analyze_cmd(&args[1..]),
+        Some("diff") => diff_cmd(&args[1..]),
         Some("compile") => compile_cmd(&args[1..]),
         Some("check") => check_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
@@ -67,10 +70,11 @@ fn run(args: &[String]) -> i32 {
         }
         _ => {
             eprintln!(
-                "usage: dracoctl <profile|analyze|compile|check|trace|stats|top|audit|prom-lint|workloads> ...\n\
+                "usage: dracoctl <profile|analyze|diff|compile|check|trace|stats|top|audit|prom-lint|workloads> ...\n\
                  \x20 profile stats|json|disasm <docker|gvisor|firecracker|PATH.json>\n\
                  \x20 analyze <profile> [--format human|json] [--strict]\n\
-                 \x20 compile <profile>\n\
+                 \x20 diff <old> <new> [--format human|json] [--witnesses N] [--strict]\n\
+                 \x20 compile <profile> [--selfcheck]\n\
                  \x20 check <profile> <syscall> [args...]\n\
                  \x20 trace gen <workload> [--ops N] [--seed N]\n\
                  \x20 trace analyze <PATH.json|->\n\
@@ -439,6 +443,250 @@ fn analysis_json(analysis: &ProfileAnalysis, problems: &[String], skipped: &[Str
     serde_json::to_string_pretty(&doc).expect("analysis serializes")
 }
 
+/// `dracoctl diff <old> <new>` — semantically compares two profiles as
+/// their installed filter stacks (see `docs/policy-diff.md`): per
+/// syscall, `equivalent` / `refines` (the new profile denies a superset
+/// — a safe tightening) / `relaxes` / `incomparable`, with divergence
+/// witnesses that were re-executed in the concrete VM before being
+/// reported. Exit status encodes the overall relation: 0 equivalent,
+/// 1 refines, 2 relaxes or incomparable. `--strict` additionally exits
+/// 2 when any syscall's relation rests on a truncated (non-proven)
+/// search or either profile carries dead whitelist rules.
+fn diff_cmd(args: &[String]) -> i32 {
+    let (Some(old_name), Some(new_name)) = (args.first(), args.get(1)) else {
+        eprintln!(
+            "usage: dracoctl diff <old> <new> [--format human|json] [--witnesses N] [--strict]"
+        );
+        return 2;
+    };
+    let mut format = "human".to_owned();
+    let mut max_witnesses = 5usize;
+    let mut strict = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" if i + 1 < args.len() => {
+                format = args[i + 1].clone();
+                i += 1;
+            }
+            "--witnesses" if i + 1 < args.len() => {
+                max_witnesses = match args[i + 1].parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--witnesses wants a number, got `{}`", args[i + 1]);
+                        return 2;
+                    }
+                };
+                i += 1;
+            }
+            "--strict" => strict = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if format != "human" && format != "json" {
+        eprintln!("--format must be `human` or `json`, got `{format}`");
+        return 2;
+    }
+    let (old, new) = match (load_profile(old_name), load_profile(new_name)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    // Operator-facing diffs want proofs, not budget-truncated guesses:
+    // afford the same concrete budget as the compile-time selfcheck.
+    let cfg = draco::bpf::semdiff::DiffConfig {
+        max_inputs_per_nr: 1 << 18,
+        ..draco::bpf::semdiff::DiffConfig::default()
+    };
+    let diff = match diff_profiles_with(&old, &new, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot compile the profiles: {e}");
+            return 1;
+        }
+    };
+    let mut code = match diff.report.relation {
+        draco::bpf::semdiff::Relation::Equivalent => 0,
+        draco::bpf::semdiff::Relation::Refines => 1,
+        draco::bpf::semdiff::Relation::Relaxes
+        | draco::bpf::semdiff::Relation::Incomparable => 2,
+    };
+    let strict_problems = if strict {
+        let mut problems = Vec::new();
+        if !diff.report.fully_proven() {
+            problems.push("some relations rest on a truncated concrete search".to_owned());
+        }
+        for (side, dead) in [("old", &diff.dead_old), ("new", &diff.dead_new)] {
+            for sid in dead {
+                problems.push(format!("{side} profile has a dead whitelist rule for {}", syscall_name(*sid)));
+            }
+        }
+        problems
+    } else {
+        Vec::new()
+    };
+    if !strict_problems.is_empty() {
+        code = 2;
+    }
+    if format == "json" {
+        println!("{}", diff_json(&diff, &strict_problems, max_witnesses, code));
+    } else {
+        print_diff_human(&diff, &strict_problems, max_witnesses);
+    }
+    code
+}
+
+/// One semdiff proof as a JSON value.
+fn proof_json(proof: draco::bpf::semdiff::Proof) -> serde_json::Value {
+    use draco::bpf::semdiff::Proof;
+    match proof {
+        Proof::Abstract => serde_json::json!({"kind": "abstract"}),
+        Proof::Exhaustive { inputs } => {
+            serde_json::json!({"kind": "exhaustive", "inputs": inputs})
+        }
+        Proof::Bounded { inputs } => serde_json::json!({"kind": "bounded", "inputs": inputs}),
+    }
+}
+
+fn diff_json(
+    diff: &ProfileDiff,
+    strict_problems: &[String],
+    max_witnesses: usize,
+    exit: i32,
+) -> String {
+    use draco::bpf::semdiff::Relation;
+    let mut witnesses_left = max_witnesses;
+    let divergent: Vec<serde_json::Value> = diff
+        .report
+        .divergent()
+        .map(|s| {
+            let witness = s.witness.filter(|_| witnesses_left > 0).map(|w| {
+                witnesses_left -= 1;
+                serde_json::json!({
+                    "nr": w.data.nr,
+                    "args": w.data.args.to_vec(),
+                    "old": w.old.to_string(),
+                    "new": w.new.to_string(),
+                })
+            });
+            serde_json::json!({
+                "syscall": syscall_name(SyscallId::new(s.nr as u16)),
+                "nr": s.nr,
+                "relation": s.relation.as_str(),
+                "proof": proof_json(s.proof),
+                "witness": witness,
+            })
+        })
+        .collect();
+    let counts = |rel: Relation| {
+        diff.report
+            .syscalls
+            .iter()
+            .filter(|s| s.relation == rel)
+            .count() as u64
+    };
+    let dead = |rules: &[SyscallId]| -> Vec<String> {
+        rules.iter().map(|sid| syscall_name(*sid)).collect()
+    };
+    let doc = serde_json::json!({
+        "schema": "draco-semdiff/v1",
+        "old": diff.old_name,
+        "new": diff.new_name,
+        "relation": diff.report.relation.as_str(),
+        "safe_swap": diff.is_safe_swap(),
+        "fully_proven": diff.report.fully_proven(),
+        "inputs_executed": diff.report.inputs_executed,
+        "counts": serde_json::json!({
+            "equivalent": counts(Relation::Equivalent),
+            "refines": counts(Relation::Refines),
+            "relaxes": counts(Relation::Relaxes),
+            "incomparable": counts(Relation::Incomparable),
+        }),
+        "divergent": divergent,
+        "dead_rules": serde_json::json!({
+            "old": dead(&diff.dead_old),
+            "new": dead(&diff.dead_new),
+        }),
+        "strict_problems": strict_problems.to_vec(),
+        "exit": exit,
+    });
+    serde_json::to_string_pretty(&doc).expect("diff serializes")
+}
+
+fn print_diff_human(diff: &ProfileDiff, strict_problems: &[String], max_witnesses: usize) {
+    use draco::bpf::semdiff::Relation;
+    println!(
+        "{} → {}: {} ({} concrete inputs executed{})",
+        diff.old_name,
+        diff.new_name,
+        diff.report.relation,
+        diff.report.inputs_executed,
+        if diff.report.fully_proven() {
+            ", all relations proven"
+        } else {
+            ", some searches truncated"
+        }
+    );
+    let count = |rel: Relation| {
+        diff.report
+            .syscalls
+            .iter()
+            .filter(|s| s.relation == rel)
+            .count()
+    };
+    println!(
+        "per-syscall: {} equivalent, {} refines, {} relaxes, {} incomparable",
+        count(Relation::Equivalent),
+        count(Relation::Refines),
+        count(Relation::Relaxes),
+        count(Relation::Incomparable)
+    );
+    let mut witnesses_left = max_witnesses;
+    for s in diff.report.divergent() {
+        let name = syscall_name(SyscallId::new(s.nr as u16));
+        print!("  {name} (nr {}): {}", s.nr, s.relation);
+        match s.proof {
+            draco::bpf::semdiff::Proof::Abstract => print!(" [abstract]"),
+            draco::bpf::semdiff::Proof::Exhaustive { inputs } => {
+                print!(" [exhaustive over {inputs} inputs]");
+            }
+            draco::bpf::semdiff::Proof::Bounded { inputs } => {
+                print!(" [bounded search, {inputs} inputs]");
+            }
+        }
+        println!();
+        if witnesses_left > 0 {
+            if let Some(w) = &s.witness {
+                witnesses_left -= 1;
+                println!(
+                    "    witness: args {:?} → old {}, new {}",
+                    w.data.args, w.old, w.new
+                );
+            }
+        }
+    }
+    for (side, dead) in [("old", &diff.dead_old), ("new", &diff.dead_new)] {
+        if !dead.is_empty() {
+            println!(
+                "dead whitelist rules ({side}): {}",
+                dead.iter()
+                    .map(|sid| syscall_name(*sid))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+    for p in strict_problems {
+        println!("strict problem: {p}");
+    }
+}
+
 /// `dracoctl compile <profile>` — lowers the profile through the
 /// specializing filter compiler and dumps the resulting decision DAG:
 /// summary statistics (node/table counts, how many table entries closed
@@ -447,12 +695,17 @@ fn analysis_json(analysis: &ProfileAnalysis, problems: &[String], skipped: &[Str
 /// was specialized from.
 fn compile_cmd(args: &[String]) -> i32 {
     let Some(which) = args.first() else {
-        eprintln!("usage: dracoctl compile <profile>");
+        eprintln!("usage: dracoctl compile <profile> [--selfcheck]");
         return 2;
     };
-    if args.len() > 1 {
-        eprintln!("unknown flag `{}`", args[1]);
-        return 2;
+    let mut selfcheck = false;
+    for arg in &args[1..] {
+        if arg == "--selfcheck" {
+            selfcheck = true;
+        } else {
+            eprintln!("unknown flag `{arg}`");
+            return 2;
+        }
     }
     let (profile, skipped) = match load_profile_import(which) {
         Ok(p) => p,
@@ -461,11 +714,31 @@ fn compile_cmd(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let stack = match compile_dag(&profile) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot compile `{}`: {e}", profile.name());
-            return 1;
+    let stack = if selfcheck {
+        match compile_dag_checked(&profile) {
+            Ok(s) => {
+                println!(
+                    "selfcheck: {} DAG(s) proven equivalent to their source filters",
+                    s.len()
+                );
+                s
+            }
+            Err(e @ SelfCheckError::NotEquivalent { .. }) => {
+                eprintln!("selfcheck FAILED: {e}");
+                return 2;
+            }
+            Err(SelfCheckError::Compile(e)) => {
+                eprintln!("cannot compile `{}`: {e}", profile.name());
+                return 1;
+            }
+        }
+    } else {
+        match compile_dag(&profile) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot compile `{}`: {e}", profile.name());
+                return 1;
+            }
         }
     };
     let stats = stack.stats();
@@ -731,8 +1004,7 @@ fn quick_bench_summary(path: &str) -> i32 {
     for b in doc
         .get("backends")
         .and_then(|v| v.as_array())
-        .map(Vec::as_slice)
-        .unwrap_or(&[])
+        .map_or(&[][..], Vec::as_slice)
     {
         println!(
             "{:<18} {:>14.0} {:>14.0} {:>8.2}x {:>8.1}%",
@@ -1492,6 +1764,86 @@ mod tests {
         assert_eq!(compile_cmd(&argv(&[])), 2);
         assert_eq!(compile_cmd(&argv(&["docker", "--bogus"])), 2);
         assert_eq!(compile_cmd(&argv(&["/nonexistent/profile.json"])), 1);
+    }
+
+    #[test]
+    fn compile_selfcheck_proves_every_catalog_dag() {
+        for name in ["docker", "gvisor", "firecracker"] {
+            assert_eq!(
+                compile_cmd(&argv(&[name, "--selfcheck"])),
+                0,
+                "{name} DAG must prove equivalent"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_exit_codes_encode_the_relation() {
+        // Identical profiles: equivalent, exit 0 (both formats).
+        assert_eq!(diff_cmd(&argv(&["docker", "docker"])), 0);
+        assert_eq!(diff_cmd(&argv(&["docker", "docker", "--format", "json"])), 0);
+        // gvisor → docker relaxes somewhere: exit 2, symmetric direction.
+        let forward = diff_cmd(&argv(&["docker", "gvisor"]));
+        let backward = diff_cmd(&argv(&["gvisor", "docker"]));
+        assert_eq!(forward, 2, "docker→gvisor relaxes at least one syscall");
+        assert_eq!(backward, 2, "so the reverse cannot be a pure refinement either");
+    }
+
+    #[test]
+    fn diff_refines_exits_one() {
+        // A strictly tightened profile: drop one rule from firecracker.
+        let mut tight = firecracker();
+        let dropped = firecracker().rules().next().unwrap().0;
+        assert!(tight.deny(dropped));
+        let dir = std::env::temp_dir().join("dracoctl_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tight.json");
+        std::fs::write(&path, profile_to_json(&tight)).unwrap();
+        let arg = path.to_str().unwrap().to_owned();
+        assert_eq!(diff_cmd(&argv(&["firecracker", &arg])), 1);
+        assert_eq!(
+            diff_cmd(&argv(&["firecracker", &arg, "--format", "json", "--witnesses", "1"])),
+            1
+        );
+        // The reverse direction is a relaxation.
+        assert_eq!(diff_cmd(&argv(&[&arg, "firecracker"])), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn diff_rejects_bad_usage() {
+        assert_eq!(diff_cmd(&argv(&[])), 2);
+        assert_eq!(diff_cmd(&argv(&["docker"])), 2);
+        assert_eq!(diff_cmd(&argv(&["docker", "gvisor", "--format", "xml"])), 2);
+        assert_eq!(diff_cmd(&argv(&["docker", "gvisor", "--witnesses", "lots"])), 2);
+        assert_eq!(diff_cmd(&argv(&["docker", "gvisor", "--bogus"])), 2);
+        assert_eq!(diff_cmd(&argv(&["/nonexistent.json", "docker"])), 1);
+    }
+
+    #[test]
+    fn diff_strict_flags_dead_rules() {
+        use draco::profiles::{ArgPolicy, RuleSource, SyscallRule};
+        // A profile with an empty-whitelist (dead) rule is equivalent to
+        // itself, but --strict turns the dead rule into exit 2.
+        let mut p = firecracker();
+        p.allow(
+            SyscallId::new(1001),
+            SyscallRule {
+                args: ArgPolicy::Whitelist {
+                    mask: draco::syscalls::ArgBitmask::from_widths([8, 0, 0, 0, 0, 0]),
+                    sets: Vec::new(),
+                },
+                source: RuleSource::Application,
+            },
+        );
+        let dir = std::env::temp_dir().join("dracoctl_diff_dead_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dead.json");
+        std::fs::write(&path, profile_to_json(&p)).unwrap();
+        let arg = path.to_str().unwrap().to_owned();
+        assert_eq!(diff_cmd(&argv(&[&arg, &arg])), 0);
+        assert_eq!(diff_cmd(&argv(&[&arg, &arg, "--strict"])), 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -190,9 +190,9 @@ impl AuditEvent {
     /// Packs the event into one nonzero word (bit 63 set).
     fn pack(self) -> u64 {
         PUBLISHED_BIT
-            | ((self.syscall as u64) << SYSCALL_SHIFT)
-            | ((self.source as u64) << SOURCE_SHIFT)
-            | ((self.decision.data() as u64) << DATA_SHIFT)
+            | (u64::from(self.syscall) << SYSCALL_SHIFT)
+            | (u64::from(self.source) << SOURCE_SHIFT)
+            | (u64::from(self.decision.data()) << DATA_SHIFT)
             | (self.decision.tag() << DECISION_SHIFT)
             | (self.engine.tag() << ENGINE_SHIFT)
             | (self.provenance.tag() << PROVENANCE_SHIFT)

@@ -89,6 +89,8 @@ pub fn render_prometheus(registry: &MetricsRegistry) -> String {
     counter(&mut out, "draco_checker_batched_checks_total", "Checks submitted through the batched path.", c.batched_checks);
     counter(&mut out, "draco_checker_prefetch_issued_total", "Software prefetches issued by batch probe passes.", c.prefetch_issued);
     counter(&mut out, "draco_checker_miss_dedup_hits_total", "Batch-local misses resolved from an earlier request in the same batch.", c.miss_dedup_hits);
+    counter(&mut out, "draco_checker_reloads_permitted_total", "Hot-reload installs admitted by the reload gate.", c.reloads_permitted);
+    counter(&mut out, "draco_checker_reloads_refused_total", "Hot-reload installs refused by the RequireRefinement gate.", c.reloads_refused);
     histogram(&mut out, "draco_checker_batch_size", "Distribution of submitted batch sizes.", &c.batch_size);
     histogram(&mut out, "draco_checker_insns_per_filter_run", "cBPF instructions per fallback run.", &c.insns_per_filter_run);
     histogram(&mut out, "draco_checker_saved_insns_per_hit", "Filter instructions saved per cached check.", &c.saved_insns_per_hit);

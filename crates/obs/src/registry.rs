@@ -74,6 +74,15 @@ pub struct CheckerMetrics {
     /// because an earlier request in the same batch validated the key.
     #[serde(default)]
     pub miss_dedup_hits: u64,
+    /// Hot-reload installs admitted (permissively, or proven safe by
+    /// the semantic policy differ under `RequireRefinement`).
+    #[serde(default)]
+    pub reloads_permitted: u64,
+    /// Hot-reload installs refused by the `RequireRefinement` gate: the
+    /// candidate profile would relax (or is incomparable to) the
+    /// installed policy.
+    #[serde(default)]
+    pub reloads_refused: u64,
     /// Distribution of batch sizes submitted to the batched check path.
     #[serde(default)]
     pub batch_size: Histogram,
@@ -116,6 +125,8 @@ impl CheckerMetrics {
         self.batched_checks = self.batched_checks.saturating_add(other.batched_checks);
         self.prefetch_issued = self.prefetch_issued.saturating_add(other.prefetch_issued);
         self.miss_dedup_hits = self.miss_dedup_hits.saturating_add(other.miss_dedup_hits);
+        self.reloads_permitted = self.reloads_permitted.saturating_add(other.reloads_permitted);
+        self.reloads_refused = self.reloads_refused.saturating_add(other.reloads_refused);
         self.batch_size.merge(&other.batch_size);
         self.insns_per_filter_run.merge(&other.insns_per_filter_run);
         self.saved_insns_per_hit.merge(&other.saved_insns_per_hit);
@@ -144,6 +155,10 @@ impl CheckerMetrics {
             batched_checks: self.batched_checks.saturating_sub(earlier.batched_checks),
             prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
             miss_dedup_hits: self.miss_dedup_hits.saturating_sub(earlier.miss_dedup_hits),
+            reloads_permitted: self
+                .reloads_permitted
+                .saturating_sub(earlier.reloads_permitted),
+            reloads_refused: self.reloads_refused.saturating_sub(earlier.reloads_refused),
             batch_size: self.batch_size.delta_since(&earlier.batch_size),
             insns_per_filter_run: self
                 .insns_per_filter_run

@@ -309,8 +309,7 @@ fn set_policy(profile: &mut ProfileSpec, table: &SyscallTable, name: &str, polic
     let desc = table.by_name(name).expect("catalog names are valid");
     let source = profile
         .rule(desc.id())
-        .map(|r| r.source)
-        .unwrap_or(RuleSource::Application);
+        .map_or(RuleSource::Application, |r| r.source);
     profile.allow(
         desc.id(),
         SyscallRule {

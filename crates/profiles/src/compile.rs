@@ -18,7 +18,7 @@
 //! checking body twice, the second pass gated on the first one allowing —
 //! reproducing the paper's "run the profile twice in a row" methodology.
 
-use draco_bpf::{BpfError, Cond, Program, ProgramBuilder, SeccompAction, SeccompData};
+use draco_bpf::{semdiff, BpfError, Cond, Program, ProgramBuilder, SeccompAction, SeccompData};
 use draco_syscalls::{ArgSet, SyscallId, MAX_ARGS};
 
 use crate::spec::{ArgPolicy, ProfileSpec};
@@ -669,6 +669,138 @@ pub fn compile_stacked(
     })
 }
 
+/// Why a checked DAG compile failed.
+#[derive(Debug)]
+pub enum SelfCheckError {
+    /// The underlying filter compile failed (compiler bug).
+    Compile(BpfError),
+    /// A compiled DAG could not be proven `Equivalent` to its source
+    /// filter at some syscall.
+    NotEquivalent {
+        /// Index of the offending filter within the stack.
+        filter: usize,
+        /// The first non-equivalent per-syscall result.
+        diff: semdiff::SyscallDiff,
+    },
+}
+
+impl std::fmt::Display for SelfCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelfCheckError::Compile(e) => write!(f, "filter compile failed: {e}"),
+            SelfCheckError::NotEquivalent { filter, diff } => {
+                write!(
+                    f,
+                    "filter {filter}: DAG is {} (proof {:?}) vs its source at nr {}",
+                    diff.relation, diff.proof, diff.nr
+                )?;
+                if let Some(w) = &diff.witness {
+                    write!(
+                        f,
+                        "; witness args {:?} → source {}, dag {}",
+                        w.data.args, w.old, w.new
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelfCheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SelfCheckError::Compile(e) => Some(e),
+            SelfCheckError::NotEquivalent { .. } => None,
+        }
+    }
+}
+
+impl From<BpfError> for SelfCheckError {
+    fn from(e: BpfError) -> Self {
+        SelfCheckError::Compile(e)
+    }
+}
+
+impl DagStack {
+    /// Compile-time self-check: semantically diffs every compiled DAG
+    /// against its source filter (see [`draco_bpf::semdiff`]), probing
+    /// each filter's own compare boundaries plus `extra_nrs` (typically
+    /// the profile's whitelist and an out-of-table number). Returns one
+    /// report per filter, in stack order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is not the stack this DAG was compiled from
+    /// (length mismatch).
+    pub fn selfcheck(
+        &self,
+        sources: &FilterStack,
+        extra_nrs: &[u32],
+        cfg: &semdiff::DiffConfig,
+    ) -> Vec<semdiff::DiffReport> {
+        assert_eq!(
+            self.dags.len(),
+            sources.programs.len(),
+            "self-check needs the source stack the DAG was compiled from"
+        );
+        sources
+            .programs
+            .iter()
+            .zip(self.dags.iter())
+            .map(|(program, dag)| {
+                let side = semdiff::SemSide::filter(program);
+                let nrs = semdiff::interesting_nrs(&side, &side, extra_nrs.iter().copied());
+                semdiff::diff_filter_vs_dag(program, dag, &nrs, cfg)
+            })
+            .collect()
+    }
+}
+
+/// [`compile_dag`] with the self-check mode on: every compiled DAG is
+/// semantically diffed against its source filter, and any syscall that
+/// cannot be proven `Equivalent` fails the compile. This is the paranoid
+/// path for policy loads that must not trust the specializing compiler.
+///
+/// # Errors
+///
+/// [`SelfCheckError::Compile`] for an underlying compile failure,
+/// [`SelfCheckError::NotEquivalent`] naming the first filter and syscall
+/// whose DAG could not be proven equivalent.
+pub fn compile_dag_checked(profile: &ProfileSpec) -> Result<DagStack, SelfCheckError> {
+    let nrs: Vec<u32> = profile
+        .rules()
+        .map(|(id, _)| u32::from(id.as_u16()))
+        .collect();
+    let stack = compile_stacked(profile, FilterLayout::BinaryTree)?;
+    let dags = stack.dag(&nrs);
+    let mut probe = nrs;
+    // One probe guaranteed outside any dispatch table.
+    probe.push(u32::from(u16::MAX));
+    // The selfcheck runs at compile time, so afford a much larger
+    // concrete budget than an interactive diff: multi-argument
+    // whitelists (e.g. gvisor's socket tuples) produce candidate grids
+    // well past the interactive default, and a truncated search cannot
+    // prove equivalence.
+    let cfg = semdiff::DiffConfig {
+        max_inputs_per_nr: 1 << 18,
+        ..semdiff::DiffConfig::default()
+    };
+    for (filter, report) in dags.selfcheck(&stack, &probe, &cfg).iter().enumerate() {
+        if let Some(diff) = report
+            .syscalls
+            .iter()
+            .find(|s| s.relation != semdiff::Relation::Equivalent)
+        {
+            return Err(SelfCheckError::NotEquivalent {
+                filter,
+                diff: *diff,
+            });
+        }
+    }
+    Ok(dags)
+}
+
 /// Expands 4 byte-select bits into a 32-bit byte mask.
 fn word_mask(byte_bits: u32) -> u32 {
     let mut m = 0u32;
@@ -979,6 +1111,35 @@ mod stack_tests {
             .unwrap();
         assert!(membership.len() < chunk_max / 4);
         let _ = SyscallRule::any(RuleSource::Runtime); // keep import used
+    }
+
+    #[test]
+    fn catalog_dags_pass_the_selfcheck() {
+        for profile in [
+            crate::catalog::docker_default(),
+            crate::catalog::gvisor_default(),
+            crate::catalog::firecracker(),
+        ] {
+            let stack = compile_dag_checked(&profile)
+                .unwrap_or_else(|e| panic!("{}: {e}", profile.name()));
+            // The checked compile returns exactly what compile_dag does.
+            assert_eq!(stack.len(), compile_dag(&profile).unwrap().len());
+        }
+    }
+
+    #[test]
+    fn selfcheck_reports_are_proven_and_exercised() {
+        let profile = crate::catalog::firecracker();
+        let sources = compile_stacked(&profile, FilterLayout::BinaryTree).unwrap();
+        let dags = compile_dag(&profile).unwrap();
+        let reports = dags.selfcheck(&sources, &[u32::from(u16::MAX)], &semdiff::DiffConfig::default());
+        assert_eq!(reports.len(), sources.len());
+        for report in &reports {
+            assert_eq!(report.relation, semdiff::Relation::Equivalent);
+            // DAG sides are never trusted abstractly: the compiled
+            // artifact was concretely executed at least once per nr.
+            assert!(report.inputs_executed >= report.syscalls.len() as u64);
+        }
     }
 }
 

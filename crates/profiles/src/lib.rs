@@ -40,6 +40,7 @@
 pub mod analysis;
 mod catalog;
 mod compile;
+mod diff;
 mod docker_json;
 mod generate;
 mod serde_io;
@@ -54,9 +55,10 @@ pub use catalog::{
     DOCKER_PERSONALITY_VALUES, RUNTIME_REQUIRED,
 };
 pub use compile::{
-    compile, compile_dag, compile_stacked, CompiledStack, DagStack, FilterLayout, FilterStack,
-    StackOutcome,
+    compile, compile_dag, compile_dag_checked, compile_stacked, CompiledStack, DagStack,
+    FilterLayout, FilterStack, SelfCheckError, StackOutcome,
 };
+pub use diff::{diff_profiles, diff_profiles_with, ProfileDiff};
 pub use docker_json::{from_docker_json, import_docker_json, DockerImport, DockerImportError};
 pub use generate::{ProfileGenerator, ProfileKind};
 pub use serde_io::{profile_from_json, profile_to_json, ProfileIoError};

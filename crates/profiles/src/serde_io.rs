@@ -125,7 +125,7 @@ pub fn profile_to_json(profile: &ProfileSpec) -> String {
                 ArgPolicy::AnyArgs => (None, None),
                 ArgPolicy::Whitelist { mask, sets } => (
                     Some(mask.raw()),
-                    Some(sets.iter().map(|s| s.as_array()).collect()),
+                    Some(sets.iter().map(draco_syscalls::ArgSet::as_array).collect()),
                 ),
             };
             RuleDoc {

@@ -541,13 +541,9 @@ impl DracoHwCore {
         let t = scope.stage_begin();
         let head_spte = self.spt.lookup(sid);
         scope.stage_end(Stage::SptLookup, t);
-        let spte = match head_spte {
-            Some(e) => e,
-            None => {
-                // SPT miss: the OS must check in software.
-                return self.config.draco_struct_cycles
-                    + self.os_fallback(sid, args, stb_hit, scope);
-            }
+        let Some(spte) = head_spte else {
+            // SPT miss: the OS must check in software.
+            return self.config.draco_struct_cycles + self.os_fallback(sid, args, stb_hit, scope);
         };
         let Some(vat_idx) = spte.vat_index else {
             // No argument checking for this syscall: the Valid bit

@@ -86,7 +86,7 @@ impl TraceGenerator {
             let set_idx = self.sample_set(mix, &mut rng);
             let args =
                 argument_values(self.spec.name, desc, set_idx, mix.hot_sets, &mut rng);
-            let site = rng.gen_range(0..self.spec.pc_sites_per_syscall as u64);
+            let site = rng.gen_range(0..u64::from(self.spec.pc_sites_per_syscall));
             let pc = PC_BASE + u64::from(desc.id().as_u16()) * 0x100 + site * 8;
             let mean = self.spec.compute_ns_per_op;
             let compute_ns = mean / 2 + rng.gen_range(0..=mean);
@@ -199,7 +199,7 @@ fn argument_values(
 }
 
 fn pointer_value(rng: &mut SmallRng, pos: usize) -> u64 {
-    0x7f00_0000_0000 | (rng.gen::<u32>() as u64) << 4 | pos as u64
+    0x7f00_0000_0000 | u64::from(rng.gen::<u32>()) << 4 | pos as u64
 }
 
 #[cfg(test)]

@@ -77,8 +77,7 @@ impl LocalityReport {
             for req in trace.requests() {
                 let mask = table
                     .get(req.id)
-                    .map(|d| d.bitmask())
-                    .unwrap_or(draco_syscalls::ArgBitmask::EMPTY);
+                    .map_or(draco_syscalls::ArgBitmask::EMPTY, draco_syscalls::SyscallDesc::bitmask);
                 let masked = mask.masked(&req.args);
                 *counts.entry(req.id).or_default() += 1;
                 *set_counts
@@ -95,7 +94,7 @@ impl LocalityReport {
                     per_set.0 += d;
                     per_set.1 += 1;
                 }
-                let nargs = table.get(req.id).map(|d| d.checked_arg_count()).unwrap_or(0);
+                let nargs = table.get(req.id).map_or(0, draco_syscalls::SyscallDesc::checked_arg_count);
                 arg_count_calls[nargs] += 1;
                 position += 1;
                 total += 1;
@@ -106,9 +105,7 @@ impl LocalityReport {
             .iter()
             .map(|(&id, &count)| {
                 let name = table
-                    .get(id)
-                    .map(|d| d.name().to_owned())
-                    .unwrap_or_else(|| format!("sys_{}", id.as_u16()));
+                    .get(id).map_or_else(|| format!("sys_{}", id.as_u16()), |d| d.name().to_owned());
                 let (dsum, dcnt) = distance_sum.get(&id).copied().unwrap_or((0.0, 0));
                 let mean_reuse_distance = if dcnt > 0 { dsum / dcnt as f64 } else { f64::NAN };
                 let sets = &set_counts[&id];
@@ -127,7 +124,7 @@ impl LocalityReport {
                 let mut freqs: Vec<u64> = sets.values().copied().collect();
                 freqs.sort_unstable_by(|a, b| b.cmp(a));
                 let call_total = count as f64;
-                let desc_nargs = table.get(id).map(|d| d.checked_arg_count()).unwrap_or(0);
+                let desc_nargs = table.get(id).map_or(0, draco_syscalls::SyscallDesc::checked_arg_count);
                 let mut breakdown = ArgSetBreakdown {
                     distinct_sets: sets.len(),
                     ..ArgSetBreakdown::default()

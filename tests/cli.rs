@@ -127,7 +127,7 @@ fn trace_span_chrome_format_is_valid_and_staged() {
     let mut stages = std::collections::BTreeSet::new();
     for ev in events {
         assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
-        assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some());
+        assert!(ev.get("dur").and_then(serde_json::Value::as_f64).is_some());
         stages.insert(ev.get("name").and_then(|v| v.as_str()).expect("name").to_owned());
     }
     assert!(stages.len() >= 4, "distinct stages: {stages:?}");
