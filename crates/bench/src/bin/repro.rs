@@ -272,6 +272,31 @@ fn run_throughput_cmd(args: &[String]) {
             ts.intervals, ts.intervals_dropped, ts.audit_published, ts.audit_dropped, ts.denials
         );
     }
+    if let Some(s) = &report.service {
+        println!();
+        println!(
+            "Admission service (dracod) — {} tenants over {} rounds ({} forks, {} retired)",
+            s.tenants, s.rounds, s.forks, s.retired
+        );
+        println!(
+            "  {:.0} checks/s over {} checks, {:.1}% hit-rate, {:.1}% denied; reloads {} ok / {} refused",
+            s.checks_per_sec,
+            s.checks,
+            s.cache_hit_rate * 100.0,
+            s.deny_rate * 100.0,
+            s.reloads_permitted,
+            s.reloads_refused
+        );
+        println!(
+            "  latency p50/p95/p99: {}/{}/{} ns; audit: {} published, {} dropped of {} denials",
+            s.p50_latency_ns,
+            s.p95_latency_ns,
+            s.p99_latency_ns,
+            s.audit_published,
+            s.audit_dropped,
+            s.denials
+        );
+    }
     if !report.shared_threads.is_empty() {
         println!();
         println!(
@@ -399,7 +424,8 @@ fn usage() {
          \x20 ablate-smt    dedicated vs time-shared vs SMT co-run\n\
          \x20 ablate-opt    peephole-optimized filters vs raw vs draco-sw\n\
          \x20 all           everything above\n\
-         \x20 throughput    wall-clock checks/sec per backend, 1 and N threads\n\
+         \x20 throughput    wall-clock checks/sec per backend, 1 and N threads,\n\
+         \x20               plus the dracod multi-tenant service churn section\n\
          \x20               (writes BENCH_throughput.json and appends to\n\
          \x20               BENCH_history.jsonl; --quick writes the untracked\n\
          \x20               target/BENCH_throughput.quick.json; flags: --shards N\n\

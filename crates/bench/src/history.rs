@@ -72,6 +72,16 @@ pub struct HistoryEntry {
     /// deny-heavy stream (recorded, not gated).
     #[serde(default)]
     pub draco_dag_speedup_vs_interp: f64,
+    /// Aggregate admission throughput of the `dracod` churn scenario
+    /// (schema v8 reports; zero for entries appended before the service
+    /// section existed). Recorded, not gated.
+    #[serde(default)]
+    pub draco_service_checks_per_sec: f64,
+    /// Pooled p99 per-request service latency upper bound in
+    /// nanoseconds (schema v8 reports; zero before the section
+    /// existed). Recorded, not gated.
+    #[serde(default)]
+    pub draco_service_p99_latency_ns: f64,
 }
 
 impl HistoryEntry {
@@ -120,6 +130,14 @@ impl HistoryEntry {
                 .dag
                 .as_ref()
                 .map_or(0.0, |d| d.speedup_vs_interp),
+            draco_service_checks_per_sec: report
+                .service
+                .as_ref()
+                .map_or(0.0, |s| s.checks_per_sec),
+            draco_service_p99_latency_ns: report
+                .service
+                .as_ref()
+                .map_or(0.0, |s| s.p99_latency_ns as f64),
         }
     }
 
@@ -496,6 +514,27 @@ mod tests {
         let old: HistoryEntry = serde_json::from_str(&format!("{}}}", &json[..cut])).unwrap();
         assert_eq!(old.draco_dag_checks_per_sec, 0.0);
         assert_eq!(old.draco_dag_speedup_vs_interp, 0.0);
+    }
+
+    #[test]
+    fn entry_carries_service_rates_and_tolerates_their_absence() {
+        let report = tiny_report();
+        let entry = HistoryEntry::from_report(&report);
+        assert!(
+            entry.draco_service_checks_per_sec > 0.0,
+            "v8 reports populate the service rate"
+        );
+        assert!(entry.draco_service_p99_latency_ns > 0.0);
+        // Entries appended before schema v8 lack the service keys;
+        // truncating the serialized line at the first of them yields a
+        // faithful pre-v8 entry.
+        let json = serde_json::to_string(&entry).unwrap();
+        let cut = json
+            .find(",\"draco_service_checks_per_sec\"")
+            .expect("service keys serialize");
+        let old: HistoryEntry = serde_json::from_str(&format!("{}}}", &json[..cut])).unwrap();
+        assert_eq!(old.draco_service_checks_per_sec, 0.0);
+        assert_eq!(old.draco_service_p99_latency_ns, 0.0);
     }
 
     #[test]

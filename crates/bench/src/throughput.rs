@@ -11,6 +11,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use draco::bpf::SeccompData;
+use draco::dracod::{run_churn, ChurnConfig, ServiceThroughput};
 use draco::obs::{Histogram, MetricsRegistry, Span, TimeseriesDump};
 use draco::profiles::{compile_dag, compile_stacked, FilterLayout, ProfileKind};
 use draco::workloads::catalog;
@@ -34,8 +35,11 @@ use draco::workloads::WorkloadSpec;
 /// rates on a deny-heavy, cache-defeating stream); v7 adds the
 /// `timeseries` section (a rounds-sliced deny-heavy live replay with
 /// window-ring and audit-stream accounting; the full window dump is
-/// exported by `repro throughput --timeseries PATH`).
-pub const SCHEMA: &str = "draco-throughput/v7";
+/// exported by `repro throughput --timeseries PATH`); v8 adds the
+/// `service` section (the `dracod` multi-tenant churn scenario:
+/// tenant arrivals/departures, fork storms, and policy hot-reloads
+/// multiplexed through one admission service).
+pub const SCHEMA: &str = "draco-throughput/v8";
 
 /// Harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -321,6 +325,11 @@ pub struct ThroughputReport {
     /// pre-v7 reports (and omitted from the JSON entirely when absent).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub timeseries: Option<TimeseriesThroughput>,
+    /// Multi-tenant admission-service churn measurement (`dracod`).
+    /// `None` when parsing pre-v8 reports (and omitted from the JSON
+    /// entirely when absent).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub service: Option<ServiceThroughput>,
 }
 
 impl ThroughputReport {
@@ -484,6 +493,7 @@ fn run_throughput_inner(
     let batch = run_batch_section(&spec, cfg, &base, &multi_cfg, &backends, &mut metrics);
     let dag = run_dag_section(&spec, cfg);
     let (timeseries, dump) = run_timeseries_section(&spec, cfg);
+    let service = run_service_section(cfg);
     let report = ThroughputReport {
         schema: SCHEMA.to_owned(),
         workload: cfg.workload.clone(),
@@ -497,8 +507,20 @@ fn run_throughput_inner(
         batch: Some(batch),
         dag: Some(dag),
         timeseries: Some(timeseries),
+        service: Some(service),
     };
     (report, spans, dump)
+}
+
+/// The service section (schema v8): the `dracod` churn scenario sized
+/// to the configured op budget — tenant arrivals and departures, fork
+/// storms, admitted and refused hot-reloads, all multiplexed through
+/// one admission service. Counters, stats, and the decision digest are
+/// deterministic for a given `(ops_per_shard, seed, batch)`; only the
+/// wall-clock rates and latency quantiles vary run to run.
+fn run_service_section(cfg: &ThroughputConfig) -> ServiceThroughput {
+    let churn = ChurnConfig::for_ops(cfg.ops_per_shard, cfg.seed, cfg.batch);
+    run_churn(&churn).section()
 }
 
 /// The timeseries section (schema v7): one deny-heavy live replay of
@@ -801,6 +823,39 @@ mod tests {
         assert!(ts.denials > 0, "every 8th request perturbed into a denial");
         assert_eq!(ts.audit_published + ts.audit_dropped, ts.denials);
         assert!(ts.deny_rate > 0.0 && ts.deny_rate < 0.5);
+        // v8: the service section runs the dracod churn scenario sized
+        // to the op budget (300 ops → the 8-tenant quick schedule).
+        let svc = report.service.as_ref().expect("v8 reports carry service");
+        assert_eq!(svc.schema, "draco-service/v1");
+        assert!(svc.tenants >= 8, "quick schedule admits 8+: {}", svc.tenants);
+        assert_eq!(svc.rounds, 8);
+        assert!(svc.forks > 0, "fork storms fired");
+        assert!(svc.retired > 0, "departures fired");
+        assert!(svc.reloads_permitted > 0, "refinements admitted");
+        assert!(svc.reloads_refused > 0, "relaxations refused");
+        assert!(svc.checks > 0);
+        assert_eq!(svc.audit_published + svc.audit_dropped, svc.denials);
+        assert!(svc.deny_rate > 0.0 && svc.deny_rate < 0.5);
+        assert!(svc.cache_hit_rate > 0.0);
+        assert!(svc.intervals_pushed > 0, "each drain seals a window slot");
+        assert_ne!(svc.decision_digest, 0, "digest witnesses the stream");
+    }
+
+    #[test]
+    fn service_section_deterministic_fields_are_stable() {
+        let a = run_throughput(&tiny());
+        let b = run_throughput(&tiny());
+        let (x, y) = (a.service.unwrap(), b.service.unwrap());
+        assert_eq!(x.tenants, y.tenants);
+        assert_eq!(x.forks, y.forks);
+        assert_eq!(x.retired, y.retired);
+        assert_eq!(x.reloads_permitted, y.reloads_permitted);
+        assert_eq!(x.reloads_refused, y.reloads_refused);
+        assert_eq!(x.checks, y.checks);
+        assert_eq!(x.denials, y.denials);
+        assert_eq!(x.audit_published, y.audit_published);
+        assert_eq!(x.cache_hit_rate, y.cache_hit_rate);
+        assert_eq!(x.decision_digest, y.decision_digest);
     }
 
     #[test]
@@ -893,6 +948,15 @@ mod tests {
     }
 
     #[test]
+    fn pre_v8_reports_without_service_section_still_parse() {
+        let report = run_throughput(&tiny());
+        let mut json = serde_json::to_string(&report).expect("serializes");
+        json = json.replace("\"service\":", "\"renamed_away\":");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("parses");
+        assert!(back.service.is_none(), "defaulted");
+    }
+
+    #[test]
     fn dag_section_deterministic_fields_are_stable() {
         let a = run_throughput(&tiny());
         let b = run_throughput(&tiny());
@@ -976,6 +1040,7 @@ mod tests {
             batch: None,
             dag: None,
             timeseries: None,
+            service: None,
         };
         let json = serde_json::to_string(&report).expect("serializes");
         assert!(!json.contains("null"), "no non-finite rate leaked: {json}");

@@ -20,6 +20,10 @@
 //! dracoctl prom-lint <PATH|->            # Prometheus text-format checker
 //! dracoctl shared-replay <workload> [--threads N] [--ops N] [--warmup N]
 //!                        [--seed N] [--mix skewed|uniform] [--batch N] [--json]
+//! dracoctl serve [--policy permissive|require-refinement] [--batch N] [--analyzed]
+//!                                                           # line protocol on stdin
+//! dracoctl bench-service [--tenants N] [--rounds N] [--ops N] [--seed N]
+//!                        [--batch N] [--quick] [--json]      # churn scenario
 //! dracoctl workloads                                        # list the catalog
 //! ```
 
@@ -56,6 +60,8 @@ fn run(args: &[String]) -> i32 {
         Some("audit") => audit_cmd(&args[1..]),
         Some("prom-lint") => prom_lint_cmd(&args[1..]),
         Some("shared-replay") => shared_replay_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("bench-service") => bench_service_cmd(&args[1..]),
         Some("workloads") => {
             for spec in catalog::all() {
                 println!(
@@ -91,6 +97,9 @@ fn run(args: &[String]) -> i32 {
                  \x20 prom-lint <PATH|->\n\
                  \x20 shared-replay <workload> [--threads N] [--ops N] [--warmup N]\n\
                  \x20               [--seed N] [--mix skewed|uniform] [--batch N] [--json]\n\
+                 \x20 serve [--policy permissive|require-refinement] [--batch N] [--analyzed]\n\
+                 \x20 bench-service [--tenants N] [--rounds N] [--ops N] [--seed N]\n\
+                 \x20               [--batch N] [--quick] [--json]\n\
                  \x20 workloads"
             );
             2
@@ -1731,6 +1740,320 @@ fn span_trace_cmd(name: &str, args: &[String]) -> i32 {
             eprintln!("wrote {} spans to {path}", spans.len());
         }
         None => print!("{text}"),
+    }
+    0
+}
+
+/// Parses a tenant designator: `tenant:7` or bare `7`.
+fn parse_tenant(s: &str) -> Option<draco::dracod::TenantId> {
+    let raw = s.strip_prefix("tenant:").unwrap_or(s);
+    raw.parse::<u32>().ok().map(draco::dracod::TenantId)
+}
+
+/// `dracoctl serve` — drives a [`draco::dracod::DracoService`] over a
+/// line protocol on stdin. One command per line:
+///
+/// ```text
+/// register <profile>              allocate a tenant with that profile
+/// fork <tenant>                   fork a tenant (cold child)
+/// exec <tenant> <profile>         replace a tenant's profile, same pid
+/// reload <tenant> <profile>       hot-reload through the policy gate
+/// submit <tenant> <syscall> [a..] queue one admission request
+/// drain                           run queued requests, print decisions
+/// stats [tenant]                  service (or one tenant's) counters
+/// tenants                         list live tenants
+/// retire <tenant>                 remove a tenant
+/// quit                            exit
+/// ```
+///
+/// Profiles resolve like everywhere else in dracoctl: catalog names
+/// (`docker`, `gvisor`, `firecracker`) or a path to a native/Docker
+/// seccomp JSON. Exit code 0 on `quit`/EOF, 2 on usage errors.
+fn serve_cmd(args: &[String]) -> i32 {
+    use draco::core::ReloadPolicy;
+    use draco::dracod::{DracoService, ServiceConfig, ServiceError};
+
+    let mut cfg = ServiceConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policy" => {
+                i += 1;
+                cfg.reload_policy = match args.get(i).map(String::as_str) {
+                    Some("permissive") => ReloadPolicy::Permissive,
+                    Some("require-refinement") => ReloadPolicy::RequireRefinement,
+                    other => {
+                        eprintln!(
+                            "--policy must be `permissive` or `require-refinement`, got `{}`",
+                            other.unwrap_or("")
+                        );
+                        return 2;
+                    }
+                };
+            }
+            "--batch" => {
+                i += 1;
+                cfg.batch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.batch);
+            }
+            "--analyzed" => cfg.analyzed = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let mut svc = DracoService::new(cfg);
+    let table = SyscallTable::shared();
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => break, // EOF ends the session cleanly
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin: {e}");
+                return 1;
+            }
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let reply: Result<String, String> = match words.as_slice() {
+            [] | ["#", ..] => continue,
+            ["quit"] | ["exit"] => break,
+            ["register", which] => load_profile(which)
+                .and_then(|p| svc.register(&p).map_err(|e| e.to_string()))
+                .map(|id| format!("registered {id}")),
+            ["fork", t] => parse_tenant(t)
+                .ok_or_else(|| format!("bad tenant `{t}`"))
+                .and_then(|id| svc.fork(id).map_err(|e| e.to_string()))
+                .map(|child| format!("forked {child}")),
+            ["exec", t, which] => parse_tenant(t)
+                .ok_or_else(|| format!("bad tenant `{t}`"))
+                .and_then(|id| {
+                    let p = load_profile(which)?;
+                    svc.exec(id, &p).map_err(|e| e.to_string())?;
+                    Ok(format!("execed {id} -> {}", p.name()))
+                }),
+            ["reload", t, which] => parse_tenant(t)
+                .ok_or_else(|| format!("bad tenant `{t}`"))
+                .and_then(|id| {
+                    let p = load_profile(which)?;
+                    match svc.reload(id, &p) {
+                        Ok(decision) => Ok(format!("reloaded {id}: {decision:?}")),
+                        Err(ServiceError::Draco(draco::core::DracoError::ReloadRejected {
+                            relation,
+                            ..
+                        })) => Ok(format!("reload refused for {id}: candidate {relation}")),
+                        Err(e) => Err(e.to_string()),
+                    }
+                }),
+            ["submit", t, syscall, rest @ ..] => parse_tenant(t)
+                .ok_or_else(|| format!("bad tenant `{t}`"))
+                .and_then(|id| {
+                    let nr = match table.by_name(syscall) {
+                        Some(d) => d.id(),
+                        None => syscall
+                            .parse::<u16>()
+                            .map(draco::syscalls::SyscallId::new)
+                            .map_err(|_| format!("unknown syscall `{syscall}`"))?,
+                    };
+                    let values: Vec<u64> = rest
+                        .iter()
+                        .map(|a| parse_u64(a))
+                        .collect::<Result<_, _>>()?;
+                    if values.len() > 6 {
+                        return Err("at most 6 arguments".to_owned());
+                    }
+                    let req = SyscallRequest::new(0, nr, ArgSet::from_slice(&values));
+                    svc.submit(id, req).map_err(|e| e.to_string())?;
+                    Ok(format!("queued {id} {syscall}"))
+                }),
+            ["drain"] => {
+                let mut lines = Vec::new();
+                let summary = svc.drain_with(|tenant, req, decision| {
+                    lines.push(format!(
+                        "  {tenant} {}({:#x},{:#x},{:#x}) -> {} [{:?}]",
+                        req.id.as_u16(),
+                        req.args.get(0),
+                        req.args.get(1),
+                        req.args.get(2),
+                        decision.action,
+                        decision.path,
+                    ));
+                });
+                Ok(format!(
+                    "{}drained {} checks over {} tenants ({} allowed, {} denied, {} cache hits)",
+                    lines
+                        .iter()
+                        .map(|l| format!("{l}\n"))
+                        .collect::<String>(),
+                    summary.checks,
+                    summary.tenants_served,
+                    summary.allowed,
+                    summary.denials,
+                    summary.cache_hits
+                ))
+            }
+            ["stats"] => {
+                let c = svc.counters();
+                let stats = svc.stats();
+                Ok(format!(
+                    "tenants: {} live / {} registered / {} forked / {} retired\n\
+                     reloads: {} permitted, {} refused\n\
+                     checks: {} ({} allowed, {} denied, {:.1}% cache hits)\n\
+                     audit: {} published, {} dropped",
+                    svc.len(),
+                    c.registered,
+                    c.forked,
+                    c.retired,
+                    c.reloads_permitted,
+                    c.reloads_refused,
+                    c.checks,
+                    c.allowed,
+                    c.denials,
+                    stats.cache_hit_rate() * 100.0,
+                    svc.audit_ring().events_published(),
+                    svc.audit_ring().events_dropped(),
+                ))
+            }
+            ["stats", t] => parse_tenant(t)
+                .ok_or_else(|| format!("bad tenant `{t}`"))
+                .and_then(|id| {
+                    let snap = svc
+                        .snapshot(id)
+                        .ok_or_else(|| format!("unknown tenant {id}"))?;
+                    Ok(format!(
+                        "{id}: profile {}, {} queued, {} checks ({} allowed, {} denied, {} cache hits), latency {}",
+                        snap.profile,
+                        snap.queued,
+                        snap.checks,
+                        snap.allowed,
+                        snap.denials,
+                        snap.cache_hits,
+                        snap.latency_ns.quantile_summary(),
+                    ))
+                }),
+            ["tenants"] => Ok(svc
+                .snapshots()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{} pid={} profile={} queued={} checks={}\n",
+                        s.id, s.pid.0, s.profile, s.queued, s.checks
+                    )
+                })
+                .collect::<String>()
+                + &format!("{} live", svc.len())),
+            ["retire", t] => parse_tenant(t)
+                .ok_or_else(|| format!("bad tenant `{t}`"))
+                .and_then(|id| svc.retire(id).map_err(|e| e.to_string()))
+                .map(|snap| format!("retired {} after {} checks", snap.id, snap.checks)),
+            _ => Err(format!("unknown command `{}`", line.trim())),
+        };
+        match reply {
+            Ok(text) => println!("{text}"),
+            Err(text) => println!("error: {text}"),
+        }
+    }
+    0
+}
+
+/// `dracoctl bench-service` — runs the seeded churn scenario (tenant
+/// arrivals and departures, fork storms, flush-heavy admitted reloads
+/// plus refused relaxations, deny-perturbed traffic) and reports
+/// aggregate throughput with per-tenant latency quantiles.
+fn bench_service_cmd(args: &[String]) -> i32 {
+    use draco::dracod::{run_churn, ChurnConfig};
+
+    let mut cfg = ChurnConfig::standard();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ChurnConfig::quick(),
+            "--tenants" => {
+                i += 1;
+                cfg.tenants = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.tenants);
+            }
+            "--rounds" => {
+                i += 1;
+                cfg.rounds = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.rounds);
+            }
+            "--ops" => {
+                i += 1;
+                cfg.ops_per_round =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.ops_per_round);
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.seed);
+            }
+            "--batch" => {
+                i += 1;
+                cfg.batch = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.batch);
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if cfg.rounds == 0 || cfg.tenants == 0 {
+        eprintln!("--tenants and --rounds must be nonzero");
+        return 2;
+    }
+
+    let report = run_churn(&cfg);
+    let section = report.section();
+    if json {
+        let doc = serde_json::json!({
+            "schema": section.schema,
+            "service": section,
+            "per_tenant": report.per_tenant,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("report serializes"));
+        return 0;
+    }
+    println!(
+        "churn: {} tenants ({} forked, {} retired) over {} rounds, seed {}",
+        section.tenants, section.forks, section.retired, section.rounds, cfg.seed
+    );
+    println!(
+        "reloads: {} admitted (flush-heavy), {} refused by the policy gate",
+        section.reloads_permitted, section.reloads_refused
+    );
+    println!(
+        "checks: {} at {:.0}/sec, {:.1}% cache hits, {:.1}% denied",
+        section.checks,
+        section.checks_per_sec,
+        section.cache_hit_rate * 100.0,
+        section.deny_rate * 100.0
+    );
+    println!(
+        "audit: {} published, {} dropped (accounted)",
+        section.audit_published, section.audit_dropped
+    );
+    println!(
+        "service latency (ns): p50 <= {}, p95 <= {}, p99 <= {} over {} window intervals",
+        section.p50_latency_ns,
+        section.p95_latency_ns,
+        section.p99_latency_ns,
+        section.intervals_pushed
+    );
+    println!("decision digest: {:#018x}", section.decision_digest);
+    println!(
+        "{:<10} {:<28} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "tenant", "profile", "checks", "denied", "p50-ns", "p95-ns", "p99-ns"
+    );
+    for t in &report.per_tenant {
+        println!(
+            "tenant:{:<4} {:<28} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            t.id, t.profile, t.checks, t.denials, t.p50_ns, t.p95_ns, t.p99_ns
+        );
     }
     0
 }

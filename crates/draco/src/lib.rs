@@ -20,6 +20,7 @@
 //! | [`bpf`] | `draco-bpf` | cBPF instruction set, validator, interpreter, JIT-model executor |
 //! | [`profiles`] | `draco-profiles` | docker-default / gVisor / Firecracker, trace→profile toolkit, filter compilation & stacking |
 //! | [`core`] | `draco-core` | **software Draco**: SPT, VAT, the Fig. 4 check workflow |
+//! | [`dracod`] | `draco-dracod` | multi-tenant admission service: tenant registry, lifecycle, churn scenario |
 //! | [`sim`] | `draco-sim` | **hardware Draco**: SLB/STB/SPT structures, Table-I flows, caches, energy |
 //! | [`workloads`] | `draco-workloads` | the 15 benchmarks, trace generation, locality analysis, timing model |
 //!
@@ -46,6 +47,7 @@
 pub use draco_bpf as bpf;
 pub use draco_core as core;
 pub use draco_cuckoo as cuckoo;
+pub use draco_dracod as dracod;
 pub use draco_obs as obs;
 pub use draco_profiles as profiles;
 pub use draco_sim as sim;

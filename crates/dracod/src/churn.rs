@@ -1,0 +1,646 @@
+//! The churn scenario: a seeded multi-tenant lifecycle storm.
+//!
+//! This is the service-level counterpart of the replay benchmarks: a
+//! deterministic schedule of tenant arrivals, departures, fork storms,
+//! and hot reloads (both admitted flush-heavy reloads and
+//! policy-refused relaxations) interleaved with admission traffic, all
+//! driven from one seeded RNG. Determinism is a deliverable, not a
+//! convenience — the same `(ChurnConfig, seed)` must produce an
+//! identical decision stream, identical counters, and an identical
+//! [`ChurnReport::decision_digest`], which is what the churn
+//! determinism test pins down.
+//!
+//! The per-tenant traffic comes from the workload catalog
+//! (`pipe`/`nginx`/`redis`/`httpd`/`fifo` round-robin), each tenant
+//! running under a `syscall-complete` profile generated from its own
+//! trace. Every `deny_every`-th request is XOR-perturbed
+//! ([`draco_workloads::live`]'s trick) so it misses the whitelist and
+//! exercises the deny path into the audit ring.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+#[cfg(loom)]
+use loom::sync::Arc;
+#[cfg(not(loom))]
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use draco_core::CheckerStats;
+use draco_obs::Histogram;
+use draco_profiles::{ProfileKind, ProfileSpec};
+use draco_syscalls::{ArgSet, SyscallRequest};
+use draco_workloads::timing::profile_for_trace;
+use draco_workloads::{catalog, TraceGenerator};
+
+use crate::service::{DracoService, ServiceConfig, ServiceCounters, TenantId};
+
+/// Workloads cycled over as tenants arrive.
+const WORKLOADS: [&str; 5] = ["pipe", "nginx", "redis", "httpd", "fifo"];
+
+/// XOR perturbation applied to every `deny_every`-th request's
+/// arguments, guaranteeing a whitelist miss under `syscall-complete`
+/// profiles (mirrors `draco_workloads::live`).
+const DENY_PERTURBATION: u64 = 0xdead_0000_0000;
+
+/// Parameters of one churn run. All schedule decisions derive from
+/// `seed`, so equal configs replay identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// Total tenants ever admitted (arrivals + fork children stop once
+    /// this many ids have been spent).
+    pub tenants: u32,
+    /// Tenants registered before round 0.
+    pub initial: u32,
+    /// Scheduler rounds (each: arrivals, retirements, forks, reloads,
+    /// traffic, drain).
+    pub rounds: u32,
+    /// Requests submitted per live tenant per round.
+    pub ops_per_round: u32,
+    /// Length of each workload trace tenants draw traffic from.
+    pub trace_ops: usize,
+    /// A fork storm runs every this-many rounds.
+    pub fork_every: u32,
+    /// Children spawned per fork storm (off one rng-chosen parent).
+    pub fork_storm: u32,
+    /// A reload pair (one equivalent/admitted + one relaxed/refused)
+    /// runs every this-many rounds.
+    pub reload_every: u32,
+    /// A retirement runs every this-many rounds.
+    pub retire_every: u32,
+    /// Every n-th request per tenant is perturbed into a denial.
+    pub deny_every: u32,
+    /// RNG seed for the whole schedule.
+    pub seed: u64,
+    /// Service batch size.
+    pub batch: usize,
+    /// Retirements never shrink the registry below this.
+    pub min_live: usize,
+}
+
+impl ChurnConfig {
+    /// The full churn scenario: ≥100 tenants with arrivals, fork
+    /// storms, flush-heavy reloads, and refused relaxations.
+    pub fn standard() -> Self {
+        ChurnConfig {
+            tenants: 128,
+            initial: 32,
+            rounds: 24,
+            ops_per_round: 96,
+            trace_ops: 384,
+            fork_every: 6,
+            fork_storm: 8,
+            reload_every: 4,
+            retire_every: 3,
+            deny_every: 17,
+            seed: 2020,
+            batch: 128,
+            min_live: 8,
+        }
+    }
+
+    /// A seconds-scale scenario for smoke tests and `--quick`.
+    pub fn quick() -> Self {
+        ChurnConfig {
+            tenants: 24,
+            initial: 8,
+            rounds: 8,
+            ops_per_round: 32,
+            trace_ops: 96,
+            fork_every: 3,
+            fork_storm: 3,
+            reload_every: 2,
+            retire_every: 2,
+            deny_every: 11,
+            seed: 2020,
+            batch: 64,
+            min_live: 4,
+        }
+    }
+
+    /// Scales the scenario to roughly `ops_per_shard` decisions — the
+    /// knob `repro throughput` sections share, so the bench's tiny test
+    /// config stays fast while the tracked run clears 100 tenants.
+    pub fn for_ops(ops_per_shard: usize, seed: u64, batch: usize) -> Self {
+        let tenants = (ops_per_shard / 1800).clamp(8, 128) as u32;
+        let quickish = tenants < 32;
+        ChurnConfig {
+            tenants,
+            initial: (tenants / 4).max(2),
+            rounds: if quickish { 8 } else { 24 },
+            ops_per_round: if quickish { 32 } else { 96 },
+            trace_ops: if quickish { 96 } else { 384 },
+            fork_every: if quickish { 3 } else { 6 },
+            fork_storm: if quickish { 3 } else { 8 },
+            reload_every: if quickish { 2 } else { 4 },
+            retire_every: if quickish { 2 } else { 3 },
+            deny_every: if quickish { 11 } else { 17 },
+            seed,
+            batch: batch.max(1),
+            min_live: (tenants as usize / 8).max(2),
+        }
+    }
+}
+
+/// One arrival archetype: a trace-derived profile plus the request
+/// stream tenants of this archetype draw from.
+struct Archetype {
+    profile: ProfileSpec,
+    stream: Arc<Vec<SyscallRequest>>,
+}
+
+/// Per-tenant traffic state.
+struct Feed {
+    archetype: usize,
+    cursor: usize,
+    submitted: u64,
+}
+
+/// Per-tenant quantile summary for the report.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TenantLatency {
+    /// Tenant id (monotone; equal to the pid).
+    pub id: u32,
+    /// Installed profile name at the end of the run (or retirement).
+    pub profile: String,
+    /// Decisions produced for this tenant.
+    pub checks: u64,
+    /// Denied decisions.
+    pub denials: u64,
+    /// p50 service latency upper bound, ns (0 when unsampled).
+    pub p50_ns: u64,
+    /// p95 service latency upper bound, ns.
+    pub p95_ns: u64,
+    /// p99 service latency upper bound, ns.
+    pub p99_ns: u64,
+}
+
+/// Everything one churn run produced.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// The driving config.
+    pub config: ChurnConfig,
+    /// Final service counters.
+    pub counters: ServiceCounters,
+    /// Checker stats summed over every tenant, live and retired.
+    pub stats: CheckerStats,
+    /// Pooled per-request service latency, ns.
+    pub latency: Histogram,
+    /// Per-tenant summaries (every tenant ever admitted, ascending id).
+    pub per_tenant: Vec<TenantLatency>,
+    /// Denial-audit events published into the ring.
+    pub audit_published: u64,
+    /// Denial-audit events dropped (ring full or rate-limited).
+    pub audit_dropped: u64,
+    /// Metrics-window intervals sealed (one per drain round).
+    pub intervals_pushed: u64,
+    /// Wall time of the run, ns.
+    pub wall_ns: u64,
+    /// FNV-1a digest over the full (tenant, syscall, decision) stream —
+    /// the determinism witness.
+    pub decision_digest: u64,
+}
+
+impl ChurnReport {
+    /// Condenses the run into the serializable bench section,
+    /// asserting the audit-accounting invariant on the way.
+    pub fn section(&self) -> ServiceThroughput {
+        assert_eq!(
+            self.audit_published + self.audit_dropped,
+            self.stats.denials,
+            "every denial must be published or counted dropped"
+        );
+        let secs = (self.wall_ns as f64 / 1e9).max(1e-9);
+        ServiceThroughput {
+            schema: SERVICE_SCHEMA.to_owned(),
+            tenants: self.counters.registered + self.counters.forked,
+            rounds: u64::from(self.config.rounds),
+            forks: self.counters.forked,
+            reloads_permitted: self.counters.reloads_permitted,
+            reloads_refused: self.counters.reloads_refused,
+            retired: self.counters.retired,
+            checks: self.counters.checks,
+            denials: self.counters.denials,
+            audit_published: self.audit_published,
+            audit_dropped: self.audit_dropped,
+            cache_hit_rate: self.stats.cache_hit_rate(),
+            deny_rate: if self.counters.checks == 0 {
+                0.0
+            } else {
+                self.counters.denials as f64 / self.counters.checks as f64
+            },
+            checks_per_sec: self.counters.checks as f64 / secs,
+            p50_latency_ns: self.latency.p50().unwrap_or(0),
+            p95_latency_ns: self.latency.p95().unwrap_or(0),
+            p99_latency_ns: self.latency.p99().unwrap_or(0),
+            intervals_pushed: self.intervals_pushed,
+            decision_digest: self.decision_digest,
+        }
+    }
+}
+
+/// Schema tag of [`ServiceThroughput`].
+pub const SERVICE_SCHEMA: &str = "draco-service/v1";
+
+/// The `service` section embedded in throughput reports (schema v8):
+/// aggregate numbers of one churn run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ServiceThroughput {
+    /// Always [`SERVICE_SCHEMA`] when produced by this crate.
+    pub schema: String,
+    /// Tenants ever admitted (arrivals + fork children).
+    pub tenants: u64,
+    /// Scheduler rounds run.
+    pub rounds: u64,
+    /// Fork-storm children spawned.
+    pub forks: u64,
+    /// Hot reloads admitted by the policy gate (each flushes the
+    /// tenant's caches).
+    pub reloads_permitted: u64,
+    /// Hot reloads refused (old filter kept serving).
+    pub reloads_refused: u64,
+    /// Tenants retired mid-run.
+    pub retired: u64,
+    /// Admission decisions produced.
+    pub checks: u64,
+    /// Denied decisions.
+    pub denials: u64,
+    /// Denial-audit events published.
+    pub audit_published: u64,
+    /// Denial-audit events dropped with accounting.
+    pub audit_dropped: u64,
+    /// SPT+VAT hits over total checks.
+    pub cache_hit_rate: f64,
+    /// Denials over total checks.
+    pub deny_rate: f64,
+    /// Aggregate admission throughput.
+    pub checks_per_sec: f64,
+    /// Pooled p50 per-request service latency upper bound, ns.
+    pub p50_latency_ns: u64,
+    /// Pooled p95 per-request service latency upper bound, ns.
+    pub p95_latency_ns: u64,
+    /// Pooled p99 per-request service latency upper bound, ns.
+    pub p99_latency_ns: u64,
+    /// Metrics-window intervals sealed (one per drain round).
+    pub intervals_pushed: u64,
+    /// Determinism witness over the decision stream (seed-stable;
+    /// excluded from cross-run comparisons only if configs differ).
+    pub decision_digest: u64,
+}
+
+fn fnv1a(digest: u64, word: u64) -> u64 {
+    let mut d = digest;
+    for byte in word.to_le_bytes() {
+        d ^= u64::from(byte);
+        d = d.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    d
+}
+
+fn encode_decision(d: draco_core::CheckResult) -> u64 {
+    use draco_bpf::SeccompAction;
+    match d.action {
+        SeccompAction::Allow => 1,
+        SeccompAction::Log => 2,
+        SeccompAction::Trace(v) => 0x100 | u64::from(v),
+        SeccompAction::Trap => 4,
+        SeccompAction::Errno(v) => 0x2_0000 | u64::from(v),
+        SeccompAction::KillThread => 5,
+        SeccompAction::KillProcess => 6,
+    }
+}
+
+fn build_archetypes(cfg: &ChurnConfig) -> Vec<Archetype> {
+    WORKLOADS
+        .iter()
+        .map(|name| {
+            let spec = catalog::by_name(name)
+                .unwrap_or_else(|| panic!("workload {name} missing from catalog"));
+            let trace = TraceGenerator::new(&spec, cfg.seed ^ 0x5eed).generate(cfg.trace_ops);
+            let profile = profile_for_trace(&trace, ProfileKind::SyscallComplete);
+            let stream: Vec<SyscallRequest> = trace.requests().collect();
+            Archetype {
+                profile,
+                stream: Arc::new(stream),
+            }
+        })
+        .collect()
+}
+
+fn perturb(req: SyscallRequest) -> SyscallRequest {
+    let mut args = [0u64; 6];
+    for (i, slot) in args.iter_mut().enumerate() {
+        *slot = req.args.get(i) ^ DENY_PERTURBATION;
+    }
+    SyscallRequest::new(req.pc, req.id, ArgSet::new(args))
+}
+
+/// A relaxation of `profile` guaranteed to be refused under
+/// `RequireRefinement`: one never-observed syscall joins the whitelist.
+fn relaxed_candidate(profile: &ProfileSpec) -> ProfileSpec {
+    use draco_profiles::{ArgPolicy, RuleSource, SyscallRule};
+    use draco_syscalls::SyscallId;
+    let mut candidate = profile.clone();
+    // Pick a syscall number the catalog never emits (999 < 1024 table
+    // bound, unused by every workload trace).
+    candidate.allow(
+        SyscallId::new(999),
+        SyscallRule {
+            args: ArgPolicy::AnyArgs,
+            source: RuleSource::Application,
+        },
+    );
+    candidate
+}
+
+/// Runs the churn scenario and returns its report. Deterministic for a
+/// fixed config: the decision stream, counters, and digest depend only
+/// on the seed (wall-clock fields aside).
+pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
+    let archetypes = build_archetypes(cfg);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let service_cfg = ServiceConfig {
+        batch: cfg.batch,
+        // Size the ring so the deny stream fits between drains; drops
+        // would still be accounted, but a lossless run is a stronger
+        // differential oracle.
+        audit_capacity: 1 << 16,
+        window_capacity: (cfg.rounds as usize).max(1),
+        ..ServiceConfig::default()
+    };
+    let mut svc = DracoService::new(service_cfg);
+    let mut feeds: BTreeMap<TenantId, Feed> = BTreeMap::new();
+    let mut finished: BTreeMap<u32, TenantLatency> = BTreeMap::new();
+    let mut admitted: u32 = 0;
+    let mut next_archetype = 0usize;
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+
+    let register_one = |svc: &mut DracoService,
+                            feeds: &mut BTreeMap<TenantId, Feed>,
+                            rng: &mut SmallRng,
+                            admitted: &mut u32,
+                            next_archetype: &mut usize| {
+        let idx = *next_archetype % archetypes.len();
+        *next_archetype += 1;
+        let id = svc
+            .register(&archetypes[idx].profile)
+            .expect("catalog profiles always compile");
+        let cursor = rng.gen_range(0..archetypes[idx].stream.len());
+        feeds.insert(
+            id,
+            Feed {
+                archetype: idx,
+                cursor,
+                submitted: 0,
+            },
+        );
+        *admitted += 1;
+        id
+    };
+
+    let start = Instant::now();
+    for _ in 0..cfg.initial.min(cfg.tenants) {
+        register_one(
+            &mut svc,
+            &mut feeds,
+            &mut rng,
+            &mut admitted,
+            &mut next_archetype,
+        );
+    }
+
+    for round in 0..cfg.rounds {
+        // Arrivals: trickle the remaining budget in evenly.
+        let remaining_rounds = cfg.rounds - round;
+        let budget = cfg.tenants.saturating_sub(admitted);
+        let arrivals = (budget / remaining_rounds.max(1)).min(budget);
+        for _ in 0..arrivals {
+            register_one(
+                &mut svc,
+                &mut feeds,
+                &mut rng,
+                &mut admitted,
+                &mut next_archetype,
+            );
+        }
+
+        // Retirement: one rng-chosen victim, never draining the pool.
+        if cfg.retire_every > 0 && round % cfg.retire_every == cfg.retire_every - 1 {
+            let ids = svc.tenant_ids();
+            if ids.len() > cfg.min_live {
+                let victim = ids[rng.gen_range(0..ids.len())];
+                let snap = svc.retire(victim).expect("victim is live");
+                feeds.remove(&victim);
+                finished.insert(
+                    victim.0,
+                    TenantLatency {
+                        id: victim.0,
+                        profile: snap.profile,
+                        checks: snap.checks,
+                        denials: snap.denials,
+                        p50_ns: snap.latency_ns.p50().unwrap_or(0),
+                        p95_ns: snap.latency_ns.p95().unwrap_or(0),
+                        p99_ns: snap.latency_ns.p99().unwrap_or(0),
+                    },
+                );
+            }
+        }
+
+        // Fork storm: children inherit the parent's profile cold and
+        // draw from the same stream at rng-offset cursors.
+        if cfg.fork_every > 0
+            && round % cfg.fork_every == cfg.fork_every - 1
+            && admitted < cfg.tenants
+        {
+            let ids = svc.tenant_ids();
+            if !ids.is_empty() {
+                let parent = ids[rng.gen_range(0..ids.len())];
+                let parent_feed_src = feeds.get(&parent).map_or(0, |f| f.archetype);
+                let storm = cfg.fork_storm.min(cfg.tenants - admitted);
+                for _ in 0..storm {
+                    let child = svc.fork(parent).expect("parent is live");
+                    let cursor =
+                        rng.gen_range(0..archetypes[parent_feed_src].stream.len());
+                    feeds.insert(
+                        child,
+                        Feed {
+                            archetype: parent_feed_src,
+                            cursor,
+                            submitted: 0,
+                        },
+                    );
+                    admitted += 1;
+                }
+            }
+        }
+
+        // Reload pair: an equivalent reload (admitted under
+        // RequireRefinement — the intersection is the profile itself —
+        // and flush-heavy: every cached validation of that tenant is
+        // dropped, decisions unchanged) and a relaxed candidate
+        // (refused; old filter keeps serving).
+        if cfg.reload_every > 0 && round % cfg.reload_every == cfg.reload_every - 1 {
+            let ids = svc.tenant_ids();
+            if !ids.is_empty() {
+                let flushee = ids[rng.gen_range(0..ids.len())];
+                if let Some(feed) = feeds.get(&flushee) {
+                    let own = archetypes[feed.archetype].profile.clone();
+                    svc.reload(flushee, &own)
+                        .expect("equivalent reload is always admitted");
+                }
+                let refusee = ids[rng.gen_range(0..ids.len())];
+                if let Some(feed) = feeds.get(&refusee) {
+                    let relaxed = relaxed_candidate(&archetypes[feed.archetype].profile);
+                    let err = svc.reload(refusee, &relaxed);
+                    assert!(err.is_err(), "relaxation must be refused");
+                }
+            }
+        }
+
+        // Traffic: every live tenant submits a contiguous window of its
+        // stream, with every deny_every-th request perturbed.
+        for (&id, feed) in feeds.iter_mut() {
+            let stream = &archetypes[feed.archetype].stream;
+            for _ in 0..cfg.ops_per_round {
+                let req = stream[feed.cursor % stream.len()];
+                feed.cursor = feed.cursor.wrapping_add(1);
+                feed.submitted += 1;
+                let req = if cfg.deny_every > 0 && feed.submitted % u64::from(cfg.deny_every) == 0
+                {
+                    perturb(req)
+                } else {
+                    req
+                };
+                svc.submit(id, req).expect("tenant is live");
+            }
+        }
+
+        // Drain, folding the decision stream into the digest.
+        svc.drain_with(|tenant, req, decision| {
+            digest = fnv1a(digest, u64::from(tenant.0));
+            digest = fnv1a(digest, u64::from(req.id.as_u16()));
+            digest = fnv1a(digest, encode_decision(decision));
+        });
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    // Final sweep: snapshot every still-live tenant.
+    for snap in svc.snapshots() {
+        finished.insert(
+            snap.id.0,
+            TenantLatency {
+                id: snap.id.0,
+                profile: snap.profile,
+                checks: snap.checks,
+                denials: snap.denials,
+                p50_ns: snap.latency_ns.p50().unwrap_or(0),
+                p95_ns: snap.latency_ns.p95().unwrap_or(0),
+                p99_ns: snap.latency_ns.p99().unwrap_or(0),
+            },
+        );
+    }
+
+    let ring = svc.audit_ring();
+    ChurnReport {
+        config: *cfg,
+        counters: svc.counters(),
+        stats: svc.stats(),
+        latency: *svc.latency_pool(),
+        per_tenant: finished.into_values().collect(),
+        audit_published: ring.events_published(),
+        audit_dropped: ring.events_dropped(),
+        intervals_pushed: svc.window().dump().intervals_pushed,
+        wall_ns,
+        decision_digest: digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One tenant row of [`deterministic_view`]: id, profile, checks,
+    /// denials.
+    type TenantRow = (u32, String, u64, u64);
+
+    /// Strips the wall-clock-derived fields (latency quantiles) a
+    /// determinism comparison must ignore.
+    fn deterministic_view(
+        r: &ChurnReport,
+    ) -> (ServiceCounters, CheckerStats, u64, Vec<TenantRow>) {
+        let tenants = r
+            .per_tenant
+            .iter()
+            .map(|t| (t.id, t.profile.clone(), t.checks, t.denials))
+            .collect();
+        (r.counters, r.stats, r.decision_digest, tenants)
+    }
+
+    #[test]
+    fn quick_churn_exercises_every_lifecycle_edge() {
+        let report = run_churn(&ChurnConfig::quick());
+        let c = report.counters;
+        assert!(c.registered >= 8, "arrivals ran: {c:?}");
+        assert!(c.forked > 0, "fork storms ran");
+        assert!(c.retired > 0, "retirements ran");
+        assert!(c.reloads_permitted > 0, "flush-heavy reloads admitted");
+        assert!(c.reloads_refused > 0, "relaxations refused");
+        assert!(c.denials > 0, "perturbed traffic denied");
+        assert!(c.cache_hits > 0, "steady-state traffic hits");
+        assert_eq!(
+            report.audit_published + report.audit_dropped,
+            report.stats.denials,
+            "audit accounting"
+        );
+        assert_eq!(report.intervals_pushed, u64::from(report.config.rounds));
+        assert_eq!(
+            report.per_tenant.len() as u64,
+            c.registered + c.forked,
+            "every tenant ever admitted is reported"
+        );
+    }
+
+    #[test]
+    fn churn_is_deterministic_for_a_fixed_seed() {
+        let cfg = ChurnConfig::quick();
+        let a = run_churn(&cfg);
+        let b = run_churn(&cfg);
+        assert_eq!(deterministic_view(&a), deterministic_view(&b));
+    }
+
+    #[test]
+    fn seed_changes_the_schedule() {
+        let a = run_churn(&ChurnConfig::quick());
+        let b = run_churn(&ChurnConfig {
+            seed: 9999,
+            ..ChurnConfig::quick()
+        });
+        assert_ne!(a.decision_digest, b.decision_digest);
+    }
+
+    #[test]
+    fn standard_config_admits_at_least_100_tenants() {
+        let cfg = ChurnConfig::standard();
+        assert!(cfg.tenants >= 100);
+        // for_ops at the tracked bench scale also clears the bar.
+        assert!(ChurnConfig::for_ops(200_000, 7, 128).tenants >= 100);
+        // ...and the tiny bench config stays small.
+        assert!(ChurnConfig::for_ops(300, 7, 32).tenants <= 8);
+    }
+
+    #[test]
+    fn section_shape_and_round_trip() {
+        let report = run_churn(&ChurnConfig::quick());
+        let section = report.section();
+        assert_eq!(section.schema, SERVICE_SCHEMA);
+        assert!(section.checks_per_sec.is_finite());
+        assert!(section.cache_hit_rate > 0.0 && section.cache_hit_rate <= 1.0);
+        assert!(section.deny_rate > 0.0 && section.deny_rate < 1.0);
+        let json = serde_json::to_string(&section).unwrap();
+        let back: ServiceThroughput = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, section);
+    }
+}

@@ -442,6 +442,136 @@ fn shared_batched_threads_agree_with_the_single_thread_oracle() {
     assert_eq!(shared_stats.total(), stream.len() as u64);
 }
 
+/// The multi-tenant admission service is observationally transparent:
+/// N tenants multiplexed through one `dracod` service — interleaved
+/// submission rounds, shared audit ring, batched draining — decide,
+/// count, and audit **exactly** like N independent single-process
+/// replays of the same per-tenant streams. Decisions are compared
+/// including the cache path taken, stats as the full `CheckerStats`,
+/// and denials as the per-tenant audit event sequences.
+#[test]
+fn dracod_tenants_match_independent_process_replays() {
+    use draco::core::{CheckResult, DracoProcess};
+    use draco::dracod::{DracoService, ServiceConfig, TenantId};
+    use draco::obs::{AuditEvent, AuditRing};
+    use draco::workloads::{catalog, TraceGenerator};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    const ROUNDS: usize = 3;
+    const OPS: usize = 600;
+    let workloads = ["pipe", "nginx", "redis", "httpd", "fifo"];
+
+    // Per-tenant profile and stream. Profile from one seed, stream from
+    // another: cold argument sets keep the filter path and the denial
+    // (audit) path busy, not just the caches.
+    let tenants: Vec<(ProfileSpec, Vec<SyscallRequest>)> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let spec = catalog::by_name(name).expect("catalog workload");
+            let seed = 31 + i as u64;
+            let observed: Vec<SyscallRequest> = TraceGenerator::new(&spec, seed)
+                .generate(200)
+                .requests()
+                .collect();
+            // Every 9th request has its arguments perturbed outside any
+            // observable whitelist, guaranteeing denials (and audit
+            // traffic) even for workloads with tiny argument spaces.
+            let stream: Vec<SyscallRequest> = TraceGenerator::new(&spec, seed ^ 0xff)
+                .generate(OPS)
+                .requests()
+                .enumerate()
+                .map(|(n, req)| {
+                    if n % 9 == 8 {
+                        let mut args = [0u64; 6];
+                        for (slot, value) in args.iter_mut().enumerate() {
+                            *value = req.args.get(slot) ^ 0xdead_0000_0000;
+                        }
+                        SyscallRequest::new(req.pc, req.id, ArgSet::new(args))
+                    } else {
+                        req
+                    }
+                })
+                .collect();
+            (profile_from(&observed, ProfileKind::SyscallComplete), stream)
+        })
+        .collect();
+
+    // Service run: all tenants registered up front, streams interleaved
+    // across submission rounds, one shared audit ring.
+    let mut svc = DracoService::new(ServiceConfig::default());
+    let ids: Vec<TenantId> = tenants
+        .iter()
+        .map(|(profile, _)| svc.register(profile).expect("tenant registers"))
+        .collect();
+    let mut svc_decisions: BTreeMap<TenantId, Vec<CheckResult>> =
+        ids.iter().map(|&id| (id, Vec::new())).collect();
+    let per_round = OPS.div_ceil(ROUNDS);
+    for round in 0..ROUNDS {
+        for (&id, (_, stream)) in ids.iter().zip(&tenants) {
+            let lo = (round * per_round).min(stream.len());
+            let hi = ((round + 1) * per_round).min(stream.len());
+            svc.submit_all(id, &stream[lo..hi]).expect("tenant is live");
+        }
+        svc.drain_with(|tenant, _, decision| {
+            svc_decisions.get_mut(&tenant).unwrap().push(decision);
+        });
+    }
+    let mut svc_audit = Vec::new();
+    svc.audit_ring().drain(&mut svc_audit);
+    assert_eq!(
+        svc.audit_ring().events_dropped(),
+        0,
+        "ring sized to hold every denial"
+    );
+
+    // Oracle run: each tenant replayed alone through an independent
+    // DracoProcess with the same pid and its own audit ring.
+    for (&id, (profile, stream)) in ids.iter().zip(&tenants) {
+        let pid = svc.snapshot(id).expect("tenant is live").pid;
+        let mut oracle = DracoProcess::spawn(pid, profile).expect("oracle spawns");
+        let ring = Arc::new(AuditRing::with_capacity(4096));
+        oracle
+            .checker_mut()
+            .enable_audit(Arc::clone(&ring), pid.0 as u16);
+        let expected: Vec<CheckResult> = stream
+            .iter()
+            .map(|req| oracle.checker_mut().check(req))
+            .collect();
+        // Sanity: every tenant exercises both outcomes.
+        assert!(expected.iter().any(|d| d.action.permits()), "{id}");
+        assert!(expected.iter().any(|d| !d.action.permits()), "{id}");
+
+        // Exact decision equality, cache path included.
+        assert_eq!(&svc_decisions[&id], &expected, "{id} diverged");
+        // Exact CheckerStats equality: multiplexing and batching must
+        // not change a single counter.
+        assert_eq!(
+            svc.tenant_stats(id).expect("tenant is live"),
+            oracle.stats(),
+            "{id} counters diverged"
+        );
+        // Exact denial-audit equality: the service's shared stream,
+        // restricted to this tenant's pid tag, is the oracle's stream.
+        let mut oracle_audit = Vec::new();
+        ring.drain(&mut oracle_audit);
+        let tenant_audit: Vec<AuditEvent> = svc_audit
+            .iter()
+            .copied()
+            .filter(|event| event.source == pid.0 as u16)
+            .collect();
+        assert_eq!(tenant_audit, oracle_audit, "{id} audit diverged");
+        assert!(!oracle_audit.is_empty(), "{id} denials must be audited");
+    }
+    // Nothing in the shared stream came from anyone else.
+    let known: std::collections::BTreeSet<u16> = ids
+        .iter()
+        .map(|&id| svc.snapshot(id).unwrap().pid.0 as u16)
+        .collect();
+    assert!(svc_audit.iter().all(|event| known.contains(&event.source)));
+}
+
 #[test]
 fn twox_profiles_agree_with_oracle_too() {
     let reqs: Vec<SyscallRequest> = (0..8)

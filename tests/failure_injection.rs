@@ -178,6 +178,94 @@ fn tiny_slb_still_correct_just_slower() {
     assert!(tiny_report.check_cycles > full_report.check_cycles);
 }
 
+/// A hot reload refused by `ReloadPolicy::RequireRefinement` mid-traffic
+/// is a non-event for the tenant: the old filter keeps serving, nothing
+/// is flushed (warmed keys still hit), decisions are unchanged, and the
+/// refusal is counted — not silently swallowed, not a kill.
+#[test]
+fn refused_reload_mid_traffic_keeps_serving_on_the_old_filter() {
+    use draco::core::{DracoError, ReloadPolicy};
+    use draco::dracod::{DracoService, ServiceConfig, ServiceError};
+
+    let profile = read_profile(4);
+    // A *relaxation*: everything the old profile admits plus write(2),
+    // which was never observed. RequireRefinement must refuse it.
+    let relaxed = {
+        let mut gen = ProfileGenerator::new("inject-relaxed");
+        for i in 0..4 {
+            gen.observe(&SyscallRequest::new(
+                0x1000,
+                SyscallId::new(0),
+                ArgSet::from_slice(&[i as u64, 0, 64]),
+            ));
+        }
+        gen.observe(&SyscallRequest::new(
+            0x1000,
+            SyscallId::new(1),
+            ArgSet::from_slice(&[1, 0, 8]),
+        ));
+        gen.emit(ProfileKind::SyscallComplete)
+    };
+
+    let mut svc = DracoService::new(ServiceConfig {
+        reload_policy: ReloadPolicy::RequireRefinement,
+        ..ServiceConfig::default()
+    });
+    let tenant = svc.register(&profile).unwrap();
+    let stream: Vec<SyscallRequest> = (0..32u64)
+        .map(|n| {
+            SyscallRequest::new(
+                0x1000,
+                SyscallId::new(0),
+                ArgSet::from_slice(&[n % 4, 0, 64]),
+            )
+        })
+        .collect();
+
+    // Warm the tables mid-traffic, then inject the refused reload.
+    let mut before = Vec::new();
+    svc.submit_all(tenant, &stream).unwrap();
+    svc.drain_with(|_, _, d| before.push(d));
+    assert!(before.iter().all(|d| d.action.permits()));
+
+    let err = svc.reload(tenant, &relaxed).expect_err("relaxation refused");
+    assert!(
+        matches!(
+            err,
+            ServiceError::Draco(DracoError::ReloadRejected { .. })
+        ),
+        "unexpected error: {err}"
+    );
+
+    // Traffic continues on the old filter: same decisions, and the
+    // warmed keys still come from the cache — a flush would betray a
+    // partially applied reload.
+    let mut after = Vec::new();
+    svc.submit_all(tenant, &stream).unwrap();
+    svc.drain_with(|_, _, d| after.push(d));
+    assert_eq!(after.len(), before.len());
+    assert!(after.iter().all(|d| d.action.permits()));
+    assert!(
+        after.iter().all(|d| d.path.is_cache_hit()),
+        "refusal must not flush the tenant's tables"
+    );
+    // And write(2) — the relaxation's new admission — is still denied.
+    let mut write_decision = None;
+    svc.submit(
+        tenant,
+        SyscallRequest::new(0x1000, SyscallId::new(1), ArgSet::from_slice(&[1, 0, 8])),
+    )
+    .unwrap();
+    svc.drain_with(|_, _, d| write_decision = Some(d));
+    assert!(!write_decision.unwrap().action.permits());
+
+    // The refusal is counted, on the tenant and on the service.
+    let stats = svc.tenant_stats(tenant).unwrap();
+    assert_eq!(stats.reloads_refused, 1);
+    assert_eq!(stats.reloads_permitted, 0);
+    assert_eq!(svc.counters().reloads_refused, 1);
+}
+
 #[test]
 fn trace_with_unknown_syscall_ids_is_denied_not_crashed() {
     let profile = read_profile(2);
